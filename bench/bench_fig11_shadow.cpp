@@ -1,0 +1,59 @@
+//===- bench_fig11_shadow.cpp - Regenerates paper Figures 11/13 -----------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 11 / Figure 13 / Appendix C: the loop that alternates b and c on
+/// a 4-line cache. The original join eventually evicts a; the
+/// shadow-variable refinement (Appendix B) keeps a at age 3 and proves the
+/// final access a must-hit, converging in fewer iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+
+using namespace specai;
+
+int main() {
+  std::printf("== Figure 11/13: shadow-variable refinement (4-line cache) "
+              "==\n");
+  DiagnosticEngine Diags;
+  auto CP = compileSource(fig11Source(), Diags);
+  if (!CP) {
+    std::printf("compile error\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  NodeId Final = InvalidNode;
+  for (NodeId Ret : CP->G.exits())
+    for (int32_t I = static_cast<int32_t>(CP->G.instIndexOf(Ret)); I >= 0;
+         --I) {
+      NodeId N = CP->G.nodeAt(CP->G.blockOf(Ret), static_cast<uint32_t>(I));
+      if (CP->G.inst(N).accessesMemory()) {
+        Final = N;
+        I = -1;
+      }
+    }
+
+  TableWriter T({"Analysis", "final load a", "#Iteration",
+                 "state before final load"});
+  for (bool Shadow : {false, true}) {
+    MustHitOptions Opts;
+    Opts.Cache = CacheConfig::fullyAssociative(4);
+    Opts.Speculative = false;
+    Opts.UseShadow = Shadow;
+    MustHitReport R = runMustHitAnalysis(*CP, Opts);
+    T.addRow({Shadow ? "with shadow variables" : "original",
+              R.MustHit[Final] ? "must-hit" : "may-miss",
+              std::to_string(R.Iterations),
+              R.States.Normal[Final].str(*R.MM)});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("paper (Appendix C): the original analysis evicts a; the "
+              "shadow analysis keeps a at age 3\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===- bench_micro_domain.cpp - Domain/engine microbenchmarks -------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks of the abstract-domain primitives
+/// (transfer, join, widen) across state sizes, plus end-to-end engine
+/// throughput on quantl — the knobs §6's optimizations trade against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace specai;
+
+namespace {
+
+/// Builds a program with one array of \p Lines lines plus that many
+/// scalars, and a model over a cache of the same size.
+struct DomainFixture {
+  Program P;
+  CacheConfig Config;
+  std::unique_ptr<MemoryModel> MM;
+
+  explicit DomainFixture(uint32_t Lines)
+      : Config(CacheConfig::fullyAssociative(Lines)) {
+    for (uint32_t I = 0; I != Lines; ++I) {
+      MemVar Var;
+      Var.Name = "v" + std::to_string(I);
+      Var.ElemSize = 8;
+      Var.NumElements = 1;
+      P.Vars.push_back(Var);
+    }
+    // One terminating block so the program is structurally valid.
+    BasicBlock BB;
+    Instruction Ret;
+    Ret.Op = Opcode::Ret;
+    BB.Insts.push_back(Ret);
+    P.Blocks.push_back(BB);
+    MM = std::make_unique<MemoryModel>(P, Config);
+  }
+
+  CacheAbsState fullState(bool Shadow) const {
+    CacheAbsState S = CacheAbsState::empty();
+    for (VarId V = 0; V != P.Vars.size(); ++V)
+      S.accessBlock(MM->blockOf(V, 0), *MM, Shadow);
+    return S;
+  }
+};
+
+void BM_TransferKnown(benchmark::State &State) {
+  DomainFixture F(static_cast<uint32_t>(State.range(0)));
+  bool Shadow = State.range(1) != 0;
+  CacheAbsState S = F.fullState(Shadow);
+  uint64_t V = 0;
+  for (auto _ : State) {
+    S.accessBlock(F.MM->blockOf(V % F.P.Vars.size(), 0), *F.MM, Shadow);
+    ++V;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_TransferKnown)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+void BM_Join(benchmark::State &State) {
+  DomainFixture F(static_cast<uint32_t>(State.range(0)));
+  bool Shadow = State.range(1) != 0;
+  CacheAbsState A = F.fullState(Shadow);
+  CacheAbsState B = F.fullState(Shadow);
+  B.accessBlock(F.MM->blockOf(0, 0), *F.MM, Shadow);
+  for (auto _ : State) {
+    CacheAbsState C = A;
+    benchmark::DoNotOptimize(C.joinInto(B, Shadow));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_Join)->Args({16, 1})->Args({128, 1})->Args({512, 1});
+
+void BM_Widen(benchmark::State &State) {
+  DomainFixture F(static_cast<uint32_t>(State.range(0)));
+  CacheAbsState Prev = F.fullState(true);
+  CacheAbsState Cur = Prev;
+  Cur.accessBlock(F.MM->blockOf(0, 0), *F.MM, true);
+  for (auto _ : State) {
+    CacheAbsState W = Cur;
+    W.widenFrom(Prev, F.Config.Associativity);
+    benchmark::DoNotOptimize(W);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_Widen)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_QuantlAnalysis(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  LoweringOptions LO;
+  LO.EntryFunction = "quantl";
+  auto CP = compileSource(quantlSource(), Diags, LO);
+  bool Speculative = State.range(0) != 0;
+  for (auto _ : State) {
+    MustHitOptions Opts;
+    Opts.Speculative = Speculative;
+    MustHitReport R = runMustHitAnalysis(*CP, Opts);
+    benchmark::DoNotOptimize(R.MissCount);
+  }
+}
+BENCHMARK(BM_QuantlAnalysis)->Arg(0)->Arg(1);
+
+void BM_CompileFig2(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto CP = compileSource(fig2Source(), Diags);
+    benchmark::DoNotOptimize(CP);
+  }
+}
+BENCHMARK(BM_CompileFig2);
+
+} // namespace

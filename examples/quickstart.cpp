@@ -1,0 +1,100 @@
+//===- quickstart.cpp - Five-minute tour of the public API ----------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: compile a small program, run the static cache analysis with
+/// and without speculative execution modeling, and inspect the per-access
+/// classification. The program is the paper's Figure 2 scenario in
+/// miniature: a preloaded table, a memory-conditioned branch, and a
+/// secret-indexed lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+
+using namespace specai;
+
+int main() {
+  // 1. A mini-C program. `secret` marks key material, `reg` variables live
+  //    in registers (cache invisible), plain globals are inputs.
+  const std::string Source = R"MC(
+char table[256];           // 4 cache lines
+char left[64];             // 1 line
+char right[64];            // 1 line
+int mode;                  // input: selects a branch side
+secret reg char key;       // the secret index
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 256; i += 64)
+    t = table[i];          // preload the table
+  if (mode == 0) {
+    t = t + left[0];
+  } else {
+    t = t + right[0];
+  }
+  t = t + table[key & 255];  // secret-indexed lookup
+  return t;
+}
+)MC";
+
+  // 2. Compile: lexer -> parser -> sema -> lowering (inlining + loop
+  //    unrolling) -> CFG analyses -> speculation plan.
+  DiagnosticEngine Diags;
+  std::unique_ptr<CompiledProgram> CP = compileSource(Source, Diags);
+  if (!CP) {
+    std::printf("compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("compiled: %zu IR instructions, %zu speculation sites\n\n",
+              CP->P->instructionCount(), CP->Plan.siteCount());
+
+  // 3. Analyze. The cache here is tiny (6 lines) so one branch side fits
+  //    but both sides together do not — the Figure 2 situation.
+  for (bool Speculative : {false, true}) {
+    MustHitOptions Options;
+    Options.Cache = CacheConfig::fullyAssociative(6);
+    Options.Speculative = Speculative;
+    MustHitReport Report = runMustHitAnalysis(*CP, Options);
+    SideChannelReport Leaks = detectLeaks(*CP, Report);
+
+    std::printf("== %s analysis ==\n",
+                Speculative ? "speculative (Algorithms 2/3)"
+                            : "non-speculative (Algorithm 1)");
+    std::printf("  access sites: %llu, possible misses: %llu, "
+                "speculative-only misses: %llu\n",
+                static_cast<unsigned long long>(Report.AccessNodes),
+                static_cast<unsigned long long>(Report.MissCount),
+                static_cast<unsigned long long>(Report.SpMissCount));
+    std::printf("  side channel: %s\n",
+                Leaks.leakDetected() ? "LEAK DETECTED (secret-indexed "
+                                       "access may hit or miss)"
+                                     : "leak free");
+
+    // 4. Per-node drill-down for the final secret lookup.
+    for (NodeId Ret : CP->G.exits()) {
+      BlockId B = CP->G.blockOf(Ret);
+      for (int32_t I = static_cast<int32_t>(CP->G.instIndexOf(Ret)); I >= 0;
+           --I) {
+        NodeId N = CP->G.nodeAt(B, static_cast<uint32_t>(I));
+        if (!CP->G.inst(N).accessesMemory())
+          continue;
+        std::printf("  final lookup: %s; state before it: %s\n",
+                    Report.MustHit[N] ? "must-hit" : "may-miss",
+                    Report.States.Normal[N].str(*Report.MM).c_str());
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("The speculative analysis refuses to certify the lookup —\n"
+              "the mispredicted branch side can evict a table line, and\n"
+              "whether the victim is the secret's line depends on the key.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- side_channel_detection.cpp - Figure 10 end to end ------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's §2.2 application, end to end: take a crypto kernel (the
+/// hash benchmark), wrap it in the Figure-10 client with an
+/// attacker-controlled buffer, and sweep the buffer size. The
+/// non-speculative analysis proves the program leak-free everywhere it
+/// can; the speculative analysis shows that at the same buffer sizes the
+/// mispredicted padding path can evict the secret-indexed table — the
+/// Spectre-style cache side channel the paper detects.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+
+using namespace specai;
+
+int main() {
+  const CryptoWorkload *Hash = nullptr;
+  for (const CryptoWorkload &W : cryptoWorkloads())
+    if (W.Name == "hash")
+      Hash = &W;
+  if (!Hash)
+    return 1;
+  std::printf("kernel: %s (%s)\n\n", Hash->Name.c_str(),
+              Hash->Description.c_str());
+
+  TableWriter T({"Buffer(B)", "non-spec", "speculative"});
+  for (uint64_t Lines : {384u, 448u, 470u, 478u, 490u}) {
+    uint64_t Bytes = Lines * 64;
+    DiagnosticEngine Diags;
+    auto CP = compileSource(makeClientProgram(*Hash, Bytes), Diags);
+    if (!CP) {
+      std::printf("compile error:\n%s", Diags.str().c_str());
+      return 1;
+    }
+    auto LeakWith = [&](bool Speculative) {
+      MustHitOptions Opts;
+      Opts.Cache = CacheConfig::paperDefault();
+      Opts.Speculative = Speculative;
+      MustHitReport R = runMustHitAnalysis(*CP, Opts);
+      SideChannelReport SC = detectLeaks(*CP, R);
+      if (!SC.leakDetected())
+        return std::string("leak free");
+      std::string Out = "LEAK";
+      for (const LeakSite &L : SC.Leaks)
+        Out += " (" + CP->P->Vars[L.Var].Name + ")";
+      return Out;
+    };
+    T.addRow({std::to_string(Bytes), LeakWith(false), LeakWith(true)});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf(
+      "The larger the attacker buffer, the closer the preloaded table\n"
+      "sits to eviction; speculation supplies the final push (paper §7.3:\n"
+      "\"the larger the buffer size, the easier that the client program\n"
+      "triggers the behavioral difference\").\n");
+  return 0;
+}

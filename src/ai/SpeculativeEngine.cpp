@@ -1,0 +1,24 @@
+//===- SpeculativeEngine.cpp ----------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ai/SpeculativeEngine.h"
+
+using namespace specai;
+
+const char *specai::mergeStrategyName(MergeStrategy S) {
+  switch (S) {
+  case MergeStrategy::NoMerge:
+    return "no-merge";
+  case MergeStrategy::MergeAtExit:
+    return "merge-at-exit";
+  case MergeStrategy::JustInTime:
+    return "just-in-time";
+  case MergeStrategy::MergeAtRollback:
+    return "merge-at-rollback";
+  }
+  return "<invalid>";
+}

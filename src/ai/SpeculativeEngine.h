@@ -1,0 +1,353 @@
+//===- SpeculativeEngine.h - AI under speculative execution -----*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution, Algorithms 2 and 3: abstract
+/// interpretation made sound under speculative execution.
+///
+/// Per node n the engine maintains three families of states:
+///
+///  - S[n]     the normal (architectural) state, as in Algorithm 1;
+///  - SS[n][c] the in-flight speculative state of color c (Algorithm 3's
+///             per-color vector), carrying the maximum remaining
+///             speculation depth. Seeded at the branch (the n->vn_start
+///             edge): SS[wrongEntry(c)] := S[branch]. It flows over the
+///             ordinary CFG edges — through joins, nested branches (both
+///             ways; the prediction of a nested branch is unknown), and
+///             past the sides' join — until the depth is exhausted;
+///  - PR[n][k] post-rollback states: after executing any prefix of the
+///             speculated side, the processor may roll back and resume at
+///             the correct side's entry (the vn_stop -> n edge). These are
+///             architecturally real states whose only difference from S is
+///             a polluted cache; keeping them separate until the branch's
+///             post-dominator is the paper's just-in-time merging (§5.2).
+///
+/// Merge strategies (Figure 6) control the PR bookkeeping:
+///  - MergeAtRollback (6d): rolled-back states join S[correctEntry]
+///    immediately (coarsest, cheapest);
+///  - JustInTime (6c, default): all rollback states of one color join in a
+///    collector at the correct side's entry and flow as one PR state;
+///  - NoMerge (6a): one PR slot per (color, rollback point), everything
+///    kept apart until the post-dominator (finest, most expensive);
+///  - MergeAtExit (6b): like NoMerge in this engine — because the abstract
+///    join is associative and every separate flow is joined at the
+///    post-dominator anyway, merging "right before the exit of the other
+///    branch" computes the same states as 6a while the original paper's
+///    distinction is about intermediate state counts.
+///
+/// Depth bounding (§6.2): each site gets a window of b_miss instructions,
+/// shrunk to b_hit when every load feeding its condition is a must-hit.
+/// `BoundingMode::Dynamic` re-evaluates the bound each time the branch is
+/// reprocessed (remaining sound because joined depths take the maximum);
+/// the analysis driver additionally offers an iterative outer refinement
+/// that re-runs with bounds derived from the previous sound fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_AI_SPECULATIVEENGINE_H
+#define SPECAI_AI_SPECULATIVEENGINE_H
+
+#include "ai/Vcfg.h"
+#include "ai/WorklistEngine.h"
+#include "cfg/LoopInfo.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace specai {
+
+/// Figure 6's four strategies for merging speculative flows.
+enum class MergeStrategy {
+  NoMerge,         // 6a
+  MergeAtExit,     // 6b
+  JustInTime,      // 6c (default; best cost/precision in the paper)
+  MergeAtRollback, // 6d
+};
+
+/// Printable name, e.g. "just-in-time".
+const char *mergeStrategyName(MergeStrategy S);
+
+/// How speculation windows are bounded (§6.2).
+enum class BoundingMode {
+  /// Always use DepthMiss.
+  Fixed,
+  /// Use DepthHit whenever the condition's loads are must-hits in the
+  /// current states; sound because re-seeding takes the max depth.
+  Dynamic,
+};
+
+/// Options of the speculative engine.
+struct SpecEngineOptions : EngineOptions {
+  MergeStrategy Strategy = MergeStrategy::JustInTime;
+  /// Speculation window (instructions) when the branch condition misses in
+  /// the cache. The paper derives 200 from GEM5 traces of the Alpha-like
+  /// O3 CPU; our pipeline substrate reproduces the calibration.
+  uint32_t DepthMiss = 200;
+  /// Window when the condition is a cache hit (paper: 20).
+  uint32_t DepthHit = 20;
+  BoundingMode Bounding = BoundingMode::Dynamic;
+  /// Per-site depth overrides (from the driver's iterative refinement);
+  /// empty means none. Indexed by site.
+  std::vector<uint32_t> SiteDepthOverride;
+};
+
+/// Result of a speculative run.
+template <typename DomainT> struct SpecResult {
+  using State = typename DomainT::State;
+  /// Normal input states (architectural, prediction-correct executions).
+  std::vector<State> Normal;
+  /// Join of all post-rollback input states per node (architectural,
+  /// mispredicted executions after rollback). Bottom where no rollback
+  /// flow passes.
+  std::vector<State> PostRollback;
+  /// Join of all in-flight speculative input states per node. Bottom where
+  /// never speculatively executed.
+  std::vector<State> Speculative;
+  uint64_t Iterations = 0;
+  bool Converged = true;
+
+  /// The observable (architectural) input state at \p N: Normal joined
+  /// with PostRollback. Classification of real cache behavior must use
+  /// this.
+  State observable(const DomainT &D, NodeId N) const {
+    State S = Normal[N];
+    D.joinInto(S, PostRollback[N]);
+    return S;
+  }
+};
+
+namespace detail {
+/// Key of a post-rollback slot: the color, plus the rollback point for the
+/// NoMerge/MergeAtExit strategies (InvalidNode under JustInTime).
+struct PrKey {
+  ColorId Color;
+  NodeId Source;
+  bool operator<(const PrKey &RHS) const {
+    return Color != RHS.Color ? Color < RHS.Color : Source < RHS.Source;
+  }
+};
+} // namespace detail
+
+/// Runs Algorithms 2/3 over \p G with speculation plan \p Plan.
+template <typename DomainT>
+SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
+                                           const SpecPlan &Plan,
+                                           const SpecEngineOptions &Options,
+                                           const LoopInfo *LI = nullptr) {
+  using State = typename DomainT::State;
+  using detail::PrKey;
+
+  struct SpecSlot {
+    State St;
+    uint32_t Depth = 0;
+  };
+
+  SpecResult<DomainT> R;
+  size_t N = G.size();
+  R.Normal.assign(N, D.bottom());
+  R.PostRollback.assign(N, D.bottom());
+  R.Speculative.assign(N, D.bottom());
+  if (N == 0)
+    return R;
+
+  // Per-node slot maps. SS/PR are sparse: most nodes never see a given
+  // color.
+  std::vector<std::map<ColorId, SpecSlot>> SS(N);
+  std::vector<std::map<PrKey, State>> PR(N);
+
+  // Branch node -> colors seeded there.
+  std::map<NodeId, std::vector<ColorId>> SeedColors;
+  for (ColorId C = 0; C != Plan.colorCount(); ++C)
+    SeedColors[Plan.siteOf(C).Branch].push_back(C);
+
+  // Ipdom per color for PR termination.
+  auto IpdomOf = [&](ColorId C) { return Plan.siteOf(C).Ipdom; };
+
+  std::vector<uint32_t> JoinCounts(N, 0);
+  std::deque<NodeId> Worklist;
+  std::vector<bool> InList(N, false);
+  auto Enqueue = [&](NodeId Node) {
+    if (!InList[Node]) {
+      InList[Node] = true;
+      Worklist.push_back(Node);
+    }
+  };
+
+  auto JoinNormal = [&](NodeId Node, const State &From) {
+    bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
+                    JoinCounts[Node] >= Options.WideningDelay;
+    if (UseWiden) {
+      State Prev = R.Normal[Node];
+      if (D.joinInto(R.Normal[Node], From)) {
+        D.widen(R.Normal[Node], Prev);
+        ++JoinCounts[Node];
+        Enqueue(Node);
+      }
+      return;
+    }
+    if (D.joinInto(R.Normal[Node], From)) {
+      ++JoinCounts[Node];
+      Enqueue(Node);
+    }
+  };
+
+  auto JoinPr = [&](NodeId Node, PrKey Key, const State &From) {
+    auto [It, Inserted] = PR[Node].try_emplace(Key, D.bottom());
+    bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
+                    JoinCounts[Node] >= Options.WideningDelay;
+    State Prev = UseWiden ? It->second : D.bottom();
+    if (D.joinInto(It->second, From)) {
+      if (UseWiden)
+        D.widen(It->second, Prev);
+      ++JoinCounts[Node];
+      Enqueue(Node);
+    } else if (Inserted) {
+      Enqueue(Node);
+    }
+  };
+
+  auto JoinSpec = [&](NodeId Node, ColorId Color, const State &From,
+                      uint32_t Depth) {
+    auto [It, Inserted] = SS[Node].try_emplace(Color, SpecSlot{D.bottom(), 0});
+    bool Changed = D.joinInto(It->second.St, From);
+    if (Depth > It->second.Depth) {
+      It->second.Depth = Depth;
+      Changed = true;
+    }
+    if (Changed || Inserted)
+      Enqueue(Node);
+  };
+
+  // Depth of a site's window given current classification knowledge.
+  auto SiteDepth = [&](uint32_t Site) -> uint32_t {
+    if (Site < Options.SiteDepthOverride.size())
+      return Options.SiteDepthOverride[Site];
+    if (Options.Bounding == BoundingMode::Dynamic) {
+      const SpecSite &SS_ = Plan.sites()[Site];
+      bool AllHit = !SS_.CondLoads.empty();
+      for (NodeId Load : SS_.CondLoads) {
+        State Obs = R.Normal[Load];
+        D.joinInto(Obs, R.PostRollback[Load]);
+        if (D.isBottom(Obs) || !D.isMustHit(Obs, Load)) {
+          AllHit = false;
+          break;
+        }
+      }
+      if (AllHit)
+        return Options.DepthHit;
+    }
+    return Options.DepthMiss;
+  };
+
+  // Seeds speculation colors of branch node `Node` from architectural
+  // state `Out` (the state after the branch resolves its inputs).
+  auto SeedSpeculation = [&](NodeId Node, const State &Out) {
+    auto It = SeedColors.find(Node);
+    if (It == SeedColors.end())
+      return;
+    for (ColorId C : It->second) {
+      uint32_t Depth = SiteDepth(Plan.colors()[C].Site);
+      if (Depth == 0)
+        continue; // b_hit == 0 disables speculation entirely (§6.2).
+      JoinSpec(Plan.wrongEntry(C), C, Out, Depth);
+    }
+  };
+
+  // Routes a rolled-back state (after executing `Source` speculatively
+  // under color C) to the correct side per the merge strategy.
+  auto Rollback = [&](ColorId C, NodeId Source, const State &Out) {
+    NodeId Target = Plan.correctEntry(C);
+    switch (Options.Strategy) {
+    case MergeStrategy::MergeAtRollback:
+      JoinNormal(Target, Out);
+      return;
+    case MergeStrategy::JustInTime:
+      JoinPr(Target, PrKey{C, InvalidNode}, Out);
+      return;
+    case MergeStrategy::NoMerge:
+    case MergeStrategy::MergeAtExit:
+      JoinPr(Target, PrKey{C, Source}, Out);
+      return;
+    }
+  };
+
+  R.Normal[G.entry()] = D.entry();
+  Enqueue(G.entry());
+
+  while (!Worklist.empty()) {
+    if (++R.Iterations > Options.MaxIterations) {
+      R.Converged = false;
+      break;
+    }
+    NodeId Node = Worklist.front();
+    Worklist.pop_front();
+    InList[Node] = false;
+
+    // --- Normal flow (Algorithm 2 lines 8, 14-19). ---
+    if (!D.isBottom(R.Normal[Node])) {
+      State Out = R.Normal[Node];
+      D.transfer(Out, Node);
+      for (NodeId Succ : G.successors(Node))
+        JoinNormal(Succ, Out);
+      // n -> vn_start edges (line 11).
+      SeedSpeculation(Node, Out);
+    }
+
+    // --- Speculative flows, one per live color (Algorithm 3 line 9). ---
+    for (auto &[Color, Slot] : SS[Node]) {
+      if (D.isBottom(Slot.St) || Slot.Depth == 0)
+        continue;
+      State Out = Slot.St;
+      D.transfer(Out, Node);
+      // The rollback may happen right after this instruction: vn_stop.
+      Rollback(Color, Node, Out);
+      // Continue speculating while the window allows. The flow is confined
+      // to the mispredicted side: it stops at the branch's post-dominator
+      // (the paper's Figure 6 draws rollback edges from the branch body
+      // only, and Figure 7's states require it).
+      if (Slot.Depth > 1) {
+        NodeId Ipdom = IpdomOf(Color);
+        for (NodeId Succ : G.successors(Node))
+          if (Succ != Ipdom)
+            JoinSpec(Succ, Color, Out, Slot.Depth - 1);
+      }
+    }
+
+    // --- Post-rollback flows (architectural; JIT keeps them apart until
+    // --- the branch's post-dominator).
+    for (auto &[Key, St] : PR[Node]) {
+      if (D.isBottom(St))
+        continue;
+      State Out = St;
+      D.transfer(Out, Node);
+      NodeId Ipdom = IpdomOf(Key.Color);
+      for (NodeId Succ : G.successors(Node)) {
+        if (Succ == Ipdom)
+          JoinNormal(Succ, Out);
+        else
+          JoinPr(Succ, Key, Out);
+      }
+      // Real execution in a post-rollback context can speculate again.
+      SeedSpeculation(Node, Out);
+    }
+  }
+
+  // Fold the sparse slot maps into per-node joins for classification.
+  for (NodeId Node = 0; Node != N; ++Node) {
+    for (const auto &[Color, Slot] : SS[Node])
+      D.joinInto(R.Speculative[Node], Slot.St);
+    for (const auto &[Key, St] : PR[Node])
+      D.joinInto(R.PostRollback[Node], St);
+  }
+  return R;
+}
+
+} // namespace specai
+
+#endif // SPECAI_AI_SPECULATIVEENGINE_H

@@ -1,0 +1,123 @@
+//===- WorklistEngine.h - Baseline fixed-point engine -----------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 1: a standard worklist fixed-point over the flat
+/// CFG, generic over the abstract domain. This is the *non-speculative*
+/// baseline the evaluation compares against (the "state-of-the-art,
+/// non-speculative static cache analysis"). The speculative lifting lives
+/// in SpeculativeEngine.h.
+///
+/// Domain concept:
+///   using State;
+///   State  bottom() const;            // join identity / unreachable
+///   State  entry() const;             // state at the program entry
+///   bool   isBottom(const State&) const;
+///   void   transfer(State&, NodeId);  // may be stateful (instance picks)
+///   bool   joinInto(State &Into, const State &From) const; // true if grew
+///   void   widen(State &Cur, const State &Prev) const;
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_AI_WORKLISTENGINE_H
+#define SPECAI_AI_WORKLISTENGINE_H
+
+#include "cfg/FlatCfg.h"
+#include "cfg/LoopInfo.h"
+#include "support/Statistics.h"
+
+#include <deque>
+#include <vector>
+
+namespace specai {
+
+/// Options shared by the baseline and speculative engines.
+struct EngineOptions {
+  /// Apply the widening operator at loop headers once a node has been
+  /// re-joined more than WideningDelay times (paper §6.3). The cache
+  /// domain's lattice is finite so this is an accelerator; for unbounded
+  /// domains (intervals) it is required for termination.
+  bool UseWidening = false;
+  uint32_t WideningDelay = 8;
+  /// Safety valve: abort (with Converged=false) after this many worklist
+  /// pops.
+  uint64_t MaxIterations = 200000000;
+};
+
+/// Result of a baseline run: per-node input states.
+template <typename DomainT> struct FixpointResult {
+  using State = typename DomainT::State;
+  /// In[n]: join over all edges into n (state before executing n).
+  std::vector<State> In;
+  /// Worklist pops until convergence.
+  uint64_t Iterations = 0;
+  bool Converged = true;
+};
+
+/// Runs Algorithm 1: initializes the entry to Domain::entry() and every
+/// other node to bottom, then iterates transfer/join to a fixed point.
+/// \p LI may be null when widening is disabled.
+template <typename DomainT>
+FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
+                                    const EngineOptions &Options = {},
+                                    const LoopInfo *LI = nullptr) {
+  using State = typename DomainT::State;
+  FixpointResult<DomainT> R;
+  size_t N = G.size();
+  R.In.assign(N, D.bottom());
+  if (N == 0)
+    return R;
+
+  R.In[G.entry()] = D.entry();
+
+  std::vector<uint32_t> JoinCounts(N, 0);
+  std::deque<NodeId> Worklist;
+  std::vector<bool> InList(N, false);
+  auto Enqueue = [&](NodeId Node) {
+    if (!InList[Node]) {
+      InList[Node] = true;
+      Worklist.push_back(Node);
+    }
+  };
+  Enqueue(G.entry());
+
+  while (!Worklist.empty()) {
+    if (++R.Iterations > Options.MaxIterations) {
+      R.Converged = false;
+      break;
+    }
+    NodeId Node = Worklist.front();
+    Worklist.pop_front();
+    InList[Node] = false;
+
+    if (D.isBottom(R.In[Node]))
+      continue;
+    State Out = R.In[Node];
+    D.transfer(Out, Node);
+
+    for (NodeId Succ : G.successors(Node)) {
+      bool UseWiden = Options.UseWidening && LI && LI->isHeader(Succ) &&
+                      JoinCounts[Succ] >= Options.WideningDelay;
+      if (UseWiden) {
+        State Prev = R.In[Succ];
+        if (D.joinInto(R.In[Succ], Out)) {
+          D.widen(R.In[Succ], Prev);
+          ++JoinCounts[Succ];
+          Enqueue(Succ);
+        }
+      } else if (D.joinInto(R.In[Succ], Out)) {
+        ++JoinCounts[Succ];
+        Enqueue(Succ);
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace specai
+
+#endif // SPECAI_AI_WORKLISTENGINE_H

@@ -1,0 +1,180 @@
+//===- AnalysisPipeline.cpp -----------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPipeline.h"
+
+#include "ir/Verifier.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+using namespace specai;
+
+std::unique_ptr<CompiledProgram>
+specai::compileSource(const std::string &Source, DiagnosticEngine &Diags,
+                      const LoweringOptions &Options) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+
+  AstContext Context;
+  Parser Parse(std::move(Tokens), Context, Diags);
+  TranslationUnit Unit = Parse.parseTranslationUnit();
+  if (Diags.hasErrors())
+    return nullptr;
+
+  Sema Analysis(Diags);
+  if (!Analysis.run(Unit))
+    return nullptr;
+
+  std::optional<Program> Lowered = lowerProgram(Unit, Options, Diags);
+  if (!Lowered)
+    return nullptr;
+
+  for (const std::string &Issue : verifyProgram(*Lowered)) {
+    Diags.error(SourceLoc(), "internal: IR verifier: " + Issue);
+  }
+  if (Diags.hasErrors())
+    return nullptr;
+
+  auto CP = std::make_unique<CompiledProgram>();
+  CP->P = std::make_unique<Program>(std::move(*Lowered));
+  CP->G = FlatCfg::build(*CP->P);
+  CP->Dom = DominatorTree::compute(CP->G);
+  CP->Pdom = DominatorTree::computePost(CP->G);
+  CP->LI = LoopInfo::compute(CP->G, CP->Dom);
+  CP->Plan = SpecPlan::compute(CP->G, CP->Pdom);
+  return CP;
+}
+
+namespace {
+
+/// Converts MustHitOptions into engine options (site overrides installed by
+/// the refinement loop).
+SpecEngineOptions makeEngineOptions(const MustHitOptions &O,
+                                    std::vector<uint32_t> SiteOverrides) {
+  SpecEngineOptions E;
+  E.Strategy = O.Strategy;
+  E.DepthMiss = O.DepthMiss;
+  E.DepthHit = O.DepthHit;
+  E.Bounding = O.Bounding;
+  E.SiteDepthOverride = std::move(SiteOverrides);
+  E.UseWidening = O.UseWidening;
+  E.WideningDelay = O.WideningDelay;
+  E.MaxIterations = O.MaxIterations;
+  return E;
+}
+
+/// Classifies the access nodes of a finished run into the report fields.
+void classify(const CompiledProgram &CP, CacheDomain &D,
+              MustHitReport &Report) {
+  const FlatCfg &G = CP.G;
+  size_t N = G.size();
+  Report.Reachable.assign(N, false);
+  Report.MustHit.assign(N, false);
+  Report.SpecPossibleMiss.assign(N, false);
+  Report.Classes.assign(N, CacheDomain::AccessClass::Mixed);
+  Report.AccessNodes = 0;
+  Report.MissCount = 0;
+  Report.SpMissCount = 0;
+
+  for (NodeId Node = 0; Node != N; ++Node) {
+    CacheAbsState Observable = Report.States.observable(D, Node);
+    bool Reach = !Observable.isBottom();
+    Report.Reachable[Node] = Reach;
+    if (!G.inst(Node).accessesMemory())
+      continue;
+    if (Reach) {
+      ++Report.AccessNodes;
+      Report.Classes[Node] = D.classifyAccess(Observable, Node);
+      bool Hit =
+          Report.Classes[Node] == CacheDomain::AccessClass::MustHit;
+      Report.MustHit[Node] = Hit;
+      if (!Hit)
+        ++Report.MissCount;
+    }
+    const CacheAbsState &Spec = Report.States.Speculative[Node];
+    if (!Spec.isBottom() && !D.isMustHit(Spec, Node)) {
+      Report.SpecPossibleMiss[Node] = true;
+      ++Report.SpMissCount;
+    }
+  }
+}
+
+} // namespace
+
+MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
+                                         const MustHitOptions &Options) {
+  MustHitReport Report;
+  Report.MM = std::make_unique<MemoryModel>(*CP.P, Options.Cache);
+  Report.BranchCount = CP.Plan.siteCount();
+
+  CacheDomainOptions DomOpts;
+  DomOpts.UseShadow = Options.UseShadow;
+
+  if (!Options.Speculative) {
+    // Baseline Algorithm 1: no virtual control flow at all.
+    CacheDomain D(CP.G, *Report.MM, DomOpts);
+    EngineOptions E;
+    E.UseWidening = Options.UseWidening;
+    E.WideningDelay = Options.WideningDelay;
+    E.MaxIterations = Options.MaxIterations;
+    FixpointResult<CacheDomain> F = runFixpoint(D, CP.G, E, &CP.LI);
+    Report.States.Normal = std::move(F.In);
+    Report.States.PostRollback.assign(CP.G.size(), CacheAbsState::bottom());
+    Report.States.Speculative.assign(CP.G.size(), CacheAbsState::bottom());
+    Report.Iterations = F.Iterations;
+    Report.Converged = F.Converged;
+    classify(CP, D, Report);
+    return Report;
+  }
+
+  // Speculative analysis, optionally with the §6.2 outer refinement:
+  // bounds start at b_miss and shrink to b_hit for sites whose condition
+  // loads are must-hits under the previous (sound) fixpoint.
+  std::vector<uint32_t> Overrides;
+  unsigned Round = 0;
+  while (true) {
+    ++Round;
+    CacheDomain D(CP.G, *Report.MM, DomOpts);
+    SpecEngineOptions E = makeEngineOptions(Options, Overrides);
+    if (Options.IterativeDepthRefinement)
+      E.Bounding = BoundingMode::Fixed; // Bounds come from Overrides.
+    Report.States =
+        runSpeculativeFixpoint(D, CP.G, CP.Plan, E, &CP.LI);
+    Report.Iterations += Report.States.Iterations;
+    Report.Converged = Report.States.Converged;
+    classify(CP, D, Report);
+
+    if (!Options.IterativeDepthRefinement ||
+        Round >= Options.MaxRefinementRounds)
+      break;
+
+    // Derive per-site bounds from this round's classification.
+    std::vector<uint32_t> Next(CP.Plan.siteCount(), Options.DepthMiss);
+    for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
+      const SpecSite &S = CP.Plan.sites()[Site];
+      bool AllHit = !S.CondLoads.empty();
+      for (NodeId Load : S.CondLoads) {
+        if (!Report.Reachable[Load])
+          continue; // Unreachable loads do not widen the window.
+        if (!Report.MustHit[Load]) {
+          AllHit = false;
+          break;
+        }
+      }
+      if (AllHit)
+        Next[Site] = Options.DepthHit;
+    }
+    if (Next == Overrides)
+      break;
+    Overrides = std::move(Next);
+  }
+  Report.RefinementRounds = Round;
+  return Report;
+}

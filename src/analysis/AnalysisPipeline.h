@@ -1,0 +1,115 @@
+//===- AnalysisPipeline.h - Source-to-report drivers ------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end drivers tying the whole stack together, mirroring the
+/// paper's Figure 1 pipeline:
+///
+///   input program -> control flow analysis -> virtual speculative CFG ->
+///   speculative abstract interpretation -> analysis report
+///
+/// `compileSource` runs lexer/parser/sema/lowering and the CFG analyses;
+/// `runMustHitAnalysis` runs the static cache analysis, either the
+/// non-speculative baseline (Algorithm 1) or the speculative lifting
+/// (Algorithms 2/3), including the §6.2 iterative depth refinement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_ANALYSIS_ANALYSISPIPELINE_H
+#define SPECAI_ANALYSIS_ANALYSISPIPELINE_H
+
+#include "ai/SpeculativeEngine.h"
+#include "ai/Vcfg.h"
+#include "cfg/Dominators.h"
+#include "cfg/FlatCfg.h"
+#include "cfg/LoopInfo.h"
+#include "domain/CacheDomain.h"
+#include "ir/Lowering.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace specai {
+
+/// A compiled program with its CFG analyses; owns the Program so the
+/// pointer-holding analyses stay valid.
+struct CompiledProgram {
+  std::unique_ptr<Program> P;
+  FlatCfg G;
+  DominatorTree Dom;
+  DominatorTree Pdom;
+  LoopInfo LI;
+  SpecPlan Plan;
+};
+
+/// Compiles mini-C source through sema, lowering (with inlining and
+/// unrolling) and the CFG analyses. Returns nullptr and fills \p Diags on
+/// error.
+std::unique_ptr<CompiledProgram>
+compileSource(const std::string &Source, DiagnosticEngine &Diags,
+              const LoweringOptions &Options = {});
+
+/// Configuration of one static cache analysis run.
+struct MustHitOptions {
+  CacheConfig Cache = CacheConfig::paperDefault();
+  /// Model speculative execution (the paper's contribution); false gives
+  /// the unsound-under-speculation baseline the evaluation compares with.
+  bool Speculative = true;
+  /// Appendix B shadow variables.
+  bool UseShadow = true;
+  MergeStrategy Strategy = MergeStrategy::JustInTime;
+  uint32_t DepthMiss = 200;
+  uint32_t DepthHit = 20;
+  BoundingMode Bounding = BoundingMode::Dynamic;
+  /// Outer refinement (§6.2): re-run with per-site bounds derived from the
+  /// previous sound fixpoint until stable.
+  bool IterativeDepthRefinement = false;
+  unsigned MaxRefinementRounds = 4;
+  bool UseWidening = false;
+  uint32_t WideningDelay = 8;
+  uint64_t MaxIterations = 200000000;
+};
+
+/// Classification outcome of the static cache analysis.
+struct MustHitReport {
+  /// Cache model used (block naming, geometry).
+  std::unique_ptr<MemoryModel> MM;
+  /// Per-node fixpoint states.
+  SpecResult<CacheDomain> States;
+  /// Per node: reachable in some architectural (normal or post-rollback)
+  /// execution.
+  std::vector<bool> Reachable;
+  /// Per node: memory access guaranteed to hit in every architectural
+  /// execution (only meaningful for access nodes).
+  std::vector<bool> MustHit;
+  /// Per node: executed speculatively on some path and not guaranteed to
+  /// hit there (the paper's speculative misses, masked by the pipeline).
+  std::vector<bool> SpecPossibleMiss;
+  /// Per node: three-way timing classification of the access (MustHit /
+  /// MustMiss / Mixed); only meaningful for reachable access nodes. Used
+  /// by the side-channel detector: only Mixed accesses can leak.
+  std::vector<CacheDomain::AccessClass> Classes;
+
+  // Paper Table 5 counters.
+  uint64_t AccessNodes = 0;
+  uint64_t MissCount = 0;    // #Miss: access nodes that may miss.
+  uint64_t SpMissCount = 0;  // #SpMiss: speculative-only access misses.
+  uint64_t BranchCount = 0;  // #Branch: speculatable branches.
+  uint64_t Iterations = 0;   // Worklist iterations.
+  unsigned RefinementRounds = 1;
+  bool Converged = true;
+};
+
+/// Runs the static cache analysis over \p CP.
+MustHitReport runMustHitAnalysis(const CompiledProgram &CP,
+                                 const MustHitOptions &Options = {});
+
+} // namespace specai
+
+#endif // SPECAI_ANALYSIS_ANALYSISPIPELINE_H

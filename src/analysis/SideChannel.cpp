@@ -1,0 +1,46 @@
+//===- SideChannel.cpp ----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideChannel.h"
+
+using namespace specai;
+
+std::string LeakSite::str(const Program &P) const {
+  std::string Out = "potential leak: secret-indexed access to '";
+  Out += Var < P.Vars.size() ? P.Vars[Var].Name : "<unknown>";
+  Out += "' at node " + std::to_string(Node);
+  if (Loc.isValid())
+    Out += " (line " + Loc.str() + ")";
+  if (SpeculationOnly)
+    Out += " [speculation-induced]";
+  return Out;
+}
+
+SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
+                                      const MustHitReport &R) {
+  SideChannelReport Report;
+  TaintResult Taint = computeTaint(CP.G);
+
+  for (NodeId Node : Taint.SecretIndexedAccesses) {
+    if (!R.Reachable[Node])
+      continue;
+    const Instruction &I = CP.G.inst(Node);
+    // Uniform behavior (guaranteed hit for every possible line, or
+    // guaranteed miss for every possible line) cannot depend on the
+    // secret; only Mixed accesses leak.
+    if (R.Classes[Node] != CacheDomain::AccessClass::Mixed) {
+      ++Report.ProvenLeakFree;
+      continue;
+    }
+    LeakSite Site;
+    Site.Node = Node;
+    Site.Var = I.Var;
+    Site.Loc = I.Loc;
+    Report.Leaks.push_back(Site);
+  }
+  return Report;
+}

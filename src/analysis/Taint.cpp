@@ -1,0 +1,77 @@
+//===- Taint.cpp ----------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Taint.h"
+
+using namespace specai;
+
+TaintResult specai::computeTaint(const FlatCfg &G) {
+  const Program &P = G.program();
+  TaintResult R;
+  R.TaintedRegs.assign(P.NumRegs, false);
+  R.TaintedVars.assign(P.Vars.size(), false);
+
+  for (VarId V = 0; V != P.Vars.size(); ++V)
+    if (P.Vars[V].IsSecret)
+      R.TaintedVars[V] = true;
+  for (const RegGlobal &RG : P.RegGlobals)
+    if (RG.IsSecret && RG.Reg < R.TaintedRegs.size())
+      R.TaintedRegs[RG.Reg] = true;
+
+  // Flow-insensitive closure over loads, moves, ALU ops and stores.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId N = 0; N != G.size(); ++N) {
+      const Instruction &I = G.inst(N);
+      auto OperandTainted = [&](const Operand &Op) {
+        return Op.isReg() && R.TaintedRegs[Op.Reg];
+      };
+      switch (I.Op) {
+      case Opcode::Load:
+        if (R.TaintedVars[I.Var] && !R.TaintedRegs[I.Dst]) {
+          R.TaintedRegs[I.Dst] = true;
+          Changed = true;
+        }
+        break;
+      case Opcode::Mov:
+        if (OperandTainted(I.A) && !R.TaintedRegs[I.Dst]) {
+          R.TaintedRegs[I.Dst] = true;
+          Changed = true;
+        }
+        break;
+      case Opcode::Bin:
+        if ((OperandTainted(I.A) || OperandTainted(I.B)) &&
+            !R.TaintedRegs[I.Dst]) {
+          R.TaintedRegs[I.Dst] = true;
+          Changed = true;
+        }
+        break;
+      case Opcode::Store:
+        if (OperandTainted(I.A) && !R.TaintedVars[I.Var]) {
+          R.TaintedVars[I.Var] = true;
+          Changed = true;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  std::vector<bool> Reach = G.reachable();
+  for (NodeId N = 0; N != G.size(); ++N) {
+    if (!Reach[N])
+      continue;
+    const Instruction &I = G.inst(N);
+    if (!I.accessesMemory())
+      continue;
+    if (I.Index.isReg() && R.TaintedRegs[I.Index.Reg])
+      R.SecretIndexedAccesses.push_back(N);
+  }
+  return R;
+}

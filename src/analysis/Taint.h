@@ -1,0 +1,49 @@
+//===- Taint.h - Secret taint tracking --------------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-insensitive taint analysis seeded by `secret`-qualified variables.
+/// The side-channel detector (paper §2.2, §7.3) flags memory accesses whose
+/// *address* (array index) depends on a secret — e.g. `load ph[k]` with a
+/// secret k, or the AES S-box lookup keyed by the round key.
+/// Flow-insensitivity over-approximates, which errs toward reporting more
+/// candidate accesses, never fewer: sound for leak *detection*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_ANALYSIS_TAINT_H
+#define SPECAI_ANALYSIS_TAINT_H
+
+#include "cfg/FlatCfg.h"
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace specai {
+
+/// Which registers/variables carry secret-derived data, and which access
+/// nodes use a secret-derived address.
+struct TaintResult {
+  std::vector<bool> TaintedRegs;
+  std::vector<bool> TaintedVars;
+  /// Access nodes (Load/Store) whose index operand is tainted.
+  std::vector<NodeId> SecretIndexedAccesses;
+
+  bool isRegTainted(RegId R) const {
+    return R < TaintedRegs.size() && TaintedRegs[R];
+  }
+  bool isVarTainted(VarId V) const {
+    return V < TaintedVars.size() && TaintedVars[V];
+  }
+};
+
+/// Runs the taint closure over \p G's program.
+TaintResult computeTaint(const FlatCfg &G);
+
+} // namespace specai
+
+#endif // SPECAI_ANALYSIS_TAINT_H

@@ -1,0 +1,72 @@
+//===- Wcet.cpp -----------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Wcet.h"
+
+#include <algorithm>
+
+using namespace specai;
+
+WcetReport specai::estimateWcet(const CompiledProgram &CP,
+                                const MustHitReport &R,
+                                const WcetOptions &Options) {
+  WcetReport Out;
+  const FlatCfg &G = CP.G;
+  size_t N = G.size();
+
+  // Per-node worst-case latency.
+  std::vector<uint64_t> Latency(N, 0);
+  for (NodeId Node = 0; Node != N; ++Node) {
+    if (!R.Reachable[Node])
+      continue;
+    const Instruction &I = G.inst(Node);
+    if (I.accessesMemory()) {
+      if (R.MustHit[Node]) {
+        ++Out.MustHitNodes;
+        Latency[Node] = Options.Timing.HitLatency;
+      } else {
+        ++Out.PossibleMissNodes;
+        Latency[Node] = Options.Timing.MissLatency;
+      }
+    } else if (I.Op == Opcode::Br) {
+      Latency[Node] = Options.Timing.BranchResolveLatency;
+    } else {
+      Latency[Node] = Options.Timing.AluLatency;
+    }
+    if (R.SpecPossibleMiss[Node])
+      ++Out.SpeculativeMissNodes;
+  }
+
+  // Longest path over the DAG obtained by charging each loop's body once
+  // and scaling nodes inside loops by the iteration bound. This is a crude
+  // but monotone bound: misses dominate, which is what the experiments
+  // compare.
+  std::vector<uint64_t> Weight(N, 0);
+  for (NodeId Node = 0; Node != N; ++Node) {
+    uint64_t Scale = CP.LI.inAnyLoop(Node) ? Options.LoopIterationBound : 1;
+    Weight[Node] = Latency[Node] * Scale;
+  }
+
+  // Longest path on the DAG of non-back edges in reverse post-order.
+  std::vector<NodeId> Rpo = G.reversePostOrder();
+  std::vector<uint32_t> RpoIndex(N, 0);
+  for (uint32_t I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+  std::vector<uint64_t> Dist(N, 0);
+  uint64_t Best = 0;
+  for (NodeId Node : Rpo) {
+    uint64_t Here = Dist[Node] + Weight[Node];
+    Best = std::max(Best, Here);
+    for (NodeId Succ : G.successors(Node)) {
+      if (RpoIndex[Succ] <= RpoIndex[Node])
+        continue; // Back or cross edge into processed region: skip.
+      Dist[Succ] = std::max(Dist[Succ], Here);
+    }
+  }
+  Out.WorstCaseCycles = Best;
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- CacheSim.cpp -------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheSim.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specai;
+
+LruCache::LruCache(const CacheConfig &Config) : Config(Config) {
+  assert(Config.isValid() && "invalid cache geometry");
+  Sets.resize(Config.numSets());
+}
+
+bool LruCache::access(BlockAddr Block) {
+  auto &Set = Sets[Config.setOf(Block)];
+  auto It = std::find(Set.begin(), Set.end(), Block);
+  if (It != Set.end()) {
+    // Hit: move to the front (most recently used).
+    Set.erase(It);
+    Set.insert(Set.begin(), Block);
+    ++Hits;
+    return true;
+  }
+  // Miss: insert at front, evict the LRU way if the set is over capacity.
+  Set.insert(Set.begin(), Block);
+  if (Set.size() > Config.Associativity)
+    Set.pop_back();
+  ++Misses;
+  return false;
+}
+
+bool LruCache::contains(BlockAddr Block) const {
+  const auto &Set = Sets[Config.setOf(Block)];
+  return std::find(Set.begin(), Set.end(), Block) != Set.end();
+}
+
+uint32_t LruCache::ageOf(BlockAddr Block) const {
+  const auto &Set = Sets[Config.setOf(Block)];
+  auto It = std::find(Set.begin(), Set.end(), Block);
+  if (It == Set.end())
+    return 0;
+  return static_cast<uint32_t>(It - Set.begin()) + 1;
+}
+
+void LruCache::flush() {
+  for (auto &Set : Sets)
+    Set.clear();
+}
+
+size_t LruCache::residentCount() const {
+  size_t Count = 0;
+  for (const auto &Set : Sets)
+    Count += Set.size();
+  return Count;
+}
+
+std::vector<BlockAddr> LruCache::setContents(uint32_t Set) const {
+  assert(Set < Sets.size() && "set index out of range");
+  return Sets[Set];
+}

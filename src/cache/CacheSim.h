@@ -1,0 +1,112 @@
+//===- CacheSim.h - Concrete LRU cache simulator ----------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete set-associative LRU cache simulator keyed by global line
+/// (block) addresses. The paper's configuration — 512 lines of 64 bytes,
+/// fully associative, LRU (Alpha 21264-style data cache) — is the default.
+/// This simulator is the ground truth against which the abstract analysis
+/// is validated: every access the MUST analysis calls a hit must hit here,
+/// in every execution, speculative windows included.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_CACHE_CACHESIM_H
+#define SPECAI_CACHE_CACHESIM_H
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specai {
+
+/// A global cache line (block) address: byte address / line size.
+using BlockAddr = uint64_t;
+
+/// Geometry of the modeled data cache.
+struct CacheConfig {
+  /// Bytes per line.
+  uint32_t LineSize = 64;
+  /// Total number of lines.
+  uint32_t NumLines = 512;
+  /// Ways per set; NumLines means fully associative.
+  uint32_t Associativity = 512;
+
+  uint32_t numSets() const {
+    return Associativity == 0 ? 1 : NumLines / Associativity;
+  }
+  uint32_t setOf(BlockAddr Block) const { return Block % numSets(); }
+  uint64_t totalBytes() const {
+    return static_cast<uint64_t>(LineSize) * NumLines;
+  }
+
+  /// The paper's evaluation cache: 512 lines x 64 B, fully associative, LRU
+  /// (32 KB).
+  static CacheConfig paperDefault() { return CacheConfig{64, 512, 512}; }
+  static CacheConfig fullyAssociative(uint32_t Lines, uint32_t LineSize = 64) {
+    return CacheConfig{LineSize, Lines, Lines};
+  }
+  static CacheConfig setAssociative(uint32_t Lines, uint32_t Ways,
+                                    uint32_t LineSize = 64) {
+    return CacheConfig{LineSize, Lines, Ways};
+  }
+
+  /// True when the geometry is consistent (associativity divides lines,
+  /// power framework not required).
+  bool isValid() const {
+    return LineSize > 0 && NumLines > 0 && Associativity > 0 &&
+           Associativity <= NumLines && NumLines % Associativity == 0;
+  }
+};
+
+/// Concrete LRU cache. Each set keeps its lines in recency order.
+class LruCache {
+public:
+  explicit LruCache(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+
+  /// Touches \p Block: returns true on hit. On miss the block is inserted
+  /// and the LRU way of its set is evicted if the set is full.
+  bool access(BlockAddr Block);
+
+  /// True if \p Block is currently resident.
+  bool contains(BlockAddr Block) const;
+
+  /// LRU age of \p Block within its set: 1 = most recently used, ...,
+  /// Associativity = least recently used; 0 if absent.
+  uint32_t ageOf(BlockAddr Block) const;
+
+  /// Removes every line.
+  void flush();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  void resetStats() {
+    Hits = 0;
+    Misses = 0;
+  }
+
+  /// Number of resident lines across all sets.
+  size_t residentCount() const;
+
+  /// Resident blocks of one set in recency order (youngest first).
+  std::vector<BlockAddr> setContents(uint32_t Set) const;
+
+private:
+  CacheConfig Config;
+  /// Per set: blocks in recency order, youngest at front.
+  std::vector<std::vector<BlockAddr>> Sets;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace specai
+
+#endif // SPECAI_CACHE_CACHESIM_H

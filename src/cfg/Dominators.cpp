@@ -1,0 +1,169 @@
+//===- Dominators.cpp -----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specai;
+
+// The CHK algorithm needs, per direction:
+//  - a root set (entry, or all exits for the post variant),
+//  - forward edges (succs, or preds for post),
+//  - backward edges (preds, or succs for post),
+//  - a reverse post order of the traversal direction.
+DominatorTree DominatorTree::computeImpl(const FlatCfg &G, bool Post) {
+  size_t N = G.size();
+  DominatorTree T;
+  T.Idom.assign(N, InvalidNode);
+  T.Depth.assign(N, -1);
+  if (N == 0)
+    return T;
+
+  std::vector<NodeId> Roots;
+  if (Post) {
+    Roots = G.exits();
+    if (Roots.empty())
+      return T; // No exits: nothing post-dominates anything.
+  } else {
+    Roots.push_back(G.entry());
+  }
+
+  auto Forward = [&](NodeId Node) -> const std::vector<NodeId> & {
+    return Post ? G.predecessors(Node) : G.successors(Node);
+  };
+  auto Backward = [&](NodeId Node) -> const std::vector<NodeId> & {
+    return Post ? G.successors(Node) : G.predecessors(Node);
+  };
+
+  // Post order over the traversal direction from all roots.
+  std::vector<NodeId> Order;
+  {
+    std::vector<uint8_t> State(N, 0);
+    std::vector<std::pair<NodeId, size_t>> Stack;
+    for (NodeId Root : Roots) {
+      if (State[Root] != 0)
+        continue;
+      Stack.push_back({Root, 0});
+      State[Root] = 1;
+      while (!Stack.empty()) {
+        auto &[Node, NextIdx] = Stack.back();
+        const auto &Next = Forward(Node);
+        if (NextIdx == Next.size()) {
+          State[Node] = 2;
+          Order.push_back(Node);
+          Stack.pop_back();
+          continue;
+        }
+        NodeId Succ = Next[NextIdx++];
+        if (State[Succ] == 0) {
+          State[Succ] = 1;
+          Stack.push_back({Succ, 0});
+        }
+      }
+    }
+  }
+  std::vector<NodeId> Rpo(Order.rbegin(), Order.rend());
+
+  std::vector<int32_t> RpoNumber(N, -1);
+  for (size_t I = 0; I != Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = static_cast<int32_t>(I);
+
+  // Multiple roots (post-dominators with several Ret nodes) are handled by
+  // making each root its own idom; intersect() stops at roots.
+  std::vector<bool> IsRoot(N, false);
+  for (NodeId Root : Roots) {
+    IsRoot[Root] = true;
+    T.Idom[Root] = Root; // Temporarily self, cleared at the end.
+  }
+
+  auto Intersect = [&](NodeId A, NodeId B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B]) {
+        if (T.Idom[A] == A)
+          return InvalidNode; // Hit a root from one side.
+        A = T.Idom[A];
+      }
+      while (RpoNumber[B] > RpoNumber[A]) {
+        if (T.Idom[B] == B)
+          return InvalidNode;
+        B = T.Idom[B];
+      }
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId Node : Rpo) {
+      if (IsRoot[Node])
+        continue;
+      NodeId NewIdom = InvalidNode;
+      for (NodeId Pred : Backward(Node)) {
+        if (T.Idom[Pred] == InvalidNode && !IsRoot[Pred])
+          continue; // Unprocessed or unreachable.
+        if (RpoNumber[Pred] < 0)
+          continue;
+        if (NewIdom == InvalidNode) {
+          NewIdom = Pred;
+          continue;
+        }
+        NodeId Met = Intersect(Pred, NewIdom);
+        // When two candidates only meet "above" different roots, there is
+        // no common (post-)dominator below the virtual root; record the
+        // virtual root by keeping InvalidNode.
+        NewIdom = Met;
+        if (NewIdom == InvalidNode)
+          break;
+      }
+      if (NewIdom != InvalidNode && T.Idom[Node] != NewIdom) {
+        T.Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Roots point at InvalidNode (the virtual super-root).
+  for (NodeId Root : Roots)
+    T.Idom[Root] = InvalidNode;
+
+  // Depths for dominance queries.
+  // Compute iteratively in RPO: a node's idom always precedes it.
+  for (NodeId Node : Rpo) {
+    if (IsRoot[Node]) {
+      T.Depth[Node] = 0;
+      continue;
+    }
+    NodeId Up = T.Idom[Node];
+    if (Up != InvalidNode && T.Depth[Up] >= 0)
+      T.Depth[Node] = T.Depth[Up] + 1;
+  }
+
+  return T;
+}
+
+DominatorTree DominatorTree::compute(const FlatCfg &G) {
+  return computeImpl(G, /*Post=*/false);
+}
+
+DominatorTree DominatorTree::computePost(const FlatCfg &G) {
+  return computeImpl(G, /*Post=*/true);
+}
+
+bool DominatorTree::dominates(NodeId A, NodeId B) const {
+  assert(A < Idom.size() && B < Idom.size());
+  if (Depth[A] < 0 || Depth[B] < 0)
+    return false;
+  while (Depth[B] > Depth[A]) {
+    B = Idom[B];
+    if (B == InvalidNode)
+      return false;
+  }
+  return A == B;
+}

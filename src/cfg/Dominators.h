@@ -1,0 +1,55 @@
+//===- Dominators.h - Dominator and post-dominator trees --------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator computation over the flat CFG using the
+/// Cooper-Harvey-Kennedy iterative algorithm. The speculative engine uses
+/// post-dominators to place the merge point of post-rollback states (the
+/// control-flow join below a speculated branch, paper Figure 7's bb4), and
+/// dominators to identify natural-loop back edges for widening.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_CFG_DOMINATORS_H
+#define SPECAI_CFG_DOMINATORS_H
+
+#include "cfg/FlatCfg.h"
+
+#include <vector>
+
+namespace specai {
+
+/// Immediate-dominator tree over a FlatCfg.
+class DominatorTree {
+public:
+  /// Computes dominators from the CFG entry.
+  static DominatorTree compute(const FlatCfg &G);
+  /// Computes post-dominators (dominators of the reversed CFG rooted at a
+  /// virtual exit covering all Ret nodes). Nodes with no path to any exit
+  /// (infinite loops) get InvalidNode as their immediate post-dominator.
+  static DominatorTree computePost(const FlatCfg &G);
+
+  /// Immediate (post-)dominator of \p N; InvalidNode for the root(s) and
+  /// unreachable nodes.
+  NodeId idom(NodeId N) const { return Idom[N]; }
+
+  /// True if \p A (post-)dominates \p B (reflexive).
+  bool dominates(NodeId A, NodeId B) const;
+
+  size_t size() const { return Idom.size(); }
+
+private:
+  static DominatorTree computeImpl(const FlatCfg &G, bool Post);
+
+  std::vector<NodeId> Idom;
+  /// Depth of each node in the dominator tree (root = 0); -1 unreachable.
+  std::vector<int32_t> Depth;
+};
+
+} // namespace specai
+
+#endif // SPECAI_CFG_DOMINATORS_H

@@ -1,0 +1,112 @@
+//===- FlatCfg.cpp --------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/FlatCfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specai;
+
+FlatCfg FlatCfg::build(const Program &P) {
+  FlatCfg G;
+  G.P = &P;
+
+  G.BlockStarts.resize(P.Blocks.size());
+  for (BlockId B = 0; B != P.Blocks.size(); ++B) {
+    G.BlockStarts[B] = static_cast<NodeId>(G.Locs.size());
+    for (uint32_t I = 0; I != P.Blocks[B].Insts.size(); ++I)
+      G.Locs.emplace_back(B, I);
+  }
+
+  size_t N = G.Locs.size();
+  G.Succs.resize(N);
+  G.Preds.resize(N);
+
+  auto AddEdge = [&](NodeId From, NodeId To) {
+    G.Succs[From].push_back(To);
+    G.Preds[To].push_back(From);
+  };
+
+  for (NodeId Node = 0; Node != N; ++Node) {
+    const Instruction &I = G.inst(Node);
+    switch (I.Op) {
+    case Opcode::Br:
+      AddEdge(Node, G.blockStart(I.TrueTarget));
+      if (I.FalseTarget != I.TrueTarget)
+        AddEdge(Node, G.blockStart(I.FalseTarget));
+      break;
+    case Opcode::Jmp:
+      AddEdge(Node, G.blockStart(I.TrueTarget));
+      break;
+    case Opcode::Ret:
+      G.ExitNodes.push_back(Node);
+      break;
+    default:
+      assert(!I.isTerminator() && "unknown terminator");
+      AddEdge(Node, Node + 1);
+      break;
+    }
+  }
+
+  G.EntryNode = G.blockStart(Program::EntryBlock);
+  return G;
+}
+
+std::vector<NodeId> FlatCfg::reversePostOrder() const {
+  std::vector<NodeId> Order;
+  std::vector<uint8_t> State(size(), 0); // 0=unvisited 1=on-stack 2=done
+  // Iterative post-order DFS.
+  std::vector<std::pair<NodeId, size_t>> Stack;
+  Stack.push_back({EntryNode, 0});
+  State[EntryNode] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    if (NextSucc == Succs[Node].size()) {
+      State[Node] = 2;
+      Order.push_back(Node);
+      Stack.pop_back();
+      continue;
+    }
+    NodeId Succ = Succs[Node][NextSucc++];
+    if (State[Succ] == 0) {
+      State[Succ] = 1;
+      Stack.push_back({Succ, 0});
+    }
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::vector<bool> FlatCfg::reachable() const {
+  std::vector<bool> Seen(size(), false);
+  std::vector<NodeId> Stack{EntryNode};
+  Seen[EntryNode] = true;
+  while (!Stack.empty()) {
+    NodeId Node = Stack.back();
+    Stack.pop_back();
+    for (NodeId Succ : Succs[Node]) {
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Stack.push_back(Succ);
+      }
+    }
+  }
+  return Seen;
+}
+
+std::string FlatCfg::str() const {
+  std::string Out;
+  for (NodeId Node = 0; Node != size(); ++Node) {
+    Out += std::to_string(Node) + ": bb" + std::to_string(blockOf(Node)) +
+           "[" + std::to_string(instIndexOf(Node)) + "] ->";
+    for (NodeId Succ : Succs[Node])
+      Out += " " + std::to_string(Succ);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- FlatCfg.h - Instruction-level control flow graph ---------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's virtual control flow operates at instruction granularity —
+/// "the roll-back point is non-deterministic; we assume it may occur at any
+/// moment within the maximum speculation depth" — so the analyses run over a
+/// flattened CFG with one node per instruction. Speculation depth is then
+/// simply a hop count over this graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_CFG_FLATCFG_H
+#define SPECAI_CFG_FLATCFG_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specai {
+
+/// Node index into a FlatCfg.
+using NodeId = uint32_t;
+inline constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
+
+/// One node per instruction; edges follow fallthrough, jumps, and both
+/// branch directions.
+class FlatCfg {
+public:
+  /// Builds the flat CFG of \p P. The Program must outlive the FlatCfg.
+  static FlatCfg build(const Program &P);
+
+  const Program &program() const { return *P; }
+  size_t size() const { return Locs.size(); }
+  NodeId entry() const { return EntryNode; }
+
+  const Instruction &inst(NodeId N) const {
+    return P->Blocks[Locs[N].first].Insts[Locs[N].second];
+  }
+  BlockId blockOf(NodeId N) const { return Locs[N].first; }
+  uint32_t instIndexOf(NodeId N) const { return Locs[N].second; }
+
+  /// First node of a basic block.
+  NodeId blockStart(BlockId B) const { return BlockStarts[B]; }
+  /// Node for a (block, instruction) pair.
+  NodeId nodeAt(BlockId B, uint32_t InstIdx) const {
+    return BlockStarts[B] + InstIdx;
+  }
+
+  const std::vector<NodeId> &successors(NodeId N) const { return Succs[N]; }
+  const std::vector<NodeId> &predecessors(NodeId N) const { return Preds[N]; }
+  const std::vector<NodeId> &exits() const { return ExitNodes; }
+
+  /// Reverse post order from the entry; unreachable nodes are absent.
+  std::vector<NodeId> reversePostOrder() const;
+
+  /// Nodes reachable from the entry.
+  std::vector<bool> reachable() const;
+
+  /// Renders "n: bbX[i] <inst>" per node, for debugging.
+  std::string str() const;
+
+private:
+  const Program *P = nullptr;
+  std::vector<std::pair<BlockId, uint32_t>> Locs;
+  std::vector<NodeId> BlockStarts;
+  std::vector<std::vector<NodeId>> Succs;
+  std::vector<std::vector<NodeId>> Preds;
+  std::vector<NodeId> ExitNodes;
+  NodeId EntryNode = 0;
+};
+
+} // namespace specai
+
+#endif // SPECAI_CFG_FLATCFG_H

@@ -1,0 +1,71 @@
+//===- LoopInfo.cpp -------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace specai;
+
+LoopInfo LoopInfo::compute(const FlatCfg &G, const DominatorTree &Dom) {
+  LoopInfo LI;
+  size_t N = G.size();
+  LI.Headers.assign(N, false);
+  LI.InLoop.assign(N, false);
+
+  std::vector<bool> Reach = G.reachable();
+
+  // Back edge: Node -> Header where Header dominates Node. Collect latch
+  // sets per header so loops sharing a header merge.
+  std::map<NodeId, std::vector<NodeId>> Latches;
+  for (NodeId Node = 0; Node != N; ++Node) {
+    if (!Reach[Node])
+      continue;
+    for (NodeId Succ : G.successors(Node))
+      if (Dom.dominates(Succ, Node))
+        Latches[Succ].push_back(Node);
+  }
+
+  for (auto &[Header, LatchList] : Latches) {
+    Loop L;
+    L.Header = Header;
+    LI.Headers[Header] = true;
+
+    // Standard natural-loop body computation: walk predecessors backward
+    // from each latch until the header.
+    std::vector<bool> InBody(N, false);
+    InBody[Header] = true;
+    std::vector<NodeId> Stack;
+    for (NodeId Latch : LatchList) {
+      if (!InBody[Latch]) {
+        InBody[Latch] = true;
+        Stack.push_back(Latch);
+      }
+    }
+    while (!Stack.empty()) {
+      NodeId Node = Stack.back();
+      Stack.pop_back();
+      for (NodeId Pred : G.predecessors(Node)) {
+        if (!Reach[Pred] || InBody[Pred])
+          continue;
+        InBody[Pred] = true;
+        Stack.push_back(Pred);
+      }
+    }
+
+    for (NodeId Node = 0; Node != N; ++Node) {
+      if (InBody[Node]) {
+        L.Body.push_back(Node);
+        LI.InLoop[Node] = true;
+      }
+    }
+    LI.Loops.push_back(std::move(L));
+  }
+
+  return LI;
+}

@@ -1,0 +1,55 @@
+//===- LoopInfo.h - Natural loop detection ----------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection over the flat CFG. The engines widen at loop
+/// headers (paper §6.3: "loops with fixed iteration number will be fully
+/// unrolled; only unresolved loops will be widened" — unrolling happens in
+/// lowering, so any loop surviving to this point is "unresolved").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_CFG_LOOPINFO_H
+#define SPECAI_CFG_LOOPINFO_H
+
+#include "cfg/Dominators.h"
+#include "cfg/FlatCfg.h"
+
+#include <vector>
+
+namespace specai {
+
+/// One natural loop: header plus body nodes (header included).
+struct Loop {
+  NodeId Header = InvalidNode;
+  std::vector<NodeId> Body;
+};
+
+/// Loops of a flat CFG; loops sharing a header are merged.
+class LoopInfo {
+public:
+  static LoopInfo compute(const FlatCfg &G, const DominatorTree &Dom);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// True if \p N is the header of some natural loop.
+  bool isHeader(NodeId N) const { return N < Headers.size() && Headers[N]; }
+
+  /// True if \p N belongs to any loop.
+  bool inAnyLoop(NodeId N) const { return N < InLoop.size() && InLoop[N]; }
+
+  size_t loopCount() const { return Loops.size(); }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<bool> Headers;
+  std::vector<bool> InLoop;
+};
+
+} // namespace specai
+
+#endif // SPECAI_CFG_LOOPINFO_H

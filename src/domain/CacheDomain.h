@@ -1,0 +1,103 @@
+//===- CacheDomain.h - Engine adapter for the cache domain ------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binds the abstract cache state to a concrete Program: interprets Load
+/// and Store nodes (known-index accesses touch their exact block, unknown
+/// indices take the conservative transfer with a fresh symbolic instance),
+/// and answers must-hit classification queries. This is the Domain the
+/// worklist engines (Algorithms 1-3) are instantiated with for every
+/// experiment in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_DOMAIN_CACHEDOMAIN_H
+#define SPECAI_DOMAIN_CACHEDOMAIN_H
+
+#include "cfg/FlatCfg.h"
+#include "domain/CacheState.h"
+#include "memory/MemoryModel.h"
+
+#include <vector>
+
+namespace specai {
+
+/// Options of the cache domain.
+struct CacheDomainOptions {
+  /// Appendix B shadow-variable refinement (on by default; Figure 11/13).
+  bool UseShadow = true;
+};
+
+/// Engine-facing cache domain. Holds per-array instance counters, so it is
+/// stateful across transfer applications (the paper's decis_lev[1*],
+/// decis_lev[2*] successive nondeterministic picks).
+class CacheDomain {
+public:
+  using State = CacheAbsState;
+
+  CacheDomain(const FlatCfg &G, const MemoryModel &MM,
+              CacheDomainOptions Options = {})
+      : G(&G), MM(&MM), Options(Options),
+        InstanceCounters(MM.program().Vars.size(), 0) {}
+
+  State bottom() const { return State::bottom(); }
+  /// Entry state: empty cache (top of the MUST lattice).
+  State entry() const { return State::empty(); }
+  bool isBottom(const State &S) const { return S.isBottom(); }
+
+  /// Applies node \p N's effect to \p S. Only Load/Store nodes touch the
+  /// state.
+  void transfer(State &S, NodeId N);
+
+  /// this ⊔= From; true iff changed.
+  bool joinInto(State &Into, const State &From) const {
+    return Into.joinInto(From, Options.UseShadow);
+  }
+
+  void widen(State &Cur, const State &Prev) const {
+    Cur.widenFrom(Prev, MM->config().Associativity);
+  }
+
+  /// True iff node \p N is a memory access that is a guaranteed cache hit
+  /// in state \p S (evaluated on the state *before* the access). Unknown
+  /// indices must-hit only when every line of the array is resident.
+  bool isMustHit(const State &S, NodeId N) const;
+
+  /// Three-way classification used by the side-channel detector: an access
+  /// is timing-uniform when it is a guaranteed hit or a guaranteed miss
+  /// for every line it could touch; only Mixed accesses can leak. MustMiss
+  /// is certified through the MAY (shadow) set — a block absent from MAY
+  /// is not cached on any path — and therefore only available when the
+  /// shadow refinement is enabled.
+  enum class AccessClass { MustHit, MustMiss, Mixed };
+  AccessClass classifyAccess(const State &S, NodeId N) const;
+
+  /// True iff \p N accesses memory at all.
+  bool accessesMemory(NodeId N) const {
+    return G->inst(N).accessesMemory();
+  }
+
+  const MemoryModel &memoryModel() const { return *MM; }
+  const FlatCfg &cfg() const { return *G; }
+  const CacheDomainOptions &options() const { return Options; }
+
+  /// Resets the symbolic-instance counters (between independent runs).
+  void resetInstances() {
+    std::fill(InstanceCounters.begin(), InstanceCounters.end(), 0);
+  }
+
+private:
+  const FlatCfg *G;
+  const MemoryModel *MM;
+  CacheDomainOptions Options;
+  /// Per array: next symbolic instance ordinal.
+  std::vector<uint64_t> InstanceCounters;
+};
+
+} // namespace specai
+
+#endif // SPECAI_DOMAIN_CACHEDOMAIN_H

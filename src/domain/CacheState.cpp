@@ -1,0 +1,295 @@
+//===- CacheState.cpp -----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domain/CacheState.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <map>
+
+using namespace specai;
+
+namespace {
+
+/// Binary search for a block in a sorted AgedBlock vector; returns the
+/// iterator (end if absent is signaled by block mismatch).
+std::vector<AgedBlock>::const_iterator find(const std::vector<AgedBlock> &Vec,
+                                            BlockAddr Block) {
+  auto It = std::lower_bound(
+      Vec.begin(), Vec.end(), Block,
+      [](const AgedBlock &E, BlockAddr B) { return E.Block < B; });
+  if (It != Vec.end() && It->Block == Block)
+    return It;
+  return Vec.end();
+}
+
+/// Inserts or overwrites (Block -> Age), keeping the vector sorted.
+void setAge(std::vector<AgedBlock> &Vec, BlockAddr Block, uint16_t Age) {
+  auto It = std::lower_bound(
+      Vec.begin(), Vec.end(), Block,
+      [](const AgedBlock &E, BlockAddr B) { return E.Block < B; });
+  if (It != Vec.end() && It->Block == Block) {
+    It->Age = Age;
+    return;
+  }
+  Vec.insert(It, AgedBlock{Block, Age});
+}
+
+} // namespace
+
+uint32_t CacheAbsState::mustAge(BlockAddr Block, uint32_t Assoc) const {
+  auto It = find(Must, Block);
+  return It == Must.end() ? Assoc + 1 : It->Age;
+}
+
+uint32_t CacheAbsState::mayAge(BlockAddr Block, uint32_t Assoc) const {
+  auto It = find(May, Block);
+  return It == May.end() ? Assoc + 1 : It->Age;
+}
+
+bool CacheAbsState::isMustCached(BlockAddr Block) const {
+  return find(Must, Block) != Must.end();
+}
+
+void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
+                                bool UseShadow) {
+  assert(!Bottom && "transfer on bottom state");
+  uint32_t Assoc = MM.config().Associativity;
+  uint32_t Set = MM.setOf(Block);
+  uint32_t VMustOld = mustAge(Block, Assoc);
+  uint32_t VMayOld = mayAge(Block, Assoc);
+
+  if (UseShadow) {
+    // MAY (shadow) update first, Appendix B: ∃u with Age(∃u) <= Age(∃v)
+    // ages by one; older shadows keep their age.
+    for (size_t I = 0; I != May.size();) {
+      AgedBlock &U = May[I];
+      if (U.Block != Block && MM.setOf(U.Block) == Set && U.Age <= VMayOld) {
+        if (++U.Age > Assoc) {
+          May.erase(May.begin() + static_cast<ptrdiff_t>(I));
+          continue; // Do not advance; erased current element.
+        }
+      }
+      ++I;
+    }
+    setAge(May, Block, 1);
+  }
+
+  // MUST update. With shadows, the refined rule (Appendix B): u ages only
+  // when at least Age(u) shadow blocks (other than u) are at least as young
+  // as u — otherwise younger lines cannot fill u's set far enough to push
+  // it out one position.
+  for (size_t I = 0; I != Must.size();) {
+    AgedBlock &U = Must[I];
+    bool SameSet = U.Block != Block && MM.setOf(U.Block) == Set;
+    if (SameSet && U.Age < VMustOld) {
+      bool ShouldAge = true;
+      if (UseShadow) {
+        uint32_t NYoung = 0;
+        for (const AgedBlock &W : May) {
+          if (W.Block == U.Block || MM.setOf(W.Block) != Set)
+            continue;
+          if (W.Age <= U.Age)
+            ++NYoung;
+        }
+        ShouldAge = NYoung >= U.Age;
+      }
+      if (ShouldAge && ++U.Age > Assoc) {
+        Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+        continue;
+      }
+    }
+    ++I;
+  }
+  setAge(Must, Block, 1);
+}
+
+void CacheAbsState::accessUnknown(VarId Var, uint64_t InstanceK,
+                                  const MemoryModel &MM, bool UseShadow) {
+  assert(!Bottom && "transfer on bottom state");
+  uint32_t Assoc = MM.config().Associativity;
+  std::vector<uint32_t> Sets = MM.setsOf(Var);
+  auto InCandidateSet = [&](BlockAddr Block) {
+    uint32_t Set = MM.setOf(Block);
+    return std::binary_search(Sets.begin(), Sets.end(), Set);
+  };
+
+  // Guaranteed-hit refinement (paper §2.2's ph[k]): when every line of the
+  // array is provably resident, the access hits some line of age at most
+  // MaxAge; only strictly younger blocks can age, and nothing is evicted.
+  std::vector<BlockAddr> ArrayBlocks = MM.blocksOf(Var);
+  uint32_t MaxAge = 0;
+  bool AllCached = true;
+  for (BlockAddr Block : ArrayBlocks) {
+    uint32_t Age = mustAge(Block, Assoc);
+    if (Age > Assoc) {
+      AllCached = false;
+      break;
+    }
+    MaxAge = std::max(MaxAge, Age);
+  }
+
+  if (AllCached) {
+    for (AgedBlock &U : Must)
+      if (InCandidateSet(U.Block) && U.Age < MaxAge)
+        ++U.Age; // Stays <= MaxAge <= Assoc: a hit evicts nothing.
+  } else {
+    // Conservative MUST aging: the unknown line may be a miss in any
+    // candidate set, displacing one position everywhere.
+    for (size_t I = 0; I != Must.size();) {
+      AgedBlock &U = Must[I];
+      if (InCandidateSet(U.Block)) {
+        if (++U.Age > Assoc) {
+          Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+          continue;
+        }
+      }
+      ++I;
+    }
+    // The nondeterministically picked fresh line (decis_levl[k*]).
+    BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
+    setAge(Must, Instance, 1);
+  }
+
+  if (UseShadow) {
+    // Any line of the array may now be the youngest in its set.
+    for (BlockAddr Block : ArrayBlocks)
+      setAge(May, Block, 1);
+    if (!AllCached)
+      setAge(May, MM.symbolicBlock(Var, InstanceK), 1);
+  }
+}
+
+bool CacheAbsState::joinInto(const CacheAbsState &From, bool UseShadow) {
+  if (From.Bottom)
+    return false;
+  if (Bottom) {
+    *this = From;
+    if (!UseShadow)
+      May.clear();
+    return true;
+  }
+
+  bool Changed = false;
+
+  // MUST: key intersection, max age.
+  {
+    std::vector<AgedBlock> Out;
+    Out.reserve(std::min(Must.size(), From.Must.size()));
+    size_t I = 0, J = 0;
+    while (I != Must.size() && J != From.Must.size()) {
+      if (Must[I].Block < From.Must[J].Block) {
+        ++I;
+        Changed = true; // Entry dropped.
+      } else if (Must[I].Block > From.Must[J].Block) {
+        ++J;
+      } else {
+        uint16_t Age = std::max(Must[I].Age, From.Must[J].Age);
+        if (Age != Must[I].Age)
+          Changed = true;
+        Out.push_back(AgedBlock{Must[I].Block, Age});
+        ++I;
+        ++J;
+      }
+    }
+    if (I != Must.size())
+      Changed = true; // Tail dropped.
+    Must = std::move(Out);
+  }
+
+  // MAY: key union, min age.
+  if (UseShadow) {
+    std::vector<AgedBlock> Out;
+    Out.reserve(May.size() + From.May.size());
+    size_t I = 0, J = 0;
+    while (I != May.size() || J != From.May.size()) {
+      if (J == From.May.size() ||
+          (I != May.size() && May[I].Block < From.May[J].Block)) {
+        Out.push_back(May[I]);
+        ++I;
+      } else if (I == May.size() || May[I].Block > From.May[J].Block) {
+        Out.push_back(From.May[J]);
+        Changed = true; // New shadow entry.
+        ++J;
+      } else {
+        uint16_t Age = std::min(May[I].Age, From.May[J].Age);
+        if (Age != May[I].Age)
+          Changed = true;
+        Out.push_back(AgedBlock{May[I].Block, Age});
+        ++I;
+        ++J;
+      }
+    }
+    May = std::move(Out);
+  }
+
+  return Changed;
+}
+
+bool CacheAbsState::leq(const CacheAbsState &RHS, uint32_t Assoc) const {
+  if (Bottom)
+    return true;
+  if (RHS.Bottom)
+    return false;
+  // MUST ages are upper bounds and join takes max, so larger ages sit
+  // higher in the lattice: S ⊑ S' iff ∀b mustAge_S(b) <= mustAge_S'(b).
+  // Blocks RHS does not track have age Assoc+1 there, which dominates
+  // everything, so only RHS's tracked blocks need checking.
+  for (const AgedBlock &E : RHS.Must)
+    if (mustAge(E.Block, Assoc) > E.Age)
+      return false;
+  // MAY ages are lower bounds with min-join: S ⊑ S' iff
+  // ∀b mayAge_S(b) >= mayAge_S'(b); untracked blocks on our side are
+  // Assoc+1 and dominate.
+  for (const AgedBlock &E : May)
+    if (E.Age < RHS.mayAge(E.Block, Assoc))
+      return false;
+  return true;
+}
+
+void CacheAbsState::widenFrom(const CacheAbsState &Prev, uint32_t Assoc) {
+  if (Bottom || Prev.Bottom)
+    return;
+  // Evict MUST entries whose age grew since the previous iterate.
+  std::vector<AgedBlock> Out;
+  Out.reserve(Must.size());
+  for (const AgedBlock &E : Must) {
+    uint32_t PrevAge = Prev.mustAge(E.Block, Assoc);
+    if (PrevAge <= Assoc && E.Age > PrevAge)
+      continue; // Growing: widen to evicted.
+    Out.push_back(E);
+  }
+  Must = std::move(Out);
+  // MAY ages descend toward 1 on a finite ladder; no acceleration needed.
+}
+
+std::string CacheAbsState::str(const MemoryModel &MM) const {
+  if (Bottom)
+    return "⊥";
+  uint32_t Assoc = MM.config().Associativity;
+  // Group by age, youngest first, like the paper's tables.
+  std::map<uint32_t, std::vector<std::string>> ByAge;
+  for (const AgedBlock &E : Must)
+    ByAge[E.Age].push_back(MM.blockName(E.Block));
+  for (const AgedBlock &E : May)
+    ByAge[E.Age].push_back("∃" + MM.blockName(E.Block));
+  (void)Assoc;
+  std::string Out = "{";
+  bool FirstGroup = true;
+  for (auto &[Age, Names] : ByAge) {
+    std::sort(Names.begin(), Names.end());
+    for (const std::string &Name : Names) {
+      if (!FirstGroup)
+        Out += ", ";
+      FirstGroup = false;
+      Out += Name + "@" + std::to_string(Age);
+    }
+  }
+  Out += "}";
+  return Out;
+}

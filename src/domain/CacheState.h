@@ -1,0 +1,118 @@
+//===- CacheState.h - Abstract LRU cache states -----------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract cache state of the paper's static MUST-HIT analysis (§4,
+/// Appendix A) with the optional shadow-variable refinement (Appendix B):
+///
+///  - MUST entries: per block, an upper bound on its LRU age within its
+///    cache set; a block is tracked only while that bound is <= the set
+///    associativity (i.e. provably resident). Join is element-wise max over
+///    the key intersection; the entry state (empty cache, everything out)
+///    is the analysis top.
+///  - MAY (shadow) entries: per block, a lower bound on the youngest age it
+///    can have along *some* path (the paper's ∃v). Join is element-wise min
+///    over the key union. The MAY ages refine the MUST aging rule: u only
+///    ages if NYoung(u) >= Age(u), where NYoung counts shadow entries at
+///    least as young as u (Appendix B.1.1) — this is what keeps `a` cached
+///    in the paper's Figure 11/13 loop.
+///
+/// Set-associative caches are handled per set: an access only ages blocks
+/// mapped to the same set, and ages range over [1, associativity].
+///
+/// Accesses with statically unknown element indices are conservative: every
+/// tracked block in any set the array can touch ages by one (the unknown
+/// line may evict any of them), a fresh symbolic instance block (the
+/// paper's `decis_lev[k*]`) is inserted, and on the MAY side every line of
+/// the array may now be youngest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_DOMAIN_CACHESTATE_H
+#define SPECAI_DOMAIN_CACHESTATE_H
+
+#include "memory/MemoryModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// One tracked (block, age) pair; kept sorted by block.
+struct AgedBlock {
+  BlockAddr Block;
+  uint16_t Age;
+
+  bool operator==(const AgedBlock &RHS) const = default;
+};
+
+/// Abstract cache state: MUST ages plus optional MAY (shadow) ages.
+class CacheAbsState {
+public:
+  /// The unreachable state (join identity).
+  static CacheAbsState bottom() {
+    CacheAbsState S;
+    S.Bottom = true;
+    return S;
+  }
+  /// The empty-cache state: every block out of cache. This is the entry
+  /// state and the analysis top.
+  static CacheAbsState empty() { return CacheAbsState(); }
+
+  bool isBottom() const { return Bottom; }
+
+  /// MUST age upper bound of \p Block; \p Assoc + 1 when not provably
+  /// resident.
+  uint32_t mustAge(BlockAddr Block, uint32_t Assoc) const;
+  /// MAY age lower bound of \p Block; \p Assoc + 1 when the block is not in
+  /// cache on any path.
+  uint32_t mayAge(BlockAddr Block, uint32_t Assoc) const;
+
+  /// True iff \p Block is provably resident (MUST age <= associativity).
+  bool isMustCached(BlockAddr Block) const;
+
+  /// Applies the transfer function for an access to a statically known
+  /// block (paper §4.2 / Appendix B.1.1 when \p UseShadow).
+  void accessBlock(BlockAddr Block, const MemoryModel &MM, bool UseShadow);
+
+  /// Applies the conservative transfer for an access to array \p Var with
+  /// an unknown element index; \p InstanceK selects the symbolic instance
+  /// block (the caller's running counter, saturated internally).
+  void accessUnknown(VarId Var, uint64_t InstanceK, const MemoryModel &MM,
+                     bool UseShadow);
+
+  /// this = this ⊔ \p From. Returns true iff this changed.
+  bool joinInto(const CacheAbsState &From, bool UseShadow);
+
+  /// Partial-order check: true iff this ⊑ RHS (RHS is at least as
+  /// conservative). Bottom ⊑ everything.
+  bool leq(const CacheAbsState &RHS, uint32_t Assoc) const;
+
+  /// Widening: this = \p Prev ∇ this. Any MUST entry whose age grew since
+  /// \p Prev is evicted, jumping chains to the top of the per-block ladder
+  /// (paper §6.3).
+  void widenFrom(const CacheAbsState &Prev, uint32_t Assoc);
+
+  bool operator==(const CacheAbsState &RHS) const = default;
+
+  const std::vector<AgedBlock> &mustEntries() const { return Must; }
+  const std::vector<AgedBlock> &mayEntries() const { return May; }
+
+  /// Renders like the paper's tables: blocks grouped youngest-first, e.g.
+  /// "{mil, wd, el}". MAY entries render with the ∃ prefix when present.
+  std::string str(const MemoryModel &MM) const;
+
+private:
+  bool Bottom = false;
+  std::vector<AgedBlock> Must;
+  std::vector<AgedBlock> May;
+};
+
+} // namespace specai
+
+#endif // SPECAI_DOMAIN_CACHESTATE_H

@@ -1,0 +1,174 @@
+//===- Ir.cpp -------------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+using namespace specai;
+
+std::string Operand::str() const {
+  switch (K) {
+  case Kind::None:
+    return "_";
+  case Kind::Reg:
+    return "r" + std::to_string(Reg);
+  case Kind::Imm:
+    return std::to_string(Imm);
+  }
+  return "<invalid>";
+}
+
+const char *specai::irBinOpName(IrBinOp Op) {
+  switch (Op) {
+  case IrBinOp::Add:
+    return "add";
+  case IrBinOp::Sub:
+    return "sub";
+  case IrBinOp::Mul:
+    return "mul";
+  case IrBinOp::Div:
+    return "div";
+  case IrBinOp::Rem:
+    return "rem";
+  case IrBinOp::Shl:
+    return "shl";
+  case IrBinOp::Shr:
+    return "shr";
+  case IrBinOp::And:
+    return "and";
+  case IrBinOp::Or:
+    return "or";
+  case IrBinOp::Xor:
+    return "xor";
+  case IrBinOp::Eq:
+    return "eq";
+  case IrBinOp::Ne:
+    return "ne";
+  case IrBinOp::Lt:
+    return "lt";
+  case IrBinOp::Le:
+    return "le";
+  case IrBinOp::Gt:
+    return "gt";
+  case IrBinOp::Ge:
+    return "ge";
+  }
+  return "<invalid>";
+}
+
+int64_t specai::evalIrBinOp(IrBinOp Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case IrBinOp::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                static_cast<uint64_t>(R));
+  case IrBinOp::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                static_cast<uint64_t>(R));
+  case IrBinOp::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                static_cast<uint64_t>(R));
+  case IrBinOp::Div:
+    // Total semantics: x/0 == 0, INT_MIN/-1 == INT_MIN.
+    if (R == 0)
+      return 0;
+    if (L == std::numeric_limits<int64_t>::min() && R == -1)
+      return L;
+    return L / R;
+  case IrBinOp::Rem:
+    if (R == 0)
+      return 0;
+    if (L == std::numeric_limits<int64_t>::min() && R == -1)
+      return 0;
+    return L % R;
+  case IrBinOp::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(L)
+                                << (static_cast<uint64_t>(R) & 63));
+  case IrBinOp::Shr:
+    return L >> (static_cast<uint64_t>(R) & 63);
+  case IrBinOp::And:
+    return L & R;
+  case IrBinOp::Or:
+    return L | R;
+  case IrBinOp::Xor:
+    return L ^ R;
+  case IrBinOp::Eq:
+    return L == R;
+  case IrBinOp::Ne:
+    return L != R;
+  case IrBinOp::Lt:
+    return L < R;
+  case IrBinOp::Le:
+    return L <= R;
+  case IrBinOp::Gt:
+    return L > R;
+  case IrBinOp::Ge:
+    return L >= R;
+  }
+  return 0;
+}
+
+VarId Program::findVar(const std::string &Name) const {
+  for (VarId Id = 0; Id != Vars.size(); ++Id)
+    if (Vars[Id].Name == Name)
+      return Id;
+  return InvalidVar;
+}
+
+size_t Program::instructionCount() const {
+  size_t Count = 0;
+  for (const BasicBlock &Block : Blocks)
+    Count += Block.Insts.size();
+  return Count;
+}
+
+static std::string renderInst(const Program &P, const Instruction &I) {
+  auto MemRef = [&](const Instruction &Inst) {
+    std::string Out = P.Vars[Inst.Var].Name;
+    if (!Inst.Index.isNone())
+      Out += "[" + Inst.Index.str() + "]";
+    return Out;
+  };
+  switch (I.Op) {
+  case Opcode::Mov:
+    return "r" + std::to_string(I.Dst) + " = mov " + I.A.str();
+  case Opcode::Bin:
+    return "r" + std::to_string(I.Dst) + " = " + irBinOpName(I.BinOp) + " " +
+           I.A.str() + ", " + I.B.str();
+  case Opcode::Load:
+    return "r" + std::to_string(I.Dst) + " = load " + MemRef(I);
+  case Opcode::Store:
+    return "store " + MemRef(I) + ", " + I.A.str();
+  case Opcode::Br:
+    return "br " + I.A.str() + ", bb" + std::to_string(I.TrueTarget) +
+           ", bb" + std::to_string(I.FalseTarget);
+  case Opcode::Jmp:
+    return "jmp bb" + std::to_string(I.TrueTarget);
+  case Opcode::Ret:
+    return I.A.isNone() ? std::string("ret") : "ret " + I.A.str();
+  }
+  return "<invalid>";
+}
+
+std::string Program::str() const {
+  std::string Out = "program " + EntryName + " {\n";
+  for (const MemVar &Var : Vars) {
+    Out += "  mem " + Var.Name + " : " + std::to_string(Var.ElemSize) +
+           " x " + std::to_string(Var.NumElements);
+    if (Var.IsSecret)
+      Out += " secret";
+    Out += '\n';
+  }
+  for (BlockId B = 0; B != Blocks.size(); ++B) {
+    Out += "bb" + std::to_string(B);
+    if (!Blocks[B].Name.empty())
+      Out += " (" + Blocks[B].Name + ")";
+    Out += ":\n";
+    for (const Instruction &I : Blocks[B].Insts)
+      Out += "  " + renderInst(*this, I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,1248 @@
+//===- Lowering.cpp -------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lowering.h"
+
+#include "lang/Sema.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace specai;
+
+/// True when evaluating the expression performs no loads and no calls
+/// (registers and literals only), so replacing it with its folded constant
+/// drops nothing the cache analysis should see. Defined below.
+static bool exprIsPure(const Expr *E);
+
+namespace {
+
+/// Break/continue targets for the innermost enclosing loop.
+struct LoopContext {
+  BlockId BreakTarget;
+  BlockId ContinueTarget;
+};
+
+/// Return plumbing for one inlined call site.
+struct CallContext {
+  RegId RetReg;
+  BlockId ContBlock;
+};
+
+class Lowerer {
+public:
+  Lowerer(const TranslationUnit &Unit, const LoweringOptions &Options,
+          DiagnosticEngine &Diags)
+      : Unit(Unit), Options(Options), Diags(Diags) {}
+
+  std::optional<Program> run();
+
+private:
+  // Program construction helpers.
+  RegId newReg() { return P.NumRegs++; }
+  BlockId newBlock(std::string Name);
+  void emit(Instruction Inst);
+  void emitJmp(BlockId Target, SourceLoc Loc);
+  void emitBr(Operand Cond, BlockId TrueTarget, BlockId FalseTarget,
+              SourceLoc Loc);
+  void setBlock(BlockId Block) {
+    CurBlock = Block;
+    Sealed = false;
+  }
+
+  // Variable mapping.
+  VarId getMemVar(const VarDecl *Decl);
+  RegId getRegVar(const VarDecl *Decl);
+
+  // Constant tracking.
+  std::optional<int64_t> foldExpr(const Expr *E);
+  void clearRegConsts() { RegConsts.clear(); }
+
+  // Expression lowering.
+  Operand lowerExpr(const Expr *E);
+  Operand lowerBinary(const BinaryExpr *BE);
+  Operand lowerShortCircuit(const BinaryExpr *BE);
+  Operand lowerTernary(const TernaryExpr *TE);
+  Operand lowerCall(const CallExpr *CE);
+  Operand emitBinOp(IrBinOp Op, Operand L, Operand R, SourceLoc Loc);
+
+  // Statement lowering.
+  void lowerStmt(const Stmt *S);
+  void lowerAssign(const AssignStmt *AS);
+  void lowerVarInit(const VarDecl *Decl);
+  void lowerIf(const IfStmt *IS);
+  void lowerWhile(const WhileStmt *WS);
+  void lowerDoWhile(const DoWhileStmt *DS);
+  void lowerFor(const ForStmt *FS);
+  bool tryUnrollFor(const ForStmt *FS);
+  void lowerReturn(const ReturnStmt *RS);
+  void lowerFunctionBody(const FuncDecl *Func);
+
+  /// Assigns \p Value to a `reg` variable (Mov + constant tracking).
+  void assignRegVar(const VarDecl *Decl, Operand Value, SourceLoc Loc);
+
+  /// True if \p S (recursively) assigns \p Decl.
+  static bool stmtAssignsVar(const Stmt *S, const VarDecl *Decl);
+  /// True if \p S (recursively) contains a continue not nested in an inner
+  /// loop.
+  static bool stmtHasTopLevelContinue(const Stmt *S);
+  /// True if \p S (recursively) contains a break not nested in an inner
+  /// loop. Such loops have data-dependent trip counts (the paper's quantl
+  /// scan) and are never unrolled.
+  static bool stmtHasTopLevelBreak(const Stmt *S);
+
+  const TranslationUnit &Unit;
+  const LoweringOptions &Options;
+  DiagnosticEngine &Diags;
+
+  Program P;
+  BlockId CurBlock = 0;
+  bool Sealed = false;
+  unsigned InlineDepth = 0;
+  bool TooDeep = false;
+
+  std::unordered_map<const VarDecl *, VarId> MemIds;
+  std::unordered_map<const VarDecl *, RegId> RegVars;
+  /// Constant bindings for fully unrolled induction variables; consulted
+  /// before RegConsts and never invalidated by control flow (the unroller
+  /// verifies the body does not assign the variable).
+  std::unordered_map<const VarDecl *, int64_t> UnrollBindings;
+  /// Straight-line constant values of `reg` variables; invalidated at every
+  /// control-flow join.
+  std::unordered_map<const VarDecl *, int64_t> RegConsts;
+
+  std::vector<LoopContext> LoopStack;
+  std::vector<CallContext> CallStack;
+};
+
+} // namespace
+
+BlockId Lowerer::newBlock(std::string Name) {
+  P.Blocks.push_back(BasicBlock{std::move(Name), {}});
+  return static_cast<BlockId>(P.Blocks.size() - 1);
+}
+
+void Lowerer::emit(Instruction Inst) {
+  if (Sealed) {
+    // Unreachable code (e.g. statements after return): park it in a fresh
+    // dead block so the program stays structurally valid.
+    setBlock(newBlock("dead"));
+  }
+  bool IsTerm = Inst.isTerminator();
+  P.Blocks[CurBlock].Insts.push_back(std::move(Inst));
+  if (IsTerm)
+    Sealed = true;
+}
+
+void Lowerer::emitJmp(BlockId Target, SourceLoc Loc) {
+  Instruction I;
+  I.Op = Opcode::Jmp;
+  I.TrueTarget = Target;
+  I.Loc = Loc;
+  emit(std::move(I));
+}
+
+void Lowerer::emitBr(Operand Cond, BlockId TrueTarget, BlockId FalseTarget,
+                     SourceLoc Loc) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  I.A = Cond;
+  I.TrueTarget = TrueTarget;
+  I.FalseTarget = FalseTarget;
+  I.Loc = Loc;
+  emit(std::move(I));
+}
+
+VarId Lowerer::getMemVar(const VarDecl *Decl) {
+  auto It = MemIds.find(Decl);
+  if (It != MemIds.end())
+    return It->second;
+
+  MemVar Var;
+  Var.Name = Decl->Parent ? Decl->Parent->Name + "." + Decl->Name : Decl->Name;
+  // Distinct declarations may shadow each other; disambiguate clashes.
+  if (P.findVar(Var.Name) != InvalidVar)
+    Var.Name += "." + std::to_string(Decl->DeclId);
+  Var.ElemSize = typeSizeInBytes(Decl->Type.Kind);
+  Var.NumElements = Decl->NumElements;
+  Var.IsSecret = Decl->Type.IsSecret;
+  if (Decl->IsGlobal && !Decl->Init.empty()) {
+    Var.HasInit = true;
+    for (const Expr *Init : Decl->Init) {
+      auto V = evaluateConstExpr(Init);
+      Var.Init.push_back(V.value_or(0));
+    }
+  }
+  VarId Id = static_cast<VarId>(P.Vars.size());
+  P.Vars.push_back(std::move(Var));
+  MemIds.emplace(Decl, Id);
+  return Id;
+}
+
+RegId Lowerer::getRegVar(const VarDecl *Decl) {
+  auto It = RegVars.find(Decl);
+  if (It != RegVars.end())
+    return It->second;
+  RegId Reg = newReg();
+  RegVars.emplace(Decl, Reg);
+  if (Decl->IsGlobal)
+    P.RegGlobals.push_back({Decl->Name, Reg, Decl->Type.IsSecret});
+  return Reg;
+}
+
+std::optional<int64_t> Lowerer::foldExpr(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  // VarRefs to bound induction variables and known-constant reg variables
+  // fold; everything else defers to the pure constant evaluator.
+  if (E->Kind == ExprKind::VarRef) {
+    const auto *Ref = static_cast<const VarRefExpr *>(E);
+    if (auto It = UnrollBindings.find(Ref->Decl); It != UnrollBindings.end())
+      return It->second;
+    if (Ref->Decl && Ref->Decl->Type.IsReg) {
+      if (auto It = RegConsts.find(Ref->Decl); It != RegConsts.end())
+        return It->second;
+    }
+    return std::nullopt;
+  }
+  if (E->Kind == ExprKind::Unary) {
+    const auto *UE = static_cast<const UnaryExpr *>(E);
+    auto V = foldExpr(UE->Operand);
+    if (!V)
+      return std::nullopt;
+    switch (UE->Op) {
+    case UnaryOpKind::Neg:
+      return -*V;
+    case UnaryOpKind::BitNot:
+      return ~*V;
+    case UnaryOpKind::LogNot:
+      return *V == 0 ? 1 : 0;
+    }
+  }
+  if (E->Kind == ExprKind::Binary) {
+    const auto *BE = static_cast<const BinaryExpr *>(E);
+    auto L = foldExpr(BE->LHS);
+    if (!L)
+      return std::nullopt;
+    if (BE->Op == BinaryOpKind::LogAnd && *L == 0)
+      return 0;
+    if (BE->Op == BinaryOpKind::LogOr && *L != 0)
+      return 1;
+    auto R = foldExpr(BE->RHS);
+    if (!R)
+      return std::nullopt;
+    // Reuse the pure evaluator through a synthesized literal pair is not
+    // possible without allocation; replicate via IR op mapping instead.
+    switch (BE->Op) {
+    case BinaryOpKind::Add:
+      return evalIrBinOp(IrBinOp::Add, *L, *R);
+    case BinaryOpKind::Sub:
+      return evalIrBinOp(IrBinOp::Sub, *L, *R);
+    case BinaryOpKind::Mul:
+      return evalIrBinOp(IrBinOp::Mul, *L, *R);
+    case BinaryOpKind::Div:
+      if (*R == 0)
+        return std::nullopt;
+      return evalIrBinOp(IrBinOp::Div, *L, *R);
+    case BinaryOpKind::Rem:
+      if (*R == 0)
+        return std::nullopt;
+      return evalIrBinOp(IrBinOp::Rem, *L, *R);
+    case BinaryOpKind::Shl:
+      return evalIrBinOp(IrBinOp::Shl, *L, *R);
+    case BinaryOpKind::Shr:
+      return evalIrBinOp(IrBinOp::Shr, *L, *R);
+    case BinaryOpKind::And:
+      return evalIrBinOp(IrBinOp::And, *L, *R);
+    case BinaryOpKind::Or:
+      return evalIrBinOp(IrBinOp::Or, *L, *R);
+    case BinaryOpKind::Xor:
+      return evalIrBinOp(IrBinOp::Xor, *L, *R);
+    case BinaryOpKind::LogAnd:
+      return (*L != 0 && *R != 0) ? 1 : 0;
+    case BinaryOpKind::LogOr:
+      return (*L != 0 || *R != 0) ? 1 : 0;
+    case BinaryOpKind::Eq:
+      return evalIrBinOp(IrBinOp::Eq, *L, *R);
+    case BinaryOpKind::Ne:
+      return evalIrBinOp(IrBinOp::Ne, *L, *R);
+    case BinaryOpKind::Lt:
+      return evalIrBinOp(IrBinOp::Lt, *L, *R);
+    case BinaryOpKind::Le:
+      return evalIrBinOp(IrBinOp::Le, *L, *R);
+    case BinaryOpKind::Gt:
+      return evalIrBinOp(IrBinOp::Gt, *L, *R);
+    case BinaryOpKind::Ge:
+      return evalIrBinOp(IrBinOp::Ge, *L, *R);
+    }
+  }
+  if (E->Kind == ExprKind::Ternary) {
+    const auto *TE = static_cast<const TernaryExpr *>(E);
+    auto C = foldExpr(TE->Cond);
+    if (!C)
+      return std::nullopt;
+    return foldExpr(*C != 0 ? TE->TrueExpr : TE->FalseExpr);
+  }
+  return evaluateConstExpr(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Operand Lowerer::emitBinOp(IrBinOp Op, Operand L, Operand R, SourceLoc Loc) {
+  if (L.isImm() && R.isImm())
+    return Operand::imm(evalIrBinOp(Op, L.Imm, R.Imm));
+  Instruction I;
+  I.Op = Opcode::Bin;
+  I.BinOp = Op;
+  I.Dst = newReg();
+  I.A = L;
+  I.B = R;
+  I.Loc = Loc;
+  RegId Dst = I.Dst;
+  emit(std::move(I));
+  return Operand::reg(Dst);
+}
+
+Operand Lowerer::lowerExpr(const Expr *E) {
+  if (!E)
+    return Operand::imm(0);
+  if (auto Folded = foldExpr(E)) {
+    // Constant folding must not erase memory accesses; only fold categories
+    // that never touch memory. (VarRef of a memory scalar can be "constant"
+    // only through UnrollBindings, which never bind memory values.)
+    bool TouchesMemory = false;
+    if (E->Kind == ExprKind::Index || E->Kind == ExprKind::Call)
+      TouchesMemory = true;
+    if (E->Kind == ExprKind::VarRef) {
+      const auto *Ref = static_cast<const VarRefExpr *>(E);
+      TouchesMemory = Ref->Decl && !Ref->Decl->Type.IsReg &&
+                      !UnrollBindings.count(Ref->Decl);
+    }
+    // Compound expressions may still contain loads/calls in subtrees even
+    // when their value folds (e.g. `x*0`); be conservative and only fold
+    // leaves and pure operator trees.
+    if (!TouchesMemory && exprIsPure(E))
+      return Operand::imm(*Folded);
+  }
+
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return Operand::imm(static_cast<const IntLitExpr *>(E)->Value);
+  case ExprKind::VarRef: {
+    const auto *Ref = static_cast<const VarRefExpr *>(E);
+    const VarDecl *Decl = Ref->Decl;
+    assert(Decl && "Sema left an unresolved variable reference");
+    if (auto It = UnrollBindings.find(Decl); It != UnrollBindings.end())
+      return Operand::imm(It->second);
+    if (Decl->Type.IsReg)
+      return Operand::reg(getRegVar(Decl));
+    // Memory-resident scalar: every use is a load.
+    Instruction I;
+    I.Op = Opcode::Load;
+    I.Dst = newReg();
+    I.Var = getMemVar(Decl);
+    I.Loc = E->Loc;
+    RegId Dst = I.Dst;
+    emit(std::move(I));
+    return Operand::reg(Dst);
+  }
+  case ExprKind::Index: {
+    const auto *IE = static_cast<const IndexExpr *>(E);
+    Operand Index = lowerExpr(IE->Index);
+    Instruction I;
+    I.Op = Opcode::Load;
+    I.Dst = newReg();
+    I.Var = getMemVar(IE->Base->Decl);
+    I.Index = Index;
+    I.Loc = E->Loc;
+    RegId Dst = I.Dst;
+    emit(std::move(I));
+    return Operand::reg(Dst);
+  }
+  case ExprKind::Unary: {
+    const auto *UE = static_cast<const UnaryExpr *>(E);
+    Operand V = lowerExpr(UE->Operand);
+    switch (UE->Op) {
+    case UnaryOpKind::Neg:
+      return emitBinOp(IrBinOp::Sub, Operand::imm(0), V, E->Loc);
+    case UnaryOpKind::BitNot:
+      return emitBinOp(IrBinOp::Xor, V, Operand::imm(-1), E->Loc);
+    case UnaryOpKind::LogNot:
+      return emitBinOp(IrBinOp::Eq, V, Operand::imm(0), E->Loc);
+    }
+    return Operand::imm(0);
+  }
+  case ExprKind::Binary:
+    return lowerBinary(static_cast<const BinaryExpr *>(E));
+  case ExprKind::Ternary:
+    return lowerTernary(static_cast<const TernaryExpr *>(E));
+  case ExprKind::Call:
+    return lowerCall(static_cast<const CallExpr *>(E));
+  }
+  return Operand::imm(0);
+}
+
+static bool exprIsPureImpl(const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return true;
+  case ExprKind::VarRef: {
+    const auto *Ref = static_cast<const VarRefExpr *>(E);
+    return Ref->Decl && Ref->Decl->Type.IsReg;
+  }
+  case ExprKind::Index:
+  case ExprKind::Call:
+    return false;
+  case ExprKind::Unary:
+    return exprIsPureImpl(static_cast<const UnaryExpr *>(E)->Operand);
+  case ExprKind::Binary: {
+    const auto *BE = static_cast<const BinaryExpr *>(E);
+    return exprIsPureImpl(BE->LHS) && exprIsPureImpl(BE->RHS);
+  }
+  case ExprKind::Ternary: {
+    const auto *TE = static_cast<const TernaryExpr *>(E);
+    return exprIsPureImpl(TE->Cond) && exprIsPureImpl(TE->TrueExpr) &&
+           exprIsPureImpl(TE->FalseExpr);
+  }
+  }
+  return false;
+}
+
+static bool exprIsPure(const Expr *E) { return exprIsPureImpl(E); }
+
+Operand Lowerer::lowerBinary(const BinaryExpr *BE) {
+  if (BE->Op == BinaryOpKind::LogAnd || BE->Op == BinaryOpKind::LogOr)
+    return lowerShortCircuit(BE);
+
+  Operand L = lowerExpr(BE->LHS);
+  Operand R = lowerExpr(BE->RHS);
+  IrBinOp Op;
+  switch (BE->Op) {
+  case BinaryOpKind::Add:
+    Op = IrBinOp::Add;
+    break;
+  case BinaryOpKind::Sub:
+    Op = IrBinOp::Sub;
+    break;
+  case BinaryOpKind::Mul:
+    Op = IrBinOp::Mul;
+    break;
+  case BinaryOpKind::Div:
+    Op = IrBinOp::Div;
+    break;
+  case BinaryOpKind::Rem:
+    Op = IrBinOp::Rem;
+    break;
+  case BinaryOpKind::Shl:
+    Op = IrBinOp::Shl;
+    break;
+  case BinaryOpKind::Shr:
+    Op = IrBinOp::Shr;
+    break;
+  case BinaryOpKind::And:
+    Op = IrBinOp::And;
+    break;
+  case BinaryOpKind::Or:
+    Op = IrBinOp::Or;
+    break;
+  case BinaryOpKind::Xor:
+    Op = IrBinOp::Xor;
+    break;
+  case BinaryOpKind::Eq:
+    Op = IrBinOp::Eq;
+    break;
+  case BinaryOpKind::Ne:
+    Op = IrBinOp::Ne;
+    break;
+  case BinaryOpKind::Lt:
+    Op = IrBinOp::Lt;
+    break;
+  case BinaryOpKind::Le:
+    Op = IrBinOp::Le;
+    break;
+  case BinaryOpKind::Gt:
+    Op = IrBinOp::Gt;
+    break;
+  case BinaryOpKind::Ge:
+    Op = IrBinOp::Ge;
+    break;
+  default:
+    Op = IrBinOp::Add;
+    break;
+  }
+  return emitBinOp(Op, L, R, BE->Loc);
+}
+
+Operand Lowerer::lowerShortCircuit(const BinaryExpr *BE) {
+  bool IsAnd = BE->Op == BinaryOpKind::LogAnd;
+  Operand L = lowerExpr(BE->LHS);
+
+  if (L.isImm()) {
+    // Statically decided: either the RHS decides the value, or it is never
+    // evaluated at all (so its loads must not be emitted).
+    bool LhsTrue = L.Imm != 0;
+    if (IsAnd && !LhsTrue)
+      return Operand::imm(0);
+    if (!IsAnd && LhsTrue)
+      return Operand::imm(1);
+    Operand R = lowerExpr(BE->RHS);
+    return emitBinOp(IrBinOp::Ne, R, Operand::imm(0), BE->Loc);
+  }
+
+  RegId Result = newReg();
+  BlockId RhsBlock = newBlock(IsAnd ? "and.rhs" : "or.rhs");
+  BlockId EndBlock = newBlock(IsAnd ? "and.end" : "or.end");
+
+  // Seed the result with the short-circuit value, then branch.
+  Instruction Seed;
+  Seed.Op = Opcode::Mov;
+  Seed.Dst = Result;
+  Seed.A = Operand::imm(IsAnd ? 0 : 1);
+  Seed.Loc = BE->Loc;
+  emit(std::move(Seed));
+  if (IsAnd)
+    emitBr(L, RhsBlock, EndBlock, BE->Loc);
+  else
+    emitBr(L, EndBlock, RhsBlock, BE->Loc);
+
+  setBlock(RhsBlock);
+  Operand R = lowerExpr(BE->RHS);
+  Operand Norm = emitBinOp(IrBinOp::Ne, R, Operand::imm(0), BE->Loc);
+  Instruction SetR;
+  SetR.Op = Opcode::Mov;
+  SetR.Dst = Result;
+  SetR.A = Norm;
+  SetR.Loc = BE->Loc;
+  emit(std::move(SetR));
+  emitJmp(EndBlock, BE->Loc);
+
+  setBlock(EndBlock);
+  clearRegConsts();
+  return Operand::reg(Result);
+}
+
+Operand Lowerer::lowerTernary(const TernaryExpr *TE) {
+  Operand Cond = lowerExpr(TE->Cond);
+  if (Cond.isImm())
+    return lowerExpr(Cond.Imm != 0 ? TE->TrueExpr : TE->FalseExpr);
+
+  RegId Result = newReg();
+  BlockId TrueBlock = newBlock("sel.true");
+  BlockId FalseBlock = newBlock("sel.false");
+  BlockId EndBlock = newBlock("sel.end");
+  emitBr(Cond, TrueBlock, FalseBlock, TE->Loc);
+
+  setBlock(TrueBlock);
+  Operand TV = lowerExpr(TE->TrueExpr);
+  Instruction MovT;
+  MovT.Op = Opcode::Mov;
+  MovT.Dst = Result;
+  MovT.A = TV;
+  MovT.Loc = TE->Loc;
+  emit(std::move(MovT));
+  emitJmp(EndBlock, TE->Loc);
+
+  setBlock(FalseBlock);
+  Operand FV = lowerExpr(TE->FalseExpr);
+  Instruction MovF;
+  MovF.Op = Opcode::Mov;
+  MovF.Dst = Result;
+  MovF.A = FV;
+  MovF.Loc = TE->Loc;
+  emit(std::move(MovF));
+  emitJmp(EndBlock, TE->Loc);
+
+  setBlock(EndBlock);
+  clearRegConsts();
+  return Operand::reg(Result);
+}
+
+Operand Lowerer::lowerCall(const CallExpr *CE) {
+  const FuncDecl *Callee = CE->Decl;
+  assert(Callee && "Sema left an unresolved call");
+  if (InlineDepth >= Options.MaxInlineDepth) {
+    if (!TooDeep) {
+      Diags.error(CE->Loc, "call chain exceeds the maximum inline depth");
+      TooDeep = true;
+    }
+    return Operand::imm(0);
+  }
+
+  // Pass arguments into the callee's parameter slots.
+  for (size_t I = 0; I != CE->Args.size() && I != Callee->Params.size(); ++I) {
+    Operand Arg = lowerExpr(CE->Args[I]);
+    const VarDecl *Param = Callee->Params[I];
+    if (Param->Type.IsReg) {
+      assignRegVar(Param, Arg, CE->Loc);
+      continue;
+    }
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.Var = getMemVar(Param);
+    Store.A = Arg;
+    Store.Loc = CE->Loc;
+    emit(std::move(Store));
+  }
+
+  RegId RetReg = newReg();
+  BlockId ContBlock = newBlock(Callee->Name + ".cont");
+  CallStack.push_back({RetReg, ContBlock});
+
+  // The callee's reg locals start with unknown values at each call site.
+  for (const VarDecl *Local : Callee->Locals)
+    RegConsts.erase(Local);
+
+  ++InlineDepth;
+  lowerFunctionBody(Callee);
+  --InlineDepth;
+
+  if (!Sealed)
+    emitJmp(ContBlock, CE->Loc);
+  CallStack.pop_back();
+  setBlock(ContBlock);
+  clearRegConsts();
+
+  if (Callee->ReturnType.Kind == TypeKind::Void)
+    return Operand::none();
+  return Operand::reg(RetReg);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Lowerer::assignRegVar(const VarDecl *Decl, Operand Value,
+                           SourceLoc Loc) {
+  assert(Decl->Type.IsReg && "not a register variable");
+  Instruction Mov;
+  Mov.Op = Opcode::Mov;
+  Mov.Dst = getRegVar(Decl);
+  Mov.A = Value.isNone() ? Operand::imm(0) : Value;
+  Mov.Loc = Loc;
+  emit(std::move(Mov));
+  if (Value.isImm())
+    RegConsts[Decl] = Value.Imm;
+  else
+    RegConsts.erase(Decl);
+}
+
+void Lowerer::lowerVarInit(const VarDecl *Decl) {
+  if (Decl->Init.empty())
+    return;
+  if (!Decl->IsArray) {
+    Operand Value = lowerExpr(Decl->Init.front());
+    if (Decl->Type.IsReg) {
+      assignRegVar(Decl, Value, Decl->Loc);
+      return;
+    }
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.Var = getMemVar(Decl);
+    Store.A = Value;
+    Store.Loc = Decl->Loc;
+    emit(std::move(Store));
+    return;
+  }
+  // Local array initializer: one store per element.
+  for (size_t I = 0; I != Decl->Init.size(); ++I) {
+    Operand Value = lowerExpr(Decl->Init[I]);
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.Var = getMemVar(Decl);
+    Store.Index = Operand::imm(static_cast<int64_t>(I));
+    Store.A = Value;
+    Store.Loc = Decl->Loc;
+    emit(std::move(Store));
+  }
+}
+
+void Lowerer::lowerAssign(const AssignStmt *AS) {
+  if (AS->Target->Kind == ExprKind::VarRef) {
+    const auto *Ref = static_cast<const VarRefExpr *>(AS->Target);
+    const VarDecl *Decl = Ref->Decl;
+    if (!Decl)
+      return;
+    assert(!UnrollBindings.count(Decl) &&
+           "unroller must reject loops whose body assigns the induction "
+           "variable");
+    Operand Value = lowerExpr(AS->Value);
+    if (Decl->Type.IsReg) {
+      assignRegVar(Decl, Value, AS->Loc);
+      return;
+    }
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.Var = getMemVar(Decl);
+    Store.A = Value;
+    Store.Loc = AS->Loc;
+    emit(std::move(Store));
+    return;
+  }
+
+  const auto *IE = static_cast<const IndexExpr *>(AS->Target);
+  if (!IE->Base->Decl)
+    return;
+  Operand Index = lowerExpr(IE->Index);
+  Operand Value = lowerExpr(AS->Value);
+  Instruction Store;
+  Store.Op = Opcode::Store;
+  Store.Var = getMemVar(IE->Base->Decl);
+  Store.Index = Index;
+  Store.A = Value;
+  Store.Loc = AS->Loc;
+  emit(std::move(Store));
+}
+
+void Lowerer::lowerIf(const IfStmt *IS) {
+  Operand Cond = lowerExpr(IS->Cond);
+  if (Cond.isImm()) {
+    // Statically decided branch (common after unrolling): emit only the
+    // taken side; no branch instruction, no speculation site.
+    if (Cond.Imm != 0)
+      lowerStmt(IS->Then);
+    else if (IS->Else)
+      lowerStmt(IS->Else);
+    return;
+  }
+
+  BlockId ThenBlock = newBlock("if.then");
+  BlockId EndBlock = newBlock("if.end");
+  BlockId ElseBlock = IS->Else ? newBlock("if.else") : EndBlock;
+  emitBr(Cond, ThenBlock, ElseBlock, IS->Loc);
+
+  setBlock(ThenBlock);
+  clearRegConsts();
+  lowerStmt(IS->Then);
+  if (!Sealed)
+    emitJmp(EndBlock, IS->Loc);
+
+  if (IS->Else) {
+    setBlock(ElseBlock);
+    clearRegConsts();
+    lowerStmt(IS->Else);
+    if (!Sealed)
+      emitJmp(EndBlock, IS->Loc);
+  }
+
+  setBlock(EndBlock);
+  clearRegConsts();
+}
+
+void Lowerer::lowerWhile(const WhileStmt *WS) {
+  BlockId Header = newBlock("while.header");
+  BlockId Body = newBlock("while.body");
+  BlockId End = newBlock("while.end");
+
+  emitJmp(Header, WS->Loc);
+  setBlock(Header);
+  clearRegConsts();
+  Operand Cond = lowerExpr(WS->Cond);
+  if (Cond.isImm()) {
+    if (Cond.Imm != 0)
+      emitJmp(Body, WS->Loc);
+    else
+      emitJmp(End, WS->Loc);
+  } else {
+    emitBr(Cond, Body, End, WS->Loc);
+  }
+
+  setBlock(Body);
+  clearRegConsts();
+  LoopStack.push_back({End, Header});
+  lowerStmt(WS->Body);
+  LoopStack.pop_back();
+  if (!Sealed)
+    emitJmp(Header, WS->Loc);
+
+  setBlock(End);
+  clearRegConsts();
+}
+
+void Lowerer::lowerDoWhile(const DoWhileStmt *DS) {
+  BlockId Body = newBlock("do.body");
+  BlockId CondBlock = newBlock("do.cond");
+  BlockId End = newBlock("do.end");
+
+  emitJmp(Body, DS->Loc);
+  setBlock(Body);
+  clearRegConsts();
+  LoopStack.push_back({End, CondBlock});
+  lowerStmt(DS->Body);
+  LoopStack.pop_back();
+  if (!Sealed)
+    emitJmp(CondBlock, DS->Loc);
+
+  setBlock(CondBlock);
+  clearRegConsts();
+  Operand Cond = lowerExpr(DS->Cond);
+  if (Cond.isImm()) {
+    if (Cond.Imm != 0)
+      emitJmp(Body, DS->Loc);
+    else
+      emitJmp(End, DS->Loc);
+  } else {
+    emitBr(Cond, Body, End, DS->Loc);
+  }
+
+  setBlock(End);
+  clearRegConsts();
+}
+
+bool Lowerer::stmtAssignsVar(const Stmt *S, const VarDecl *Decl) {
+  if (!S)
+    return false;
+  switch (S->Kind) {
+  case StmtKind::Assign: {
+    const auto *AS = static_cast<const AssignStmt *>(S);
+    if (AS->Target->Kind == ExprKind::VarRef &&
+        static_cast<const VarRefExpr *>(AS->Target)->Decl == Decl)
+      return true;
+    return false;
+  }
+  case StmtKind::Block: {
+    for (const Stmt *Child : static_cast<const BlockStmt *>(S)->Body)
+      if (stmtAssignsVar(Child, Decl))
+        return true;
+    return false;
+  }
+  case StmtKind::If: {
+    const auto *IS = static_cast<const IfStmt *>(S);
+    return stmtAssignsVar(IS->Then, Decl) || stmtAssignsVar(IS->Else, Decl);
+  }
+  case StmtKind::For: {
+    const auto *FS = static_cast<const ForStmt *>(S);
+    return stmtAssignsVar(FS->Init, Decl) || stmtAssignsVar(FS->Step, Decl) ||
+           stmtAssignsVar(FS->Body, Decl);
+  }
+  case StmtKind::While:
+    return stmtAssignsVar(static_cast<const WhileStmt *>(S)->Body, Decl);
+  case StmtKind::DoWhile:
+    return stmtAssignsVar(static_cast<const DoWhileStmt *>(S)->Body, Decl);
+  default:
+    return false;
+  }
+}
+
+bool Lowerer::stmtHasTopLevelContinue(const Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->Kind) {
+  case StmtKind::Continue:
+    return true;
+  case StmtKind::Block: {
+    for (const Stmt *Child : static_cast<const BlockStmt *>(S)->Body)
+      if (stmtHasTopLevelContinue(Child))
+        return true;
+    return false;
+  }
+  case StmtKind::If: {
+    const auto *IS = static_cast<const IfStmt *>(S);
+    return stmtHasTopLevelContinue(IS->Then) ||
+           stmtHasTopLevelContinue(IS->Else);
+  }
+  // Inner loops capture their own continues.
+  case StmtKind::For:
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+  default:
+    return false;
+  }
+}
+
+bool Lowerer::stmtHasTopLevelBreak(const Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->Kind) {
+  case StmtKind::Break:
+    return true;
+  case StmtKind::Block: {
+    for (const Stmt *Child : static_cast<const BlockStmt *>(S)->Body)
+      if (stmtHasTopLevelBreak(Child))
+        return true;
+    return false;
+  }
+  case StmtKind::If: {
+    const auto *IS = static_cast<const IfStmt *>(S);
+    return stmtHasTopLevelBreak(IS->Then) || stmtHasTopLevelBreak(IS->Else);
+  }
+  // Inner loops capture their own breaks.
+  case StmtKind::For:
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+  default:
+    return false;
+  }
+}
+
+bool Lowerer::tryUnrollFor(const ForStmt *FS) {
+  if (!Options.EnableUnrolling || !FS->Init || !FS->Cond || !FS->Step)
+    return false;
+
+  // A conditional break makes the trip count data dependent; keep the loop
+  // and let the fixed point widen over it (paper §6.3's "unresolved"
+  // loops, e.g. the quantl decision-level scan).
+  if (stmtHasTopLevelBreak(FS->Body))
+    return false;
+
+  // Recognize: init `v = C0`, cond `v <cmp> C1` (or reversed), step
+  // `v = v (+|-) C2`.
+  const VarDecl *Var = nullptr;
+  int64_t Start = 0;
+
+  if (FS->Init->Kind == StmtKind::Decl) {
+    const auto *DS = static_cast<const DeclStmt *>(FS->Init);
+    if (DS->Decls.size() != 1)
+      return false;
+    const VarDecl *Decl = DS->Decls.front();
+    if (Decl->IsArray || Decl->Init.size() != 1)
+      return false;
+    auto C0 = foldExpr(Decl->Init.front());
+    if (!C0)
+      return false;
+    Var = Decl;
+    Start = *C0;
+  } else if (FS->Init->Kind == StmtKind::Assign) {
+    const auto *AS = static_cast<const AssignStmt *>(FS->Init);
+    if (AS->Target->Kind != ExprKind::VarRef)
+      return false;
+    const auto *Ref = static_cast<const VarRefExpr *>(AS->Target);
+    auto C0 = foldExpr(AS->Value);
+    if (!C0 || !Ref->Decl)
+      return false;
+    Var = Ref->Decl;
+    Start = *C0;
+  } else {
+    return false;
+  }
+
+  // Condition.
+  if (FS->Cond->Kind != ExprKind::Binary)
+    return false;
+  const auto *CondBin = static_cast<const BinaryExpr *>(FS->Cond);
+  BinaryOpKind Cmp = CondBin->Op;
+  const Expr *CondVarSide = CondBin->LHS;
+  const Expr *CondBoundSide = CondBin->RHS;
+  auto FlipCmp = [](BinaryOpKind Op) {
+    switch (Op) {
+    case BinaryOpKind::Lt:
+      return BinaryOpKind::Gt;
+    case BinaryOpKind::Le:
+      return BinaryOpKind::Ge;
+    case BinaryOpKind::Gt:
+      return BinaryOpKind::Lt;
+    case BinaryOpKind::Ge:
+      return BinaryOpKind::Le;
+    default:
+      return Op;
+    }
+  };
+  if (!(CondVarSide->Kind == ExprKind::VarRef &&
+        static_cast<const VarRefExpr *>(CondVarSide)->Decl == Var)) {
+    std::swap(CondVarSide, CondBoundSide);
+    Cmp = FlipCmp(Cmp);
+    if (!(CondVarSide->Kind == ExprKind::VarRef &&
+          static_cast<const VarRefExpr *>(CondVarSide)->Decl == Var))
+      return false;
+  }
+  if (Cmp != BinaryOpKind::Lt && Cmp != BinaryOpKind::Le &&
+      Cmp != BinaryOpKind::Gt && Cmp != BinaryOpKind::Ge &&
+      Cmp != BinaryOpKind::Ne)
+    return false;
+  auto Bound = foldExpr(CondBoundSide);
+  if (!Bound)
+    return false;
+
+  // Step.
+  if (FS->Step->Kind != StmtKind::Assign)
+    return false;
+  const auto *StepAssign = static_cast<const AssignStmt *>(FS->Step);
+  if (StepAssign->Target->Kind != ExprKind::VarRef ||
+      static_cast<const VarRefExpr *>(StepAssign->Target)->Decl != Var)
+    return false;
+  if (StepAssign->Value->Kind != ExprKind::Binary)
+    return false;
+  const auto *StepBin = static_cast<const BinaryExpr *>(StepAssign->Value);
+  if (StepBin->Op != BinaryOpKind::Add && StepBin->Op != BinaryOpKind::Sub)
+    return false;
+  if (StepBin->LHS->Kind != ExprKind::VarRef ||
+      static_cast<const VarRefExpr *>(StepBin->LHS)->Decl != Var)
+    return false;
+  auto StepC = foldExpr(StepBin->RHS);
+  if (!StepC || *StepC == 0)
+    return false;
+  int64_t Step = StepBin->Op == BinaryOpKind::Add ? *StepC : -*StepC;
+
+  // The body must not redefine the induction variable.
+  if (stmtAssignsVar(FS->Body, Var))
+    return false;
+
+  // Compute the trip sequence.
+  auto Holds = [&](int64_t V) {
+    switch (Cmp) {
+    case BinaryOpKind::Lt:
+      return V < *Bound;
+    case BinaryOpKind::Le:
+      return V <= *Bound;
+    case BinaryOpKind::Gt:
+      return V > *Bound;
+    case BinaryOpKind::Ge:
+      return V >= *Bound;
+    case BinaryOpKind::Ne:
+      return V != *Bound;
+    default:
+      return false;
+    }
+  };
+  std::vector<int64_t> TripValues;
+  for (int64_t V = Start; Holds(V); V += Step) {
+    TripValues.push_back(V);
+    if (TripValues.size() > Options.MaxUnrollIterations)
+      return false;
+  }
+
+  bool IsMemoryVar = !Var->Type.IsReg;
+  bool HasContinue = stmtHasTopLevelContinue(FS->Body);
+  BlockId EndBlock = newBlock("unroll.end");
+
+  auto StoreInduction = [&](int64_t Value) {
+    if (!IsMemoryVar)
+      return;
+    // The real loop stores the induction variable at init and at each
+    // step; keeping these stores preserves the variable's own cache
+    // footprint and aging pressure.
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.Var = getMemVar(Var);
+    Store.A = Operand::imm(Value);
+    Store.Loc = FS->Loc;
+    emit(std::move(Store));
+  };
+
+  for (int64_t Value : TripValues) {
+    StoreInduction(Value);
+    UnrollBindings[Var] = Value;
+    BlockId IterEnd = InvalidBlock;
+    if (HasContinue) {
+      IterEnd = newBlock("iter.end");
+      LoopStack.push_back({EndBlock, IterEnd});
+    } else {
+      LoopStack.push_back({EndBlock, EndBlock});
+    }
+    lowerStmt(FS->Body);
+    LoopStack.pop_back();
+    if (HasContinue) {
+      if (!Sealed)
+        emitJmp(IterEnd, FS->Loc);
+      setBlock(IterEnd);
+      clearRegConsts();
+    } else if (Sealed) {
+      // Whole-body return/break sealed the path; later iterations are
+      // unreachable. Stop emitting them.
+      UnrollBindings.erase(Var);
+      setBlock(EndBlock);
+      clearRegConsts();
+      return true;
+    }
+  }
+  UnrollBindings.erase(Var);
+
+  // Final induction value after the loop.
+  int64_t FinalValue =
+      TripValues.empty() ? Start : TripValues.back() + Step;
+  if (IsMemoryVar) {
+    StoreInduction(FinalValue);
+  } else {
+    assignRegVar(Var, Operand::imm(FinalValue), FS->Loc);
+  }
+
+  if (!Sealed)
+    emitJmp(EndBlock, FS->Loc);
+  setBlock(EndBlock);
+  clearRegConsts();
+  return true;
+}
+
+void Lowerer::lowerFor(const ForStmt *FS) {
+  if (tryUnrollFor(FS))
+    return;
+
+  if (FS->Init)
+    lowerStmt(FS->Init);
+
+  BlockId Header = newBlock("for.header");
+  BlockId Body = newBlock("for.body");
+  BlockId StepBlock = newBlock("for.step");
+  BlockId End = newBlock("for.end");
+
+  emitJmp(Header, FS->Loc);
+  setBlock(Header);
+  clearRegConsts();
+  if (FS->Cond) {
+    Operand Cond = lowerExpr(FS->Cond);
+    if (Cond.isImm()) {
+      if (Cond.Imm != 0)
+        emitJmp(Body, FS->Loc);
+      else
+        emitJmp(End, FS->Loc);
+    } else {
+      emitBr(Cond, Body, End, FS->Loc);
+    }
+  } else {
+    emitJmp(Body, FS->Loc);
+  }
+
+  setBlock(Body);
+  clearRegConsts();
+  LoopStack.push_back({End, StepBlock});
+  lowerStmt(FS->Body);
+  LoopStack.pop_back();
+  if (!Sealed)
+    emitJmp(StepBlock, FS->Loc);
+
+  setBlock(StepBlock);
+  clearRegConsts();
+  if (FS->Step)
+    lowerStmt(FS->Step);
+  if (!Sealed)
+    emitJmp(Header, FS->Loc);
+
+  setBlock(End);
+  clearRegConsts();
+}
+
+void Lowerer::lowerReturn(const ReturnStmt *RS) {
+  Operand Value = RS->Value ? lowerExpr(RS->Value) : Operand::none();
+  if (CallStack.empty()) {
+    Instruction Ret;
+    Ret.Op = Opcode::Ret;
+    Ret.A = Value;
+    Ret.Loc = RS->Loc;
+    emit(std::move(Ret));
+    return;
+  }
+  const CallContext &Ctx = CallStack.back();
+  if (!Value.isNone()) {
+    Instruction Mov;
+    Mov.Op = Opcode::Mov;
+    Mov.Dst = Ctx.RetReg;
+    Mov.A = Value;
+    Mov.Loc = RS->Loc;
+    emit(std::move(Mov));
+  }
+  emitJmp(Ctx.ContBlock, RS->Loc);
+}
+
+void Lowerer::lowerStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Decl:
+    for (const VarDecl *Decl : static_cast<const DeclStmt *>(S)->Decls)
+      lowerVarInit(Decl);
+    return;
+  case StmtKind::Assign:
+    lowerAssign(static_cast<const AssignStmt *>(S));
+    return;
+  case StmtKind::Expr:
+    lowerExpr(static_cast<const ExprStmt *>(S)->E);
+    return;
+  case StmtKind::Block:
+    for (const Stmt *Child : static_cast<const BlockStmt *>(S)->Body)
+      lowerStmt(Child);
+    return;
+  case StmtKind::If:
+    lowerIf(static_cast<const IfStmt *>(S));
+    return;
+  case StmtKind::For:
+    lowerFor(static_cast<const ForStmt *>(S));
+    return;
+  case StmtKind::While:
+    lowerWhile(static_cast<const WhileStmt *>(S));
+    return;
+  case StmtKind::DoWhile:
+    lowerDoWhile(static_cast<const DoWhileStmt *>(S));
+    return;
+  case StmtKind::Break:
+    if (!LoopStack.empty())
+      emitJmp(LoopStack.back().BreakTarget, S->Loc);
+    return;
+  case StmtKind::Continue:
+    if (!LoopStack.empty())
+      emitJmp(LoopStack.back().ContinueTarget, S->Loc);
+    return;
+  case StmtKind::Return:
+    lowerReturn(static_cast<const ReturnStmt *>(S));
+    return;
+  }
+}
+
+void Lowerer::lowerFunctionBody(const FuncDecl *Func) {
+  lowerStmt(Func->Body);
+}
+
+std::optional<Program> Lowerer::run() {
+  const FuncDecl *Entry = Unit.findFunction(Options.EntryFunction);
+  if (!Entry) {
+    Diags.error(SourceLoc(), "entry function '" + Options.EntryFunction +
+                                 "' not found");
+    return std::nullopt;
+  }
+  P.EntryName = Entry->Name;
+
+  BlockId EntryBlock = newBlock("entry");
+  setBlock(EntryBlock);
+  assert(EntryBlock == Program::EntryBlock && "entry must be block 0");
+
+  // Materialize globals up front so VarIds are stable and independent of
+  // first-use order inside the code.
+  for (const VarDecl *Global : Unit.Globals) {
+    if (Global->Type.IsReg) {
+      RegId Reg = getRegVar(Global);
+      if (!Global->Init.empty()) {
+        auto V = evaluateConstExpr(Global->Init.front());
+        Instruction Mov;
+        Mov.Op = Opcode::Mov;
+        Mov.Dst = Reg;
+        Mov.A = Operand::imm(V.value_or(0));
+        Mov.Loc = Global->Loc;
+        emit(std::move(Mov));
+        RegConsts[Global] = V.value_or(0);
+      }
+      continue;
+    }
+    getMemVar(Global);
+  }
+
+  // Entry parameters are program inputs: they get slots but no defined
+  // initial values.
+  for (const VarDecl *Param : Entry->Params) {
+    if (Param->Type.IsReg)
+      getRegVar(Param);
+    else
+      getMemVar(Param);
+  }
+
+  lowerFunctionBody(Entry);
+  if (!Sealed) {
+    Instruction Ret;
+    Ret.Op = Opcode::Ret;
+    emit(std::move(Ret));
+  }
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return std::move(P);
+}
+
+std::optional<Program> specai::lowerProgram(const TranslationUnit &Unit,
+                                            const LoweringOptions &Options,
+                                            DiagnosticEngine &Diags) {
+  Lowerer L(Unit, Options, Diags);
+  return L.run();
+}

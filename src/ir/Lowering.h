@@ -1,0 +1,64 @@
+//===- Lowering.h - AST to IR lowering --------------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked mini-C translation unit into a single fully inlined
+/// Program:
+///
+///  - Every named non-`reg` variable becomes a memory object; each use
+///    loads it and each definition stores it (like LLVM allocas before
+///    mem2reg), so the analysis sees the access stream the paper's tables
+///    assume. `reg` variables live in virtual registers and are invisible
+///    to the cache, matching the paper's Figure 2.
+///  - Calls are inlined (Sema guarantees an acyclic call graph).
+///  - Counted `for` loops whose induction variable is not assigned in the
+///    body are fully unrolled, substituting the constant induction value
+///    into the body (the paper §6.3: "loops with fixed iteration number
+///    will be fully unrolled"). For a memory-resident induction variable
+///    the per-iteration store is still emitted so the cache pressure of the
+///    variable itself is preserved.
+///  - Constant expressions fold, so unrolled preload loops produce constant
+///    array indices, which the memory model maps to exact cache blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_IR_LOWERING_H
+#define SPECAI_IR_LOWERING_H
+
+#include "ir/Ir.h"
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace specai {
+
+/// Tunables for lowering.
+struct LoweringOptions {
+  /// Function to lower as the program entry.
+  std::string EntryFunction = "main";
+  /// Unrolling gives up beyond this many iterations and falls back to a
+  /// widened loop, like the paper's "unresolved" loops.
+  uint64_t MaxUnrollIterations = 65536;
+  /// Hard cap on inlining depth (recursion is rejected by Sema; this guards
+  /// against deep call chains).
+  unsigned MaxInlineDepth = 64;
+  /// Master switch for full loop unrolling.
+  bool EnableUnrolling = true;
+};
+
+/// Lowers \p Unit into a Program. Returns nullopt and reports diagnostics
+/// on failure (missing entry, inline depth exceeded, ...). \p Unit must
+/// have passed Sema.
+std::optional<Program> lowerProgram(const TranslationUnit &Unit,
+                                    const LoweringOptions &Options,
+                                    DiagnosticEngine &Diags);
+
+} // namespace specai
+
+#endif // SPECAI_IR_LOWERING_H

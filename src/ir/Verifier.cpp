@@ -1,0 +1,111 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+using namespace specai;
+
+std::vector<std::string> specai::verifyProgram(const Program &P) {
+  std::vector<std::string> Issues;
+  auto Bad = [&](BlockId B, size_t I, const std::string &Msg) {
+    Issues.push_back("bb" + std::to_string(B) + ":" + std::to_string(I) +
+                     ": " + Msg);
+  };
+
+  if (P.Blocks.empty()) {
+    Issues.push_back("program has no blocks");
+    return Issues;
+  }
+
+  auto CheckOperand = [&](BlockId B, size_t I, const Operand &Op,
+                          const char *What, bool Required) {
+    if (Op.isNone()) {
+      if (Required)
+        Bad(B, I, std::string("missing required operand: ") + What);
+      return;
+    }
+    if (Op.isReg() && Op.Reg >= P.NumRegs)
+      Bad(B, I, std::string(What) + " register out of range");
+  };
+
+  for (BlockId B = 0; B != P.Blocks.size(); ++B) {
+    const BasicBlock &Block = P.Blocks[B];
+    if (Block.Insts.empty()) {
+      Bad(B, 0, "empty basic block");
+      continue;
+    }
+    for (size_t I = 0; I != Block.Insts.size(); ++I) {
+      const Instruction &Inst = Block.Insts[I];
+      bool IsLast = I + 1 == Block.Insts.size();
+      if (Inst.isTerminator() != IsLast) {
+        Bad(B, I, IsLast ? "block does not end with a terminator"
+                         : "terminator in the middle of a block");
+      }
+      switch (Inst.Op) {
+      case Opcode::Mov:
+        if (Inst.Dst == InvalidReg || Inst.Dst >= P.NumRegs)
+          Bad(B, I, "mov destination register invalid");
+        CheckOperand(B, I, Inst.A, "mov source", /*Required=*/true);
+        break;
+      case Opcode::Bin:
+        if (Inst.Dst == InvalidReg || Inst.Dst >= P.NumRegs)
+          Bad(B, I, "bin destination register invalid");
+        CheckOperand(B, I, Inst.A, "bin lhs", /*Required=*/true);
+        CheckOperand(B, I, Inst.B, "bin rhs", /*Required=*/true);
+        break;
+      case Opcode::Load:
+      case Opcode::Store: {
+        if (Inst.Var == InvalidVar || Inst.Var >= P.Vars.size()) {
+          Bad(B, I, "memory access references invalid variable");
+          break;
+        }
+        const MemVar &Var = P.Vars[Inst.Var];
+        bool IsArray = Var.NumElements > 1;
+        if (IsArray && Inst.Index.isNone())
+          Bad(B, I, "array access '" + Var.Name + "' without an index");
+        if (!IsArray && !Inst.Index.isNone())
+          Bad(B, I, "scalar access '" + Var.Name + "' with an index");
+        CheckOperand(B, I, Inst.Index, "access index", /*Required=*/false);
+        if (Inst.Op == Opcode::Load) {
+          if (Inst.Dst == InvalidReg || Inst.Dst >= P.NumRegs)
+            Bad(B, I, "load destination register invalid");
+        } else {
+          CheckOperand(B, I, Inst.A, "store value", /*Required=*/true);
+        }
+        break;
+      }
+      case Opcode::Br:
+        CheckOperand(B, I, Inst.A, "branch condition", /*Required=*/true);
+        if (Inst.TrueTarget >= P.Blocks.size() ||
+            Inst.FalseTarget >= P.Blocks.size())
+          Bad(B, I, "branch target out of range");
+        break;
+      case Opcode::Jmp:
+        if (Inst.TrueTarget >= P.Blocks.size())
+          Bad(B, I, "jump target out of range");
+        break;
+      case Opcode::Ret:
+        CheckOperand(B, I, Inst.A, "return value", /*Required=*/false);
+        break;
+      }
+    }
+  }
+
+  for (const MemVar &Var : P.Vars) {
+    if (Var.NumElements == 0)
+      Issues.push_back("variable '" + Var.Name + "' has zero elements");
+    if (Var.ElemSize != 1 && Var.ElemSize != 2 && Var.ElemSize != 4 &&
+        Var.ElemSize != 8)
+      Issues.push_back("variable '" + Var.Name +
+                       "' has unsupported element size");
+    if (Var.Init.size() > Var.NumElements)
+      Issues.push_back("variable '" + Var.Name +
+                       "' has more initializers than elements");
+  }
+
+  return Issues;
+}

@@ -1,0 +1,27 @@
+//===- Verifier.h - IR structural validity checks ---------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_IR_VERIFIER_H
+#define SPECAI_IR_VERIFIER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Checks structural invariants of a lowered Program: every block ends in
+/// exactly one terminator, branch targets are in range, operand kinds match
+/// opcodes, register and variable indices are in bounds, and memory operand
+/// indices are only present on arrays. Returns a list of violations (empty
+/// means valid).
+std::vector<std::string> verifyProgram(const Program &P);
+
+} // namespace specai
+
+#endif // SPECAI_IR_VERIFIER_H

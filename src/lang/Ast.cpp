@@ -1,0 +1,226 @@
+//===- Ast.cpp ------------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+#include <cassert>
+
+using namespace specai;
+
+unsigned specai::typeSizeInBytes(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Char:
+    return 1;
+  case TypeKind::Short:
+    return 2;
+  case TypeKind::Int:
+    return 4;
+  case TypeKind::Long:
+    return 8;
+  case TypeKind::Void:
+    return 0;
+  }
+  return 0;
+}
+
+const char *specai::typeKindName(TypeKind Kind) {
+  switch (Kind) {
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Short:
+    return "short";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Long:
+    return "long";
+  case TypeKind::Void:
+    return "void";
+  }
+  return "<invalid>";
+}
+
+const char *specai::binaryOpName(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Rem:
+    return "%";
+  case BinaryOpKind::Shl:
+    return "<<";
+  case BinaryOpKind::Shr:
+    return ">>";
+  case BinaryOpKind::And:
+    return "&";
+  case BinaryOpKind::Or:
+    return "|";
+  case BinaryOpKind::Xor:
+    return "^";
+  case BinaryOpKind::LogAnd:
+    return "&&";
+  case BinaryOpKind::LogOr:
+    return "||";
+  case BinaryOpKind::Eq:
+    return "==";
+  case BinaryOpKind::Ne:
+    return "!=";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Ge:
+    return ">=";
+  }
+  return "<invalid>";
+}
+
+FuncDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  for (FuncDecl *F : Functions)
+    if (F->Name == Name)
+      return F;
+  return nullptr;
+}
+
+VarDecl *TranslationUnit::findGlobal(const std::string &Name) const {
+  for (VarDecl *V : Globals)
+    if (V->Name == Name)
+      return V;
+  return nullptr;
+}
+
+std::string specai::printExpr(const Expr *E) {
+  assert(E && "printing null expression");
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return std::to_string(static_cast<const IntLitExpr *>(E)->Value);
+  case ExprKind::VarRef:
+    return static_cast<const VarRefExpr *>(E)->Name;
+  case ExprKind::Index: {
+    const auto *IE = static_cast<const IndexExpr *>(E);
+    return printExpr(IE->Base) + "[" + printExpr(IE->Index) + "]";
+  }
+  case ExprKind::Unary: {
+    const auto *UE = static_cast<const UnaryExpr *>(E);
+    const char *Op = UE->Op == UnaryOpKind::Neg      ? "-"
+                     : UE->Op == UnaryOpKind::BitNot ? "~"
+                                                     : "!";
+    return std::string(Op) + "(" + printExpr(UE->Operand) + ")";
+  }
+  case ExprKind::Binary: {
+    const auto *BE = static_cast<const BinaryExpr *>(E);
+    return "(" + printExpr(BE->LHS) + " " + binaryOpName(BE->Op) + " " +
+           printExpr(BE->RHS) + ")";
+  }
+  case ExprKind::Ternary: {
+    const auto *TE = static_cast<const TernaryExpr *>(E);
+    return "(" + printExpr(TE->Cond) + " ? " + printExpr(TE->TrueExpr) +
+           " : " + printExpr(TE->FalseExpr) + ")";
+  }
+  case ExprKind::Call: {
+    const auto *CE = static_cast<const CallExpr *>(E);
+    std::string Out = CE->Callee + "(";
+    for (size_t I = 0; I != CE->Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += printExpr(CE->Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  return "<invalid-expr>";
+}
+
+std::string specai::printStmt(const Stmt *S, unsigned Indent) {
+  assert(S && "printing null statement");
+  std::string Pad(Indent * 2, ' ');
+  switch (S->Kind) {
+  case StmtKind::Decl: {
+    const auto *DS = static_cast<const DeclStmt *>(S);
+    std::string Out;
+    for (const VarDecl *D : DS->Decls) {
+      Out += Pad;
+      if (D->Type.IsSecret)
+        Out += "secret ";
+      if (D->Type.IsReg)
+        Out += "reg ";
+      Out += typeKindName(D->Type.Kind);
+      Out += ' ';
+      Out += D->Name;
+      if (D->IsArray)
+        Out += "[" + std::to_string(D->NumElements) + "]";
+      if (!D->Init.empty()) {
+        Out += " = ";
+        if (D->IsArray) {
+          Out += "{...}";
+        } else {
+          Out += printExpr(D->Init.front());
+        }
+      }
+      Out += ";\n";
+    }
+    return Out;
+  }
+  case StmtKind::Assign: {
+    const auto *AS = static_cast<const AssignStmt *>(S);
+    return Pad + printExpr(AS->Target) + " = " + printExpr(AS->Value) + ";\n";
+  }
+  case StmtKind::Expr:
+    return Pad + printExpr(static_cast<const ExprStmt *>(S)->E) + ";\n";
+  case StmtKind::Block: {
+    const auto *BS = static_cast<const BlockStmt *>(S);
+    std::string Out = Pad + "{\n";
+    for (const Stmt *Child : BS->Body)
+      Out += printStmt(Child, Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::If: {
+    const auto *IS = static_cast<const IfStmt *>(S);
+    std::string Out = Pad + "if (" + printExpr(IS->Cond) + ")\n";
+    Out += printStmt(IS->Then, Indent + 1);
+    if (IS->Else) {
+      Out += Pad + "else\n";
+      Out += printStmt(IS->Else, Indent + 1);
+    }
+    return Out;
+  }
+  case StmtKind::For: {
+    const auto *FS = static_cast<const ForStmt *>(S);
+    std::string Out = Pad + "for (...; " +
+                      (FS->Cond ? printExpr(FS->Cond) : std::string()) +
+                      "; ...)\n";
+    return Out + printStmt(FS->Body, Indent + 1);
+  }
+  case StmtKind::While: {
+    const auto *WS = static_cast<const WhileStmt *>(S);
+    return Pad + "while (" + printExpr(WS->Cond) + ")\n" +
+           printStmt(WS->Body, Indent + 1);
+  }
+  case StmtKind::DoWhile: {
+    const auto *DS = static_cast<const DoWhileStmt *>(S);
+    return Pad + "do\n" + printStmt(DS->Body, Indent + 1) + Pad + "while (" +
+           printExpr(DS->Cond) + ");\n";
+  }
+  case StmtKind::Break:
+    return Pad + "break;\n";
+  case StmtKind::Continue:
+    return Pad + "continue;\n";
+  case StmtKind::Return: {
+    const auto *RS = static_cast<const ReturnStmt *>(S);
+    if (RS->Value)
+      return Pad + "return " + printExpr(RS->Value) + ";\n";
+    return Pad + "return;\n";
+  }
+  }
+  return Pad + "<invalid-stmt>\n";
+}

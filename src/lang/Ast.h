@@ -1,0 +1,349 @@
+//===- Ast.h - Mini-C abstract syntax tree ----------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the mini-C language. All nodes are owned by an AstContext; node
+/// cross references are raw non-owning pointers. The tree is deliberately
+/// simple: a single integer value category (64-bit signed), scalars and
+/// one-dimensional arrays, and structured control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_LANG_AST_H
+#define SPECAI_LANG_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specai {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar element types. Only the byte width matters for the cache model;
+/// arithmetic is uniformly 64-bit signed.
+enum class TypeKind { Char, Short, Int, Long, Void };
+
+/// Size in bytes of one element of the given type (Void = 0).
+unsigned typeSizeInBytes(TypeKind Kind);
+
+/// Printable spelling, e.g. "int".
+const char *typeKindName(TypeKind Kind);
+
+/// A type with the analysis-relevant qualifiers.
+struct QualType {
+  TypeKind Kind = TypeKind::Int;
+  /// Secret data (taint source) for side channel detection, paper §2.2.
+  bool IsSecret = false;
+  /// Register-allocated: never memory resident, invisible to the cache.
+  bool IsReg = false;
+  bool IsConst = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+struct Stmt;
+struct FuncDecl;
+
+/// A scalar or array variable declaration (global, local, or parameter).
+struct VarDecl {
+  std::string Name;
+  QualType Type;
+  SourceLoc Loc;
+  /// Element count; 1 for scalars.
+  uint64_t NumElements = 1;
+  bool IsArray = false;
+  bool IsGlobal = false;
+  bool IsParam = false;
+  /// Owning function, null for globals. Used to build unique memory names.
+  FuncDecl *Parent = nullptr;
+  /// Optional initializer expressions (one for scalars, up to NumElements
+  /// for arrays; shorter lists zero-fill the rest, as in C).
+  std::vector<Expr *> Init;
+  /// Array size expression as written; Sema constant-folds it into
+  /// NumElements. Null for scalars.
+  Expr *SizeExpr = nullptr;
+  /// Unique id assigned by Sema, stable across the whole translation unit.
+  unsigned DeclId = 0;
+
+  /// The size of the whole object in bytes.
+  uint64_t sizeInBytes() const {
+    return NumElements * typeSizeInBytes(Type.Kind);
+  }
+};
+
+/// A function definition.
+struct FuncDecl {
+  std::string Name;
+  QualType ReturnType;
+  SourceLoc Loc;
+  std::vector<VarDecl *> Params;
+  Stmt *Body = nullptr; // Always a BlockStmt.
+  /// All local declarations (including params), collected by Sema.
+  std::vector<VarDecl *> Locals;
+  /// Functions this one calls, collected by Sema (for recursion checks).
+  std::vector<FuncDecl *> Callees;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind { IntLit, VarRef, Index, Unary, Binary, Ternary, Call };
+
+enum class UnaryOpKind { Neg, BitNot, LogNot };
+
+enum class BinaryOpKind {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+  LogAnd,
+  LogOr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+/// Printable spelling, e.g. "+".
+const char *binaryOpName(BinaryOpKind Op);
+
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+struct IntLitExpr : Expr {
+  int64_t Value;
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+};
+
+struct VarRefExpr : Expr {
+  std::string Name;
+  /// Resolved by Sema.
+  VarDecl *Decl = nullptr;
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+};
+
+/// Array subscript `base[index]`. The base is always a direct VarRef.
+struct IndexExpr : Expr {
+  VarRefExpr *Base;
+  Expr *Index;
+  IndexExpr(VarRefExpr *Base, Expr *Index, SourceLoc Loc)
+      : Expr(ExprKind::Index, Loc), Base(Base), Index(Index) {}
+};
+
+struct UnaryExpr : Expr {
+  UnaryOpKind Op;
+  Expr *Operand;
+  UnaryExpr(UnaryOpKind Op, Expr *Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(Operand) {}
+};
+
+struct BinaryExpr : Expr {
+  BinaryOpKind Op;
+  Expr *LHS;
+  Expr *RHS;
+  BinaryExpr(BinaryOpKind Op, Expr *LHS, Expr *RHS, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+};
+
+struct TernaryExpr : Expr {
+  Expr *Cond;
+  Expr *TrueExpr;
+  Expr *FalseExpr;
+  TernaryExpr(Expr *Cond, Expr *TrueExpr, Expr *FalseExpr, SourceLoc Loc)
+      : Expr(ExprKind::Ternary, Loc), Cond(Cond), TrueExpr(TrueExpr),
+        FalseExpr(FalseExpr) {}
+};
+
+struct CallExpr : Expr {
+  std::string Callee;
+  /// Resolved by Sema.
+  FuncDecl *Decl = nullptr;
+  std::vector<Expr *> Args;
+  CallExpr(std::string Callee, std::vector<Expr *> Args, SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Decl,
+  Assign,
+  Expr,
+  Block,
+  If,
+  For,
+  While,
+  DoWhile,
+  Break,
+  Continue,
+  Return,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+struct DeclStmt : Stmt {
+  std::vector<VarDecl *> Decls;
+  DeclStmt(std::vector<VarDecl *> Decls, SourceLoc Loc)
+      : Stmt(StmtKind::Decl, Loc), Decls(std::move(Decls)) {}
+};
+
+/// `target = value;`. Compound assignments and ++/-- are desugared by the
+/// parser into plain assignments.
+struct AssignStmt : Stmt {
+  Expr *Target; // VarRefExpr or IndexExpr.
+  Expr *Value;
+  AssignStmt(Expr *Target, Expr *Value, SourceLoc Loc)
+      : Stmt(StmtKind::Assign, Loc), Target(Target), Value(Value) {}
+};
+
+/// An expression evaluated for side effects (a call, typically).
+struct ExprStmt : Stmt {
+  Expr *E;
+  ExprStmt(Expr *E, SourceLoc Loc) : Stmt(StmtKind::Expr, Loc), E(E) {}
+};
+
+struct BlockStmt : Stmt {
+  std::vector<Stmt *> Body;
+  BlockStmt(std::vector<Stmt *> Body, SourceLoc Loc)
+      : Stmt(StmtKind::Block, Loc), Body(std::move(Body)) {}
+};
+
+struct IfStmt : Stmt {
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; // May be null.
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+};
+
+struct ForStmt : Stmt {
+  Stmt *Init; // May be null; DeclStmt or AssignStmt.
+  Expr *Cond; // May be null (infinite loop).
+  Stmt *Step; // May be null; AssignStmt.
+  Stmt *Body;
+  ForStmt(Stmt *Init, Expr *Cond, Stmt *Step, Stmt *Body, SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+};
+
+struct WhileStmt : Stmt {
+  Expr *Cond;
+  Stmt *Body;
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(Cond), Body(Body) {}
+};
+
+struct DoWhileStmt : Stmt {
+  Stmt *Body;
+  Expr *Cond;
+  DoWhileStmt(Stmt *Body, Expr *Cond, SourceLoc Loc)
+      : Stmt(StmtKind::DoWhile, Loc), Body(Body), Cond(Cond) {}
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+};
+
+struct ReturnStmt : Stmt {
+  Expr *Value; // May be null.
+  ReturnStmt(Expr *Value, SourceLoc Loc)
+      : Stmt(StmtKind::Return, Loc), Value(Value) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Context and translation unit
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node of one translation unit.
+class AstContext {
+public:
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Node = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Ptr = Node.get();
+    Allocations.push_back(std::move(Node));
+    return Ptr;
+  }
+
+  VarDecl *createVarDecl() {
+    auto Node = std::make_unique<VarDecl>();
+    VarDecl *Ptr = Node.get();
+    VarAllocations.push_back(std::move(Node));
+    return Ptr;
+  }
+
+  FuncDecl *createFuncDecl() {
+    auto Node = std::make_unique<FuncDecl>();
+    FuncDecl *Ptr = Node.get();
+    FuncAllocations.push_back(std::move(Node));
+    return Ptr;
+  }
+
+private:
+  // Type-erased ownership: Stmt/Expr have no virtual destructor (they are
+  // plain structs), so shared_ptr<void>'s type-erased deleter destroys each
+  // node through its concrete type.
+  std::vector<std::shared_ptr<void>> Allocations;
+  std::vector<std::unique_ptr<VarDecl>> VarAllocations;
+  std::vector<std::unique_ptr<FuncDecl>> FuncAllocations;
+};
+
+/// A parsed translation unit: global variables and functions, in source
+/// order.
+struct TranslationUnit {
+  std::vector<VarDecl *> Globals;
+  std::vector<FuncDecl *> Functions;
+
+  /// Finds a function by name; null if absent.
+  FuncDecl *findFunction(const std::string &Name) const;
+  /// Finds a global by name; null if absent.
+  VarDecl *findGlobal(const std::string &Name) const;
+};
+
+/// Renders an expression as source-like text (for tests/diagnostics).
+std::string printExpr(const Expr *E);
+
+/// Renders a statement tree with two-space indentation.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+} // namespace specai
+
+#endif // SPECAI_LANG_AST_H

@@ -1,0 +1,415 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace specai;
+
+const char *specai::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwShort:
+    return "'short'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwSecret:
+    return "'secret'";
+  case TokenKind::KwReg:
+    return "'reg'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::AmpEqual:
+    return "'&='";
+  case TokenKind::PipeEqual:
+    return "'|='";
+  case TokenKind::CaretEqual:
+    return "'^='";
+  case TokenKind::LessLessEqual:
+    return "'<<='";
+  case TokenKind::GreaterGreaterEqual:
+    return "'>>='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "<invalid token>";
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordMap() {
+  static const std::unordered_map<std::string_view, TokenKind> Map = {
+      {"char", TokenKind::KwChar},         {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},           {"long", TokenKind::KwLong},
+      {"void", TokenKind::KwVoid},         {"unsigned", TokenKind::KwUnsigned},
+      {"secret", TokenKind::KwSecret},     {"reg", TokenKind::KwReg},
+      {"register", TokenKind::KwReg},      {"const", TokenKind::KwConst},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},           {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},             {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"return", TokenKind::KwReturn},
+  };
+  return Map;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc = currentLoc();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::Eof, Loc);
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordMap().find(Text);
+    if (It != keywordMap().end())
+      return makeToken(It->second, Loc, Text);
+    return makeToken(TokenKind::Identifier, Loc, Text);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = 0;
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      bool HasDigit = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        int Nibble = std::isdigit(static_cast<unsigned char>(D))
+                         ? D - '0'
+                         : std::tolower(D) - 'a' + 10;
+        Value = Value * 16 + Nibble;
+        HasDigit = true;
+      }
+      if (!HasDigit)
+        Diags.error(Loc, "hexadecimal literal has no digits");
+    } else {
+      Value = C - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + (advance() - '0');
+    }
+    // Consume C integer suffixes (L, U, UL, ...) so real C snippets lex.
+    while (peek() == 'l' || peek() == 'L' || peek() == 'u' || peek() == 'U')
+      advance();
+    Token T = makeToken(TokenKind::IntLiteral, Loc);
+    T.IntValue = Value;
+    return T;
+  }
+
+  if (C == '\'') {
+    int64_t Value = 0;
+    if (peek() == '\\') {
+      advance();
+      char Esc = advance();
+      switch (Esc) {
+      case 'n':
+        Value = '\n';
+        break;
+      case 't':
+        Value = '\t';
+        break;
+      case '0':
+        Value = 0;
+        break;
+      case '\\':
+        Value = '\\';
+        break;
+      case '\'':
+        Value = '\'';
+        break;
+      default:
+        Diags.error(Loc, "unknown escape sequence in character literal");
+      }
+    } else {
+      Value = static_cast<unsigned char>(advance());
+    }
+    if (!match('\''))
+      Diags.error(Loc, "unterminated character literal");
+    Token T = makeToken(TokenKind::IntLiteral, Loc);
+    T.IntValue = Value;
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case '?':
+    return makeToken(TokenKind::Question, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Loc);
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Loc);
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Loc);
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Loc);
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Loc);
+    return makeToken(TokenKind::Percent, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc);
+    if (match('='))
+      return makeToken(TokenKind::AmpEqual, Loc);
+    return makeToken(TokenKind::Amp, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PipeEqual, Loc);
+    return makeToken(TokenKind::Pipe, Loc);
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretEqual, Loc);
+    return makeToken(TokenKind::Caret, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEqual, Loc);
+    return makeToken(TokenKind::Bang, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Loc);
+    return makeToken(TokenKind::Equal, Loc);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::LessLessEqual, Loc);
+      return makeToken(TokenKind::LessLess, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc);
+    return makeToken(TokenKind::Less, Loc);
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokenKind::GreaterGreaterEqual, Loc);
+      return makeToken(TokenKind::GreaterGreater, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc);
+    return makeToken(TokenKind::Greater, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return lexToken();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool IsEof = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (IsEof)
+      return Tokens;
+  }
+}

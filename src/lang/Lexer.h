@@ -1,0 +1,48 @@
+//===- Lexer.h - Mini-C lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_LANG_LEXER_H
+#define SPECAI_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace specai {
+
+/// Turns a mini-C source buffer into a token stream. Supports decimal, hex
+/// (0x...) and character ('a') literals, line (//) and block comments.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer. The returned vector always ends with an Eof
+  /// token; on error, diagnostics are reported and the offending character
+  /// is skipped.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text = "");
+  void skipWhitespaceAndComments();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  SourceLoc currentLoc() const { return SourceLoc(Line, Col); }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace specai
+
+#endif // SPECAI_LANG_LEXER_H

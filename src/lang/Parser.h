@@ -1,0 +1,83 @@
+//===- Parser.h - Mini-C recursive descent parser ---------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_LANG_PARSER_H
+#define SPECAI_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace specai {
+
+/// Recursive-descent parser for mini-C. Compound assignments (`+=` etc.) and
+/// `++`/`--` statements are desugared into plain assignments during parsing,
+/// so later phases only see canonical AST forms.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, AstContext &Context,
+         DiagnosticEngine &Diags);
+
+  /// Parses a whole translation unit. On error, diagnostics are reported and
+  /// the best-effort partial unit is returned; callers must check
+  /// Diags.hasErrors().
+  TranslationUnit parseTranslationUnit();
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToSemi();
+
+  // Declarations.
+  bool parseQualifiersAndType(QualType &Type, bool &SawAny);
+  std::vector<VarDecl *> parseVarDeclarators(QualType Type, bool IsGlobal,
+                                             FuncDecl *Parent);
+  FuncDecl *parseFunction(QualType ReturnType, std::string Name,
+                          SourceLoc Loc);
+
+  // Statements.
+  Stmt *parseStmt();
+  Stmt *parseBlock();
+  Stmt *parseIf();
+  Stmt *parseFor();
+  Stmt *parseWhile();
+  Stmt *parseDoWhile();
+  Stmt *parseReturn();
+  /// Parses `lvalue = expr`, `lvalue op= expr`, `lvalue++/--`, or a call;
+  /// \p ConsumeSemi controls whether the trailing ';' is required (false in
+  /// for-headers).
+  Stmt *parseExprOrAssign(bool ConsumeSemi);
+
+  // Expressions (precedence climbing).
+  Expr *parseExpr();
+  Expr *parseTernary();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  /// Builds a structurally fresh copy of an lvalue for compound-assignment
+  /// desugaring (`x += e` becomes `x = x + e`).
+  Expr *rebuildLValue(Expr *LValue);
+
+  FuncDecl *CurrentFunction = nullptr;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  AstContext &Context;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace specai
+
+#endif // SPECAI_LANG_PARSER_H

@@ -1,0 +1,458 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specai;
+
+std::optional<int64_t> specai::evaluateConstExpr(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return static_cast<const IntLitExpr *>(E)->Value;
+  case ExprKind::Unary: {
+    const auto *UE = static_cast<const UnaryExpr *>(E);
+    auto V = evaluateConstExpr(UE->Operand);
+    if (!V)
+      return std::nullopt;
+    switch (UE->Op) {
+    case UnaryOpKind::Neg:
+      return -*V;
+    case UnaryOpKind::BitNot:
+      return ~*V;
+    case UnaryOpKind::LogNot:
+      return *V == 0 ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Binary: {
+    const auto *BE = static_cast<const BinaryExpr *>(E);
+    auto L = evaluateConstExpr(BE->LHS);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit operators may be constant even with a non-constant RHS.
+    if (BE->Op == BinaryOpKind::LogAnd && *L == 0)
+      return 0;
+    if (BE->Op == BinaryOpKind::LogOr && *L != 0)
+      return 1;
+    auto R = evaluateConstExpr(BE->RHS);
+    if (!R)
+      return std::nullopt;
+    switch (BE->Op) {
+    case BinaryOpKind::Add:
+      return *L + *R;
+    case BinaryOpKind::Sub:
+      return *L - *R;
+    case BinaryOpKind::Mul:
+      return *L * *R;
+    case BinaryOpKind::Div:
+      if (*R == 0)
+        return std::nullopt;
+      return *L / *R;
+    case BinaryOpKind::Rem:
+      if (*R == 0)
+        return std::nullopt;
+      return *L % *R;
+    case BinaryOpKind::Shl:
+      if (*R < 0 || *R >= 64)
+        return std::nullopt;
+      return static_cast<int64_t>(static_cast<uint64_t>(*L) << *R);
+    case BinaryOpKind::Shr:
+      if (*R < 0 || *R >= 64)
+        return std::nullopt;
+      return *L >> *R;
+    case BinaryOpKind::And:
+      return *L & *R;
+    case BinaryOpKind::Or:
+      return *L | *R;
+    case BinaryOpKind::Xor:
+      return *L ^ *R;
+    case BinaryOpKind::LogAnd:
+      return (*L != 0 && *R != 0) ? 1 : 0;
+    case BinaryOpKind::LogOr:
+      return (*L != 0 || *R != 0) ? 1 : 0;
+    case BinaryOpKind::Eq:
+      return *L == *R ? 1 : 0;
+    case BinaryOpKind::Ne:
+      return *L != *R ? 1 : 0;
+    case BinaryOpKind::Lt:
+      return *L < *R ? 1 : 0;
+    case BinaryOpKind::Le:
+      return *L <= *R ? 1 : 0;
+    case BinaryOpKind::Gt:
+      return *L > *R ? 1 : 0;
+    case BinaryOpKind::Ge:
+      return *L >= *R ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Ternary: {
+    const auto *TE = static_cast<const TernaryExpr *>(E);
+    auto C = evaluateConstExpr(TE->Cond);
+    if (!C)
+      return std::nullopt;
+    return evaluateConstExpr(*C != 0 ? TE->TrueExpr : TE->FalseExpr);
+  }
+  case ExprKind::VarRef:
+  case ExprKind::Index:
+  case ExprKind::Call:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() {
+  assert(!Scopes.empty() && "scope stack underflow");
+  Scopes.pop_back();
+}
+
+void Sema::declare(VarDecl *Decl) {
+  assert(!Scopes.empty() && "no active scope");
+  auto &Scope = Scopes.back();
+  auto [It, Inserted] = Scope.emplace(Decl->Name, Decl);
+  if (!Inserted) {
+    Diags.error(Decl->Loc, "redeclaration of '" + Decl->Name + "'");
+    Diags.note(It->second->Loc, "previous declaration is here");
+    return;
+  }
+  Decl->DeclId = NextDeclId++;
+  if (CurrentFunction && !Decl->IsGlobal)
+    CurrentFunction->Locals.push_back(Decl);
+}
+
+VarDecl *Sema::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Sema::checkVarDecl(VarDecl *Decl, bool IsLocal) {
+  if (Decl->Type.Kind == TypeKind::Void) {
+    Diags.error(Decl->Loc, "variable '" + Decl->Name + "' has void type");
+    Decl->Type.Kind = TypeKind::Int;
+  }
+
+  if (Decl->IsArray) {
+    auto Size = evaluateConstExpr(Decl->SizeExpr);
+    if (!Size || *Size <= 0) {
+      Diags.error(Decl->Loc,
+                  "array '" + Decl->Name + "' needs a positive constant size");
+      Decl->NumElements = 1;
+    } else {
+      Decl->NumElements = static_cast<uint64_t>(*Size);
+    }
+    if (Decl->Type.IsReg)
+      Diags.error(Decl->Loc, "arrays cannot be 'reg' qualified");
+    if (Decl->Init.size() > Decl->NumElements)
+      Diags.error(Decl->Loc, "too many initializers for '" + Decl->Name + "'");
+  } else if (Decl->Init.size() > 1) {
+    Diags.error(Decl->Loc, "scalar '" + Decl->Name +
+                               "' initialized with a brace list");
+  }
+
+  for (Expr *Init : Decl->Init) {
+    if (!Init)
+      continue;
+    if (Decl->IsGlobal) {
+      // Global initializers must be constant so the interpreter and memory
+      // model can materialize them without running code.
+      if (!evaluateConstExpr(Init))
+        Diags.error(Init->Loc, "global initializer for '" + Decl->Name +
+                                   "' is not a constant expression");
+      continue;
+    }
+    checkExpr(Init, /*AsValue=*/true);
+  }
+
+  declare(Decl);
+  (void)IsLocal;
+}
+
+void Sema::checkLValue(Expr *E) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::VarRef) {
+    auto *Ref = static_cast<VarRefExpr *>(E);
+    checkExpr(Ref, /*AsValue=*/false);
+    if (Ref->Decl) {
+      if (Ref->Decl->IsArray)
+        Diags.error(E->Loc,
+                    "cannot assign to array '" + Ref->Name + "' as a whole");
+      if (Ref->Decl->Type.IsConst)
+        Diags.error(E->Loc, "cannot assign to const '" + Ref->Name + "'");
+    }
+    return;
+  }
+  if (E->Kind == ExprKind::Index) {
+    auto *IE = static_cast<IndexExpr *>(E);
+    checkExpr(IE, /*AsValue=*/false);
+    if (IE->Base->Decl && IE->Base->Decl->Type.IsConst)
+      Diags.error(E->Loc,
+                  "cannot assign to element of const '" + IE->Base->Name +
+                      "'");
+    return;
+  }
+  Diags.error(E->Loc, "assignment target is not an lvalue");
+}
+
+void Sema::checkExpr(Expr *E, bool AsValue) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return;
+  case ExprKind::VarRef: {
+    auto *Ref = static_cast<VarRefExpr *>(E);
+    Ref->Decl = lookup(Ref->Name);
+    if (!Ref->Decl) {
+      Diags.error(E->Loc, "use of undeclared identifier '" + Ref->Name + "'");
+      return;
+    }
+    if (AsValue && Ref->Decl->IsArray)
+      Diags.error(E->Loc, "array '" + Ref->Name +
+                              "' must be subscripted to produce a value");
+    return;
+  }
+  case ExprKind::Index: {
+    auto *IE = static_cast<IndexExpr *>(E);
+    IE->Base->Decl = lookup(IE->Base->Name);
+    if (!IE->Base->Decl) {
+      Diags.error(E->Loc,
+                  "use of undeclared identifier '" + IE->Base->Name + "'");
+    } else if (!IE->Base->Decl->IsArray) {
+      Diags.error(E->Loc, "subscripted variable '" + IE->Base->Name +
+                              "' is not an array");
+    } else if (auto Idx = evaluateConstExpr(IE->Index)) {
+      if (*Idx < 0 ||
+          static_cast<uint64_t>(*Idx) >= IE->Base->Decl->NumElements)
+        Diags.warning(E->Loc, "constant index " + std::to_string(*Idx) +
+                                  " is out of bounds for '" + IE->Base->Name +
+                                  "' (" +
+                                  std::to_string(IE->Base->Decl->NumElements) +
+                                  " elements)");
+    }
+    checkExpr(IE->Index, /*AsValue=*/true);
+    return;
+  }
+  case ExprKind::Unary:
+    checkExpr(static_cast<UnaryExpr *>(E)->Operand, /*AsValue=*/true);
+    return;
+  case ExprKind::Binary: {
+    auto *BE = static_cast<BinaryExpr *>(E);
+    checkExpr(BE->LHS, /*AsValue=*/true);
+    checkExpr(BE->RHS, /*AsValue=*/true);
+    return;
+  }
+  case ExprKind::Ternary: {
+    auto *TE = static_cast<TernaryExpr *>(E);
+    checkExpr(TE->Cond, /*AsValue=*/true);
+    checkExpr(TE->TrueExpr, /*AsValue=*/true);
+    checkExpr(TE->FalseExpr, /*AsValue=*/true);
+    return;
+  }
+  case ExprKind::Call: {
+    auto *CE = static_cast<CallExpr *>(E);
+    CE->Decl = Unit->findFunction(CE->Callee);
+    if (!CE->Decl) {
+      Diags.error(E->Loc, "call to undeclared function '" + CE->Callee + "'");
+      return;
+    }
+    if (CE->Args.size() != CE->Decl->Params.size())
+      Diags.error(E->Loc,
+                  "call to '" + CE->Callee + "' expects " +
+                      std::to_string(CE->Decl->Params.size()) +
+                      " arguments, got " + std::to_string(CE->Args.size()));
+    if (AsValue && CE->Decl->ReturnType.Kind == TypeKind::Void)
+      Diags.error(E->Loc, "void function '" + CE->Callee +
+                              "' used where a value is required");
+    for (Expr *Arg : CE->Args)
+      checkExpr(Arg, /*AsValue=*/true);
+    if (CurrentFunction && CE->Decl) {
+      auto &Callees = CurrentFunction->Callees;
+      if (std::find(Callees.begin(), Callees.end(), CE->Decl) == Callees.end())
+        Callees.push_back(CE->Decl);
+    }
+    return;
+  }
+  }
+}
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Decl:
+    for (VarDecl *Decl : static_cast<DeclStmt *>(S)->Decls)
+      checkVarDecl(Decl, /*IsLocal=*/true);
+    return;
+  case StmtKind::Assign: {
+    auto *AS = static_cast<AssignStmt *>(S);
+    checkLValue(AS->Target);
+    checkExpr(AS->Value, /*AsValue=*/true);
+    return;
+  }
+  case StmtKind::Expr:
+    checkExpr(static_cast<ExprStmt *>(S)->E, /*AsValue=*/false);
+    return;
+  case StmtKind::Block: {
+    pushScope();
+    for (Stmt *Child : static_cast<BlockStmt *>(S)->Body)
+      checkStmt(Child);
+    popScope();
+    return;
+  }
+  case StmtKind::If: {
+    auto *IS = static_cast<IfStmt *>(S);
+    checkExpr(IS->Cond, /*AsValue=*/true);
+    checkStmt(IS->Then);
+    checkStmt(IS->Else);
+    return;
+  }
+  case StmtKind::For: {
+    auto *FS = static_cast<ForStmt *>(S);
+    pushScope(); // For-init declarations scope over the whole loop.
+    checkStmt(FS->Init);
+    if (FS->Cond)
+      checkExpr(FS->Cond, /*AsValue=*/true);
+    ++LoopDepth;
+    checkStmt(FS->Body);
+    --LoopDepth;
+    checkStmt(FS->Step);
+    popScope();
+    return;
+  }
+  case StmtKind::While: {
+    auto *WS = static_cast<WhileStmt *>(S);
+    checkExpr(WS->Cond, /*AsValue=*/true);
+    ++LoopDepth;
+    checkStmt(WS->Body);
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::DoWhile: {
+    auto *DS = static_cast<DoWhileStmt *>(S);
+    ++LoopDepth;
+    checkStmt(DS->Body);
+    --LoopDepth;
+    checkExpr(DS->Cond, /*AsValue=*/true);
+    return;
+  }
+  case StmtKind::Break:
+    if (LoopDepth == 0)
+      Diags.error(S->Loc, "'break' outside of a loop");
+    return;
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S->Loc, "'continue' outside of a loop");
+    return;
+  case StmtKind::Return: {
+    auto *RS = static_cast<ReturnStmt *>(S);
+    bool WantsValue =
+        CurrentFunction && CurrentFunction->ReturnType.Kind != TypeKind::Void;
+    if (WantsValue && !RS->Value)
+      Diags.error(S->Loc, "non-void function must return a value");
+    if (!WantsValue && RS->Value)
+      Diags.error(S->Loc, "void function cannot return a value");
+    if (RS->Value)
+      checkExpr(RS->Value, /*AsValue=*/true);
+    return;
+  }
+  }
+}
+
+void Sema::checkFunction(FuncDecl *Func) {
+  CurrentFunction = Func;
+  LoopDepth = 0;
+  pushScope();
+  for (VarDecl *Param : Func->Params) {
+    if (Param->Type.Kind == TypeKind::Void) {
+      Diags.error(Param->Loc, "parameter '" + Param->Name + "' has void type");
+      Param->Type.Kind = TypeKind::Int;
+    }
+    declare(Param);
+  }
+  checkStmt(Func->Body);
+  popScope();
+  CurrentFunction = nullptr;
+}
+
+bool Sema::checkNoRecursion() {
+  // Colored DFS over the callee graph; any back edge is (mutual) recursion.
+  enum class Color { White, Gray, Black };
+  std::unordered_map<FuncDecl *, Color> Colors;
+  bool Ok = true;
+
+  // Iterative DFS to avoid deep native recursion on adversarial inputs.
+  for (FuncDecl *Root : Unit->Functions) {
+    if (Colors[Root] != Color::White)
+      continue;
+    std::vector<std::pair<FuncDecl *, size_t>> Stack;
+    Stack.push_back({Root, 0});
+    Colors[Root] = Color::Gray;
+    while (!Stack.empty()) {
+      auto &[Func, NextChild] = Stack.back();
+      if (NextChild == Func->Callees.size()) {
+        Colors[Func] = Color::Black;
+        Stack.pop_back();
+        continue;
+      }
+      FuncDecl *Callee = Func->Callees[NextChild++];
+      if (Colors[Callee] == Color::Gray) {
+        Diags.error(Func->Loc, "recursive call cycle involving '" +
+                                   Func->Name + "' and '" + Callee->Name +
+                                   "' (recursion is not supported)");
+        Ok = false;
+        continue;
+      }
+      if (Colors[Callee] == Color::White) {
+        Colors[Callee] = Color::Gray;
+        Stack.push_back({Callee, 0});
+      }
+    }
+  }
+  return Ok;
+}
+
+bool Sema::run(TranslationUnit &Unit) {
+  this->Unit = &Unit;
+  Scopes.clear();
+  NextDeclId = 0;
+  pushScope(); // Global scope.
+
+  // Duplicate function names.
+  {
+    std::unordered_map<std::string, FuncDecl *> Seen;
+    for (FuncDecl *Func : Unit.Functions) {
+      auto [It, Inserted] = Seen.emplace(Func->Name, Func);
+      if (!Inserted) {
+        Diags.error(Func->Loc, "redefinition of function '" + Func->Name +
+                                   "'");
+        Diags.note(It->second->Loc, "previous definition is here");
+      }
+    }
+  }
+
+  for (VarDecl *Global : Unit.Globals)
+    checkVarDecl(Global, /*IsLocal=*/false);
+  for (FuncDecl *Func : Unit.Functions)
+    checkFunction(Func);
+
+  checkNoRecursion();
+
+  popScope();
+  this->Unit = nullptr;
+  return !Diags.hasErrors();
+}

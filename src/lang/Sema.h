@@ -1,0 +1,67 @@
+//===- Sema.h - Mini-C semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and semantic checks for mini-C. After a successful run:
+///  - every VarRefExpr::Decl and CallExpr::Decl is resolved,
+///  - every VarDecl has a unique DeclId and folded NumElements,
+///  - every FuncDecl lists its Locals and Callees,
+///  - the call graph is verified acyclic (the lowering inlines all calls).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_LANG_SEMA_H
+#define SPECAI_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specai {
+
+/// Attempts to evaluate \p E as a compile-time integer constant (literals,
+/// unary/binary/ternary operators over constants). Returns nullopt when the
+/// expression is not constant or hits undefined arithmetic (division by
+/// zero, out-of-range shifts).
+std::optional<int64_t> evaluateConstExpr(const Expr *E);
+
+/// Semantic analyzer; run once per translation unit.
+class Sema {
+public:
+  explicit Sema(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Runs all checks on \p Unit. Returns true iff no errors were reported.
+  bool run(TranslationUnit &Unit);
+
+private:
+  void declare(VarDecl *Decl);
+  VarDecl *lookup(const std::string &Name) const;
+  void pushScope();
+  void popScope();
+
+  void checkVarDecl(VarDecl *Decl, bool IsLocal);
+  void checkFunction(FuncDecl *Func);
+  void checkStmt(Stmt *S);
+  void checkExpr(Expr *E, bool AsValue);
+  void checkLValue(Expr *E);
+  bool checkNoRecursion();
+
+  DiagnosticEngine &Diags;
+  TranslationUnit *Unit = nullptr;
+  FuncDecl *CurrentFunction = nullptr;
+  unsigned LoopDepth = 0;
+  unsigned NextDeclId = 0;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+};
+
+} // namespace specai
+
+#endif // SPECAI_LANG_SEMA_H

@@ -1,0 +1,119 @@
+//===- Token.h - Mini-C token definitions -----------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the mini-C lexer. The language is the subset of C
+/// the paper's benchmarks exercise: integer scalars/arrays, loops, branches,
+/// calls, plus two analysis qualifiers: `secret` (taint source for side
+/// channel detection) and `reg` (register-allocated, not memory resident,
+/// matching the paper's Figure 2 `reg char k`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_LANG_TOKEN_H
+#define SPECAI_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specai {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Type keywords.
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwVoid,
+  KwUnsigned,
+
+  // Qualifier keywords.
+  KwSecret,
+  KwReg,
+  KwConst,
+
+  // Statement keywords.
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwDo,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Question,
+  Colon,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  LessLess,
+  GreaterGreater,
+  AmpAmp,
+  PipePipe,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Identifiers carry their text; integer literals their
+/// value.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace specai
+
+#endif // SPECAI_LANG_TOKEN_H

@@ -1,0 +1,120 @@
+//===- MemoryModel.cpp ----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/MemoryModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specai;
+
+MemoryModel::MemoryModel(const Program &P, const CacheConfig &Config)
+    : P(&P), Config(Config) {
+  assert(Config.isValid() && "invalid cache geometry");
+  Bases.resize(P.Vars.size());
+  BlockCounts.resize(P.Vars.size());
+  uint64_t NextAddr = 0;
+  for (VarId V = 0; V != P.Vars.size(); ++V) {
+    const MemVar &Var = P.Vars[V];
+    Bases[V] = NextAddr;
+    uint64_t Bytes = Var.sizeInBytes();
+    uint64_t Lines = (Bytes + Config.LineSize - 1) / Config.LineSize;
+    if (Lines == 0)
+      Lines = 1;
+    BlockCounts[V] = Lines;
+    NextAddr += Lines * Config.LineSize; // Line-aligned placement.
+  }
+  TotalBlocks = NextAddr / Config.LineSize;
+  SymbolicBase = TotalBlocks + 1024; // Gap guards against accidental overlap.
+
+  SymbolicFirst.resize(P.Vars.size());
+  uint64_t NextSym = SymbolicBase;
+  for (VarId V = 0; V != P.Vars.size(); ++V) {
+    SymbolicFirst[V] = NextSym;
+    NextSym += BlockCounts[V];
+  }
+}
+
+BlockAddr MemoryModel::blockOf(VarId Var, uint64_t Element) const {
+  assert(Var < Bases.size() && "variable out of range");
+  const MemVar &V = P->Vars[Var];
+  uint64_t Elem = V.NumElements == 0 ? 0 : Element % V.NumElements;
+  uint64_t Addr = Bases[Var] + Elem * V.ElemSize;
+  return Addr / Config.LineSize;
+}
+
+BlockAddr MemoryModel::symbolicBlock(VarId Var, uint64_t K) const {
+  assert(Var < SymbolicFirst.size() && "variable out of range");
+  uint64_t Cap = BlockCounts[Var] == 0 ? 1 : BlockCounts[Var];
+  if (K >= Cap)
+    K = Cap - 1;
+  return SymbolicFirst[Var] + K;
+}
+
+VarId MemoryModel::varOfBlock(BlockAddr Block) const {
+  if (isSymbolic(Block)) {
+    for (VarId V = 0; V != SymbolicFirst.size(); ++V) {
+      uint64_t First = SymbolicFirst[V];
+      if (Block >= First && Block < First + BlockCounts[V])
+        return V;
+    }
+    return InvalidVar;
+  }
+  uint64_t Addr = Block * Config.LineSize;
+  for (VarId V = 0; V != Bases.size(); ++V) {
+    uint64_t End = Bases[V] + BlockCounts[V] * Config.LineSize;
+    if (Addr >= Bases[V] && Addr < End)
+      return V;
+  }
+  return InvalidVar;
+}
+
+uint32_t MemoryModel::setOf(BlockAddr Block) const {
+  if (!isSymbolic(Block))
+    return Config.setOf(Block);
+  // Instance k of an array pressures the set its k-th line would occupy.
+  VarId V = varOfBlock(Block);
+  if (V == InvalidVar)
+    return Config.setOf(Block);
+  uint64_t K = Block - SymbolicFirst[V];
+  return Config.setOf(firstBlockOf(V) + K);
+}
+
+std::string MemoryModel::blockName(BlockAddr Block) const {
+  VarId V = varOfBlock(Block);
+  if (V == InvalidVar)
+    return "<block " + std::to_string(Block) + ">";
+  const MemVar &Var = P->Vars[V];
+  if (isSymbolic(Block)) {
+    uint64_t K = Block - SymbolicFirst[V];
+    // Paper style: first nondeterministic pick prints as name[1*].
+    return Var.Name + "[" + std::to_string(K + 1) + "*]";
+  }
+  if (BlockCounts[V] == 1 && Var.NumElements == 1)
+    return Var.Name;
+  uint64_t Line = Block - firstBlockOf(V);
+  return Var.Name + "[" + std::to_string(Line) + "]";
+}
+
+std::vector<BlockAddr> MemoryModel::blocksOf(VarId Var) const {
+  std::vector<BlockAddr> Blocks;
+  BlockAddr First = firstBlockOf(Var);
+  for (uint64_t I = 0; I != BlockCounts[Var]; ++I)
+    Blocks.push_back(First + I);
+  return Blocks;
+}
+
+std::vector<uint32_t> MemoryModel::setsOf(VarId Var) const {
+  std::vector<uint32_t> Sets;
+  for (BlockAddr Block : blocksOf(Var)) {
+    uint32_t Set = Config.setOf(Block);
+    if (std::find(Sets.begin(), Sets.end(), Set) == Sets.end())
+      Sets.push_back(Set);
+  }
+  std::sort(Sets.begin(), Sets.end());
+  return Sets;
+}

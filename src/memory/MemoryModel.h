@@ -1,0 +1,97 @@
+//===- MemoryModel.h - Variables to cache blocks ----------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lays program variables out in a line-aligned address space and maps
+/// (variable, element) accesses to cache blocks. Matching the paper's §2
+/// setup, every variable starts on its own cache line ("ph, l1, l2 and p
+/// are mapped to different cache lines").
+///
+/// Accesses whose element index is statically unknown are modeled with
+/// *symbolic instance blocks*: the k-th unknown access at a site picks the
+/// k-th fresh instance, the paper's `decis_lev[1*]`, `decis_lev[2*]`
+/// notation (Table 1). Instances are capped at the number of lines the
+/// array spans, since the array can never occupy more lines than that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_MEMORY_MEMORYMODEL_H
+#define SPECAI_MEMORY_MEMORYMODEL_H
+
+#include "cache/CacheSim.h"
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Address layout and block naming for one Program under one cache
+/// geometry. Both must outlive the model.
+class MemoryModel {
+public:
+  MemoryModel(const Program &P, const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+  const Program &program() const { return *P; }
+
+  /// Line-aligned base byte address of a variable.
+  uint64_t baseAddrOf(VarId Var) const { return Bases[Var]; }
+
+  /// Number of cache lines the variable spans.
+  uint64_t numBlocksOf(VarId Var) const { return BlockCounts[Var]; }
+
+  /// Concrete block holding element \p Element of \p Var.
+  BlockAddr blockOf(VarId Var, uint64_t Element) const;
+
+  /// First concrete block of \p Var (its blocks are contiguous).
+  BlockAddr firstBlockOf(VarId Var) const {
+    return Bases[Var] / Config.LineSize;
+  }
+
+  /// Total number of concrete blocks across all variables.
+  uint64_t numConcreteBlocks() const { return TotalBlocks; }
+
+  /// The k-th symbolic instance block of array \p Var; \p K saturates at
+  /// numBlocksOf(Var) - 1.
+  BlockAddr symbolicBlock(VarId Var, uint64_t K) const;
+
+  bool isSymbolic(BlockAddr Block) const { return Block >= SymbolicBase; }
+
+  /// Variable owning a block (concrete or symbolic); InvalidVar for
+  /// addresses outside the layout.
+  VarId varOfBlock(BlockAddr Block) const;
+
+  /// Cache set of a block. Symbolic instances adopt the set of the
+  /// corresponding concrete line of their array, so set pressure lands
+  /// where the real access could.
+  uint32_t setOf(BlockAddr Block) const;
+
+  /// Human-readable block name: "p", "ph[3]", "decis_levl[2*]".
+  std::string blockName(BlockAddr Block) const;
+
+  /// All concrete blocks of \p Var.
+  std::vector<BlockAddr> blocksOf(VarId Var) const;
+
+  /// Cache sets that \p Var's lines may map to (deduplicated).
+  std::vector<uint32_t> setsOf(VarId Var) const;
+
+private:
+  const Program *P;
+  CacheConfig Config;
+  std::vector<uint64_t> Bases;
+  std::vector<uint64_t> BlockCounts;
+  uint64_t TotalBlocks = 0;
+  /// Symbolic ids start here (above any concrete block).
+  BlockAddr SymbolicBase = 0;
+  /// Per variable: first symbolic id.
+  std::vector<uint64_t> SymbolicFirst;
+};
+
+} // namespace specai
+
+#endif // SPECAI_MEMORY_MEMORYMODEL_H

@@ -1,0 +1,116 @@
+//===- BranchPredictor.cpp ------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BranchPredictor.h"
+
+#include <algorithm>
+
+using namespace specai;
+
+BranchPredictor::~BranchPredictor() = default;
+
+static uint64_t foldPc(BranchPc Pc, unsigned Bits) {
+  // Cheap xor-fold so nearby sites spread across the table.
+  uint64_t H = Pc * 0x9e3779b97f4a7c15ULL;
+  return (H >> (64 - Bits)) & ((1ULL << Bits) - 1);
+}
+
+BimodalPredictor::BimodalPredictor(unsigned TableBits)
+    : TableBits(TableBits), Counters(1ULL << TableBits, 1) {}
+
+bool BimodalPredictor::predict(BranchPc Pc) {
+  return Counters[foldPc(Pc, TableBits)] >= 2;
+}
+
+void BimodalPredictor::update(BranchPc Pc, bool Taken) {
+  uint8_t &C = Counters[foldPc(Pc, TableBits)];
+  if (Taken)
+    C = static_cast<uint8_t>(std::min<int>(C + 1, 3));
+  else
+    C = static_cast<uint8_t>(std::max<int>(C - 1, 0));
+}
+
+void BimodalPredictor::reset() {
+  std::fill(Counters.begin(), Counters.end(), 1);
+}
+
+GSharePredictor::GSharePredictor(unsigned TableBits, unsigned HistoryBits)
+    : TableBits(TableBits), HistoryBits(HistoryBits),
+      Counters(1ULL << TableBits, 1) {}
+
+bool GSharePredictor::predict(BranchPc Pc) {
+  uint64_t Index = (foldPc(Pc, TableBits) ^ History) & ((1ULL << TableBits) - 1);
+  return Counters[Index] >= 2;
+}
+
+void GSharePredictor::update(BranchPc Pc, bool Taken) {
+  uint64_t Index = (foldPc(Pc, TableBits) ^ History) & ((1ULL << TableBits) - 1);
+  uint8_t &C = Counters[Index];
+  if (Taken)
+    C = static_cast<uint8_t>(std::min<int>(C + 1, 3));
+  else
+    C = static_cast<uint8_t>(std::max<int>(C - 1, 0));
+  History = ((History << 1) | (Taken ? 1 : 0)) & ((1ULL << HistoryBits) - 1);
+}
+
+void GSharePredictor::reset() {
+  std::fill(Counters.begin(), Counters.end(), 1);
+  History = 0;
+}
+
+PerceptronPredictor::PerceptronPredictor(unsigned TableBits,
+                                         unsigned HistoryBits)
+    : TableBits(TableBits), HistoryBits(HistoryBits),
+      Threshold(static_cast<int32_t>(1.93 * HistoryBits + 14)),
+      Weights(1ULL << TableBits, std::vector<int16_t>(HistoryBits + 1, 0)) {}
+
+int32_t PerceptronPredictor::dot(BranchPc Pc) const {
+  const auto &W = Weights[foldPc(Pc, TableBits)];
+  int32_t Sum = W[0]; // Bias.
+  for (unsigned I = 0; I != HistoryBits; ++I) {
+    bool Bit = (History >> I) & 1;
+    Sum += Bit ? W[I + 1] : -W[I + 1];
+  }
+  return Sum;
+}
+
+bool PerceptronPredictor::predict(BranchPc Pc) { return dot(Pc) >= 0; }
+
+void PerceptronPredictor::update(BranchPc Pc, bool Taken) {
+  int32_t Y = dot(Pc);
+  bool Predicted = Y >= 0;
+  auto &W = Weights[foldPc(Pc, TableBits)];
+  auto Bump = [](int16_t &Weight, bool Agree) {
+    int32_t Next = Weight + (Agree ? 1 : -1);
+    Weight = static_cast<int16_t>(std::clamp<int32_t>(Next, -128, 127));
+  };
+  if (Predicted != Taken || std::abs(Y) <= Threshold) {
+    Bump(W[0], Taken);
+    for (unsigned I = 0; I != HistoryBits; ++I) {
+      bool Bit = (History >> I) & 1;
+      Bump(W[I + 1], Bit == Taken);
+    }
+  }
+  History = ((History << 1) | (Taken ? 1 : 0)) & ((1ULL << HistoryBits) - 1);
+}
+
+void PerceptronPredictor::reset() {
+  for (auto &W : Weights)
+    std::fill(W.begin(), W.end(), 0);
+  History = 0;
+}
+
+std::vector<std::unique_ptr<BranchPredictor>>
+specai::makeStandardPredictors() {
+  std::vector<std::unique_ptr<BranchPredictor>> Out;
+  Out.push_back(std::make_unique<StaticPredictor>(true));
+  Out.push_back(std::make_unique<StaticPredictor>(false));
+  Out.push_back(std::make_unique<BimodalPredictor>());
+  Out.push_back(std::make_unique<GSharePredictor>());
+  Out.push_back(std::make_unique<PerceptronPredictor>());
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- BranchPredictor.h - Branch predictor models --------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch predictor models for the speculative CPU substrate. The paper's
+/// soundness claim is predictor-agnostic ("regardless of the underlying
+/// strategies" §3.2, citing two-level adaptive [63], perceptron [28],
+/// neural [59] predictors); the simulator therefore ships several models so
+/// the property tests can check the analysis envelope against all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_PIPELINE_BRANCHPREDICTOR_H
+#define SPECAI_PIPELINE_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Opaque branch identity (site address) used for prediction indexing.
+using BranchPc = uint64_t;
+
+/// Abstract predictor interface.
+class BranchPredictor {
+public:
+  virtual ~BranchPredictor();
+
+  /// Predicts the direction of the branch at \p Pc.
+  virtual bool predict(BranchPc Pc) = 0;
+  /// Trains on the resolved outcome.
+  virtual void update(BranchPc Pc, bool Taken) = 0;
+  /// Resets all learned state.
+  virtual void reset() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Static predictor: always predicts one direction.
+class StaticPredictor : public BranchPredictor {
+public:
+  explicit StaticPredictor(bool PredictTaken) : PredictTaken(PredictTaken) {}
+  bool predict(BranchPc) override { return PredictTaken; }
+  void update(BranchPc, bool) override {}
+  void reset() override {}
+  std::string name() const override {
+    return PredictTaken ? "always-taken" : "never-taken";
+  }
+
+private:
+  bool PredictTaken;
+};
+
+/// Classic 2-bit saturating counter table.
+class BimodalPredictor : public BranchPredictor {
+public:
+  explicit BimodalPredictor(unsigned TableBits = 10);
+  bool predict(BranchPc Pc) override;
+  void update(BranchPc Pc, bool Taken) override;
+  void reset() override;
+  std::string name() const override { return "bimodal"; }
+
+private:
+  unsigned TableBits;
+  std::vector<uint8_t> Counters; // 0..3; >=2 predicts taken.
+};
+
+/// GShare: global history XOR-folded into the table index.
+class GSharePredictor : public BranchPredictor {
+public:
+  explicit GSharePredictor(unsigned TableBits = 10,
+                           unsigned HistoryBits = 10);
+  bool predict(BranchPc Pc) override;
+  void update(BranchPc Pc, bool Taken) override;
+  void reset() override;
+  std::string name() const override { return "gshare"; }
+
+private:
+  unsigned TableBits;
+  unsigned HistoryBits;
+  uint64_t History = 0;
+  std::vector<uint8_t> Counters;
+};
+
+/// Perceptron predictor (Jimenez & Lin, HPCA'01): per-branch weight vector
+/// dotted with the global history.
+class PerceptronPredictor : public BranchPredictor {
+public:
+  explicit PerceptronPredictor(unsigned TableBits = 8,
+                               unsigned HistoryBits = 16);
+  bool predict(BranchPc Pc) override;
+  void update(BranchPc Pc, bool Taken) override;
+  void reset() override;
+  std::string name() const override { return "perceptron"; }
+
+private:
+  int32_t dot(BranchPc Pc) const;
+
+  unsigned TableBits;
+  unsigned HistoryBits;
+  int32_t Threshold;
+  uint64_t History = 0;
+  std::vector<std::vector<int16_t>> Weights; // [table][history+1 (bias)]
+};
+
+/// Factory for the standard predictor zoo used by tests and benches.
+std::vector<std::unique_ptr<BranchPredictor>> makeStandardPredictors();
+
+} // namespace specai
+
+#endif // SPECAI_PIPELINE_BRANCHPREDICTOR_H

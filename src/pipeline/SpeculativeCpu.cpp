@@ -1,0 +1,132 @@
+//===- SpeculativeCpu.cpp -------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/SpeculativeCpu.h"
+
+using namespace specai;
+
+SpeculationWindows specai::calibrateWindows(const TimingModel &Timing) {
+  // While a branch condition resolves, the front end keeps issuing
+  // IssueWidth instructions per cycle down the predicted path; the window
+  // is therefore resolution-latency x width, bounded below by 1.
+  SpeculationWindows W;
+  W.OnHit = std::max<uint32_t>(1, Timing.BranchResolveLatency *
+                                      Timing.IssueWidth);
+  W.OnMiss = std::max<uint32_t>(1, Timing.MissLatency * Timing.IssueWidth);
+  return W;
+}
+
+SpeculativeCpu::SpeculativeCpu(const Program &P, const MemoryModel &MM,
+                               BranchPredictor &Predictor, TimingModel Timing,
+                               bool EnableSpeculation)
+    : P(P), MM(MM), Predictor(Predictor), Timing(Timing),
+      EnableSpeculation(EnableSpeculation),
+      Windows(calibrateWindows(Timing)), M(P), Cache(MM.config()) {}
+
+void SpeculativeCpu::speculate(BlockId PredictedTarget, uint32_t Window,
+                               BranchPc Pc, CpuRunStats &Stats) {
+  Machine::Checkpoint Ckpt = M.checkpoint();
+  M.jumpTo(PredictedTarget);
+  M.setSuppressStores(true);
+
+  auto StopIt = SpeculationStops.find(Pc);
+  BlockId StopBlock =
+      StopIt == SpeculationStops.end() ? InvalidBlock : StopIt->second;
+
+  for (uint32_t Executed = 0; Executed < Window && !M.halted(); ++Executed) {
+    if (M.currentBlock() == StopBlock)
+      break; // Confined mode: the wrong path reached the reconvergence.
+    const Instruction &I = M.currentInstruction();
+    // A further unresolved branch inside the window: follow the
+    // predictor's guess (single level of outstanding speculation; the
+    // guess steers the wrong-path walk).
+    if (I.Op == Opcode::Br) {
+      BranchPc Pc = (static_cast<uint64_t>(M.currentBlock()) << 20) |
+                    M.currentInst();
+      bool Guess = Predictor.predict(Pc);
+      const Instruction Inst = I;
+      // Do not train the predictor on wrong-path branches.
+      M.jumpTo(Guess ? Inst.TrueTarget : Inst.FalseTarget);
+      continue;
+    }
+    Machine::StepResult R = M.step();
+    if (R.DidAccess) {
+      ++Stats.SpecAccesses;
+      bool Hit = true;
+      if (R.Access.IsLoad) {
+        // Speculative loads fill the cache; speculative stores stay in the
+        // store buffer and never touch it.
+        Hit = Cache.access(blockOf(R.Access));
+        if (!Hit)
+          ++Stats.SpecMisses;
+      }
+      SpecTrace.push_back({R.Access, Hit});
+    }
+  }
+
+  M.setSuppressStores(false);
+  M.restore(Ckpt);
+}
+
+CpuRunStats SpeculativeCpu::run(uint64_t MaxSteps) {
+  CpuRunStats Stats;
+  Trace.clear();
+  SpecTrace.clear();
+
+  while (!M.halted() && Stats.Instructions < MaxSteps) {
+    const Instruction &I = M.currentInstruction();
+
+    if (I.Op == Opcode::Br) {
+      BranchPc Pc = (static_cast<uint64_t>(M.currentBlock()) << 20) |
+                    M.currentInst();
+      bool Predicted = Predictor.predict(Pc);
+      // The window is governed by how long the condition takes to resolve:
+      // a recent miss means the data is still in flight (paper §6.2's
+      // b_miss), a hit resolves quickly (b_hit).
+      uint32_t Window = LastLoadMissed ? Windows.OnMiss : Windows.OnHit;
+
+      Machine::StepResult R = M.step();
+      ++Stats.Instructions;
+      Stats.Cycles += Timing.BranchResolveLatency;
+      ++Stats.Branches;
+      Predictor.update(Pc, R.BranchTaken);
+
+      if (EnableSpeculation && Predicted != R.BranchTaken) {
+        ++Stats.Mispredicts;
+        BlockId ActualBlock = M.currentBlock();
+        uint32_t ActualInst = M.currentInst();
+        bool WasHalted = M.halted();
+        BlockId PredictedTarget =
+            Predicted ? I.TrueTarget : I.FalseTarget;
+        speculate(PredictedTarget, Window, Pc, Stats);
+        // Resume architecturally on the actual path.
+        if (!WasHalted)
+          M.jumpTo(ActualBlock, ActualInst);
+      }
+      continue;
+    }
+
+    Machine::StepResult R = M.step();
+    ++Stats.Instructions;
+    if (R.DidAccess) {
+      bool Hit = Cache.access(blockOf(R.Access));
+      Stats.Cycles += Hit ? Timing.HitLatency : Timing.MissLatency;
+      if (Hit)
+        ++Stats.Hits;
+      else
+        ++Stats.Misses;
+      LastLoadMissed = !Hit;
+      Trace.push_back({R.Access, Hit});
+    } else {
+      Stats.Cycles += Timing.AluLatency;
+    }
+  }
+
+  Stats.Completed = M.halted();
+  Stats.ReturnValue = M.returnValue();
+  return Stats;
+}

@@ -1,0 +1,158 @@
+//===- SpeculativeCpu.h - Speculative CPU simulator -------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A speculative CPU substrate standing in for the paper's GEM5 O3CPU
+/// (Alpha 21264) testbed. It executes lowered programs concretely with a
+/// pluggable branch predictor; on a misprediction it executes the predicted
+/// (wrong) path for a bounded window, letting speculative *loads* fill the
+/// cache while speculative *stores* stay in the store buffer (never visible
+/// to memory or the cache), then rolls the register state back and resumes
+/// on the correct path — exactly the behavior of Figure 3's right-hand
+/// trace.
+///
+/// The simulator serves three roles:
+///  1. Ground truth for soundness: every access the speculative analysis
+///     classifies as a must-hit must hit here under every predictor.
+///  2. Calibration: the speculation windows b_hit/b_miss follow from the
+///     timing model (window = resolution latency x issue width), the
+///     paper's 20/200 derivation from pipelined traces.
+///  3. Timing: cycle counts for the execution-time-estimation experiments.
+///
+/// Model simplifications (documented per DESIGN.md): one in-flight
+/// speculation at a time (the analysis' per-color treatment is the
+/// conservative envelope of deeper nesting), and the window is chosen by
+/// whether the most recent committed load hit (a proxy for the branch
+/// condition's resolution latency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_PIPELINE_SPECULATIVECPU_H
+#define SPECAI_PIPELINE_SPECULATIVECPU_H
+
+#include "cache/CacheSim.h"
+#include "ir/Interp.h"
+#include "memory/MemoryModel.h"
+#include "pipeline/BranchPredictor.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace specai {
+
+/// Latency/width parameters of the modeled core.
+struct TimingModel {
+  /// Cycles for a cache hit (paper §1: "1-3 clock cycles").
+  uint32_t HitLatency = 2;
+  /// Cycles for a cache miss ("tens or even hundreds").
+  uint32_t MissLatency = 100;
+  /// Cycles for a non-memory instruction.
+  uint32_t AluLatency = 1;
+  /// Instructions issued per cycle while waiting on a branch condition.
+  uint32_t IssueWidth = 2;
+  /// Cycles to resolve a branch whose inputs are ready (hit case).
+  uint32_t BranchResolveLatency = 10;
+};
+
+/// Speculation windows derived from the timing model: the number of
+/// instructions the core can speculate while the branch condition resolves.
+/// With the defaults this reproduces the paper's (20, 200).
+struct SpeculationWindows {
+  uint32_t OnHit = 20;
+  uint32_t OnMiss = 200;
+};
+
+/// window = resolution latency x issue width.
+SpeculationWindows calibrateWindows(const TimingModel &Timing);
+
+/// Aggregate results of one simulated run.
+struct CpuRunStats {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  /// Committed (architectural) accesses.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  /// Accesses performed inside speculative windows (squashed but cache
+  /// visible; the paper's #SpMiss are "not observable from outside").
+  uint64_t SpecAccesses = 0;
+  uint64_t SpecMisses = 0;
+  uint64_t Branches = 0;
+  uint64_t Mispredicts = 0;
+  bool Completed = false;
+  int64_t ReturnValue = 0;
+};
+
+/// Executes programs with speculative side effects on a concrete cache.
+class SpeculativeCpu {
+public:
+  /// \p EnableSpeculation false gives the in-order, non-speculative
+  /// reference run (Figure 3 left).
+  SpeculativeCpu(const Program &P, const MemoryModel &MM,
+                 BranchPredictor &Predictor, TimingModel Timing = {},
+                 bool EnableSpeculation = true);
+
+  /// Access to the machine for setting inputs before run().
+  Machine &machine() { return M; }
+  LruCache &cache() { return Cache; }
+
+  /// Overrides the calibrated speculation windows.
+  void setWindows(SpeculationWindows W) { Windows = W; }
+  SpeculationWindows windows() const { return Windows; }
+
+  /// Confines speculative windows to the mispredicted side: when the wrong
+  /// path reaches \p StopBlock (the branch's reconvergence point), the
+  /// window ends early. Keyed by the branch location. This matches the
+  /// paper's virtual-control-flow model, where rollback edges originate
+  /// from the speculated branch body only (Figure 6); the soundness
+  /// property tests run the simulator in this mode.
+  void setSpeculationStop(BlockId BranchBlock, uint32_t BranchInst,
+                          BlockId StopBlock) {
+    SpeculationStops[(static_cast<uint64_t>(BranchBlock) << 20) |
+                     BranchInst] = StopBlock;
+  }
+
+  /// Runs to completion (or \p MaxSteps committed instructions).
+  CpuRunStats run(uint64_t MaxSteps = 10'000'000);
+
+  /// Committed access trace of the last run, with per-access hit flag.
+  struct CommittedAccess {
+    AccessEvent Access;
+    bool Hit;
+  };
+  const std::vector<CommittedAccess> &committedTrace() const {
+    return Trace;
+  }
+  /// Speculative (squashed) access trace of the last run.
+  const std::vector<CommittedAccess> &speculativeTrace() const {
+    return SpecTrace;
+  }
+
+private:
+  BlockAddr blockOf(const AccessEvent &E) const {
+    return MM.blockOf(E.Var, E.Element);
+  }
+  /// Runs the speculative window after a mispredicted branch.
+  void speculate(BlockId PredictedTarget, uint32_t Window, BranchPc Pc,
+                 CpuRunStats &Stats);
+
+  const Program &P;
+  const MemoryModel &MM;
+  BranchPredictor &Predictor;
+  TimingModel Timing;
+  bool EnableSpeculation;
+  SpeculationWindows Windows;
+  Machine M;
+  LruCache Cache;
+  std::vector<CommittedAccess> Trace;
+  std::vector<CommittedAccess> SpecTrace;
+  std::unordered_map<uint64_t, BlockId> SpeculationStops;
+  bool LastLoadMissed = false;
+};
+
+} // namespace specai
+
+#endif // SPECAI_PIPELINE_SPECULATIVECPU_H

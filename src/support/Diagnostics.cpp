@@ -1,0 +1,40 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace specai;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  switch (Kind) {
+  case DiagKind::Error:
+    Out += "error: ";
+    break;
+  case DiagKind::Warning:
+    Out += "warning: ";
+    break;
+  case DiagKind::Note:
+    Out += "note: ";
+    break;
+  }
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- Diagnostics.h - Error collection for the frontend --------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic engine that accumulates errors and warnings instead of
+/// throwing. The library never uses exceptions; callers inspect the engine
+/// after each phase (lex, parse, sema, lowering) and bail out on errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_DIAGNOSTICS_H
+#define SPECAI_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem with its location and rendered message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:14: message" in the LLVM style (lowercase first
+  /// word, no trailing period).
+  std::string str() const;
+};
+
+/// Collects diagnostics across compilation phases.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,54 @@
+//===- Rng.cpp ------------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace specai;
+
+Rng::Rng(uint64_t Seed) {
+  // SplitMix64 to expand the seed into two nonzero state words.
+  auto SplitMix = [](uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  };
+  uint64_t X = Seed;
+  State0 = SplitMix(X);
+  State1 = SplitMix(X);
+  if (State0 == 0 && State1 == 0)
+    State1 = 1;
+}
+
+uint64_t Rng::next() {
+  uint64_t S1 = State0;
+  uint64_t S0 = State1;
+  uint64_t Result = S0 + S1;
+  State0 = S0;
+  S1 ^= S1 << 23;
+  State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  return next() % Bound;
+}
+
+int64_t Rng::nextRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "inverted range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "zero denominator");
+  return nextBelow(Den) < Num;
+}

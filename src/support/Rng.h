@@ -1,0 +1,46 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift128+) used by property tests and the
+/// random program generator so failures reproduce from a seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_RNG_H
+#define SPECAI_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace specai {
+
+/// Deterministic xorshift128+ generator. Never use std::rand in the library;
+/// all randomized behavior must be reproducible from a seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  int64_t nextRange(int64_t Lo, int64_t Hi);
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+private:
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_RNG_H

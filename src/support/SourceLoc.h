@@ -1,0 +1,45 @@
+//===- SourceLoc.h - Source locations for diagnostics ----------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations attached to tokens, AST nodes,
+/// and IR instructions so analysis reports can point back at mini-C source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_SOURCELOC_H
+#define SPECAI_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace specai {
+
+/// A position in a mini-C source buffer. Line/column are 1-based; a value of
+/// zero in both fields denotes an unknown/synthesized location.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const = default;
+
+  /// Renders the location as "line:col", or "<unknown>" when invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_SOURCELOC_H

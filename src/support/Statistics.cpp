@@ -1,0 +1,21 @@
+//===- Statistics.cpp -----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace specai;
+
+std::string StatisticSet::str() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    Out += Name;
+    Out += " = ";
+    Out += std::to_string(Value);
+    Out += '\n';
+  }
+  return Out;
+}

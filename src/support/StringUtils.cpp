@@ -1,0 +1,61 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace specai;
+
+std::vector<std::string> specai::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view specai::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string specai::joinStrings(const std::vector<std::string> &Parts,
+                                std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool specai::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string specai::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}

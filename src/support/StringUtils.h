@@ -1,0 +1,41 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers used across the project: splitting, trimming, joining,
+/// and fixed-width formatting for the table writer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_STRINGUTILS_H
+#define SPECAI_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specai {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Formats a double with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, int Precision);
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_STRINGUTILS_H

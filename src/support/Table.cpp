@@ -1,0 +1,54 @@
+//===- Table.cpp ----------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace specai;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TableWriter::addRow(std::vector<std::string> Row) {
+  Row.resize(Headers.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string TableWriter::str() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I != 0)
+        Line += "  ";
+      Line += Row[I];
+      Line.append(Widths[I] - Row[I].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t Total = 0;
+  for (size_t I = 0; I != Widths.size(); ++I)
+    Total += Widths[I] + (I == 0 ? 0 : 2);
+  Out.append(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

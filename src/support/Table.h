@@ -1,0 +1,44 @@
+//===- Table.h - ASCII table writer for experiment output -------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench harness regenerates the paper's tables; this writer renders
+/// them as aligned ASCII so bench output can be compared side by side with
+/// the paper's rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_TABLE_H
+#define SPECAI_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Builds an aligned ASCII table row by row.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Appends a data row; pads/truncates to the header width.
+  void addRow(std::vector<std::string> Row);
+
+  /// Number of data rows added so far.
+  size_t rowCount() const { return Rows.size(); }
+
+  /// Renders the table with a header separator line.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_TABLE_H

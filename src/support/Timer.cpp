@@ -1,0 +1,15 @@
+//===- Timer.cpp ----------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+using namespace specai;
+
+double Timer::seconds() const {
+  auto Now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(Now - Start).count();
+}

@@ -1,0 +1,31 @@
+//===- Timer.h - Wall-clock timing for the bench harness --------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_TIMER_H
+#define SPECAI_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace specai {
+
+/// Measures wall-clock time from construction (or the last reset).
+class Timer {
+public:
+  Timer() { reset(); }
+
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since the last reset.
+  double seconds() const;
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_TIMER_H

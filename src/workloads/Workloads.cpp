@@ -1,0 +1,714 @@
+//===- Workloads.cpp ------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Kernel sizing conventions:
+///  - the side-channel suite targets the paper's 512-line (32 KB) cache;
+///  - the execution-time suite targets a 64-line (4 KB) cache, scaled from
+///    the paper's full applications down to distilled kernels (DESIGN.md);
+///  - `secret` marks key material, plain scalars without initializers are
+///    program inputs, preload loops stride by the 64-byte line size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace specai;
+
+std::string specai::fig2Source() {
+  // Paper Figure 2, verbatim modulo mini-C syntax: 510 lines of
+  // placeholder data, two one-line branch targets, a one-line condition
+  // scalar, and a secret-indexed access into the placeholder array.
+  return R"MC(
+char ph[32640];            // 64 * 510 bytes = 510 cache lines
+char l1[64];
+char l2[64];
+char p;                    // input: branch selector (1 line)
+secret reg char k;         // the secret index (register, cache invisible)
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 32640; i += 64)
+    t = ph[i];             // line 3: preload ph
+  if (p == 0) {
+    t = l1[0];             // line 5
+  } else {
+    t = l2[0];             // line 7
+  }
+  t = ph[k];               // line 8: hit iff all of ph is still cached
+  return t;
+}
+)MC";
+}
+
+std::string specai::fig7Source() {
+  // Paper Figure 7: blocks a,b,c loaded, a branch loads d or e, then a is
+  // re-referenced at the join (bb4). With a 4-line cache, non-speculative
+  // analysis proves the final access hits; under speculation both d and e
+  // are loaded and a is evicted.
+  return R"MC(
+char a[64];
+char b[64];
+char c[64];
+char d[64];
+char e[64];
+
+int main() {
+  reg int t;
+  reg int cond;
+  t = a[0];
+  t = t + b[0];
+  cond = c[0];             // branch condition comes from memory
+  if (cond != 0) {
+    t = t + d[0];
+  } else {
+    t = t + e[0];
+  }
+  t = t + a[0];            // bb4: is a still cached?
+  return t;
+}
+)MC";
+}
+
+std::string specai::quantlSource() {
+  // Paper Figure 8: the quantl routine of the G.722 encoder (Mälardalen
+  // adpcm), unchanged except for mini-C spelling. Analyze with entry
+  // function "quantl"; el and detl are inputs.
+  return R"MC(
+/* table is 31 entries to make quantl look-up easier,
+   last entry is for mil=30 when wd is max */
+int quant26bt_pos[31] = { 61,60,59,58,57,56,55,54,
+  53,52,51,50,49,48,47,46,45,44,43,42,41,40,39,
+  38,37,36,35,34,33,32,32 };
+int quant26bt_neg[31] = { 63,62,31,30,29,28,27,26,
+  25,24,23,22,21,20,19,18,17,16,15,14,13,12,11,10,
+  9,8,7,6,5,4,4 };
+/* decision levels - pre-multiplied by 8 */
+int decis_levl[30] = { 280,576,880,1200,1520,1864,
+  2208,2584,2960,3376,3784,4240,4696,5200,5712,
+  6288,6864,7520,8184,8968,9752,10712,11664,12896,
+  14120,15840,17560,20456,23352,32767 };
+
+long my_abs(long x) {
+  if (x < 0) { return 0 - x; }
+  return x;
+}
+
+int quantl(int el, int detl) {
+  int ril, mil;
+  long wd, decis;
+  /* abs of difference signal */
+  wd = my_abs(el);
+  /* mil based on decision levels and detl gain */
+  for (mil = 0; mil < 30; mil++) {
+    decis = (decis_levl[mil] * (long)detl) >> 15;
+    if (wd <= decis) break;
+  }
+  /* if mil=30, wd is less than all decision levels */
+  if (el >= 0) { ril = quant26bt_pos[mil]; }
+  else { ril = quant26bt_neg[mil]; }
+  return ril;
+}
+)MC";
+}
+
+std::string specai::fig11Source() {
+  // Paper Figure 11 / Appendix C: `a` is loaded, then a loop touches b or
+  // c each iteration. With a 4-line cache the original analysis eventually
+  // evicts a; the shadow-variable analysis keeps it at age 3.
+  return R"MC(
+char a[64];
+char b[64];
+char c[64];
+
+int main(reg int n, reg int sel) {
+  reg int t;
+  reg int i;
+  t = a[0];
+  i = 0;
+  while (i < n) {
+    if (((sel >> i) & 1) != 0) {
+      t = t + b[0];
+    } else {
+      t = t + c[0];
+    }
+    i = i + 1;
+  }
+  t = t + a[0];            // must-hit only with shadow variables
+  return t;
+}
+)MC";
+}
+
+//===----------------------------------------------------------------------===//
+// Table 3: execution time estimation kernels (64-line / 4 KB cache).
+//===----------------------------------------------------------------------===//
+
+const std::vector<Workload> &specai::wcetWorkloads() {
+  // Each kernel follows the Figure-2 budget discipline on a 64-line cache:
+  // an "anchor" table is preloaded (~32 lines), a memory-conditioned
+  // branch selects between two ~16-line working tables, and the anchor is
+  // re-read at the end. One branch side alone fits (the non-speculative
+  // analysis proves the re-reads hit); speculatively executing the other
+  // side overflows the cache and evicts the anchor's oldest lines — the
+  // paper's extra misses. Data-dependent scans run before the preload so
+  // their fixpoint aging cannot blur the anchor.
+  static const std::vector<Workload> Workloads = {
+      {"adpcm", "motor control (ADPCM codec: quantizer scan + step adapt)",
+       R"MC(
+int decis_levl[30] = { 280,576,880,1200,1520,1864,2208,2584,2960,3376,
+  3784,4240,4696,5200,5712,6288,6864,7520,8184,8968,9752,10712,11664,
+  12896,14120,15840,17560,20456,23352,32767 };
+char hist[2048];           // 32 lines: sample history (the anchor)
+char adapt_up[1024];       // 16 lines
+char adapt_dn[1024];       // 16 lines
+int el; int detl;          // inputs
+int mil;
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  // Quantizer scan (data dependent, stays a loop; Table 1 style).
+  for (mil = 0; mil < 30; mil++) {
+    if (decis_levl[mil] > el) break;
+  }
+  for (i = 0; i < 2048; i += 64) t = t + hist[i];
+  // Step-size adaptation direction depends on the quantized code.
+  if (detl > 16) {
+    for (reg int j = 0; j < 1024; j += 64) t = t + adapt_up[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + adapt_dn[j];
+  }
+  // Reconstruction re-reads the history window.
+  t = t + hist[0];
+  t = t + hist[128];
+  t = t + hist[256];
+  t = t + hist[384];
+  t = t + hist[512];
+  t = t + hist[640];
+  return t + mil;
+}
+)MC"},
+      {"susan", "image process algorithm (brightness LUT + threshold)",
+       R"MC(
+char bright_lut[2048];     // 32 lines: brightness response (the anchor)
+char smooth_row[1024];     // 16 lines
+char edge_row[1024];       // 16 lines
+int thresh;                // input
+int img_kind;              // input
+int usan;
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  // USAN area scan with a data-dependent early exit (before the preload).
+  for (usan = 0; usan < 8; usan++) {
+    if (usan * 37 > img_kind) break;
+  }
+  for (i = 0; i < 2048; i += 64) t = t + bright_lut[i];
+  // Smoothing vs edge path decided by the threshold from memory.
+  if (t > thresh) {
+    for (reg int j = 0; j < 1024; j += 64) t = t + smooth_row[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + edge_row[j];
+  }
+  // Response lookups against the LUT.
+  t = t + bright_lut[0];
+  t = t + bright_lut[64];
+  t = t + bright_lut[192];
+  t = t + bright_lut[320];
+  t = t + bright_lut[448];
+  return t + usan;
+}
+)MC"},
+      {"layer3", "mp3 audio lib (subband windows, block-type switch)",
+       R"MC(
+char synth_win[2048];      // 32 lines: synthesis window (the anchor)
+char long_blk[1024];       // 16 lines
+char short_blk[1024];      // 16 lines
+int block_type;            // input: from the bitstream
+int gr;
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  // Granule scan (data dependent).
+  for (gr = 0; gr < 12; gr++) {
+    if (gr * 19 > block_type) break;
+  }
+  for (i = 0; i < 2048; i += 64) t = t + synth_win[i];
+  // Window selection is bitstream dependent, so it speculates.
+  if (block_type == 2) {
+    for (reg int j = 0; j < 1024; j += 64) t = t + short_blk[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + long_blk[j];
+  }
+  // Overlap-add re-reads the synthesis window.
+  t = t + synth_win[0];
+  t = t + synth_win[64];
+  t = t + synth_win[128];
+  t = t + synth_win[256];
+  t = t + synth_win[512];
+  return t + gr;
+}
+)MC"},
+      {"jcmarker", "jpeg compose (marker emit, huffman spec tables)",
+       R"MC(
+char qtable[2048];         // 32 lines: quant tables (the anchor)
+char bits_dc[1024];        // 16 lines
+char bits_ac[1024];        // 16 lines
+int marker;                // input
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  for (i = 0; i < 2048; i += 64) t = t + qtable[i];
+  if (marker == 196) {       // 0xC4: DHT for DC
+    for (reg int j = 0; j < 1024; j += 64) t = t + bits_dc[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + bits_ac[j];
+  }
+  // Emitting DQT re-reads the quant tables.
+  t = t + qtable[0];
+  t = t + qtable[64];
+  t = t + qtable[128];
+  t = t + qtable[192];
+  return t;
+}
+)MC"},
+      {"jdmarker", "jpeg decompose (marker dispatch chain)",
+       R"MC(
+char frame_tab[1920];      // 30 lines: frame state (the anchor)
+char sof_tab[640];         // 10 lines
+char sos_tab[640];         // 10 lines
+char dqt_tab[640];         // 10 lines
+char dri_tab[640];         // 10 lines
+int m0; int m1;            // inputs: next markers in the stream
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  for (i = 0; i < 1920; i += 64) t = t + frame_tab[i];
+  // Marker dispatch: a chain of memory-conditioned branches, each side
+  // touching its own parse table (many speculation sites).
+  if (m0 == 192) {
+    for (reg int j = 0; j < 640; j += 64) t = t + sof_tab[j];
+  } else {
+    for (reg int j = 0; j < 640; j += 64) t = t + sos_tab[j];
+  }
+  if (m1 == 219) {
+    for (reg int j = 0; j < 640; j += 64) t = t + dqt_tab[j];
+  } else {
+    for (reg int j = 0; j < 640; j += 64) t = t + dri_tab[j];
+  }
+  // Decoding continues against the frame state.
+  t = t + frame_tab[0];
+  t = t + frame_tab[64];
+  t = t + frame_tab[128];
+  t = t + frame_tab[192];
+  t = t + frame_tab[256];
+  t = t + frame_tab[320];
+  return t;
+}
+)MC"},
+      {"jcphuff", "jpeg Huffman entropy encoding routines",
+       R"MC(
+char code_tab[1536];       // 24 lines: derived code table (the anchor)
+char count_hi[512];        // 8 lines
+char count_lo[512];        // 8 lines
+int nsym;                  // input
+int s;
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  // Bit-length scan (data dependent).
+  for (s = 0; s < 16; s++) {
+    if (s * 11 > nsym) break;
+  }
+  for (i = 0; i < 1536; i += 64) t = t + code_tab[i];
+  if (nsym > 64) {
+    for (reg int j = 0; j < 512; j += 64) t = t + count_hi[j];
+  } else {
+    for (reg int j = 0; j < 512; j += 64) t = t + count_lo[j];
+  }
+  t = t + code_tab[0];
+  t = t + code_tab[64];
+  return t + s;
+}
+)MC"},
+      {"gtk", "GTK plotting routines (large framebuffer rows)",
+       R"MC(
+char framebuf[2048];       // 32 lines: framebuffer row cache (the anchor)
+char pattern_a[1024];      // 16 lines
+char pattern_b[1024];      // 16 lines
+int x0; int x1;            // inputs: segment endpoints
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  for (i = 0; i < 2048; i += 64) t = t + framebuf[i];
+  // Fill pattern depends on clipping of the (memory) endpoints.
+  if (x0 < x1) {
+    for (reg int j = 0; j < 1024; j += 64) t = t + pattern_a[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + pattern_b[j];
+  }
+  // Blit touches the row cache again.
+  t = t + framebuf[0];
+  t = t + framebuf[64];
+  t = t + framebuf[128];
+  t = t + framebuf[192];
+  t = t + framebuf[320];
+  t = t + framebuf[448];
+  t = t + framebuf[576];
+  return t;
+}
+)MC"},
+      {"g72", "routines for G.721 and G.723 conversions",
+       R"MC(
+int qtab_721[16] = { -124,80,178,246,300,349,400,440,
+  480,520,560,600,640,680,720,760 };
+char state_buf[1792];      // 28 lines: predictor state (the anchor)
+char law_a[1024];          // 16 lines
+char law_u[1024];          // 16 lines
+int law;                   // input
+int sample;                // input
+int q;
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  // Quantizer table scan (data dependent).
+  for (q = 0; q < 16; q++) {
+    if (qtab_721[q] > sample) break;
+  }
+  for (i = 0; i < 1792; i += 64) t = t + state_buf[i];
+  if (law == 0) {
+    for (reg int j = 0; j < 1024; j += 64) t = t + law_a[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + law_u[j];
+  }
+  // Predictor update re-reads its state.
+  t = t + state_buf[0];
+  t = t + state_buf[64];
+  t = t + state_buf[128];
+  return t + q;
+}
+)MC"},
+      {"vga", "Driver for Borland Graphics Interface",
+       R"MC(
+char mode_regs[192];       // 3 lines
+int mode;                  // input
+
+int main() {
+  reg int t;
+  t = mode_regs[0];
+  if (mode == 3) { t = t + mode_regs[64]; }
+  else { t = t + mode_regs[128]; }
+  if (mode > 16) { t = t + mode_regs[0]; }
+  return t;
+}
+)MC"},
+      {"stc", "Epson Stylus-Color printer driver (dither + color map)",
+       R"MC(
+char dither_mat[1920];     // 30 lines: dither matrix (the anchor)
+char cmy_lut[1024];        // 16 lines
+char kgen_lut[1024];       // 16 lines
+int ink;                   // input
+int paper;                 // input
+int p;
+
+int main() {
+  reg int t; reg int i;
+  t = 0;
+  // Paper-type scan (data dependent).
+  for (p = 0; p < 8; p++) {
+    if (p * 29 > paper) break;
+  }
+  for (i = 0; i < 1920; i += 64) t = t + dither_mat[i];
+  if (ink == 4) {
+    for (reg int j = 0; j < 1024; j += 64) t = t + kgen_lut[j];
+  } else {
+    for (reg int j = 0; j < 1024; j += 64) t = t + cmy_lut[j];
+  }
+  // Halftoning walks the dither matrix again.
+  t = t + dither_mat[0];
+  t = t + dither_mat[64];
+  t = t + dither_mat[128];
+  t = t + dither_mat[256];
+  t = t + dither_mat[384];
+  return t + p;
+}
+)MC"},
+  };
+  return Workloads;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4: side channel detection kernels (512-line / 32 KB cache).
+//===----------------------------------------------------------------------===//
+
+const std::vector<CryptoWorkload> &specai::cryptoWorkloads() {
+  static const std::vector<CryptoWorkload> Workloads = {
+      // --- Kernels the paper reports as LEAKY under speculation. ---
+      {"hash", "hash function (hpn-ssh)",
+       R"MC(
+char htab[1024];           // 16 lines: secret-indexed mixing table
+char pad_lo[1024];         // 16 lines
+char pad_hi[1024];         // 16 lines
+secret char key[64];
+char msg_len;              // attacker-visible input
+
+int hash_run() {
+  reg int t; reg int i; reg int acc;
+  acc = 0;
+  // Padding path depends on the (memory) message length; under
+  // misprediction the other pad block is pulled in too.
+  if (msg_len > 16) {
+    for (i = 0; i < 1024; i += 64) acc = acc + pad_hi[i];
+  } else {
+    for (i = 0; i < 1024; i += 64) acc = acc + pad_lo[i];
+  }
+  t = key[0];
+  return htab[(acc + t) & 1023];   // secret-indexed lookup
+}
+)MC",
+       "t = t + hash_run();",
+       {{"htab", 1024}}},
+
+      {"encoder", "hex encode a string (LibTomCrypt)",
+       R"MC(
+char hexmap[512];          // 8 lines: secret-indexed nibble map
+char buf_even[512];        // 8 lines
+char buf_odd[512];         // 8 lines
+secret char data[64];
+char in_len;               // input
+
+int encoder_run() {
+  reg int t; reg int i; reg int acc;
+  acc = 0;
+  if ((in_len & 1) == 0) {
+    for (i = 0; i < 512; i += 64) acc = acc + buf_even[i];
+  } else {
+    for (i = 0; i < 512; i += 64) acc = acc + buf_odd[i];
+  }
+  t = data[0];
+  return hexmap[(acc ^ t) & 511];
+}
+)MC",
+       "t = t + encoder_run();",
+       {{"hexmap", 512}}},
+
+      {"chacha20", "chacha20poly1305 cipher (LibTomCrypt)",
+       R"MC(
+char poly_tab[1024];       // 16 lines: secret-indexed reduction table
+char block_full[1024];     // 16 lines
+char block_part[1024];     // 16 lines
+secret char key[256];
+char last_len;             // input: final partial-block length
+
+int chacha20_run() {
+  reg int t; reg int i; reg int x;
+  x = 0;
+  // ARX rounds over the secret key (constant trip, fully unrolled).
+  for (i = 0; i < 256; i += 64) {
+    t = key[i];
+    x = (x + t) ^ ((x << 7) | (x >> 25));
+  }
+  // Final block handling depends on the message tail length.
+  if (last_len == 64) {
+    for (i = 0; i < 1024; i += 64) x = x + block_full[i];
+  } else {
+    for (i = 0; i < 1024; i += 64) x = x + block_part[i];
+  }
+  return poly_tab[(x + key[0]) & 1023];
+}
+)MC",
+       "t = t + chacha20_run();",
+       {{"poly_tab", 1024}}},
+
+      {"ocb", "OCB implementation (LibTomCrypt)",
+       R"MC(
+char ltab[2048];           // 32 lines: secret-indexed L_i offsets
+char off_main[1024];       // 16 lines
+char off_tail[1024];       // 16 lines
+secret char nonce[64];
+char trailing;             // input: ntz handling
+
+int ocb_run() {
+  reg int t; reg int i; reg int acc;
+  acc = 0;
+  if (trailing != 0) {
+    for (i = 0; i < 1024; i += 64) acc = acc + off_tail[i];
+  } else {
+    for (i = 0; i < 1024; i += 64) acc = acc + off_main[i];
+  }
+  t = nonce[0];
+  return ltab[(acc + t) & 2047];
+}
+)MC",
+       "t = t + ocb_run();",
+       {{"ltab", 2048}}},
+
+      {"des", "des cipher (openssl); leaks even with an empty client buffer",
+       R"MC(
+char sp_box[8192];         // 128 lines: secret-indexed SP boxes
+char work[22528];          // 352 lines: internal user-sized work buffer
+char sched_a[1024];        // 16 lines
+char sched_b[1024];        // 16 lines
+secret char key[64];
+char decrypt;              // input: direction flag
+
+int des_run() {
+  reg int t; reg int i; reg int acc;
+  acc = 0;
+  // The internal work buffer is user controlled; it alone nearly fills
+  // the cache (this is why des leaks at client buffer size 0).
+  for (i = 0; i < 22528; i += 64) acc = acc + work[i];
+  if (decrypt != 0) {
+    for (i = 0; i < 1024; i += 64) acc = acc + sched_b[i];
+  } else {
+    for (i = 0; i < 1024; i += 64) acc = acc + sched_a[i];
+  }
+  t = key[0];
+  return sp_box[(acc ^ t) & 8191];
+}
+)MC",
+       "t = t + des_run();",
+       {{"sp_box", 8192}}},
+
+      // --- Kernels the paper reports as LEAK-FREE (both analyses). ---
+      {"aes", "AES implementation (LibTomCrypt)",
+       R"MC(
+char sbox[256];            // 4 lines: the S-box
+secret char key[176];      // expanded round keys
+char pt[64];
+
+int aes_run() {
+  reg int t; reg int s; reg int r;
+  s = pt[0];
+  // Ten constant rounds, fully unrolled: no speculation sites. The
+  // secret-indexed S-box accesses stay hits because the whole S-box
+  // remains resident.
+  for (r = 0; r < 10; r += 1) {
+    t = key[r * 16];
+    s = sbox[(s ^ t) & 255] ^ (s << 1);
+  }
+  return s & 255;
+}
+)MC",
+       "t = t + aes_run();",
+       {{"sbox", 256}, {"pt", 64}}},
+
+      {"str2key", "key prepare for des (openssl)",
+       R"MC(
+char odd_parity[64];       // 1 line: single-line table is always uniform
+secret char passwd[128];
+
+int str2key_run() {
+  reg int t; reg int i; reg int k;
+  k = 0;
+  for (i = 0; i < 128; i += 1) {
+    t = passwd[i];
+    k = (k << 1) ^ odd_parity[(t ^ k) & 63];
+  }
+  return k & 255;
+}
+)MC",
+       "t = t + str2key_run();",
+       {{"odd_parity", 64}, {"passwd", 128}}},
+
+      {"seed", "seed cipher (linux-tegra)",
+       R"MC(
+char ss0[256];             // 4 lines
+char ss1[256];             // 4 lines
+secret char seed_key[128];
+
+int seed_run() {
+  reg int t; reg int x; reg int r;
+  x = 0;
+  for (r = 0; r < 16; r += 1) {
+    t = seed_key[r * 8];
+    x = x ^ ss0[(x + t) & 255];
+    x = x + ss1[(x ^ t) & 255];
+  }
+  return x & 255;
+}
+)MC",
+       "t = t + seed_run();",
+       {{"ss0", 256}, {"ss1", 256}}},
+
+      {"camellia", "camellia cipher (linux-tegra)",
+       R"MC(
+char sp1[256];             // 4 lines
+char sp2[256];             // 4 lines
+char sp3[256];             // 4 lines
+secret char cam_key[192];
+
+int camellia_run() {
+  reg int t; reg int x; reg int r;
+  x = 0;
+  for (r = 0; r < 18; r += 1) {
+    t = cam_key[r * 8];
+    x = x ^ sp1[(x + t) & 255];
+    x = x + sp2[(x ^ t) & 255];
+    x = x ^ sp3[(x + (t << 1)) & 255];
+  }
+  return x & 255;
+}
+)MC",
+       "t = t + camellia_run();",
+       {{"sp1", 256}, {"sp2", 256}, {"sp3", 256}}},
+
+      {"salsa", "Salsa20 stream cipher (linux-tegra); pure ARX, no tables",
+       R"MC(
+secret char salsa_key[256];
+
+int salsa_run() {
+  reg int t; reg int x; reg int r;
+  x = 0;
+  for (r = 0; r < 256; r += 64) {
+    t = salsa_key[r];
+    x = x + ((t ^ x) << 7);
+    x = x ^ ((x + t) >> 9);
+    x = x + ((t ^ x) << 13);
+  }
+  return x & 255;
+}
+)MC",
+       "t = t + salsa_run();",
+       {{"salsa_key", 256}}},
+  };
+  return Workloads;
+}
+
+std::string specai::makeClientProgram(const CryptoWorkload &W,
+                                      uint64_t BufBytes) {
+  std::string Out = W.KernelSource;
+  Out += "\n";
+  if (BufBytes > 0)
+    Out += "char inBuf[" + std::to_string(BufBytes) + "];\n";
+  Out += "int main() {\n";
+  Out += "  reg int t;\n";
+  Out += "  reg int i;\n";
+  Out += "  t = 0;\n";
+  // Preload the kernel's tables (Figure 10 lines 9-10); secret-indexed
+  // tables are listed first, making them the oldest lines.
+  for (const auto &[Name, Elems] : W.Preload) {
+    Out += "  for (i = 0; i < " + std::to_string(Elems) +
+           "; i += 64) t = t + " + Name + "[i];\n";
+  }
+  if (BufBytes > 0) {
+    // Attacker-sized buffer read (Figure 10 lines 11-12).
+    Out += "  for (i = 0; i < " + std::to_string(BufBytes) +
+           "; i += 64) t = t + inBuf[i];\n";
+  }
+  Out += "  " + W.KernelCall + "\n";
+  Out += "  return t;\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- Workloads.h - Benchmark programs from the paper ----------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mini-C workloads reproducing the paper's benchmark suites:
+///
+///  - the inline examples: Figure 2 (motivating example), Figure 7
+///    (just-in-time merging), Figure 8 (`quantl`, Tables 1-2), Figure 10
+///    (the leaking client), Figure 11 (shadow variables);
+///  - Table 3's ten execution-time-estimation benchmarks (Mälardalen /
+///    MiBench / mediaBench names), each distilled to a kernel with the
+///    structural features the paper's narrative attributes to it
+///    (table-driven loops, data-dependent scans, memory-conditioned
+///    branches);
+///  - Table 4's ten side-channel benchmarks (hpn-ssh / LibTomCrypt /
+///    openssl / linux-tegra names) as crypto kernels with `secret` inputs,
+///    plus the Figure-10-style client generator that preloads the tables,
+///    touches an attacker-sized buffer, and invokes the kernel.
+///
+/// The substitution rationale (real suites -> distilled kernels) is in
+/// DESIGN.md §1: the analysis outcome depends on the access structure, not
+/// on full application logic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_WORKLOADS_WORKLOADS_H
+#define SPECAI_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace specai {
+
+/// A self-contained analysis workload (has a `main`).
+struct Workload {
+  std::string Name;
+  std::string Description;
+  std::string Source;
+};
+
+/// A crypto kernel to be wrapped by the Figure-10 client.
+struct CryptoWorkload {
+  std::string Name;
+  std::string Description;
+  /// Tables, secret globals, and the kernel function (no `main`).
+  std::string KernelSource;
+  /// Statement invoking the kernel from the client, e.g. "t = des_run();".
+  std::string KernelCall;
+  /// Char arrays the client preloads, with their element counts; listed
+  /// secret-indexed tables first (they are preloaded first and are thus
+  /// the oldest, i.e. the first evicted under extra pressure).
+  std::vector<std::pair<std::string, unsigned>> Preload;
+};
+
+/// Table 3 benchmarks (execution time estimation).
+const std::vector<Workload> &wcetWorkloads();
+
+/// Table 4 benchmarks (side channel detection).
+const std::vector<CryptoWorkload> &cryptoWorkloads();
+
+/// Builds the Figure-10 client: preloads the kernel's tables, reads a
+/// \p BufBytes attacker-controlled buffer (0 omits the buffer), then calls
+/// the kernel.
+std::string makeClientProgram(const CryptoWorkload &W, uint64_t BufBytes);
+
+/// Figure 2: the motivating example (512-line cache; 512 misses + 1 hit
+/// non-speculatively, 513 observable misses speculatively).
+std::string fig2Source();
+
+/// Figure 7: the 5-block just-in-time merging example (4-line cache).
+std::string fig7Source();
+
+/// Figure 8: the quantl DSP routine (Tables 1 and 2).
+std::string quantlSource();
+
+/// Figure 11: the loop whose block `a` survives only with shadow
+/// variables (4-line cache).
+std::string fig11Source();
+
+} // namespace specai
+
+#endif // SPECAI_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,217 @@
+//===- analysis_test.cpp - Taint, side channel, WCET ----------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideChannel.h"
+#include "analysis/Taint.h"
+#include "analysis/Wcet.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  return CP;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Taint
+//===----------------------------------------------------------------------===//
+
+TEST(TaintTest, SecretVariableSeedsTaint) {
+  auto CP = compile("secret int k; char t[256]; int main() { reg int x; "
+                    "x = k; return t[x & 255]; }");
+  TaintResult R = computeTaint(CP->G);
+  EXPECT_TRUE(R.isVarTainted(CP->P->findVar("k")));
+  EXPECT_EQ(R.SecretIndexedAccesses.size(), 1u);
+}
+
+TEST(TaintTest, SecretRegGlobalSeedsTaint) {
+  auto CP = compile("secret reg char k; char t[256]; int main() { "
+                    "return t[k & 255]; }");
+  TaintResult R = computeTaint(CP->G);
+  EXPECT_EQ(R.SecretIndexedAccesses.size(), 1u);
+}
+
+TEST(TaintTest, TaintFlowsThroughArithmeticAndMemory) {
+  auto CP = compile("secret int k; int tmp; char t[256]; int main() { "
+                    "reg int x; x = (k * 3) ^ 5; tmp = x; "
+                    "return t[tmp & 255]; }");
+  TaintResult R = computeTaint(CP->G);
+  EXPECT_TRUE(R.isVarTainted(CP->P->findVar("tmp")));
+  EXPECT_EQ(R.SecretIndexedAccesses.size(), 1u);
+}
+
+TEST(TaintTest, PublicIndexIsNotFlagged) {
+  auto CP = compile("secret int k; int pub; char t[256]; int main() { "
+                    "reg int x; x = k; return t[pub & 255] + x; }");
+  TaintResult R = computeTaint(CP->G);
+  EXPECT_TRUE(R.SecretIndexedAccesses.empty());
+}
+
+TEST(TaintTest, ConstantIndexedSecretDataIsNotAnAddressLeak) {
+  // Loading secret *data* at a public address is not a cache-address leak.
+  auto CP = compile("secret char key[64]; int main() { return key[0]; }");
+  TaintResult R = computeTaint(CP->G);
+  EXPECT_TRUE(R.SecretIndexedAccesses.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Side channel detection
+//===----------------------------------------------------------------------===//
+
+TEST(SideChannelTest, FullyCachedTableIsLeakFree) {
+  auto CP = compile("secret int k; char t[256]; int main() { reg int x; "
+                    "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+                    "return t[k & 255]; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(16);
+  Opts.Speculative = true;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  SideChannelReport SC = detectLeaks(*CP, R);
+  EXPECT_FALSE(SC.leakDetected());
+  EXPECT_EQ(SC.ProvenLeakFree, 1u);
+}
+
+TEST(SideChannelTest, PartiallyCachedTableLeaks) {
+  auto CP = compile("secret int k; char t[256]; char big[384]; "
+                    "int main() { reg int x; "
+                    "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+                    "for (reg int i = 0; i < 384; i += 64) x = big[i]; "
+                    "return t[k & 255]; }");
+  // 8-line cache: big's 6 lines push t's oldest two lines out while the
+  // youngest two stay — a secret-dependent hit/miss mix.
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  Opts.Speculative = false;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  SideChannelReport SC = detectLeaks(*CP, R);
+  EXPECT_TRUE(SC.leakDetected());
+  ASSERT_EQ(SC.Leaks.size(), 1u);
+  EXPECT_EQ(SC.Leaks[0].Var, CP->P->findVar("t"));
+  EXPECT_NE(SC.Leaks[0].str(*CP->P).find("'t'"), std::string::npos);
+}
+
+TEST(SideChannelTest, DefinitelyEvictedTableIsUniformNoLeak) {
+  // After a full cache sweep the table is *definitely* out: every access
+  // misses regardless of the secret -> uniform -> no leak (this is why
+  // the paper's aes with a 32 KB buffer is reported leak free).
+  auto CP = compile("secret int k; char t[128]; char big[1024]; "
+                    "int main() { reg int x; "
+                    "for (reg int i = 0; i < 128; i += 64) x = t[i]; "
+                    "for (reg int i = 0; i < 1024; i += 64) x = big[i]; "
+                    "return t[k & 127]; }");
+  // Cache of 8 lines; big (16 lines) flushes everything deterministically.
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  Opts.Speculative = false;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  SideChannelReport SC = detectLeaks(*CP, R);
+  EXPECT_FALSE(SC.leakDetected());
+  EXPECT_EQ(SC.ProvenLeakFree, 1u);
+}
+
+TEST(SideChannelTest, SingleLineTableIsAlwaysUniform) {
+  // A one-line table cannot leak through the address: any index maps to
+  // the same line (the str2key odd_parity table).
+  auto CP = compile("secret int k; char t[64]; char big[512]; int main() { "
+                    "reg int x; x = t[0]; "
+                    "for (reg int i = 0; i < 512; i += 64) x = big[i]; "
+                    "return t[k & 63]; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  Opts.Speculative = true;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  SideChannelReport SC = detectLeaks(*CP, R);
+  // Either all-hit or all-miss: one line is uniform by construction.
+  EXPECT_FALSE(SC.leakDetected());
+}
+
+TEST(SideChannelTest, SpeculationOnlyLeakRequiresSpeculativeAnalysis) {
+  // Figure 2's scenario distilled: the branch sides overflow the cache
+  // only when both execute (one speculatively).
+  std::string Source =
+      "secret reg char k; char t[256]; char w1[128]; char w2[128]; int c; "
+      "int main() { reg int x; "
+      "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+      "if (c) { x = x + w1[0] + w1[64]; } else { x = x + w2[0] + w2[64]; } "
+      "return t[k & 255]; }";
+  auto CP = compile(Source);
+  // 7-line cache: t(4) + c(1) + one side(2) = 7 fits; both sides = 9.
+  MustHitOptions NonSpec;
+  NonSpec.Cache = CacheConfig::fullyAssociative(7);
+  NonSpec.Speculative = false;
+  EXPECT_FALSE(
+      detectLeaks(*CP, runMustHitAnalysis(*CP, NonSpec)).leakDetected());
+  MustHitOptions Spec = NonSpec;
+  Spec.Speculative = true;
+  EXPECT_TRUE(
+      detectLeaks(*CP, runMustHitAnalysis(*CP, Spec)).leakDetected());
+}
+
+//===----------------------------------------------------------------------===//
+// WCET estimation
+//===----------------------------------------------------------------------===//
+
+TEST(WcetTest, CountsMissAndHitNodes) {
+  auto CP = compile("char a[64]; int main() { reg int t; t = a[0]; "
+                    "t = t + a[0]; return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  Opts.Speculative = false;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetReport W = estimateWcet(*CP, R);
+  EXPECT_EQ(W.PossibleMissNodes, 1u);
+  EXPECT_EQ(W.MustHitNodes, 1u);
+}
+
+TEST(WcetTest, MissesDominateTheCycleBound) {
+  auto CP = compile("char a[64]; int main() { reg int t; t = a[0]; "
+                    "t = t + a[0]; return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions WO;
+  WcetReport W = estimateWcet(*CP, R, WO);
+  EXPECT_GE(W.WorstCaseCycles, WO.Timing.MissLatency);
+}
+
+TEST(WcetTest, SpeculativeAnalysisRaisesTheBound) {
+  auto CP = compile(fig2Source());
+  MustHitOptions NonSpec;
+  NonSpec.Speculative = false;
+  WcetReport WNs = estimateWcet(*CP, runMustHitAnalysis(*CP, NonSpec));
+  MustHitOptions Spec;
+  Spec.Speculative = true;
+  WcetReport WSp = estimateWcet(*CP, runMustHitAnalysis(*CP, Spec));
+  // The missed final access adds a full miss latency (paper §2.1: "it may
+  // underestimate the worst-case execution time").
+  EXPECT_GT(WSp.WorstCaseCycles, WNs.WorstCaseCycles);
+  EXPECT_GT(WSp.PossibleMissNodes, WNs.PossibleMissNodes);
+}
+
+TEST(WcetTest, LoopBoundScalesLoopBodies) {
+  auto CP = compile("int n; char a[64]; int main() { int i; reg int t; "
+                    "t = 0; for (i = 0; i < n; i++) { t = t + a[0]; } "
+                    "return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions Small;
+  Small.LoopIterationBound = 1;
+  WcetOptions Large;
+  Large.LoopIterationBound = 100;
+  EXPECT_GT(estimateWcet(*CP, R, Large).WorstCaseCycles,
+            estimateWcet(*CP, R, Small).WorstCaseCycles);
+}

@@ -1,0 +1,158 @@
+//===- cfg_test.cpp - FlatCfg, dominators, loops ---------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  return CP;
+}
+
+} // namespace
+
+TEST(FlatCfgTest, StraightLineChain) {
+  auto CP = compile("int x; int main() { x = 1; x = 2; return x; }");
+  const FlatCfg &G = CP->G;
+  // Every non-terminator node has exactly one successor; Ret has none.
+  for (NodeId N = 0; N != G.size(); ++N) {
+    if (G.inst(N).Op == Opcode::Ret)
+      EXPECT_TRUE(G.successors(N).empty());
+    else
+      EXPECT_EQ(G.successors(N).size(), 1u);
+  }
+  ASSERT_EQ(G.exits().size(), 1u);
+}
+
+TEST(FlatCfgTest, BranchHasTwoSuccessors) {
+  auto CP = compile("int c; int main() { if (c) { c = 1; } else { c = 2; } "
+                    "return c; }");
+  const FlatCfg &G = CP->G;
+  unsigned Branches = 0;
+  for (NodeId N = 0; N != G.size(); ++N) {
+    if (G.inst(N).Op == Opcode::Br) {
+      EXPECT_EQ(G.successors(N).size(), 2u);
+      ++Branches;
+    }
+  }
+  EXPECT_EQ(Branches, 1u);
+}
+
+TEST(FlatCfgTest, PredecessorsMatchSuccessors) {
+  auto CP = compile("int c; int main() { int s; s = 0; "
+                    "while (c) { s = s + 1; } return s; }");
+  const FlatCfg &G = CP->G;
+  for (NodeId N = 0; N != G.size(); ++N)
+    for (NodeId Succ : G.successors(N)) {
+      const auto &Preds = G.predecessors(Succ);
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), N), Preds.end());
+    }
+}
+
+TEST(FlatCfgTest, RpoVisitsEntryFirstAndAllReachable) {
+  auto CP = compile("int c; int main() { if (c) { return 1; } return 2; }");
+  auto Rpo = CP->G.reversePostOrder();
+  ASSERT_FALSE(Rpo.empty());
+  EXPECT_EQ(Rpo.front(), CP->G.entry());
+  auto Reach = CP->G.reachable();
+  size_t ReachCount = std::count(Reach.begin(), Reach.end(), true);
+  EXPECT_EQ(Rpo.size(), ReachCount);
+}
+
+TEST(DominatorsTest, DiamondJoinDominatedByBranch) {
+  auto CP = compile("int c; int x; int main() { if (c) { x = 1; } else "
+                    "{ x = 2; } return x; }");
+  const FlatCfg &G = CP->G;
+  // Find the branch and the final return.
+  NodeId Branch = InvalidNode;
+  for (NodeId N = 0; N != G.size(); ++N)
+    if (G.inst(N).Op == Opcode::Br)
+      Branch = N;
+  ASSERT_NE(Branch, InvalidNode);
+  NodeId Ret = G.exits().front();
+  EXPECT_TRUE(CP->Dom.dominates(Branch, Ret));
+  EXPECT_TRUE(CP->Dom.dominates(G.entry(), Branch));
+  // Neither arm dominates the return.
+  NodeId ThenEntry = G.blockStart(G.inst(Branch).TrueTarget);
+  EXPECT_FALSE(CP->Dom.dominates(ThenEntry, Ret));
+}
+
+TEST(DominatorsTest, PostDominatorOfBranchIsTheJoin) {
+  auto CP = compile("int c; int x; int main() { if (c) { x = 1; } else "
+                    "{ x = 2; } return x; }");
+  const FlatCfg &G = CP->G;
+  NodeId Branch = InvalidNode;
+  for (NodeId N = 0; N != G.size(); ++N)
+    if (G.inst(N).Op == Opcode::Br)
+      Branch = N;
+  NodeId Ipdom = CP->Pdom.idom(Branch);
+  ASSERT_NE(Ipdom, InvalidNode);
+  // The ipdom is reachable from both arms and post-dominates the branch.
+  EXPECT_TRUE(CP->Pdom.dominates(Ipdom, Branch));
+  // It is the load of x or later (in the join block).
+  EXPECT_TRUE(CP->Pdom.dominates(G.exits().front(), Branch));
+}
+
+TEST(DominatorsTest, NoPostDominatorWhenBothSidesReturn) {
+  auto CP = compile("int c; int main() { if (c) { return 1; } "
+                    "else { return 2; } }");
+  const FlatCfg &G = CP->G;
+  NodeId Branch = InvalidNode;
+  for (NodeId N = 0; N != G.size(); ++N)
+    if (G.inst(N).Op == Opcode::Br)
+      Branch = N;
+  ASSERT_NE(Branch, InvalidNode);
+  EXPECT_EQ(CP->Pdom.idom(Branch), InvalidNode);
+}
+
+TEST(DominatorsTest, SelfDominanceIsReflexive) {
+  auto CP = compile("int main() { return 0; }");
+  NodeId E = CP->G.entry();
+  EXPECT_TRUE(CP->Dom.dominates(E, E));
+}
+
+TEST(LoopInfoTest, WhileLoopDetected) {
+  auto CP = compile("int c; int main() { int s; s = 0; "
+                    "while (s < c) { s = s + 1; } return s; }");
+  EXPECT_EQ(CP->LI.loopCount(), 1u);
+  const Loop &L = CP->LI.loops().front();
+  EXPECT_TRUE(CP->LI.isHeader(L.Header));
+  EXPECT_GT(L.Body.size(), 2u);
+}
+
+TEST(LoopInfoTest, UnrolledLoopLeavesNoLoops) {
+  auto CP = compile("char a[256]; int main() { reg int t; "
+                    "for (reg int i = 0; i < 4; i++) t = a[i * 64]; "
+                    "return t; }");
+  EXPECT_EQ(CP->LI.loopCount(), 0u);
+}
+
+TEST(LoopInfoTest, NestedLoopsBothDetected) {
+  auto CP = compile("int n; int main() { int i; int j; int s; s = 0; "
+                    "for (i = 0; i < n; i++) { "
+                    "  for (j = 0; j < n; j++) { s = s + 1; } } "
+                    "return s; }");
+  EXPECT_EQ(CP->LI.loopCount(), 2u);
+}
+
+TEST(LoopInfoTest, LoopNodesAreMarked) {
+  auto CP = compile("int c; int main() { int s; s = 0; "
+                    "while (s < c) { s = s + 1; } return s; }");
+  // The return is outside any loop; the body increment inside.
+  NodeId Ret = CP->G.exits().front();
+  EXPECT_FALSE(CP->LI.inAnyLoop(Ret));
+  const Loop &L = CP->LI.loops().front();
+  for (NodeId N : L.Body)
+    EXPECT_TRUE(CP->LI.inAnyLoop(N));
+}

@@ -1,0 +1,288 @@
+//===- engine_test.cpp - Worklist and speculative engine tests ------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPipeline.h"
+#include "domain/IntervalDomain.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  return CP;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Speculation planning (virtual control flow)
+//===----------------------------------------------------------------------===//
+
+TEST(SpecPlanTest, MemoryDependentBranchesBecomeSites) {
+  auto CP = compile("int c; char a[64]; char b[64]; int main() { reg int t; "
+                    "if (c) { t = a[0]; } else { t = b[0]; } return t; }");
+  EXPECT_EQ(CP->Plan.siteCount(), 1u);
+  EXPECT_EQ(CP->Plan.colorCount(), 2u);
+  const SpecSite &S = CP->Plan.sites().front();
+  EXPECT_EQ(S.CondLoads.size(), 1u);
+  EXPECT_NE(S.Ipdom, InvalidNode);
+}
+
+TEST(SpecPlanTest, RegisterOnlyBranchesAreSkipped) {
+  auto CP = compile("int main(reg int c) { reg int t; "
+                    "if (c) { t = 1; } else { t = 2; } return t; }");
+  EXPECT_EQ(CP->Plan.siteCount(), 0u);
+}
+
+TEST(SpecPlanTest, ColorsPointAtOppositeSides) {
+  auto CP = compile("int c; char a[64]; char b[64]; int main() { reg int t; "
+                    "if (c) { t = a[0]; } else { t = b[0]; } return t; }");
+  const SpecPlan &Plan = CP->Plan;
+  ASSERT_EQ(Plan.colorCount(), 2u);
+  EXPECT_EQ(Plan.wrongEntry(0), Plan.correctEntry(1));
+  EXPECT_EQ(Plan.wrongEntry(1), Plan.correctEntry(0));
+}
+
+TEST(SpecPlanTest, MemoryDependenceIsTransitive) {
+  auto CP = compile("int c; int main() { reg int x; reg int y; "
+                    "x = c; y = x + 1; if (y) { return 1; } return 0; }");
+  EXPECT_EQ(CP->Plan.siteCount(), 1u);
+}
+
+TEST(SpecPlanTest, CondLoadsFollowTheSlice) {
+  auto CP = compile("int c; int d; int main() { reg int x; "
+                    "x = c + d; if (x > 3) { return 1; } return 0; }");
+  ASSERT_EQ(CP->Plan.siteCount(), 1u);
+  EXPECT_EQ(CP->Plan.sites().front().CondLoads.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline vs speculative engine
+//===----------------------------------------------------------------------===//
+
+TEST(EngineTest, SpeculationDisabledMatchesBaseline) {
+  auto CP = compile(fig2Source());
+  MustHitOptions NonSpec;
+  NonSpec.Speculative = false;
+  MustHitReport Base = runMustHitAnalysis(*CP, NonSpec);
+
+  // Depth 0 disables every window: the speculative engine must agree with
+  // Algorithm 1 on every classification.
+  MustHitOptions Zero;
+  Zero.Speculative = true;
+  Zero.DepthMiss = 0;
+  Zero.DepthHit = 0;
+  Zero.Bounding = BoundingMode::Fixed;
+  MustHitReport Spec = runMustHitAnalysis(*CP, Zero);
+  EXPECT_EQ(Base.MissCount, Spec.MissCount);
+  EXPECT_EQ(Spec.SpMissCount, 0u);
+  EXPECT_EQ(Base.MustHit, Spec.MustHit);
+}
+
+TEST(EngineTest, SpeculativeNeverClaimsMoreHitsThanBaseline) {
+  for (const Workload &W : wcetWorkloads()) {
+    auto CP = compile(W.Source);
+    MustHitOptions NonSpec;
+    NonSpec.Cache = CacheConfig::fullyAssociative(64);
+    NonSpec.Speculative = false;
+    MustHitReport Base = runMustHitAnalysis(*CP, NonSpec);
+    MustHitOptions Spec = NonSpec;
+    Spec.Speculative = true;
+    MustHitReport SpecR = runMustHitAnalysis(*CP, Spec);
+    for (NodeId N = 0; N != CP->G.size(); ++N) {
+      if (SpecR.MustHit[N])
+        EXPECT_TRUE(Base.MustHit[N]) << W.Name << " node " << N;
+    }
+  }
+}
+
+TEST(EngineTest, DepthMonotonicityOfMissCounts) {
+  auto CP = compile(wcetWorkloads()[1].Source); // susan
+  uint64_t Prev = 0;
+  for (uint32_t Depth : {0u, 4u, 16u, 64u, 256u}) {
+    MustHitOptions Opts;
+    Opts.Cache = CacheConfig::fullyAssociative(64);
+    Opts.Speculative = true;
+    Opts.DepthMiss = Depth;
+    Opts.DepthHit = Depth;
+    Opts.Bounding = BoundingMode::Fixed;
+    MustHitReport R = runMustHitAnalysis(*CP, Opts);
+    EXPECT_GE(R.MissCount, Prev) << "depth " << Depth;
+    Prev = R.MissCount;
+  }
+}
+
+TEST(EngineTest, StrategiesAreOrderedByPrecision) {
+  // no-merge refines just-in-time refines merge-at-rollback: the miss
+  // counts must be ordered accordingly on every kernel.
+  for (const Workload &W : wcetWorkloads()) {
+    auto CP = compile(W.Source);
+    auto MissWith = [&](MergeStrategy S) {
+      MustHitOptions Opts;
+      Opts.Cache = CacheConfig::fullyAssociative(64);
+      Opts.Speculative = true;
+      Opts.Strategy = S;
+      return runMustHitAnalysis(*CP, Opts).MissCount;
+    };
+    uint64_t NM = MissWith(MergeStrategy::NoMerge);
+    uint64_t JIT = MissWith(MergeStrategy::JustInTime);
+    uint64_t RB = MissWith(MergeStrategy::MergeAtRollback);
+    EXPECT_LE(NM, JIT) << W.Name;
+    EXPECT_LE(JIT, RB) << W.Name;
+  }
+}
+
+TEST(EngineTest, IterativeRefinementIsAtLeastAsPrecise) {
+  for (const Workload &W : wcetWorkloads()) {
+    auto CP = compile(W.Source);
+    MustHitOptions Fixed;
+    Fixed.Cache = CacheConfig::fullyAssociative(64);
+    Fixed.Speculative = true;
+    Fixed.Bounding = BoundingMode::Fixed;
+    MustHitReport FixedR = runMustHitAnalysis(*CP, Fixed);
+
+    MustHitOptions Refine = Fixed;
+    Refine.IterativeDepthRefinement = true;
+    MustHitReport RefineR = runMustHitAnalysis(*CP, Refine);
+    EXPECT_LE(RefineR.MissCount, FixedR.MissCount) << W.Name;
+  }
+}
+
+TEST(EngineTest, DynamicBoundingConvergesAndIsSane) {
+  auto CP = compile(fig2Source());
+  MustHitOptions Opts;
+  Opts.Speculative = true;
+  Opts.Bounding = BoundingMode::Dynamic;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_GE(R.MissCount, 513u);
+}
+
+TEST(EngineTest, UnreachableCodeStaysBottom) {
+  auto CP = compile("int x; int main() { return 1; x = 2; return x; }");
+  MustHitOptions Opts;
+  Opts.Speculative = true;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  bool SawUnreachable = false;
+  for (NodeId N = 0; N != CP->G.size(); ++N)
+    if (!R.Reachable[N])
+      SawUnreachable = true;
+  EXPECT_TRUE(SawUnreachable);
+}
+
+TEST(EngineTest, WideningStillSound) {
+  // Widening accelerates loops; must-hit classification under widening
+  // must be a subset of the non-widened one.
+  auto CP = compile(wcetWorkloads()[0].Source); // adpcm: has a scan loop.
+  MustHitOptions Plain;
+  Plain.Cache = CacheConfig::fullyAssociative(64);
+  Plain.Speculative = true;
+  MustHitReport P1 = runMustHitAnalysis(*CP, Plain);
+  MustHitOptions Widened = Plain;
+  Widened.UseWidening = true;
+  Widened.WideningDelay = 2;
+  MustHitReport P2 = runMustHitAnalysis(*CP, Widened);
+  EXPECT_LE(P2.Iterations, P1.Iterations);
+  for (NodeId N = 0; N != CP->G.size(); ++N)
+    if (P2.MustHit[N])
+      EXPECT_TRUE(P1.MustHit[N]) << "node " << N;
+}
+
+//===----------------------------------------------------------------------===//
+// Interval domain through the same engines (domain genericity)
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalEngineTest, BaselineFixpointBoundsAScalar) {
+  auto CP = compile("int x; int main() { x = 3; return x; }");
+  IntervalDomain D(CP->G);
+  EngineOptions Opts;
+  Opts.UseWidening = true;
+  FixpointResult<IntervalDomain> R = runFixpoint(D, CP->G, Opts, &CP->LI);
+  // At the return, x == 3.
+  NodeId Ret = CP->G.exits().front();
+  VarId X = CP->P->findVar("x");
+  Interval I = R.In[Ret].scalar(X);
+  EXPECT_EQ(I.Lo, 3);
+  EXPECT_EQ(I.Hi, 3);
+}
+
+TEST(IntervalEngineTest, JoinWidensOverBranches) {
+  auto CP = compile("int c; int x; int main() { if (c) { x = 1; } else "
+                    "{ x = 10; } return x; }");
+  IntervalDomain D(CP->G);
+  FixpointResult<IntervalDomain> R = runFixpoint(D, CP->G);
+  NodeId Ret = CP->G.exits().front();
+  Interval I = R.In[Ret].scalar(CP->P->findVar("x"));
+  EXPECT_EQ(I.Lo, 1);
+  EXPECT_EQ(I.Hi, 10);
+}
+
+TEST(IntervalEngineTest, LoopTerminatesWithWidening) {
+  auto CP = compile("int n; int main() { int i; i = 0; "
+                    "while (i < n) { i = i + 1; } return i; }");
+  IntervalDomain D(CP->G);
+  EngineOptions Opts;
+  Opts.UseWidening = true;
+  Opts.WideningDelay = 2;
+  Opts.MaxIterations = 100000;
+  FixpointResult<IntervalDomain> R = runFixpoint(D, CP->G, Opts, &CP->LI);
+  EXPECT_TRUE(R.Converged);
+  NodeId Ret = CP->G.exits().front();
+  Interval I = R.In[Ret].scalar(CP->P->findVar("main.i"));
+  EXPECT_EQ(I.Lo, 0); // i never goes below its initialization.
+}
+
+TEST(IntervalEngineTest, SpeculativeEngineRunsOverIntervals) {
+  // Domain genericity: Algorithms 2/3 run over the interval domain
+  // unchanged (paper §1: "regardless of how the abstract state is
+  // defined").
+  auto CP = compile("int c; int x; int main() { if (c) { x = 1; } else "
+                    "{ x = 2; } return x; }");
+  IntervalDomain D(CP->G);
+  SpecEngineOptions Opts;
+  Opts.UseWidening = true;
+  SpecResult<IntervalDomain> R =
+      runSpeculativeFixpoint(D, CP->G, CP->Plan, Opts, &CP->LI);
+  EXPECT_TRUE(R.Converged);
+  NodeId Ret = CP->G.exits().front();
+  EXPECT_FALSE(R.Normal[Ret].isBottom());
+  Interval I = R.Normal[Ret].scalar(CP->P->findVar("x"));
+  EXPECT_LE(I.Lo, 1);
+  EXPECT_GE(I.Hi, 2);
+}
+
+TEST(IntervalTest, ArithmeticSaturates) {
+  Interval Max{Interval::PosInf - 0, Interval::PosInf};
+  Interval One = Interval::constant(1);
+  Interval Sum = Max.add(One);
+  EXPECT_EQ(Sum.Hi, Interval::PosInf);
+  Interval Neg = Interval::constant(-1);
+  Interval Low{Interval::NegInf, 0};
+  EXPECT_EQ(Low.add(Neg).Lo, Interval::NegInf);
+}
+
+TEST(IntervalTest, MulConsidersAllCorners) {
+  Interval A{-2, 3};
+  Interval B{-5, 4};
+  Interval M = A.mul(B);
+  EXPECT_EQ(M.Lo, -15); // 3 * -5.
+  EXPECT_EQ(M.Hi, 12);  // 3 * 4.
+}
+
+TEST(IntervalTest, WidenJumpsUnstableBounds) {
+  Interval Prev{0, 3};
+  Interval Cur{0, 5};
+  Interval W = Cur.widen(Prev);
+  EXPECT_EQ(W.Lo, 0);
+  EXPECT_EQ(W.Hi, Interval::PosInf);
+}

@@ -1,0 +1,333 @@
+//===- ir_test.cpp - Lowering, verifier, and interpreter tests ------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+#include "ir/Lowering.h"
+#include "ir/Verifier.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::optional<Program> lower(const std::string &Source,
+                             const std::string &Entry = "main",
+                             LoweringOptions Extra = {}) {
+  DiagnosticEngine Diags;
+  AstContext Context;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Context, Diags);
+  TranslationUnit Unit = P.parseTranslationUnit();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Sema S(Diags);
+  EXPECT_TRUE(S.run(Unit)) << Diags.str();
+  Extra.EntryFunction = Entry;
+  auto Prog = lowerProgram(Unit, Extra, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (Prog)
+    EXPECT_TRUE(verifyProgram(*Prog).empty());
+  return Prog;
+}
+
+/// Runs the program to completion and returns its value.
+int64_t runProgram(const Program &P) {
+  Machine M(P);
+  M.run(10'000'000);
+  EXPECT_TRUE(M.halted());
+  return M.returnValue();
+}
+
+/// Counts instructions of an opcode.
+size_t countOps(const Program &P, Opcode Op) {
+  size_t N = 0;
+  for (const BasicBlock &B : P.Blocks)
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Op;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lowering structure
+//===----------------------------------------------------------------------===//
+
+TEST(LoweringTest, MemoryScalarsLoadOnUseStoreOnDef) {
+  auto P = lower("int x; int main() { x = 1; return x + x; }");
+  // One store for the def, two loads for the uses.
+  EXPECT_EQ(countOps(*P, Opcode::Store), 1u);
+  EXPECT_EQ(countOps(*P, Opcode::Load), 2u);
+}
+
+TEST(LoweringTest, RegVariablesAreInvisible) {
+  auto P = lower("int main() { reg int x; x = 1; return x + x; }");
+  EXPECT_EQ(countOps(*P, Opcode::Load), 0u);
+  EXPECT_EQ(countOps(*P, Opcode::Store), 0u);
+}
+
+TEST(LoweringTest, CountedRegLoopFullyUnrolls) {
+  auto P = lower("char a[640]; int main() { reg int t; "
+                 "for (reg int i = 0; i < 640; i += 64) t = a[i]; "
+                 "return t; }");
+  // Ten unrolled constant-index loads, no branch left.
+  EXPECT_EQ(countOps(*P, Opcode::Load), 10u);
+  EXPECT_EQ(countOps(*P, Opcode::Br), 0u);
+}
+
+TEST(LoweringTest, UnrolledMemoryInductionKeepsStores) {
+  auto P = lower("char a[256]; int i; int main() { reg int t; "
+                 "for (i = 0; i < 4; i++) t = a[i]; return t; }");
+  // Unrolled (no break, constant bounds), but i is memory resident: the
+  // per-iteration store is preserved so i's cache footprint stays real:
+  // 4 iteration stores + 1 final store.
+  EXPECT_EQ(countOps(*P, Opcode::Br), 0u);
+  EXPECT_EQ(countOps(*P, Opcode::Store), 5u);
+  EXPECT_EQ(countOps(*P, Opcode::Load), 4u);
+}
+
+TEST(LoweringTest, LoopWithBreakIsNotUnrolled) {
+  auto P = lower("int lev[30]; int x; int main() { int m; "
+                 "for (m = 0; m < 30; m++) { if (lev[m] > x) break; } "
+                 "return m; }");
+  // Still a loop: conditional branches remain.
+  EXPECT_GT(countOps(*P, Opcode::Br), 0u);
+}
+
+TEST(LoweringTest, DataDependentLoopIsNotUnrolled) {
+  auto P = lower("int n; int main() { reg int t; t = 0; "
+                 "for (reg int i = 0; i < n; i++) t = t + 1; return t; }");
+  EXPECT_GT(countOps(*P, Opcode::Br), 0u);
+}
+
+TEST(LoweringTest, UnrollRespectsIterationCap) {
+  LoweringOptions Opts;
+  Opts.MaxUnrollIterations = 8;
+  auto P = lower("char a[2048]; int main() { reg int t; "
+                 "for (reg int i = 0; i < 2048; i += 64) t = a[i]; "
+                 "return t; }",
+                 "main", Opts);
+  // 32 iterations exceed the cap of 8: the loop must remain.
+  EXPECT_GT(countOps(*P, Opcode::Br), 0u);
+}
+
+TEST(LoweringTest, ConstantConditionFoldsAwayBranch) {
+  auto P = lower("char a[64]; char b[64]; int main() { reg int t; "
+                 "if (1 < 2) { t = a[0]; } else { t = b[0]; } return t; }");
+  EXPECT_EQ(countOps(*P, Opcode::Br), 0u);
+  EXPECT_EQ(countOps(*P, Opcode::Load), 1u);
+  // The untaken side's load must not exist anywhere.
+  bool SeesB = false;
+  for (const BasicBlock &B : P->Blocks)
+    for (const Instruction &I : B.Insts)
+      if (I.accessesMemory() && P->Vars[I.Var].Name == "b")
+        SeesB = true;
+  EXPECT_FALSE(SeesB);
+}
+
+TEST(LoweringTest, CallsAreInlined) {
+  auto P = lower("int sq(int x) { return x * x; } "
+                 "int main() { return sq(3) + sq(4); }");
+  // No call instruction exists in the IR at all; correctness via execution.
+  EXPECT_EQ(runProgram(*P), 25);
+}
+
+TEST(LoweringTest, ShortCircuitSkipsRhsLoadsWhenFolded) {
+  auto P = lower("char a[64]; int main() { reg int t; "
+                 "t = 0 && a[0]; return t; }");
+  EXPECT_EQ(countOps(*P, Opcode::Load), 0u);
+}
+
+TEST(LoweringTest, ShortCircuitEmitsBranchWhenDynamic) {
+  auto P = lower("int x; char a[64]; int main() { reg int t; "
+                 "t = x && a[0]; return t; }");
+  EXPECT_GT(countOps(*P, Opcode::Br), 0u);
+}
+
+TEST(LoweringTest, RegGlobalsRecorded) {
+  auto P = lower("secret reg char k; int main() { return k; }");
+  ASSERT_EQ(P->RegGlobals.size(), 1u);
+  EXPECT_EQ(P->RegGlobals[0].Name, "k");
+  EXPECT_TRUE(P->RegGlobals[0].IsSecret);
+}
+
+TEST(LoweringTest, GlobalInitializersMaterialize) {
+  auto P = lower("int t[4] = {10, 20, 30}; int main() { return t[1]; }");
+  VarId V = P->findVar("t");
+  ASSERT_NE(V, InvalidVar);
+  EXPECT_TRUE(P->Vars[V].HasInit);
+  ASSERT_EQ(P->Vars[V].Init.size(), 3u);
+  EXPECT_EQ(P->Vars[V].Init[1], 20);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierTest, DetectsMissingTerminator) {
+  Program P;
+  P.NumRegs = 1;
+  BasicBlock B;
+  Instruction Mov;
+  Mov.Op = Opcode::Mov;
+  Mov.Dst = 0;
+  Mov.A = Operand::imm(1);
+  B.Insts.push_back(Mov);
+  P.Blocks.push_back(B);
+  EXPECT_FALSE(verifyProgram(P).empty());
+}
+
+TEST(VerifierTest, DetectsBadBranchTarget) {
+  Program P;
+  P.NumRegs = 1;
+  BasicBlock B;
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.A = Operand::reg(0);
+  Br.TrueTarget = 5;
+  Br.FalseTarget = 0;
+  B.Insts.push_back(Br);
+  P.Blocks.push_back(B);
+  EXPECT_FALSE(verifyProgram(P).empty());
+}
+
+TEST(VerifierTest, DetectsScalarAccessWithIndex) {
+  Program P;
+  P.NumRegs = 1;
+  MemVar V;
+  V.Name = "x";
+  V.ElemSize = 4;
+  V.NumElements = 1;
+  P.Vars.push_back(V);
+  BasicBlock B;
+  Instruction Load;
+  Load.Op = Opcode::Load;
+  Load.Dst = 0;
+  Load.Var = 0;
+  Load.Index = Operand::imm(0); // Scalars must not carry an index.
+  B.Insts.push_back(Load);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  B.Insts.push_back(Ret);
+  P.Blocks.push_back(B);
+  EXPECT_FALSE(verifyProgram(P).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter semantics
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ArithmeticSemantics) {
+  auto P = lower("int main() { reg int x; x = 7; "
+                 "return (x * 3 - 1) % 5 + (x << 2) + (x >> 1) + (x & 3) + "
+                 "(x | 8) + (x ^ 2); }");
+  // 20 % 5 = 0; 28; 3; 3; 15; 5 => 54.
+  EXPECT_EQ(runProgram(*P), 54);
+}
+
+TEST(InterpTest, DivisionTotalSemantics) {
+  EXPECT_EQ(evalIrBinOp(IrBinOp::Div, 5, 0), 0);
+  EXPECT_EQ(evalIrBinOp(IrBinOp::Rem, 5, 0), 0);
+  EXPECT_EQ(evalIrBinOp(IrBinOp::Div, std::numeric_limits<int64_t>::min(),
+                        -1),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(evalIrBinOp(IrBinOp::Shl, 1, 100), 1LL << 36); // Masked to 36.
+}
+
+TEST(InterpTest, QuantlComputesPaperValues) {
+  DiagnosticEngine Diags;
+  AstContext Context;
+  std::string Source =
+      "int quant26bt_pos[31] = { 61,60,59,58,57,56,55,54,53,52,51,50,49,48,"
+      "47,46,45,44,43,42,41,40,39,38,37,36,35,34,33,32,32 };\n"
+      "int quant26bt_neg[31] = { 63,62,31,30,29,28,27,26,25,24,23,22,21,20,"
+      "19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,4 };\n"
+      "int decis_levl[30] = { 280,576,880,1200,1520,1864,2208,2584,2960,"
+      "3376,3784,4240,4696,5200,5712,6288,6864,7520,8184,8968,9752,10712,"
+      "11664,12896,14120,15840,17560,20456,23352,32767 };\n"
+      "long my_abs(long x) { if (x < 0) { return 0 - x; } return x; }\n"
+      "int quantl(int el, int detl) {\n"
+      "  int ril, mil; long wd, decis;\n"
+      "  wd = my_abs(el);\n"
+      "  for (mil = 0; mil < 30; mil++) {\n"
+      "    decis = (decis_levl[mil] * (long)detl) >> 15;\n"
+      "    if (wd <= decis) break;\n"
+      "  }\n"
+      "  if (el >= 0) { ril = quant26bt_pos[mil]; }\n"
+      "  else { ril = quant26bt_neg[mil]; }\n"
+      "  return ril;\n"
+      "}\n";
+  auto P = lower(Source, "quantl");
+  ASSERT_TRUE(P);
+  // quantl(0, 32768): wd=0 <= decis at mil=0 => pos[0] = 61.
+  Machine M(*P);
+  M.setMemory(P->findVar("quantl.el"), 0, 0);
+  M.setMemory(P->findVar("quantl.detl"), 0, 32768);
+  M.run(1'000'000);
+  EXPECT_EQ(M.returnValue(), 61);
+
+  // quantl(-100000, 32768): wd too big for all levels => mil=30, neg[30]=4.
+  Machine M2(*P);
+  M2.setMemory(P->findVar("quantl.el"), 0, -100000);
+  M2.setMemory(P->findVar("quantl.detl"), 0, 32768);
+  M2.run(1'000'000);
+  EXPECT_EQ(M2.returnValue(), 4);
+}
+
+TEST(InterpTest, IndexWrapsModuloLength) {
+  auto P = lower("int a[4]; int main(int i) { a[1] = 42; return a[i]; }");
+  Machine M(*P);
+  M.setMemory(P->findVar("main.i"), 0, 5); // 5 mod 4 == 1.
+  M.run(1000);
+  EXPECT_EQ(M.returnValue(), 42);
+}
+
+TEST(InterpTest, TraceRecordsAccesses) {
+  auto P = lower("int x; int main() { x = 1; return x; }");
+  Machine M(*P);
+  std::vector<AccessEvent> Trace;
+  M.run(1000, &Trace);
+  ASSERT_EQ(Trace.size(), 2u);
+  EXPECT_FALSE(Trace[0].IsLoad);
+  EXPECT_TRUE(Trace[1].IsLoad);
+}
+
+TEST(InterpTest, SuppressedStoresDoNotCommit) {
+  auto P = lower("int x; int main() { x = 5; return x; }");
+  Machine M(*P);
+  M.setSuppressStores(true);
+  M.run(1000);
+  EXPECT_EQ(M.returnValue(), 0); // Store was buffered away.
+}
+
+TEST(InterpTest, CheckpointRestoresRegistersAndPc) {
+  auto P = lower("int main() { reg int x; x = 1; x = 2; return x; }");
+  Machine M(*P);
+  Machine::Checkpoint C = M.checkpoint();
+  M.run(1000);
+  EXPECT_TRUE(M.halted());
+  M.restore(C);
+  EXPECT_FALSE(M.halted());
+  M.run(1000);
+  EXPECT_EQ(M.returnValue(), 2);
+}
+
+TEST(InterpTest, DoWhileExecutesBodyAtLeastOnce) {
+  auto P = lower("int main() { reg int i; i = 10; reg int n; n = 0; "
+                 "do { n = n + 1; i = i + 1; } while (i < 5); return n; }");
+  EXPECT_EQ(runProgram(*P), 1);
+}
+
+TEST(InterpTest, TernaryAndShortCircuit) {
+  auto P = lower("int x; int main() { x = 3; "
+                 "return (x > 2 ? 10 : 20) + (x == 3 && x < 5 ? 1 : 0) + "
+                 "(x < 0 || x > 2 ? 100 : 0); }");
+  EXPECT_EQ(runProgram(*P), 111);
+}

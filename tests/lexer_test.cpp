@@ -1,0 +1,123 @@
+//===- lexer_test.cpp - Unit tests for the mini-C lexer -------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, bool ExpectErrors = false) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lex("int foo secret reg register while");
+  auto K = kinds(Tokens);
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwInt,    TokenKind::Identifier, TokenKind::KwSecret,
+      TokenKind::KwReg,    TokenKind::KwReg,      TokenKind::KwWhile,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+  EXPECT_EQ(Tokens[1].Text, "foo");
+}
+
+TEST(LexerTest, DecimalAndHexLiterals) {
+  auto Tokens = lex("42 0x2A 0XFF 15L 7u");
+  ASSERT_GE(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 255);
+  EXPECT_EQ(Tokens[3].IntValue, 15); // L suffix consumed.
+  EXPECT_EQ(Tokens[4].IntValue, 7);  // u suffix consumed.
+}
+
+TEST(LexerTest, CharacterLiterals) {
+  auto Tokens = lex("'a' '\\n' '\\0'");
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '\n');
+  EXPECT_EQ(Tokens[2].IntValue, 0);
+}
+
+TEST(LexerTest, CompoundOperators) {
+  auto K = kinds(lex("<<= >>= ++ -- <= >= == != && || += -="));
+  std::vector<TokenKind> Expected = {
+      TokenKind::LessLessEqual, TokenKind::GreaterGreaterEqual,
+      TokenKind::PlusPlus,      TokenKind::MinusMinus,
+      TokenKind::LessEqual,     TokenKind::GreaterEqual,
+      TokenKind::EqualEqual,    TokenKind::BangEqual,
+      TokenKind::AmpAmp,        TokenKind::PipePipe,
+      TokenKind::PlusEqual,     TokenKind::MinusEqual,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, ShiftVersusRelational) {
+  auto K = kinds(lex("a << b < c >> d >"));
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::LessLess,       TokenKind::Identifier,
+      TokenKind::Less,       TokenKind::Identifier,     TokenKind::GreaterGreater,
+      TokenKind::Identifier, TokenKind::Greater,        TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  auto Tokens = lex("a // comment with int keywords\nb /* multi\nline */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto Tokens = lex("a\nb\n  c");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 3u);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  lex("a /* never closed", /*ExpectErrors=*/true);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsErrorButRecovers) {
+  auto Tokens = lex("a @ b", /*ExpectErrors=*/true);
+  // '@' skipped, both identifiers survive.
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, LexesFigure2Verbatim) {
+  // The paper's Figure 2 style program should lex cleanly.
+  auto Tokens = lex("char ph[64*510], l1[64], l2[64], p;\n"
+                    "reg char k;\n"
+                    "for(reg int i=0;i<64*510; i+=64) t = ph[i];");
+  EXPECT_GT(Tokens.size(), 30u);
+}

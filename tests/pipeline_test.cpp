@@ -1,0 +1,242 @@
+//===- pipeline_test.cpp - Branch predictors and speculative CPU ----------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPipeline.h"
+#include "pipeline/BranchPredictor.h"
+#include "pipeline/SpeculativeCpu.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+//===----------------------------------------------------------------------===//
+// Predictors
+//===----------------------------------------------------------------------===//
+
+TEST(PredictorTest, StaticPredictorsNeverLearn) {
+  StaticPredictor T(true), N(false);
+  for (int I = 0; I != 10; ++I) {
+    T.update(1, false);
+    N.update(1, true);
+  }
+  EXPECT_TRUE(T.predict(1));
+  EXPECT_FALSE(N.predict(1));
+}
+
+TEST(PredictorTest, BimodalLearnsABiasedBranch) {
+  BimodalPredictor P;
+  for (int I = 0; I != 8; ++I)
+    P.update(7, true);
+  EXPECT_TRUE(P.predict(7));
+  for (int I = 0; I != 8; ++I)
+    P.update(7, false);
+  EXPECT_FALSE(P.predict(7));
+}
+
+TEST(PredictorTest, BimodalHysteresis) {
+  BimodalPredictor P;
+  for (int I = 0; I != 8; ++I)
+    P.update(3, true);
+  P.update(3, false); // One blip must not flip a saturated counter.
+  EXPECT_TRUE(P.predict(3));
+}
+
+TEST(PredictorTest, GShareLearnsAlternation) {
+  GSharePredictor P;
+  // Strict alternation is history-predictable.
+  bool Dir = false;
+  for (int I = 0; I != 400; ++I) {
+    P.update(11, Dir);
+    Dir = !Dir;
+  }
+  int Correct = 0;
+  for (int I = 0; I != 100; ++I) {
+    if (P.predict(11) == Dir)
+      ++Correct;
+    P.update(11, Dir);
+    Dir = !Dir;
+  }
+  EXPECT_GT(Correct, 90);
+}
+
+TEST(PredictorTest, PerceptronLearnsCorrelation) {
+  PerceptronPredictor P;
+  // Outcome equals the branch outcome two steps ago.
+  std::vector<bool> History{true, false};
+  for (int I = 0; I != 600; ++I) {
+    bool Out = History[History.size() - 2];
+    P.update(5, Out);
+    History.push_back(Out);
+  }
+  int Correct = 0;
+  for (int I = 0; I != 100; ++I) {
+    bool Out = History[History.size() - 2];
+    if (P.predict(5) == Out)
+      ++Correct;
+    P.update(5, Out);
+    History.push_back(Out);
+  }
+  EXPECT_GT(Correct, 85);
+}
+
+TEST(PredictorTest, ResetClearsLearnedState) {
+  BimodalPredictor P;
+  for (int I = 0; I != 8; ++I)
+    P.update(9, true);
+  P.reset();
+  // Back to the weakly-not-taken initialization.
+  EXPECT_FALSE(P.predict(9));
+}
+
+TEST(PredictorTest, StandardZooHasFiveModels) {
+  auto Zoo = makeStandardPredictors();
+  EXPECT_EQ(Zoo.size(), 5u);
+  std::set<std::string> Names;
+  for (auto &P : Zoo)
+    Names.insert(P->name());
+  EXPECT_EQ(Names.size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Window calibration
+//===----------------------------------------------------------------------===//
+
+TEST(CalibrationTest, PaperWindowsFromDefaults) {
+  SpeculationWindows W = calibrateWindows(TimingModel{});
+  EXPECT_EQ(W.OnHit, 20u);
+  EXPECT_EQ(W.OnMiss, 200u);
+}
+
+TEST(CalibrationTest, ScalesWithIssueWidth) {
+  TimingModel T;
+  T.IssueWidth = 4;
+  SpeculationWindows W = calibrateWindows(T);
+  EXPECT_EQ(W.OnHit, 40u);
+  EXPECT_EQ(W.OnMiss, 400u);
+}
+
+//===----------------------------------------------------------------------===//
+// Speculative CPU
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  return CP;
+}
+
+} // namespace
+
+TEST(SpeculativeCpuTest, FunctionalResultUnaffectedBySpeculation) {
+  auto CP = compile("int c; int x; int main() { x = 0; "
+                    "if (c) { x = x + 5; } else { x = x + 9; } return x; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+  for (bool Spec : {false, true}) {
+    for (int64_t C : {0, 1}) {
+      StaticPredictor P(C == 0); // Always mispredicts.
+      SpeculativeCpu Cpu(*CP->P, MM, P, TimingModel{}, Spec);
+      Cpu.machine().setMemory(CP->P->findVar("c"), 0, C);
+      CpuRunStats S = Cpu.run();
+      ASSERT_TRUE(S.Completed);
+      // Speculation is transparent to the architectural result.
+      EXPECT_EQ(S.ReturnValue, C ? 5 : 9);
+    }
+  }
+}
+
+TEST(SpeculativeCpuTest, MispredictionPollutesTheCache) {
+  auto CP = compile("int c; char a[64]; char b[64]; int main() { reg int t; "
+                    "if (c) { t = a[0]; } else { t = b[0]; } return t; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+  StaticPredictor Wrong(true); // c == 0: fall-through actual.
+  SpeculativeCpu Cpu(*CP->P, MM, Wrong);
+  CpuRunStats S = Cpu.run();
+  EXPECT_EQ(S.Mispredicts, 1u);
+  // Both a (speculative) and b (architectural) are resident afterwards.
+  EXPECT_TRUE(Cpu.cache().contains(MM.blockOf(CP->P->findVar("a"), 0)));
+  EXPECT_TRUE(Cpu.cache().contains(MM.blockOf(CP->P->findVar("b"), 0)));
+  EXPECT_EQ(S.SpecAccesses, 1u);
+}
+
+TEST(SpeculativeCpuTest, CorrectPredictionDoesNotSpeculate) {
+  auto CP = compile("int c; char a[64]; char b[64]; int main() { reg int t; "
+                    "if (c) { t = a[0]; } else { t = b[0]; } return t; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+  StaticPredictor Right(false);
+  SpeculativeCpu Cpu(*CP->P, MM, Right);
+  CpuRunStats S = Cpu.run();
+  EXPECT_EQ(S.Mispredicts, 0u);
+  EXPECT_EQ(S.SpecAccesses, 0u);
+  EXPECT_FALSE(Cpu.cache().contains(MM.blockOf(CP->P->findVar("a"), 0)));
+}
+
+TEST(SpeculativeCpuTest, SpeculativeStoresNeverCommit) {
+  auto CP = compile("int c; int x; int main() { "
+                    "if (c) { x = 42; } return x; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+  StaticPredictor Wrong(true); // Speculates the then-side (x = 42).
+  SpeculativeCpu Cpu(*CP->P, MM, Wrong);
+  CpuRunStats S = Cpu.run();
+  ASSERT_EQ(S.Mispredicts, 1u);
+  EXPECT_EQ(S.ReturnValue, 0); // The squashed store must not be visible.
+}
+
+TEST(SpeculativeCpuTest, WindowBoundsSpeculativeWork) {
+  auto CP = compile("int c; char a[640]; int main() { reg int t; t = 0; "
+                    "if (c) { for (reg int i = 0; i < 640; i += 64) "
+                    "t = t + a[i]; } return t; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(64));
+  StaticPredictor Wrong(true);
+  SpeculativeCpu Cpu(*CP->P, MM, Wrong);
+  Cpu.setWindows({6, 6}); // Covers about two unrolled loads.
+  CpuRunStats S = Cpu.run();
+  EXPECT_LE(S.SpecAccesses, 3u);
+  EXPECT_GE(S.SpecAccesses, 1u);
+}
+
+TEST(SpeculativeCpuTest, SpeculationStopConfinesTheWindow) {
+  auto CP = compile("int c; char a[64]; char z[64]; int main() { reg int t; "
+                    "if (c) { t = a[0]; } else { t = 0; } "
+                    "t = t + z[0]; return t; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+  // Unconfined: the wrong path runs past the join and touches z.
+  {
+    StaticPredictor Wrong(true);
+    SpeculativeCpu Cpu(*CP->P, MM, Wrong);
+    CpuRunStats S = Cpu.run();
+    EXPECT_GE(S.SpecAccesses, 2u);
+  }
+  // Confined at the reconvergence: only the then-side access happens.
+  {
+    StaticPredictor Wrong(true);
+    SpeculativeCpu Cpu(*CP->P, MM, Wrong);
+    ASSERT_EQ(CP->Plan.siteCount(), 1u);
+    const SpecSite &Site = CP->Plan.sites().front();
+    Cpu.setSpeculationStop(CP->G.blockOf(Site.Branch),
+                           CP->G.instIndexOf(Site.Branch),
+                           CP->G.blockOf(Site.Ipdom));
+    CpuRunStats S = Cpu.run();
+    EXPECT_EQ(S.SpecAccesses, 1u);
+  }
+}
+
+TEST(SpeculativeCpuTest, CycleAccountingChargesMisses) {
+  auto CP = compile("char a[64]; int main() { reg int t; t = a[0]; "
+                    "t = t + a[0]; return t; }");
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+  StaticPredictor P(false);
+  TimingModel TM;
+  SpeculativeCpu Cpu(*CP->P, MM, P, TM, false);
+  CpuRunStats S = Cpu.run();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  // One miss + one hit + ALU work.
+  EXPECT_GE(S.Cycles, TM.MissLatency + TM.HitLatency);
+}

@@ -1,0 +1,179 @@
+//===- sema_test.cpp - Unit tests for mini-C semantic analysis ------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+/// Runs lex+parse+sema; returns true iff all phases succeed.
+bool check(const std::string &Source, std::string *Errors = nullptr) {
+  DiagnosticEngine Diags;
+  AstContext Context;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Context, Diags);
+  TranslationUnit Unit = P.parseTranslationUnit();
+  if (Diags.hasErrors()) {
+    if (Errors)
+      *Errors = Diags.str();
+    return false;
+  }
+  Sema S(Diags);
+  bool Ok = S.run(Unit);
+  if (Errors)
+    *Errors = Diags.str();
+  return Ok;
+}
+
+} // namespace
+
+TEST(SemaTest, ValidProgramPasses) {
+  EXPECT_TRUE(check("int a[8]; int f(int x) { return a[x]; } "
+                    "int main() { return f(1); }"));
+}
+
+TEST(SemaTest, UndeclaredIdentifier) {
+  EXPECT_FALSE(check("void f() { x = 1; }"));
+}
+
+TEST(SemaTest, RedeclarationInSameScope) {
+  EXPECT_FALSE(check("void f() { int x; int x; }"));
+}
+
+TEST(SemaTest, ShadowingInNestedScopeIsAllowed) {
+  EXPECT_TRUE(check("void f() { int x; { int x; x = 1; } x = 2; }"));
+}
+
+TEST(SemaTest, SubscriptOfScalarIsError) {
+  EXPECT_FALSE(check("int x; void f() { x[0] = 1; }"));
+}
+
+TEST(SemaTest, ArrayUsedAsValueIsError) {
+  EXPECT_FALSE(check("int a[4]; void f() { int x; x = a; }"));
+}
+
+TEST(SemaTest, AssignToWholeArrayIsError) {
+  EXPECT_FALSE(check("int a[4]; void f() { a = 1; }"));
+}
+
+TEST(SemaTest, AssignToConstIsError) {
+  EXPECT_FALSE(check("const int c = 1; void f() { c = 2; }"));
+}
+
+TEST(SemaTest, AssignToConstArrayElementIsError) {
+  EXPECT_FALSE(check("const char t[4] = {1}; void f() { t[0] = 2; }"));
+}
+
+TEST(SemaTest, BreakOutsideLoopIsError) {
+  EXPECT_FALSE(check("void f() { break; }"));
+}
+
+TEST(SemaTest, ContinueOutsideLoopIsError) {
+  EXPECT_FALSE(check("void f() { continue; }"));
+}
+
+TEST(SemaTest, BreakInsideLoopIsFine) {
+  EXPECT_TRUE(check("void f() { for (int i = 0; i < 4; i++) { break; } }"));
+}
+
+TEST(SemaTest, DirectRecursionIsRejected) {
+  EXPECT_FALSE(check("int f(int x) { return f(x); }"));
+}
+
+TEST(SemaTest, MutualRecursionIsRejected) {
+  // Mini-C resolves calls against the whole unit, so f may call g defined
+  // later; the cycle check must still reject the mutual recursion.
+  EXPECT_FALSE(check("int f(int x) { return g(x); } "
+                     "int g(int x) { return f(x); }"));
+}
+
+TEST(SemaTest, WrongArgumentCount) {
+  EXPECT_FALSE(check("int f(int a, int b) { return a + b; } "
+                     "void g() { f(1); }"));
+}
+
+TEST(SemaTest, CallToUndeclaredFunction) {
+  EXPECT_FALSE(check("void f() { missing(); }"));
+}
+
+TEST(SemaTest, VoidFunctionUsedAsValue) {
+  EXPECT_FALSE(check("void f() { } void g() { int x; x = f(); }"));
+}
+
+TEST(SemaTest, VoidFunctionAsStatementIsFine) {
+  EXPECT_TRUE(check("void f() { } void g() { f(); }"));
+}
+
+TEST(SemaTest, ReturnValueFromVoidIsError) {
+  EXPECT_FALSE(check("void f() { return 1; }"));
+}
+
+TEST(SemaTest, MissingReturnValueIsError) {
+  EXPECT_FALSE(check("int f() { return; }"));
+}
+
+TEST(SemaTest, ArraySizeMustBePositiveConstant) {
+  EXPECT_FALSE(check("int a[0];"));
+  EXPECT_FALSE(check("int x; void f() { int a[x]; }"));
+  EXPECT_TRUE(check("int a[64*510];")); // Figure 2's size expression.
+}
+
+TEST(SemaTest, ArraySizeExpressionIsFolded) {
+  DiagnosticEngine Diags;
+  AstContext Context;
+  Lexer L("char ph[64*510];", Diags);
+  Parser P(L.lexAll(), Context, Diags);
+  TranslationUnit Unit = P.parseTranslationUnit();
+  Sema S(Diags);
+  ASSERT_TRUE(S.run(Unit));
+  EXPECT_EQ(Unit.Globals[0]->NumElements, 32640u);
+}
+
+TEST(SemaTest, RegArrayIsRejected) {
+  EXPECT_FALSE(check("reg int a[4];"));
+}
+
+TEST(SemaTest, TooManyInitializers) {
+  EXPECT_FALSE(check("int a[2] = {1, 2, 3};"));
+}
+
+TEST(SemaTest, NonConstantGlobalInitializer) {
+  EXPECT_FALSE(check("int x; int y = x;"));
+}
+
+TEST(SemaTest, OutOfBoundsConstantIndexWarnsOnly) {
+  std::string Errors;
+  EXPECT_TRUE(check("int a[4]; void f() { int x; x = a[9]; }", &Errors));
+  EXPECT_NE(Errors.find("out of bounds"), std::string::npos);
+}
+
+TEST(SemaTest, ConstExprEvaluation) {
+  EXPECT_EQ(evaluateConstExpr(nullptr), std::nullopt);
+  DiagnosticEngine Diags;
+  AstContext Context;
+  Lexer L("int a[(1 << 4) + 2*3 - 10/2];", Diags);
+  Parser P(L.lexAll(), Context, Diags);
+  TranslationUnit Unit = P.parseTranslationUnit();
+  Sema S(Diags);
+  ASSERT_TRUE(S.run(Unit));
+  EXPECT_EQ(Unit.Globals[0]->NumElements, 17u); // 16 + 6 - 5.
+}
+
+TEST(SemaTest, ConstExprDivisionByZeroIsNotConstant) {
+  EXPECT_FALSE(check("int a[4/0];"));
+}
+
+TEST(SemaTest, ShortCircuitConstants) {
+  // 0 && (1/0) folds to 0 without evaluating the RHS.
+  EXPECT_FALSE(check("int a[0 && (1/0)];")); // Size 0: rejected as size.
+  EXPECT_TRUE(check("int a[1 || (1/0)];"));  // Folds to 1.
+}

@@ -1,0 +1,323 @@
+//===- soundness_property_test.cpp - Analysis vs concrete simulation ------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's central claim is soundness: "all possible behaviors must be
+/// considered". These property tests generate random mini-C programs and
+/// check, against the concrete speculative CPU under every predictor and
+/// several inputs:
+///
+///  - every access the *speculative* analysis classifies as a must-hit
+///    hits in every concrete run (speculative windows confined to the
+///    mispredicted side, matching the paper's virtual-control-flow model);
+///  - the non-speculative analysis is sound for non-speculative runs;
+///  - speculation never changes architectural results (simulator sanity).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisPipeline.h"
+#include "pipeline/BranchPredictor.h"
+#include "pipeline/SpeculativeCpu.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+/// Generates a random but well-formed mini-C program: a handful of small
+/// global arrays and scalars (branch fodder), straight-line arithmetic,
+/// nested memory-conditioned branches, and bounded counted loops.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Arrays.clear();
+    Scalars.clear();
+    Out.clear();
+    unsigned NumArrays = 2 + R.nextBelow(3);
+    for (unsigned I = 0; I != NumArrays; ++I) {
+      unsigned Lines = 1 + R.nextBelow(4);
+      Arrays.push_back({"arr" + std::to_string(I), Lines * 64});
+      Out += "char " + Arrays.back().first + "[" +
+             std::to_string(Arrays.back().second) + "];\n";
+    }
+    unsigned NumScalars = 2 + R.nextBelow(3);
+    for (unsigned I = 0; I != NumScalars; ++I) {
+      Scalars.push_back("s" + std::to_string(I));
+      Out += "int " + Scalars.back() + ";\n";
+    }
+    Out += "int main() {\n  reg int t;\n  t = 0;\n";
+    unsigned NumStmts = 3 + R.nextBelow(6);
+    for (unsigned I = 0; I != NumStmts; ++I)
+      emitStmt(2);
+    Out += "  return t;\n}\n";
+    return Out;
+  }
+
+  const std::vector<std::pair<std::string, unsigned>> &arrays() const {
+    return Arrays;
+  }
+  const std::vector<std::string> &scalars() const { return Scalars; }
+
+private:
+  std::string randomExpr() {
+    switch (R.nextBelow(4)) {
+    case 0:
+      return std::to_string(R.nextRange(0, 100));
+    case 1:
+      return Scalars[R.nextBelow(Scalars.size())];
+    case 2: {
+      const auto &A = Arrays[R.nextBelow(Arrays.size())];
+      uint64_t Index = R.nextBelow(A.second);
+      return A.first + "[" + std::to_string(Index) + "]";
+    }
+    default:
+      return "(t & 255)";
+    }
+  }
+
+  void emitStmt(unsigned Depth) {
+    switch (R.nextBelow(Depth > 0 ? 5 : 3)) {
+    case 0: // Accumulate.
+      Out += "  t = t + " + randomExpr() + ";\n";
+      return;
+    case 1: { // Scalar store.
+      Out += "  " + Scalars[R.nextBelow(Scalars.size())] + " = " +
+             randomExpr() + ";\n";
+      return;
+    }
+    case 2: { // Array store at a constant index.
+      const auto &A = Arrays[R.nextBelow(Arrays.size())];
+      Out += "  " + A.first + "[" + std::to_string(R.nextBelow(A.second)) +
+             "] = " + randomExpr() + ";\n";
+      return;
+    }
+    case 3: { // Memory-conditioned branch (a speculation site).
+      Out += "  if (" + Scalars[R.nextBelow(Scalars.size())] + " > " +
+             std::to_string(R.nextRange(-20, 20)) + ") {\n";
+      emitStmt(Depth - 1);
+      Out += "  } else {\n";
+      emitStmt(Depth - 1);
+      Out += "  }\n";
+      return;
+    }
+    default: { // Small counted loop over an array (unrolled).
+      const auto &A = Arrays[R.nextBelow(Arrays.size())];
+      Out += "  for (reg int i" + std::to_string(LoopId) + " = 0; i" +
+             std::to_string(LoopId) + " < " + std::to_string(A.second) +
+             "; i" + std::to_string(LoopId) + " += 64) t = t + " + A.first +
+             "[i" + std::to_string(LoopId) + "];\n";
+      ++LoopId;
+      return;
+    }
+    }
+  }
+
+  Rng R;
+  std::vector<std::pair<std::string, unsigned>> Arrays;
+  std::vector<std::string> Scalars;
+  std::string Out;
+  unsigned LoopId = 0;
+};
+
+struct NodeKey {
+  BlockId Block;
+  uint32_t Inst;
+  bool operator<(const NodeKey &RHS) const {
+    return Block != RHS.Block ? Block < RHS.Block : Inst < RHS.Inst;
+  }
+};
+
+} // namespace
+
+class SoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoundnessTest, SpeculativeMustHitsAlwaysHitConcretely) {
+  ProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  CacheConfig Config = CacheConfig::fullyAssociative(8);
+  MustHitOptions Opts;
+  Opts.Cache = Config;
+  Opts.Speculative = true;
+  Opts.DepthMiss = 200;
+  Opts.DepthHit = 200; // One windows setting for analysis and simulator.
+  Opts.Bounding = BoundingMode::Fixed;
+  MustHitReport Report = runMustHitAnalysis(*CP, Opts);
+  ASSERT_TRUE(Report.Converged);
+
+  MemoryModel MM(*CP->P, Config);
+  Rng InputRng(GetParam() * 7919 + 1);
+
+  for (auto &Predictor : makeStandardPredictors()) {
+    for (int Round = 0; Round != 3; ++Round) {
+      Predictor->reset();
+      SpeculativeCpu Cpu(*CP->P, MM, *Predictor, TimingModel{},
+                         /*EnableSpeculation=*/true);
+      Cpu.setWindows({200, 200});
+      // Confine windows to the mispredicted side, the paper's model.
+      for (const SpecSite &Site : CP->Plan.sites()) {
+        if (Site.Ipdom == InvalidNode)
+          continue;
+        Cpu.setSpeculationStop(CP->G.blockOf(Site.Branch),
+                               CP->G.instIndexOf(Site.Branch),
+                               CP->G.blockOf(Site.Ipdom));
+      }
+      for (const std::string &S : Gen.scalars()) {
+        VarId V = CP->P->findVar(S);
+        ASSERT_NE(V, InvalidVar);
+        Cpu.machine().setMemory(V, 0, InputRng.nextRange(-30, 30));
+      }
+      CpuRunStats Stats = Cpu.run(2'000'000);
+      ASSERT_TRUE(Stats.Completed);
+
+      // Every committed access at a node the analysis claims must-hit
+      // has to be a hit in this run.
+      for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace()) {
+        NodeId N = CP->G.nodeAt(A.Access.Block, A.Access.InstIndex);
+        if (Report.MustHit[N])
+          EXPECT_TRUE(A.Hit) << "predictor " << Predictor->name()
+                             << " node " << N << " var "
+                             << CP->P->Vars[A.Access.Var].Name;
+      }
+    }
+  }
+}
+
+TEST_P(SoundnessTest, NonSpeculativeAnalysisSoundForInOrderRuns) {
+  ProgramGenerator Gen(GetParam() * 13 + 5);
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  CacheConfig Config = CacheConfig::fullyAssociative(8);
+  MustHitOptions Opts;
+  Opts.Cache = Config;
+  Opts.Speculative = false;
+  MustHitReport Report = runMustHitAnalysis(*CP, Opts);
+
+  MemoryModel MM(*CP->P, Config);
+  Rng InputRng(GetParam() * 104729 + 3);
+  for (int Round = 0; Round != 5; ++Round) {
+    StaticPredictor P(true);
+    SpeculativeCpu Cpu(*CP->P, MM, P, TimingModel{},
+                       /*EnableSpeculation=*/false);
+    for (const std::string &S : Gen.scalars())
+      Cpu.machine().setMemory(CP->P->findVar(S), 0,
+                              InputRng.nextRange(-30, 30));
+    CpuRunStats Stats = Cpu.run(2'000'000);
+    ASSERT_TRUE(Stats.Completed);
+    for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace()) {
+      NodeId N = CP->G.nodeAt(A.Access.Block, A.Access.InstIndex);
+      if (Report.MustHit[N])
+        EXPECT_TRUE(A.Hit) << "node " << N;
+    }
+  }
+}
+
+TEST_P(SoundnessTest, SpeculationIsArchitecturallyTransparent) {
+  ProgramGenerator Gen(GetParam() * 29 + 11);
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+  MemoryModel MM(*CP->P, CacheConfig::fullyAssociative(8));
+
+  Rng InputRng(GetParam() + 77);
+  std::vector<int64_t> Inputs;
+  for (size_t I = 0; I != Gen.scalars().size(); ++I)
+    Inputs.push_back(InputRng.nextRange(-30, 30));
+
+  auto RunWith = [&](bool Spec, BranchPredictor &P) {
+    SpeculativeCpu Cpu(*CP->P, MM, P, TimingModel{}, Spec);
+    for (size_t I = 0; I != Gen.scalars().size(); ++I)
+      Cpu.machine().setMemory(CP->P->findVar(Gen.scalars()[I]), 0,
+                              Inputs[I]);
+    CpuRunStats S = Cpu.run(2'000'000);
+    EXPECT_TRUE(S.Completed);
+    return S.ReturnValue;
+  };
+
+  StaticPredictor Ref(false);
+  int64_t Expected = RunWith(false, Ref);
+  for (auto &P : makeStandardPredictors()) {
+    P->reset();
+    EXPECT_EQ(RunWith(true, *P), Expected) << P->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, SoundnessTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+/// The same speculative-soundness check across cache geometries: direct
+/// mapped, 2/4-way set associative, and fully associative.
+class GeometrySoundnessTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(GeometrySoundnessTest, SpeculativeMustHitsHoldPerGeometry) {
+  auto [Seed, Ways] = GetParam();
+  ProgramGenerator Gen(Seed * 1009 + Ways);
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  CacheConfig Config = CacheConfig::setAssociative(8, Ways);
+  MustHitOptions Opts;
+  Opts.Cache = Config;
+  Opts.Speculative = true;
+  Opts.DepthMiss = 200;
+  Opts.DepthHit = 200;
+  Opts.Bounding = BoundingMode::Fixed;
+  MustHitReport Report = runMustHitAnalysis(*CP, Opts);
+  ASSERT_TRUE(Report.Converged);
+
+  MemoryModel MM(*CP->P, Config);
+  Rng InputRng(Seed * 31 + Ways);
+  for (auto &Predictor : makeStandardPredictors()) {
+    Predictor->reset();
+    SpeculativeCpu Cpu(*CP->P, MM, *Predictor, TimingModel{}, true);
+    Cpu.setWindows({200, 200});
+    for (const SpecSite &Site : CP->Plan.sites()) {
+      if (Site.Ipdom == InvalidNode)
+        continue;
+      Cpu.setSpeculationStop(CP->G.blockOf(Site.Branch),
+                             CP->G.instIndexOf(Site.Branch),
+                             CP->G.blockOf(Site.Ipdom));
+    }
+    for (const std::string &S : Gen.scalars())
+      Cpu.machine().setMemory(CP->P->findVar(S), 0,
+                              InputRng.nextRange(-30, 30));
+    CpuRunStats Stats = Cpu.run(2'000'000);
+    ASSERT_TRUE(Stats.Completed);
+    for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace()) {
+      NodeId N = CP->G.nodeAt(A.Access.Block, A.Access.InstIndex);
+      if (Report.MustHit[N])
+        EXPECT_TRUE(A.Hit) << Predictor->name() << " ways=" << Ways
+                           << " node " << N;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySoundnessTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 9),
+                       ::testing::Values(1u, 2u, 4u, 8u)));

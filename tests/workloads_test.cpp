@@ -1,0 +1,154 @@
+//===- workloads_test.cpp - Benchmark suite integration tests -------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideChannel.h"
+#include "ir/Interp.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  return CP;
+}
+
+} // namespace
+
+TEST(WorkloadsTest, SuitesHaveTheTenPaperNames) {
+  ASSERT_EQ(wcetWorkloads().size(), 10u);
+  ASSERT_EQ(cryptoWorkloads().size(), 10u);
+  EXPECT_EQ(wcetWorkloads().front().Name, "adpcm");
+  EXPECT_EQ(cryptoWorkloads().front().Name, "hash");
+  EXPECT_EQ(cryptoWorkloads().back().Name, "salsa");
+}
+
+//===----------------------------------------------------------------------===//
+// Table 3 kernels
+//===----------------------------------------------------------------------===//
+
+class WcetWorkloadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WcetWorkloadTest, CompilesRunsAndConverges) {
+  const Workload &W = wcetWorkloads()[GetParam()];
+  auto CP = compile(W.Source);
+  ASSERT_TRUE(CP);
+
+  // Functionally executable to completion.
+  Machine M(*CP->P);
+  uint64_t Steps = M.run(5'000'000);
+  EXPECT_TRUE(M.halted()) << W.Name << " after " << Steps << " steps";
+
+  // Both analyses converge; speculation never decreases miss counts.
+  MustHitOptions NonSpec;
+  NonSpec.Cache = CacheConfig::fullyAssociative(64);
+  NonSpec.Speculative = false;
+  MustHitReport NS = runMustHitAnalysis(*CP, NonSpec);
+  EXPECT_TRUE(NS.Converged);
+  MustHitOptions Spec = NonSpec;
+  Spec.Speculative = true;
+  MustHitReport SP = runMustHitAnalysis(*CP, Spec);
+  EXPECT_TRUE(SP.Converged);
+  EXPECT_GE(SP.MissCount, NS.MissCount) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WcetWorkloadTest,
+                         ::testing::Range<size_t>(0, 10),
+                         [](const auto &Info) {
+                           return wcetWorkloads()[Info.param].Name;
+                         });
+
+TEST(WcetWorkloadsTest, SpeculationAddsMissesOnMostKernels) {
+  unsigned Strictly = 0;
+  for (const Workload &W : wcetWorkloads()) {
+    auto CP = compile(W.Source);
+    MustHitOptions NonSpec;
+    NonSpec.Cache = CacheConfig::fullyAssociative(64);
+    NonSpec.Speculative = false;
+    MustHitOptions Spec = NonSpec;
+    Spec.Speculative = true;
+    if (runMustHitAnalysis(*CP, Spec).MissCount >
+        runMustHitAnalysis(*CP, NonSpec).MissCount)
+      ++Strictly;
+  }
+  // The paper's Table 5 shows strictly more misses on 8/10 kernels; our
+  // distilled versions must show the same tendency (at least half).
+  EXPECT_GE(Strictly, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4 kernels + Figure 10 client
+//===----------------------------------------------------------------------===//
+
+class CryptoWorkloadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CryptoWorkloadTest, ClientCompilesAndRuns) {
+  const CryptoWorkload &W = cryptoWorkloads()[GetParam()];
+  auto CP = compile(makeClientProgram(W, 4096));
+  ASSERT_TRUE(CP);
+  Machine M(*CP->P);
+  M.run(5'000'000);
+  EXPECT_TRUE(M.halted()) << W.Name;
+}
+
+TEST_P(CryptoWorkloadTest, NonSpeculativeAnalysisFindsNoLeakAtZeroBuffer) {
+  const CryptoWorkload &W = cryptoWorkloads()[GetParam()];
+  auto CP = compile(makeClientProgram(W, 0));
+  MustHitOptions Opts;
+  Opts.Speculative = false;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  EXPECT_FALSE(detectLeaks(*CP, R).leakDetected()) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, CryptoWorkloadTest,
+                         ::testing::Range<size_t>(0, 10),
+                         [](const auto &Info) {
+                           return cryptoWorkloads()[Info.param].Name;
+                         });
+
+TEST(CryptoWorkloadsTest, DesLeaksSpeculativelyAtZeroBuffer) {
+  const CryptoWorkload *Des = nullptr;
+  for (const CryptoWorkload &W : cryptoWorkloads())
+    if (W.Name == "des")
+      Des = &W;
+  ASSERT_NE(Des, nullptr);
+  auto CP = compile(makeClientProgram(*Des, 0));
+  MustHitOptions Spec;
+  Spec.Speculative = true;
+  EXPECT_TRUE(detectLeaks(*CP, runMustHitAnalysis(*CP, Spec)).leakDetected());
+  MustHitOptions NonSpec;
+  NonSpec.Speculative = false;
+  EXPECT_FALSE(
+      detectLeaks(*CP, runMustHitAnalysis(*CP, NonSpec)).leakDetected());
+}
+
+TEST(CryptoWorkloadsTest, BranchFreeKernelsStayLeakFreeUnderSpeculation) {
+  for (const CryptoWorkload &W : cryptoWorkloads()) {
+    if (W.Name != "aes" && W.Name != "str2key" && W.Name != "seed" &&
+        W.Name != "camellia" && W.Name != "salsa")
+      continue;
+    auto CP = compile(makeClientProgram(W, 4096));
+    MustHitOptions Spec;
+    Spec.Speculative = true;
+    EXPECT_FALSE(
+        detectLeaks(*CP, runMustHitAnalysis(*CP, Spec)).leakDetected())
+        << W.Name;
+  }
+}
+
+TEST(ClientGeneratorTest, OmitsBufferWhenZero) {
+  const CryptoWorkload &W = cryptoWorkloads().front();
+  std::string WithBuf = makeClientProgram(W, 1024);
+  std::string NoBuf = makeClientProgram(W, 0);
+  EXPECT_NE(WithBuf.find("inBuf"), std::string::npos);
+  EXPECT_EQ(NoBuf.find("inBuf"), std::string::npos);
+}
