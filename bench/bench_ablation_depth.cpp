@@ -13,6 +13,11 @@
 ///     iterative outer refinement; dynamic/iterative are at least as
 ///     precise as fixed, never less sound.
 ///
+/// Both sweeps fan out through the BatchRunner pool; rows come back in
+/// variant order, so the shape checks (which use the deterministic miss
+/// counters) match the old serial run. Time columns are measured under
+/// concurrent load — pass `--jobs 1` for contention-free timings.
+///
 //===----------------------------------------------------------------------===//
 
 #include "specai/SpecAI.h"
@@ -21,9 +26,15 @@
 
 using namespace specai;
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Jobs = parseJobsFlag(Argc, Argv); // 0 = all hardware threads.
+
   std::printf("== Ablation: speculation depth bounding (§6.2) ==\n");
   const std::vector<Workload> &Kernels = wcetWorkloads();
+  BatchRunner Runner(Jobs);
+  if (Runner.jobCount() > 1)
+    std::printf("note: variants timed under %u-way concurrent load; pass "
+                "--jobs 1 for contention-free timings\n", Runner.jobCount());
 
   std::printf("-- fixed-depth sweep (kernel: jdmarker) --\n");
   {
@@ -31,24 +42,30 @@ int main() {
     auto CP = compileSource(Kernels[4].Source, Diags); // jdmarker
     if (!CP)
       return 1;
+    std::vector<BatchVariant> Variants;
+    for (uint32_t Depth : {0u, 5u, 10u, 20u, 50u, 100u, 200u, 400u}) {
+      BatchVariant V;
+      V.Options.Cache = CacheConfig::fullyAssociative(64);
+      V.Options.Speculative = true;
+      V.Options.DepthMiss = Depth;
+      V.Options.DepthHit = Depth;
+      V.Options.Bounding = BoundingMode::Fixed;
+      V.DetectLeaks = false;
+      V.Label = std::to_string(Depth);
+      Variants.push_back(std::move(V));
+    }
+    BatchReport R = Runner.run(*CP, Variants);
+
     TableWriter T({"b_miss", "Time(s)", "#Miss", "#SpMiss", "#Iteration"});
     uint64_t PrevMiss = 0;
     bool Monotone = true;
-    for (uint32_t Depth : {0u, 5u, 10u, 20u, 50u, 100u, 200u, 400u}) {
-      MustHitOptions Opts;
-      Opts.Cache = CacheConfig::fullyAssociative(64);
-      Opts.Speculative = true;
-      Opts.DepthMiss = Depth;
-      Opts.DepthHit = Depth;
-      Opts.Bounding = BoundingMode::Fixed;
-      Timer Tm;
-      MustHitReport R = runMustHitAnalysis(*CP, Opts);
-      T.addRow({std::to_string(Depth), formatDouble(Tm.seconds(), 3),
-                std::to_string(R.MissCount), std::to_string(R.SpMissCount),
-                std::to_string(R.Iterations)});
-      if (R.MissCount < PrevMiss)
+    for (const BatchRow &Row : R.Rows) {
+      T.addRow({Row.Label, formatDouble(Row.Seconds, 3),
+                std::to_string(Row.MissCount), std::to_string(Row.SpMissCount),
+                std::to_string(Row.Iterations)});
+      if (Row.MissCount < PrevMiss)
         Monotone = false;
-      PrevMiss = R.MissCount;
+      PrevMiss = Row.MissCount;
     }
     std::printf("%s", T.str().c_str());
     std::printf("shape check: #Miss non-decreasing in depth: %s\n\n",
@@ -58,30 +75,25 @@ int main() {
   std::printf("-- bounding modes at (b_hit, b_miss) = (20, 200) --\n");
   TableWriter T({"Name", "Fixed-#Miss", "Fixed-Time", "Dyn-#Miss",
                  "Dyn-Time", "Refine-#Miss", "Refine-Time", "Rounds"});
+  MustHitOptions Base;
+  Base.Cache = CacheConfig::fullyAssociative(64);
+  std::vector<BatchVariant> Modes = BatchRunner::boundingModeSweep(Base);
+  for (BatchVariant &V : Modes)
+    V.DetectLeaks = false;
   for (const Workload &W : Kernels) {
     DiagnosticEngine Diags;
     auto CP = compileSource(W.Source, Diags);
     if (!CP)
       return 1;
-    auto Run = [&](BoundingMode Mode, bool Refine) {
-      MustHitOptions Opts;
-      Opts.Cache = CacheConfig::fullyAssociative(64);
-      Opts.Speculative = true;
-      Opts.Bounding = Mode;
-      Opts.IterativeDepthRefinement = Refine;
-      Timer Tm;
-      MustHitReport R = runMustHitAnalysis(*CP, Opts);
-      return std::tuple<uint64_t, double, unsigned>{R.MissCount, Tm.seconds(),
-                                                    R.RefinementRounds};
-    };
-    auto [FM, FT, FR] = Run(BoundingMode::Fixed, false);
-    auto [DM, DT, DR] = Run(BoundingMode::Dynamic, false);
-    auto [RM, RT, RR] = Run(BoundingMode::Fixed, true);
-    (void)FR;
-    (void)DR;
-    T.addRow({W.Name, std::to_string(FM), formatDouble(FT, 3),
-              std::to_string(DM), formatDouble(DT, 3), std::to_string(RM),
-              formatDouble(RT, 3), std::to_string(RR)});
+    BatchReport R = Runner.run(*CP, Modes);
+    const BatchRow &Fixed = R.requireRow("fixed");
+    const BatchRow &Dyn = R.requireRow("dynamic");
+    const BatchRow &Refine = R.requireRow("refine");
+    T.addRow({W.Name, std::to_string(Fixed.MissCount),
+              formatDouble(Fixed.Seconds, 3), std::to_string(Dyn.MissCount),
+              formatDouble(Dyn.Seconds, 3), std::to_string(Refine.MissCount),
+              formatDouble(Refine.Seconds, 3),
+              std::to_string(Refine.RefinementRounds)});
   }
   std::printf("%s\n", T.str().c_str());
   return 0;

@@ -1,0 +1,272 @@
+//===- BatchRunner.cpp - Parallel multi-configuration sweeps --------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchRunner.h"
+
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace specai;
+
+namespace {
+
+const char *boundingModeName(BoundingMode Mode) {
+  switch (Mode) {
+  case BoundingMode::Fixed:
+    return "fixed";
+  case BoundingMode::Dynamic:
+    return "dynamic";
+  }
+  return "?";
+}
+
+/// Runs one variant and condenses the reports into a row. Everything here
+/// is confined to the calling worker thread; only the returned row crosses
+/// threads.
+BatchRow runVariant(const CompiledProgram &CP, const BatchVariant &V) {
+  BatchRow Row;
+  Row.Label = V.Label.empty() ? BatchVariant::describe(V.Options) : V.Label;
+  Row.Strategy = V.Options.Strategy;
+  Row.Bounding = V.Options.Bounding;
+  Row.Cache = V.Options.Cache;
+  Row.Speculative = V.Options.Speculative;
+
+  Timer T;
+  MustHitReport R = runMustHitAnalysis(CP, V.Options);
+  Row.Seconds = T.seconds(); // Analysis only, excluding the leak scan.
+  Row.AccessNodes = R.AccessNodes;
+  Row.MissCount = R.MissCount;
+  Row.SpMissCount = R.SpMissCount;
+  Row.BranchCount = R.BranchCount;
+  Row.Iterations = R.Iterations;
+  Row.RefinementRounds = R.RefinementRounds;
+  Row.Converged = R.Converged;
+  if (V.DetectLeaks) {
+    SideChannelReport SC = detectLeaks(CP, R);
+    Row.LeaksChecked = true;
+    Row.LeakCount = SC.Leaks.size();
+    Row.ProvenLeakFree = SC.ProvenLeakFree;
+    for (const LeakSite &L : SC.Leaks)
+      Row.LeakSites.push_back(L.str(*CP.P));
+  }
+  return Row;
+}
+
+} // namespace
+
+unsigned specai::parseJobsFlag(int Argc, char **Argv) {
+  unsigned Jobs = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") != 0) {
+      std::printf("error: unknown argument '%s' (only --jobs N)\n", Argv[I]);
+      std::exit(1);
+    }
+    if (I + 1 >= Argc) {
+      std::printf("error: --jobs needs a value\n");
+      std::exit(1);
+    }
+    std::optional<unsigned> Value = parseUnsigned(Argv[++I]);
+    if (!Value) {
+      std::printf("error: --jobs needs a non-negative number, got '%s'\n",
+                  Argv[I]);
+      std::exit(1);
+    }
+    Jobs = *Value;
+  }
+  return Jobs;
+}
+
+std::string BatchVariant::describe(const MustHitOptions &Options) {
+  std::string S = Options.Speculative ? mergeStrategyName(Options.Strategy)
+                                      : "non-speculative";
+  S += "/";
+  S += std::to_string(Options.Cache.NumLines);
+  S += "Lx";
+  S += std::to_string(Options.Cache.Associativity);
+  S += "W/";
+  if (Options.IterativeDepthRefinement)
+    S += "refine";
+  else
+    S += boundingModeName(Options.Bounding);
+  return S;
+}
+
+bool BatchRow::sameResults(const BatchRow &RHS) const {
+  return Label == RHS.Label && Strategy == RHS.Strategy &&
+         Bounding == RHS.Bounding &&
+         Cache.NumLines == RHS.Cache.NumLines &&
+         Cache.LineSize == RHS.Cache.LineSize &&
+         Cache.Associativity == RHS.Cache.Associativity &&
+         Speculative == RHS.Speculative && AccessNodes == RHS.AccessNodes &&
+         MissCount == RHS.MissCount && SpMissCount == RHS.SpMissCount &&
+         BranchCount == RHS.BranchCount && Iterations == RHS.Iterations &&
+         RefinementRounds == RHS.RefinementRounds &&
+         Converged == RHS.Converged && LeaksChecked == RHS.LeaksChecked &&
+         LeakCount == RHS.LeakCount &&
+         ProvenLeakFree == RHS.ProvenLeakFree && LeakSites == RHS.LeakSites;
+}
+
+const BatchRow *BatchReport::findRow(const std::string &Label) const {
+  for (const BatchRow &Row : Rows)
+    if (Row.Label == Label)
+      return &Row;
+  return nullptr;
+}
+
+const BatchRow &BatchReport::requireRow(const std::string &Label) const {
+  if (const BatchRow *Row = findRow(Label))
+    return *Row;
+  std::printf("error: no '%s' row in sweep\n", Label.c_str());
+  std::exit(1);
+}
+
+bool BatchReport::sameResults(const BatchReport &RHS) const {
+  if (Rows.size() != RHS.Rows.size())
+    return false;
+  for (size_t I = 0; I != Rows.size(); ++I)
+    if (!Rows[I].sameResults(RHS.Rows[I]))
+      return false;
+  return true;
+}
+
+TableWriter BatchReport::toTable() const {
+  TableWriter T({"Config", "Cache", "#Access", "#Miss", "#SpMiss", "#Branch",
+                 "#Ite", "Leaks", "Time(s)"});
+  for (const BatchRow &R : Rows) {
+    std::string Cache = std::to_string(R.Cache.NumLines) + "x" +
+                        std::to_string(R.Cache.LineSize) + "B/" +
+                        std::to_string(R.Cache.Associativity) + "w";
+    std::string Leaks = "-";
+    if (R.LeaksChecked) {
+      Leaks = std::to_string(R.LeakCount);
+      Leaks += "/";
+      Leaks += std::to_string(R.LeakCount + R.ProvenLeakFree);
+    }
+    T.addRow({R.Label, Cache, std::to_string(R.AccessNodes),
+              std::to_string(R.MissCount), std::to_string(R.SpMissCount),
+              std::to_string(R.BranchCount), std::to_string(R.Iterations),
+              Leaks, formatDouble(R.Seconds, 3)});
+  }
+  return T;
+}
+
+BatchRunner::BatchRunner(unsigned Jobs) : Jobs(Jobs) {
+  if (this->Jobs == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    this->Jobs = HW == 0 ? 1 : HW;
+  }
+}
+
+BatchReport BatchRunner::run(const CompiledProgram &CP,
+                             const std::vector<BatchVariant> &Variants) const {
+  BatchReport Report;
+  Report.Rows.resize(Variants.size());
+  unsigned Workers =
+      static_cast<unsigned>(std::min<size_t>(Jobs, Variants.size()));
+  Report.JobsUsed = Workers == 0 ? 1 : Workers;
+  if (Variants.empty())
+    return Report;
+
+  Timer Total;
+  // Work stealing off a shared counter: each worker claims the next
+  // unclaimed variant and writes the row into that variant's slot, so row
+  // order is the variant order no matter which worker finishes first.
+  std::atomic<size_t> NextIndex{0};
+  auto Work = [&]() {
+    while (true) {
+      size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Variants.size())
+        return;
+      Report.Rows[I] = runVariant(CP, Variants[I]);
+    }
+  };
+
+  if (Workers <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  Report.TotalSeconds = Total.seconds();
+  return Report;
+}
+
+BatchReport BatchRunner::runSource(const std::string &Source,
+                                   const std::vector<BatchVariant> &Variants,
+                                   DiagnosticEngine &Diags,
+                                   const LoweringOptions &Lowering) const {
+  auto CP = compileSource(Source, Diags, Lowering);
+  if (!CP)
+    return BatchReport{};
+  return run(*CP, Variants);
+}
+
+std::vector<BatchVariant>
+BatchRunner::mergeStrategySweep(const MustHitOptions &Base) {
+  std::vector<BatchVariant> Variants;
+  for (MergeStrategy S :
+       {MergeStrategy::NoMerge, MergeStrategy::MergeAtExit,
+        MergeStrategy::JustInTime, MergeStrategy::MergeAtRollback}) {
+    BatchVariant V;
+    V.Options = Base;
+    V.Options.Speculative = true;
+    V.Options.Strategy = S;
+    V.Label = mergeStrategyName(S);
+    Variants.push_back(std::move(V));
+  }
+  return Variants;
+}
+
+std::vector<BatchVariant>
+BatchRunner::boundingModeSweep(const MustHitOptions &Base) {
+  std::vector<BatchVariant> Variants;
+  auto Add = [&](const char *Label, BoundingMode Mode, bool Refine) {
+    BatchVariant V;
+    V.Options = Base;
+    V.Options.Speculative = true;
+    V.Options.Bounding = Mode;
+    V.Options.IterativeDepthRefinement = Refine;
+    V.Label = Label;
+    Variants.push_back(std::move(V));
+  };
+  Add("fixed", BoundingMode::Fixed, false);
+  Add("dynamic", BoundingMode::Dynamic, false);
+  Add("refine", BoundingMode::Fixed, true);
+  return Variants;
+}
+
+std::vector<BatchVariant>
+BatchRunner::crossProductSweep(const MustHitOptions &Base,
+                               const std::vector<MergeStrategy> &Strategies,
+                               const std::vector<CacheConfig> &Configs,
+                               const std::vector<BoundingMode> &Boundings) {
+  std::vector<BatchVariant> Variants;
+  for (MergeStrategy S : Strategies)
+    for (const CacheConfig &C : Configs)
+      for (BoundingMode B : Boundings) {
+        BatchVariant V;
+        V.Options = Base;
+        V.Options.Speculative = true;
+        V.Options.Strategy = S;
+        V.Options.Cache = C;
+        V.Options.Bounding = B;
+        V.Label = BatchVariant::describe(V.Options);
+        Variants.push_back(std::move(V));
+      }
+  return Variants;
+}

@@ -1,0 +1,169 @@
+//===- BatchRunner.h - Parallel multi-configuration sweeps ------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-pool driver fanning one compiled program out across analysis
+/// configurations — merge strategies (Figure 6), cache geometries, and
+/// depth bounding modes (§6.2) — and aggregating the per-run
+/// MustHitReport/SideChannelReport counters into table rows.
+///
+/// `runMustHitAnalysis` is pure with respect to its `const
+/// CompiledProgram &` input, so the variants of a sweep are embarrassingly
+/// parallel: the runner compiles once, hands each worker thread its own
+/// MustHitOptions, and writes each result into the slot reserved for its
+/// variant. Rows therefore come back in variant order and are bit-for-bit
+/// identical whatever the thread count — only the wall-clock timings vary.
+///
+/// This is the substrate behind `specai-cli --batch` and the Table 6 /
+/// ablation benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_DRIVER_BATCHRUNNER_H
+#define SPECAI_DRIVER_BATCHRUNNER_H
+
+#include "analysis/AnalysisPipeline.h"
+#include "analysis/SideChannel.h"
+#include "support/Table.h"
+
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// One analysis configuration of a sweep.
+struct BatchVariant {
+  /// Row label, e.g. "just-in-time/512Lx512W/dynamic".
+  std::string Label;
+  MustHitOptions Options;
+  /// Also run the side-channel detector over the finished report.
+  bool DetectLeaks = true;
+
+  /// Canonical "strategy/geometry/bounding" label derived from \p Options.
+  static std::string describe(const MustHitOptions &Options);
+};
+
+/// Aggregated outcome of one variant. Only scalar counters are kept (the
+/// per-node state vectors of MustHitReport stay on the worker's stack), so
+/// a row is cheap to collect and compare.
+struct BatchRow {
+  std::string Label;
+
+  // Configuration echo, so tables are self-describing.
+  MergeStrategy Strategy = MergeStrategy::JustInTime;
+  BoundingMode Bounding = BoundingMode::Dynamic;
+  CacheConfig Cache;
+  bool Speculative = true;
+
+  // MustHitReport counters (Table 5/6 columns).
+  uint64_t AccessNodes = 0;
+  uint64_t MissCount = 0;
+  uint64_t SpMissCount = 0;
+  uint64_t BranchCount = 0;
+  uint64_t Iterations = 0;
+  unsigned RefinementRounds = 1;
+  bool Converged = true;
+
+  // SideChannelReport counters (Table 7 columns); only meaningful when
+  // LeaksChecked (the variant ran with DetectLeaks = true). LeakSites
+  // holds the rendered per-site diagnostics so batch consumers can report
+  // what leaked without re-running the analysis.
+  bool LeaksChecked = false;
+  uint64_t LeakCount = 0;
+  uint64_t ProvenLeakFree = 0;
+  std::vector<std::string> LeakSites;
+
+  /// Wall time of this variant's analysis. Informational only: timings
+  /// depend on scheduling and are excluded from row equality.
+  double Seconds = 0;
+
+  /// Analysis-result equality (label, configuration, and every counter —
+  /// not the timing). The determinism tests and the --jobs invariance
+  /// check compare rows with this.
+  bool sameResults(const BatchRow &RHS) const;
+};
+
+/// Result of one sweep.
+struct BatchReport {
+  /// One row per variant, in variant order regardless of which worker
+  /// finished first.
+  std::vector<BatchRow> Rows;
+  /// Wall time of the whole sweep.
+  double TotalSeconds = 0;
+  /// Worker threads the sweep actually used.
+  unsigned JobsUsed = 1;
+
+  /// Renders the rows as one aligned ASCII table.
+  TableWriter toTable() const;
+
+  /// The row labeled \p Label, or nullptr. Consumers that unpack specific
+  /// variants should use this rather than positional indexing, so a
+  /// reordered sweep fails loudly instead of mislabeling columns.
+  const BatchRow *findRow(const std::string &Label) const;
+
+  /// Like findRow, but prints an error and exits(1) when the row is
+  /// missing — for benches whose table columns hard-code variant labels.
+  const BatchRow &requireRow(const std::string &Label) const;
+
+  /// True when both reports hold the same rows (timings ignored).
+  bool sameResults(const BatchReport &RHS) const;
+};
+
+/// Fans analysis variants out over a pool of worker threads.
+class BatchRunner {
+public:
+  /// \p Jobs worker threads; 0 picks the hardware concurrency.
+  explicit BatchRunner(unsigned Jobs = 0);
+
+  /// Threads the next run() will use (never 0).
+  unsigned jobCount() const { return Jobs; }
+
+  /// Runs every variant over \p CP and collects the rows. The pool never
+  /// spawns more threads than variants.
+  BatchReport run(const CompiledProgram &CP,
+                  const std::vector<BatchVariant> &Variants) const;
+
+  /// Compiles \p Source once, then sweeps. On compile error returns an
+  /// empty report and leaves the details in \p Diags.
+  BatchReport runSource(const std::string &Source,
+                        const std::vector<BatchVariant> &Variants,
+                        DiagnosticEngine &Diags,
+                        const LoweringOptions &Lowering = {}) const;
+
+  /// The Figure 6 / Table 6 sweep: \p Base under all four merge
+  /// strategies.
+  static std::vector<BatchVariant>
+  mergeStrategySweep(const MustHitOptions &Base);
+
+  /// The §6.2 ablation: fixed vs dynamic bounding vs the iterative outer
+  /// refinement.
+  static std::vector<BatchVariant>
+  boundingModeSweep(const MustHitOptions &Base);
+
+  /// Full cross product: strategies x cache geometries x bounding modes.
+  /// Variant order is the nesting order of the arguments (strategy
+  /// outermost), so rows group by strategy.
+  static std::vector<BatchVariant>
+  crossProductSweep(const MustHitOptions &Base,
+                    const std::vector<MergeStrategy> &Strategies,
+                    const std::vector<CacheConfig> &Configs,
+                    const std::vector<BoundingMode> &Boundings);
+
+private:
+  unsigned Jobs;
+};
+
+/// Parses a bench-style command line that accepts only `--jobs N`.
+/// Returns 0 (all cores) when the flag is absent; prints an error and
+/// exits(1) on a valueless --jobs, a non-numeric N, or any unknown
+/// argument — a silently dropped flag would report contended timings the
+/// user believes are serial.
+unsigned parseJobsFlag(int Argc, char **Argv);
+
+} // namespace specai
+
+#endif // SPECAI_DRIVER_BATCHRUNNER_H

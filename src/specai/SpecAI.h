@@ -35,6 +35,7 @@
 #include "domain/CacheDomain.h"
 #include "domain/CacheState.h"
 #include "domain/IntervalDomain.h"
+#include "driver/BatchRunner.h"
 #include "ir/Interp.h"
 #include "ir/Ir.h"
 #include "ir/Lowering.h"

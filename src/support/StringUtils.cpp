@@ -8,7 +8,9 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 
 using namespace specai;
 
@@ -58,4 +60,18 @@ std::string specai::formatDouble(double Value, int Precision) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
   return Buf;
+}
+
+std::optional<unsigned> specai::parseUnsigned(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    if (Value > std::numeric_limits<unsigned>::max())
+      return std::nullopt;
+  }
+  return static_cast<unsigned>(Value);
 }

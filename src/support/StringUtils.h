@@ -14,6 +14,7 @@
 #ifndef SPECAI_SUPPORT_STRINGUTILS_H
 #define SPECAI_SUPPORT_STRINGUTILS_H
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,10 @@ bool startsWith(std::string_view Text, std::string_view Prefix);
 
 /// Formats a double with \p Precision digits after the decimal point.
 std::string formatDouble(double Value, int Precision);
+
+/// Parses \p Text as a base-10 unsigned integer. Returns nullopt on empty
+/// input, any non-digit character (including a sign), or overflow.
+std::optional<unsigned> parseUnsigned(std::string_view Text);
 
 } // namespace specai
 

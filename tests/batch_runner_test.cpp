@@ -1,0 +1,189 @@
+//===- batch_runner_test.cpp - Unit tests for the batch driver ------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The batch driver's contract: rows come back in variant order, agree
+/// with what a serial runMustHitAnalysis produces, and are identical
+/// whatever the worker-thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+/// The Figure 2 scenario in miniature (same program as the quickstart
+/// example): preloaded table, memory-conditioned branch, secret lookup.
+const char *testProgram() {
+  return R"MC(
+char table[256];
+char left[64];
+char right[64];
+int mode;
+secret reg char key;
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 256; i += 64)
+    t = table[i];
+  if (mode == 0) {
+    t = t + left[0];
+  } else {
+    t = t + right[0];
+  }
+  t = t + table[key & 255];
+  return t;
+}
+)MC";
+}
+
+std::unique_ptr<CompiledProgram> compileTestProgram() {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(testProgram(), Diags);
+  EXPECT_NE(CP, nullptr) << Diags.str();
+  return CP;
+}
+
+MustHitOptions baseOptions() {
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(6);
+  return Opts;
+}
+
+TEST(BatchRunnerTest, MergeSweepRowsComeBackInVariantOrder) {
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  BatchRunner Runner(2);
+  BatchReport R = Runner.run(*CP, BatchRunner::mergeStrategySweep(baseOptions()));
+  ASSERT_EQ(R.Rows.size(), 4u);
+  EXPECT_EQ(R.Rows[0].Label, "no-merge");
+  EXPECT_EQ(R.Rows[1].Label, "merge-at-exit");
+  EXPECT_EQ(R.Rows[2].Label, "just-in-time");
+  EXPECT_EQ(R.Rows[3].Label, "merge-at-rollback");
+  for (const BatchRow &Row : R.Rows) {
+    EXPECT_TRUE(Row.Converged);
+    EXPECT_GT(Row.AccessNodes, 0u);
+  }
+  EXPECT_EQ(R.findRow("just-in-time"), &R.Rows[2]);
+  EXPECT_EQ(R.findRow("no-such-strategy"), nullptr);
+}
+
+TEST(BatchRunnerTest, RowsAgreeWithSerialAnalysis) {
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  std::vector<BatchVariant> Variants =
+      BatchRunner::mergeStrategySweep(baseOptions());
+  BatchReport R = BatchRunner(4).run(*CP, Variants);
+  ASSERT_EQ(R.Rows.size(), Variants.size());
+  for (size_t I = 0; I != Variants.size(); ++I) {
+    MustHitReport Serial = runMustHitAnalysis(*CP, Variants[I].Options);
+    SideChannelReport Leaks = detectLeaks(*CP, Serial);
+    EXPECT_EQ(R.Rows[I].MissCount, Serial.MissCount) << Variants[I].Label;
+    EXPECT_EQ(R.Rows[I].SpMissCount, Serial.SpMissCount) << Variants[I].Label;
+    EXPECT_EQ(R.Rows[I].Iterations, Serial.Iterations) << Variants[I].Label;
+    EXPECT_EQ(R.Rows[I].AccessNodes, Serial.AccessNodes) << Variants[I].Label;
+    EXPECT_EQ(R.Rows[I].LeakCount, Leaks.Leaks.size()) << Variants[I].Label;
+    EXPECT_EQ(R.Rows[I].ProvenLeakFree, Leaks.ProvenLeakFree)
+        << Variants[I].Label;
+  }
+}
+
+TEST(BatchRunnerTest, ResultsIndependentOfThreadCount) {
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  MustHitOptions Base = baseOptions();
+  std::vector<BatchVariant> Variants = BatchRunner::crossProductSweep(
+      Base,
+      {MergeStrategy::NoMerge, MergeStrategy::JustInTime,
+       MergeStrategy::MergeAtRollback},
+      {CacheConfig::fullyAssociative(6), CacheConfig::fullyAssociative(64)},
+      {BoundingMode::Fixed, BoundingMode::Dynamic});
+  ASSERT_EQ(Variants.size(), 12u);
+
+  BatchReport Serial = BatchRunner(1).run(*CP, Variants);
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    BatchReport Parallel = BatchRunner(Jobs).run(*CP, Variants);
+    EXPECT_TRUE(Serial.sameResults(Parallel)) << "jobs=" << Jobs;
+  }
+}
+
+TEST(BatchRunnerTest, RepeatedRunsAreDeterministic) {
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  std::vector<BatchVariant> Variants =
+      BatchRunner::boundingModeSweep(baseOptions());
+  BatchReport First = BatchRunner(4).run(*CP, Variants);
+  BatchReport Second = BatchRunner(4).run(*CP, Variants);
+  EXPECT_TRUE(First.sameResults(Second));
+}
+
+TEST(BatchRunnerTest, TableHasOneRowPerVariant) {
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  std::vector<BatchVariant> Variants =
+      BatchRunner::mergeStrategySweep(baseOptions());
+  BatchReport R = BatchRunner(2).run(*CP, Variants);
+  EXPECT_EQ(R.toTable().rowCount(), Variants.size());
+}
+
+TEST(BatchRunnerTest, EmptyVariantListYieldsEmptyReport) {
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  BatchReport R = BatchRunner(4).run(*CP, {});
+  EXPECT_TRUE(R.Rows.empty());
+  EXPECT_EQ(R.toTable().rowCount(), 0u);
+}
+
+TEST(BatchRunnerTest, RunSourceReportsCompileErrors) {
+  DiagnosticEngine Diags;
+  BatchReport R = BatchRunner(2).runSource(
+      "int main() { return undeclared; }",
+      BatchRunner::mergeStrategySweep(baseOptions()), Diags);
+  EXPECT_TRUE(R.Rows.empty());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(BatchRunnerTest, JobCountDefaultsAndClamps) {
+  EXPECT_GE(BatchRunner(0).jobCount(), 1u);
+  EXPECT_EQ(BatchRunner(3).jobCount(), 3u);
+
+  // More workers than variants: the pool must not over-spawn, and the
+  // report says how many it used.
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  std::vector<BatchVariant> Sweep = BatchRunner::mergeStrategySweep(baseOptions());
+  std::vector<BatchVariant> One(Sweep.begin(), Sweep.begin() + 1);
+  BatchReport R = BatchRunner(16).run(*CP, One);
+  EXPECT_EQ(R.JobsUsed, 1u);
+}
+
+TEST(BatchRunnerTest, SpeculativeSweepFindsTheFigure2Leak) {
+  // The quickstart narrative: non-speculative analysis certifies the
+  // secret lookup, every speculative strategy refuses to.
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+
+  BatchVariant NonSpec;
+  NonSpec.Options = baseOptions();
+  NonSpec.Options.Speculative = false;
+  NonSpec.Label = "non-speculative";
+
+  std::vector<BatchVariant> Variants{NonSpec};
+  for (BatchVariant &V : BatchRunner::mergeStrategySweep(baseOptions()))
+    Variants.push_back(std::move(V));
+
+  BatchReport R = BatchRunner(4).run(*CP, Variants);
+  ASSERT_EQ(R.Rows.size(), 5u);
+  EXPECT_EQ(R.Rows[0].LeakCount, 0u);
+  for (size_t I = 1; I != R.Rows.size(); ++I)
+    EXPECT_GT(R.Rows[I].LeakCount, 0u) << R.Rows[I].Label;
+}
+
+} // namespace

@@ -100,8 +100,9 @@ TEST(EngineTest, SpeculativeNeverClaimsMoreHitsThanBaseline) {
     Spec.Speculative = true;
     MustHitReport SpecR = runMustHitAnalysis(*CP, Spec);
     for (NodeId N = 0; N != CP->G.size(); ++N) {
-      if (SpecR.MustHit[N])
+      if (SpecR.MustHit[N]) {
         EXPECT_TRUE(Base.MustHit[N]) << W.Name << " node " << N;
+      }
     }
   }
 }
@@ -193,9 +194,11 @@ TEST(EngineTest, WideningStillSound) {
   Widened.WideningDelay = 2;
   MustHitReport P2 = runMustHitAnalysis(*CP, Widened);
   EXPECT_LE(P2.Iterations, P1.Iterations);
-  for (NodeId N = 0; N != CP->G.size(); ++N)
-    if (P2.MustHit[N])
+  for (NodeId N = 0; N != CP->G.size(); ++N) {
+    if (P2.MustHit[N]) {
       EXPECT_TRUE(P1.MustHit[N]) << "node " << N;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

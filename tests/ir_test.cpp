@@ -32,8 +32,9 @@ std::optional<Program> lower(const std::string &Source,
   Extra.EntryFunction = Entry;
   auto Prog = lowerProgram(Unit, Extra, Diags);
   EXPECT_TRUE(Prog.has_value()) << Diags.str();
-  if (Prog)
+  if (Prog) {
     EXPECT_TRUE(verifyProgram(*Prog).empty());
+  }
   return Prog;
 }
 

@@ -186,10 +186,11 @@ TEST_P(SoundnessTest, SpeculativeMustHitsAlwaysHitConcretely) {
       // has to be a hit in this run.
       for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace()) {
         NodeId N = CP->G.nodeAt(A.Access.Block, A.Access.InstIndex);
-        if (Report.MustHit[N])
+        if (Report.MustHit[N]) {
           EXPECT_TRUE(A.Hit) << "predictor " << Predictor->name()
                              << " node " << N << " var "
                              << CP->P->Vars[A.Access.Var].Name;
+        }
       }
     }
   }
@@ -223,8 +224,9 @@ TEST_P(SoundnessTest, NonSpeculativeAnalysisSoundForInOrderRuns) {
     ASSERT_TRUE(Stats.Completed);
     for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace()) {
       NodeId N = CP->G.nodeAt(A.Access.Block, A.Access.InstIndex);
-      if (Report.MustHit[N])
+      if (Report.MustHit[N]) {
         EXPECT_TRUE(A.Hit) << "node " << N;
+      }
     }
   }
 }
@@ -310,9 +312,10 @@ TEST_P(GeometrySoundnessTest, SpeculativeMustHitsHoldPerGeometry) {
     ASSERT_TRUE(Stats.Completed);
     for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace()) {
       NodeId N = CP->G.nodeAt(A.Access.Block, A.Access.InstIndex);
-      if (Report.MustHit[N])
+      if (Report.MustHit[N]) {
         EXPECT_TRUE(A.Hit) << Predictor->name() << " ways=" << Ways
                            << " node " << N;
+      }
     }
   }
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Local CI: the same configure + build + test sequence as
+# .github/workflows/ci.yml. Run from anywhere; builds into <repo>/build-ci.
+set -eu
+
+REPO=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="$REPO/build-ci"
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+cmake -B "$BUILD" -S "$REPO" -DSPECAI_WERROR=ON
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"

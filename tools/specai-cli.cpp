@@ -23,15 +23,24 @@
 ///   --dump-states       print the fixed-point state at every block entry
 ///   --leaks             run the side-channel detector
 ///   --wcet              print the WCET report
+///   --batch             run the Figure 6 sweep (all four merge strategies)
+///                       in parallel and print one aggregated table
+///   --jobs N            worker threads for --batch (default: all cores)
 ///
 /// Exit code: 0 on success, 1 on compile/analysis error, 2 when --leaks
-/// found a leak (so scripts can gate on it).
+/// found a leak (so scripts can gate on it) — in batch mode, when any
+/// variant found one (each leaking variant's sites are printed first).
+/// --batch results are identical whatever --jobs is; only the timing
+/// columns vary. The sweep is inherently speculative and covers every
+/// strategy, so --no-spec, --strategy, --wcet, and --dump-states are
+/// rejected in combination with --batch rather than silently ignored.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "specai/SpecAI.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -45,7 +54,7 @@ void usage() {
       "usage: specai-cli FILE.mc [--entry NAME] [--no-spec] [--lines N]\n"
       "       [--assoc N] [--depth-miss N] [--depth-hit N] [--strategy S]\n"
       "       [--no-shadow] [--refine] [--dump-ir] [--dump-states]\n"
-      "       [--leaks] [--wcet]\n");
+      "       [--leaks] [--wcet] [--batch] [--jobs N]\n");
 }
 
 } // namespace
@@ -62,6 +71,8 @@ int main(int Argc, char **Argv) {
   uint32_t Lines = 512;
   uint32_t Assoc = 0; // 0 = fully associative.
   bool DumpIr = false, DumpStates = false, Leaks = false, Wcet = false;
+  bool Batch = false, StrategySet = false, JobsSet = false;
+  unsigned Jobs = 0; // 0 = all hardware threads.
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -85,6 +96,7 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--depth-hit") {
       Opts.DepthHit = static_cast<uint32_t>(std::atoi(Next()));
     } else if (Arg == "--strategy") {
+      StrategySet = true;
       std::string S = Next();
       if (S == "no-merge")
         Opts.Strategy = MergeStrategy::NoMerge;
@@ -110,6 +122,18 @@ int main(int Argc, char **Argv) {
       Leaks = true;
     } else if (Arg == "--wcet") {
       Wcet = true;
+    } else if (Arg == "--batch") {
+      Batch = true;
+    } else if (Arg == "--jobs") {
+      const char *Value = Next();
+      std::optional<unsigned> Parsed = parseUnsigned(Value);
+      if (!Parsed) {
+        std::printf("error: --jobs needs a non-negative number, got '%s'\n",
+                    Value);
+        return 1;
+      }
+      Jobs = *Parsed;
+      JobsSet = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -123,6 +147,10 @@ int main(int Argc, char **Argv) {
 
   if (File.empty()) {
     usage();
+    return 1;
+  }
+  if (JobsSet && !Batch) {
+    std::printf("error: --jobs only applies to --batch\n");
     return 1;
   }
   std::ifstream In(File);
@@ -148,6 +176,53 @@ int main(int Argc, char **Argv) {
     std::printf("error: invalid cache geometry (%u lines, %u ways)\n", Lines,
                 Assoc);
     return 1;
+  }
+
+  if (Batch) {
+    // Figure 6 / Table 6 sweep: the configured cache/depth/bounding under
+    // all four merge strategies, fanned out over the worker pool. The
+    // sweep only makes sense speculatively and covers every strategy;
+    // refuse contradictions and single-run-only flags rather than
+    // silently overriding them.
+    if (!Opts.Speculative) {
+      std::printf("error: --batch sweeps merge strategies, which only "
+                  "exist speculatively; drop --no-spec\n");
+      return 1;
+    }
+    if (StrategySet) {
+      std::printf("error: --batch sweeps all merge strategies; drop "
+                  "--strategy\n");
+      return 1;
+    }
+    if (Wcet || DumpStates) {
+      std::printf("error: %s applies to single runs only; drop it or "
+                  "--batch\n",
+                  Wcet ? "--wcet" : "--dump-states");
+      return 1;
+    }
+    BatchRunner Runner(Jobs);
+    std::vector<BatchVariant> Variants = BatchRunner::mergeStrategySweep(Opts);
+    // The detector stays opt-in like in single-run mode; without --leaks
+    // the table's Leaks column shows "-".
+    for (BatchVariant &V : Variants)
+      V.DetectLeaks = Leaks;
+    BatchReport Report = Runner.run(*CP, Variants);
+    std::printf("batch: %zu variants, %u jobs, %.3fs total\n",
+                Report.Rows.size(), Report.JobsUsed, Report.TotalSeconds);
+    std::printf("%s", Report.toTable().str().c_str());
+    if (Leaks) {
+      bool AnyLeak = false;
+      for (const BatchRow &Row : Report.Rows) {
+        if (Row.LeakCount == 0)
+          continue;
+        AnyLeak = true;
+        for (const std::string &Site : Row.LeakSites)
+          std::printf("%s: %s\n", Row.Label.c_str(), Site.c_str());
+      }
+      if (AnyLeak)
+        return 2;
+    }
+    return 0;
   }
 
   Timer T;
