@@ -1,0 +1,57 @@
+//===- bench_fuzz_campaign.cpp - Soundness-campaign throughput ------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Throughput of the differential soundness fuzzer (src/fuzz): a fixed
+/// 50-program campaign across all merge strategies and bounding modes,
+/// reporting programs/sec and the per-program scenario coverage. This is
+/// the perf trajectory behind BENCH_fuzz.json: campaigns are the repo's
+/// scenario-discovery machine, so their throughput bounds how much of the
+/// input space nightly CI can sweep.
+///
+/// Coverage counters are deterministic in (seed, programs) and must be
+/// identical whatever --jobs is; only the timing moves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+
+using namespace specai;
+
+int main(int Argc, char **Argv) {
+  unsigned Jobs = parseJobsFlag(Argc, Argv); // 0 = all hardware threads.
+
+  std::printf("== Differential soundness fuzzing campaign ==\n");
+
+  FuzzCampaignOptions O;
+  O.Seed = 1;
+  O.Programs = 50;
+  O.Jobs = Jobs;
+  FuzzCampaignResult R = runFuzzCampaign(O);
+
+  double PerSec =
+      R.Stats.Seconds > 0 ? R.Stats.Programs / R.Stats.Seconds : 0;
+  TableWriter T({"Programs", "Runs", "SpecWindows", "CommChecks",
+                 "SpecChecks", "Violations", "Time(s)", "Prog/s"});
+  T.addRow({std::to_string(R.Stats.Programs),
+            std::to_string(R.Stats.Oracle.ConcreteRuns),
+            std::to_string(R.Stats.Oracle.SpeculativeWindows),
+            std::to_string(R.Stats.Oracle.CommittedChecks),
+            std::to_string(R.Stats.Oracle.SpeculativeChecks),
+            std::to_string(R.Stats.ViolationPrograms),
+            formatDouble(R.Stats.Seconds, 2), formatDouble(PerSec, 2)});
+  std::printf("%s", T.str().c_str());
+
+  if (!R.ok()) {
+    std::printf("UNSOUND: %s\n", R.Counterexamples.front().Pretty.c_str());
+    return 1;
+  }
+  std::printf("sound: no containment violation in %llu concrete runs\n",
+              static_cast<unsigned long long>(R.Stats.Oracle.ConcreteRuns));
+  return 0;
+}

@@ -18,7 +18,10 @@
 ///             edge): SS[wrongEntry(c)] := S[branch]. It flows over the
 ///             ordinary CFG edges — through joins, nested branches (both
 ///             ways; the prediction of a nested branch is unknown), and
-///             past the sides' join — until the depth is exhausted;
+///             past the sides' join — until the depth is exhausted. SS
+///             flows use the domain's transferSpeculative: in-flight
+///             stores live in the store buffer and never touch the cache,
+///             so Store nodes are no-ops there (squashed on rollback);
 ///  - PR[n][k] post-rollback states: after executing any prefix of the
 ///             speculated side, the processor may roll back and resume at
 ///             the correct side's entry (the vn_stop -> n edge). These are
@@ -82,6 +85,21 @@ enum class BoundingMode {
   Dynamic,
 };
 
+/// Deliberate, test-only engine faults. The differential fuzzer's
+/// self-test (`specai-fuzz --selftest`) injects one of these and demands
+/// that the soundness oracle catches the resulting under-approximation
+/// with a concrete counterexample; a fuzzer that cannot see a broken
+/// engine proves nothing. Never set outside tests.
+enum class EngineFault : uint8_t {
+  None,
+  /// Skip the SS seed at wrongEntry(c): speculative flows never start, so
+  /// post-rollback cache pollution goes unmodeled.
+  SkipSpecSeed,
+  /// Drop the vn_stop -> n rollback edges: speculation is modeled but its
+  /// architectural aftermath is not.
+  SkipRollback,
+};
+
 /// Options of the speculative engine.
 struct SpecEngineOptions : EngineOptions {
   MergeStrategy Strategy = MergeStrategy::JustInTime;
@@ -95,6 +113,8 @@ struct SpecEngineOptions : EngineOptions {
   /// Per-site depth overrides (from the driver's iterative refinement);
   /// empty means none. Indexed by site.
   std::vector<uint32_t> SiteDepthOverride;
+  /// Test-only fault injection; see EngineFault.
+  EngineFault Fault = EngineFault::None;
 };
 
 /// Result of a speculative run.
@@ -202,7 +222,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
     bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
                     JoinCounts[Node] >= Options.WideningDelay;
     State Prev = UseWiden ? It->second : D.bottom();
-    if (D.joinInto(It->second, From)) {
+    bool Changed = D.joinInto(It->second, From);
+    if (Changed) {
       if (UseWiden)
         D.widen(It->second, Prev);
       ++JoinCounts[Node];
@@ -210,6 +231,13 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
     } else if (Inserted) {
       Enqueue(Node);
     }
+    // Keep the folded per-node join current while iterating: the §6.2
+    // dynamic depth bound reads it, and a bound computed without the
+    // rollback pollution at the condition loads would under-size windows
+    // (found by specai-fuzz). Slots grow monotonically, so folding on
+    // change equals folding everything at the end.
+    if (Changed || Inserted)
+      D.joinInto(R.PostRollback[Node], It->second);
   };
 
   auto JoinSpec = [&](NodeId Node, ColorId Color, const State &From,
@@ -245,16 +273,24 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
     return Options.DepthMiss;
   };
 
+  // Deepest window each site was ever seeded with; the envelope keeps the
+  // max, so a site is covered up to this depth.
+  std::vector<uint32_t> MaxSeeded(Plan.siteCount(), 0);
+
   // Seeds speculation colors of branch node `Node` from architectural
   // state `Out` (the state after the branch resolves its inputs).
   auto SeedSpeculation = [&](NodeId Node, const State &Out) {
+    if (Options.Fault == EngineFault::SkipSpecSeed)
+      return; // Injected fault: pretend speculation never starts.
     auto It = SeedColors.find(Node);
     if (It == SeedColors.end())
       return;
     for (ColorId C : It->second) {
-      uint32_t Depth = SiteDepth(Plan.colors()[C].Site);
+      uint32_t Site = Plan.colors()[C].Site;
+      uint32_t Depth = SiteDepth(Site);
       if (Depth == 0)
         continue; // b_hit == 0 disables speculation entirely (§6.2).
+      MaxSeeded[Site] = std::max(MaxSeeded[Site], Depth);
       JoinSpec(Plan.wrongEntry(C), C, Out, Depth);
     }
   };
@@ -262,6 +298,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   // Routes a rolled-back state (after executing `Source` speculatively
   // under color C) to the correct side per the merge strategy.
   auto Rollback = [&](ColorId C, NodeId Source, const State &Out) {
+    if (Options.Fault == EngineFault::SkipRollback)
+      return; // Injected fault: drop the vn_stop -> n edges.
     NodeId Target = Plan.correctEntry(C);
     switch (Options.Strategy) {
     case MergeStrategy::MergeAtRollback:
@@ -277,66 +315,109 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
     }
   };
 
+  auto DrainWorklist = [&]() {
+    while (!Worklist.empty()) {
+      if (++R.Iterations > Options.MaxIterations) {
+        R.Converged = false;
+        return;
+      }
+      NodeId Node = Worklist.front();
+      Worklist.pop_front();
+      InList[Node] = false;
+
+      // --- Normal flow (Algorithm 2 lines 8, 14-19). ---
+      if (!D.isBottom(R.Normal[Node])) {
+        State Out = R.Normal[Node];
+        D.transfer(Out, Node);
+        for (NodeId Succ : G.successors(Node))
+          JoinNormal(Succ, Out);
+        // n -> vn_start edges (line 11).
+        SeedSpeculation(Node, Out);
+      }
+
+      // --- Speculative flows, one per live color (Algorithm 3 line 9).
+      // These use the speculative transfer: stores are squashed (store
+      // buffer), so only loads touch the abstract cache here.
+      for (auto &[Color, Slot] : SS[Node]) {
+        if (D.isBottom(Slot.St) || Slot.Depth == 0)
+          continue;
+        State Out = Slot.St;
+        D.transferSpeculative(Out, Node);
+        // The rollback may happen right after this instruction: vn_stop.
+        Rollback(Color, Node, Out);
+        // Continue speculating while the window allows. The flow is
+        // confined to the mispredicted side: it stops at the branch's
+        // post-dominator (the paper's Figure 6 draws rollback edges from
+        // the branch body only, and Figure 7's states require it).
+        if (Slot.Depth > 1) {
+          NodeId Ipdom = IpdomOf(Color);
+          for (NodeId Succ : G.successors(Node))
+            if (Succ != Ipdom)
+              JoinSpec(Succ, Color, Out, Slot.Depth - 1);
+        }
+      }
+
+      // --- Post-rollback flows (architectural; JIT keeps them apart
+      // --- until the branch's post-dominator).
+      for (auto &[Key, St] : PR[Node]) {
+        if (D.isBottom(St))
+          continue;
+        State Out = St;
+        D.transfer(Out, Node);
+        NodeId Ipdom = IpdomOf(Key.Color);
+        for (NodeId Succ : G.successors(Node)) {
+          if (Succ == Ipdom)
+            JoinNormal(Succ, Out);
+          else
+            JoinPr(Succ, Key, Out);
+        }
+        // Real execution in a post-rollback context can speculate again.
+        SeedSpeculation(Node, Out);
+      }
+    }
+  };
+
+  // Re-validates the §6.2 dynamic depth bounds against the drained
+  // states. A site seeded with b_hit while its condition loads still
+  // looked like must-hits can be stale — later joins may have degraded
+  // those loads to may-miss without reprocessing the branch, yet a real
+  // miss means the hardware speculates b_miss deep. Stale sites are
+  // re-seeded at the larger bound from the current architectural states;
+  // returns true when another drain is needed. Bounds only escalate (and
+  // MaxSeeded latches), so the loop below terminates. Found by the
+  // differential fuzzer (specai-fuzz).
+  auto ReseedStaleSites = [&]() {
+    bool Reseeded = false;
+    for (uint32_t Site = 0; Site != Plan.siteCount(); ++Site) {
+      uint32_t Want = SiteDepth(Site);
+      if (Want <= MaxSeeded[Site])
+        continue;
+      NodeId Branch = Plan.sites()[Site].Branch;
+      if (!D.isBottom(R.Normal[Branch])) {
+        State Out = R.Normal[Branch];
+        D.transfer(Out, Branch);
+        SeedSpeculation(Branch, Out);
+      }
+      for (auto &[Key, St] : PR[Branch]) {
+        if (D.isBottom(St))
+          continue;
+        State Out = St;
+        D.transfer(Out, Branch);
+        SeedSpeculation(Branch, Out);
+      }
+      // Latch even when nothing seeded (unreachable branch, injected
+      // fault) so the revalidation loop cannot spin.
+      MaxSeeded[Site] = std::max(MaxSeeded[Site], Want);
+      Reseeded = true;
+    }
+    return Reseeded;
+  };
+
   R.Normal[G.entry()] = D.entry();
   Enqueue(G.entry());
-
-  while (!Worklist.empty()) {
-    if (++R.Iterations > Options.MaxIterations) {
-      R.Converged = false;
-      break;
-    }
-    NodeId Node = Worklist.front();
-    Worklist.pop_front();
-    InList[Node] = false;
-
-    // --- Normal flow (Algorithm 2 lines 8, 14-19). ---
-    if (!D.isBottom(R.Normal[Node])) {
-      State Out = R.Normal[Node];
-      D.transfer(Out, Node);
-      for (NodeId Succ : G.successors(Node))
-        JoinNormal(Succ, Out);
-      // n -> vn_start edges (line 11).
-      SeedSpeculation(Node, Out);
-    }
-
-    // --- Speculative flows, one per live color (Algorithm 3 line 9). ---
-    for (auto &[Color, Slot] : SS[Node]) {
-      if (D.isBottom(Slot.St) || Slot.Depth == 0)
-        continue;
-      State Out = Slot.St;
-      D.transfer(Out, Node);
-      // The rollback may happen right after this instruction: vn_stop.
-      Rollback(Color, Node, Out);
-      // Continue speculating while the window allows. The flow is confined
-      // to the mispredicted side: it stops at the branch's post-dominator
-      // (the paper's Figure 6 draws rollback edges from the branch body
-      // only, and Figure 7's states require it).
-      if (Slot.Depth > 1) {
-        NodeId Ipdom = IpdomOf(Color);
-        for (NodeId Succ : G.successors(Node))
-          if (Succ != Ipdom)
-            JoinSpec(Succ, Color, Out, Slot.Depth - 1);
-      }
-    }
-
-    // --- Post-rollback flows (architectural; JIT keeps them apart until
-    // --- the branch's post-dominator).
-    for (auto &[Key, St] : PR[Node]) {
-      if (D.isBottom(St))
-        continue;
-      State Out = St;
-      D.transfer(Out, Node);
-      NodeId Ipdom = IpdomOf(Key.Color);
-      for (NodeId Succ : G.successors(Node)) {
-        if (Succ == Ipdom)
-          JoinNormal(Succ, Out);
-        else
-          JoinPr(Succ, Key, Out);
-      }
-      // Real execution in a post-rollback context can speculate again.
-      SeedSpeculation(Node, Out);
-    }
-  }
+  do {
+    DrainWorklist();
+  } while (R.Converged && ReseedStaleSites());
 
   // Fold the sparse slot maps into per-node joins for classification.
   for (NodeId Node = 0; Node != N; ++Node) {

@@ -67,6 +67,7 @@ SpecEngineOptions makeEngineOptions(const MustHitOptions &O,
   E.UseWidening = O.UseWidening;
   E.WideningDelay = O.WideningDelay;
   E.MaxIterations = O.MaxIterations;
+  E.Fault = O.Fault;
   return E;
 }
 

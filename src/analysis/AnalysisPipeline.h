@@ -74,6 +74,9 @@ struct MustHitOptions {
   bool UseWidening = false;
   uint32_t WideningDelay = 8;
   uint64_t MaxIterations = 200000000;
+  /// Test-only engine fault injection for the fuzzer self-test; see
+  /// EngineFault. Never set outside tests.
+  EngineFault Fault = EngineFault::None;
 };
 
 /// Classification outcome of the static cache analysis.

@@ -53,6 +53,21 @@ public:
   /// state.
   void transfer(State &S, NodeId N);
 
+  /// Transfer for nodes executed inside a speculative window (the SS
+  /// flows of Algorithm 3). Speculative *stores* sit in the store buffer
+  /// and are squashed on rollback — they never fill or refresh a cache
+  /// line (Figure 3's right-hand trace; pipeline/SpeculativeCpu.h) — so a
+  /// Store node is a cache no-op here. Applying the committed-store
+  /// transfer instead is unsound: it would refresh the stored block's MUST
+  /// age while the concrete line ages or evicts (found by specai-fuzz;
+  /// docs/FUZZING.md shows the two-line counterexample). Loads behave as
+  /// in transfer(): a speculative load does fill the cache.
+  void transferSpeculative(State &S, NodeId N) {
+    if (G->inst(N).Op == Opcode::Store)
+      return;
+    transfer(S, N);
+  }
+
   /// this ⊔= From; true iff changed.
   bool joinInto(State &Into, const State &From) const {
     return Into.joinInto(From, Options.UseShadow);

@@ -105,6 +105,15 @@ public:
   bool isBottom(const State &S) const { return S.isBottom(); }
 
   void transfer(State &S, NodeId N);
+  /// In speculative windows stores are buffered and squashed, never
+  /// reaching memory (ir/Interp.h's SuppressStores; there is no
+  /// store-to-load forwarding in the substrate), so a speculative Store
+  /// must not update the stored scalar's interval.
+  void transferSpeculative(State &S, NodeId N) {
+    if (G->inst(N).Op == Opcode::Store)
+      return;
+    transfer(S, N);
+  }
   bool joinInto(State &Into, const State &From) const {
     return Into.joinInto(From);
   }

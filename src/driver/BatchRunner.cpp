@@ -65,6 +65,38 @@ BatchRow runVariant(const CompiledProgram &CP, const BatchVariant &V) {
 
 } // namespace
 
+void specai::parallelFor(unsigned Jobs, size_t Count,
+                         const std::function<void(size_t)> &Fn) {
+  if (Count == 0)
+    return;
+  if (Jobs == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Jobs = HW == 0 ? 1 : HW;
+  }
+  unsigned Workers = static_cast<unsigned>(std::min<size_t>(Jobs, Count));
+
+  std::atomic<size_t> NextIndex{0};
+  auto Work = [&]() {
+    while (true) {
+      size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      Fn(I);
+    }
+  };
+
+  if (Workers <= 1) {
+    Work();
+    return;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Pool.emplace_back(Work);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
 unsigned specai::parseJobsFlag(int Argc, char **Argv) {
   unsigned Jobs = 0;
   for (int I = 1; I < Argc; ++I) {
@@ -181,27 +213,10 @@ BatchReport BatchRunner::run(const CompiledProgram &CP,
   Timer Total;
   // Work stealing off a shared counter: each worker claims the next
   // unclaimed variant and writes the row into that variant's slot, so row
-  // order is the variant order no matter which worker finishes first.
-  std::atomic<size_t> NextIndex{0};
-  auto Work = [&]() {
-    while (true) {
-      size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Variants.size())
-        return;
-      Report.Rows[I] = runVariant(CP, Variants[I]);
-    }
-  };
-
-  if (Workers <= 1) {
-    Work();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned W = 0; W != Workers; ++W)
-      Pool.emplace_back(Work);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  // order is the variant order no matter which worker finished first.
+  parallelFor(Workers, Variants.size(), [&](size_t I) {
+    Report.Rows[I] = runVariant(CP, Variants[I]);
+  });
   Report.TotalSeconds = Total.seconds();
   return Report;
 }

@@ -30,10 +30,20 @@
 #include "analysis/SideChannel.h"
 #include "support/Table.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace specai {
+
+/// Runs Fn(0..Count-1) across up to \p Jobs worker threads (0 = hardware
+/// concurrency), work-stealing indices off a shared counter. Never spawns
+/// more threads than work items; Jobs <= 1 runs inline. Callers get
+/// jobs-invariant results by writing into index-addressed slots, the same
+/// discipline BatchRunner::run uses for its rows — the fuzz campaign fans
+/// whole programs out through this as well.
+void parallelFor(unsigned Jobs, size_t Count,
+                 const std::function<void(size_t)> &Fn);
 
 /// One analysis configuration of a sweep.
 struct BatchVariant {

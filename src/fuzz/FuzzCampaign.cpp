@@ -1,0 +1,231 @@
+//===- FuzzCampaign.cpp ---------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzCampaign.h"
+
+#include "driver/BatchRunner.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace specai;
+
+namespace {
+
+const char *boundingName(BoundingMode B) {
+  return B == BoundingMode::Fixed ? "fixed" : "dynamic";
+}
+
+/// Runs the oracle over \p G's source; returns the first violation.
+std::optional<Violation> oracleCheck(const GeneratedProgram &G,
+                                     const SoundnessOracleOptions &Opts,
+                                     OracleStats &Stats, bool &CompiledOk) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(G.source(), Diags);
+  CompiledOk = CP != nullptr;
+  if (!CP) {
+    Violation V;
+    V.Kind = ViolationKind::CompileError;
+    V.Detail = Diags.str();
+    return V;
+  }
+  SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, Opts);
+  OracleResult R = Oracle.run(G.Seed);
+  Stats += R.Stats;
+  if (!R.Violations.empty())
+    return R.Violations.front();
+  return std::nullopt;
+}
+
+/// Greedy statement-level delta debugging: repeatedly drop any top-level
+/// statement chunk whose removal preserves *some* oracle violation. The
+/// result still compiles and still fails, typically with 1-3 statements
+/// left — small enough to read the abstract states by hand.
+GeneratedProgram minimize(const GeneratedProgram &G,
+                          const SoundnessOracleOptions &Opts,
+                          OracleStats &Stats) {
+  GeneratedProgram Cur = G;
+  bool Progress = true;
+  while (Progress && Cur.Stmts.size() > 1) {
+    Progress = false;
+    for (size_t I = 0; I != Cur.Stmts.size(); ++I) {
+      GeneratedProgram Cand = Cur;
+      Cand.Stmts.erase(Cand.Stmts.begin() + static_cast<ptrdiff_t>(I));
+      bool CompiledOk = false;
+      if (oracleCheck(Cand, Opts, Stats, CompiledOk) && CompiledOk) {
+        Cur = std::move(Cand);
+        Progress = true;
+        break;
+      }
+    }
+  }
+  return Cur;
+}
+
+} // namespace
+
+std::optional<Counterexample>
+specai::checkGeneratedProgram(const GeneratedProgram &G,
+                              const SoundnessOracleOptions &Oracle,
+                              bool Minimize, OracleStats &Stats,
+                              uint64_t &CompileFailures) {
+  bool CompiledOk = false;
+  std::optional<Violation> V = oracleCheck(G, Oracle, Stats, CompiledOk);
+  if (!CompiledOk)
+    ++CompileFailures;
+  if (!V)
+    return std::nullopt;
+
+  Counterexample CE;
+  CE.ProgramSeed = G.Seed;
+  CE.OriginalSource = G.source();
+  CE.StmtsBefore = G.Stmts.size();
+
+  GeneratedProgram Min = G;
+  if (Minimize && CompiledOk)
+    Min = minimize(G, Oracle, Stats);
+  CE.StmtsAfter = Min.Stmts.size();
+  CE.Source = Min.source();
+  CE.InputScalars = Min.InputScalars;
+  CE.InputArrays = Min.Arrays;
+  CE.V = *V;
+
+  // When minimization shrank the program, re-derive the violation against
+  // it so node ids and the recorded scenario match the source we ship; an
+  // unshrunk program keeps the original violation (no duplicate sweep).
+  if (Min.Stmts.size() != G.Stmts.size()) {
+    bool MinCompiledOk = false;
+    if (std::optional<Violation> MinV =
+            oracleCheck(Min, Oracle, Stats, MinCompiledOk);
+        MinV && MinCompiledOk)
+      CE.V = *MinV;
+  }
+  if (CompiledOk) {
+    DiagnosticEngine Diags;
+    if (auto CP = compileSource(CE.Source, Diags))
+      CE.Pretty = CE.V.str(*CP);
+  }
+  if (CE.Pretty.empty())
+    CE.Pretty = violationKindName(CE.V.Kind);
+  return CE;
+}
+
+FuzzCampaignResult specai::runFuzzCampaign(const FuzzCampaignOptions &Options) {
+  FuzzCampaignResult Result;
+  Result.Stats.Programs = Options.Programs;
+
+  struct Slot {
+    OracleStats Stats;
+    uint64_t CompileFailures = 0;
+    std::optional<Counterexample> CE;
+  };
+  std::vector<Slot> Slots(Options.Programs);
+
+  Timer Total;
+  parallelFor(Options.Jobs, Options.Programs, [&](size_t I) {
+    ProgramGen Gen(Options.Seed + I, Options.Gen);
+    GeneratedProgram G = Gen.generate();
+    Slots[I].CE =
+        checkGeneratedProgram(G, Options.Oracle, Options.Minimize,
+                              Slots[I].Stats, Slots[I].CompileFailures);
+  });
+  Result.Stats.Seconds = Total.seconds();
+
+  // Slot-ordered aggregation: identical whatever the job count.
+  for (Slot &S : Slots) {
+    Result.Stats.Oracle += S.Stats;
+    Result.Stats.CompileFailures += S.CompileFailures;
+    if (S.CE) {
+      ++Result.Stats.ViolationPrograms;
+      Result.Counterexamples.push_back(std::move(*S.CE));
+    }
+  }
+  return Result;
+}
+
+std::string FuzzCampaignStats::summary() const {
+  std::string Out;
+  Out += "programs:            " + std::to_string(Programs) + "\n";
+  Out += "compile failures:    " + std::to_string(CompileFailures) + "\n";
+  Out += "analyses:            " + std::to_string(Oracle.Analyses) + "\n";
+  Out += "concrete runs:       " + std::to_string(Oracle.ConcreteRuns) + "\n";
+  Out += "speculative windows: " + std::to_string(Oracle.SpeculativeWindows) +
+         "\n";
+  Out += "committed checks:    " + std::to_string(Oracle.CommittedChecks) +
+         "\n";
+  Out += "speculative checks:  " + std::to_string(Oracle.SpeculativeChecks) +
+         "\n";
+  Out += "violations:          " + std::to_string(ViolationPrograms) + "\n";
+  return Out;
+}
+
+std::string
+Counterexample::replayFile(const SoundnessOracleOptions &O) const {
+  std::string Out;
+  Out += "// specai-fuzz counterexample (replay with: specai-fuzz --replay "
+         "FILE)\n";
+  Out += "// replay-kind: ";
+  Out += violationKindName(V.Kind);
+  Out += "\n// replay-seed: ";
+  Out += std::to_string(ProgramSeed);
+  Out += "\n// replay-strategy: ";
+  Out += mergeStrategyName(V.Strategy);
+  Out += "\n// replay-bounding: ";
+  Out += boundingName(V.Bounding);
+  Out += "\n";
+  Out += "// replay-cache: lines=" + std::to_string(O.Cache.NumLines) +
+         ",assoc=" + std::to_string(O.Cache.Associativity) +
+         ",linesize=" + std::to_string(O.Cache.LineSize) + "\n";
+  Out += "// replay-depths: miss=" + std::to_string(O.DepthMiss) +
+         ",hit=" + std::to_string(O.DepthHit) + "\n";
+  Out += "// replay-shadow: ";
+  Out += O.UseShadow ? "on" : "off";
+  Out += "\n";
+  if (O.Fault != EngineFault::None) {
+    Out += "// replay-fault: ";
+    Out += O.Fault == EngineFault::SkipSpecSeed ? "skip-spec-seed"
+                                                : "skip-rollback";
+    Out += "\n";
+  }
+  if (!V.Run.PredictorName.empty()) {
+    Out += "// replay-predictor: " + V.Run.PredictorName + "\n";
+  } else {
+    Out += "// replay-script: ";
+    if (V.Run.Script.empty())
+      Out += "-"; // Placeholder so the parser's tokens stay aligned.
+    for (bool B : V.Run.Script)
+      Out += B ? 'T' : 'N';
+    Out += V.Run.Fallback ? " fallback=T" : " fallback=N";
+    Out += "\n";
+  }
+  Out += "// replay-scalars:";
+  for (size_t I = 0; I != V.Run.ScalarValues.size(); ++I) {
+    Out += " ";
+    Out += I < InputScalars.size() ? InputScalars[I] : "?";
+    Out += "=";
+    Out += std::to_string(V.Run.ScalarValues[I]);
+  }
+  Out += "\n";
+  for (size_t I = 0; I != V.Run.ArrayValues.size(); ++I) {
+    Out += "// replay-array: ";
+    Out += I < InputArrays.size() ? InputArrays[I].first : "?";
+    for (int64_t E : V.Run.ArrayValues[I]) {
+      Out += " ";
+      Out += std::to_string(E);
+    }
+    Out += "\n";
+  }
+  Out += "// replay-windows:";
+  for (uint32_t W : V.Run.SiteWindows) {
+    Out += " ";
+    Out += std::to_string(W);
+  }
+  Out += "\n";
+  Out += "// replay-detail: " + Pretty + "\n";
+  Out += Source;
+  return Out;
+}

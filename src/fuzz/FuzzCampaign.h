@@ -1,0 +1,103 @@
+//===- FuzzCampaign.h - Parallel differential fuzzing campaigns -*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives whole soundness-fuzzing campaigns: generate N programs from a
+/// base seed, run the differential oracle on each, minimize any
+/// counterexample to a replayable `.mc` file, and aggregate coverage
+/// statistics. Programs fan out across the driver layer's work-stealing
+/// pool (`parallelFor`, shared with BatchRunner); program i is generated
+/// from seed Base+i and validated independently of every other program, so
+/// campaign summaries are bit-identical for any `--jobs` value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_FUZZ_FUZZCAMPAIGN_H
+#define SPECAI_FUZZ_FUZZCAMPAIGN_H
+
+#include "fuzz/ProgramGen.h"
+#include "fuzz/SoundnessOracle.h"
+
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Campaign configuration.
+struct FuzzCampaignOptions {
+  /// Base seed; program i uses Seed + i.
+  uint64_t Seed = 1;
+  unsigned Programs = 100;
+  /// Worker threads (0 = hardware concurrency).
+  unsigned Jobs = 0;
+  ProgramGenOptions Gen;
+  SoundnessOracleOptions Oracle;
+  /// Delta-debug counterexamples down to a minimal statement set.
+  bool Minimize = true;
+};
+
+/// A minimized, replayable counterexample.
+struct Counterexample {
+  uint64_t ProgramSeed = 0;
+  /// Minimized source (equals OriginalSource when minimization is off or
+  /// made no progress).
+  std::string Source;
+  std::string OriginalSource;
+  Violation V;
+  /// Rendered violation against the minimized program.
+  std::string Pretty;
+  /// Statements before/after minimization.
+  size_t StmtsBefore = 0;
+  size_t StmtsAfter = 0;
+  /// Input bindings (names parallel to V.Run.ScalarValues/ArrayValues), so
+  /// --replay can rebind the recorded values.
+  std::vector<std::string> InputScalars;
+  std::vector<std::pair<std::string, unsigned>> InputArrays;
+
+  /// Renders a self-contained `.mc` file: `// replay-*` header comments
+  /// (scenario, inputs, windows, oracle config) followed by the minimized
+  /// source. `specai-fuzz --replay FILE` re-checks it.
+  std::string replayFile(const SoundnessOracleOptions &O) const;
+};
+
+/// Aggregated campaign counters. Everything except Seconds is
+/// deterministic in (Seed, Programs, options) and independent of Jobs.
+struct FuzzCampaignStats {
+  uint64_t Programs = 0;
+  uint64_t CompileFailures = 0;
+  uint64_t ViolationPrograms = 0;
+  OracleStats Oracle;
+  double Seconds = 0;
+
+  /// Deterministic multi-line summary (no timings).
+  std::string summary() const;
+};
+
+/// Outcome of one campaign.
+struct FuzzCampaignResult {
+  FuzzCampaignStats Stats;
+  /// In program order (slot-addressed), independent of scheduling.
+  std::vector<Counterexample> Counterexamples;
+
+  bool ok() const { return Counterexamples.empty(); }
+};
+
+/// Runs a campaign.
+FuzzCampaignResult runFuzzCampaign(const FuzzCampaignOptions &Options);
+
+/// Checks one generated program (exposed for tests and --replay):
+/// compiles \p G and runs the oracle; on a violation optionally minimizes.
+/// Returns nullopt when the program is clean. \p Stats accumulates
+/// coverage either way.
+std::optional<Counterexample>
+checkGeneratedProgram(const GeneratedProgram &G,
+                      const SoundnessOracleOptions &Oracle, bool Minimize,
+                      OracleStats &Stats, uint64_t &CompileFailures);
+
+} // namespace specai
+
+#endif // SPECAI_FUZZ_FUZZCAMPAIGN_H

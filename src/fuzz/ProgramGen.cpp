@@ -1,0 +1,230 @@
+//===- ProgramGen.cpp -----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgramGen.h"
+
+#include <algorithm>
+
+using namespace specai;
+
+std::string GeneratedProgram::source() const {
+  std::string Out = Decls;
+  Out += "int main() {\n  reg int t;\n  t = 0;\n";
+  for (const std::string &S : Stmts)
+    Out += S;
+  Out += "  return t;\n}\n";
+  return Out;
+}
+
+ProgramGen::ProgramGen(uint64_t Seed, ProgramGenOptions Options)
+    : Seed(Seed), Options(Options), R(Seed * 0x9E3779B97F4A7C15ULL + 1) {}
+
+std::string ProgramGen::randomIndex(
+    const std::pair<std::string, unsigned> &Array) {
+  // Constant in-bounds index, constant out-of-bounds index (wraps modulo
+  // the length, total semantics), or a data-dependent wild index.
+  switch (R.nextBelow(Options.WildIndexing ? 4 : 2)) {
+  case 0:
+  case 1:
+    return std::to_string(R.nextBelow(Array.second));
+  case 2:
+    return "(t & " + std::to_string(63 + 64 * R.nextBelow(4)) + ")";
+  default:
+    if (Options.SecretData && R.chance(1, 2))
+      return "key[" + std::to_string(R.nextBelow(64)) + "]";
+    return P.InputScalars[R.nextBelow(P.InputScalars.size())] + " & 255";
+  }
+}
+
+std::string ProgramGen::randomExpr(unsigned Depth) {
+  switch (R.nextBelow(Depth > 0 ? 5 : 4)) {
+  case 0:
+    return std::to_string(R.nextRange(0, 100));
+  case 1:
+    return P.InputScalars[R.nextBelow(P.InputScalars.size())];
+  case 2: {
+    const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+    return A.first + "[" + randomIndex(A) + "]";
+  }
+  case 3:
+    return "(t & 255)";
+  default:
+    return randomExpr(0) + (R.chance(1, 2) ? " + " : " ^ ") + randomExpr(0);
+  }
+}
+
+std::string ProgramGen::randomCond() {
+  // Mostly memory-dependent conditions (speculation sites); occasionally a
+  // register-only condition, which the plan deliberately does *not* model
+  // (it resolves before any speculative access can issue).
+  std::string Lhs;
+  if (R.chance(1, 6)) {
+    Lhs = "(t & 15)";
+  } else if (R.chance(1, 3)) {
+    const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+    Lhs = A.first + "[" + std::to_string(R.nextBelow(A.second)) + "]";
+  } else {
+    Lhs = P.InputScalars[R.nextBelow(P.InputScalars.size())];
+  }
+  const char *Ops[] = {" > ", " < ", " == ", " != ", " >= "};
+  return Lhs + Ops[R.nextBelow(5)] + std::to_string(R.nextRange(-20, 20));
+}
+
+std::string ProgramGen::stmtBlock(unsigned Count, unsigned Depth,
+                                  std::string Indent) {
+  std::vector<std::string> Body;
+  for (unsigned I = 0; I != Count; ++I)
+    emitStmt(Body, Depth, Indent);
+  std::string Out;
+  for (const std::string &S : Body)
+    Out += S;
+  return Out;
+}
+
+void ProgramGen::emitStmt(std::vector<std::string> &Out, unsigned Depth,
+                          std::string Indent) {
+  // Statement kinds; structured kinds are only available below MaxDepth.
+  unsigned Kinds = Depth < Options.MaxDepth ? 9 : 6;
+  switch (R.nextBelow(Kinds)) {
+  case 0: // Accumulate into the register-resident result.
+    Out.push_back(Indent + "t = t + " + randomExpr(1) + ";\n");
+    return;
+  case 1: { // Scalar store (skips active loop bounds; see WhileLoop).
+    std::vector<std::string> Eligible;
+    for (const std::string &S : P.InputScalars)
+      if (std::find(LoopBoundScalars.begin(), LoopBoundScalars.end(), S) ==
+          LoopBoundScalars.end())
+        Eligible.push_back(S);
+    if (Eligible.empty()) {
+      Out.push_back(Indent + "t = t + " + randomExpr(1) + ";\n");
+      return;
+    }
+    Out.push_back(Indent + Eligible[R.nextBelow(Eligible.size())] + " = " +
+                  randomExpr(1) + ";\n");
+    return;
+  }
+  case 2: { // Array store, constant or wild index.
+    const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+    Out.push_back(Indent + A.first + "[" + randomIndex(A) +
+                  "] = " + randomExpr(1) + ";\n");
+    return;
+  }
+  case 3: { // Dense load run: windows exhaust mid-run, exactly at a load.
+    unsigned Run = 2 + R.nextBelow(4);
+    std::string S;
+    for (unsigned I = 0; I != Run; ++I) {
+      const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+      S += Indent + "t = t + " + A.first + "[" +
+           std::to_string(R.nextBelow(A.second)) + "];\n";
+    }
+    Out.push_back(S);
+    return;
+  }
+  case 4: // Secret-indexed table lookup (when enabled).
+    if (Options.SecretData) {
+      const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+      Out.push_back(Indent + "t = t + " + A.first + "[key[" +
+                    std::to_string(R.nextBelow(64)) + "] & " +
+                    std::to_string(A.second - 1) + "];\n");
+      return;
+    }
+    Out.push_back(Indent + "t = t + " + randomExpr(1) + ";\n");
+    return;
+  case 5: { // Counted reg-for over an array (fully unrolled by lowering).
+    if (!Options.CountedLoops) {
+      Out.push_back(Indent + "t = t + " + randomExpr(1) + ";\n");
+      return;
+    }
+    const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+    std::string I = "i" + std::to_string(LoopId++);
+    Out.push_back(Indent + "for (reg int " + I + " = 0; " + I + " < " +
+                  std::to_string(A.second) + "; " + I + " += 64) t = t + " +
+                  A.first + "[" + I + "];\n");
+    return;
+  }
+  case 6: { // if/else on a (mostly memory-dependent) condition.
+    std::string S = Indent + "if (" + randomCond() + ") {\n";
+    S += stmtBlock(1 + R.nextBelow(2), Depth + 1, Indent + "  ");
+    S += Indent + "} else {\n";
+    S += stmtBlock(1 + R.nextBelow(2), Depth + 1, Indent + "  ");
+    S += Indent + "}\n";
+    Out.push_back(S);
+    return;
+  }
+  case 7: { // if without else.
+    std::string S = Indent + "if (" + randomCond() + ") {\n";
+    S += stmtBlock(1 + R.nextBelow(2), Depth + 1, Indent + "  ");
+    S += Indent + "}\n";
+    Out.push_back(S);
+    return;
+  }
+  default: { // Data-bounded while: the back branch is a speculation site,
+             // so a misprediction rolls back mid-loop.
+    std::vector<std::string> Eligible;
+    for (const std::string &S : P.InputScalars)
+      if (std::find(LoopBoundScalars.begin(), LoopBoundScalars.end(), S) ==
+          LoopBoundScalars.end())
+        Eligible.push_back(S);
+    if (!Options.WhileLoops || Eligible.empty()) {
+      Out.push_back(Indent + "t = t + " + randomExpr(1) + ";\n");
+      return;
+    }
+    std::string Bound = Eligible[R.nextBelow(Eligible.size())];
+    LoopBoundScalars.push_back(Bound);
+    std::string S = Indent + "while (" + Bound + " > 0) {\n";
+    S += Indent + "  " + Bound + " = " + Bound + " - 1;\n";
+    S += stmtBlock(1 + R.nextBelow(2), Depth + 1, Indent + "  ");
+    S += Indent + "}\n";
+    LoopBoundScalars.pop_back();
+    Out.push_back(S);
+    return;
+  }
+  }
+}
+
+GeneratedProgram ProgramGen::generate() {
+  P = GeneratedProgram();
+  P.Seed = Seed;
+  LoopId = 0;
+  LoopBoundScalars.clear();
+
+  unsigned NumArrays =
+      Options.MinArrays +
+      R.nextBelow(Options.MaxArrays - Options.MinArrays + 1);
+  for (unsigned I = 0; I != NumArrays; ++I) {
+    unsigned Lines = 1 + R.nextBelow(Options.MaxArrayLines);
+    std::string Name = "a";
+    Name += std::to_string(I);
+    P.Arrays.push_back({std::move(Name), Lines * 64});
+    P.Decls += "char ";
+    P.Decls += P.Arrays.back().first;
+    P.Decls += "[";
+    P.Decls += std::to_string(P.Arrays.back().second);
+    P.Decls += "];\n";
+  }
+  unsigned NumScalars =
+      Options.MinScalars +
+      R.nextBelow(Options.MaxScalars - Options.MinScalars + 1);
+  for (unsigned I = 0; I != NumScalars; ++I) {
+    std::string Name = "s";
+    Name += std::to_string(I);
+    P.InputScalars.push_back(std::move(Name));
+    P.Decls += "int ";
+    P.Decls += P.InputScalars.back();
+    P.Decls += ";\n";
+  }
+  if (Options.SecretData) {
+    P.Decls += "secret char key[64];\n";
+    P.Arrays.push_back({"key", 64});
+  }
+
+  unsigned NumStmts =
+      Options.MinStmts + R.nextBelow(Options.MaxStmts - Options.MinStmts + 1);
+  for (unsigned I = 0; I != NumStmts; ++I)
+    emitStmt(P.Stmts, 0, "  ");
+  return P;
+}

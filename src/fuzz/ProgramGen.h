@@ -1,0 +1,116 @@
+//===- ProgramGen.h - Random mini-C program generator -----------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded random generator of well-formed mini-C programs for the
+/// differential soundness fuzzer. Programs are biased toward the
+/// speculation-window edge cases the paper's soundness argument has to
+/// survive:
+///
+///  - memory-conditioned branches (speculation sites), nested several deep,
+///    so mispredictions stack and rollback states interleave;
+///  - data-bounded `while` loops whose back-branch is itself a site, so a
+///    misprediction can roll back mid-loop;
+///  - dense straight-line load runs inside branch bodies, so a bounded
+///    window can exhaust exactly at a load;
+///  - secret- and data-indexed (statically unknown) array accesses, which
+///    exercise the symbolic-instance transfer and wild speculative
+///    indexing (indices wrap modulo the array length, total semantics);
+///  - array and scalar stores on both branch sides, which exercise the
+///    store-buffer asymmetry between committed and squashed stores.
+///
+/// Generation is deterministic from the seed: the same seed always yields
+/// byte-identical source, so every counterexample replays from (seed,
+/// config) alone. Statements are kept as separate chunks so the campaign's
+/// counterexample minimizer can delta-debug at statement granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_FUZZ_PROGRAMGEN_H
+#define SPECAI_FUZZ_PROGRAMGEN_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Shape knobs of the generator. Defaults produce small programs (tens of
+/// IR nodes) that compile and analyze in well under a millisecond, so a
+/// campaign gets through hundreds of programs per second.
+struct ProgramGenOptions {
+  unsigned MinArrays = 2;
+  unsigned MaxArrays = 4;
+  /// Array sizes are 64 * [1, MaxArrayLines] chars, i.e. whole cache lines.
+  unsigned MaxArrayLines = 3;
+  unsigned MinScalars = 2;
+  unsigned MaxScalars = 4;
+  unsigned MinStmts = 4;
+  unsigned MaxStmts = 9;
+  /// Maximum nesting of if/else and loops.
+  unsigned MaxDepth = 3;
+  /// Emit a `secret char key[64]` plus secret-indexed table lookups.
+  bool SecretData = true;
+  /// Emit data-dependent (statically unknown) array indices.
+  bool WildIndexing = true;
+  /// Emit data-bounded while loops (non-unrollable; their back branch is a
+  /// speculation site).
+  bool WhileLoops = true;
+  /// Emit counted reg-for loops (fully unrolled by the lowering).
+  bool CountedLoops = true;
+};
+
+/// One generated program, decomposed for minimization and replay.
+struct GeneratedProgram {
+  uint64_t Seed = 0;
+  /// Global declarations (arrays, scalars, secret data).
+  std::string Decls;
+  /// Top-level statements of main's body, each a complete (possibly
+  /// multi-line) chunk. The minimizer removes chunks wholesale.
+  std::vector<std::string> Stmts;
+  /// Names of the memory scalars the oracle randomizes as program inputs.
+  std::vector<std::string> InputScalars;
+  /// Names and element counts of the char arrays (inputs too).
+  std::vector<std::pair<std::string, unsigned>> Arrays;
+
+  /// Assembles the full translation unit.
+  std::string source() const;
+};
+
+/// The seeded generator. One instance produces one program; campaigns make
+/// a fresh instance per (campaign seed + program index) so program i is
+/// independent of how many programs ran before it on this worker.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed, ProgramGenOptions Options = {});
+
+  GeneratedProgram generate();
+
+private:
+  std::string randomExpr(unsigned Depth);
+  std::string randomCond();
+  std::string randomIndex(const std::pair<std::string, unsigned> &Array);
+  void emitStmt(std::vector<std::string> &Out, unsigned Depth,
+                std::string Indent);
+  std::string stmtBlock(unsigned Count, unsigned Depth, std::string Indent);
+
+  uint64_t Seed;
+  ProgramGenOptions Options;
+  Rng R;
+  GeneratedProgram P;
+  unsigned LoopId = 0;
+  /// Scalars currently serving as a while-loop bound; stores to them inside
+  /// the loop body are forbidden so every generated loop provably
+  /// terminates.
+  std::vector<std::string> LoopBoundScalars;
+};
+
+} // namespace specai
+
+#endif // SPECAI_FUZZ_PROGRAMGEN_H

@@ -1,0 +1,534 @@
+//===- SoundnessOracle.cpp ------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/SoundnessOracle.h"
+
+#include "pipeline/BranchPredictor.h"
+#include "pipeline/SpeculativeCpu.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace specai;
+
+const char *specai::violationKindName(ViolationKind K) {
+  switch (K) {
+  case ViolationKind::CompileError:
+    return "compile-error";
+  case ViolationKind::AnalysisDiverged:
+    return "analysis-diverged";
+  case ViolationKind::RunStuck:
+    return "run-stuck";
+  case ViolationKind::UnreachableReached:
+    return "unreachable-reached";
+  case ViolationKind::MustStateNotContained:
+    return "must-state-not-contained";
+  case ViolationKind::MayStateUnderApprox:
+    return "may-state-under-approx";
+  case ViolationKind::MustHitMissed:
+    return "must-hit-missed";
+  case ViolationKind::MustMissHit:
+    return "must-miss-hit";
+  case ViolationKind::SpecStateMissing:
+    return "spec-state-missing";
+  case ViolationKind::SpecStateNotContained:
+    return "spec-state-not-contained";
+  case ViolationKind::SpecMissUnflagged:
+    return "spec-miss-unflagged";
+  case ViolationKind::ArchResultDiverged:
+    return "arch-result-diverged";
+  case ViolationKind::ArchTraceDiverged:
+    return "arch-trace-diverged";
+  }
+  return "?";
+}
+
+std::string Violation::str(const CompiledProgram &CP) const {
+  std::string Out = violationKindName(Kind);
+  if (Node != InvalidNode) {
+    Out += " at node " + std::to_string(Node) + " (" +
+           CP.P->Blocks[CP.G.blockOf(Node)].Name + "[" +
+           std::to_string(CP.G.instIndexOf(Node)) + "])";
+  }
+  Out += " under ";
+  Out += mergeStrategyName(Strategy);
+  Out += Bounding == BoundingMode::Fixed ? "/fixed" : "/dynamic";
+  if (!Detail.empty())
+    Out += ": " + Detail;
+  if (!Run.PredictorName.empty()) {
+    Out += " [predictor " + Run.PredictorName + "]";
+  } else {
+    Out += " [script ";
+    for (bool B : Run.Script)
+      Out += B ? 'T' : 'N';
+    Out += Run.Fallback ? "+T]" : "+N]";
+  }
+  return Out;
+}
+
+/// Everything the per-access validator needs from one (strategy, bounding)
+/// analysis run, precomputed once per program.
+struct SoundnessOracle::ReportCtx {
+  MergeStrategy Strategy;
+  BoundingMode Bounding;
+  MustHitReport R;
+  /// Per node: Normal ⊔ PostRollback, the paper's observable state.
+  std::vector<CacheAbsState> Obs;
+  /// Depth bound the analysis assumed per site (b_miss, or b_hit under
+  /// dynamic bounding when the condition loads are must-hits).
+  std::vector<uint32_t> SiteDepth;
+};
+
+/// Committed access trace of a non-speculative reference run.
+struct SoundnessOracle::Reference {
+  std::vector<int64_t> ScalarValues;
+  std::vector<std::vector<int64_t>> ArrayValues;
+  int64_t RetVal = 0;
+  bool Completed = false;
+  std::vector<AccessEvent> Trace;
+};
+
+std::vector<uint32_t>
+SoundnessOracle::siteDepths(const CompiledProgram &CP, const MustHitReport &R,
+                            const MustHitOptions &O) {
+  std::vector<uint32_t> Depths(CP.Plan.siteCount(), O.DepthMiss);
+  if (O.Bounding != BoundingMode::Dynamic)
+    return Depths;
+  // Mirrors the engine's SiteDepth: the final fixpoint's classification
+  // decides the bound; the envelope joined the maximum over iterations, so
+  // this is always <= what the analysis actually covered.
+  for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
+    const SpecSite &S = CP.Plan.sites()[Site];
+    bool AllHit = !S.CondLoads.empty();
+    for (NodeId Load : S.CondLoads)
+      if (!R.MustHit[Load]) {
+        AllHit = false;
+        break;
+      }
+    if (AllHit)
+      Depths[Site] = O.DepthHit;
+  }
+  return Depths;
+}
+
+SoundnessOracle::SoundnessOracle(
+    const CompiledProgram &CP, std::vector<std::string> InputScalars,
+    std::vector<std::pair<std::string, unsigned>> InputArrays,
+    SoundnessOracleOptions Options)
+    : CP(CP), InputScalars(std::move(InputScalars)),
+      InputArrays(std::move(InputArrays)), Options(std::move(Options)) {
+  for (MergeStrategy S : this->Options.Strategies) {
+    for (BoundingMode B : this->Options.Boundings) {
+      MustHitOptions O;
+      O.Cache = this->Options.Cache;
+      O.Speculative = true;
+      O.UseShadow = this->Options.UseShadow;
+      O.Strategy = S;
+      O.DepthMiss = this->Options.DepthMiss;
+      O.DepthHit = this->Options.DepthHit;
+      O.Bounding = B;
+      O.Fault = this->Options.Fault;
+
+      ReportCtx Ctx;
+      Ctx.Strategy = S;
+      Ctx.Bounding = B;
+      Ctx.R = runMustHitAnalysis(CP, O);
+      Ctx.SiteDepth = siteDepths(CP, Ctx.R, O);
+      Ctx.Obs.reserve(CP.G.size());
+      for (NodeId N = 0; N != CP.G.size(); ++N) {
+        CacheAbsState Obs = Ctx.R.States.Normal[N];
+        Obs.joinInto(Ctx.R.States.PostRollback[N], this->Options.UseShadow);
+        Ctx.Obs.push_back(std::move(Obs));
+      }
+      Reports.push_back(std::move(Ctx));
+    }
+  }
+
+  MinSiteDepths.assign(CP.Plan.siteCount(), this->Options.DepthMiss);
+  for (const ReportCtx &RC : Reports)
+    for (size_t Site = 0; Site != MinSiteDepths.size(); ++Site)
+      MinSiteDepths[Site] = std::min(MinSiteDepths[Site], RC.SiteDepth[Site]);
+  for (const ReportCtx &RC : Reports)
+    if (std::find(FullWindowMaps.begin(), FullWindowMaps.end(),
+                  RC.SiteDepth) == FullWindowMaps.end())
+      FullWindowMaps.push_back(RC.SiteDepth);
+}
+
+SoundnessOracle::~SoundnessOracle() = default;
+
+const SoundnessOracle::Reference &
+SoundnessOracle::referenceFor(const RunSpec &Spec) {
+  for (const Reference &Ref : References)
+    if (Ref.ScalarValues == Spec.ScalarValues &&
+        Ref.ArrayValues == Spec.ArrayValues)
+      return Ref;
+
+  Reference Ref;
+  Ref.ScalarValues = Spec.ScalarValues;
+  Ref.ArrayValues = Spec.ArrayValues;
+  MemoryModel MM(*CP.P, Options.Cache);
+  StaticPredictor P(false);
+  SpeculativeCpu Cpu(*CP.P, MM, P, TimingModel{}, /*EnableSpeculation=*/false);
+  for (size_t I = 0; I != InputScalars.size(); ++I)
+    Cpu.machine().setMemory(CP.P->findVar(InputScalars[I]), 0,
+                            Spec.ScalarValues[I]);
+  for (size_t I = 0; I != InputArrays.size(); ++I)
+    Cpu.machine().setMemoryAll(CP.P->findVar(InputArrays[I].first),
+                               Spec.ArrayValues[I]);
+  CpuRunStats Stats = Cpu.run(Options.MaxSteps);
+  Ref.Completed = Stats.Completed;
+  Ref.RetVal = Stats.ReturnValue;
+  for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace())
+    Ref.Trace.push_back(A.Access);
+  References.push_back(std::move(Ref));
+  return References.back();
+}
+
+namespace {
+
+bool sameAccess(const AccessEvent &A, const AccessEvent &B) {
+  return A.Var == B.Var && A.Element == B.Element && A.IsLoad == B.IsLoad &&
+         A.Block == B.Block && A.InstIndex == B.InstIndex;
+}
+
+} // namespace
+
+std::optional<Violation>
+SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
+                             size_t *DecisionsUsed) {
+  if (DecisionsUsed)
+    *DecisionsUsed = 0;
+  // Reports whose speculation envelope covers this scenario's windows: a
+  // concrete window never longer than the depth the analysis assumed for
+  // the site. (Shorter is fine — the engine models a rollback after every
+  // prefix of the window.)
+  std::vector<const ReportCtx *> Compat;
+  for (const ReportCtx &RC : Reports) {
+    bool Ok = true;
+    for (size_t Site = 0; Site != Spec.SiteWindows.size(); ++Site)
+      if (Spec.SiteWindows[Site] > RC.SiteDepth[Site]) {
+        Ok = false;
+        break;
+      }
+    if (Ok)
+      Compat.push_back(&RC);
+  }
+  if (Compat.empty())
+    return std::nullopt;
+
+  MemoryModel MM(*CP.P, Options.Cache);
+  const uint32_t Assoc = Options.Cache.Associativity;
+  const uint32_t NumSets = Options.Cache.numSets();
+
+  std::unique_ptr<BranchPredictor> Zoo;
+  std::unique_ptr<ScriptedPredictor> Scripted;
+  BranchPredictor *Predictor = nullptr;
+  if (!Spec.PredictorName.empty()) {
+    for (auto &P : makeStandardPredictors())
+      if (P->name() == Spec.PredictorName)
+        Zoo = std::move(P);
+    if (!Zoo)
+      return std::nullopt; // Unknown predictor name; nothing to check.
+    Predictor = Zoo.get();
+  } else {
+    Scripted = std::make_unique<ScriptedPredictor>(Spec.Script, Spec.Fallback);
+    Predictor = Scripted.get();
+  }
+
+  SpeculativeCpu Cpu(*CP.P, MM, *Predictor, TimingModel{},
+                     /*EnableSpeculation=*/true);
+  Cpu.setWindows({Options.DepthMiss, Options.DepthMiss});
+
+  // Pin every branch's window: plan sites get exactly the scenario's
+  // window (and stop at their reconvergence point, the paper's
+  // virtual-control-flow model); branches the plan does not model get
+  // window 0.
+  for (NodeId N = 0; N != CP.G.size(); ++N)
+    if (CP.G.inst(N).Op == Opcode::Br)
+      Cpu.setWindowOverride(CP.G.blockOf(N), CP.G.instIndexOf(N), 0);
+  for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
+    const SpecSite &S = CP.Plan.sites()[Site];
+    uint32_t W = Site < Spec.SiteWindows.size() ? Spec.SiteWindows[Site] : 0;
+    Cpu.setWindowOverride(CP.G.blockOf(S.Branch), CP.G.instIndexOf(S.Branch),
+                          W);
+    if (S.Ipdom != InvalidNode)
+      Cpu.setSpeculationStop(CP.G.blockOf(S.Branch),
+                             CP.G.instIndexOf(S.Branch),
+                             CP.G.blockOf(S.Ipdom));
+  }
+
+  for (size_t I = 0; I != InputScalars.size(); ++I)
+    Cpu.machine().setMemory(CP.P->findVar(InputScalars[I]), 0,
+                            Spec.ScalarValues[I]);
+  for (size_t I = 0; I != InputArrays.size(); ++I)
+    Cpu.machine().setMemoryAll(CP.P->findVar(InputArrays[I].first),
+                               Spec.ArrayValues[I]);
+
+  std::optional<Violation> Found;
+  auto Report = [&](ViolationKind Kind, const ReportCtx *RC, NodeId Node,
+                    std::string Detail) {
+    if (Found)
+      return;
+    Violation V;
+    V.Kind = Kind;
+    if (RC) {
+      V.Strategy = RC->Strategy;
+      V.Bounding = RC->Bounding;
+    }
+    V.Node = Node;
+    V.Detail = std::move(Detail);
+    V.Run = Spec;
+    Found = std::move(V);
+  };
+
+  Cpu.setAccessHook([&](const AccessEvent &E, bool Speculative,
+                        const LruCache &Cache) {
+    if (Found)
+      return;
+    NodeId N = CP.G.nodeAt(E.Block, E.InstIndex);
+    BlockAddr Touched = MM.blockOf(E.Var, E.Element);
+    bool WillHit = Cache.contains(Touched);
+
+    auto CheckMust = [&](const CacheAbsState &S, const ReportCtx *RC,
+                         ViolationKind Kind) {
+      for (const AgedBlock &Entry : S.mustEntries()) {
+        if (MM.isSymbolic(Entry.Block))
+          continue; // Symbolic instances have no single concrete line.
+        uint32_t Age = Cache.ageOf(Entry.Block);
+        if (Age == 0 || Age > Entry.Age) {
+          Report(Kind, RC, N,
+                 "MUST entry " + MM.blockName(Entry.Block) + " age<=" +
+                     std::to_string(Entry.Age) + " but concrete age " +
+                     (Age == 0 ? std::string("absent")
+                               : std::to_string(Age)));
+          return;
+        }
+      }
+    };
+
+    for (const ReportCtx *RC : Compat) {
+      if (Found)
+        return;
+      if (!Speculative) {
+        ++Stats.CommittedChecks;
+        const CacheAbsState &Obs = RC->Obs[N];
+        if (Obs.isBottom()) {
+          Report(ViolationKind::UnreachableReached, RC, N,
+                 "committed access at a node the analysis deems "
+                 "architecturally unreachable");
+          return;
+        }
+        CheckMust(Obs, RC, ViolationKind::MustStateNotContained);
+        if (Found)
+          return;
+        if (Options.UseShadow) {
+          for (uint32_t Set = 0; Set != NumSets && !Found; ++Set) {
+            for (BlockAddr B : Cache.setContents(Set)) {
+              if (Obs.mayAge(B, Assoc) > Cache.ageOf(B)) {
+                Report(ViolationKind::MayStateUnderApprox, RC, N,
+                       "resident block " + MM.blockName(B) +
+                           " (concrete age " +
+                           std::to_string(Cache.ageOf(B)) +
+                           ") not admitted by the MAY state");
+                break;
+              }
+            }
+          }
+          if (Found)
+            return;
+        }
+        CacheDomain::AccessClass Class = RC->R.Classes[N];
+        if (Class == CacheDomain::AccessClass::MustHit && !WillHit) {
+          Report(ViolationKind::MustHitMissed, RC, N,
+                 "MustHit access to " + MM.blockName(Touched) +
+                     " missed concretely");
+          return;
+        }
+        if (Class == CacheDomain::AccessClass::MustMiss && WillHit) {
+          Report(ViolationKind::MustMissHit, RC, N,
+                 "MustMiss access to " + MM.blockName(Touched) +
+                     " hit concretely");
+          return;
+        }
+      } else {
+        ++Stats.SpeculativeChecks;
+        const CacheAbsState &Spec_ = RC->R.States.Speculative[N];
+        if (Spec_.isBottom()) {
+          Report(ViolationKind::SpecStateMissing, RC, N,
+                 "speculative access at a node with bottom speculative "
+                 "state");
+          return;
+        }
+        CheckMust(Spec_, RC, ViolationKind::SpecStateNotContained);
+        if (Found)
+          return;
+        if (E.IsLoad && !WillHit && !RC->R.SpecPossibleMiss[N]) {
+          // Spec non-bottom and not flagged means the analysis claims
+          // every speculative execution of this node hits.
+          Report(ViolationKind::SpecMissUnflagged, RC, N,
+                 "speculative load of " + MM.blockName(Touched) +
+                     " missed but the node is not flagged "
+                     "SpecPossibleMiss");
+          return;
+        }
+      }
+    }
+  });
+
+  CpuRunStats RunStats = Cpu.run(Options.MaxSteps);
+  ++Stats.ConcreteRuns;
+  Stats.SpeculativeWindows += RunStats.Mispredicts;
+  if (DecisionsUsed && Scripted)
+    *DecisionsUsed = Scripted->decisionsUsed();
+  if (Found)
+    return Found;
+
+  if (!RunStats.Completed) {
+    Report(ViolationKind::RunStuck, nullptr, InvalidNode,
+           "concrete run exceeded " + std::to_string(Options.MaxSteps) +
+               " committed instructions");
+    return Found;
+  }
+
+  // Architectural transparency: speculation must not change the committed
+  // behavior (Figure 3's left and right traces commit identically).
+  const Reference &Ref = referenceFor(Spec);
+  if (!Ref.Completed) {
+    Report(ViolationKind::RunStuck, nullptr, InvalidNode,
+           "reference run exceeded the step budget");
+    return Found;
+  }
+  if (RunStats.ReturnValue != Ref.RetVal) {
+    Report(ViolationKind::ArchResultDiverged, nullptr, InvalidNode,
+           "speculative return value " +
+               std::to_string(RunStats.ReturnValue) + " != reference " +
+               std::to_string(Ref.RetVal));
+    return Found;
+  }
+  const auto &Trace = Cpu.committedTrace();
+  bool TraceSame = Trace.size() == Ref.Trace.size();
+  for (size_t I = 0; TraceSame && I != Trace.size(); ++I)
+    TraceSame = sameAccess(Trace[I].Access, Ref.Trace[I]);
+  if (!TraceSame)
+    Report(ViolationKind::ArchTraceDiverged, nullptr, InvalidNode,
+           "committed access traces differ (speculative run: " +
+               std::to_string(Trace.size()) + " accesses, reference: " +
+               std::to_string(Ref.Trace.size()) + ")");
+  return Found;
+}
+
+std::optional<Violation> SoundnessOracle::checkRun(const RunSpec &Spec) {
+  OracleStats Stats;
+  return runScenario(Spec, Stats);
+}
+
+OracleResult SoundnessOracle::run(uint64_t Seed) {
+  OracleResult Result;
+  Result.Stats.Analyses = Reports.size();
+
+  for (const ReportCtx &RC : Reports) {
+    if (!RC.R.Converged) {
+      Violation V;
+      V.Kind = ViolationKind::AnalysisDiverged;
+      V.Strategy = RC.Strategy;
+      V.Bounding = RC.Bounding;
+      V.Detail = "fixpoint did not converge";
+      Result.Violations.push_back(std::move(V));
+      return Result;
+    }
+  }
+
+  Rng R(Seed * 0x2545F4914F6CDD1DULL + 0xDEADBEEF);
+  const size_t Sites = CP.Plan.siteCount();
+
+  for (unsigned Round = 0; Round != Options.InputRounds; ++Round) {
+    RunSpec Base;
+    for (size_t I = 0; I != InputScalars.size(); ++I)
+      Base.ScalarValues.push_back(R.nextRange(-30, 30));
+    for (const auto &[Name, Elems] : InputArrays) {
+      std::vector<int64_t> Values;
+      Values.reserve(Elems);
+      for (unsigned E = 0; E != Elems; ++E)
+        Values.push_back(R.nextRange(0, 127));
+      Base.ArrayValues.push_back(std::move(Values));
+    }
+
+    // Window assignments: every distinct full-depth map the reports
+    // assumed, plus sampled shrunken maps (rollback mid-window).
+    std::vector<std::vector<uint32_t>> Maps = FullWindowMaps;
+    if (Maps.empty())
+      Maps.push_back(std::vector<uint32_t>(Sites, Options.DepthMiss));
+    for (unsigned S = 0; S != Options.ShrunkenWindowRounds; ++S) {
+      std::vector<uint32_t> Map(Sites, 0);
+      for (size_t Site = 0; Site != Sites; ++Site)
+        Map[Site] = static_cast<uint32_t>(
+            R.nextBelow(MinSiteDepths.empty() ? 1
+                                              : MinSiteDepths[Site] + 1));
+      Maps.push_back(std::move(Map));
+    }
+
+    for (const std::vector<uint32_t> &Map : Maps) {
+      RunSpec Spec = Base;
+      Spec.SiteWindows = Map;
+
+      // Exhaustive DFS over prediction-decision prefixes. A run that used
+      // more decisions than its script is extended one bit both ways; one
+      // that did not is a leaf (longer scripts replay identically).
+      std::deque<std::vector<bool>> Work;
+      Work.push_back({});
+      while (!Work.empty()) {
+        Spec.Script = std::move(Work.front());
+        Work.pop_front();
+        Spec.Fallback = false;
+        Spec.PredictorName.clear();
+
+        size_t Used = 0;
+        if (std::optional<Violation> V =
+                runScenario(Spec, Result.Stats, &Used)) {
+          Result.Violations.push_back(std::move(*V));
+          return Result;
+        }
+        if (Used > Spec.Script.size() &&
+            Spec.Script.size() < Options.ExhaustiveBits) {
+          std::vector<bool> Child = Spec.Script;
+          Child.push_back(false);
+          Work.push_back(Child);
+          Child.back() = true;
+          Work.push_back(std::move(Child));
+        }
+      }
+
+      // Random longer scripts beyond the exhaustive prefix depth.
+      for (unsigned S = 0; S != Options.SampledScripts; ++S) {
+        Spec.Script.clear();
+        for (unsigned B = 0; B != Options.SampledScriptLength; ++B)
+          Spec.Script.push_back(R.chance(1, 2));
+        Spec.Fallback = R.chance(1, 2);
+        if (std::optional<Violation> V = runScenario(Spec, Result.Stats)) {
+          Result.Violations.push_back(std::move(*V));
+          return Result;
+        }
+      }
+    }
+
+    // The trained predictor zoo under the minimal (always-compatible)
+    // window map.
+    if (Options.UseStandardPredictors) {
+      RunSpec Spec = Base;
+      Spec.SiteWindows = MinSiteDepths;
+      for (auto &P : makeStandardPredictors()) {
+        Spec.PredictorName = P->name();
+        if (std::optional<Violation> V = runScenario(Spec, Result.Stats)) {
+          Result.Violations.push_back(std::move(*V));
+          return Result;
+        }
+      }
+    }
+  }
+  return Result;
+}

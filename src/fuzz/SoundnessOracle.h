@@ -1,0 +1,232 @@
+//===- SoundnessOracle.h - Differential soundness oracle --------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle behind `specai-fuzz`: checks that every cache
+/// state reachable by the *concrete* speculative CPU — under every sampled
+/// combination of branch-prediction decisions, program inputs, and
+/// rollback points — is over-approximated by the abstract engine's
+/// S/SS/PR states, for every merge strategy (Figure 6) and bounding mode
+/// (§6.2).
+///
+/// Per generated program the oracle:
+///
+///  1. runs the abstract analysis once per (strategy x bounding) pair and
+///     derives, per speculation site, the depth bound the analysis assumed
+///     (b_miss, or b_hit when the §6.2 dynamic bounding applies);
+///  2. drives `SpeculativeCpu` across an exhaustive DFS over
+///     branch-prediction decision prefixes (a `ScriptedPredictor` is the
+///     strongest adversarial "strategy" of the paper's §3.2), plus random
+///     longer scripts and the trained predictor zoo, over several input
+///     vectors and several speculation-window assignments (full-depth and
+///     shrunken, so rollback can land mid-window, mid-loop, or exactly at
+///     a load);
+///  3. at every concrete access, compares the pre-access concrete cache
+///     against the abstract input states of the corresponding node:
+///       - committed accesses against Normal ⊔ PostRollback (the paper's
+///         observable states): every non-symbolic MUST entry must be
+///         resident within its age bound, every concretely resident block
+///         must be admitted by the MAY (shadow) side, a MustHit
+///         classification must hit, and a MustMiss must miss;
+///       - in-window accesses against the joined speculative states: the
+///         node must have been speculatively reached by the analysis, its
+///         MUST entries must hold, and a concrete speculative load miss
+///         must be flagged SpecPossibleMiss;
+///  4. checks speculation is architecturally transparent: the committed
+///     access trace and return value must equal a non-speculative
+///     reference run's.
+///
+/// Windows are pinned per branch: each site's concrete window is exactly
+/// (or a sampled prefix of) the depth bound the analysis used for it, and
+/// branches the plan does not model (register-only conditions, which
+/// resolve before a speculative access can issue) get window 0 — the
+/// oracle validates the engine against the paper's machine model, not the
+/// b_hit/b_miss resolution-latency proxy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_FUZZ_SOUNDNESSORACLE_H
+#define SPECAI_FUZZ_SOUNDNESSORACLE_H
+
+#include "analysis/AnalysisPipeline.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace specai {
+
+/// Oracle configuration. The defaults trade per-program coverage against
+/// campaign throughput: a small cache (so evictions actually happen) and
+/// short windows (so depth exhaustion lands inside interesting code).
+struct SoundnessOracleOptions {
+  CacheConfig Cache = CacheConfig::fullyAssociative(8);
+  uint32_t DepthMiss = 24;
+  uint32_t DepthHit = 6;
+  std::vector<MergeStrategy> Strategies = {
+      MergeStrategy::NoMerge, MergeStrategy::MergeAtExit,
+      MergeStrategy::JustInTime, MergeStrategy::MergeAtRollback};
+  std::vector<BoundingMode> Boundings = {BoundingMode::Fixed,
+                                         BoundingMode::Dynamic};
+  bool UseShadow = true;
+  /// Exhaustive DFS over prediction-decision prefixes up to this length;
+  /// beyond it the script falls back to not-taken.
+  unsigned ExhaustiveBits = 5;
+  /// Additional random scripts per (input, window) round.
+  unsigned SampledScripts = 8;
+  unsigned SampledScriptLength = 48;
+  /// Random input vectors per program.
+  unsigned InputRounds = 2;
+  /// Extra rounds with per-site windows sampled in [0, bound] — rollback
+  /// points land mid-window instead of only at exhaustion.
+  unsigned ShrunkenWindowRounds = 1;
+  /// Also run the trained predictor zoo (bimodal/gshare/perceptron/...).
+  bool UseStandardPredictors = true;
+  uint64_t MaxSteps = 500000;
+  /// Deliberate engine fault to inject (fuzzer self-test only).
+  EngineFault Fault = EngineFault::None;
+};
+
+/// What went wrong, from most fundamental to most derived.
+enum class ViolationKind : uint8_t {
+  CompileError,         ///< The generator emitted a program the frontend
+                        ///< rejects (a generator bug; campaign-level).
+  AnalysisDiverged,     ///< A fixpoint failed to converge.
+  RunStuck,             ///< A concrete run exceeded MaxSteps.
+  UnreachableReached,   ///< Architecturally reached a node the analysis
+                        ///< deemed unreachable.
+  MustStateNotContained,///< A MUST entry (resident, age<=k) failed
+                        ///< concretely at a committed access.
+  MayStateUnderApprox,  ///< A concretely resident block is not admitted by
+                        ///< the MAY (shadow) state.
+  MustHitMissed,        ///< A MustHit-classified access missed.
+  MustMissHit,          ///< A MustMiss-classified access hit.
+  SpecStateMissing,     ///< Speculatively reached a node with bottom
+                        ///< speculative state.
+  SpecStateNotContained,///< A speculative-state MUST entry failed inside a
+                        ///< window.
+  SpecMissUnflagged,    ///< A concrete speculative load miss at a node not
+                        ///< flagged SpecPossibleMiss.
+  ArchResultDiverged,   ///< Speculation changed the architectural result.
+  ArchTraceDiverged,    ///< Speculation changed the committed access trace.
+};
+
+const char *violationKindName(ViolationKind K);
+
+/// One fully concrete scenario: enough to replay a run bit-for-bit.
+struct RunSpec {
+  /// Branch-prediction decisions (taken = true); not-taken beyond the end.
+  std::vector<bool> Script;
+  bool Fallback = false;
+  /// When set, use this standard predictor instead of the script.
+  std::string PredictorName;
+  /// Values of the input scalars (parallel to the oracle's InputScalars).
+  std::vector<int64_t> ScalarValues;
+  /// Initial contents of the input arrays (parallel to InputArrays).
+  std::vector<std::vector<int64_t>> ArrayValues;
+  /// Concrete speculation window per plan site.
+  std::vector<uint32_t> SiteWindows;
+};
+
+/// One soundness violation, pinned to the (strategy, bounding) report it
+/// contradicts and the scenario that exhibits it.
+struct Violation {
+  ViolationKind Kind = ViolationKind::AnalysisDiverged;
+  MergeStrategy Strategy = MergeStrategy::JustInTime;
+  BoundingMode Bounding = BoundingMode::Fixed;
+  NodeId Node = InvalidNode;
+  std::string Detail;
+  RunSpec Run;
+
+  /// Human-readable one-paragraph rendering ("<kind> at node N (bbX[i],
+  /// <inst>) under <strategy>/<bounding>: <detail>").
+  std::string str(const CompiledProgram &CP) const;
+};
+
+/// Coverage counters of one oracle invocation.
+struct OracleStats {
+  uint64_t Analyses = 0;
+  uint64_t ConcreteRuns = 0;
+  uint64_t SpeculativeWindows = 0;
+  uint64_t CommittedChecks = 0;
+  uint64_t SpeculativeChecks = 0;
+
+  OracleStats &operator+=(const OracleStats &RHS) {
+    Analyses += RHS.Analyses;
+    ConcreteRuns += RHS.ConcreteRuns;
+    SpeculativeWindows += RHS.SpeculativeWindows;
+    CommittedChecks += RHS.CommittedChecks;
+    SpeculativeChecks += RHS.SpeculativeChecks;
+    return *this;
+  }
+};
+
+/// Outcome of checking one program.
+struct OracleResult {
+  /// First violation found per concrete run (empty means sound). The
+  /// campaign keeps only the first per program and minimizes it.
+  std::vector<Violation> Violations;
+  OracleStats Stats;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// The oracle for one compiled program. The CompiledProgram must outlive
+/// the oracle.
+class SoundnessOracle {
+public:
+  SoundnessOracle(const CompiledProgram &CP,
+                  std::vector<std::string> InputScalars,
+                  std::vector<std::pair<std::string, unsigned>> InputArrays,
+                  SoundnessOracleOptions Options = {});
+  ~SoundnessOracle();
+
+  SoundnessOracle(const SoundnessOracle &) = delete;
+  SoundnessOracle &operator=(const SoundnessOracle &) = delete;
+
+  /// Runs the full scenario sweep, deterministically from \p Seed.
+  OracleResult run(uint64_t Seed);
+
+  /// Checks one concrete scenario against every compatible report; returns
+  /// the first violation. Used for counterexample replay and minimization.
+  std::optional<Violation> checkRun(const RunSpec &Spec);
+
+  const SoundnessOracleOptions &options() const { return Options; }
+
+private:
+  struct ReportCtx;
+
+  /// Per-site window bound the analysis assumed in report \p RC.
+  static std::vector<uint32_t> siteDepths(const CompiledProgram &CP,
+                                          const MustHitReport &R,
+                                          const MustHitOptions &O);
+
+  /// \p DecisionsUsed, when non-null, receives the number of predictor
+  /// decisions the run consumed (drives the exhaustive script DFS).
+  std::optional<Violation> runScenario(const RunSpec &Spec,
+                                       OracleStats &Stats,
+                                       size_t *DecisionsUsed = nullptr);
+  /// Reference (non-speculative) run for the transparency check; memoized
+  /// per input vector.
+  struct Reference;
+  const Reference &referenceFor(const RunSpec &Spec);
+
+  const CompiledProgram &CP;
+  std::vector<std::string> InputScalars;
+  std::vector<std::pair<std::string, unsigned>> InputArrays;
+  SoundnessOracleOptions Options;
+  std::vector<ReportCtx> Reports;
+  std::vector<Reference> References;
+  /// Minimal per-site windows compatible with every report.
+  std::vector<uint32_t> MinSiteDepths;
+  /// Per-report full-depth window vectors, deduplicated.
+  std::vector<std::vector<uint32_t>> FullWindowMaps;
+};
+
+} // namespace specai
+
+#endif // SPECAI_FUZZ_SOUNDNESSORACLE_H

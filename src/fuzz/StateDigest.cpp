@@ -1,0 +1,73 @@
+//===- StateDigest.cpp ----------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/StateDigest.h"
+
+using namespace specai;
+
+namespace {
+
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t mix(uint64_t H, uint64_t Value) {
+  // Hash the value byte-wise so ordering and width are pinned regardless
+  // of host endianness assumptions in future refactors.
+  for (unsigned I = 0; I != 8; ++I) {
+    H ^= (Value >> (I * 8)) & 0xFF;
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t mixState(uint64_t H, const CacheAbsState &S) {
+  if (S.isBottom())
+    return mix(H, 0xB0770B0770ULL);
+  H = mix(H, S.mustEntries().size());
+  for (const AgedBlock &E : S.mustEntries()) {
+    H = mix(H, E.Block);
+    H = mix(H, E.Age);
+  }
+  H = mix(H, S.mayEntries().size());
+  for (const AgedBlock &E : S.mayEntries()) {
+    H = mix(H, E.Block);
+    H = mix(H, E.Age);
+  }
+  return H;
+}
+
+} // namespace
+
+uint64_t specai::fnv1a(const std::string &Bytes, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t specai::digestMustHitReport(const CompiledProgram &CP,
+                                     const MustHitReport &R) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  size_t N = CP.G.size();
+  H = mix(H, N);
+  for (NodeId Node = 0; Node != N; ++Node) {
+    H = mix(H, Node);
+    H = mix(H, R.Reachable[Node] ? 1 : 0);
+    H = mix(H, R.MustHit[Node] ? 3 : 0);
+    H = mix(H, R.SpecPossibleMiss[Node] ? 5 : 0);
+    H = mix(H, static_cast<uint64_t>(R.Classes[Node]));
+    H = mixState(H, R.States.Normal[Node]);
+    H = mixState(H, R.States.PostRollback[Node]);
+    H = mixState(H, R.States.Speculative[Node]);
+  }
+  H = mix(H, R.AccessNodes);
+  H = mix(H, R.MissCount);
+  H = mix(H, R.SpMissCount);
+  H = mix(H, R.BranchCount);
+  return H;
+}

@@ -1,0 +1,38 @@
+//===- StateDigest.h - Canonical digests of analysis results ----*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable 64-bit digest over everything a MustHitReport asserts: per-node
+/// reachability, classification, and the full MUST/MAY contents of the
+/// Normal, PostRollback and Speculative states. The fuzz regression corpus
+/// pins digests of generated programs, so *any* drift — in the generator,
+/// the frontend, the engine, or the domain — fails deterministically in CI
+/// with a pointer to the seed that moved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_FUZZ_STATEDIGEST_H
+#define SPECAI_FUZZ_STATEDIGEST_H
+
+#include "analysis/AnalysisPipeline.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specai {
+
+/// FNV-1a over a canonical serialization of \p R's per-node results.
+uint64_t digestMustHitReport(const CompiledProgram &CP,
+                             const MustHitReport &R);
+
+/// FNV-1a over raw bytes; exposed so the regression corpus can also pin
+/// generated source text.
+uint64_t fnv1a(const std::string &Bytes, uint64_t Seed = 0xcbf29ce484222325ULL);
+
+} // namespace specai
+
+#endif // SPECAI_FUZZ_STATEDIGEST_H

@@ -104,6 +104,14 @@ void PerceptronPredictor::reset() {
   History = 0;
 }
 
+std::string ScriptedPredictor::name() const {
+  std::string N = "scripted:";
+  for (bool B : Script)
+    N += B ? 'T' : 'N';
+  N += Fallback ? "+T" : "+N";
+  return N;
+}
+
 std::vector<std::unique_ptr<BranchPredictor>>
 specai::makeStandardPredictors() {
   std::vector<std::unique_ptr<BranchPredictor>> Out;

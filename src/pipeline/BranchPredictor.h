@@ -108,6 +108,34 @@ private:
   std::vector<std::vector<int16_t>> Weights; // [table][history+1 (bias)]
 };
 
+/// Plays back a fixed decision sequence: the i-th predict() call returns
+/// the i-th script bit, and \p Fallback once the script is exhausted. The
+/// differential fuzzer enumerates scripts to cover every combination of
+/// branch-prediction outcomes — the paper's soundness claim quantifies over
+/// "the underlying strategies", and an adversarial script is the strongest
+/// strategy there is. update() is a no-op; reset() rewinds the script.
+class ScriptedPredictor : public BranchPredictor {
+public:
+  explicit ScriptedPredictor(std::vector<bool> Script, bool Fallback = false)
+      : Script(std::move(Script)), Fallback(Fallback) {}
+  bool predict(BranchPc) override {
+    ++Calls;
+    return Pos < Script.size() ? Script[Pos++] : Fallback;
+  }
+  void update(BranchPc, bool) override {}
+  void reset() override { Pos = Calls = 0; }
+  std::string name() const override;
+
+  /// predict() calls served so far (script plus fallback).
+  size_t decisionsUsed() const { return Calls; }
+
+private:
+  std::vector<bool> Script;
+  bool Fallback;
+  size_t Pos = 0;
+  size_t Calls = 0;
+};
+
 /// Factory for the standard predictor zoo used by tests and benches.
 std::vector<std::unique_ptr<BranchPredictor>> makeStandardPredictors();
 

@@ -56,6 +56,8 @@ void SpeculativeCpu::speculate(BlockId PredictedTarget, uint32_t Window,
     Machine::StepResult R = M.step();
     if (R.DidAccess) {
       ++Stats.SpecAccesses;
+      if (OnAccess)
+        OnAccess(R.Access, /*Speculative=*/true, Cache);
       bool Hit = true;
       if (R.Access.IsLoad) {
         // Speculative loads fill the cache; speculative stores stay in the
@@ -83,11 +85,18 @@ CpuRunStats SpeculativeCpu::run(uint64_t MaxSteps) {
     if (I.Op == Opcode::Br) {
       BranchPc Pc = (static_cast<uint64_t>(M.currentBlock()) << 20) |
                     M.currentInst();
-      bool Predicted = Predictor.predict(Pc);
       // The window is governed by how long the condition takes to resolve:
       // a recent miss means the data is still in flight (paper §6.2's
-      // b_miss), a hit resolves quickly (b_hit).
+      // b_miss), a hit resolves quickly (b_hit). A per-branch override
+      // pins the window regardless of the proxy; zero means this branch
+      // resolves before the front end can fetch past it, so the predictor
+      // is never consulted (its guess could not matter) and no
+      // misprediction is possible.
       uint32_t Window = LastLoadMissed ? Windows.OnMiss : Windows.OnHit;
+      if (auto OverrideIt = WindowOverrides.find(Pc);
+          OverrideIt != WindowOverrides.end())
+        Window = OverrideIt->second;
+      bool Predicted = Window > 0 ? Predictor.predict(Pc) : false;
 
       Machine::StepResult R = M.step();
       ++Stats.Instructions;
@@ -95,7 +104,7 @@ CpuRunStats SpeculativeCpu::run(uint64_t MaxSteps) {
       ++Stats.Branches;
       Predictor.update(Pc, R.BranchTaken);
 
-      if (EnableSpeculation && Predicted != R.BranchTaken) {
+      if (EnableSpeculation && Window > 0 && Predicted != R.BranchTaken) {
         ++Stats.Mispredicts;
         BlockId ActualBlock = M.currentBlock();
         uint32_t ActualInst = M.currentInst();
@@ -113,6 +122,8 @@ CpuRunStats SpeculativeCpu::run(uint64_t MaxSteps) {
     Machine::StepResult R = M.step();
     ++Stats.Instructions;
     if (R.DidAccess) {
+      if (OnAccess)
+        OnAccess(R.Access, /*Speculative=*/false, Cache);
       bool Hit = Cache.access(blockOf(R.Access));
       Stats.Cycles += Hit ? Timing.HitLatency : Timing.MissLatency;
       if (Hit)

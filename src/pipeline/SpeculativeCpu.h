@@ -39,6 +39,7 @@
 #include "memory/MemoryModel.h"
 #include "pipeline/BranchPredictor.h"
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -115,6 +116,33 @@ public:
                      BranchInst] = StopBlock;
   }
 
+  /// Overrides the speculation window of one specific branch, regardless of
+  /// the last load's hit/miss outcome. A zero window disables speculation at
+  /// that branch entirely: it resolves before the front end can fetch past
+  /// it, so the predictor is not even consulted there (no misprediction is
+  /// possible, and scripted predictors spend no decision on it). The
+  /// differential fuzzer uses this to pin every
+  /// branch's concrete window to exactly the depth bound the abstract
+  /// engine assumed for the corresponding site (and to 0 for branches the
+  /// speculation plan does not model, i.e. register-only conditions that
+  /// resolve before any speculative access can issue).
+  void setWindowOverride(BlockId BranchBlock, uint32_t BranchInst,
+                         uint32_t Window) {
+    WindowOverrides[(static_cast<uint64_t>(BranchBlock) << 20) |
+                    BranchInst] = Window;
+  }
+
+  /// Observation hook, called immediately *before* each memory access is
+  /// applied to the cache (i.e. with the access's input cache state), for
+  /// both committed and speculative accesses. Speculative stores never
+  /// reach the cache but are still reported. The soundness oracle uses this
+  /// to compare per-access concrete cache states against the abstract
+  /// engine's per-node input states.
+  using AccessHook =
+      std::function<void(const AccessEvent &E, bool Speculative,
+                         const LruCache &PreAccessCache)>;
+  void setAccessHook(AccessHook Hook) { OnAccess = std::move(Hook); }
+
   /// Runs to completion (or \p MaxSteps committed instructions).
   CpuRunStats run(uint64_t MaxSteps = 10'000'000);
 
@@ -150,6 +178,8 @@ private:
   std::vector<CommittedAccess> Trace;
   std::vector<CommittedAccess> SpecTrace;
   std::unordered_map<uint64_t, BlockId> SpeculationStops;
+  std::unordered_map<uint64_t, uint32_t> WindowOverrides;
+  AccessHook OnAccess;
   bool LastLoadMissed = false;
 };
 

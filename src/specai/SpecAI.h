@@ -36,6 +36,10 @@
 #include "domain/CacheState.h"
 #include "domain/IntervalDomain.h"
 #include "driver/BatchRunner.h"
+#include "fuzz/FuzzCampaign.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/SoundnessOracle.h"
+#include "fuzz/StateDigest.h"
 #include "ir/Interp.h"
 #include "ir/Ir.h"
 #include "ir/Lowering.h"

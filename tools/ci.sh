@@ -10,3 +10,10 @@ JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 cmake -B "$BUILD" -S "$REPO" -DSPECAI_WERROR=ON
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+# Bounded differential-fuzzing smoke: a fixed-seed campaign (~30 s) that
+# fails on any containment violation of the speculative analysis. The
+# deeper proof that the oracle can catch a broken engine runs as the
+# specai_fuzz_selftest CTest case above.
+"$BUILD/tools/specai-fuzz" --seed 1 --programs 25 --jobs "$JOBS" \
+  --ce-dir "$BUILD"

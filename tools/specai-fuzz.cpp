@@ -1,0 +1,430 @@
+//===- specai-fuzz.cpp - Differential soundness fuzzing driver ------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command line driver for differential soundness fuzzing:
+///
+///   specai-fuzz [options]            run a campaign
+///   specai-fuzz --selftest           prove the oracle catches a broken
+///                                    engine (also a CTest case)
+///   specai-fuzz --replay FILE.mc     re-check a recorded counterexample
+///
+///   --seed N            base seed (default 1); program i uses seed N+i
+///   --programs N        programs per campaign (default 100)
+///   --jobs N            worker threads (default: all cores). Campaign
+///                       summaries are identical for any --jobs value.
+///   --lines N           cache lines of the oracle geometry (default 8)
+///   --assoc N           associativity (default: fully associative)
+///   --depth-miss N      b_miss window (default 24)
+///   --depth-hit N       b_hit window (default 6)
+///   --exhaustive-bits N exhaustive prediction-script DFS depth (default 5)
+///   --input-rounds N    input vectors per program (default 2)
+///   --no-shadow         disable the MAY (shadow) refinement + its checks
+///   --no-minimize       keep counterexamples unminimized
+///   --ce-dir DIR        where to write counterexample .mc files (default .)
+///   --json              print the campaign summary as JSON
+///   --inject-fault K    deliberately break the engine: skip-spec-seed |
+///                       skip-rollback (self-test aid)
+///
+/// Exit code: 0 sound, 1 usage/compile error, 2 violations found (so CI
+/// can gate on it).
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace specai;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: specai-fuzz [--seed N] [--programs N] [--jobs N] [--lines N]\n"
+      "       [--assoc N] [--depth-miss N] [--depth-hit N]\n"
+      "       [--exhaustive-bits N] [--input-rounds N] [--no-shadow]\n"
+      "       [--no-minimize] [--ce-dir DIR] [--json]\n"
+      "       [--inject-fault skip-spec-seed|skip-rollback]\n"
+      "       [--selftest] [--replay FILE.mc]\n");
+}
+
+unsigned parseNum(const char *Arg, const char *Value) {
+  std::optional<unsigned> N = parseUnsigned(Value);
+  if (!N) {
+    std::printf("error: %s needs a non-negative number, got '%s'\n", Arg,
+                Value);
+    std::exit(1);
+  }
+  return *N;
+}
+
+std::string campaignJson(const FuzzCampaignStats &S) {
+  double PerSec = S.Seconds > 0 ? S.Programs / S.Seconds : 0;
+  std::string Out = "{";
+  auto Field = [&](const char *Key, const std::string &Value, bool Last) {
+    Out += "\"";
+    Out += Key;
+    Out += "\": ";
+    Out += Value;
+    Out += Last ? "" : ", ";
+  };
+  Field("programs", std::to_string(S.Programs), false);
+  Field("compile_failures", std::to_string(S.CompileFailures), false);
+  Field("analyses", std::to_string(S.Oracle.Analyses), false);
+  Field("concrete_runs", std::to_string(S.Oracle.ConcreteRuns), false);
+  Field("speculative_windows",
+        std::to_string(S.Oracle.SpeculativeWindows), false);
+  Field("committed_checks", std::to_string(S.Oracle.CommittedChecks), false);
+  Field("speculative_checks", std::to_string(S.Oracle.SpeculativeChecks),
+        false);
+  Field("violation_programs", std::to_string(S.ViolationPrograms), false);
+  Field("seconds", formatDouble(S.Seconds, 3), false);
+  Field("programs_per_sec", formatDouble(PerSec, 1), true);
+  Out += "}";
+  return Out;
+}
+
+/// Writes every counterexample to CeDir and prints a triage summary.
+void reportCounterexamples(const FuzzCampaignResult &R,
+                           const SoundnessOracleOptions &Oracle,
+                           const std::string &CeDir) {
+  for (const Counterexample &CE : R.Counterexamples) {
+    std::string Path = CeDir + "/fuzz-ce-seed" +
+                       std::to_string(CE.ProgramSeed) + ".mc";
+    std::printf("counterexample (seed %llu, %zu -> %zu stmts): %s\n",
+                static_cast<unsigned long long>(CE.ProgramSeed),
+                CE.StmtsBefore, CE.StmtsAfter, CE.Pretty.c_str());
+    std::ofstream Out(Path);
+    Out << CE.replayFile(Oracle);
+    Out.flush();
+    if (Out.good()) {
+      std::printf("  written to %s\n", Path.c_str());
+    } else {
+      // Losing the replayable artifact silently would defeat the whole
+      // minimization pipeline; dump it to stdout instead.
+      std::printf("  error: cannot write %s; counterexample follows:\n%s\n",
+                  Path.c_str(), CE.replayFile(Oracle).c_str());
+    }
+  }
+}
+
+/// One self-test campaign into \p ResultOut.
+void selftestCampaign(EngineFault Fault, unsigned Programs,
+                      FuzzCampaignResult &ResultOut) {
+  FuzzCampaignOptions O;
+  O.Seed = 1;
+  O.Programs = Programs;
+  O.Jobs = 0;
+  O.Oracle.Fault = Fault;
+  // Trim per-program effort: the self-test proves detection, not coverage.
+  O.Oracle.ExhaustiveBits = 4;
+  O.Oracle.SampledScripts = 4;
+  O.Oracle.InputRounds = 1;
+  ResultOut = runFuzzCampaign(O);
+}
+
+int selftest() {
+  int Failures = 0;
+
+  FuzzCampaignResult Healthy;
+  selftestCampaign(EngineFault::None, 8, Healthy);
+  if (Healthy.ok()) {
+    std::printf("selftest: healthy engine, 8 programs ... ok\n");
+  } else {
+    std::printf("selftest: healthy engine FAILED: %llu violating programs\n",
+                static_cast<unsigned long long>(
+                    Healthy.Stats.ViolationPrograms));
+    reportCounterexamples(Healthy, SoundnessOracleOptions{}, ".");
+    ++Failures;
+  }
+
+  FuzzCampaignResult Broken;
+  selftestCampaign(EngineFault::SkipSpecSeed, 8, Broken);
+  if (!Broken.ok()) {
+    const Counterexample &CE = Broken.Counterexamples.front();
+    // Generated programs have >= 4 statements and the injected fault makes
+    // every speculative access a violation, so a working minimizer must
+    // strictly shrink; <= would be vacuous.
+    bool Minimized =
+        CE.StmtsAfter < CE.StmtsBefore || CE.StmtsBefore <= 1;
+    bool Replayable = !CE.replayFile(SoundnessOracleOptions{}).empty();
+    std::printf("selftest: skip-spec-seed fault caught (%llu programs, "
+                "first: %s) ... %s\n",
+                static_cast<unsigned long long>(
+                    Broken.Stats.ViolationPrograms),
+                CE.Pretty.c_str(),
+                Minimized && Replayable ? "ok" : "FAILED");
+    if (!Minimized || !Replayable)
+      ++Failures;
+  } else {
+    std::printf(
+        "selftest: skip-spec-seed fault NOT caught ... FAILED\n");
+    ++Failures;
+  }
+
+  FuzzCampaignResult NoRollback;
+  selftestCampaign(EngineFault::SkipRollback, 24, NoRollback);
+  if (!NoRollback.ok()) {
+    std::printf("selftest: skip-rollback fault caught (%llu programs) "
+                "... ok\n",
+                static_cast<unsigned long long>(
+                    NoRollback.Stats.ViolationPrograms));
+  } else {
+    std::printf("selftest: skip-rollback fault NOT caught ... FAILED\n");
+    ++Failures;
+  }
+
+  std::printf("selftest: %s\n", Failures == 0 ? "PASS" : "FAIL");
+  return Failures == 0 ? 0 : 1;
+}
+
+/// Parses one "// replay-key: value" header line; returns true and fills
+/// Key/Value on match.
+bool parseReplayLine(const std::string &Line, std::string &Key,
+                     std::string &Value) {
+  const std::string Prefix = "// replay-";
+  if (Line.rfind(Prefix, 0) != 0)
+    return false;
+  size_t Colon = Line.find(':', Prefix.size());
+  if (Colon == std::string::npos)
+    return false;
+  Key = Line.substr(Prefix.size(), Colon - Prefix.size());
+  Value = Line.substr(Colon + 1);
+  while (!Value.empty() && Value.front() == ' ')
+    Value.erase(Value.begin());
+  return true;
+}
+
+int replay(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::printf("error: cannot read '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  SoundnessOracleOptions Opts;
+  RunSpec Spec;
+  std::vector<std::string> Scalars;
+  std::vector<std::pair<std::string, unsigned>> Arrays;
+  MergeStrategy Strategy = MergeStrategy::JustInTime;
+  BoundingMode Bounding = BoundingMode::Fixed;
+
+  std::istringstream Lines(Text);
+  std::string Line, Key, Value;
+  while (std::getline(Lines, Line)) {
+    if (!parseReplayLine(Line, Key, Value))
+      continue;
+    std::istringstream V(Value);
+    if (Key == "strategy") {
+      if (Value == "no-merge")
+        Strategy = MergeStrategy::NoMerge;
+      else if (Value == "merge-at-exit")
+        Strategy = MergeStrategy::MergeAtExit;
+      else if (Value == "just-in-time")
+        Strategy = MergeStrategy::JustInTime;
+      else if (Value == "merge-at-rollback")
+        Strategy = MergeStrategy::MergeAtRollback;
+    } else if (Key == "bounding") {
+      Bounding = Value == "dynamic" ? BoundingMode::Dynamic
+                                    : BoundingMode::Fixed;
+    } else if (Key == "cache") {
+      unsigned L = 8, A = 0, B = 64;
+      std::sscanf(Value.c_str(), "lines=%u,assoc=%u,linesize=%u", &L, &A,
+                  &B);
+      Opts.Cache = CacheConfig{B, L, A == 0 ? L : A};
+    } else if (Key == "depths") {
+      unsigned Miss = 24, Hit = 6;
+      std::sscanf(Value.c_str(), "miss=%u,hit=%u", &Miss, &Hit);
+      Opts.DepthMiss = Miss;
+      Opts.DepthHit = Hit;
+    } else if (Key == "shadow") {
+      Opts.UseShadow = Value == "on";
+    } else if (Key == "fault") {
+      // The counterexample came from a fault-injected (self-test) run;
+      // replay against the same deliberately broken engine.
+      if (Value == "skip-spec-seed")
+        Opts.Fault = EngineFault::SkipSpecSeed;
+      else if (Value == "skip-rollback")
+        Opts.Fault = EngineFault::SkipRollback;
+    } else if (Key == "predictor") {
+      Spec.PredictorName = Value;
+    } else if (Key == "script") {
+      std::string Bits, Fallback;
+      V >> Bits >> Fallback;
+      for (char C : Bits)
+        if (C == 'T' || C == 'N') // "-" marks an empty script.
+          Spec.Script.push_back(C == 'T');
+      Spec.Fallback = Fallback == "fallback=T";
+    } else if (Key == "scalars") {
+      std::string Pair;
+      while (V >> Pair) {
+        size_t Eq = Pair.find('=');
+        if (Eq == std::string::npos)
+          continue;
+        Scalars.push_back(Pair.substr(0, Eq));
+        Spec.ScalarValues.push_back(std::atoll(Pair.c_str() + Eq + 1));
+      }
+    } else if (Key == "array") {
+      std::string Name;
+      V >> Name;
+      std::vector<int64_t> Values;
+      int64_t E;
+      while (V >> E)
+        Values.push_back(E);
+      Arrays.push_back({Name, static_cast<unsigned>(Values.size())});
+      Spec.ArrayValues.push_back(std::move(Values));
+    } else if (Key == "windows") {
+      uint32_t W;
+      while (V >> W)
+        Spec.SiteWindows.push_back(W);
+    }
+  }
+  Opts.Strategies = {Strategy};
+  Opts.Boundings = {Bounding};
+
+  // An unknown predictor name would make the oracle silently skip the run
+  // and a real counterexample would read as "did not reproduce" — fail
+  // loudly instead.
+  if (!Spec.PredictorName.empty()) {
+    bool Known = false;
+    for (auto &P : makeStandardPredictors())
+      Known |= P->name() == Spec.PredictorName;
+    if (!Known) {
+      std::printf("error: unknown replay-predictor '%s'\n",
+                  Spec.PredictorName.c_str());
+      return 1;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Text, Diags);
+  if (!CP) {
+    std::printf("error: counterexample does not compile:\n%s\n",
+                Diags.str().c_str());
+    return 1;
+  }
+
+  SoundnessOracle Oracle(*CP, Scalars, Arrays, Opts);
+  if (std::optional<Violation> V = Oracle.checkRun(Spec)) {
+    std::printf("reproduced: %s\n", V->str(*CP).c_str());
+    return 2;
+  }
+  std::printf("did not reproduce: the recorded scenario is clean under %s\n",
+              mergeStrategyName(Strategy));
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzCampaignOptions O;
+  std::string CeDir = ".";
+  std::string ReplayPath;
+  bool Json = false, SelfTest = false;
+  uint32_t Lines = 8, Assoc = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::printf("error: %s needs a value\n", Arg.c_str());
+        std::exit(1);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--seed") {
+      O.Seed = parseNum("--seed", Next());
+    } else if (Arg == "--programs") {
+      O.Programs = parseNum("--programs", Next());
+    } else if (Arg == "--jobs") {
+      O.Jobs = parseNum("--jobs", Next());
+    } else if (Arg == "--lines") {
+      Lines = parseNum("--lines", Next());
+    } else if (Arg == "--assoc") {
+      Assoc = parseNum("--assoc", Next());
+    } else if (Arg == "--depth-miss") {
+      O.Oracle.DepthMiss = parseNum("--depth-miss", Next());
+    } else if (Arg == "--depth-hit") {
+      O.Oracle.DepthHit = parseNum("--depth-hit", Next());
+    } else if (Arg == "--exhaustive-bits") {
+      O.Oracle.ExhaustiveBits = parseNum("--exhaustive-bits", Next());
+    } else if (Arg == "--input-rounds") {
+      O.Oracle.InputRounds = parseNum("--input-rounds", Next());
+    } else if (Arg == "--no-shadow") {
+      O.Oracle.UseShadow = false;
+    } else if (Arg == "--no-minimize") {
+      O.Minimize = false;
+    } else if (Arg == "--ce-dir") {
+      CeDir = Next();
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--inject-fault") {
+      std::string Kind = Next();
+      if (Kind == "skip-spec-seed")
+        O.Oracle.Fault = EngineFault::SkipSpecSeed;
+      else if (Kind == "skip-rollback")
+        O.Oracle.Fault = EngineFault::SkipRollback;
+      else {
+        std::printf("error: unknown fault '%s'\n", Kind.c_str());
+        return 1;
+      }
+    } else if (Arg == "--selftest") {
+      SelfTest = true;
+    } else if (Arg == "--replay") {
+      ReplayPath = Next();
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::printf("error: unknown argument '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  if (SelfTest)
+    return selftest();
+  if (!ReplayPath.empty())
+    return replay(ReplayPath);
+
+  O.Oracle.Cache = CacheConfig{64, Lines, Assoc == 0 ? Lines : Assoc};
+  if (!O.Oracle.Cache.isValid()) {
+    std::printf("error: invalid cache geometry (%u lines, %u-way)\n", Lines,
+                Assoc);
+    return 1;
+  }
+
+  FuzzCampaignResult R = runFuzzCampaign(O);
+  if (Json) {
+    std::printf("%s\n", campaignJson(R.Stats).c_str());
+  } else {
+    // parallelFor resolves 0 to the hardware concurrency; report what the
+    // campaign actually used so throughput figures stay attributable.
+    unsigned JobsUsed =
+        O.Jobs ? O.Jobs : std::max(1u, std::thread::hardware_concurrency());
+    std::printf("%s", R.Stats.summary().c_str());
+    std::printf("wall time:           %ss (%s programs/s, %u jobs)\n",
+                formatDouble(R.Stats.Seconds, 2).c_str(),
+                formatDouble(R.Stats.Seconds > 0
+                                 ? R.Stats.Programs / R.Stats.Seconds
+                                 : 0,
+                             1)
+                    .c_str(),
+                JobsUsed);
+  }
+  reportCounterexamples(R, O.Oracle, CeDir);
+  if (R.Stats.CompileFailures > 0)
+    return 1;
+  return R.ok() ? 0 : 2;
+}
