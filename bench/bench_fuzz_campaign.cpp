@@ -15,16 +15,73 @@
 /// Coverage counters are deterministic in (seed, programs) and must be
 /// identical whatever --jobs is; only the timing moves.
 ///
+/// `--json FILE` additionally writes the counters and timing as a JSON
+/// object — the CI perf smoke uploads it as an artifact so the
+/// BENCH_fuzz.json trajectory can be extended from CI runs.
+///
 //===----------------------------------------------------------------------===//
 
 #include "specai/SpecAI.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace specai;
 
+namespace {
+
+/// Writes the campaign summary as JSON; returns false on I/O failure.
+bool writeJson(const char *Path, const FuzzCampaignOptions &O,
+               const FuzzCampaignStats &S, double PerSec, unsigned Jobs) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(
+      F,
+      "{\n"
+      "  \"seed\": %llu,\n"
+      "  \"programs\": %llu,\n"
+      "  \"jobs\": %u,\n"
+      "  \"compile_failures\": %llu,\n"
+      "  \"analyses\": %llu,\n"
+      "  \"concrete_runs\": %llu,\n"
+      "  \"speculative_windows\": %llu,\n"
+      "  \"committed_checks\": %llu,\n"
+      "  \"speculative_checks\": %llu,\n"
+      "  \"violation_programs\": %llu,\n"
+      "  \"seconds\": %.3f,\n"
+      "  \"programs_per_sec\": %.2f\n"
+      "}\n",
+      static_cast<unsigned long long>(O.Seed),
+      static_cast<unsigned long long>(S.Programs), Jobs,
+      static_cast<unsigned long long>(S.CompileFailures),
+      static_cast<unsigned long long>(S.Oracle.Analyses),
+      static_cast<unsigned long long>(S.Oracle.ConcreteRuns),
+      static_cast<unsigned long long>(S.Oracle.SpeculativeWindows),
+      static_cast<unsigned long long>(S.Oracle.CommittedChecks),
+      static_cast<unsigned long long>(S.Oracle.SpeculativeChecks),
+      static_cast<unsigned long long>(S.ViolationPrograms), S.Seconds,
+      PerSec);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  unsigned Jobs = parseJobsFlag(Argc, Argv); // 0 = all hardware threads.
+  // Peel off --json FILE before handing the rest to the shared --jobs
+  // parser (which rejects flags it does not own).
+  const char *JsonPath = nullptr;
+  std::vector<char *> Rest{Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+      continue;
+    }
+    Rest.push_back(Argv[I]);
+  }
+  unsigned Jobs = parseJobsFlag(static_cast<int>(Rest.size()),
+                                Rest.data()); // 0 = all hardware threads.
 
   std::printf("== Differential soundness fuzzing campaign ==\n");
 
@@ -36,6 +93,11 @@ int main(int Argc, char **Argv) {
 
   double PerSec =
       R.Stats.Seconds > 0 ? R.Stats.Programs / R.Stats.Seconds : 0;
+
+  if (JsonPath && !writeJson(JsonPath, O, R.Stats, PerSec, Jobs)) {
+    std::printf("error: cannot write %s\n", JsonPath);
+    return 1;
+  }
   TableWriter T({"Programs", "Runs", "SpecWindows", "CommChecks",
                  "SpecChecks", "Violations", "Time(s)", "Prog/s"});
   T.addRow({std::to_string(R.Stats.Programs),

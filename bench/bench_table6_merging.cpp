@@ -30,6 +30,59 @@ using namespace specai;
 
 namespace {
 
+/// Baseline (Algorithm 1) worklist accounting: runs every kernel under the
+/// legacy FIFO order and the RPO priority order, demands bit-identical
+/// fixpoints, and reports pop/dedup counters via support/Statistics. This
+/// is the perf-regression check behind the RPO worklist rework: RPO must
+/// never pop more than FIFO per kernel and strictly less in aggregate.
+/// Returns false when a fixpoint drifts or pops regress.
+bool reportBaselineWorklist() {
+  std::printf("\n== Baseline engine worklist: FIFO vs RPO (Statistics) ==\n");
+  TableWriter T({"Name", "FIFO-Pops", "RPO-Pops", "RPO-Deduped", "#Miss",
+                 "Fixpoint"});
+  uint64_t FifoTotal = 0, RpoTotal = 0;
+  bool Ok = true;
+  for (const Workload &W : wcetWorkloads()) {
+    DiagnosticEngine Diags;
+    auto CP = compileSource(W.Source, Diags);
+    if (!CP)
+      return false;
+    MustHitOptions O;
+    O.Speculative = false;
+    O.Cache = CacheConfig::fullyAssociative(64);
+
+    StatisticSet Fifo, Rpo;
+    O.Order = WorklistOrder::Fifo;
+    O.Stats = &Fifo;
+    MustHitReport RF = runMustHitAnalysis(*CP, O);
+    O.Order = WorklistOrder::Rpo;
+    O.Stats = &Rpo;
+    MustHitReport RR = runMustHitAnalysis(*CP, O);
+
+    bool Same = digestMustHitReport(*CP, RF) == digestMustHitReport(*CP, RR);
+    uint64_t FP = Fifo.get("worklist.pops"), RP = Rpo.get("worklist.pops");
+    FifoTotal += FP;
+    RpoTotal += RP;
+    Ok = Ok && Same && RP <= FP;
+    T.addRow({W.Name, std::to_string(FP), std::to_string(RP),
+              std::to_string(Rpo.get("worklist.pushes.deduped")),
+              std::to_string(RR.MissCount), Same ? "identical" : "DRIFT"});
+  }
+  std::printf("%s", T.str().c_str());
+  Ok = Ok && RpoTotal < FifoTotal;
+  std::printf("worklist check: RPO pops %llu vs FIFO %llu (%s), fixpoints "
+              "%s\n",
+              static_cast<unsigned long long>(RpoTotal),
+              static_cast<unsigned long long>(FifoTotal),
+              RpoTotal < FifoTotal ? "strictly fewer" : "NOT FEWER",
+              Ok ? "identical" : "BROKEN");
+  return Ok;
+}
+
+} // namespace
+
+namespace {
+
 std::vector<BatchVariant> strategyVariants() {
   std::vector<BatchVariant> Variants;
   for (MergeStrategy S : {MergeStrategy::MergeAtRollback,
@@ -90,5 +143,5 @@ int main(int Argc, char **Argv) {
               "merge-at-rollback on %llu/%llu kernels\n",
               static_cast<unsigned long long>(JitNotWorseThanRollback),
               static_cast<unsigned long long>(Total));
-  return 0;
+  return reportBaselineWorklist() ? 0 : 1;
 }

@@ -49,6 +49,18 @@
 /// the analysis driver additionally offers an iterative outer refinement
 /// that re-runs with bounds derived from the previous sound fixpoint.
 ///
+/// Hot-path machinery (docs/PERFORMANCE.md): the worklist pops in reverse
+/// post-order with an on-worklist bitmap; SS/PR slots live in sorted flat
+/// vectors (same iteration order as the former std::maps, no per-slot node
+/// allocations); window transfers are memoized per (node, in-state-hash)
+/// for pure nodes, so re-drains across colors and re-seeding rounds reuse
+/// results; and seeded/rolled-back states are interned through a
+/// StateInterner, which makes the repeated slot joins hit the domain's
+/// shared-storage fast path. All of it is gated on the optional domain
+/// hooks (isTransferIdentity/isTransferPure/stateHash) and changes no
+/// result: identity and pure transfers are replayed bit-identically, and
+/// stateful (symbolic-instance) transfers are never memoized.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECAI_AI_SPECULATIVEENGINE_H
@@ -57,10 +69,12 @@
 #include "ai/Vcfg.h"
 #include "ai/WorklistEngine.h"
 #include "cfg/LoopInfo.h"
+#include "support/StateInterner.h"
 
+#include <algorithm>
+#include <concepts>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace specai {
@@ -102,6 +116,16 @@ enum class EngineFault : uint8_t {
 
 /// Options of the speculative engine.
 struct SpecEngineOptions : EngineOptions {
+  /// The speculative engine defaults to the legacy FIFO drain order, not
+  /// Rpo: with statically unknown indices the domain's transfer is
+  /// stateful (each application draws the next symbolic instance), so the
+  /// pop order is observable in the fixpoint, and the pinned golden
+  /// digests of the fuzz corpus encode the FIFO sequence. Rpo remains
+  /// available and computes an equally sound envelope in fewer pops;
+  /// programs without unknown-index accesses get bit-identical results
+  /// either way (see state_repr_test).
+  SpecEngineOptions() { Order = WorklistOrder::Fifo; }
+
   MergeStrategy Strategy = MergeStrategy::JustInTime;
   /// Speculation window (instructions) when the branch condition misses in
   /// the cache. The paper derives 200 from GEM5 traces of the Alpha-like
@@ -151,6 +175,50 @@ struct PrKey {
   bool operator<(const PrKey &RHS) const {
     return Color != RHS.Color ? Color < RHS.Color : Source < RHS.Source;
   }
+  bool operator==(const PrKey &RHS) const = default;
+};
+
+/// A sorted flat map from K to V: the per-node SS/PR slot containers.
+/// Iteration order matches std::map (ascending keys) so drain order — and
+/// therefore every stateful-transfer sequence — is unchanged; lookups are
+/// a binary search with no per-entry node allocation.
+template <typename K, typename V> class FlatSlotMap {
+public:
+  using Entry = std::pair<K, V>;
+
+  /// std::map::try_emplace equivalent: returns (entry, inserted).
+  std::pair<Entry *, bool> tryEmplace(const K &Key, V Default) {
+    auto It = std::lower_bound(
+        Data.begin(), Data.end(), Key,
+        [](const Entry &E, const K &Want) { return E.first < Want; });
+    if (It != Data.end() && It->first == Key)
+      return {&*It, false};
+    It = Data.insert(It, Entry{Key, std::move(Default)});
+    return {&*It, true};
+  }
+
+  auto begin() { return Data.begin(); }
+  auto end() { return Data.end(); }
+  auto begin() const { return Data.begin(); }
+  auto end() const { return Data.end(); }
+  bool empty() const { return Data.empty(); }
+
+  /// Value-snapshot of the entries, for iteration that stays valid while
+  /// the map is mutated (state copies are copy-on-write refcount bumps).
+  std::vector<Entry> snapshot() const { return Data; }
+
+private:
+  std::vector<Entry> Data;
+};
+
+/// Detects the optional domain hot-path hooks (transfer purity + state
+/// hashing); see WorklistEngine.h's domain concept.
+template <typename DomainT>
+concept HasTransferMemoHooks = requires(const DomainT &D, NodeId N,
+                                        const typename DomainT::State &S) {
+  { D.isTransferIdentity(N, true) } -> std::convertible_to<bool>;
+  { D.isTransferPure(N, true) } -> std::convertible_to<bool>;
+  { D.stateHash(S) } -> std::convertible_to<uint64_t>;
 };
 } // namespace detail
 
@@ -162,10 +230,18 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
                                            const LoopInfo *LI = nullptr) {
   using State = typename DomainT::State;
   using detail::PrKey;
+  constexpr bool HasMemoHooks = detail::HasTransferMemoHooks<DomainT>;
 
   struct SpecSlot {
     State St;
     uint32_t Depth = 0;
+    /// Set when the slot changed since it was last drained; see the
+    /// clean-flow skip below.
+    bool Dirty = true;
+  };
+  struct PrSlot {
+    State St;
+    bool Dirty = true;
   };
 
   SpecResult<DomainT> R;
@@ -178,26 +254,103 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
 
   // Per-node slot maps. SS/PR are sparse: most nodes never see a given
   // color.
-  std::vector<std::map<ColorId, SpecSlot>> SS(N);
-  std::vector<std::map<PrKey, State>> PR(N);
+  std::vector<detail::FlatSlotMap<ColorId, SpecSlot>> SS(N);
+  std::vector<detail::FlatSlotMap<PrKey, PrSlot>> PR(N);
 
   // Branch node -> colors seeded there.
-  std::map<NodeId, std::vector<ColorId>> SeedColors;
+  std::vector<std::vector<ColorId>> SeedColors(N);
   for (ColorId C = 0; C != Plan.colorCount(); ++C)
     SeedColors[Plan.siteOf(C).Branch].push_back(C);
+
+  // Clean-flow skip: a pop reprocesses every flow family at the node, but
+  // a flow whose input state did not change since its last drain re-joins
+  // the exact same Out into targets that already absorbed it (slots only
+  // move up the lattice), so skipping it is result-identical — *provided*
+  // the node's transfer is pure. Stateful (symbolic-instance) transfers
+  // and seed branches (whose §6.2 dynamic depth is re-read per pop) are
+  // always reprocessed, keeping the pinned digest trajectories intact.
+  std::vector<char> NormalDirty(N, 1);
+  std::vector<char> SkippableCommitted(N, 0), SkippableSpec(N, 0);
+  if constexpr (HasMemoHooks) {
+    for (NodeId Node = 0; Node != N; ++Node) {
+      SkippableCommitted[Node] =
+          D.isTransferPure(Node, false) && SeedColors[Node].empty();
+      SkippableSpec[Node] = D.isTransferPure(Node, true);
+    }
+  }
 
   // Ipdom per color for PR termination.
   auto IpdomOf = [&](ColorId C) { return Plan.siteOf(C).Ipdom; };
 
-  std::vector<uint32_t> JoinCounts(N, 0);
-  std::deque<NodeId> Worklist;
-  std::vector<bool> InList(N, false);
-  auto Enqueue = [&](NodeId Node) {
-    if (!InList[Node]) {
-      InList[Node] = true;
-      Worklist.push_back(Node);
-    }
+  // Per-(node, in-state-hash) transfer memo for pure nodes: one table for
+  // the committed transfer (S/PR flows) and one for the speculative window
+  // transfer (SS flows, where stores are squashed). Entries verify the
+  // stored input structurally, so a hash collision recomputes instead of
+  // corrupting the run.
+  struct MemoEntry {
+    State In;
+    State Out;
+    uint64_t Hash;
   };
+  [[maybe_unused]] constexpr size_t MemoPerNode = 8;
+  std::vector<std::vector<MemoEntry>> CommitMemo, SpecMemo;
+  if constexpr (HasMemoHooks) {
+    CommitMemo.resize(N);
+    SpecMemo.resize(N);
+  }
+  uint64_t MemoHits = 0, MemoMisses = 0;
+
+  // Hash-consing pool behind the SS/PR slot seeds: both colors of a site
+  // and every re-drain seed from the same branch output share one payload,
+  // so the slot joins below short-circuit on shared storage.
+  StateInterner<State> Interner;
+  auto Canon = [&](const State &S) -> State {
+    if constexpr (HasMemoHooks)
+      return Interner.intern(S);
+    else
+      return S;
+  };
+
+  /// Out-state of \p Node given input \p In. Identity transfers alias the
+  /// input (copy-on-write), pure transfers go through the memo, and
+  /// stateful transfers always recompute (they consume a fresh symbolic
+  /// instance; replaying one would change the analysis).
+  auto ApplyTransfer = [&](NodeId Node, const State &In,
+                           bool Speculative) -> State {
+    if constexpr (HasMemoHooks) {
+      if (D.isTransferIdentity(Node, Speculative))
+        return In;
+      if (D.isTransferPure(Node, Speculative)) {
+        std::vector<MemoEntry> &Table =
+            Speculative ? SpecMemo[Node] : CommitMemo[Node];
+        uint64_t H = D.stateHash(In);
+        for (const MemoEntry &E : Table)
+          if (E.Hash == H && E.In == In) {
+            ++MemoHits;
+            return E.Out;
+          }
+        State Out = In;
+        if (Speculative)
+          D.transferSpeculative(Out, Node);
+        else
+          D.transfer(Out, Node);
+        ++MemoMisses;
+        if (Table.size() >= MemoPerNode)
+          Table.erase(Table.begin());
+        Table.push_back(MemoEntry{In, Out, H});
+        return Out;
+      }
+    }
+    State Out = In;
+    if (Speculative)
+      D.transferSpeculative(Out, Node);
+    else
+      D.transfer(Out, Node);
+    return Out;
+  };
+
+  std::vector<uint32_t> JoinCounts(N, 0);
+  NodeWorklist Worklist(G, Options.Order);
 
   auto JoinNormal = [&](NodeId Node, const State &From) {
     bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
@@ -207,49 +360,56 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
       if (D.joinInto(R.Normal[Node], From)) {
         D.widen(R.Normal[Node], Prev);
         ++JoinCounts[Node];
-        Enqueue(Node);
+        NormalDirty[Node] = 1;
+        Worklist.push(Node);
       }
       return;
     }
     if (D.joinInto(R.Normal[Node], From)) {
       ++JoinCounts[Node];
-      Enqueue(Node);
+      NormalDirty[Node] = 1;
+      Worklist.push(Node);
     }
   };
 
   auto JoinPr = [&](NodeId Node, PrKey Key, const State &From) {
-    auto [It, Inserted] = PR[Node].try_emplace(Key, D.bottom());
+    auto [Slot, Inserted] = PR[Node].tryEmplace(Key, PrSlot{D.bottom(), true});
     bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
                     JoinCounts[Node] >= Options.WideningDelay;
-    State Prev = UseWiden ? It->second : D.bottom();
-    bool Changed = D.joinInto(It->second, From);
+    State Prev = UseWiden ? Slot->second.St : D.bottom();
+    bool Changed = D.joinInto(Slot->second.St, From);
     if (Changed) {
       if (UseWiden)
-        D.widen(It->second, Prev);
+        D.widen(Slot->second.St, Prev);
       ++JoinCounts[Node];
-      Enqueue(Node);
+      Worklist.push(Node);
     } else if (Inserted) {
-      Enqueue(Node);
+      Worklist.push(Node);
     }
     // Keep the folded per-node join current while iterating: the §6.2
     // dynamic depth bound reads it, and a bound computed without the
     // rollback pollution at the condition loads would under-size windows
     // (found by specai-fuzz). Slots grow monotonically, so folding on
     // change equals folding everything at the end.
-    if (Changed || Inserted)
-      D.joinInto(R.PostRollback[Node], It->second);
+    if (Changed || Inserted) {
+      Slot->second.Dirty = true;
+      D.joinInto(R.PostRollback[Node], Slot->second.St);
+    }
   };
 
   auto JoinSpec = [&](NodeId Node, ColorId Color, const State &From,
                       uint32_t Depth) {
-    auto [It, Inserted] = SS[Node].try_emplace(Color, SpecSlot{D.bottom(), 0});
-    bool Changed = D.joinInto(It->second.St, From);
-    if (Depth > It->second.Depth) {
-      It->second.Depth = Depth;
+    auto [Slot, Inserted] =
+        SS[Node].tryEmplace(Color, SpecSlot{D.bottom(), 0, true});
+    bool Changed = D.joinInto(Slot->second.St, From);
+    if (Depth > Slot->second.Depth) {
+      Slot->second.Depth = Depth;
       Changed = true;
     }
-    if (Changed || Inserted)
-      Enqueue(Node);
+    if (Changed || Inserted) {
+      Slot->second.Dirty = true;
+      Worklist.push(Node);
+    }
   };
 
   // Depth of a site's window given current classification knowledge.
@@ -282,16 +442,16 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   auto SeedSpeculation = [&](NodeId Node, const State &Out) {
     if (Options.Fault == EngineFault::SkipSpecSeed)
       return; // Injected fault: pretend speculation never starts.
-    auto It = SeedColors.find(Node);
-    if (It == SeedColors.end())
+    if (SeedColors[Node].empty())
       return;
-    for (ColorId C : It->second) {
+    State CanonOut = Canon(Out);
+    for (ColorId C : SeedColors[Node]) {
       uint32_t Site = Plan.colors()[C].Site;
       uint32_t Depth = SiteDepth(Site);
       if (Depth == 0)
         continue; // b_hit == 0 disables speculation entirely (§6.2).
       MaxSeeded[Site] = std::max(MaxSeeded[Site], Depth);
-      JoinSpec(Plan.wrongEntry(C), C, Out, Depth);
+      JoinSpec(Plan.wrongEntry(C), C, CanonOut, Depth);
     }
   };
 
@@ -306,11 +466,11 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
       JoinNormal(Target, Out);
       return;
     case MergeStrategy::JustInTime:
-      JoinPr(Target, PrKey{C, InvalidNode}, Out);
+      JoinPr(Target, PrKey{C, InvalidNode}, Canon(Out));
       return;
     case MergeStrategy::NoMerge:
     case MergeStrategy::MergeAtExit:
-      JoinPr(Target, PrKey{C, Source}, Out);
+      JoinPr(Target, PrKey{C, Source}, Canon(Out));
       return;
     }
   };
@@ -321,14 +481,13 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
         R.Converged = false;
         return;
       }
-      NodeId Node = Worklist.front();
-      Worklist.pop_front();
-      InList[Node] = false;
+      NodeId Node = Worklist.pop();
 
       // --- Normal flow (Algorithm 2 lines 8, 14-19). ---
-      if (!D.isBottom(R.Normal[Node])) {
-        State Out = R.Normal[Node];
-        D.transfer(Out, Node);
+      if (!D.isBottom(R.Normal[Node]) &&
+          (NormalDirty[Node] || !SkippableCommitted[Node])) {
+        NormalDirty[Node] = 0;
+        State Out = ApplyTransfer(Node, R.Normal[Node], /*Speculative=*/false);
         for (NodeId Succ : G.successors(Node))
           JoinNormal(Succ, Out);
         // n -> vn_start edges (line 11).
@@ -337,42 +496,56 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
 
       // --- Speculative flows, one per live color (Algorithm 3 line 9).
       // These use the speculative transfer: stores are squashed (store
-      // buffer), so only loads touch the abstract cache here.
-      for (auto &[Color, Slot] : SS[Node]) {
-        if (D.isBottom(Slot.St) || Slot.Depth == 0)
-          continue;
-        State Out = Slot.St;
-        D.transferSpeculative(Out, Node);
-        // The rollback may happen right after this instruction: vn_stop.
-        Rollback(Color, Node, Out);
-        // Continue speculating while the window allows. The flow is
-        // confined to the mispredicted side: it stops at the branch's
-        // post-dominator (the paper's Figure 6 draws rollback edges from
-        // the branch body only, and Figure 7's states require it).
-        if (Slot.Depth > 1) {
-          NodeId Ipdom = IpdomOf(Color);
-          for (NodeId Succ : G.successors(Node))
-            if (Succ != Ipdom)
-              JoinSpec(Succ, Color, Out, Slot.Depth - 1);
+      // buffer), so only loads touch the abstract cache here. The slot
+      // list is snapshotted (cheap copy-on-write copies) so joins into
+      // this node's own slots — self-edges — cannot invalidate iteration.
+      if (!SS[Node].empty()) {
+        auto Slots = SS[Node].snapshot();
+        for (auto &Entry : SS[Node])
+          Entry.second.Dirty = false;
+        for (const auto &[Color, Slot] : Slots) {
+          if (D.isBottom(Slot.St) || Slot.Depth == 0)
+            continue;
+          if (!Slot.Dirty && SkippableSpec[Node])
+            continue; // Clean pure flow: every join below would no-op.
+          State Out = ApplyTransfer(Node, Slot.St, /*Speculative=*/true);
+          // The rollback may happen right after this instruction: vn_stop.
+          Rollback(Color, Node, Out);
+          // Continue speculating while the window allows. The flow is
+          // confined to the mispredicted side: it stops at the branch's
+          // post-dominator (the paper's Figure 6 draws rollback edges from
+          // the branch body only, and Figure 7's states require it).
+          if (Slot.Depth > 1) {
+            NodeId Ipdom = IpdomOf(Color);
+            for (NodeId Succ : G.successors(Node))
+              if (Succ != Ipdom)
+                JoinSpec(Succ, Color, Out, Slot.Depth - 1);
+          }
         }
       }
 
       // --- Post-rollback flows (architectural; JIT keeps them apart
       // --- until the branch's post-dominator).
-      for (auto &[Key, St] : PR[Node]) {
-        if (D.isBottom(St))
-          continue;
-        State Out = St;
-        D.transfer(Out, Node);
-        NodeId Ipdom = IpdomOf(Key.Color);
-        for (NodeId Succ : G.successors(Node)) {
-          if (Succ == Ipdom)
-            JoinNormal(Succ, Out);
-          else
-            JoinPr(Succ, Key, Out);
+      if (!PR[Node].empty()) {
+        auto Slots = PR[Node].snapshot();
+        for (auto &Entry : PR[Node])
+          Entry.second.Dirty = false;
+        for (const auto &[Key, Slot] : Slots) {
+          if (D.isBottom(Slot.St))
+            continue;
+          if (!Slot.Dirty && SkippableCommitted[Node])
+            continue; // Clean pure flow at a non-seed node.
+          State Out = ApplyTransfer(Node, Slot.St, /*Speculative=*/false);
+          NodeId Ipdom = IpdomOf(Key.Color);
+          for (NodeId Succ : G.successors(Node)) {
+            if (Succ == Ipdom)
+              JoinNormal(Succ, Out);
+            else
+              JoinPr(Succ, Key, Out);
+          }
+          // Real execution in a post-rollback context can speculate again.
+          SeedSpeculation(Node, Out);
         }
-        // Real execution in a post-rollback context can speculate again.
-        SeedSpeculation(Node, Out);
       }
     }
   };
@@ -394,15 +567,13 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
         continue;
       NodeId Branch = Plan.sites()[Site].Branch;
       if (!D.isBottom(R.Normal[Branch])) {
-        State Out = R.Normal[Branch];
-        D.transfer(Out, Branch);
+        State Out = ApplyTransfer(Branch, R.Normal[Branch], false);
         SeedSpeculation(Branch, Out);
       }
-      for (auto &[Key, St] : PR[Branch]) {
-        if (D.isBottom(St))
+      for (const auto &[Key, Slot] : PR[Branch].snapshot()) {
+        if (D.isBottom(Slot.St))
           continue;
-        State Out = St;
-        D.transfer(Out, Branch);
+        State Out = ApplyTransfer(Branch, Slot.St, false);
         SeedSpeculation(Branch, Out);
       }
       // Latch even when nothing seeded (unreachable branch, injected
@@ -414,7 +585,7 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   };
 
   R.Normal[G.entry()] = D.entry();
-  Enqueue(G.entry());
+  Worklist.push(G.entry());
   do {
     DrainWorklist();
   } while (R.Converged && ReseedStaleSites());
@@ -423,8 +594,18 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   for (NodeId Node = 0; Node != N; ++Node) {
     for (const auto &[Color, Slot] : SS[Node])
       D.joinInto(R.Speculative[Node], Slot.St);
-    for (const auto &[Key, St] : PR[Node])
-      D.joinInto(R.PostRollback[Node], St);
+    for (const auto &[Key, Slot] : PR[Node])
+      D.joinInto(R.PostRollback[Node], Slot.St);
+  }
+
+  Worklist.report(Options.Stats, "spec.worklist");
+  if (Options.Stats) {
+    Options.Stats->increment("spec.memo.hits", MemoHits);
+    Options.Stats->increment("spec.memo.misses", MemoMisses);
+    if constexpr (HasMemoHooks) {
+      Options.Stats->increment("spec.interner.hits", Interner.hits());
+      Options.Stats->increment("spec.interner.states", Interner.size());
+    }
   }
   return R;
 }

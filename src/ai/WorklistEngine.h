@@ -21,6 +21,18 @@
 ///   bool   joinInto(State &Into, const State &From) const; // true if grew
 ///   void   widen(State &Cur, const State &Prev) const;
 ///
+/// Optional hot-path hooks (detected via requires-expressions; the cache
+/// domain provides them, the interval domain runs without):
+///   bool     isTransferIdentity(NodeId, bool Speculative) const;
+///   bool     isTransferPure(NodeId, bool Speculative) const;
+///   uint64_t stateHash(const State&) const;
+///
+/// The worklist pops in reverse post-order by default (predecessors before
+/// successors, so a node's inputs settle before it is processed) with an
+/// on-worklist bitmap that dedupes pushes; `WorklistOrder::Fifo` restores
+/// the legacy queue for A/B comparisons. Push/pop/dedup counters land in
+/// EngineOptions::Stats when provided.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECAI_AI_WORKLISTENGINE_H
@@ -31,9 +43,20 @@
 #include "support/Statistics.h"
 
 #include <deque>
+#include <queue>
+#include <string>
 #include <vector>
 
 namespace specai {
+
+/// Pop discipline of the fixed-point worklists.
+enum class WorklistOrder {
+  /// Legacy FIFO queue (the pre-RPO engines' order).
+  Fifo,
+  /// Reverse post-order priority: among pending nodes, the earliest in RPO
+  /// pops first, so loop bodies settle before their exits re-enter.
+  Rpo,
+};
 
 /// Options shared by the baseline and speculative engines.
 struct EngineOptions {
@@ -46,6 +69,100 @@ struct EngineOptions {
   /// Safety valve: abort (with Converged=false) after this many worklist
   /// pops.
   uint64_t MaxIterations = 200000000;
+  /// Worklist pop discipline; Rpo minimizes re-processing.
+  WorklistOrder Order = WorklistOrder::Rpo;
+  /// When set, the engine reports worklist/memo counters here (prefixed
+  /// "worklist." for the baseline, "spec." for the speculative engine).
+  StatisticSet *Stats = nullptr;
+};
+
+/// Work queue over CFG nodes with an on-worklist bitmap: a node is never
+/// queued twice, so every push past the first is deduped rather than
+/// producing a duplicate pop later.
+class NodeWorklist {
+public:
+  NodeWorklist(const FlatCfg &G, WorklistOrder Order) : Order(Order) {
+    size_t N = G.size();
+    InList.assign(N, false);
+    if (Order == WorklistOrder::Rpo) {
+      Rank.resize(N);
+      NodeOf.resize(N);
+      std::vector<bool> Ranked(N, false);
+      uint32_t R = 0;
+      for (NodeId Node : G.reversePostOrder()) {
+        Rank[Node] = R;
+        NodeOf[R] = Node;
+        Ranked[Node] = true;
+        ++R;
+      }
+      // Unreachable nodes rank after every reachable one, in id order.
+      for (NodeId Node = 0; Node != N; ++Node)
+        if (!Ranked[Node]) {
+          Rank[Node] = R;
+          NodeOf[R] = Node;
+          ++R;
+        }
+    }
+  }
+
+  void push(NodeId Node) {
+    ++PushCount;
+    if (InList[Node]) {
+      ++DedupCount;
+      return;
+    }
+    InList[Node] = true;
+    if (Order == WorklistOrder::Rpo)
+      Heap.push(Rank[Node]);
+    else
+      Fifo.push_back(Node);
+  }
+
+  bool empty() const {
+    return Order == WorklistOrder::Rpo ? Heap.empty() : Fifo.empty();
+  }
+
+  NodeId pop() {
+    ++PopCount;
+    NodeId Node;
+    if (Order == WorklistOrder::Rpo) {
+      Node = NodeOf[Heap.top()];
+      Heap.pop();
+    } else {
+      Node = Fifo.front();
+      Fifo.pop_front();
+    }
+    InList[Node] = false;
+    return Node;
+  }
+
+  uint64_t pushes() const { return PushCount; }
+  uint64_t deduped() const { return DedupCount; }
+  uint64_t pops() const { return PopCount; }
+
+  /// Accumulates "<prefix>.pops" / "<prefix>.pushes" /
+  /// "<prefix>.pushes.deduped" into \p Stats (no-op when null).
+  void report(StatisticSet *Stats, const std::string &Prefix) const {
+    if (!Stats)
+      return;
+    Stats->increment(Prefix + ".pops", PopCount);
+    Stats->increment(Prefix + ".pushes", PushCount);
+    Stats->increment(Prefix + ".pushes.deduped", DedupCount);
+  }
+
+private:
+  WorklistOrder Order;
+  std::vector<bool> InList;
+  /// RPO rank per node and its inverse (identity-sized; unreachable nodes
+  /// rank last).
+  std::vector<uint32_t> Rank;
+  std::vector<NodeId> NodeOf;
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<uint32_t>>
+      Heap;
+  std::deque<NodeId> Fifo;
+  uint64_t PushCount = 0;
+  uint64_t DedupCount = 0;
+  uint64_t PopCount = 0;
 };
 
 /// Result of a baseline run: per-node input states.
@@ -75,24 +192,15 @@ FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
   R.In[G.entry()] = D.entry();
 
   std::vector<uint32_t> JoinCounts(N, 0);
-  std::deque<NodeId> Worklist;
-  std::vector<bool> InList(N, false);
-  auto Enqueue = [&](NodeId Node) {
-    if (!InList[Node]) {
-      InList[Node] = true;
-      Worklist.push_back(Node);
-    }
-  };
-  Enqueue(G.entry());
+  NodeWorklist Worklist(G, Options.Order);
+  Worklist.push(G.entry());
 
   while (!Worklist.empty()) {
     if (++R.Iterations > Options.MaxIterations) {
       R.Converged = false;
       break;
     }
-    NodeId Node = Worklist.front();
-    Worklist.pop_front();
-    InList[Node] = false;
+    NodeId Node = Worklist.pop();
 
     if (D.isBottom(R.In[Node]))
       continue;
@@ -107,14 +215,15 @@ FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
         if (D.joinInto(R.In[Succ], Out)) {
           D.widen(R.In[Succ], Prev);
           ++JoinCounts[Succ];
-          Enqueue(Succ);
+          Worklist.push(Succ);
         }
       } else if (D.joinInto(R.In[Succ], Out)) {
         ++JoinCounts[Succ];
-        Enqueue(Succ);
+        Worklist.push(Succ);
       }
     }
   }
+  Worklist.report(Options.Stats, "worklist");
   return R;
 }
 

@@ -67,6 +67,11 @@ SpecEngineOptions makeEngineOptions(const MustHitOptions &O,
   E.UseWidening = O.UseWidening;
   E.WideningDelay = O.WideningDelay;
   E.MaxIterations = O.MaxIterations;
+  // SpecEngineOptions already defaulted Order to the speculative engine's
+  // digest-stable Fifo; only an explicit request overrides it.
+  if (O.Order)
+    E.Order = *O.Order;
+  E.Stats = O.Stats;
   E.Fault = O.Fault;
   return E;
 }
@@ -125,6 +130,8 @@ MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
     E.UseWidening = Options.UseWidening;
     E.WideningDelay = Options.WideningDelay;
     E.MaxIterations = Options.MaxIterations;
+    E.Order = Options.Order.value_or(WorklistOrder::Rpo);
+    E.Stats = Options.Stats;
     FixpointResult<CacheDomain> F = runFixpoint(D, CP.G, E, &CP.LI);
     Report.States.Normal = std::move(F.In);
     Report.States.PostRollback.assign(CP.G.size(), CacheAbsState::bottom());

@@ -74,6 +74,21 @@ struct MustHitOptions {
   bool UseWidening = false;
   uint32_t WideningDelay = 8;
   uint64_t MaxIterations = 200000000;
+  /// Worklist pop discipline (WorklistEngine.h). Unset picks the engine
+  /// default: Rpo for the baseline engine (fewer pops; bit-identical
+  /// fixpoints on every paper kernel, enforced by bench_table6_merging
+  /// and state_repr_test), Fifo for the speculative engine, whose
+  /// symbolic-instance transfer sequence is order-observable and pinned
+  /// by the fuzz corpus's golden digests. Caveat: baseline runs over
+  /// programs with statically *unknown* indices draw symbolic instances
+  /// in pop order too, so their states can differ between orders (both
+  /// remain sound); pass Fifo explicitly to reproduce pre-RPO baseline
+  /// states on such programs.
+  std::optional<WorklistOrder> Order;
+  /// When set, engine counters (worklist pops/pushes/dedup, transfer-memo
+  /// and interner hits) accumulate here across the run's engine
+  /// invocations.
+  StatisticSet *Stats = nullptr;
   /// Test-only engine fault injection for the fuzzer self-test; see
   /// EngineFault. Never set outside tests.
   EngineFault Fault = EngineFault::None;

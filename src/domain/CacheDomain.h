@@ -73,6 +73,35 @@ public:
     return Into.joinInto(From, Options.UseShadow);
   }
 
+  /// True iff node \p N's transfer leaves every state unchanged: nodes
+  /// that do not touch memory, and Store nodes inside speculative windows
+  /// (the store buffer squashes them). The engines alias the input state
+  /// instead of copying it for such nodes.
+  bool isTransferIdentity(NodeId N, bool Speculative) const {
+    const Instruction &I = G->inst(N);
+    if (!I.accessesMemory())
+      return true;
+    return Speculative && I.Op == Opcode::Store;
+  }
+
+  /// True iff node \p N's transfer is a pure function of the input state
+  /// (identity nodes and known-block accesses) — and therefore memoizable.
+  /// Unknown-index accesses are *stateful*: each application consumes a
+  /// fresh symbolic instance from InstanceCounters, so replaying a cached
+  /// result would change the instance sequence and with it the analysis.
+  bool isTransferPure(NodeId N, bool Speculative) const {
+    const Instruction &I = G->inst(N);
+    if (!I.accessesMemory())
+      return true;
+    if (Speculative && I.Op == Opcode::Store)
+      return true;
+    const MemVar &Var = MM->program().Vars[I.Var];
+    return Var.NumElements == 1 || I.Index.isImm();
+  }
+
+  /// Structural state hash for the engines' transfer memo and interner.
+  uint64_t stateHash(const State &S) const { return S.structuralHash(); }
+
   void widen(State &Cur, const State &Prev) const {
     Cur.widenFrom(Prev, MM->config().Associativity);
   }

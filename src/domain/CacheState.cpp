@@ -40,20 +40,106 @@ void setAge(std::vector<AgedBlock> &Vec, BlockAddr Block, uint16_t Age) {
   Vec.insert(It, AgedBlock{Block, Age});
 }
 
+/// Age of \p Block in a sorted entry vector; \p Assoc + 1 when absent.
+uint32_t ageIn(const std::vector<AgedBlock> &Vec, BlockAddr Block,
+               uint32_t Assoc) {
+  auto It = find(Vec, Block);
+  return It == Vec.end() ? Assoc + 1 : It->Age;
+}
+
+/// Partition lookup in a set-sorted partition vector.
+std::vector<CacheSetPartition>::const_iterator
+findPartIn(const std::vector<CacheSetPartition> &Parts, uint32_t Set) {
+  auto It = std::lower_bound(
+      Parts.begin(), Parts.end(), Set,
+      [](const CacheSetPartition &P, uint32_t S) { return P.Set < S; });
+  if (It != Parts.end() && It->Set == Set)
+    return It;
+  return Parts.end();
+}
+
+/// Find-or-insert the partition of \p Set, keeping the vector set-sorted.
+/// Returns an index (not a reference: the insert may reallocate).
+size_t ensurePart(std::vector<CacheSetPartition> &Parts, uint32_t Set) {
+  auto It = std::lower_bound(
+      Parts.begin(), Parts.end(), Set,
+      [](const CacheSetPartition &P, uint32_t S) { return P.Set < S; });
+  if (It == Parts.end() || It->Set != Set)
+    It = Parts.insert(It, CacheSetPartition{Set, {}, {}});
+  return static_cast<size_t>(It - Parts.begin());
+}
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
 } // namespace
 
+const std::vector<CacheSetPartition> &CacheAbsState::emptyParts() {
+  static const std::vector<CacheSetPartition> Empty;
+  return Empty;
+}
+
+CacheAbsState::Payload &CacheAbsState::mut() {
+  if (!P)
+    P = std::make_shared<Payload>();
+  else if (P.use_count() > 1)
+    P = std::make_shared<Payload>(*P);
+  P->HashKnown = false;
+  return *P;
+}
+
+void CacheAbsState::normalize() {
+  if (!P)
+    return;
+  // A shared payload is never mutated here: partitions only need scrubbing
+  // after a mutator, which already unshared.
+  std::vector<CacheSetPartition> &Parts = P->Parts;
+  Parts.erase(std::remove_if(Parts.begin(), Parts.end(),
+                             [](const CacheSetPartition &Part) {
+                               return Part.Must.empty() && Part.May.empty();
+                             }),
+              Parts.end());
+  if (Parts.empty())
+    P.reset();
+}
+
+const CacheSetPartition *CacheAbsState::findPart(uint32_t Set) const {
+  if (!P)
+    return nullptr;
+  auto It = findPartIn(P->Parts, Set);
+  return It == P->Parts.end() ? nullptr : &*It;
+}
+
 uint32_t CacheAbsState::mustAge(BlockAddr Block, uint32_t Assoc) const {
-  auto It = find(Must, Block);
-  return It == Must.end() ? Assoc + 1 : It->Age;
+  // The block's set is unknown here (no MemoryModel); a block lives in
+  // exactly one partition, so probe each. Partition counts are tiny (one
+  // for fully associative geometries).
+  for (const CacheSetPartition &Part : partitions()) {
+    auto It = find(Part.Must, Block);
+    if (It != Part.Must.end())
+      return It->Age;
+  }
+  return Assoc + 1;
 }
 
 uint32_t CacheAbsState::mayAge(BlockAddr Block, uint32_t Assoc) const {
-  auto It = find(May, Block);
-  return It == May.end() ? Assoc + 1 : It->Age;
+  for (const CacheSetPartition &Part : partitions()) {
+    auto It = find(Part.May, Block);
+    if (It != Part.May.end())
+      return It->Age;
+  }
+  return Assoc + 1;
 }
 
 bool CacheAbsState::isMustCached(BlockAddr Block) const {
-  return find(Must, Block) != Must.end();
+  for (const CacheSetPartition &Part : partitions())
+    if (find(Part.Must, Block) != Part.Must.end())
+      return true;
+  return false;
 }
 
 void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
@@ -61,15 +147,24 @@ void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
   assert(!Bottom && "transfer on bottom state");
   uint32_t Assoc = MM.config().Associativity;
   uint32_t Set = MM.setOf(Block);
-  uint32_t VMustOld = mustAge(Block, Assoc);
-  uint32_t VMayOld = mayAge(Block, Assoc);
+
+  // Previous ages, read before any update. Only the accessed set's
+  // partition can hold the block.
+  const CacheSetPartition *Old = findPart(Set);
+  uint32_t VMustOld = Old ? ageIn(Old->Must, Block, Assoc) : Assoc + 1;
+  uint32_t VMayOld = Old ? ageIn(Old->May, Block, Assoc) : Assoc + 1;
+
+  Payload &PL = mut();
+  CacheSetPartition &Part = PL.Parts[ensurePart(PL.Parts, Set)];
 
   if (UseShadow) {
     // MAY (shadow) update first, Appendix B: ∃u with Age(∃u) <= Age(∃v)
-    // ages by one; older shadows keep their age.
+    // ages by one; older shadows keep their age. The partition holds only
+    // this set's entries, so no per-entry set check is needed.
+    std::vector<AgedBlock> &May = Part.May;
     for (size_t I = 0; I != May.size();) {
       AgedBlock &U = May[I];
-      if (U.Block != Block && MM.setOf(U.Block) == Set && U.Age <= VMayOld) {
+      if (U.Block != Block && U.Age <= VMayOld) {
         if (++U.Age > Assoc) {
           May.erase(May.begin() + static_cast<ptrdiff_t>(I));
           continue; // Do not advance; erased current element.
@@ -84,15 +179,15 @@ void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
   // when at least Age(u) shadow blocks (other than u) are at least as young
   // as u — otherwise younger lines cannot fill u's set far enough to push
   // it out one position.
+  std::vector<AgedBlock> &Must = Part.Must;
   for (size_t I = 0; I != Must.size();) {
     AgedBlock &U = Must[I];
-    bool SameSet = U.Block != Block && MM.setOf(U.Block) == Set;
-    if (SameSet && U.Age < VMustOld) {
+    if (U.Block != Block && U.Age < VMustOld) {
       bool ShouldAge = true;
       if (UseShadow) {
         uint32_t NYoung = 0;
-        for (const AgedBlock &W : May) {
-          if (W.Block == U.Block || MM.setOf(W.Block) != Set)
+        for (const AgedBlock &W : Part.May) {
+          if (W.Block == U.Block)
             continue;
           if (W.Age <= U.Age)
             ++NYoung;
@@ -113,9 +208,8 @@ void CacheAbsState::accessUnknown(VarId Var, uint64_t InstanceK,
                                   const MemoryModel &MM, bool UseShadow) {
   assert(!Bottom && "transfer on bottom state");
   uint32_t Assoc = MM.config().Associativity;
-  std::vector<uint32_t> Sets = MM.setsOf(Var);
-  auto InCandidateSet = [&](BlockAddr Block) {
-    uint32_t Set = MM.setOf(Block);
+  std::vector<uint32_t> Sets = MM.setsOf(Var); // Sorted, deduplicated.
+  auto IsCandidateSet = [&](uint32_t Set) {
     return std::binary_search(Sets.begin(), Sets.end(), Set);
   };
 
@@ -135,100 +229,241 @@ void CacheAbsState::accessUnknown(VarId Var, uint64_t InstanceK,
   }
 
   if (AllCached) {
-    for (AgedBlock &U : Must)
-      if (InCandidateSet(U.Block) && U.Age < MaxAge)
-        ++U.Age; // Stays <= MaxAge <= Assoc: a hit evicts nothing.
+    // Pure aging with no eviction and no insertion: skip the payload clone
+    // when nothing moves and the MAY side will not be touched either.
+    bool AnyAging = false;
+    for (const CacheSetPartition &Part : partitions()) {
+      if (!IsCandidateSet(Part.Set))
+        continue;
+      for (const AgedBlock &U : Part.Must)
+        if (U.Age < MaxAge) {
+          AnyAging = true;
+          break;
+        }
+      if (AnyAging)
+        break;
+    }
+    if (AnyAging) {
+      Payload &PL = mut();
+      for (CacheSetPartition &Part : PL.Parts) {
+        if (!IsCandidateSet(Part.Set))
+          continue;
+        for (AgedBlock &U : Part.Must)
+          if (U.Age < MaxAge)
+            ++U.Age; // Stays <= MaxAge <= Assoc: a hit evicts nothing.
+      }
+    } else if (!UseShadow) {
+      return;
+    }
   } else {
     // Conservative MUST aging: the unknown line may be a miss in any
     // candidate set, displacing one position everywhere.
-    for (size_t I = 0; I != Must.size();) {
-      AgedBlock &U = Must[I];
-      if (InCandidateSet(U.Block)) {
-        if (++U.Age > Assoc) {
+    Payload &PL = mut();
+    for (CacheSetPartition &Part : PL.Parts) {
+      if (!IsCandidateSet(Part.Set))
+        continue;
+      std::vector<AgedBlock> &Must = Part.Must;
+      for (size_t I = 0; I != Must.size();) {
+        if (++Must[I].Age > Assoc) {
           Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
           continue;
         }
+        ++I;
       }
-      ++I;
     }
     // The nondeterministically picked fresh line (decis_levl[k*]).
     BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
-    setAge(Must, Instance, 1);
+    size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
+    setAge(PL.Parts[Idx].Must, Instance, 1);
   }
 
   if (UseShadow) {
     // Any line of the array may now be the youngest in its set.
-    for (BlockAddr Block : ArrayBlocks)
-      setAge(May, Block, 1);
-    if (!AllCached)
-      setAge(May, MM.symbolicBlock(Var, InstanceK), 1);
+    Payload &PL = mut();
+    for (BlockAddr Block : ArrayBlocks) {
+      size_t Idx = ensurePart(PL.Parts, MM.setOf(Block));
+      setAge(PL.Parts[Idx].May, Block, 1);
+    }
+    if (!AllCached) {
+      BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
+      size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
+      setAge(PL.Parts[Idx].May, Instance, 1);
+    }
   }
+  normalize();
 }
+
+namespace {
+
+/// Would `Into ⊔= From` change Into? A pure read-only merge walk: MUST is
+/// intersection/max (change = a dropped entry or a grown age), MAY is
+/// union/min (change = a new entry or a shrunk age).
+bool joinWouldChange(const std::vector<CacheSetPartition> &Into,
+                     const std::vector<CacheSetPartition> &From,
+                     bool UseShadow) {
+  size_t I = 0, J = 0;
+  while (I != Into.size() || J != From.size()) {
+    if (J == From.size() ||
+        (I != Into.size() && Into[I].Set < From[J].Set)) {
+      if (!Into[I].Must.empty())
+        return true; // Whole partition leaves the MUST intersection.
+      ++I;
+      continue;
+    }
+    if (I == Into.size() || Into[I].Set > From[J].Set) {
+      if (UseShadow && !From[J].May.empty())
+        return true; // New MAY partition enters the union.
+      ++J;
+      continue;
+    }
+    const CacheSetPartition &A = Into[I], &B = From[J];
+    {
+      size_t X = 0, Y = 0;
+      while (X != A.Must.size()) {
+        if (Y == B.Must.size() || A.Must[X].Block < B.Must[Y].Block)
+          return true; // Dropped from the intersection.
+        if (A.Must[X].Block > B.Must[Y].Block) {
+          ++Y;
+          continue;
+        }
+        if (B.Must[Y].Age > A.Must[X].Age)
+          return true; // Age grows to the max.
+        ++X;
+        ++Y;
+      }
+    }
+    if (UseShadow) {
+      size_t X = 0, Y = 0;
+      while (Y != B.May.size()) {
+        if (X == A.May.size() || A.May[X].Block > B.May[Y].Block)
+          return true; // New shadow entry.
+        if (A.May[X].Block < B.May[Y].Block) {
+          ++X;
+          continue;
+        }
+        if (B.May[Y].Age < A.May[X].Age)
+          return true; // Age shrinks to the min.
+        ++X;
+        ++Y;
+      }
+    }
+    ++I;
+    ++J;
+  }
+  return false;
+}
+
+/// MUST intersection with max ages.
+std::vector<AgedBlock> mergeMust(const std::vector<AgedBlock> &A,
+                                 const std::vector<AgedBlock> &B) {
+  std::vector<AgedBlock> Out;
+  Out.reserve(std::min(A.size(), B.size()));
+  size_t I = 0, J = 0;
+  while (I != A.size() && J != B.size()) {
+    if (A[I].Block < B[J].Block)
+      ++I;
+    else if (A[I].Block > B[J].Block)
+      ++J;
+    else {
+      Out.push_back(AgedBlock{A[I].Block, std::max(A[I].Age, B[J].Age)});
+      ++I;
+      ++J;
+    }
+  }
+  return Out;
+}
+
+/// MAY union with min ages.
+std::vector<AgedBlock> mergeMay(const std::vector<AgedBlock> &A,
+                                const std::vector<AgedBlock> &B) {
+  std::vector<AgedBlock> Out;
+  Out.reserve(A.size() + B.size());
+  size_t I = 0, J = 0;
+  while (I != A.size() || J != B.size()) {
+    if (J == B.size() || (I != A.size() && A[I].Block < B[J].Block))
+      Out.push_back(A[I++]);
+    else if (I == A.size() || A[I].Block > B[J].Block)
+      Out.push_back(B[J++]);
+    else {
+      Out.push_back(AgedBlock{A[I].Block, std::min(A[I].Age, B[J].Age)});
+      ++I;
+      ++J;
+    }
+  }
+  return Out;
+}
+
+} // namespace
 
 bool CacheAbsState::joinInto(const CacheAbsState &From, bool UseShadow) {
   if (From.Bottom)
     return false;
   if (Bottom) {
-    *this = From;
-    if (!UseShadow)
-      May.clear();
+    Bottom = false;
+    P = From.P; // Copy-on-write: a refcount bump, not an entry copy.
+    if (!UseShadow && P) {
+      bool AnyMay = false;
+      for (const CacheSetPartition &Part : P->Parts)
+        if (!Part.May.empty()) {
+          AnyMay = true;
+          break;
+        }
+      if (AnyMay) {
+        Payload &PL = mut();
+        for (CacheSetPartition &Part : PL.Parts)
+          Part.May.clear();
+        normalize();
+      }
+    }
     return true;
   }
+  if (P == From.P)
+    return false; // Shared storage: identical states, join is a no-op.
+  // Hash-equality early exit: equal structures join to themselves.
+  if (P && From.P && P->HashKnown && From.P->HashKnown &&
+      P->Hash == From.P->Hash && P->Parts == From.P->Parts)
+    return false;
 
-  bool Changed = false;
+  const std::vector<CacheSetPartition> &Into = partitions();
+  const std::vector<CacheSetPartition> &Src = From.partitions();
+  if (!joinWouldChange(Into, Src, UseShadow))
+    return false;
 
-  // MUST: key intersection, max age.
-  {
-    std::vector<AgedBlock> Out;
-    Out.reserve(std::min(Must.size(), From.Must.size()));
-    size_t I = 0, J = 0;
-    while (I != Must.size() && J != From.Must.size()) {
-      if (Must[I].Block < From.Must[J].Block) {
-        ++I;
-        Changed = true; // Entry dropped.
-      } else if (Must[I].Block > From.Must[J].Block) {
-        ++J;
-      } else {
-        uint16_t Age = std::max(Must[I].Age, From.Must[J].Age);
-        if (Age != Must[I].Age)
-          Changed = true;
-        Out.push_back(AgedBlock{Must[I].Block, Age});
-        ++I;
-        ++J;
-      }
+  // Build the merged payload fresh; the no-change path above keeps this
+  // allocation off the fixed-point steady state.
+  auto NewP = std::make_shared<Payload>();
+  std::vector<CacheSetPartition> &Out = NewP->Parts;
+  Out.reserve(std::max(Into.size(), Src.size()));
+  size_t I = 0, J = 0;
+  while (I != Into.size() || J != Src.size()) {
+    CacheSetPartition Part;
+    if (J == Src.size() || (I != Into.size() && Into[I].Set < Src[J].Set)) {
+      // Our set only: MUST intersection is empty, MAY keeps our entries
+      // (untouched when shadows are off, matching the flat representation).
+      Part.Set = Into[I].Set;
+      Part.May = Into[I].May;
+      ++I;
+    } else if (I == Into.size() || Into[I].Set > Src[J].Set) {
+      // Their set only: nothing joins MUST; MAY union adopts theirs.
+      Part.Set = Src[J].Set;
+      if (UseShadow)
+        Part.May = Src[J].May;
+      ++J;
+    } else {
+      Part.Set = Into[I].Set;
+      Part.Must = mergeMust(Into[I].Must, Src[J].Must);
+      Part.May = UseShadow ? mergeMay(Into[I].May, Src[J].May) : Into[I].May;
+      ++I;
+      ++J;
     }
-    if (I != Must.size())
-      Changed = true; // Tail dropped.
-    Must = std::move(Out);
+    if (!Part.Must.empty() || !Part.May.empty())
+      Out.push_back(std::move(Part));
   }
-
-  // MAY: key union, min age.
-  if (UseShadow) {
-    std::vector<AgedBlock> Out;
-    Out.reserve(May.size() + From.May.size());
-    size_t I = 0, J = 0;
-    while (I != May.size() || J != From.May.size()) {
-      if (J == From.May.size() ||
-          (I != May.size() && May[I].Block < From.May[J].Block)) {
-        Out.push_back(May[I]);
-        ++I;
-      } else if (I == May.size() || May[I].Block > From.May[J].Block) {
-        Out.push_back(From.May[J]);
-        Changed = true; // New shadow entry.
-        ++J;
-      } else {
-        uint16_t Age = std::min(May[I].Age, From.May[J].Age);
-        if (Age != May[I].Age)
-          Changed = true;
-        Out.push_back(AgedBlock{May[I].Block, Age});
-        ++I;
-        ++J;
-      }
-    }
-    May = std::move(Out);
-  }
-
-  return Changed;
+  if (Out.empty())
+    P.reset();
+  else
+    P = std::move(NewP);
+  return true;
 }
 
 bool CacheAbsState::leq(const CacheAbsState &RHS, uint32_t Assoc) const {
@@ -240,45 +475,138 @@ bool CacheAbsState::leq(const CacheAbsState &RHS, uint32_t Assoc) const {
   // higher in the lattice: S ⊑ S' iff ∀b mustAge_S(b) <= mustAge_S'(b).
   // Blocks RHS does not track have age Assoc+1 there, which dominates
   // everything, so only RHS's tracked blocks need checking.
-  for (const AgedBlock &E : RHS.Must)
-    if (mustAge(E.Block, Assoc) > E.Age)
-      return false;
+  for (const CacheSetPartition &RPart : RHS.partitions()) {
+    const CacheSetPartition *LPart = findPart(RPart.Set);
+    for (const AgedBlock &E : RPart.Must) {
+      uint32_t Mine = LPart ? ageIn(LPart->Must, E.Block, Assoc) : Assoc + 1;
+      if (Mine > E.Age)
+        return false;
+    }
+  }
   // MAY ages are lower bounds with min-join: S ⊑ S' iff
   // ∀b mayAge_S(b) >= mayAge_S'(b); untracked blocks on our side are
   // Assoc+1 and dominate.
-  for (const AgedBlock &E : May)
-    if (E.Age < RHS.mayAge(E.Block, Assoc))
-      return false;
+  for (const CacheSetPartition &LPart : partitions()) {
+    const CacheSetPartition *RPart = RHS.findPart(LPart.Set);
+    for (const AgedBlock &E : LPart.May) {
+      uint32_t Theirs = RPart ? ageIn(RPart->May, E.Block, Assoc) : Assoc + 1;
+      if (E.Age < Theirs)
+        return false;
+    }
+  }
   return true;
 }
 
 void CacheAbsState::widenFrom(const CacheAbsState &Prev, uint32_t Assoc) {
   if (Bottom || Prev.Bottom)
     return;
-  // Evict MUST entries whose age grew since the previous iterate.
-  std::vector<AgedBlock> Out;
-  Out.reserve(Must.size());
-  for (const AgedBlock &E : Must) {
-    uint32_t PrevAge = Prev.mustAge(E.Block, Assoc);
-    if (PrevAge <= Assoc && E.Age > PrevAge)
-      continue; // Growing: widen to evicted.
-    Out.push_back(E);
+  // Evict MUST entries whose age grew since the previous iterate. Probe
+  // first so the stable case never clones the payload.
+  auto Grew = [&](const CacheSetPartition &Part, const AgedBlock &E) {
+    const CacheSetPartition *PPart = Prev.findPart(Part.Set);
+    uint32_t PrevAge = PPart ? ageIn(PPart->Must, E.Block, Assoc) : Assoc + 1;
+    return PrevAge <= Assoc && E.Age > PrevAge;
+  };
+  bool AnyGrew = false;
+  for (const CacheSetPartition &Part : partitions()) {
+    for (const AgedBlock &E : Part.Must)
+      if (Grew(Part, E)) {
+        AnyGrew = true;
+        break;
+      }
+    if (AnyGrew)
+      break;
   }
-  Must = std::move(Out);
+  if (!AnyGrew)
+    return;
+  Payload &PL = mut();
+  for (CacheSetPartition &Part : PL.Parts)
+    Part.Must.erase(std::remove_if(Part.Must.begin(), Part.Must.end(),
+                                   [&](const AgedBlock &E) {
+                                     return Grew(Part, E);
+                                   }),
+                    Part.Must.end());
+  normalize();
   // MAY ages descend toward 1 on a finite ladder; no acceleration needed.
+}
+
+bool CacheAbsState::operator==(const CacheAbsState &RHS) const {
+  if (Bottom != RHS.Bottom)
+    return false;
+  if (Bottom)
+    return true;
+  if (P == RHS.P)
+    return true; // Shared storage (or both empty).
+  // Canonical form: a live payload always has at least one partition, so
+  // an empty state never equals a non-empty one here.
+  if (P && RHS.P && P->HashKnown && RHS.P->HashKnown && P->Hash != RHS.P->Hash)
+    return false;
+  return partitions() == RHS.partitions();
+}
+
+std::vector<AgedBlock> CacheAbsState::mustEntries() const {
+  std::vector<AgedBlock> Out;
+  for (const CacheSetPartition &Part : partitions())
+    Out.insert(Out.end(), Part.Must.begin(), Part.Must.end());
+  std::sort(Out.begin(), Out.end(),
+            [](const AgedBlock &A, const AgedBlock &B) {
+              return A.Block < B.Block;
+            });
+  return Out;
+}
+
+std::vector<AgedBlock> CacheAbsState::mayEntries() const {
+  std::vector<AgedBlock> Out;
+  for (const CacheSetPartition &Part : partitions())
+    Out.insert(Out.end(), Part.May.begin(), Part.May.end());
+  std::sort(Out.begin(), Out.end(),
+            [](const AgedBlock &A, const AgedBlock &B) {
+              return A.Block < B.Block;
+            });
+  return Out;
+}
+
+uint64_t CacheAbsState::structuralHash() const {
+  if (Bottom)
+    return 0xB0770B0770ULL;
+  if (!P)
+    return 0x9E3779B97F4A7C15ULL; // The empty (entry) state.
+  if (P->HashKnown)
+    return P->Hash;
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Mix = [&H](uint64_t V) {
+    H = (H ^ splitmix64(V)) * 0x100000001b3ULL;
+  };
+  Mix(P->Parts.size());
+  for (const CacheSetPartition &Part : P->Parts) {
+    Mix(Part.Set);
+    Mix(Part.Must.size());
+    for (const AgedBlock &E : Part.Must) {
+      Mix(E.Block);
+      Mix(E.Age);
+    }
+    Mix(Part.May.size());
+    for (const AgedBlock &E : Part.May) {
+      Mix(E.Block);
+      Mix(E.Age);
+    }
+  }
+  P->Hash = H;
+  P->HashKnown = true;
+  return H;
 }
 
 std::string CacheAbsState::str(const MemoryModel &MM) const {
   if (Bottom)
     return "⊥";
-  uint32_t Assoc = MM.config().Associativity;
   // Group by age, youngest first, like the paper's tables.
   std::map<uint32_t, std::vector<std::string>> ByAge;
-  for (const AgedBlock &E : Must)
-    ByAge[E.Age].push_back(MM.blockName(E.Block));
-  for (const AgedBlock &E : May)
-    ByAge[E.Age].push_back("∃" + MM.blockName(E.Block));
-  (void)Assoc;
+  for (const CacheSetPartition &Part : partitions()) {
+    for (const AgedBlock &E : Part.Must)
+      ByAge[E.Age].push_back(MM.blockName(E.Block));
+    for (const AgedBlock &E : Part.May)
+      ByAge[E.Age].push_back("∃" + MM.blockName(E.Block));
+  }
   std::string Out = "{";
   bool FirstGroup = true;
   for (auto &[Age, Names] : ByAge) {

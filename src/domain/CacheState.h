@@ -30,6 +30,27 @@
 /// paper's `decis_lev[k*]`) is inserted, and on the MAY side every line of
 /// the array may now be youngest.
 ///
+/// Representation (the fixed-point hot path; see docs/PERFORMANCE.md):
+///
+///  - Entries are *partitioned by cache set*: each CacheSetPartition holds
+///    the MUST/MAY entries of one set, sorted by block, so a transfer only
+///    walks the accessed set's partition and age lookups are a partition
+///    probe plus a binary search. Partitions are kept sorted by set id and
+///    never empty (canonical form), so structural equality is memberwise.
+///  - The partition vector lives behind a *copy-on-write payload*
+///    (shared_ptr + unshare-on-mutate): copying a state is a refcount
+///    bump, and the engines' ubiquitous `Out = In; transfer(Out)` pattern
+///    only clones when the transfer actually mutates. Two handles may
+///    share storage (`sharesStorageWith`), which joinInto exploits as an
+///    O(1) no-change fast path.
+///  - Each payload caches a lazily computed 64-bit structural hash
+///    (`structuralHash`), giving equality a fast negative path and backing
+///    the engines' transfer memoization and the StateInterner pool.
+///
+/// Handles are cheap to copy across threads, but payloads must not be
+/// mutated or lazily hashed concurrently; each analysis run owns its
+/// states (the batch/fuzz drivers parallelize over independent runs).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECAI_DOMAIN_CACHESTATE_H
@@ -38,17 +59,27 @@
 #include "memory/MemoryModel.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace specai {
 
-/// One tracked (block, age) pair; kept sorted by block.
+/// One tracked (block, age) pair; kept sorted by block within a partition.
 struct AgedBlock {
   BlockAddr Block;
   uint16_t Age;
 
   bool operator==(const AgedBlock &RHS) const = default;
+};
+
+/// The MUST/MAY entries of one cache set, each sorted by block.
+struct CacheSetPartition {
+  uint32_t Set = 0;
+  std::vector<AgedBlock> Must;
+  std::vector<AgedBlock> May;
+
+  bool operator==(const CacheSetPartition &RHS) const = default;
 };
 
 /// Abstract cache state: MUST ages plus optional MAY (shadow) ages.
@@ -86,7 +117,9 @@ public:
   void accessUnknown(VarId Var, uint64_t InstanceK, const MemoryModel &MM,
                      bool UseShadow);
 
-  /// this = this ⊔ \p From. Returns true iff this changed.
+  /// this = this ⊔ \p From. Returns true iff this changed. Shared-storage
+  /// and hash-equal states short-circuit to "no change" without touching
+  /// any entry.
   bool joinInto(const CacheAbsState &From, bool UseShadow);
 
   /// Partial-order check: true iff this ⊑ RHS (RHS is at least as
@@ -98,19 +131,62 @@ public:
   /// (paper §6.3).
   void widenFrom(const CacheAbsState &Prev, uint32_t Assoc);
 
-  bool operator==(const CacheAbsState &RHS) const = default;
+  /// Structural equality (bottom flag + partition contents). Shared
+  /// payloads and mismatched cached hashes short-circuit.
+  bool operator==(const CacheAbsState &RHS) const;
 
-  const std::vector<AgedBlock> &mustEntries() const { return Must; }
-  const std::vector<AgedBlock> &mayEntries() const { return May; }
+  /// Per-set partitions in canonical form (sorted by set id, no empty
+  /// partitions). The zero-copy view for hot iteration.
+  const std::vector<CacheSetPartition> &partitions() const {
+    return P ? P->Parts : emptyParts();
+  }
+
+  /// All MUST entries merged across partitions, sorted by block — the
+  /// canonical order the pre-partitioning representation stored, which the
+  /// golden digests in tests/fuzz_regression_test.cpp pin. Materializes a
+  /// fresh vector; hot paths should iterate partitions() instead.
+  std::vector<AgedBlock> mustEntries() const;
+  /// All MAY entries merged across partitions, sorted by block.
+  std::vector<AgedBlock> mayEntries() const;
+
+  /// 64-bit hash of the canonical structure, cached in the payload until
+  /// the next mutation. Equal states always hash equal.
+  uint64_t structuralHash() const;
+
+  /// True iff both handles alias the same payload (copy-on-write aliasing;
+  /// implies structural equality). Bottom and entry states own no payload
+  /// and never report sharing.
+  bool sharesStorageWith(const CacheAbsState &RHS) const {
+    return P && P == RHS.P;
+  }
 
   /// Renders like the paper's tables: blocks grouped youngest-first, e.g.
   /// "{mil, wd, el}". MAY entries render with the ∃ prefix when present.
   std::string str(const MemoryModel &MM) const;
 
 private:
+  struct Payload {
+    std::vector<CacheSetPartition> Parts;
+    /// Lazily computed by structuralHash(); invalidated on mutation.
+    mutable uint64_t Hash = 0;
+    mutable bool HashKnown = false;
+  };
+
+  static const std::vector<CacheSetPartition> &emptyParts();
+
+  /// Unshares the payload (clone if aliased, allocate if absent) and
+  /// invalidates the cached hash. Every mutator goes through here.
+  Payload &mut();
+  /// Drops empty partitions; releases the payload when nothing is left so
+  /// the empty state has a unique representation.
+  void normalize();
+
+  /// Partition of \p Set, or nullptr.
+  const CacheSetPartition *findPart(uint32_t Set) const;
+
   bool Bottom = false;
-  std::vector<AgedBlock> Must;
-  std::vector<AgedBlock> May;
+  /// Null means "no tracked entries" (the empty/entry state).
+  std::shared_ptr<Payload> P;
 };
 
 } // namespace specai

@@ -26,13 +26,20 @@ uint64_t mix(uint64_t H, uint64_t Value) {
 uint64_t mixState(uint64_t H, const CacheAbsState &S) {
   if (S.isBottom())
     return mix(H, 0xB0770B0770ULL);
-  H = mix(H, S.mustEntries().size());
-  for (const AgedBlock &E : S.mustEntries()) {
+  // mustEntries()/mayEntries() materialize the canonical block-sorted
+  // order of the original flat representation, so digests stay bit-stable
+  // across the per-set partitioning of CacheAbsState. This is cold code
+  // (once per analysis); do not switch it to partitions(), whose order is
+  // set-major and would move every pinned golden digest.
+  std::vector<AgedBlock> Must = S.mustEntries();
+  std::vector<AgedBlock> May = S.mayEntries();
+  H = mix(H, Must.size());
+  for (const AgedBlock &E : Must) {
     H = mix(H, E.Block);
     H = mix(H, E.Age);
   }
-  H = mix(H, S.mayEntries().size());
-  for (const AgedBlock &E : S.mayEntries()) {
+  H = mix(H, May.size());
+  for (const AgedBlock &E : May) {
     H = mix(H, E.Block);
     H = mix(H, E.Age);
   }

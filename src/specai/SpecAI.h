@@ -52,6 +52,7 @@
 #include "pipeline/SpeculativeCpu.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
+#include "support/StateInterner.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"

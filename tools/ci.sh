@@ -17,3 +17,12 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 # specai_fuzz_selftest CTest case above.
 "$BUILD/tools/specai-fuzz" --seed 1 --programs 25 --jobs "$JOBS" \
   --ce-dir "$BUILD"
+
+# Fixed-coverage perf smoke: the 50-program campaign behind
+# BENCH_fuzz.json, with timing JSON written next to the build
+# (informational — timings are machine-dependent and never gate; the
+# coverage counters inside are deterministic and the run still fails on
+# any soundness violation). docs/PERFORMANCE.md explains the trajectory.
+"$BUILD/bench/bench_fuzz_campaign" --jobs "$JOBS" \
+  --json "$BUILD/bench_fuzz_campaign.json"
+echo "perf smoke timing JSON: $BUILD/bench_fuzz_campaign.json"
