@@ -7,7 +7,7 @@
 ///
 /// Table 5: execution time estimation — non-speculative vs speculative
 /// analysis on the ten WCET kernels: analysis time, #Miss, #SpMiss,
-/// #Branch, #Iteration. Expected shape (EXPERIMENTS.md): the speculative
+/// #Branch, #Iteration. Expected shape (DESIGN.md §1): the speculative
 /// analysis detects at least as many misses on every kernel and is slower;
 /// absolute values differ from the paper (distilled kernels on a 64-line
 /// cache instead of full MiBench programs on 512 lines).

@@ -12,22 +12,79 @@
 
 using namespace specai;
 
-LruCache::LruCache(const CacheConfig &Config) : Config(Config) {
-  assert(Config.isValid() && "invalid cache geometry");
-  Sets.resize(Config.numSets());
+namespace {
+
+/// Empty-slot marker for the PLRU way arrays; real block addresses are
+/// byte-address / line-size and never reach this value.
+constexpr BlockAddr InvalidWay = ~BlockAddr(0);
+
+uint32_t log2Exact(uint32_t PowerOfTwo) {
+  uint32_t L = 0;
+  while ((1u << L) < PowerOfTwo)
+    ++L;
+  return L;
 }
 
-bool LruCache::access(BlockAddr Block) {
+} // namespace
+
+const char *specai::replacementPolicyName(ReplacementPolicy Policy) {
+  switch (Policy) {
+  case ReplacementPolicy::Lru:
+    return "lru";
+  case ReplacementPolicy::Fifo:
+    return "fifo";
+  case ReplacementPolicy::Plru:
+    return "plru";
+  }
+  return "?";
+}
+
+bool specai::parseReplacementPolicy(const std::string &Name,
+                                    ReplacementPolicy &PolicyOut) {
+  if (Name == "lru")
+    PolicyOut = ReplacementPolicy::Lru;
+  else if (Name == "fifo")
+    PolicyOut = ReplacementPolicy::Fifo;
+  else if (Name == "plru")
+    PolicyOut = ReplacementPolicy::Plru;
+  else
+    return false;
+  return true;
+}
+
+uint32_t CacheConfig::mustAgeCap() const {
+  if (Policy == ReplacementPolicy::Plru)
+    return log2Exact(Associativity) + 1;
+  return Associativity;
+}
+
+CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
+  assert(Config.isValid() && "invalid cache geometry");
+  if (Config.Policy == ReplacementPolicy::Plru) {
+    PlruWays.assign(Config.numSets(),
+                    std::vector<BlockAddr>(Config.Associativity, InvalidWay));
+    PlruBits.assign(Config.numSets(),
+                    std::vector<uint8_t>(Config.Associativity - 1, 0));
+  } else {
+    Sets.resize(Config.numSets());
+  }
+}
+
+bool CacheSim::accessOrdered(BlockAddr Block, bool PromoteOnHit) {
   auto &Set = Sets[Config.setOf(Block)];
   auto It = std::find(Set.begin(), Set.end(), Block);
   if (It != Set.end()) {
-    // Hit: move to the front (most recently used).
-    Set.erase(It);
-    Set.insert(Set.begin(), Block);
+    // LRU promotes a hit to the front (most recently used); FIFO keeps the
+    // insertion order untouched.
+    if (PromoteOnHit) {
+      Set.erase(It);
+      Set.insert(Set.begin(), Block);
+    }
     ++Hits;
     return true;
   }
-  // Miss: insert at front, evict the LRU way if the set is over capacity.
+  // Miss: insert at front, evict the oldest way if the set is over
+  // capacity.
   Set.insert(Set.begin(), Block);
   if (Set.size() > Config.Associativity)
     Set.pop_back();
@@ -35,32 +92,140 @@ bool LruCache::access(BlockAddr Block) {
   return false;
 }
 
-bool LruCache::contains(BlockAddr Block) const {
+void CacheSim::plruTouch(uint32_t Set, uint32_t Way) {
+  // Walk the root path of leaf Way; at each node, point the bit at the
+  // child we did NOT come through, so the victim walk steers away from the
+  // just-used way.
+  std::vector<uint8_t> &Bits = PlruBits[Set];
+  uint32_t Levels = log2Exact(Config.Associativity);
+  uint32_t Node = 0;
+  for (uint32_t Level = 0; Level != Levels; ++Level) {
+    uint32_t Bit = (Way >> (Levels - 1 - Level)) & 1;
+    Bits[Node] = static_cast<uint8_t>(1 - Bit); // Point away from Way.
+    Node = 2 * Node + 1 + Bit;
+  }
+}
+
+uint32_t CacheSim::plruVictim(uint32_t Set) const {
+  const std::vector<uint8_t> &Bits = PlruBits[Set];
+  uint32_t Levels = log2Exact(Config.Associativity);
+  uint32_t Node = 0, Way = 0;
+  for (uint32_t Level = 0; Level != Levels; ++Level) {
+    uint32_t Bit = Bits[Node];
+    Way = (Way << 1) | Bit;
+    Node = 2 * Node + 1 + Bit;
+  }
+  return Way;
+}
+
+uint32_t CacheSim::plruAgeOf(uint32_t Set, uint32_t Way) const {
+  // 1 + the number of root-path bits pointing toward this way. A single
+  // access to another way flips at most one of them (the divergence node),
+  // which is what lets the abstract domain age PLRU entries by one per
+  // access (docs/DOMAINS.md).
+  const std::vector<uint8_t> &Bits = PlruBits[Set];
+  uint32_t Levels = log2Exact(Config.Associativity);
+  uint32_t Node = 0, Toward = 0;
+  for (uint32_t Level = 0; Level != Levels; ++Level) {
+    uint32_t Bit = (Way >> (Levels - 1 - Level)) & 1;
+    if (Bits[Node] == Bit)
+      ++Toward;
+    Node = 2 * Node + 1 + Bit;
+  }
+  return Toward + 1;
+}
+
+bool CacheSim::accessPlru(BlockAddr Block) {
+  uint32_t Set = Config.setOf(Block);
+  std::vector<BlockAddr> &Ways = PlruWays[Set];
+  auto It = std::find(Ways.begin(), Ways.end(), Block);
+  if (It != Ways.end()) {
+    plruTouch(Set, static_cast<uint32_t>(It - Ways.begin()));
+    ++Hits;
+    return true;
+  }
+  // Miss: fill the lowest empty way first; only a full set consults the
+  // tree bits for a victim.
+  auto Empty = std::find(Ways.begin(), Ways.end(), InvalidWay);
+  uint32_t Way = Empty != Ways.end()
+                     ? static_cast<uint32_t>(Empty - Ways.begin())
+                     : plruVictim(Set);
+  Ways[Way] = Block;
+  plruTouch(Set, Way);
+  ++Misses;
+  return false;
+}
+
+bool CacheSim::access(BlockAddr Block) {
+  switch (Config.Policy) {
+  case ReplacementPolicy::Lru:
+    return accessOrdered(Block, /*PromoteOnHit=*/true);
+  case ReplacementPolicy::Fifo:
+    return accessOrdered(Block, /*PromoteOnHit=*/false);
+  case ReplacementPolicy::Plru:
+    return accessPlru(Block);
+  }
+  return false;
+}
+
+bool CacheSim::contains(BlockAddr Block) const {
+  if (Config.Policy == ReplacementPolicy::Plru) {
+    const auto &Ways = PlruWays[Config.setOf(Block)];
+    return std::find(Ways.begin(), Ways.end(), Block) != Ways.end();
+  }
   const auto &Set = Sets[Config.setOf(Block)];
   return std::find(Set.begin(), Set.end(), Block) != Set.end();
 }
 
-uint32_t LruCache::ageOf(BlockAddr Block) const {
-  const auto &Set = Sets[Config.setOf(Block)];
-  auto It = std::find(Set.begin(), Set.end(), Block);
-  if (It == Set.end())
+uint32_t CacheSim::ageOf(BlockAddr Block) const {
+  uint32_t Set = Config.setOf(Block);
+  if (Config.Policy == ReplacementPolicy::Plru) {
+    const auto &Ways = PlruWays[Set];
+    auto It = std::find(Ways.begin(), Ways.end(), Block);
+    if (It == Ways.end())
+      return 0;
+    return plruAgeOf(Set, static_cast<uint32_t>(It - Ways.begin()));
+  }
+  const auto &Lines = Sets[Set];
+  auto It = std::find(Lines.begin(), Lines.end(), Block);
+  if (It == Lines.end())
     return 0;
-  return static_cast<uint32_t>(It - Set.begin()) + 1;
+  return static_cast<uint32_t>(It - Lines.begin()) + 1;
 }
 
-void LruCache::flush() {
+void CacheSim::flush() {
   for (auto &Set : Sets)
     Set.clear();
+  for (auto &Ways : PlruWays)
+    std::fill(Ways.begin(), Ways.end(), InvalidWay);
+  for (auto &Bits : PlruBits)
+    std::fill(Bits.begin(), Bits.end(), 0);
 }
 
-size_t LruCache::residentCount() const {
+size_t CacheSim::residentCount() const {
   size_t Count = 0;
   for (const auto &Set : Sets)
     Count += Set.size();
+  for (const auto &Ways : PlruWays)
+    Count += static_cast<size_t>(
+        std::count_if(Ways.begin(), Ways.end(),
+                      [](BlockAddr B) { return B != InvalidWay; }));
   return Count;
 }
 
-std::vector<BlockAddr> LruCache::setContents(uint32_t Set) const {
+std::vector<BlockAddr> CacheSim::setContents(uint32_t Set) const {
+  if (Config.Policy == ReplacementPolicy::Plru) {
+    assert(Set < PlruWays.size() && "set index out of range");
+    std::vector<BlockAddr> Out;
+    for (BlockAddr B : PlruWays[Set])
+      if (B != InvalidWay)
+        Out.push_back(B);
+    std::sort(Out.begin(), Out.end(), [&](BlockAddr A, BlockAddr B) {
+      uint32_t AA = ageOf(A), AB = ageOf(B);
+      return AA != AB ? AA < AB : A < B;
+    });
+    return Out;
+  }
   assert(Set < Sets.size() && "set index out of range");
   return Sets[Set];
 }

@@ -11,7 +11,9 @@
 /// indices take the conservative transfer with a fresh symbolic instance),
 /// and answers must-hit classification queries. This is the Domain the
 /// worklist engines (Algorithms 1-3) are instantiated with for every
-/// experiment in the paper.
+/// experiment in the paper. The aging rule the transfers apply follows
+/// the replacement policy of the MemoryModel's cache config (LRU / FIFO /
+/// tree-PLRU; docs/DOMAINS.md), so one domain serves all policy variants.
 ///
 //===----------------------------------------------------------------------===//
 

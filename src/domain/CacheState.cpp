@@ -145,6 +145,18 @@ bool CacheAbsState::isMustCached(BlockAddr Block) const {
 void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
                                 bool UseShadow) {
   assert(!Bottom && "transfer on bottom state");
+  switch (MM.config().Policy) {
+  case ReplacementPolicy::Lru:
+    return accessBlockLru(Block, MM, UseShadow);
+  case ReplacementPolicy::Fifo:
+    return accessBlockFifo(Block, MM, UseShadow);
+  case ReplacementPolicy::Plru:
+    return accessBlockPlru(Block, MM, UseShadow);
+  }
+}
+
+void CacheAbsState::accessBlockLru(BlockAddr Block, const MemoryModel &MM,
+                                   bool UseShadow) {
   uint32_t Assoc = MM.config().Associativity;
   uint32_t Set = MM.setOf(Block);
 
@@ -204,9 +216,118 @@ void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
   setAge(Must, Block, 1);
 }
 
+void CacheAbsState::accessBlockFifo(BlockAddr Block, const MemoryModel &MM,
+                                    bool UseShadow) {
+  uint32_t Assoc = MM.config().Associativity;
+  uint32_t Set = MM.setOf(Block);
+
+  const CacheSetPartition *Old = findPart(Set);
+  uint32_t VMustOld = Old ? ageIn(Old->Must, Block, Assoc) : Assoc + 1;
+  // A provably resident block hits on every path, and a FIFO hit leaves
+  // the whole set untouched (no rejuvenation): the transfer is exactly the
+  // identity. This is also what makes repeated accesses must-hits.
+  if (VMustOld <= Assoc)
+    return;
+
+  // Possible miss. With shadows, a block absent from MAY is not cached on
+  // any path, so the access is a *definite* miss: it lands at insertion
+  // position 1 and pushes every other line of the set one position deeper.
+  // Without that proof the touched block still ends resident either way
+  // (hit: it already was; miss: it is inserted), but only at the weakest
+  // bound — position <= associativity.
+  uint32_t VMayOld = Old ? ageIn(Old->May, Block, Assoc) : Assoc + 1;
+  bool DefiniteMiss = UseShadow && VMayOld > Assoc;
+
+  Payload &PL = mut();
+  CacheSetPartition &Part = PL.Parts[ensurePart(PL.Parts, Set)];
+
+  if (UseShadow) {
+    if (DefiniteMiss) {
+      // Every path misses, so every other line's insertion position (and
+      // with it its MAY lower bound) advances by one.
+      std::vector<AgedBlock> &May = Part.May;
+      for (size_t I = 0; I != May.size();) {
+        AgedBlock &U = May[I];
+        if (U.Block != Block && ++U.Age > Assoc) {
+          May.erase(May.begin() + static_cast<ptrdiff_t>(I));
+          continue;
+        }
+        ++I;
+      }
+    }
+    setAge(Part.May, Block, 1);
+  }
+
+  // MUST: the access may miss, displacing every tracked line of the set
+  // one insertion position.
+  std::vector<AgedBlock> &Must = Part.Must;
+  for (size_t I = 0; I != Must.size();) {
+    AgedBlock &U = Must[I];
+    if (U.Block != Block && ++U.Age > Assoc) {
+      Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+      continue;
+    }
+    ++I;
+  }
+  if (DefiniteMiss)
+    setAge(Must, Block, 1);
+  else if (Assoc <= UINT16_MAX)
+    // Resident either way, but only at the weakest bound. Geometries
+    // whose associativity does not fit the age field simply leave the
+    // block untracked (sound: untracked = not provably resident).
+    setAge(Must, Block, static_cast<uint16_t>(Assoc));
+  normalize();
+}
+
+void CacheAbsState::accessBlockPlru(BlockAddr Block, const MemoryModel &MM,
+                                    bool UseShadow) {
+  // The sound tree bound (docs/DOMAINS.md): a k-way tree-PLRU evicts a
+  // block only once every direction bit on its root path points toward it,
+  // and one access to another line flips at most one of those log2(k)
+  // bits. Ages therefore live in [1, log2(k) + 1], every access ages
+  // every other tracked block of the set by one (hit or miss — hits flip
+  // tree bits too, so the LRU relative-age refinement does not apply, and
+  // neither does the recency-based shadow NYoung rule), and the touched
+  // block is fully protected at age 1 afterwards.
+  uint32_t Cap = MM.config().mustAgeCap();
+  uint32_t Set = MM.setOf(Block);
+
+  Payload &PL = mut();
+  CacheSetPartition &Part = PL.Parts[ensurePart(PL.Parts, Set)];
+
+  std::vector<AgedBlock> &Must = Part.Must;
+  for (size_t I = 0; I != Must.size();) {
+    AgedBlock &U = Must[I];
+    if (U.Block != Block && ++U.Age > Cap) {
+      Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+      continue;
+    }
+    ++I;
+  }
+  setAge(Must, Block, 1);
+  // MAY: the touched block may be the youngest; other lower bounds stay
+  // valid because no access is guaranteed to flip a bit toward a
+  // particular block (tree ages are not monotone across paths).
+  if (UseShadow)
+    setAge(Part.May, Block, 1);
+  normalize();
+}
+
 void CacheAbsState::accessUnknown(VarId Var, uint64_t InstanceK,
                                   const MemoryModel &MM, bool UseShadow) {
   assert(!Bottom && "transfer on bottom state");
+  switch (MM.config().Policy) {
+  case ReplacementPolicy::Lru:
+    return accessUnknownLru(Var, InstanceK, MM, UseShadow);
+  case ReplacementPolicy::Fifo:
+    return accessUnknownFifo(Var, MM, UseShadow);
+  case ReplacementPolicy::Plru:
+    return accessUnknownPlru(Var, InstanceK, MM, UseShadow);
+  }
+}
+
+void CacheAbsState::accessUnknownLru(VarId Var, uint64_t InstanceK,
+                                     const MemoryModel &MM, bool UseShadow) {
   uint32_t Assoc = MM.config().Associativity;
   std::vector<uint32_t> Sets = MM.setsOf(Var); // Sorted, deduplicated.
   auto IsCandidateSet = [&](uint32_t Set) {
@@ -289,6 +410,96 @@ void CacheAbsState::accessUnknown(VarId Var, uint64_t InstanceK,
       size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
       setAge(PL.Parts[Idx].May, Instance, 1);
     }
+  }
+  normalize();
+}
+
+void CacheAbsState::accessUnknownFifo(VarId Var, const MemoryModel &MM,
+                                      bool UseShadow) {
+  uint32_t Assoc = MM.config().Associativity;
+  std::vector<uint32_t> Sets = MM.setsOf(Var); // Sorted, deduplicated.
+  auto IsCandidateSet = [&](uint32_t Set) {
+    return std::binary_search(Sets.begin(), Sets.end(), Set);
+  };
+
+  // When every line of the array is provably resident the access hits
+  // whichever line it touches, and a FIFO hit is the identity.
+  std::vector<BlockAddr> ArrayBlocks = MM.blocksOf(Var);
+  bool AllCached = true;
+  for (BlockAddr Block : ArrayBlocks)
+    if (mustAge(Block, Assoc) > Assoc) {
+      AllCached = false;
+      break;
+    }
+  if (AllCached)
+    return;
+
+  // Possible miss in any candidate set: every tracked line there may be
+  // displaced one insertion position. The touched line ends resident, but
+  // which line it is is unknown, so no MUST entry can claim it (a symbolic
+  // instance at the weakest bound would be evicted by the next possible
+  // miss anyway).
+  Payload &PL = mut();
+  for (CacheSetPartition &Part : PL.Parts) {
+    if (!IsCandidateSet(Part.Set))
+      continue;
+    std::vector<AgedBlock> &Must = Part.Must;
+    for (size_t I = 0; I != Must.size();) {
+      if (++Must[I].Age > Assoc) {
+        Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+        continue;
+      }
+      ++I;
+    }
+  }
+  if (UseShadow) {
+    // Any line of the array may now sit at insertion position 1.
+    for (BlockAddr Block : ArrayBlocks) {
+      size_t Idx = ensurePart(PL.Parts, MM.setOf(Block));
+      setAge(PL.Parts[Idx].May, Block, 1);
+    }
+  }
+  normalize();
+}
+
+void CacheAbsState::accessUnknownPlru(VarId Var, uint64_t InstanceK,
+                                      const MemoryModel &MM, bool UseShadow) {
+  uint32_t Cap = MM.config().mustAgeCap();
+  std::vector<uint32_t> Sets = MM.setsOf(Var); // Sorted, deduplicated.
+  auto IsCandidateSet = [&](uint32_t Set) {
+    return std::binary_search(Sets.begin(), Sets.end(), Set);
+  };
+
+  // Hit or miss, the access flips tree bits in whichever candidate set it
+  // lands in, so every tracked block there ages one step toward the tree
+  // bound; the touched line itself ends fully protected, represented by
+  // the fresh symbolic instance at age 1 (its concrete age is 1 whether
+  // the access hit or filled).
+  Payload &PL = mut();
+  for (CacheSetPartition &Part : PL.Parts) {
+    if (!IsCandidateSet(Part.Set))
+      continue;
+    std::vector<AgedBlock> &Must = Part.Must;
+    for (size_t I = 0; I != Must.size();) {
+      if (++Must[I].Age > Cap) {
+        Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+        continue;
+      }
+      ++I;
+    }
+  }
+  BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
+  size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
+  setAge(PL.Parts[Idx].Must, Instance, 1);
+
+  if (UseShadow) {
+    std::vector<BlockAddr> ArrayBlocks = MM.blocksOf(Var);
+    for (BlockAddr Block : ArrayBlocks) {
+      size_t I = ensurePart(PL.Parts, MM.setOf(Block));
+      setAge(PL.Parts[I].May, Block, 1);
+    }
+    size_t I = ensurePart(PL.Parts, MM.setOf(Instance));
+    setAge(PL.Parts[I].May, Instance, 1);
   }
   normalize();
 }

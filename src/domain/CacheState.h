@@ -24,6 +24,23 @@
 /// Set-associative caches are handled per set: an access only ages blocks
 /// mapped to the same set, and ages range over [1, associativity].
 ///
+/// The aging rule is parameterized by the cache's replacement policy
+/// (CacheConfig::Policy; lattice derivations in docs/DOMAINS.md):
+///
+///  - LRU (the paper's domain, everything above): an access rejuvenates
+///    the touched block to age 1 and ages younger blocks, optionally
+///    refined through the shadow NYoung rule.
+///  - FIFO: insertion-age bounds. A provably resident block's access is a
+///    definite hit and changes nothing (hits never rejuvenate a FIFO
+///    line); a possible miss ages every tracked block of the set, and the
+///    touched block is resident afterwards at bound `associativity` — or
+///    bound 1 when the shadow state proves the access a definite miss.
+///  - Tree-PLRU: the sound pessimistic tree bound. Ages range over
+///    [1, log2(associativity) + 1]; every access ages every other tracked
+///    block of the set by one (one tree bit can flip toward a block per
+///    access) and rejuvenates the touched block to 1. The shadow NYoung
+///    refinement is recency-based and does not apply.
+///
 /// Accesses with statically unknown element indices are conservative: every
 /// tracked block in any set the array can touch ages by one (the unknown
 /// line may evict any of them), a fresh symbolic instance block (the
@@ -108,12 +125,14 @@ public:
   bool isMustCached(BlockAddr Block) const;
 
   /// Applies the transfer function for an access to a statically known
-  /// block (paper §4.2 / Appendix B.1.1 when \p UseShadow).
+  /// block (paper §4.2 / Appendix B.1.1 when \p UseShadow), under the
+  /// replacement policy of \p MM's cache config.
   void accessBlock(BlockAddr Block, const MemoryModel &MM, bool UseShadow);
 
   /// Applies the conservative transfer for an access to array \p Var with
   /// an unknown element index; \p InstanceK selects the symbolic instance
-  /// block (the caller's running counter, saturated internally).
+  /// block (the caller's running counter, saturated internally). Policy
+  /// comes from \p MM's cache config.
   void accessUnknown(VarId Var, uint64_t InstanceK, const MemoryModel &MM,
                      bool UseShadow);
 
@@ -183,6 +202,18 @@ private:
 
   /// Partition of \p Set, or nullptr.
   const CacheSetPartition *findPart(uint32_t Set) const;
+
+  // Per-policy transfer bodies behind the accessBlock/accessUnknown
+  // dispatchers (docs/DOMAINS.md). The Lru bodies are the paper's rules,
+  // bit-identical to the pre-policy implementation.
+  void accessBlockLru(BlockAddr Block, const MemoryModel &MM, bool UseShadow);
+  void accessBlockFifo(BlockAddr Block, const MemoryModel &MM, bool UseShadow);
+  void accessBlockPlru(BlockAddr Block, const MemoryModel &MM, bool UseShadow);
+  void accessUnknownLru(VarId Var, uint64_t InstanceK, const MemoryModel &MM,
+                        bool UseShadow);
+  void accessUnknownFifo(VarId Var, const MemoryModel &MM, bool UseShadow);
+  void accessUnknownPlru(VarId Var, uint64_t InstanceK, const MemoryModel &MM,
+                         bool UseShadow);
 
   bool Bottom = false;
   /// Null means "no tracked entries" (the empty/entry state).

@@ -131,6 +131,13 @@ std::string BatchVariant::describe(const MustHitOptions &Options) {
     S += "refine";
   else
     S += boundingModeName(Options.Bounding);
+  // The policy segment appears only for non-LRU rows, so every label (and
+  // with it the benches' requireRow lookups) predating the policy
+  // dimension is unchanged.
+  if (Options.Cache.Policy != ReplacementPolicy::Lru) {
+    S += "/";
+    S += replacementPolicyName(Options.Cache.Policy);
+  }
   return S;
 }
 
@@ -140,6 +147,7 @@ bool BatchRow::sameResults(const BatchRow &RHS) const {
          Cache.NumLines == RHS.Cache.NumLines &&
          Cache.LineSize == RHS.Cache.LineSize &&
          Cache.Associativity == RHS.Cache.Associativity &&
+         Cache.Policy == RHS.Cache.Policy &&
          Speculative == RHS.Speculative && AccessNodes == RHS.AccessNodes &&
          MissCount == RHS.MissCount && SpMissCount == RHS.SpMissCount &&
          BranchCount == RHS.BranchCount && Iterations == RHS.Iterations &&
@@ -179,6 +187,10 @@ TableWriter BatchReport::toTable() const {
     std::string Cache = std::to_string(R.Cache.NumLines) + "x" +
                         std::to_string(R.Cache.LineSize) + "B/" +
                         std::to_string(R.Cache.Associativity) + "w";
+    if (R.Cache.Policy != ReplacementPolicy::Lru) {
+      Cache += "/";
+      Cache += replacementPolicyName(R.Cache.Policy);
+    }
     std::string Leaks = "-";
     if (R.LeaksChecked) {
       Leaks = std::to_string(R.LeakCount);
@@ -269,19 +281,39 @@ std::vector<BatchVariant>
 BatchRunner::crossProductSweep(const MustHitOptions &Base,
                                const std::vector<MergeStrategy> &Strategies,
                                const std::vector<CacheConfig> &Configs,
-                               const std::vector<BoundingMode> &Boundings) {
+                               const std::vector<BoundingMode> &Boundings,
+                               const std::vector<ReplacementPolicy> &Policies) {
   std::vector<BatchVariant> Variants;
   for (MergeStrategy S : Strategies)
     for (const CacheConfig &C : Configs)
-      for (BoundingMode B : Boundings) {
-        BatchVariant V;
-        V.Options = Base;
-        V.Options.Speculative = true;
-        V.Options.Strategy = S;
-        V.Options.Cache = C;
-        V.Options.Bounding = B;
-        V.Label = BatchVariant::describe(V.Options);
-        Variants.push_back(std::move(V));
-      }
+      for (BoundingMode B : Boundings)
+        for (ReplacementPolicy P : Policies) {
+          BatchVariant V;
+          V.Options = Base;
+          V.Options.Speculative = true;
+          V.Options.Strategy = S;
+          V.Options.Cache = C.withPolicy(P);
+          if (!V.Options.Cache.isValid())
+            continue; // E.g. PLRU over a non-power-of-two associativity.
+          V.Options.Bounding = B;
+          V.Label = BatchVariant::describe(V.Options);
+          Variants.push_back(std::move(V));
+        }
+  return Variants;
+}
+
+std::vector<BatchVariant>
+BatchRunner::policySweep(const MustHitOptions &Base,
+                         const std::vector<ReplacementPolicy> &Policies) {
+  std::vector<BatchVariant> Variants;
+  for (ReplacementPolicy P : Policies) {
+    BatchVariant V;
+    V.Options = Base;
+    V.Options.Cache = Base.Cache.withPolicy(P);
+    if (!V.Options.Cache.isValid())
+      continue;
+    V.Label = replacementPolicyName(P);
+    Variants.push_back(std::move(V));
+  }
   return Variants;
 }

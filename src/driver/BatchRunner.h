@@ -7,9 +7,10 @@
 ///
 /// \file
 /// Thread-pool driver fanning one compiled program out across analysis
-/// configurations — merge strategies (Figure 6), cache geometries, and
-/// depth bounding modes (§6.2) — and aggregating the per-run
-/// MustHitReport/SideChannelReport counters into table rows.
+/// configurations — merge strategies (Figure 6), cache geometries, depth
+/// bounding modes (§6.2), and replacement policies (docs/DOMAINS.md) —
+/// and aggregating the per-run MustHitReport/SideChannelReport counters
+/// into table rows.
 ///
 /// `runMustHitAnalysis` is pure with respect to its `const
 /// CompiledProgram &` input, so the variants of a sweep are embarrassingly
@@ -154,14 +155,27 @@ public:
   static std::vector<BatchVariant>
   boundingModeSweep(const MustHitOptions &Base);
 
-  /// Full cross product: strategies x cache geometries x bounding modes.
-  /// Variant order is the nesting order of the arguments (strategy
-  /// outermost), so rows group by strategy.
+  /// Full cross product: strategies x cache geometries x bounding modes x
+  /// replacement policies. Variant order is the nesting order of the
+  /// arguments (strategy outermost), so rows group by strategy.
+  /// Policy/geometry combinations that are invalid (PLRU over a
+  /// non-power-of-two associativity) are skipped rather than run.
   static std::vector<BatchVariant>
   crossProductSweep(const MustHitOptions &Base,
                     const std::vector<MergeStrategy> &Strategies,
                     const std::vector<CacheConfig> &Configs,
-                    const std::vector<BoundingMode> &Boundings);
+                    const std::vector<BoundingMode> &Boundings,
+                    const std::vector<ReplacementPolicy> &Policies = {
+                        ReplacementPolicy::Lru});
+
+  /// \p Base under each replacement policy (invalid combinations skipped),
+  /// labeled by policy name — the sweep behind `specai-cli --batch` when a
+  /// policy comparison is wanted and `bench_policy_matrix`.
+  static std::vector<BatchVariant>
+  policySweep(const MustHitOptions &Base,
+              const std::vector<ReplacementPolicy> &Policies = {
+                  ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+                  ReplacementPolicy::Plru});
 
 private:
   unsigned Jobs;

@@ -82,6 +82,7 @@ specai::checkGeneratedProgram(const GeneratedProgram &G,
 
   Counterexample CE;
   CE.ProgramSeed = G.Seed;
+  CE.Policy = Oracle.Cache.Policy;
   CE.OriginalSource = G.source();
   CE.StmtsBefore = G.Stmts.size();
 
@@ -129,9 +130,21 @@ FuzzCampaignResult specai::runFuzzCampaign(const FuzzCampaignOptions &Options) {
   parallelFor(Options.Jobs, Options.Programs, [&](size_t I) {
     ProgramGen Gen(Options.Seed + I, Options.Gen);
     GeneratedProgram G = Gen.generate();
-    Slots[I].CE =
-        checkGeneratedProgram(G, Options.Oracle, Options.Minimize,
-                              Slots[I].Stats, Slots[I].CompileFailures);
+    // One oracle sweep per requested replacement policy, stopping at the
+    // first counterexample (each policy has its own abstract lattice but
+    // the program and inputs are shared). A compile failure is
+    // policy-independent, so it is counted once and ends the loop.
+    for (ReplacementPolicy P : Options.Policies) {
+      SoundnessOracleOptions Oracle = Options.Oracle;
+      Oracle.Cache = Oracle.Cache.withPolicy(P);
+      if (!Oracle.Cache.isValid())
+        continue;
+      Slots[I].CE =
+          checkGeneratedProgram(G, Oracle, Options.Minimize, Slots[I].Stats,
+                                Slots[I].CompileFailures);
+      if (Slots[I].CE || Slots[I].CompileFailures > 0)
+        break;
+    }
   });
   Result.Stats.Seconds = Total.seconds();
 
@@ -180,6 +193,13 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
   Out += "// replay-cache: lines=" + std::to_string(O.Cache.NumLines) +
          ",assoc=" + std::to_string(O.Cache.Associativity) +
          ",linesize=" + std::to_string(O.Cache.LineSize) + "\n";
+  // Pre-policy replay files carry no policy line; emit one only for
+  // non-LRU runs so LRU artifacts stay byte-identical.
+  if (Policy != ReplacementPolicy::Lru) {
+    Out += "// replay-policy: ";
+    Out += replacementPolicyName(Policy);
+    Out += "\n";
+  }
   Out += "// replay-depths: miss=" + std::to_string(O.DepthMiss) +
          ",hit=" + std::to_string(O.DepthHit) + "\n";
   Out += "// replay-shadow: ";

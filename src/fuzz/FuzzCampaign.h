@@ -36,6 +36,14 @@ struct FuzzCampaignOptions {
   unsigned Jobs = 0;
   ProgramGenOptions Gen;
   SoundnessOracleOptions Oracle;
+  /// Replacement policies to validate each program under; the oracle runs
+  /// once per (program, policy) with `Oracle.Cache` switched to the
+  /// policy. The default keeps campaigns (and their golden summaries)
+  /// bit-identical to the pre-policy fuzzer; `specai-fuzz --policy all`
+  /// samples all three lattices of docs/DOMAINS.md. Policies invalid for
+  /// the oracle geometry (PLRU over a non-power-of-two associativity) are
+  /// skipped.
+  std::vector<ReplacementPolicy> Policies = {ReplacementPolicy::Lru};
   /// Delta-debug counterexamples down to a minimal statement set.
   bool Minimize = true;
 };
@@ -43,6 +51,9 @@ struct FuzzCampaignOptions {
 /// A minimized, replayable counterexample.
 struct Counterexample {
   uint64_t ProgramSeed = 0;
+  /// Replacement policy of the oracle run that found the violation (the
+  /// campaign may sweep several per program).
+  ReplacementPolicy Policy = ReplacementPolicy::Lru;
   /// Minimized source (equals OriginalSource when minimization is off or
   /// made no progress).
   std::string Source;

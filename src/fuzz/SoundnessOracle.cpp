@@ -287,7 +287,7 @@ SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
   };
 
   Cpu.setAccessHook([&](const AccessEvent &E, bool Speculative,
-                        const LruCache &Cache) {
+                        const CacheSim &Cache) {
     if (Found)
       return;
     NodeId N = CP.G.nodeAt(E.Block, E.InstIndex);

@@ -23,11 +23,12 @@
 ///     paper's 20/200 derivation from pipelined traces.
 ///  3. Timing: cycle counts for the execution-time-estimation experiments.
 ///
-/// Model simplifications (documented per DESIGN.md): one in-flight
-/// speculation at a time (the analysis' per-color treatment is the
-/// conservative envelope of deeper nesting), and the window is chosen by
-/// whether the most recent committed load hit (a proxy for the branch
-/// condition's resolution latency).
+/// Model simplifications (documented in DESIGN.md §2, with the arguments
+/// for why each is conservative): one in-flight speculation at a time
+/// (the analysis' per-color treatment is the conservative envelope of
+/// deeper nesting), and the window is chosen by whether the most recent
+/// committed load hit (a proxy for the branch condition's resolution
+/// latency).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -98,7 +99,7 @@ public:
 
   /// Access to the machine for setting inputs before run().
   Machine &machine() { return M; }
-  LruCache &cache() { return Cache; }
+  CacheSim &cache() { return Cache; }
 
   /// Overrides the calibrated speculation windows.
   void setWindows(SpeculationWindows W) { Windows = W; }
@@ -140,7 +141,7 @@ public:
   /// engine's per-node input states.
   using AccessHook =
       std::function<void(const AccessEvent &E, bool Speculative,
-                         const LruCache &PreAccessCache)>;
+                         const CacheSim &PreAccessCache)>;
   void setAccessHook(AccessHook Hook) { OnAccess = std::move(Hook); }
 
   /// Runs to completion (or \p MaxSteps committed instructions).
@@ -174,7 +175,7 @@ private:
   bool EnableSpeculation;
   SpeculationWindows Windows;
   Machine M;
-  LruCache Cache;
+  CacheSim Cache;
   std::vector<CommittedAccess> Trace;
   std::vector<CommittedAccess> SpecTrace;
   std::unordered_map<uint64_t, BlockId> SpeculationStops;

@@ -8,7 +8,8 @@
 /// Kernel sizing conventions:
 ///  - the side-channel suite targets the paper's 512-line (32 KB) cache;
 ///  - the execution-time suite targets a 64-line (4 KB) cache, scaled from
-///    the paper's full applications down to distilled kernels (DESIGN.md);
+///    the paper's full applications down to distilled kernels
+///    (DESIGN.md §1);
 ///  - `secret` marks key material, plain scalars without initializers are
 ///    program inputs, preload loops stride by the 64-byte line size.
 ///

@@ -106,6 +106,89 @@ INSTANTIATE_TEST_SUITE_P(PinnedCorpus, FuzzRegressionTest,
                          });
 
 //===----------------------------------------------------------------------===//
+// Per-policy corpus: the same 20 programs analyzed under the FIFO and
+// tree-PLRU lattices (docs/DOMAINS.md), just-in-time/dynamic. Pins that
+// the policy generalization holds still — and, because the LRU table
+// above is untouched, that adding the policy dimension never moved an LRU
+// result. Regenerate with the snippet at the bottom of this file, with
+// Jit.Cache switched per policy via withPolicy().
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PolicyGoldenEntry {
+  uint64_t Seed;
+  uint64_t FifoDigest; // fifo, just-in-time / dynamic
+  uint64_t PlruDigest; // plru, just-in-time / dynamic
+};
+
+const PolicyGoldenEntry PolicyCorpus[] = {
+    {1, 0xd55a467b31de7ab7ULL, 0x93a4fc0de65d0a47ULL},
+    {2, 0xee707c3e33805f14ULL, 0xe157e68f2fff0c89ULL},
+    {3, 0xd2561a3a4aa2cd28ULL, 0x3be45bd618260aecULL},
+    {4, 0xe0817b7fd37b71dfULL, 0x73d29d8ce1512936ULL},
+    {5, 0x2044ce7c3897a30bULL, 0x66ad5df620f347dbULL},
+    {6, 0xd16400a33e782057ULL, 0x305709f5965f4743ULL},
+    {7, 0xdf1271ca67f0e841ULL, 0x533bf57fa024d3d7ULL},
+    {8, 0x3020aa66b79f5e66ULL, 0x3014620f2c3edc66ULL},
+    {9, 0x1cb22d7470d825a9ULL, 0x2769a4ec4b3aeb75ULL},
+    {10, 0x905b744f62cb4596ULL, 0x95207b29cacb61d7ULL},
+    {11, 0xff9e52b076b1d130ULL, 0xe2eda4afe2c3e91aULL},
+    {12, 0x29160cfb0ec6c301ULL, 0xd68d88ba6ec462caULL},
+    {13, 0x82b914b4306d0368ULL, 0x07c78ee0b5fa11c0ULL},
+    {14, 0x2d3e72d297a6d1feULL, 0xa65b4753b466c163ULL},
+    {15, 0x2066bcaa2121f5caULL, 0xbab55b739d0bc617ULL},
+    {16, 0x1f16851a6c607c9dULL, 0x81a735e979f0eb7eULL},
+    {17, 0xf6b52dbf57ae7a0bULL, 0xbdda2b8ffc28abb2ULL},
+    {18, 0xd54074dbc0120e0fULL, 0x9e3d5575db7459a5ULL},
+    {19, 0xe48a90f428e2456cULL, 0x2b1095516c6fb96bULL},
+    {20, 0x07535d25b22f660eULL, 0x6d5c3e494b1e8548ULL},
+};
+
+class PolicyRegressionTest
+    : public ::testing::TestWithParam<PolicyGoldenEntry> {};
+
+} // namespace
+
+TEST_P(PolicyRegressionTest, PinnedPolicyDigestsAreStable) {
+  const PolicyGoldenEntry &E = GetParam();
+  ProgramGen Gen(E.Seed);
+  GeneratedProgram G = Gen.generate();
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(G.source(), Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  MustHitOptions Jit;
+  Jit.Cache = CacheConfig::fullyAssociative(8);
+  Jit.DepthMiss = 24;
+  Jit.DepthHit = 6;
+  Jit.Strategy = MergeStrategy::JustInTime;
+  Jit.Bounding = BoundingMode::Dynamic;
+
+  MustHitOptions Fifo = Jit;
+  Fifo.Cache = Jit.Cache.withPolicy(ReplacementPolicy::Fifo);
+  MustHitReport RF = runMustHitAnalysis(*CP, Fifo);
+  ASSERT_TRUE(RF.Converged);
+  EXPECT_EQ(digestMustHitReport(*CP, RF), E.FifoDigest)
+      << "analysis drift (fifo, just-in-time/dynamic) at seed " << E.Seed;
+
+  MustHitOptions Plru = Jit;
+  Plru.Cache = Jit.Cache.withPolicy(ReplacementPolicy::Plru);
+  MustHitReport RP = runMustHitAnalysis(*CP, Plru);
+  ASSERT_TRUE(RP.Converged);
+  EXPECT_EQ(digestMustHitReport(*CP, RP), E.PlruDigest)
+      << "analysis drift (plru, just-in-time/dynamic) at seed " << E.Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedPolicyCorpus, PolicyRegressionTest,
+                         ::testing::ValuesIn(PolicyCorpus),
+                         [](const ::testing::TestParamInfo<PolicyGoldenEntry>
+                                &I) {
+                           return "seed" + std::to_string(I.param.Seed);
+                         });
+
+//===----------------------------------------------------------------------===//
 // Golden regeneration snippet (compile against libspecai and paste):
 //
 //   #include "specai/SpecAI.h"

@@ -355,3 +355,60 @@ TEST(WorklistOrderTest, SpeculativeEngineReportsMemoAndInternerStats) {
   EXPECT_GT(Stats.get("spec.memo.hits") + Stats.get("spec.memo.misses"), 0u);
   EXPECT_GT(Stats.get("spec.interner.states"), 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Replacement-policy states reuse the same representation machinery
+//===----------------------------------------------------------------------===//
+
+class PolicyReprTest : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(PolicyReprTest, HashEqualityAndCowHoldUnderPolicyTransfers) {
+  // The FIFO/PLRU lattices (docs/DOMAINS.md) ride on the identical
+  // partitioned COW payloads, so hash<->equality consistency and
+  // unshare-on-mutate must hold under their transfer rules too.
+  CacheConfig Config =
+      CacheConfig::setAssociative(64, 8).withPolicy(GetParam());
+  Blocks F(6, Config);
+  Rng R(0x9e1ull + static_cast<uint64_t>(GetParam()));
+  for (unsigned Trial = 0; Trial != 32; ++Trial) {
+    bool Shadow = R.chance(1, 2);
+    CacheAbsState A = randomState(F, R, Shadow);
+    CacheAbsState B = randomState(F, R, Shadow);
+    EXPECT_EQ(A == B, A.structuralHash() == B.structuralHash());
+
+    CacheAbsState Copy = A;
+    if (!A.partitions().empty()) {
+      EXPECT_TRUE(Copy.sharesStorageWith(A));
+    }
+    Copy.accessBlock(F.block(0), *F.MM, Shadow);
+    if (!(Copy == A)) {
+      EXPECT_FALSE(Copy.sharesStorageWith(A));
+    }
+    EXPECT_EQ(Copy == A, Copy.structuralHash() == A.structuralHash());
+  }
+}
+
+TEST_P(PolicyReprTest, MaterializedEntryViewsStayBlockSorted) {
+  CacheConfig Config =
+      CacheConfig::setAssociative(64, 8).withPolicy(GetParam());
+  Blocks F(6, Config);
+  Rng R(0x77aull + static_cast<uint64_t>(GetParam()));
+  CacheAbsState S = randomState(F, R, /*Shadow=*/true);
+  auto Sorted = [](const std::vector<AgedBlock> &V) {
+    for (size_t I = 1; I < V.size(); ++I)
+      if (V[I - 1].Block >= V[I].Block)
+        return false;
+    return true;
+  };
+  EXPECT_TRUE(Sorted(S.mustEntries()));
+  EXPECT_TRUE(Sorted(S.mayEntries()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyReprTest,
+                         ::testing::Values(ReplacementPolicy::Lru,
+                                           ReplacementPolicy::Fifo,
+                                           ReplacementPolicy::Plru),
+                         [](const ::testing::TestParamInfo<ReplacementPolicy>
+                                &I) {
+                           return replacementPolicyName(I.param);
+                         });

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Docs link-and-reference checker (CI-gating; see tools/ci.sh and
+# .github/workflows/ci.yml):
+#
+#  1. every relative markdown link in the repo's *.md files must resolve
+#     to an existing file (anchors and external URLs are skipped);
+#  2. every `docs/<name>.md` or root-level `<NAME>.md` citation — in docs
+#     AND in source comments across src/tools/tests/bench/examples — must
+#     name a file that exists.
+#
+# Rationale: source headers cite design documents (DESIGN.md,
+# docs/DOMAINS.md, ...) as normative references; a dangling citation is a
+# broken promise to the reader and has gone unnoticed before (DESIGN.md
+# was cited from three files for several PRs without existing). Exit 1 on
+# the first class of failure, with every offender listed.
+set -u
+
+REPO=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$REPO" || exit 1
+
+FAIL=0
+
+# --- 1. Relative markdown links inside *.md files --------------------------
+# The whole scan runs inside a command substitution (pipelines spawn
+# subshells, which could not set FAIL directly); any captured output means
+# at least one broken link.
+LINK_ERRS=$(
+  for md in *.md docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # Extract ](target) link targets; strip trailing anchors.
+    grep -o '](\([^)]*\))' "$md" 2>/dev/null | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+      case "$target" in
+      http://*|https://*|mailto:*|\#*|'') continue ;;
+      esac
+      path="${target%%#*}"
+      [ -n "$path" ] || continue
+      # Links resolve relative to the file, or (house style for `docs/...`
+      # and root-level files) relative to the repo root.
+      if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+        echo "check_docs: $md: broken link -> $target"
+      fi
+    done
+  done
+)
+if [ -n "$LINK_ERRS" ]; then
+  printf '%s\n' "$LINK_ERRS"
+  FAIL=1
+fi
+
+# --- 2. Doc citations in docs and source comments ---------------------------
+# docs/<file>.md anywhere, plus bare root documents whose names are all
+# uppercase. Generated artifacts (build trees) are not scanned.
+refs=$(
+  { grep -rEoh 'docs/[A-Za-z0-9_.-]+\.md' \
+      src tools tests bench examples docs ./*.md 2>/dev/null
+    grep -rEoh '(^|[^/A-Za-z0-9_.-])[A-Z][A-Z_]+\.md' \
+      src tools tests bench examples docs ./*.md 2>/dev/null |
+      sed 's/^[^A-Z]*//'
+  } | sort -u
+)
+for ref in $refs; do
+  # Bare citations resolve at the repo root or (house style inside docs/
+  # prose) in docs/ itself.
+  if [ ! -f "$ref" ] && [ ! -f "docs/$ref" ]; then
+    echo "check_docs: dangling document citation -> $ref, referenced from:"
+    grep -rln "$ref" src tools tests bench examples docs ./*.md 2>/dev/null |
+      sed 's/^/check_docs:   /'
+    FAIL=1
+  fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "check_docs: FAIL"
+  exit 1
+fi
+echo "check_docs: OK (markdown links and document citations all resolve)"

@@ -7,6 +7,10 @@ REPO=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD="$REPO/build-ci"
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 
+# Docs hygiene first (cheapest check): every markdown link and every
+# document citation in source comments must resolve (tools/check_docs.sh).
+"$REPO/tools/check_docs.sh"
+
 cmake -B "$BUILD" -S "$REPO" -DSPECAI_WERROR=ON
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
@@ -14,9 +18,15 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 # Bounded differential-fuzzing smoke: a fixed-seed campaign (~30 s) that
 # fails on any containment violation of the speculative analysis. The
 # deeper proof that the oracle can catch a broken engine runs as the
-# specai_fuzz_selftest CTest case above.
+# specai_fuzz_selftest CTest case above. The FIFO/PLRU legs cover the
+# non-LRU lattices of docs/DOMAINS.md with a smaller program budget (the
+# 20-seed golden corpora in fuzz_regression_test pin their exact states).
 "$BUILD/tools/specai-fuzz" --seed 1 --programs 25 --jobs "$JOBS" \
   --ce-dir "$BUILD"
+for policy in fifo plru; do
+  "$BUILD/tools/specai-fuzz" --seed 1 --programs 10 --jobs "$JOBS" \
+    --policy "$policy" --ce-dir "$BUILD"
+done
 
 # Fixed-coverage perf smoke: the 50-program campaign behind
 # BENCH_fuzz.json, with timing JSON written next to the build

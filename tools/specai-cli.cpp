@@ -17,6 +17,8 @@
 ///   --depth-hit N       b_hit window (default 20)
 ///   --strategy S        no-merge | merge-at-exit | just-in-time |
 ///                       merge-at-rollback
+///   --policy P          replacement policy: lru (default) | fifo | plru
+///                       (per-policy abstract lattices: docs/DOMAINS.md)
 ///   --no-shadow         disable the Appendix-B shadow refinement
 ///   --refine            iterative depth refinement (§6.2 outer loop)
 ///   --dump-ir           print the lowered IR
@@ -53,8 +55,9 @@ void usage() {
   std::printf(
       "usage: specai-cli FILE.mc [--entry NAME] [--no-spec] [--lines N]\n"
       "       [--assoc N] [--depth-miss N] [--depth-hit N] [--strategy S]\n"
-      "       [--no-shadow] [--refine] [--dump-ir] [--dump-states]\n"
-      "       [--leaks] [--wcet] [--batch] [--jobs N]\n");
+      "       [--policy lru|fifo|plru] [--no-shadow] [--refine]\n"
+      "       [--dump-ir] [--dump-states] [--leaks] [--wcet] [--batch]\n"
+      "       [--jobs N]\n");
 }
 
 } // namespace
@@ -72,6 +75,7 @@ int main(int Argc, char **Argv) {
   uint32_t Assoc = 0; // 0 = fully associative.
   bool DumpIr = false, DumpStates = false, Leaks = false, Wcet = false;
   bool Batch = false, StrategySet = false, JobsSet = false;
+  ReplacementPolicy Policy = ReplacementPolicy::Lru;
   unsigned Jobs = 0; // 0 = all hardware threads.
 
   for (int I = 1; I < Argc; ++I) {
@@ -108,6 +112,13 @@ int main(int Argc, char **Argv) {
         Opts.Strategy = MergeStrategy::MergeAtRollback;
       else {
         std::printf("error: unknown strategy '%s'\n", S.c_str());
+        return 1;
+      }
+    } else if (Arg == "--policy") {
+      std::string P = Next();
+      if (!parseReplacementPolicy(P, Policy)) {
+        std::printf("error: unknown policy '%s' (lru | fifo | plru)\n",
+                    P.c_str());
         return 1;
       }
     } else if (Arg == "--no-shadow") {
@@ -172,9 +183,18 @@ int main(int Argc, char **Argv) {
 
   Opts.Cache = Assoc == 0 ? CacheConfig::fullyAssociative(Lines)
                           : CacheConfig::setAssociative(Lines, Assoc);
+  Opts.Cache.Policy = Policy;
   if (!Opts.Cache.isValid()) {
-    std::printf("error: invalid cache geometry (%u lines, %u ways)\n", Lines,
-                Assoc);
+    // PLRU needs a power-of-two way count (the direction bits form a
+    // complete binary tree); every other failure is plain geometry.
+    if (Policy == ReplacementPolicy::Plru &&
+        Opts.Cache.withPolicy(ReplacementPolicy::Lru).isValid())
+      std::printf("error: --policy plru needs power-of-two associativity "
+                  "(got %u ways)\n",
+                  Opts.Cache.Associativity);
+    else
+      std::printf("error: invalid cache geometry (%u lines, %u ways)\n",
+                  Lines, Assoc);
     return 1;
   }
 
@@ -227,11 +247,12 @@ int main(int Argc, char **Argv) {
 
   Timer T;
   MustHitReport R = runMustHitAnalysis(*CP, Opts);
-  std::printf("analysis: %s, %s merging, cache %u x %u B (%u-way), depths "
-              "(%u, %u)\n",
+  std::printf("analysis: %s, %s merging, cache %u x %u B (%u-way %s), "
+              "depths (%u, %u)\n",
               Opts.Speculative ? "speculative" : "non-speculative",
               mergeStrategyName(Opts.Strategy), Opts.Cache.NumLines,
-              Opts.Cache.LineSize, Opts.Cache.Associativity, Opts.DepthHit,
+              Opts.Cache.LineSize, Opts.Cache.Associativity,
+              replacementPolicyName(Opts.Cache.Policy), Opts.DepthHit,
               Opts.DepthMiss);
   std::printf("time: %.3fs  iterations: %llu  converged: %s\n", T.seconds(),
               static_cast<unsigned long long>(R.Iterations),

@@ -18,6 +18,9 @@
 ///                       summaries are identical for any --jobs value.
 ///   --lines N           cache lines of the oracle geometry (default 8)
 ///   --assoc N           associativity (default: fully associative)
+///   --policy P          replacement policy to validate: lru (default) |
+///                       fifo | plru | all (one oracle sweep per policy
+///                       and program; lattices in docs/DOMAINS.md)
 ///   --depth-miss N      b_miss window (default 24)
 ///   --depth-hit N       b_hit window (default 6)
 ///   --exhaustive-bits N exhaustive prediction-script DFS depth (default 5)
@@ -49,7 +52,8 @@ namespace {
 void usage() {
   std::printf(
       "usage: specai-fuzz [--seed N] [--programs N] [--jobs N] [--lines N]\n"
-      "       [--assoc N] [--depth-miss N] [--depth-hit N]\n"
+      "       [--assoc N] [--policy lru|fifo|plru|all] [--depth-miss N]\n"
+      "       [--depth-hit N]\n"
       "       [--exhaustive-bits N] [--input-rounds N] [--no-shadow]\n"
       "       [--no-minimize] [--ce-dir DIR] [--json]\n"
       "       [--inject-fault skip-spec-seed|skip-rollback]\n"
@@ -248,6 +252,11 @@ int replay(const std::string &Path) {
       std::sscanf(Value.c_str(), "miss=%u,hit=%u", &Miss, &Hit);
       Opts.DepthMiss = Miss;
       Opts.DepthHit = Hit;
+    } else if (Key == "policy") {
+      if (!parseReplacementPolicy(Value, Opts.Cache.Policy)) {
+        std::printf("error: unknown replay-policy '%s'\n", Value.c_str());
+        return 1;
+      }
     } else if (Key == "shadow") {
       Opts.UseShadow = Value == "on";
     } else if (Key == "fault") {
@@ -333,6 +342,8 @@ int main(int Argc, char **Argv) {
   std::string ReplayPath;
   bool Json = false, SelfTest = false;
   uint32_t Lines = 8, Assoc = 0;
+  ReplacementPolicy Policy = ReplacementPolicy::Lru;
+  bool AllPolicies = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -353,6 +364,15 @@ int main(int Argc, char **Argv) {
       Lines = parseNum("--lines", Next());
     } else if (Arg == "--assoc") {
       Assoc = parseNum("--assoc", Next());
+    } else if (Arg == "--policy") {
+      std::string P = Next();
+      if (P == "all")
+        AllPolicies = true;
+      else if (!parseReplacementPolicy(P, Policy)) {
+        std::printf("error: unknown policy '%s' (lru | fifo | plru | all)\n",
+                    P.c_str());
+        return 1;
+      }
     } else if (Arg == "--depth-miss") {
       O.Oracle.DepthMiss = parseNum("--depth-miss", Next());
     } else if (Arg == "--depth-hit") {
@@ -399,11 +419,27 @@ int main(int Argc, char **Argv) {
     return replay(ReplayPath);
 
   O.Oracle.Cache = CacheConfig{64, Lines, Assoc == 0 ? Lines : Assoc};
+  // Geometry first (policy-independent), then the policy-specific
+  // constraint, so a PLRU request over a valid-but-odd geometry gets the
+  // tailored message instead of a generic one.
   if (!O.Oracle.Cache.isValid()) {
     std::printf("error: invalid cache geometry (%u lines, %u-way)\n", Lines,
                 Assoc);
     return 1;
   }
+  if (!AllPolicies && !O.Oracle.Cache.withPolicy(Policy).isValid()) {
+    std::printf("error: --policy %s needs power-of-two associativity "
+                "(got %u-way)\n",
+                replacementPolicyName(Policy),
+                O.Oracle.Cache.Associativity);
+    return 1;
+  }
+  if (AllPolicies)
+    O.Policies = {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+                  ReplacementPolicy::Plru};
+  else
+    O.Policies = {Policy};
+  O.Oracle.Cache.Policy = O.Policies.front();
 
   FuzzCampaignResult R = runFuzzCampaign(O);
   if (Json) {
