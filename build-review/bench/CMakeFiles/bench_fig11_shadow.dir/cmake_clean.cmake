@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_shadow.dir/bench_fig11_shadow.cpp.o"
+  "CMakeFiles/bench_fig11_shadow.dir/bench_fig11_shadow.cpp.o.d"
+  "bench_fig11_shadow"
+  "bench_fig11_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

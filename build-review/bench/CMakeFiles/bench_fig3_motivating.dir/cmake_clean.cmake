@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_motivating.dir/bench_fig3_motivating.cpp.o"
+  "CMakeFiles/bench_fig3_motivating.dir/bench_fig3_motivating.cpp.o.d"
+  "bench_fig3_motivating"
+  "bench_fig3_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

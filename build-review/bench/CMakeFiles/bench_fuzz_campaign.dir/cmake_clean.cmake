@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzz_campaign.dir/bench_fuzz_campaign.cpp.o"
+  "CMakeFiles/bench_fuzz_campaign.dir/bench_fuzz_campaign.cpp.o.d"
+  "bench_fuzz_campaign"
+  "bench_fuzz_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzz_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

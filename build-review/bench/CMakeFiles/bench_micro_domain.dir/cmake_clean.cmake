@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_domain.dir/bench_micro_domain.cpp.o"
+  "CMakeFiles/bench_micro_domain.dir/bench_micro_domain.cpp.o.d"
+  "bench_micro_domain"
+  "bench_micro_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_matrix.dir/bench_policy_matrix.cpp.o"
+  "CMakeFiles/bench_policy_matrix.dir/bench_policy_matrix.cpp.o.d"
+  "bench_policy_matrix"
+  "bench_policy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_wcet.dir/bench_table5_wcet.cpp.o"
+  "CMakeFiles/bench_table5_wcet.dir/bench_table5_wcet.cpp.o.d"
+  "bench_table5_wcet"
+  "bench_table5_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_merging.dir/bench_table6_merging.cpp.o"
+  "CMakeFiles/bench_table6_merging.dir/bench_table6_merging.cpp.o.d"
+  "bench_table6_merging"
+  "bench_table6_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_sidechannel.dir/bench_table7_sidechannel.cpp.o"
+  "CMakeFiles/bench_table7_sidechannel.dir/bench_table7_sidechannel.cpp.o.d"
+  "bench_table7_sidechannel"
+  "bench_table7_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables12_quantl.dir/bench_tables12_quantl.cpp.o"
+  "CMakeFiles/bench_tables12_quantl.dir/bench_tables12_quantl.cpp.o.d"
+  "bench_tables12_quantl"
+  "bench_tables12_quantl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables12_quantl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

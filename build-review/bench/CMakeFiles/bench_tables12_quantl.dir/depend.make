@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tables12_quantl.
+# This may be replaced when dependencies are built.

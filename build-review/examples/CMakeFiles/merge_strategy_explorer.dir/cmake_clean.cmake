@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_strategy_explorer.dir/merge_strategy_explorer.cpp.o"
+  "CMakeFiles/merge_strategy_explorer.dir/merge_strategy_explorer.cpp.o.d"
+  "merge_strategy_explorer"
+  "merge_strategy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_strategy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/side_channel_detection.dir/side_channel_detection.cpp.o"
+  "CMakeFiles/side_channel_detection.dir/side_channel_detection.cpp.o.d"
+  "side_channel_detection"
+  "side_channel_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/side_channel_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

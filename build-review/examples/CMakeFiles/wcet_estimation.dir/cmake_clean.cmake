@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_estimation.dir/wcet_estimation.cpp.o"
+  "CMakeFiles/wcet_estimation.dir/wcet_estimation.cpp.o.d"
+  "wcet_estimation"
+  "wcet_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

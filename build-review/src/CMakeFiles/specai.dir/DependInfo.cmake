@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ai/SpeculativeEngine.cpp" "src/CMakeFiles/specai.dir/ai/SpeculativeEngine.cpp.o" "gcc" "src/CMakeFiles/specai.dir/ai/SpeculativeEngine.cpp.o.d"
+  "/root/repo/src/ai/Vcfg.cpp" "src/CMakeFiles/specai.dir/ai/Vcfg.cpp.o" "gcc" "src/CMakeFiles/specai.dir/ai/Vcfg.cpp.o.d"
+  "/root/repo/src/analysis/AnalysisPipeline.cpp" "src/CMakeFiles/specai.dir/analysis/AnalysisPipeline.cpp.o" "gcc" "src/CMakeFiles/specai.dir/analysis/AnalysisPipeline.cpp.o.d"
+  "/root/repo/src/analysis/SideChannel.cpp" "src/CMakeFiles/specai.dir/analysis/SideChannel.cpp.o" "gcc" "src/CMakeFiles/specai.dir/analysis/SideChannel.cpp.o.d"
+  "/root/repo/src/analysis/Taint.cpp" "src/CMakeFiles/specai.dir/analysis/Taint.cpp.o" "gcc" "src/CMakeFiles/specai.dir/analysis/Taint.cpp.o.d"
+  "/root/repo/src/analysis/Wcet.cpp" "src/CMakeFiles/specai.dir/analysis/Wcet.cpp.o" "gcc" "src/CMakeFiles/specai.dir/analysis/Wcet.cpp.o.d"
+  "/root/repo/src/cache/CacheSim.cpp" "src/CMakeFiles/specai.dir/cache/CacheSim.cpp.o" "gcc" "src/CMakeFiles/specai.dir/cache/CacheSim.cpp.o.d"
+  "/root/repo/src/cfg/Dominators.cpp" "src/CMakeFiles/specai.dir/cfg/Dominators.cpp.o" "gcc" "src/CMakeFiles/specai.dir/cfg/Dominators.cpp.o.d"
+  "/root/repo/src/cfg/FlatCfg.cpp" "src/CMakeFiles/specai.dir/cfg/FlatCfg.cpp.o" "gcc" "src/CMakeFiles/specai.dir/cfg/FlatCfg.cpp.o.d"
+  "/root/repo/src/cfg/LoopInfo.cpp" "src/CMakeFiles/specai.dir/cfg/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/specai.dir/cfg/LoopInfo.cpp.o.d"
+  "/root/repo/src/domain/CacheDomain.cpp" "src/CMakeFiles/specai.dir/domain/CacheDomain.cpp.o" "gcc" "src/CMakeFiles/specai.dir/domain/CacheDomain.cpp.o.d"
+  "/root/repo/src/domain/CacheState.cpp" "src/CMakeFiles/specai.dir/domain/CacheState.cpp.o" "gcc" "src/CMakeFiles/specai.dir/domain/CacheState.cpp.o.d"
+  "/root/repo/src/domain/IntervalDomain.cpp" "src/CMakeFiles/specai.dir/domain/IntervalDomain.cpp.o" "gcc" "src/CMakeFiles/specai.dir/domain/IntervalDomain.cpp.o.d"
+  "/root/repo/src/driver/BatchRunner.cpp" "src/CMakeFiles/specai.dir/driver/BatchRunner.cpp.o" "gcc" "src/CMakeFiles/specai.dir/driver/BatchRunner.cpp.o.d"
+  "/root/repo/src/fuzz/FuzzCampaign.cpp" "src/CMakeFiles/specai.dir/fuzz/FuzzCampaign.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/FuzzCampaign.cpp.o.d"
+  "/root/repo/src/fuzz/ProgramGen.cpp" "src/CMakeFiles/specai.dir/fuzz/ProgramGen.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/ProgramGen.cpp.o.d"
+  "/root/repo/src/fuzz/SoundnessOracle.cpp" "src/CMakeFiles/specai.dir/fuzz/SoundnessOracle.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/SoundnessOracle.cpp.o.d"
+  "/root/repo/src/fuzz/StateDigest.cpp" "src/CMakeFiles/specai.dir/fuzz/StateDigest.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/StateDigest.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/CMakeFiles/specai.dir/ir/Interp.cpp.o" "gcc" "src/CMakeFiles/specai.dir/ir/Interp.cpp.o.d"
+  "/root/repo/src/ir/Ir.cpp" "src/CMakeFiles/specai.dir/ir/Ir.cpp.o" "gcc" "src/CMakeFiles/specai.dir/ir/Ir.cpp.o.d"
+  "/root/repo/src/ir/Lowering.cpp" "src/CMakeFiles/specai.dir/ir/Lowering.cpp.o" "gcc" "src/CMakeFiles/specai.dir/ir/Lowering.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/specai.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/specai.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/lang/Ast.cpp" "src/CMakeFiles/specai.dir/lang/Ast.cpp.o" "gcc" "src/CMakeFiles/specai.dir/lang/Ast.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/specai.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/specai.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/specai.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/specai.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/Sema.cpp" "src/CMakeFiles/specai.dir/lang/Sema.cpp.o" "gcc" "src/CMakeFiles/specai.dir/lang/Sema.cpp.o.d"
+  "/root/repo/src/memory/MemoryModel.cpp" "src/CMakeFiles/specai.dir/memory/MemoryModel.cpp.o" "gcc" "src/CMakeFiles/specai.dir/memory/MemoryModel.cpp.o.d"
+  "/root/repo/src/pipeline/BranchPredictor.cpp" "src/CMakeFiles/specai.dir/pipeline/BranchPredictor.cpp.o" "gcc" "src/CMakeFiles/specai.dir/pipeline/BranchPredictor.cpp.o.d"
+  "/root/repo/src/pipeline/SpeculativeCpu.cpp" "src/CMakeFiles/specai.dir/pipeline/SpeculativeCpu.cpp.o" "gcc" "src/CMakeFiles/specai.dir/pipeline/SpeculativeCpu.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/specai.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/specai.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/specai.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/CMakeFiles/specai.dir/support/StringUtils.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/StringUtils.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/specai.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Table.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/CMakeFiles/specai.dir/support/Timer.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Timer.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/specai.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/specai.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_memory_test.dir/cache_memory_test.cpp.o"
+  "CMakeFiles/cache_memory_test.dir/cache_memory_test.cpp.o.d"
+  "cache_memory_test"
+  "cache_memory_test.pdb"
+  "cache_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_oracle_test.dir/fuzz_oracle_test.cpp.o"
+  "CMakeFiles/fuzz_oracle_test.dir/fuzz_oracle_test.cpp.o.d"
+  "fuzz_oracle_test"
+  "fuzz_oracle_test.pdb"
+  "fuzz_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_regression_test.dir/fuzz_regression_test.cpp.o"
+  "CMakeFiles/fuzz_regression_test.dir/fuzz_regression_test.cpp.o.d"
+  "fuzz_regression_test"
+  "fuzz_regression_test.pdb"
+  "fuzz_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

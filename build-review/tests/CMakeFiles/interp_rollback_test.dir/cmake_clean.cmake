@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_rollback_test.dir/interp_rollback_test.cpp.o"
+  "CMakeFiles/interp_rollback_test.dir/interp_rollback_test.cpp.o.d"
+  "interp_rollback_test"
+  "interp_rollback_test.pdb"
+  "interp_rollback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_rollback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_repr_test.dir/state_repr_test.cpp.o"
+  "CMakeFiles/state_repr_test.dir/state_repr_test.cpp.o.d"
+  "state_repr_test"
+  "state_repr_test.pdb"
+  "state_repr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_repr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-review/tests/batch_runner_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cache_memory_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build-review/tests/domain_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fuzz_oracle_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fuzz_regression_test[1]_include.cmake")
+include("/root/repo/build-review/tests/interp_rollback_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ir_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/policy_domain_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sema_test[1]_include.cmake")
+include("/root/repo/build-review/tests/soundness_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/state_repr_test[1]_include.cmake")
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specai-cli.dir/specai-cli.cpp.o"
+  "CMakeFiles/specai-cli.dir/specai-cli.cpp.o.d"
+  "specai-cli"
+  "specai-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specai-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

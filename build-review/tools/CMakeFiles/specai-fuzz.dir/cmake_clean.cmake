@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specai-fuzz.dir/specai-fuzz.cpp.o"
+  "CMakeFiles/specai-fuzz.dir/specai-fuzz.cpp.o.d"
+  "specai-fuzz"
+  "specai-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specai-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

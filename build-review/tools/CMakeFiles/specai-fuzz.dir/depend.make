@@ -1,0 +1,2 @@
+# Empty dependencies file for specai-fuzz.
+# This may be replaced when dependencies are built.
