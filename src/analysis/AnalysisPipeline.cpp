@@ -14,6 +14,38 @@
 
 using namespace specai;
 
+const char *specai::verdictFaultName(VerdictFault F) {
+  switch (F) {
+  case VerdictFault::None:
+    return "none";
+  case VerdictFault::WcetHitForMiss:
+    return "wcet-hit-for-miss";
+  case VerdictFault::WcetDropLoopScale:
+    return "wcet-drop-loop-scale";
+  case VerdictFault::LeakSkipMixed:
+    return "leak-skip-mixed";
+  case VerdictFault::LeakDiscountSpeculation:
+    return "leak-discount-spec";
+  case VerdictFault::LeakDropSpecOnly:
+    return "leak-drop-spec-only";
+  }
+  return "?";
+}
+
+bool specai::parseVerdictFault(const std::string &Name, VerdictFault &Out) {
+  for (VerdictFault F :
+       {VerdictFault::None, VerdictFault::WcetHitForMiss,
+        VerdictFault::WcetDropLoopScale, VerdictFault::LeakSkipMixed,
+        VerdictFault::LeakDiscountSpeculation,
+        VerdictFault::LeakDropSpecOnly}) {
+    if (Name == verdictFaultName(F)) {
+      Out = F;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::unique_ptr<CompiledProgram>
 specai::compileSource(const std::string &Source, DiagnosticEngine &Diags,
                       const LoweringOptions &Options) {

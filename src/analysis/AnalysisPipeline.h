@@ -55,6 +55,37 @@ std::unique_ptr<CompiledProgram>
 compileSource(const std::string &Source, DiagnosticEngine &Diags,
               const LoweringOptions &Options = {});
 
+/// Deliberate, test-only faults in the *verdict* layer — the modules that
+/// turn a MustHitReport into the user-facing deliverables (execution-time
+/// bounds, leak-freedom proofs). The differential fuzzer's verdict oracles
+/// (`specai-fuzz --oracle wcet|leak --selftest`) inject one of these and
+/// demand a concrete counterexample, mirroring EngineFault one level up
+/// the stack: an oracle that cannot see a broken verdict proves nothing.
+/// Never set outside tests.
+enum class VerdictFault : uint8_t {
+  None,
+  /// estimateWcet charges the hit latency for possibly-missing accesses —
+  /// the classic undercharged-miss WCET shortcut.
+  WcetHitForMiss,
+  /// estimateWcet ignores LoopIterationBound: loop bodies are charged as
+  /// if they executed once.
+  WcetDropLoopScale,
+  /// detectLeaks skips the Mixed check and reports every secret-indexed
+  /// access leak-free.
+  LeakSkipMixed,
+  /// detectLeaks assumes speculative misses are invisible to the attacker
+  /// and proves a Mixed access leak-free whenever the speculative analysis
+  /// flagged it SpecPossibleMiss — the exact wrong argument the paper
+  /// refutes (§2.2): squashed loads still displace attacker-visible lines.
+  LeakDiscountSpeculation,
+  /// annotateSpeculationOnly never sets the SpeculationOnly flag.
+  LeakDropSpecOnly,
+};
+
+const char *verdictFaultName(VerdictFault F);
+/// Parses a verdict fault name; returns false on unknown names.
+bool parseVerdictFault(const std::string &Name, VerdictFault &Out);
+
 /// Configuration of one static cache analysis run.
 struct MustHitOptions {
   CacheConfig Cache = CacheConfig::paperDefault();

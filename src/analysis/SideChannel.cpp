@@ -21,7 +21,8 @@ std::string LeakSite::str(const Program &P) const {
 }
 
 SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
-                                      const MustHitReport &R) {
+                                      const MustHitReport &R,
+                                      const SideChannelOptions &Options) {
   SideChannelReport Report;
   TaintResult Taint = computeTaint(CP.G);
 
@@ -32,8 +33,15 @@ SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
     // Uniform behavior (guaranteed hit for every possible line, or
     // guaranteed miss for every possible line) cannot depend on the
     // secret; only Mixed accesses leak.
-    if (R.Classes[Node] != CacheDomain::AccessClass::Mixed) {
+    bool Mixed = R.Classes[Node] == CacheDomain::AccessClass::Mixed;
+    if (Options.Fault == VerdictFault::LeakSkipMixed)
+      Mixed = false;
+    if (Mixed && Options.Fault == VerdictFault::LeakDiscountSpeculation &&
+        R.SpecPossibleMiss[Node])
+      Mixed = false;
+    if (!Mixed) {
       ++Report.ProvenLeakFree;
+      Report.LeakFreeSites.push_back(Node);
       continue;
     }
     LeakSite Site;
@@ -43,4 +51,22 @@ SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
     Report.Leaks.push_back(Site);
   }
   return Report;
+}
+
+unsigned specai::annotateSpeculationOnly(SideChannelReport &Spec,
+                                         const SideChannelReport &NonSpec,
+                                         const SideChannelOptions &Options) {
+  unsigned Flagged = 0;
+  for (LeakSite &Site : Spec.Leaks) {
+    bool LeaksWithoutSpeculation = false;
+    for (const LeakSite &N : NonSpec.Leaks)
+      if (N.Node == Site.Node) {
+        LeaksWithoutSpeculation = true;
+        break;
+      }
+    Site.SpeculationOnly = !LeaksWithoutSpeculation &&
+                           Options.Fault != VerdictFault::LeakDropSpecOnly;
+    Flagged += Site.SpeculationOnly;
+  }
+  return Flagged;
 }

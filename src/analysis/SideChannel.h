@@ -47,15 +47,37 @@ struct LeakSite {
 /// Result of leak detection over one analysis report.
 struct SideChannelReport {
   std::vector<LeakSite> Leaks;
-  /// Number of secret-indexed accesses that were proven leak-free.
+  /// Number of secret-indexed accesses that were proven leak-free
+  /// (== LeakFreeSites.size()).
   uint64_t ProvenLeakFree = 0;
+  /// The reachable secret-indexed access nodes proven leak-free. The
+  /// fuzzer's concrete timing attacker checks these: their attacker-
+  /// visible hit/miss behavior must be independent of the secret.
+  std::vector<NodeId> LeakFreeSites;
   bool leakDetected() const { return !Leaks.empty(); }
+};
+
+/// Options of the leak detector.
+struct SideChannelOptions {
+  /// Test-only verdict fault injection for the fuzzer self-test; see
+  /// VerdictFault. Never set outside tests.
+  VerdictFault Fault = VerdictFault::None;
 };
 
 /// Scans \p R's classification for secret-indexed accesses that are not
 /// guaranteed hits.
 SideChannelReport detectLeaks(const CompiledProgram &CP,
-                              const MustHitReport &R);
+                              const MustHitReport &R,
+                              const SideChannelOptions &Options = {});
+
+/// Diffs a speculative-analysis leak report against a non-speculative one
+/// (the paper's Table 7 contrast): every leak of \p Spec at a site the
+/// non-speculative analysis did *not* flag is marked SpeculationOnly —
+/// visible to a timing attacker only because speculative execution
+/// perturbs the cache. Returns the number of sites flagged.
+unsigned annotateSpeculationOnly(SideChannelReport &Spec,
+                                 const SideChannelReport &NonSpec,
+                                 const SideChannelOptions &Options = {});
 
 } // namespace specai
 

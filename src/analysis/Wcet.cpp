@@ -30,7 +30,9 @@ WcetReport specai::estimateWcet(const CompiledProgram &CP,
         Latency[Node] = Options.Timing.HitLatency;
       } else {
         ++Out.PossibleMissNodes;
-        Latency[Node] = Options.Timing.MissLatency;
+        Latency[Node] = Options.Fault == VerdictFault::WcetHitForMiss
+                            ? Options.Timing.HitLatency
+                            : Options.Timing.MissLatency;
       }
     } else if (I.Op == Opcode::Br) {
       Latency[Node] = Options.Timing.BranchResolveLatency;
@@ -47,24 +49,90 @@ WcetReport specai::estimateWcet(const CompiledProgram &CP,
   // compare.
   std::vector<uint64_t> Weight(N, 0);
   for (NodeId Node = 0; Node != N; ++Node) {
-    uint64_t Scale = CP.LI.inAnyLoop(Node) ? Options.LoopIterationBound : 1;
+    uint64_t Scale = CP.LI.inAnyLoop(Node) &&
+                             Options.Fault != VerdictFault::WcetDropLoopScale
+                         ? Options.LoopIterationBound
+                         : 1;
     Weight[Node] = Latency[Node] * Scale;
   }
 
-  // Longest path on the DAG of non-back edges in reverse post-order.
-  std::vector<NodeId> Rpo = G.reversePostOrder();
-  std::vector<uint32_t> RpoIndex(N, 0);
-  for (uint32_t I = 0; I != Rpo.size(); ++I)
-    RpoIndex[Rpo[I]] = I;
+  // Longest path over the loop-augmented DAG: back edges (loop-body ->
+  // header, identified via LoopInfo) are dropped, and in their place each
+  // back-edge source forwards its accumulated distance to the loop's exit
+  // nodes. The redirection is what makes the bound survive code *after* a
+  // loop: skipping back edges outright (the original formulation) left
+  // the body's scaled weight dead-ended at the back-edge source, so a
+  // program of the form `while (...) {...}; tail` was bounded as if the
+  // tail followed the loop *header* — the fuzzer's differential WCET
+  // oracle exhibits concrete runs beating that bound once the loop
+  // iterates close to LoopIterationBound.
+  const std::vector<Loop> &Loops = CP.LI.loops();
+  std::vector<int> LoopOfHeader(N, -1);
+  for (size_t L = 0; L != Loops.size(); ++L)
+    LoopOfHeader[Loops[L].Header] = static_cast<int>(L);
+  std::vector<std::vector<bool>> InBody(Loops.size(),
+                                        std::vector<bool>(N, false));
+  std::vector<std::vector<NodeId>> Exits(Loops.size());
+  for (size_t L = 0; L != Loops.size(); ++L) {
+    for (NodeId B : Loops[L].Body)
+      InBody[L][B] = true;
+    for (NodeId B : Loops[L].Body)
+      for (NodeId S : G.successors(B))
+        if (!InBody[L][S])
+          Exits[L].push_back(S);
+  }
+
+  auto ForEachDagSucc = [&](NodeId Node, auto &&Fn) {
+    for (NodeId Succ : G.successors(Node)) {
+      int L = LoopOfHeader[Succ];
+      if (L >= 0 && InBody[static_cast<size_t>(L)][Node]) {
+        // Back edge: the path leaves the (bounded) loop instead.
+        for (NodeId E : Exits[static_cast<size_t>(L)])
+          Fn(E);
+      } else {
+        Fn(Succ);
+      }
+    }
+  };
+
+  // Kahn topological order over the augmented edges; structured-reducible
+  // CFGs (all this frontend emits) stay acyclic under the redirection.
+  std::vector<uint32_t> InDegree(N, 0);
+  for (NodeId Node = 0; Node != N; ++Node)
+    ForEachDagSucc(Node, [&](NodeId Succ) { ++InDegree[Succ]; });
+  std::vector<NodeId> Queue;
+  Queue.reserve(N);
+  for (NodeId Node = 0; Node != N; ++Node)
+    if (InDegree[Node] == 0)
+      Queue.push_back(Node);
   std::vector<uint64_t> Dist(N, 0);
+  std::vector<bool> Done(N, false);
   uint64_t Best = 0;
-  for (NodeId Node : Rpo) {
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    NodeId Node = Queue[Head];
+    Done[Node] = true;
     uint64_t Here = Dist[Node] + Weight[Node];
     Best = std::max(Best, Here);
-    for (NodeId Succ : G.successors(Node)) {
-      if (RpoIndex[Succ] <= RpoIndex[Node])
-        continue; // Back or cross edge into processed region: skip.
+    ForEachDagSucc(Node, [&](NodeId Succ) {
       Dist[Succ] = std::max(Dist[Succ], Here);
+      if (--InDegree[Succ] == 0)
+        Queue.push_back(Succ);
+    });
+  }
+  if (Queue.size() != N) {
+    // Defensive fallback for an unexpectedly cyclic augmentation (an
+    // irreducible CFG would need one): one reverse-post-order relaxation
+    // pass over the leftover nodes keeps the bound finite and at least as
+    // strong as the pre-redirection formulation.
+    for (NodeId Node : G.reversePostOrder()) {
+      if (Done[Node])
+        continue;
+      uint64_t Here = Dist[Node] + Weight[Node];
+      Best = std::max(Best, Here);
+      ForEachDagSucc(Node, [&](NodeId Succ) {
+        if (!Done[Succ])
+          Dist[Succ] = std::max(Dist[Succ], Here);
+      });
     }
   }
   Out.WorstCaseCycles = Best;

@@ -44,8 +44,13 @@ struct WcetReport {
 struct WcetOptions {
   TimingModel Timing;
   /// Residual (non-unrolled) loops are assumed to iterate at most this
-  /// many times for the cycle bound.
+  /// many times for the cycle bound. The bound covers the *total* number
+  /// of header executions of each loop, so nested loops need no
+  /// per-level product; `estimateWcet` is monotone in it.
   uint32_t LoopIterationBound = 64;
+  /// Test-only verdict fault injection for the fuzzer self-test; see
+  /// VerdictFault. Never set outside tests.
+  VerdictFault Fault = VerdictFault::None;
 };
 
 /// Computes the estimate from a finished analysis over \p CP.

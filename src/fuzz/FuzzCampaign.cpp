@@ -154,6 +154,19 @@ FuzzCampaignResult specai::runFuzzCampaign(const FuzzCampaignOptions &Options) {
     Result.Stats.CompileFailures += S.CompileFailures;
     if (S.CE) {
       ++Result.Stats.ViolationPrograms;
+      switch (oracleOfViolation(S.CE->V.Kind)) {
+      case OracleCache:
+        ++Result.Stats.CacheViolations;
+        break;
+      case OracleWcet:
+        ++Result.Stats.WcetViolations;
+        break;
+      case OracleLeak:
+        ++Result.Stats.LeakViolations;
+        break;
+      default: // Infrastructure kinds count toward the total only.
+        break;
+      }
       Result.Counterexamples.push_back(std::move(*S.CE));
     }
   }
@@ -172,7 +185,16 @@ std::string FuzzCampaignStats::summary() const {
          "\n";
   Out += "speculative checks:  " + std::to_string(Oracle.SpeculativeChecks) +
          "\n";
-  Out += "violations:          " + std::to_string(ViolationPrograms) + "\n";
+  Out += "wcet checks:         " + std::to_string(Oracle.WcetChecks) + "\n";
+  Out += "leak families:       " + std::to_string(Oracle.LeakFamilies) +
+         "\n";
+  Out += "leak runs:           " + std::to_string(Oracle.LeakRuns) + "\n";
+  Out += "leak site checks:    " + std::to_string(Oracle.LeakSiteChecks) +
+         "\n";
+  Out += "violations:          " + std::to_string(ViolationPrograms) +
+         " (cache " + std::to_string(CacheViolations) + ", wcet " +
+         std::to_string(WcetViolations) + ", leak " +
+         std::to_string(LeakViolations) + ")\n";
   return Out;
 }
 
@@ -183,6 +205,17 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
          "FILE)\n";
   Out += "// replay-kind: ";
   Out += violationKindName(V.Kind);
+  // Which differential oracle produced this counterexample; --replay
+  // re-enables exactly that oracle. Infrastructure kinds (stuck runs,
+  // divergence) map to no oracle: tag them by the scenario shape — a
+  // recorded secret family needs the leak oracle on replay (the oracle
+  // only builds its non-speculative baseline, which runLeakFamily
+  // requires, under that mask), anything else re-checks under cache.
+  unsigned Oracle = oracleOfViolation(V.Kind);
+  if (Oracle == 0)
+    Oracle = V.Run.SecretVariants.empty() ? OracleCache : OracleLeak;
+  Out += "\n// replay-oracle: ";
+  Out += oracleKindName(Oracle);
   Out += "\n// replay-seed: ";
   Out += std::to_string(ProgramSeed);
   Out += "\n// replay-strategy: ";
@@ -205,10 +238,28 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
   Out += "// replay-shadow: ";
   Out += O.UseShadow ? "on" : "off";
   Out += "\n";
+  if (Oracle == OracleWcet) {
+    // The WCET verdict depends on the timing model; pin it so the
+    // replayed comparison is the recorded one. (No loop bound here: the
+    // oracle always checks against the run's observed loop-header
+    // executions.)
+    Out += "// replay-wcet: hit=" + std::to_string(O.Wcet.Timing.HitLatency) +
+           ",miss=" + std::to_string(O.Wcet.Timing.MissLatency) +
+           ",alu=" + std::to_string(O.Wcet.Timing.AluLatency) +
+           ",branch=" + std::to_string(O.Wcet.Timing.BranchResolveLatency) +
+           "\n";
+  }
   if (O.Fault != EngineFault::None) {
     Out += "// replay-fault: ";
     Out += O.Fault == EngineFault::SkipSpecSeed ? "skip-spec-seed"
                                                 : "skip-rollback";
+    Out += "\n";
+  }
+  if (O.VFault != VerdictFault::None) {
+    // The counterexample came from a verdict-fault-injected (self-test)
+    // run; replay against the same deliberately broken verdict layer.
+    Out += "// replay-verdict-fault: ";
+    Out += verdictFaultName(O.VFault);
     Out += "\n";
   }
   if (!V.Run.PredictorName.empty()) {
@@ -245,6 +296,21 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
     Out += std::to_string(W);
   }
   Out += "\n";
+  // Leak-attacker families: one line per (variant, secret array), in the
+  // oracle's secret-array order (InputArrays order filtered to `secret`
+  // variables, which is deterministic); --replay rebuilds SecretVariants
+  // by grouping lines on the v<index> tag.
+  for (size_t Variant = 0; Variant != V.Run.SecretVariants.size();
+       ++Variant) {
+    for (size_t S = 0; S != V.Run.SecretVariants[Variant].size(); ++S) {
+      Out += "// replay-secret: v" + std::to_string(Variant);
+      for (int64_t E : V.Run.SecretVariants[Variant][S]) {
+        Out += " ";
+        Out += std::to_string(E);
+      }
+      Out += "\n";
+    }
+  }
   Out += "// replay-detail: " + Pretty + "\n";
   Out += Source;
   return Out;

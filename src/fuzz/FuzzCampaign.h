@@ -81,6 +81,11 @@ struct FuzzCampaignStats {
   uint64_t Programs = 0;
   uint64_t CompileFailures = 0;
   uint64_t ViolationPrograms = 0;
+  /// ViolationPrograms split by the oracle that fired (the kind of the
+  /// first violation per program; see oracleOfViolation).
+  uint64_t CacheViolations = 0;
+  uint64_t WcetViolations = 0;
+  uint64_t LeakViolations = 0;
   OracleStats Oracle;
   double Seconds = 0;
 

@@ -16,6 +16,50 @@
 
 using namespace specai;
 
+const char *specai::oracleKindName(unsigned Kind) {
+  switch (Kind) {
+  case OracleCache:
+    return "cache";
+  case OracleWcet:
+    return "wcet";
+  case OracleLeak:
+    return "leak";
+  case OracleAll:
+    return "all";
+  }
+  return "?";
+}
+
+bool specai::parseOracleKind(const std::string &Name, unsigned &MaskOut) {
+  for (unsigned Kind : {OracleCache, OracleWcet, OracleLeak, OracleAll}) {
+    if (Name == oracleKindName(Kind)) {
+      MaskOut = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+unsigned specai::oracleOfViolation(ViolationKind K) {
+  switch (K) {
+  case ViolationKind::WcetBoundExceeded:
+    return OracleWcet;
+  case ViolationKind::LeakFreeSiteVaried:
+  case ViolationKind::NonSpecLeakFreeSiteVaried:
+  case ViolationKind::SpecOnlyLabelInconsistent:
+    return OracleLeak;
+  case ViolationKind::CompileError:
+  case ViolationKind::AnalysisDiverged:
+  case ViolationKind::RunStuck:
+    // Infrastructure failures, not an oracle's soundness claim: counting
+    // them as "cache" would report cache violations in campaigns where
+    // the cache oracle never ran.
+    return 0;
+  default:
+    return OracleCache;
+  }
+}
+
 const char *specai::violationKindName(ViolationKind K) {
   switch (K) {
   case ViolationKind::CompileError:
@@ -44,6 +88,14 @@ const char *specai::violationKindName(ViolationKind K) {
     return "arch-result-diverged";
   case ViolationKind::ArchTraceDiverged:
     return "arch-trace-diverged";
+  case ViolationKind::WcetBoundExceeded:
+    return "wcet-bound-exceeded";
+  case ViolationKind::LeakFreeSiteVaried:
+    return "leak-free-site-varied";
+  case ViolationKind::NonSpecLeakFreeSiteVaried:
+    return "nonspec-leak-free-site-varied";
+  case ViolationKind::SpecOnlyLabelInconsistent:
+    return "spec-only-label-inconsistent";
   }
   return "?";
 }
@@ -82,6 +134,11 @@ struct SoundnessOracle::ReportCtx {
   /// Depth bound the analysis assumed per site (b_miss, or b_hit under
   /// dynamic bounding when the condition loads are must-hits).
   std::vector<uint32_t> SiteDepth;
+  /// Leak verdicts of this report (leak oracle only), SpeculationOnly
+  /// already annotated against the non-speculative baseline.
+  SideChannelReport Leak;
+  /// (loop bound -> WorstCaseCycles) memo for the WCET oracle.
+  std::vector<std::pair<uint32_t, uint64_t>> WcetMemo;
 };
 
 /// Committed access trace of a non-speculative reference run.
@@ -157,6 +214,30 @@ SoundnessOracle::SoundnessOracle(
     if (std::find(FullWindowMaps.begin(), FullWindowMaps.end(),
                   RC.SiteDepth) == FullWindowMaps.end())
       FullWindowMaps.push_back(RC.SiteDepth);
+
+  for (size_t I = 0; I != this->InputArrays.size(); ++I) {
+    VarId V = CP.P->findVar(this->InputArrays[I].first);
+    if (V != InvalidVar && CP.P->Vars[V].IsSecret)
+      SecretArrays.push_back(I);
+  }
+
+  if (this->Options.Oracles & OracleLeak) {
+    // The non-speculative baseline: strategy/bounding do not apply, so a
+    // single analysis serves every report's SpeculationOnly diff and the
+    // verdict checked against non-speculative attacker runs.
+    MustHitOptions NO;
+    NO.Cache = this->Options.Cache;
+    NO.Speculative = false;
+    NO.UseShadow = this->Options.UseShadow;
+    NonSpecReport =
+        std::make_unique<MustHitReport>(runMustHitAnalysis(CP, NO));
+    SideChannelOptions SCO{this->Options.VFault};
+    NonSpecLeak = detectLeaks(CP, *NonSpecReport, SCO);
+    for (ReportCtx &RC : Reports) {
+      RC.Leak = detectLeaks(CP, RC.R, SCO);
+      annotateSpeculationOnly(RC.Leak, NonSpecLeak, SCO);
+    }
+  }
 }
 
 SoundnessOracle::~SoundnessOracle() = default;
@@ -173,7 +254,8 @@ SoundnessOracle::referenceFor(const RunSpec &Spec) {
   Ref.ArrayValues = Spec.ArrayValues;
   MemoryModel MM(*CP.P, Options.Cache);
   StaticPredictor P(false);
-  SpeculativeCpu Cpu(*CP.P, MM, P, TimingModel{}, /*EnableSpeculation=*/false);
+  SpeculativeCpu Cpu(*CP.P, MM, P, Options.Wcet.Timing,
+                     /*EnableSpeculation=*/false);
   for (size_t I = 0; I != InputScalars.size(); ++I)
     Cpu.machine().setMemory(CP.P->findVar(InputScalars[I]), 0,
                             Spec.ScalarValues[I]);
@@ -198,17 +280,10 @@ bool sameAccess(const AccessEvent &A, const AccessEvent &B) {
 
 } // namespace
 
-std::optional<Violation>
-SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
-                             size_t *DecisionsUsed) {
-  if (DecisionsUsed)
-    *DecisionsUsed = 0;
-  // Reports whose speculation envelope covers this scenario's windows: a
-  // concrete window never longer than the depth the analysis assumed for
-  // the site. (Shorter is fine — the engine models a rollback after every
-  // prefix of the window.)
-  std::vector<const ReportCtx *> Compat;
-  for (const ReportCtx &RC : Reports) {
+std::vector<SoundnessOracle::ReportCtx *>
+SoundnessOracle::compatibleReports(const RunSpec &Spec) {
+  std::vector<ReportCtx *> Compat;
+  for (ReportCtx &RC : Reports) {
     bool Ok = true;
     for (size_t Site = 0; Site != Spec.SiteWindows.size(); ++Site)
       if (Spec.SiteWindows[Site] > RC.SiteDepth[Site]) {
@@ -218,6 +293,39 @@ SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
     if (Ok)
       Compat.push_back(&RC);
   }
+  return Compat;
+}
+
+void SoundnessOracle::pinWindowsAndInputs(SpeculativeCpu &Cpu,
+                                          const RunSpec &Spec) {
+  Cpu.setWindows({Options.DepthMiss, Options.DepthMiss});
+  for (NodeId N = 0; N != CP.G.size(); ++N)
+    if (CP.G.inst(N).Op == Opcode::Br)
+      Cpu.setWindowOverride(CP.G.blockOf(N), CP.G.instIndexOf(N), 0);
+  for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
+    const SpecSite &S = CP.Plan.sites()[Site];
+    uint32_t W = Site < Spec.SiteWindows.size() ? Spec.SiteWindows[Site] : 0;
+    Cpu.setWindowOverride(CP.G.blockOf(S.Branch), CP.G.instIndexOf(S.Branch),
+                          W);
+    if (S.Ipdom != InvalidNode)
+      Cpu.setSpeculationStop(CP.G.blockOf(S.Branch),
+                             CP.G.instIndexOf(S.Branch),
+                             CP.G.blockOf(S.Ipdom));
+  }
+  for (size_t I = 0; I != InputScalars.size(); ++I)
+    Cpu.machine().setMemory(CP.P->findVar(InputScalars[I]), 0,
+                            Spec.ScalarValues[I]);
+  for (size_t I = 0; I != InputArrays.size(); ++I)
+    Cpu.machine().setMemoryAll(CP.P->findVar(InputArrays[I].first),
+                               Spec.ArrayValues[I]);
+}
+
+std::optional<Violation>
+SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
+                             size_t *DecisionsUsed) {
+  if (DecisionsUsed)
+    *DecisionsUsed = 0;
+  std::vector<ReportCtx *> Compat = compatibleReports(Spec);
   if (Compat.empty())
     return std::nullopt;
 
@@ -240,34 +348,9 @@ SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
     Predictor = Scripted.get();
   }
 
-  SpeculativeCpu Cpu(*CP.P, MM, *Predictor, TimingModel{},
+  SpeculativeCpu Cpu(*CP.P, MM, *Predictor, Options.Wcet.Timing,
                      /*EnableSpeculation=*/true);
-  Cpu.setWindows({Options.DepthMiss, Options.DepthMiss});
-
-  // Pin every branch's window: plan sites get exactly the scenario's
-  // window (and stop at their reconvergence point, the paper's
-  // virtual-control-flow model); branches the plan does not model get
-  // window 0.
-  for (NodeId N = 0; N != CP.G.size(); ++N)
-    if (CP.G.inst(N).Op == Opcode::Br)
-      Cpu.setWindowOverride(CP.G.blockOf(N), CP.G.instIndexOf(N), 0);
-  for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
-    const SpecSite &S = CP.Plan.sites()[Site];
-    uint32_t W = Site < Spec.SiteWindows.size() ? Spec.SiteWindows[Site] : 0;
-    Cpu.setWindowOverride(CP.G.blockOf(S.Branch), CP.G.instIndexOf(S.Branch),
-                          W);
-    if (S.Ipdom != InvalidNode)
-      Cpu.setSpeculationStop(CP.G.blockOf(S.Branch),
-                             CP.G.instIndexOf(S.Branch),
-                             CP.G.blockOf(S.Ipdom));
-  }
-
-  for (size_t I = 0; I != InputScalars.size(); ++I)
-    Cpu.machine().setMemory(CP.P->findVar(InputScalars[I]), 0,
-                            Spec.ScalarValues[I]);
-  for (size_t I = 0; I != InputArrays.size(); ++I)
-    Cpu.machine().setMemoryAll(CP.P->findVar(InputArrays[I].first),
-                               Spec.ArrayValues[I]);
+  pinWindowsAndInputs(Cpu, Spec);
 
   std::optional<Violation> Found;
   auto Report = [&](ViolationKind Kind, const ReportCtx *RC, NodeId Node,
@@ -286,9 +369,23 @@ SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
     Found = std::move(V);
   };
 
+  // The cache-containment oracle rides the pre-access hook; the WCET
+  // oracle rides the commit hook (per-node execution counts establish
+  // which loop bound covers this run). Each attaches only when selected,
+  // so `--oracle wcet` pays no containment-walk cost and vice versa.
+  const bool CheckCache = (Options.Oracles & OracleCache) != 0;
+  const bool CheckWcet = (Options.Oracles & OracleWcet) != 0;
+  if (CheckWcet) {
+    ExecCounts.assign(CP.G.size(), 0);
+    Cpu.setCommitHook(
+        [&](const Machine::StepResult &R, uint64_t, uint64_t) {
+          ++ExecCounts[CP.G.nodeAt(R.Block, R.InstIndex)];
+        });
+  }
+
   Cpu.setAccessHook([&](const AccessEvent &E, bool Speculative,
                         const CacheSim &Cache) {
-    if (Found)
+    if (!CheckCache || Found)
       return;
     NodeId N = CP.G.nodeAt(E.Block, E.InstIndex);
     BlockAddr Touched = MM.blockOf(E.Var, E.Element);
@@ -400,6 +497,36 @@ SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
     return Found;
   }
 
+  if (CheckWcet) {
+    // The estimate's loop scaling bounds the *total* header executions of
+    // each loop, so the *tightest* sound comparison for this run uses
+    // exactly the observed maximum — monotonicity makes that estimate the
+    // verdict for precisely those loop-bound options. A fixed floor (the
+    // old LoopIterationBound default of 64 against generated loops that
+    // iterate at most ~31) would leave 2x slack that masks real
+    // underestimation bugs.
+    uint64_t MaxHeader = 0;
+    for (const Loop &L : CP.LI.loops())
+      MaxHeader = std::max(MaxHeader, ExecCounts[L.Header]);
+    uint32_t LoopBound =
+        static_cast<uint32_t>(std::max<uint64_t>(1, MaxHeader));
+    for (ReportCtx *RC : Compat) {
+      ++Stats.WcetChecks;
+      uint64_t Bound = wcetBoundFor(*RC, LoopBound);
+      if (RunStats.Cycles > Bound) {
+        Report(ViolationKind::WcetBoundExceeded, RC, InvalidNode,
+               "committed " + std::to_string(RunStats.Cycles) +
+                   " cycles but estimateWcet bounds the program at " +
+                   std::to_string(Bound) + " (loop iteration bound " +
+                   std::to_string(LoopBound) + ")");
+        return Found;
+      }
+    }
+  }
+
+  if (!CheckCache)
+    return Found;
+
   // Architectural transparency: speculation must not change the committed
   // behavior (Figure 3's left and right traces commit identically).
   const Reference &Ref = referenceFor(Spec);
@@ -427,14 +554,145 @@ SoundnessOracle::runScenario(const RunSpec &Spec, OracleStats &Stats,
   return Found;
 }
 
+uint64_t SoundnessOracle::wcetBoundFor(ReportCtx &RC, uint32_t LoopBound) {
+  for (const auto &[Bound, Cycles] : RC.WcetMemo)
+    if (Bound == LoopBound)
+      return Cycles;
+  WcetOptions WO = Options.Wcet;
+  WO.LoopIterationBound = LoopBound;
+  WO.Fault = Options.VFault;
+  uint64_t Cycles = estimateWcet(CP, RC.R, WO).WorstCaseCycles;
+  RC.WcetMemo.push_back({LoopBound, Cycles});
+  return Cycles;
+}
+
+std::optional<Violation>
+SoundnessOracle::runLeakFamily(const RunSpec &Spec, OracleStats &Stats) {
+  if (SecretArrays.empty() || Spec.SecretVariants.empty() || !NonSpecReport)
+    return std::nullopt;
+  // A leak-freedom proof only speaks for executions inside the
+  // speculation depths the analysis assumed.
+  std::vector<ReportCtx *> Compat = compatibleReports(Spec);
+
+  // Pool the attacker-visible outcome (hit/miss per committed execution)
+  // per node: once across the speculative runs, once across the
+  // non-speculative ones. A leak-freedom proof is a *uniformity* claim —
+  // the access behaves identically in every architectural execution — so
+  // seeing both outcomes anywhere in a family (same publics, same script,
+  // same windows; only the secret varies) falsifies the verdict.
+  enum : uint8_t { SawHit = 1, SawMiss = 2 };
+  std::vector<uint8_t> SpecObs(CP.G.size(), 0), NonSpecObs(CP.G.size(), 0);
+
+  for (const std::vector<std::vector<int64_t>> &Variant :
+       Spec.SecretVariants) {
+    for (bool Speculative : {true, false}) {
+      MemoryModel MM(*CP.P, Options.Cache);
+      ScriptedPredictor Pred(Spec.Script, Spec.Fallback);
+      SpeculativeCpu Cpu(*CP.P, MM, Pred, Options.Wcet.Timing, Speculative);
+      pinWindowsAndInputs(Cpu, Spec);
+      for (size_t S = 0; S != SecretArrays.size() && S != Variant.size();
+           ++S)
+        Cpu.machine().setMemoryAll(
+            CP.P->findVar(InputArrays[SecretArrays[S]].first), Variant[S]);
+
+      CpuRunStats RunStats = Cpu.run(Options.MaxSteps);
+      ++Stats.LeakRuns;
+      if (!RunStats.Completed) {
+        // Report rather than skip: under a leak-only oracle mask the
+        // containment sweep never runs, so a silent skip would validate
+        // nothing for this program and still report it sound.
+        Violation V;
+        V.Kind = ViolationKind::RunStuck;
+        V.Detail = "leak-attacker run exceeded " +
+                   std::to_string(Options.MaxSteps) +
+                   " committed instructions";
+        V.Run = Spec;
+        return V;
+      }
+      std::vector<uint8_t> &Obs = Speculative ? SpecObs : NonSpecObs;
+      for (const SpeculativeCpu::CommittedAccess &A : Cpu.committedTrace())
+        Obs[CP.G.nodeAt(A.Access.Block, A.Access.InstIndex)] |=
+            A.Hit ? SawHit : SawMiss;
+    }
+  }
+  ++Stats.LeakFamilies;
+
+  auto Leak = [&](ViolationKind Kind, const ReportCtx *RC, NodeId Node,
+                  std::string Detail) {
+    Violation V;
+    V.Kind = Kind;
+    if (RC) {
+      V.Strategy = RC->Strategy;
+      V.Bounding = RC->Bounding;
+    }
+    V.Node = Node;
+    V.Detail = std::move(Detail);
+    V.Run = Spec;
+    return V;
+  };
+  auto SiteName = [&](NodeId Site) {
+    VarId Var = CP.G.inst(Site).Var;
+    return Var < CP.P->Vars.size() ? CP.P->Vars[Var].Name
+                                   : std::string("<unknown>");
+  };
+  const std::string Across =
+      " across " + std::to_string(Spec.SecretVariants.size()) +
+      " secret variants with identical public inputs and script";
+
+  for (ReportCtx *RC : Compat) {
+    for (NodeId Site : RC->Leak.LeakFreeSites) {
+      ++Stats.LeakSiteChecks;
+      if (SpecObs[Site] == (SawHit | SawMiss))
+        return Leak(ViolationKind::LeakFreeSiteVaried, RC, Site,
+                    "the report proves the secret-indexed access to '" +
+                        SiteName(Site) +
+                        "' leak-free but the attacker saw both hits and "
+                        "misses" +
+                        Across);
+    }
+    // SpeculationOnly labeling must match the diff of the two reports: a
+    // site leaking even without speculation may not carry the flag, and a
+    // spec-only leak must.
+    for (const LeakSite &L : RC->Leak.Leaks) {
+      bool LeaksWithoutSpeculation = false;
+      for (const LeakSite &N : NonSpecLeak.Leaks)
+        if (N.Node == L.Node) {
+          LeaksWithoutSpeculation = true;
+          break;
+        }
+      if (L.SpeculationOnly == LeaksWithoutSpeculation)
+        return Leak(ViolationKind::SpecOnlyLabelInconsistent, RC, L.Node,
+                    LeaksWithoutSpeculation
+                        ? "leak flagged SpeculationOnly but the "
+                          "non-speculative report leaks there too"
+                        : "leak absent from the non-speculative report "
+                          "but not flagged SpeculationOnly");
+    }
+  }
+  for (NodeId Site : NonSpecLeak.LeakFreeSites) {
+    ++Stats.LeakSiteChecks;
+    if (NonSpecObs[Site] == (SawHit | SawMiss))
+      return Leak(ViolationKind::NonSpecLeakFreeSiteVaried, nullptr, Site,
+                  "the non-speculative report proves the secret-indexed "
+                  "access to '" +
+                      SiteName(Site) +
+                      "' leak-free but the non-speculative attacker saw "
+                      "both hits and misses" +
+                      Across);
+  }
+  return std::nullopt;
+}
+
 std::optional<Violation> SoundnessOracle::checkRun(const RunSpec &Spec) {
   OracleStats Stats;
+  if (!Spec.SecretVariants.empty())
+    return runLeakFamily(Spec, Stats);
   return runScenario(Spec, Stats);
 }
 
 OracleResult SoundnessOracle::run(uint64_t Seed) {
   OracleResult Result;
-  Result.Stats.Analyses = Reports.size();
+  Result.Stats.Analyses = Reports.size() + (NonSpecReport ? 1 : 0);
 
   for (const ReportCtx &RC : Reports) {
     if (!RC.R.Converged) {
@@ -447,11 +705,24 @@ OracleResult SoundnessOracle::run(uint64_t Seed) {
       return Result;
     }
   }
+  if (NonSpecReport && !NonSpecReport->Converged) {
+    Violation V;
+    V.Kind = ViolationKind::AnalysisDiverged;
+    V.Detail = "non-speculative baseline fixpoint did not converge";
+    Result.Violations.push_back(std::move(V));
+    return Result;
+  }
 
   Rng R(Seed * 0x2545F4914F6CDD1DULL + 0xDEADBEEF);
   const size_t Sites = CP.Plan.siteCount();
 
-  for (unsigned Round = 0; Round != Options.InputRounds; ++Round) {
+  // The scenario sweep serves the cache-containment and WCET oracles; a
+  // leak-only invocation skips straight to the attacker families.
+  const bool RunSweep =
+      (Options.Oracles & (OracleCache | OracleWcet)) != 0;
+
+  for (unsigned Round = 0; RunSweep && Round != Options.InputRounds;
+       ++Round) {
     RunSpec Base;
     for (size_t I = 0; I != InputScalars.size(); ++I)
       Base.ScalarValues.push_back(R.nextRange(-30, 30));
@@ -532,6 +803,51 @@ OracleResult SoundnessOracle::run(uint64_t Seed) {
           Result.Violations.push_back(std::move(*V));
           return Result;
         }
+      }
+    }
+  }
+
+  // Leak-attacker families: replay the program on several secrets with
+  // identical publics/script/windows and validate every report's
+  // leak-freedom proofs (and the SpeculationOnly diff) against the
+  // attacker-visible traces. Runs after the containment sweep so the
+  // default (cache-only) campaign consumes the Rng stream identically to
+  // the pre-verdict fuzzer.
+  if ((Options.Oracles & OracleLeak) && !SecretArrays.empty()) {
+    for (unsigned Round = 0; Round != Options.LeakRounds; ++Round) {
+      RunSpec Spec;
+      for (size_t I = 0; I != InputScalars.size(); ++I)
+        Spec.ScalarValues.push_back(R.nextRange(-30, 30));
+      for (const auto &[Name, Elems] : InputArrays) {
+        std::vector<int64_t> Values;
+        Values.reserve(Elems);
+        for (unsigned E = 0; E != Elems; ++E)
+          Values.push_back(R.nextRange(0, 127));
+        Spec.ArrayValues.push_back(std::move(Values));
+      }
+      Spec.SiteWindows = MinSiteDepths;
+      // Round 0 plays the all-not-taken script (the deterministic
+      // baseline attacker); later rounds sample random scripts so
+      // mispredictions land the pollution differently.
+      if (Round > 0) {
+        for (unsigned B = 0; B != Options.SampledScriptLength; ++B)
+          Spec.Script.push_back(R.chance(1, 2));
+        Spec.Fallback = R.chance(1, 2);
+      }
+      for (unsigned V = 0; V != Options.LeakSecrets; ++V) {
+        std::vector<std::vector<int64_t>> Variant;
+        for (size_t S : SecretArrays) {
+          std::vector<int64_t> Values;
+          Values.reserve(InputArrays[S].second);
+          for (unsigned E = 0; E != InputArrays[S].second; ++E)
+            Values.push_back(R.nextRange(0, 255));
+          Variant.push_back(std::move(Values));
+        }
+        Spec.SecretVariants.push_back(std::move(Variant));
+      }
+      if (std::optional<Violation> V = runLeakFamily(Spec, Result.Stats)) {
+        Result.Violations.push_back(std::move(*V));
+        return Result;
       }
     }
   }

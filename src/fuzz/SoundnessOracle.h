@@ -53,12 +53,32 @@
 #define SPECAI_FUZZ_SOUNDNESSORACLE_H
 
 #include "analysis/AnalysisPipeline.h"
+#include "analysis/SideChannel.h"
+#include "analysis/Wcet.h"
 
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace specai {
+
+/// Which differential oracles a run validates (a bitmask; the CLI's
+/// `--oracle cache|wcet|leak|all`). Cache is the PR 2 abstract-state
+/// containment oracle; Wcet and Leak are *verdict-level* oracles that
+/// cross-check the user-facing deliverables — worst-case cycle bounds
+/// (§2.1/§7.2) and leak-freedom proofs (§2.2/§7.3) — against the concrete
+/// cycle-charging executor and a concrete cache-timing attacker.
+enum OracleKind : unsigned {
+  OracleCache = 1u << 0,
+  OracleWcet = 1u << 1,
+  OracleLeak = 1u << 2,
+  OracleAll = OracleCache | OracleWcet | OracleLeak,
+};
+
+/// Printable name of a single oracle bit ("cache" / "wcet" / "leak").
+const char *oracleKindName(unsigned Kind);
+/// Parses one oracle selector (including "all"); false on unknown names.
+bool parseOracleKind(const std::string &Name, unsigned &MaskOut);
 
 /// Oracle configuration. The defaults trade per-program coverage against
 /// campaign throughput: a small cache (so evictions actually happen) and
@@ -87,8 +107,28 @@ struct SoundnessOracleOptions {
   /// Also run the trained predictor zoo (bimodal/gshare/perceptron/...).
   bool UseStandardPredictors = true;
   uint64_t MaxSteps = 500000;
+  /// Which oracles to run. The default (cache only) keeps campaign
+  /// summaries bit-identical to the pre-verdict fuzzer.
+  unsigned Oracles = OracleCache;
+  /// WCET verdict options. `Wcet.Timing` is also the concrete CPU's
+  /// timing model, so the bound and the cycle accumulator always agree on
+  /// latencies. `Wcet.LoopIterationBound` is ignored: each run is checked
+  /// against the estimate for its *observed* maximum loop-header
+  /// execution count, the tightest bound whose assumptions the run
+  /// satisfies (the estimate is monotone in the bound, so any larger one
+  /// follows).
+  WcetOptions Wcet;
+  /// Secret variants per leak-attacker family: each family replays the
+  /// program on this many secrets with identical public inputs, identical
+  /// prediction script, and identical windows.
+  unsigned LeakSecrets = 3;
+  /// Leak-attacker families (public-input rounds) per program.
+  unsigned LeakRounds = 2;
   /// Deliberate engine fault to inject (fuzzer self-test only).
   EngineFault Fault = EngineFault::None;
+  /// Deliberate verdict-layer fault to inject (fuzzer self-test only);
+  /// applied to both estimateWcet and detectLeaks/annotateSpeculationOnly.
+  VerdictFault VFault = VerdictFault::None;
 };
 
 /// What went wrong, from most fundamental to most derived.
@@ -113,7 +153,22 @@ enum class ViolationKind : uint8_t {
                         ///< flagged SpecPossibleMiss.
   ArchResultDiverged,   ///< Speculation changed the architectural result.
   ArchTraceDiverged,    ///< Speculation changed the committed access trace.
+  WcetBoundExceeded,    ///< A concrete run committed more cycles than
+                        ///< estimateWcet's bound for the matching
+                        ///< loop-bound/timing options.
+  LeakFreeSiteVaried,   ///< The attacker-visible hit/miss behavior varied
+                        ///< at a site the speculative report proved
+                        ///< leak-free.
+  NonSpecLeakFreeSiteVaried, ///< Same, for the non-speculative report
+                             ///< under non-speculative runs.
+  SpecOnlyLabelInconsistent, ///< SpeculationOnly diff labeling contradicts
+                             ///< the speculative/non-speculative reports.
 };
+
+/// Which oracle a violation kind belongs to (OracleCache/Wcet/Leak), or 0
+/// for infrastructure failures (compile errors, divergence, stuck runs)
+/// that are no oracle's soundness claim.
+unsigned oracleOfViolation(ViolationKind K);
 
 const char *violationKindName(ViolationKind K);
 
@@ -130,6 +185,12 @@ struct RunSpec {
   std::vector<std::vector<int64_t>> ArrayValues;
   /// Concrete speculation window per plan site.
   std::vector<uint32_t> SiteWindows;
+  /// Leak-attacker families only: SecretVariants[v][s] holds the contents
+  /// of the s-th *secret* input array (in the oracle's secret-array
+  /// order) for variant v; publics, script, and windows stay fixed across
+  /// variants. Non-empty marks this spec as a family rather than a single
+  /// containment/WCET run.
+  std::vector<std::vector<std::vector<int64_t>>> SecretVariants;
 };
 
 /// One soundness violation, pinned to the (strategy, bounding) report it
@@ -154,6 +215,14 @@ struct OracleStats {
   uint64_t SpeculativeWindows = 0;
   uint64_t CommittedChecks = 0;
   uint64_t SpeculativeChecks = 0;
+  /// Per-run, per-report WCET verdict comparisons.
+  uint64_t WcetChecks = 0;
+  /// Leak-attacker families (fixed publics/script, varied secrets).
+  uint64_t LeakFamilies = 0;
+  /// Concrete attacker runs across all families (spec + non-spec).
+  uint64_t LeakRuns = 0;
+  /// Per-family, per-report proven-leak-free site validations.
+  uint64_t LeakSiteChecks = 0;
 
   OracleStats &operator+=(const OracleStats &RHS) {
     Analyses += RHS.Analyses;
@@ -161,6 +230,10 @@ struct OracleStats {
     SpeculativeWindows += RHS.SpeculativeWindows;
     CommittedChecks += RHS.CommittedChecks;
     SpeculativeChecks += RHS.SpeculativeChecks;
+    WcetChecks += RHS.WcetChecks;
+    LeakFamilies += RHS.LeakFamilies;
+    LeakRuns += RHS.LeakRuns;
+    LeakSiteChecks += RHS.LeakSiteChecks;
     return *this;
   }
 };
@@ -210,6 +283,25 @@ private:
   std::optional<Violation> runScenario(const RunSpec &Spec,
                                        OracleStats &Stats,
                                        size_t *DecisionsUsed = nullptr);
+  /// Runs one leak-attacker family (\p Spec with SecretVariants): replays
+  /// the program per secret with and without speculation, pools the
+  /// attacker-visible hit/miss outcomes per secret-indexed site, and
+  /// checks every report's leak verdicts against them.
+  std::optional<Violation> runLeakFamily(const RunSpec &Spec,
+                                         OracleStats &Stats);
+  /// WCET bound of report \p RC for \p LoopBound total header executions,
+  /// memoized (the adaptive bound revisits few distinct values).
+  uint64_t wcetBoundFor(ReportCtx &RC, uint32_t LoopBound);
+  /// Reports whose speculation envelope covers \p Spec's windows: a
+  /// concrete window never longer than the depth the analysis assumed
+  /// for the site. (Shorter is fine — the engine models a rollback after
+  /// every prefix of the window.)
+  std::vector<ReportCtx *> compatibleReports(const RunSpec &Spec);
+  /// Pins every branch's window and loads \p Spec's inputs into \p Cpu —
+  /// the one machine configuration every oracle validates against (plan
+  /// sites get the scenario's window and stop at their reconvergence
+  /// point; branches outside the plan get window 0).
+  void pinWindowsAndInputs(SpeculativeCpu &Cpu, const RunSpec &Spec);
   /// Reference (non-speculative) run for the transparency check; memoized
   /// per input vector.
   struct Reference;
@@ -225,6 +317,16 @@ private:
   std::vector<uint32_t> MinSiteDepths;
   /// Per-report full-depth window vectors, deduplicated.
   std::vector<std::vector<uint32_t>> FullWindowMaps;
+  /// Indices into InputArrays of the `secret`-qualified arrays (the leak
+  /// attacker varies exactly these).
+  std::vector<size_t> SecretArrays;
+  /// Non-speculative analysis + its leak report (leak oracle only): the
+  /// baseline side of the SpeculationOnly diff and the verdict checked
+  /// against non-speculative attacker runs.
+  std::unique_ptr<MustHitReport> NonSpecReport;
+  SideChannelReport NonSpecLeak;
+  /// Scratch per-node committed execution counts (WCET loop coverage).
+  std::vector<uint64_t> ExecCounts;
 };
 
 } // namespace specai

@@ -87,6 +87,8 @@ Machine::StepResult Machine::step() {
     R.DidHalt = true;
     return R;
   }
+  R.Block = CurBlock;
+  R.InstIndex = CurInst;
 
   const Instruction &I = P.Blocks[CurBlock].Insts[CurInst];
   switch (I.Op) {

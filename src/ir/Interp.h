@@ -71,6 +71,12 @@ public:
     bool WasBranch = false;
     bool BranchTaken = false;
     bool DidHalt = false;
+    /// Location of the executed instruction (the pre-step program
+    /// counter), so per-instruction observers — the simulator's commit
+    /// hook, the fuzzer's cycle-charging probe — can attribute the step
+    /// to a CFG node without re-deriving the machine's position.
+    BlockId Block = InvalidBlock;
+    uint32_t InstIndex = 0;
   };
 
   /// Executes one instruction. No-op (DidHalt=true) when already halted.

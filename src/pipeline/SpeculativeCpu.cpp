@@ -103,6 +103,8 @@ CpuRunStats SpeculativeCpu::run(uint64_t MaxSteps) {
       Stats.Cycles += Timing.BranchResolveLatency;
       ++Stats.Branches;
       Predictor.update(Pc, R.BranchTaken);
+      if (OnCommit)
+        OnCommit(R, Timing.BranchResolveLatency, Stats.Cycles);
 
       if (EnableSpeculation && Window > 0 && Predicted != R.BranchTaken) {
         ++Stats.Mispredicts;
@@ -121,20 +123,22 @@ CpuRunStats SpeculativeCpu::run(uint64_t MaxSteps) {
 
     Machine::StepResult R = M.step();
     ++Stats.Instructions;
+    uint64_t Charged = Timing.AluLatency;
     if (R.DidAccess) {
       if (OnAccess)
         OnAccess(R.Access, /*Speculative=*/false, Cache);
       bool Hit = Cache.access(blockOf(R.Access));
-      Stats.Cycles += Hit ? Timing.HitLatency : Timing.MissLatency;
+      Charged = Hit ? Timing.HitLatency : Timing.MissLatency;
       if (Hit)
         ++Stats.Hits;
       else
         ++Stats.Misses;
       LastLoadMissed = !Hit;
       Trace.push_back({R.Access, Hit});
-    } else {
-      Stats.Cycles += Timing.AluLatency;
     }
+    Stats.Cycles += Charged;
+    if (OnCommit)
+      OnCommit(R, Charged, Stats.Cycles);
   }
 
   Stats.Completed = M.halted();

@@ -144,6 +144,20 @@ public:
                          const CacheSim &PreAccessCache)>;
   void setAccessHook(AccessHook Hook) { OnAccess = std::move(Hook); }
 
+  /// Commit-side observation hook, called after every *committed*
+  /// instruction with the cycles the timing model charged for it (hit or
+  /// miss latency for accesses, the branch-resolution latency for
+  /// branches, the ALU latency otherwise) and the cumulative committed
+  /// cycle count. Squashed (speculative-window) instructions never fire
+  /// it: their latency is hidden behind the unresolved branch, which is
+  /// exactly why CpuRunStats::Cycles only advances at commit. The fuzzer's
+  /// WCET oracle drives its per-node execution counts and cycle
+  /// cross-check from here.
+  using CommitHook = std::function<void(
+      const Machine::StepResult &R, uint64_t ChargedCycles,
+      uint64_t TotalCycles)>;
+  void setCommitHook(CommitHook Hook) { OnCommit = std::move(Hook); }
+
   /// Runs to completion (or \p MaxSteps committed instructions).
   CpuRunStats run(uint64_t MaxSteps = 10'000'000);
 
@@ -181,6 +195,7 @@ private:
   std::unordered_map<uint64_t, BlockId> SpeculationStops;
   std::unordered_map<uint64_t, uint32_t> WindowOverrides;
   AccessHook OnAccess;
+  CommitHook OnCommit;
   bool LastLoadMissed = false;
 };
 

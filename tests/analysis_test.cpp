@@ -160,6 +160,99 @@ TEST(SideChannelTest, SpeculationOnlyLeakRequiresSpeculativeAnalysis) {
       detectLeaks(*CP, runMustHitAnalysis(*CP, Spec)).leakDetected());
 }
 
+TEST(SideChannelTest, LeakFreeSitesListsTheProvenNodes) {
+  auto CP = compile("secret int k; char t[256]; int main() { reg int x; "
+                    "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+                    "return t[k & 255]; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(16);
+  Opts.Speculative = true;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  SideChannelReport SC = detectLeaks(*CP, R);
+  ASSERT_EQ(SC.LeakFreeSites.size(), 1u);
+  EXPECT_EQ(SC.ProvenLeakFree, SC.LeakFreeSites.size());
+  EXPECT_EQ(CP->G.inst(SC.LeakFreeSites[0]).Var, CP->P->findVar("t"));
+}
+
+TEST(SideChannelTest, AnnotateSpeculationOnlyFlagsTheDiff) {
+  // The Figure-2 shape: leak-free without speculation, leaking with it —
+  // the diff must flag the site SpeculationOnly (Table 7's contrast).
+  std::string Source =
+      "secret reg char k; char t[256]; char w1[128]; char w2[128]; int c; "
+      "int main() { reg int x; "
+      "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+      "if (c) { x = x + w1[0] + w1[64]; } else { x = x + w2[0] + w2[64]; } "
+      "return t[k & 255]; }";
+  auto CP = compile(Source);
+  MustHitOptions NonSpec;
+  NonSpec.Cache = CacheConfig::fullyAssociative(7);
+  NonSpec.Speculative = false;
+  SideChannelReport NS =
+      detectLeaks(*CP, runMustHitAnalysis(*CP, NonSpec));
+  ASSERT_FALSE(NS.leakDetected());
+  MustHitOptions Spec = NonSpec;
+  Spec.Speculative = true;
+  SideChannelReport SP = detectLeaks(*CP, runMustHitAnalysis(*CP, Spec));
+  ASSERT_TRUE(SP.leakDetected());
+
+  EXPECT_EQ(annotateSpeculationOnly(SP, NS), SP.Leaks.size());
+  for (const LeakSite &L : SP.Leaks) {
+    EXPECT_TRUE(L.SpeculationOnly);
+    EXPECT_NE(L.str(*CP->P).find("[speculation-induced]"),
+              std::string::npos);
+  }
+
+  // The LeakDropSpecOnly fault (fuzz self-test) suppresses the flag.
+  SideChannelOptions Faulty;
+  Faulty.Fault = VerdictFault::LeakDropSpecOnly;
+  EXPECT_EQ(annotateSpeculationOnly(SP, NS, Faulty), 0u);
+  for (const LeakSite &L : SP.Leaks)
+    EXPECT_FALSE(L.SpeculationOnly);
+}
+
+TEST(SideChannelTest, AnnotateSpeculationOnlySkipsArchitecturalLeaks) {
+  // A site leaking even without speculation must *not* be flagged: the
+  // attacker needs no transient window there.
+  auto CP = compile("secret int k; char t[256]; char big[384]; "
+                    "int main() { reg int x; "
+                    "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+                    "for (reg int i = 0; i < 384; i += 64) x = big[i]; "
+                    "return t[k & 255]; }");
+  MustHitOptions NonSpec;
+  NonSpec.Cache = CacheConfig::fullyAssociative(8);
+  NonSpec.Speculative = false;
+  SideChannelReport NS =
+      detectLeaks(*CP, runMustHitAnalysis(*CP, NonSpec));
+  ASSERT_TRUE(NS.leakDetected());
+  MustHitOptions Spec = NonSpec;
+  Spec.Speculative = true;
+  SideChannelReport SP = detectLeaks(*CP, runMustHitAnalysis(*CP, Spec));
+  ASSERT_TRUE(SP.leakDetected());
+  EXPECT_EQ(annotateSpeculationOnly(SP, NS), 0u);
+  for (const LeakSite &L : SP.Leaks)
+    EXPECT_FALSE(L.SpeculationOnly);
+}
+
+TEST(SideChannelTest, InjectedLeakFaultsSuppressLeaks) {
+  // The detector-side self-test faults must actually report a leaking
+  // site leak-free; the fuzzer's concrete attacker catches the lie.
+  auto CP = compile("secret int k; char t[256]; char big[384]; "
+                    "int main() { reg int x; "
+                    "for (reg int i = 0; i < 256; i += 64) x = t[i]; "
+                    "for (reg int i = 0; i < 384; i += 64) x = big[i]; "
+                    "return t[k & 255]; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  Opts.Speculative = true;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  ASSERT_TRUE(detectLeaks(*CP, R).leakDetected());
+  SideChannelOptions Faulty;
+  Faulty.Fault = VerdictFault::LeakSkipMixed;
+  SideChannelReport SC = detectLeaks(*CP, R, Faulty);
+  EXPECT_FALSE(SC.leakDetected());
+  EXPECT_EQ(SC.ProvenLeakFree, 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // WCET estimation
 //===----------------------------------------------------------------------===//
@@ -199,6 +292,133 @@ TEST(WcetTest, SpeculativeAnalysisRaisesTheBound) {
   // underestimate the worst-case execution time").
   EXPECT_GT(WSp.WorstCaseCycles, WNs.WorstCaseCycles);
   EXPECT_GT(WSp.PossibleMissNodes, WNs.PossibleMissNodes);
+}
+
+TEST(WcetTest, MonotoneInLoopIterationBound) {
+  // The fuzzer's WCET oracle checks each run against the estimate for its
+  // observed loop-header execution count and relies on monotonicity to
+  // cover every larger bound; pin the property directly.
+  auto CP = compile("int n; char a[64]; int main() { reg int t; t = 0; "
+                    "while (n > 0) { n = n - 1; t = t + a[0]; } "
+                    "return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions WO;
+  uint64_t Prev = 0;
+  for (uint32_t Bound : {1u, 2u, 5u, 17u, 64u, 200u, 1000u}) {
+    WO.LoopIterationBound = Bound;
+    uint64_t Cycles = estimateWcet(*CP, R, WO).WorstCaseCycles;
+    EXPECT_GE(Cycles, Prev) << "bound " << Bound;
+    Prev = Cycles;
+  }
+}
+
+TEST(WcetTest, MonotoneInMissLatency) {
+  auto CP = compile("int n; char a[64]; char b[128]; int main() { "
+                    "reg int t; t = 0; t = a[0]; t = t + b[64]; "
+                    "while (n > 0) { n = n - 1; t = t + b[0]; } "
+                    "return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions WO;
+  uint64_t Prev = 0;
+  for (uint32_t Miss : {2u, 10u, 50u, 100u, 400u}) {
+    WO.Timing.MissLatency = Miss;
+    uint64_t Cycles = estimateWcet(*CP, R, WO).WorstCaseCycles;
+    EXPECT_GE(Cycles, Prev) << "miss latency " << Miss;
+    Prev = Cycles;
+  }
+  // With possible misses present the dependence is strict.
+  ASSERT_GT(estimateWcet(*CP, R).PossibleMissNodes, 0u);
+  WO.Timing.MissLatency = 100;
+  uint64_t At100 = estimateWcet(*CP, R, WO).WorstCaseCycles;
+  WO.Timing.MissLatency = 101;
+  EXPECT_GT(estimateWcet(*CP, R, WO).WorstCaseCycles, At100);
+}
+
+TEST(WcetTest, HitLatencyFloorOnStraightLineCode) {
+  // On straight-line code the longest path visits every node, so the
+  // bound can never fall below charging every must-hit its hit latency.
+  auto CP = compile("char a[64]; int main() { reg int t; t = a[0]; "
+                    "t = t + a[0]; t = t + a[0]; return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  Opts.Speculative = false;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions WO;
+  WcetReport W = estimateWcet(*CP, R, WO);
+  EXPECT_EQ(W.MustHitNodes, 2u);
+  EXPECT_GE(W.WorstCaseCycles, W.MustHitNodes * WO.Timing.HitLatency);
+}
+
+TEST(WcetTest, HandComputedTwoLoopBound) {
+  // Two sequential data-bounded loops — the shape whose tail the
+  // pre-redirection longest path silently dropped (a back edge dead-ends;
+  // everything after the first loop was bounded as if the loop body never
+  // ran). Lowered CFG, with h/M/A/Br the hit/miss/ALU/branch latencies
+  // and B the loop iteration bound:
+  //
+  //   bb0 entry:        mov, jmp                     -> 2A
+  //   bb1 while.header: load n (miss), gt, br        -> B(M + A + Br)
+  //   bb2 while.body:   load n (hit), sub, store n (hit),
+  //                     load a[0] (miss), add, mov, jmp
+  //                                                  -> B(2h + M + 4A)
+  //   bb3 while.end:    jmp                          -> A
+  //   bb4/bb5:          same shape for the m loop
+  //   bb6:              ret                          -> A
+  //
+  // The header loads are joins of a not-resident entry path and the
+  // resident back edge, so they stay possible misses; the body reloads
+  // and stores touch the line the header just loaded (must-hits); a[0]
+  // is not resident on the first iteration. Longest path threads both
+  // loops (body weight reaches bb3/bb6 via the back-edge redirection):
+  //   4A + 2B(2M + 2h + 5A + Br).
+  auto CP = compile("int n; int m; char a[64]; int main() { reg int t; "
+                    "t = 0; "
+                    "while (n > 0) { n = n - 1; t = t + a[0]; } "
+                    "while (m > 0) { m = m - 1; t = t + a[0]; } "
+                    "return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(16);
+  Opts.Speculative = false;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions WO; // h=2, M=100, A=1, Br=10, B=64.
+  WcetReport W = estimateWcet(*CP, R, WO);
+  EXPECT_EQ(W.MustHitNodes, 4u);
+  EXPECT_EQ(W.PossibleMissNodes, 4u);
+  const uint64_t H = WO.Timing.HitLatency, M = WO.Timing.MissLatency,
+                 A = WO.Timing.AluLatency,
+                 Br = WO.Timing.BranchResolveLatency,
+                 B = WO.LoopIterationBound;
+  EXPECT_EQ(W.WorstCaseCycles, 4 * A + 2 * B * (2 * M + 2 * H + 5 * A + Br));
+
+  // And with a different bound and timing model, to pin the formula
+  // rather than one constant (28036 for the defaults).
+  WO.LoopIterationBound = 7;
+  WO.Timing.MissLatency = 30;
+  WO.Timing.BranchResolveLatency = 3;
+  W = estimateWcet(*CP, R, WO);
+  EXPECT_EQ(W.WorstCaseCycles, 4 * A + 2 * 7 * (2 * 30 + 2 * H + 5 * A + 3));
+}
+
+TEST(WcetTest, InjectedVerdictFaultsLowerTheBound) {
+  // The self-test faults must actually weaken the verdict, or the fuzz
+  // fault matrix would prove nothing.
+  auto CP = compile("int n; char a[64]; char b[192]; int main() { "
+                    "reg int t; t = 0; t = b[128]; "
+                    "while (n > 0) { n = n - 1; t = t + a[0]; } "
+                    "return t; }");
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8);
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  WcetOptions WO;
+  uint64_t Healthy = estimateWcet(*CP, R, WO).WorstCaseCycles;
+  WO.Fault = VerdictFault::WcetHitForMiss;
+  EXPECT_LT(estimateWcet(*CP, R, WO).WorstCaseCycles, Healthy);
+  WO.Fault = VerdictFault::WcetDropLoopScale;
+  EXPECT_LT(estimateWcet(*CP, R, WO).WorstCaseCycles, Healthy);
 }
 
 TEST(WcetTest, LoopBoundScalesLoopBodies) {

@@ -135,6 +135,166 @@ TEST(SoundnessOracleTest, CatchesSkippedRollback) {
   EXPECT_TRUE(Caught);
 }
 
+TEST(VerdictOracleTest, HealthyVerdictsAreClean) {
+  // All three oracles together on the healthy stack: no violation, and
+  // the verdict-side coverage counters actually move.
+  SoundnessOracleOptions O = quickOracle();
+  O.Oracles = OracleAll;
+  for (uint64_t Seed : {1, 5, 9}) {
+    ProgramGen Gen(Seed);
+    GeneratedProgram G = Gen.generate();
+    DiagnosticEngine Diags;
+    auto CP = compileSource(G.source(), Diags);
+    ASSERT_TRUE(CP);
+    SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, O);
+    OracleResult R = Oracle.run(Seed);
+    EXPECT_TRUE(R.ok()) << R.Violations.front().str(*CP);
+    EXPECT_GT(R.Stats.WcetChecks, 0u);
+    EXPECT_GT(R.Stats.LeakFamilies, 0u);
+    EXPECT_GT(R.Stats.LeakRuns, 0u);
+  }
+}
+
+TEST(VerdictOracleTest, CatchesUnderchargedMissLatency) {
+  SoundnessOracleOptions O = quickOracle();
+  O.Oracles = OracleWcet;
+  O.VFault = VerdictFault::WcetHitForMiss;
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed != 12 && !Caught; ++Seed) {
+    ProgramGen Gen(Seed);
+    GeneratedProgram G = Gen.generate();
+    DiagnosticEngine Diags;
+    auto CP = compileSource(G.source(), Diags);
+    ASSERT_TRUE(CP);
+    SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, O);
+    OracleResult R = Oracle.run(Seed);
+    if (!R.ok()) {
+      EXPECT_EQ(R.Violations.front().Kind,
+                ViolationKind::WcetBoundExceeded);
+      Caught = true;
+    }
+  }
+  EXPECT_TRUE(Caught);
+}
+
+TEST(VerdictOracleTest, CatchesDroppedLoopScaling) {
+  SoundnessOracleOptions O = quickOracle();
+  O.Oracles = OracleWcet;
+  O.VFault = VerdictFault::WcetDropLoopScale;
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed != 40 && !Caught; ++Seed) {
+    ProgramGen Gen(Seed);
+    GeneratedProgram G = Gen.generate();
+    DiagnosticEngine Diags;
+    auto CP = compileSource(G.source(), Diags);
+    ASSERT_TRUE(CP);
+    SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, O);
+    Caught = !Oracle.run(Seed).ok();
+  }
+  EXPECT_TRUE(Caught);
+}
+
+TEST(VerdictOracleTest, CatchesSkippedLeakSite) {
+  SoundnessOracleOptions O = quickOracle();
+  O.Oracles = OracleLeak;
+  O.VFault = VerdictFault::LeakSkipMixed;
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed != 20 && !Caught; ++Seed) {
+    ProgramGen Gen(Seed);
+    GeneratedProgram G = Gen.generate();
+    DiagnosticEngine Diags;
+    auto CP = compileSource(G.source(), Diags);
+    ASSERT_TRUE(CP);
+    SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, O);
+    OracleResult R = Oracle.run(Seed);
+    if (!R.ok()) {
+      EXPECT_EQ(R.Violations.front().Kind,
+                ViolationKind::LeakFreeSiteVaried);
+      EXPECT_FALSE(R.Violations.front().Run.SecretVariants.empty());
+      Caught = true;
+    }
+  }
+  EXPECT_TRUE(Caught);
+}
+
+TEST(VerdictOracleTest, CatchesDroppedSpecOnlyLabel) {
+  SoundnessOracleOptions O = quickOracle();
+  O.Oracles = OracleLeak;
+  O.VFault = VerdictFault::LeakDropSpecOnly;
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed != 40 && !Caught; ++Seed) {
+    ProgramGen Gen(Seed);
+    GeneratedProgram G = Gen.generate();
+    DiagnosticEngine Diags;
+    auto CP = compileSource(G.source(), Diags);
+    ASSERT_TRUE(CP);
+    SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, O);
+    OracleResult R = Oracle.run(Seed);
+    if (!R.ok()) {
+      EXPECT_EQ(R.Violations.front().Kind,
+                ViolationKind::SpecOnlyLabelInconsistent);
+      Caught = true;
+    }
+  }
+  EXPECT_TRUE(Caught);
+}
+
+TEST(VerdictOracleTest, LeakFamilyCounterexampleReplays) {
+  // A leak counterexample is a *family* (several secrets, shared
+  // publics); checkRun must route it back through the attacker and still
+  // fail under the same broken verdict layer.
+  FuzzCampaignOptions O;
+  O.Seed = 1;
+  O.Programs = 8;
+  O.Jobs = 2;
+  O.Oracle = quickOracle();
+  O.Oracle.Oracles = OracleLeak;
+  O.Oracle.VFault = VerdictFault::LeakSkipMixed;
+  FuzzCampaignResult R = runFuzzCampaign(O);
+  ASSERT_FALSE(R.ok());
+  const Counterexample &CE = R.Counterexamples.front();
+  ASSERT_FALSE(CE.V.Run.SecretVariants.empty());
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(CE.Source, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+  SoundnessOracle Oracle(*CP, CE.InputScalars, CE.InputArrays, O.Oracle);
+  EXPECT_TRUE(Oracle.checkRun(CE.V.Run).has_value());
+
+  // The .mc rendering carries the oracle tag and the secret variants.
+  std::string File = CE.replayFile(O.Oracle);
+  EXPECT_NE(File.find("// replay-oracle: leak"), std::string::npos);
+  EXPECT_NE(File.find("// replay-secret: v0"), std::string::npos);
+  EXPECT_NE(File.find("// replay-verdict-fault: leak-skip-mixed"),
+            std::string::npos);
+}
+
+TEST(VerdictOracleTest, WcetViolationRunSpecReplays) {
+  FuzzCampaignOptions O;
+  O.Seed = 1;
+  O.Programs = 8;
+  O.Jobs = 2;
+  O.Oracle = quickOracle();
+  O.Oracle.Oracles = OracleWcet;
+  O.Oracle.VFault = VerdictFault::WcetHitForMiss;
+  FuzzCampaignResult R = runFuzzCampaign(O);
+  ASSERT_FALSE(R.ok());
+  EXPECT_GT(R.Stats.WcetViolations, 0u);
+  EXPECT_EQ(R.Stats.LeakViolations, 0u);
+  const Counterexample &CE = R.Counterexamples.front();
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(CE.Source, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+  SoundnessOracleOptions Single = O.Oracle;
+  Single.Strategies = {CE.V.Strategy};
+  Single.Boundings = {CE.V.Bounding};
+  SoundnessOracle Oracle(*CP, CE.InputScalars, CE.InputArrays, Single);
+  EXPECT_TRUE(Oracle.checkRun(CE.V.Run).has_value());
+  EXPECT_NE(CE.replayFile(O.Oracle).find("// replay-oracle: wcet"),
+            std::string::npos);
+}
+
 TEST(FuzzCampaignTest, MinimizedCounterexampleStillFailsAndReplays) {
   FuzzCampaignOptions O;
   O.Seed = 1;

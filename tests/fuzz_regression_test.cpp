@@ -22,6 +22,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/SideChannel.h"
+#include "analysis/Wcet.h"
 #include "fuzz/ProgramGen.h"
 #include "fuzz/StateDigest.h"
 
@@ -189,6 +191,118 @@ INSTANTIATE_TEST_SUITE_P(PinnedPolicyCorpus, PolicyRegressionTest,
                          });
 
 //===----------------------------------------------------------------------===//
+// Verdict corpus: the same 20 programs, digested at the *verdict* level —
+// the user-facing deliverables the fuzzer's wcet/leak oracles validate —
+// per replacement policy, under just-in-time/dynamic at the fuzz geometry.
+// The cache-state digests above would already move on any engine drift;
+// these pin the layer on top (estimateWcet, detectLeaks,
+// annotateSpeculationOnly), so a verdict regression that preserves cache
+// states — a longest-path change, a classification consumer bug — is
+// bit-level pinned too. Regenerate with the snippet at the bottom.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Canonical serialization of everything the verdict layer reports for
+/// one policy: WCET counters and cycle bounds (speculative and baseline,
+/// default WcetOptions) and the annotated leak report (site node ids,
+/// SpeculationOnly flags, proven-leak-free counts for both analyses).
+uint64_t verdictDigest(const CompiledProgram &CP, ReplacementPolicy Policy) {
+  MustHitOptions Jit;
+  Jit.Cache = CacheConfig::fullyAssociative(8).withPolicy(Policy);
+  Jit.DepthMiss = 24;
+  Jit.DepthHit = 6;
+  Jit.Strategy = MergeStrategy::JustInTime;
+  Jit.Bounding = BoundingMode::Dynamic;
+  MustHitReport Spec = runMustHitAnalysis(CP, Jit);
+  MustHitOptions NonSpecOpts = Jit;
+  NonSpecOpts.Speculative = false;
+  MustHitReport NonSpec = runMustHitAnalysis(CP, NonSpecOpts);
+
+  WcetReport W = estimateWcet(CP, Spec);
+  WcetReport WNs = estimateWcet(CP, NonSpec);
+  SideChannelReport SC = detectLeaks(CP, Spec);
+  SideChannelReport NS = detectLeaks(CP, NonSpec);
+  annotateSpeculationOnly(SC, NS);
+
+  std::string S;
+  S += "wcet=" + std::to_string(W.WorstCaseCycles) +
+       ",miss=" + std::to_string(W.PossibleMissNodes) +
+       ",hit=" + std::to_string(W.MustHitNodes) +
+       ",spmiss=" + std::to_string(W.SpeculativeMissNodes);
+  S += ";nswcet=" + std::to_string(WNs.WorstCaseCycles) +
+       ",nsmiss=" + std::to_string(WNs.PossibleMissNodes);
+  S += ";free=" + std::to_string(SC.ProvenLeakFree) +
+       ",nsfree=" + std::to_string(NS.ProvenLeakFree);
+  for (const LeakSite &L : SC.Leaks)
+    S += ";leak=" + std::to_string(L.Node) +
+         (L.SpeculationOnly ? ":sponly" : ":arch");
+  for (NodeId N : SC.LeakFreeSites)
+    S += ";lf=" + std::to_string(N);
+  return fnv1a(S);
+}
+
+struct VerdictGoldenEntry {
+  uint64_t Seed;
+  uint64_t LruDigest;
+  uint64_t FifoDigest;
+  uint64_t PlruDigest;
+};
+
+// Regenerate with the snippet at the bottom of this file.
+const VerdictGoldenEntry VerdictCorpus[] = {
+    {1, 0x14821f7107f66a19ULL, 0x66b707c83e2db037ULL, 0x63cde261de2e9390ULL},
+    {2, 0x057be1499266e129ULL, 0x057be1499266e129ULL, 0x686233a42f2f63d0ULL},
+    {3, 0xfca8217d23cbe4bfULL, 0xcda516bc8168a5a7ULL, 0x3ec1121bd919184aULL},
+    {4, 0xa8fb315666b9e534ULL, 0xf8a2a55f4d2dd4feULL, 0xc7a7a4d273745746ULL},
+    {5, 0x50ebab4fd3fcededULL, 0x514c72181af0e32bULL, 0xce5b19b7338816f9ULL},
+    {6, 0xb6e98bf24cd15f9aULL, 0xb6e98bf24cd15f9aULL, 0xb6e98bf24cd15f9aULL},
+    {7, 0xb1ec2c242c54f441ULL, 0x2b5e040dbc95e21aULL, 0x2b74b6727756baeaULL},
+    {8, 0x98749d8f0a7f5f7bULL, 0xabbd6d81e737245aULL, 0x5e66dd7f51dd4dd8ULL},
+    {9, 0x405cb04901cf7575ULL, 0x34c6e6bccb75ba88ULL, 0x323b3e5de4ca1ac9ULL},
+    {10, 0xab03465bb641ef25ULL, 0xae280df0efc71073ULL, 0x1069cea9271cb89eULL},
+    {11, 0xd4487dd8f23aa4d6ULL, 0x6340981ee3b9bb01ULL, 0x1d38ef6cf4d984dcULL},
+    {12, 0xc177444714a880cdULL, 0xc29fe94a961a395fULL, 0x3c7c3b76e1a4f8b3ULL},
+    {13, 0x843777d1cd56862dULL, 0x843777d1cd56862dULL, 0x843777d1cd56862dULL},
+    {14, 0x6f3a9b85a0b71852ULL, 0x001d8d1298a5fc84ULL, 0xc4e396ddf2793a59ULL},
+    {15, 0x290c6e9f4066f34dULL, 0x3fd43d517fa62ce1ULL, 0xbc57b1346e43de81ULL},
+    {16, 0xe22074383fefc3eaULL, 0x82929abd212689ccULL, 0x516b2f5926b3de43ULL},
+    {17, 0x4b9c21298c118a29ULL, 0x77bf00eb7707fbe8ULL, 0xaa403d65f4bc5019ULL},
+    {18, 0x6f24453b3a2af3d8ULL, 0xe263368f0befd62dULL, 0x297221a91ed78248ULL},
+    {19, 0xe3dc883271786375ULL, 0xd62cdb8401d7f7a9ULL, 0xfa1e903253fd59e1ULL},
+    {20, 0x27d89b6847358febULL, 0x4e580a04f0e022fdULL, 0x8baf6170ad9e1f9aULL},
+};
+
+class VerdictRegressionTest
+    : public ::testing::TestWithParam<VerdictGoldenEntry> {};
+
+} // namespace
+
+TEST_P(VerdictRegressionTest, PinnedVerdictDigestsAreStable) {
+  const VerdictGoldenEntry &E = GetParam();
+  ProgramGen Gen(E.Seed);
+  GeneratedProgram G = Gen.generate();
+
+  DiagnosticEngine Diags;
+  auto CP = compileSource(G.source(), Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  EXPECT_EQ(verdictDigest(*CP, ReplacementPolicy::Lru), E.LruDigest)
+      << "verdict drift (lru) at seed " << E.Seed;
+  EXPECT_EQ(verdictDigest(*CP, ReplacementPolicy::Fifo), E.FifoDigest)
+      << "verdict drift (fifo) at seed " << E.Seed;
+  EXPECT_EQ(verdictDigest(*CP, ReplacementPolicy::Plru), E.PlruDigest)
+      << "verdict drift (plru) at seed " << E.Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedVerdictCorpus, VerdictRegressionTest,
+                         ::testing::ValuesIn(VerdictCorpus),
+                         [](const ::testing::TestParamInfo<
+                             VerdictGoldenEntry> &I) {
+                           return "seed" + std::to_string(I.param.Seed);
+                         });
+
+//===----------------------------------------------------------------------===//
 // Golden regeneration snippet (compile against libspecai and paste):
 //
 //   #include "specai/SpecAI.h"
@@ -217,4 +331,8 @@ INSTANTIATE_TEST_SUITE_P(PinnedPolicyCorpus, PolicyRegressionTest,
 //                   (unsigned long long)digestMustHitReport(*CP, RN));
 //     }
 //   }
+//
+// The verdict corpus regenerates the same way: copy the verdictDigest
+// helper above into the snippet and print, per seed, its value for
+// ReplacementPolicy::Lru / Fifo / Plru.
 //===----------------------------------------------------------------------===//

@@ -28,6 +28,19 @@ for policy in fifo plru; do
     --policy "$policy" --ce-dir "$BUILD"
 done
 
+# Verdict-oracle smokes (docs/FUZZING.md, "Verdict oracles"): the WCET
+# bound vs the cycle-charging concrete executor, and the leak-freedom
+# proofs vs the concrete cache-timing attacker. Campaign JSON lands next
+# to the build like the perf smoke's (CI uploads them as artifacts).
+# (No pipeline here: POSIX sh has no pipefail, and a pipe into tee would
+# mask a violation's exit code from set -e.)
+for oracle in wcet leak; do
+  "$BUILD/tools/specai-fuzz" --seed 1 --programs 10 --jobs "$JOBS" \
+    --oracle "$oracle" --ce-dir "$BUILD" --json \
+    > "$BUILD/fuzz_${oracle}_smoke.json"
+  cat "$BUILD/fuzz_${oracle}_smoke.json"
+done
+
 # Fixed-coverage perf smoke: the 50-program campaign behind
 # BENCH_fuzz.json, with timing JSON written next to the build
 # (informational — timings are machine-dependent and never gate; the

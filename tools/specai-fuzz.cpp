@@ -8,14 +8,20 @@
 /// Command line driver for differential soundness fuzzing:
 ///
 ///   specai-fuzz [options]            run a campaign
-///   specai-fuzz --selftest           prove the oracle catches a broken
-///                                    engine (also a CTest case)
+///   specai-fuzz --selftest [SUITE]   prove the oracles catch a broken
+///                                    engine/verdict layer (also CTest
+///                                    cases; SUITE: cache|wcet|leak|all)
 ///   specai-fuzz --replay FILE.mc     re-check a recorded counterexample
 ///
 ///   --seed N            base seed (default 1); program i uses seed N+i
 ///   --programs N        programs per campaign (default 100)
 ///   --jobs N            worker threads (default: all cores). Campaign
 ///                       summaries are identical for any --jobs value.
+///   --oracle K          which differential oracles to run: cache
+///                       (default; abstract-state containment) | wcet
+///                       (concrete cycles vs estimateWcet bound) | leak
+///                       (concrete timing attacker vs leak-freedom
+///                       proofs) | all. Repeatable; repeats OR together.
 ///   --lines N           cache lines of the oracle geometry (default 8)
 ///   --assoc N           associativity (default: fully associative)
 ///   --policy P          replacement policy to validate: lru (default) |
@@ -25,12 +31,19 @@
 ///   --depth-hit N       b_hit window (default 6)
 ///   --exhaustive-bits N exhaustive prediction-script DFS depth (default 5)
 ///   --input-rounds N    input vectors per program (default 2)
+///   --leak-secrets N    secret variants per leak-attacker family
+///                       (default 3)
+///   --leak-rounds N     leak-attacker families per program (default 2)
 ///   --no-shadow         disable the MAY (shadow) refinement + its checks
 ///   --no-minimize       keep counterexamples unminimized
 ///   --ce-dir DIR        where to write counterexample .mc files (default .)
 ///   --json              print the campaign summary as JSON
-///   --inject-fault K    deliberately break the engine: skip-spec-seed |
-///                       skip-rollback (self-test aid)
+///   --inject-fault K    deliberately break the stack under test:
+///                       engine faults skip-spec-seed | skip-rollback,
+///                       verdict faults wcet-hit-for-miss |
+///                       wcet-drop-loop-scale | leak-skip-mixed |
+///                       leak-discount-spec | leak-drop-spec-only
+///                       (self-test aid)
 ///
 /// Exit code: 0 sound, 1 usage/compile error, 2 violations found (so CI
 /// can gate on it).
@@ -40,6 +53,7 @@
 #include "specai/SpecAI.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -52,12 +66,16 @@ namespace {
 void usage() {
   std::printf(
       "usage: specai-fuzz [--seed N] [--programs N] [--jobs N] [--lines N]\n"
-      "       [--assoc N] [--policy lru|fifo|plru|all] [--depth-miss N]\n"
+      "       [--oracle cache|wcet|leak|all] [--assoc N]\n"
+      "       [--policy lru|fifo|plru|all] [--depth-miss N]\n"
       "       [--depth-hit N]\n"
-      "       [--exhaustive-bits N] [--input-rounds N] [--no-shadow]\n"
+      "       [--exhaustive-bits N] [--input-rounds N] [--leak-secrets N]\n"
+      "       [--leak-rounds N] [--no-shadow]\n"
       "       [--no-minimize] [--ce-dir DIR] [--json]\n"
-      "       [--inject-fault skip-spec-seed|skip-rollback]\n"
-      "       [--selftest] [--replay FILE.mc]\n");
+      "       [--inject-fault skip-spec-seed|skip-rollback|\n"
+      "         wcet-hit-for-miss|wcet-drop-loop-scale|leak-skip-mixed|\n"
+      "         leak-discount-spec|leak-drop-spec-only]\n"
+      "       [--selftest [cache|wcet|leak|all]] [--replay FILE.mc]\n");
 }
 
 unsigned parseNum(const char *Arg, const char *Value) {
@@ -89,7 +107,14 @@ std::string campaignJson(const FuzzCampaignStats &S) {
   Field("committed_checks", std::to_string(S.Oracle.CommittedChecks), false);
   Field("speculative_checks", std::to_string(S.Oracle.SpeculativeChecks),
         false);
+  Field("wcet_checks", std::to_string(S.Oracle.WcetChecks), false);
+  Field("leak_families", std::to_string(S.Oracle.LeakFamilies), false);
+  Field("leak_runs", std::to_string(S.Oracle.LeakRuns), false);
+  Field("leak_site_checks", std::to_string(S.Oracle.LeakSiteChecks), false);
   Field("violation_programs", std::to_string(S.ViolationPrograms), false);
+  Field("cache_violations", std::to_string(S.CacheViolations), false);
+  Field("wcet_violations", std::to_string(S.WcetViolations), false);
+  Field("leak_violations", std::to_string(S.LeakViolations), false);
   Field("seconds", formatDouble(S.Seconds, 3), false);
   Field("programs_per_sec", formatDouble(PerSec, 1), true);
   Out += "}";
@@ -121,13 +146,15 @@ void reportCounterexamples(const FuzzCampaignResult &R,
 }
 
 /// One self-test campaign into \p ResultOut.
-void selftestCampaign(EngineFault Fault, unsigned Programs,
-                      FuzzCampaignResult &ResultOut) {
+void selftestCampaign(EngineFault EF, VerdictFault VF, unsigned Oracles,
+                      unsigned Programs, FuzzCampaignResult &ResultOut) {
   FuzzCampaignOptions O;
   O.Seed = 1;
   O.Programs = Programs;
   O.Jobs = 0;
-  O.Oracle.Fault = Fault;
+  O.Oracle.Fault = EF;
+  O.Oracle.VFault = VF;
+  O.Oracle.Oracles = Oracles;
   // Trim per-program effort: the self-test proves detection, not coverage.
   O.Oracle.ExhaustiveBits = 4;
   O.Oracle.SampledScripts = 4;
@@ -135,55 +162,112 @@ void selftestCampaign(EngineFault Fault, unsigned Programs,
   ResultOut = runFuzzCampaign(O);
 }
 
-int selftest() {
+/// The fault-injection matrix: every oracle must catch >= 2 deliberate
+/// breaks of the layer it validates, each with a minimized, replayable
+/// counterexample. `Suites` is an OracleKind mask selecting which rows
+/// (and which healthy-campaign oracles) run.
+int selftest(unsigned Suites) {
   int Failures = 0;
 
   FuzzCampaignResult Healthy;
-  selftestCampaign(EngineFault::None, 8, Healthy);
+  selftestCampaign(EngineFault::None, VerdictFault::None, Suites, 8,
+                   Healthy);
   if (Healthy.ok()) {
-    std::printf("selftest: healthy engine, 8 programs ... ok\n");
+    std::printf("selftest: healthy engine+verdicts (--oracle %s), 8 "
+                "programs ... ok\n",
+                oracleKindName(Suites));
   } else {
-    std::printf("selftest: healthy engine FAILED: %llu violating programs\n",
+    std::printf("selftest: healthy engine+verdicts FAILED: %llu violating "
+                "programs\n",
                 static_cast<unsigned long long>(
                     Healthy.Stats.ViolationPrograms));
-    reportCounterexamples(Healthy, SoundnessOracleOptions{}, ".");
+    SoundnessOracleOptions HO;
+    HO.Oracles = Suites;
+    reportCounterexamples(Healthy, HO, ".");
     ++Failures;
   }
 
-  FuzzCampaignResult Broken;
-  selftestCampaign(EngineFault::SkipSpecSeed, 8, Broken);
-  if (!Broken.ok()) {
+  struct FaultCase {
+    const char *Name;
+    EngineFault EF;
+    VerdictFault VF;
+    unsigned Oracle; ///< The single oracle expected to catch it.
+    unsigned Programs;
+    /// Demand a strictly shrinking minimization (only meaningful for
+    /// faults that fire on nearly every program, where <= is vacuous).
+    bool StrictShrink;
+  };
+  const FaultCase Matrix[] = {
+      {"skip-spec-seed", EngineFault::SkipSpecSeed, VerdictFault::None,
+       OracleCache, 8, true},
+      {"skip-rollback", EngineFault::SkipRollback, VerdictFault::None,
+       OracleCache, 24, false},
+      {"wcet-hit-for-miss", EngineFault::None, VerdictFault::WcetHitForMiss,
+       OracleWcet, 16, false},
+      {"wcet-drop-loop-scale", EngineFault::None,
+       VerdictFault::WcetDropLoopScale, OracleWcet, 32, false},
+      {"leak-skip-mixed", EngineFault::None, VerdictFault::LeakSkipMixed,
+       OracleLeak, 16, false},
+      {"leak-discount-spec", EngineFault::None,
+       VerdictFault::LeakDiscountSpeculation, OracleLeak, 32, false},
+      {"leak-drop-spec-only", EngineFault::None,
+       VerdictFault::LeakDropSpecOnly, OracleLeak, 32, false},
+  };
+
+  for (const FaultCase &C : Matrix) {
+    if (!(Suites & C.Oracle))
+      continue;
+    FuzzCampaignResult Broken;
+    selftestCampaign(C.EF, C.VF, C.Oracle, C.Programs, Broken);
+    if (Broken.ok()) {
+      std::printf("selftest: %s fault NOT caught in %u programs ... "
+                  "FAILED\n",
+                  C.Name, C.Programs);
+      ++Failures;
+      continue;
+    }
     const Counterexample &CE = Broken.Counterexamples.front();
-    // Generated programs have >= 4 statements and the injected fault makes
-    // every speculative access a violation, so a working minimizer must
-    // strictly shrink; <= would be vacuous.
-    bool Minimized =
-        CE.StmtsAfter < CE.StmtsBefore || CE.StmtsBefore <= 1;
-    bool Replayable = !CE.replayFile(SoundnessOracleOptions{}).empty();
-    std::printf("selftest: skip-spec-seed fault caught (%llu programs, "
-                "first: %s) ... %s\n",
+    bool Minimized = !C.StrictShrink || CE.StmtsAfter < CE.StmtsBefore ||
+                     CE.StmtsBefore <= 1;
+
+    // The counterexample must replay: same broken stack, recorded
+    // scenario, still violating — and its .mc rendering must carry the
+    // oracle tag --replay keys on.
+    SoundnessOracleOptions RO;
+    RO.Oracles = C.Oracle;
+    RO.Fault = C.EF;
+    RO.VFault = C.VF;
+    std::string File = CE.replayFile(RO);
+    bool Tagged = File.find("// replay-oracle: ") != std::string::npos;
+    bool Reproduced = false;
+    {
+      DiagnosticEngine Diags;
+      if (auto CP = compileSource(CE.Source, Diags)) {
+        SoundnessOracleOptions Single = RO;
+        Single.Strategies = {CE.V.Strategy};
+        Single.Boundings = {CE.V.Bounding};
+        SoundnessOracle Oracle(*CP, CE.InputScalars, CE.InputArrays,
+                               Single);
+        Reproduced = Oracle.checkRun(CE.V.Run).has_value();
+      }
+    }
+    bool Ok = Minimized && Tagged && Reproduced;
+    std::printf("selftest: %s fault caught (%llu/%u programs, %zu -> %zu "
+                "stmts, first: %s) ... %s\n",
+                C.Name,
                 static_cast<unsigned long long>(
                     Broken.Stats.ViolationPrograms),
-                CE.Pretty.c_str(),
-                Minimized && Replayable ? "ok" : "FAILED");
-    if (!Minimized || !Replayable)
+                C.Programs, CE.StmtsBefore, CE.StmtsAfter,
+                CE.Pretty.c_str(), Ok ? "ok" : "FAILED");
+    if (!Ok) {
+      if (!Minimized)
+        std::printf("  minimizer made no progress\n");
+      if (!Tagged)
+        std::printf("  replay file lacks the // replay-oracle: header\n");
+      if (!Reproduced)
+        std::printf("  recorded scenario did not reproduce on replay\n");
       ++Failures;
-  } else {
-    std::printf(
-        "selftest: skip-spec-seed fault NOT caught ... FAILED\n");
-    ++Failures;
-  }
-
-  FuzzCampaignResult NoRollback;
-  selftestCampaign(EngineFault::SkipRollback, 24, NoRollback);
-  if (!NoRollback.ok()) {
-    std::printf("selftest: skip-rollback fault caught (%llu programs) "
-                "... ok\n",
-                static_cast<unsigned long long>(
-                    NoRollback.Stats.ViolationPrograms));
-  } else {
-    std::printf("selftest: skip-rollback fault NOT caught ... FAILED\n");
-    ++Failures;
+    }
   }
 
   std::printf("selftest: %s\n", Failures == 0 ? "PASS" : "FAIL");
@@ -223,6 +307,7 @@ int replay(const std::string &Path) {
   std::vector<std::pair<std::string, unsigned>> Arrays;
   MergeStrategy Strategy = MergeStrategy::JustInTime;
   BoundingMode Bounding = BoundingMode::Fixed;
+  unsigned OracleMask = OracleCache; // Pre-verdict files carry no header.
 
   std::istringstream Lines(Text);
   std::string Line, Key, Value;
@@ -230,7 +315,58 @@ int replay(const std::string &Path) {
     if (!parseReplayLine(Line, Key, Value))
       continue;
     std::istringstream V(Value);
-    if (Key == "strategy") {
+    if (Key == "oracle") {
+      if (!parseOracleKind(Value, OracleMask)) {
+        std::printf("error: unknown replay-oracle '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else if (Key == "wcet") {
+      unsigned Hit = 2, Miss = 100, Alu = 1, Branch = 10;
+      // A partially matched header would silently check under a different
+      // timing model and report "did not reproduce"; fail loudly instead.
+      if (std::sscanf(Value.c_str(), "hit=%u,miss=%u,alu=%u,branch=%u",
+                      &Hit, &Miss, &Alu, &Branch) != 4) {
+        std::printf("error: malformed replay-wcet header '%s'\n",
+                    Value.c_str());
+        return 1;
+      }
+      Opts.Wcet.Timing.HitLatency = Hit;
+      Opts.Wcet.Timing.MissLatency = Miss;
+      Opts.Wcet.Timing.AluLatency = Alu;
+      Opts.Wcet.Timing.BranchResolveLatency = Branch;
+    } else if (Key == "verdict-fault") {
+      // A self-test counterexample; replay against the same deliberately
+      // broken verdict layer.
+      if (!parseVerdictFault(Value, Opts.VFault)) {
+        std::printf("error: unknown replay-verdict-fault '%s'\n",
+                    Value.c_str());
+        return 1;
+      }
+    } else if (Key == "secret") {
+      // "v<variant> e0 e1 ...": lines arrive grouped by variant, one per
+      // secret array, in the oracle's secret-array order. A malformed tag
+      // would silently rebuild the wrong family shape and read as "did
+      // not reproduce"; fail loudly like the other replay headers.
+      std::string Tag;
+      V >> Tag;
+      char *TagEnd = nullptr;
+      size_t Variant =
+          Tag.size() > 1 && Tag[0] == 'v'
+              ? std::strtoull(Tag.c_str() + 1, &TagEnd, 10)
+              : 0;
+      if (Tag.size() < 2 || Tag[0] != 'v' || !TagEnd || *TagEnd != '\0') {
+        std::printf("error: malformed replay-secret variant tag '%s'\n",
+                    Tag.c_str());
+        return 1;
+      }
+      if (Spec.SecretVariants.size() <= Variant)
+        Spec.SecretVariants.resize(Variant + 1);
+      std::vector<int64_t> Values;
+      int64_t E;
+      while (V >> E)
+        Values.push_back(E);
+      Spec.SecretVariants[Variant].push_back(std::move(Values));
+    } else if (Key == "strategy") {
       if (Value == "no-merge")
         Strategy = MergeStrategy::NoMerge;
       else if (Value == "merge-at-exit")
@@ -301,6 +437,7 @@ int replay(const std::string &Path) {
   }
   Opts.Strategies = {Strategy};
   Opts.Boundings = {Bounding};
+  Opts.Oracles = OracleMask;
 
   // An unknown predictor name would make the oracle silently skip the run
   // and a real counterexample would read as "did not reproduce" — fail
@@ -341,6 +478,8 @@ int main(int Argc, char **Argv) {
   std::string CeDir = ".";
   std::string ReplayPath;
   bool Json = false, SelfTest = false;
+  unsigned SelfTestSuites = OracleAll;
+  bool OracleExplicit = false;
   uint32_t Lines = 8, Assoc = 0;
   ReplacementPolicy Policy = ReplacementPolicy::Lru;
   bool AllPolicies = false;
@@ -373,6 +512,22 @@ int main(int Argc, char **Argv) {
                     P.c_str());
         return 1;
       }
+    } else if (Arg == "--oracle") {
+      std::string Kind = Next();
+      unsigned Mask = 0;
+      if (!parseOracleKind(Kind, Mask)) {
+        std::printf("error: unknown oracle '%s' (cache | wcet | leak | "
+                    "all)\n",
+                    Kind.c_str());
+        return 1;
+      }
+      // First --oracle replaces the cache default; repeats OR together.
+      O.Oracle.Oracles = OracleExplicit ? O.Oracle.Oracles | Mask : Mask;
+      OracleExplicit = true;
+    } else if (Arg == "--leak-secrets") {
+      O.Oracle.LeakSecrets = parseNum("--leak-secrets", Next());
+    } else if (Arg == "--leak-rounds") {
+      O.Oracle.LeakRounds = parseNum("--leak-rounds", Next());
     } else if (Arg == "--depth-miss") {
       O.Oracle.DepthMiss = parseNum("--depth-miss", Next());
     } else if (Arg == "--depth-hit") {
@@ -391,16 +546,29 @@ int main(int Argc, char **Argv) {
       Json = true;
     } else if (Arg == "--inject-fault") {
       std::string Kind = Next();
+      VerdictFault VF = VerdictFault::None;
       if (Kind == "skip-spec-seed")
         O.Oracle.Fault = EngineFault::SkipSpecSeed;
       else if (Kind == "skip-rollback")
         O.Oracle.Fault = EngineFault::SkipRollback;
+      else if (parseVerdictFault(Kind, VF) && VF != VerdictFault::None)
+        O.Oracle.VFault = VF;
       else {
         std::printf("error: unknown fault '%s'\n", Kind.c_str());
         return 1;
       }
     } else if (Arg == "--selftest") {
       SelfTest = true;
+      // Optional suite selector (cache | wcet | leak | all).
+      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+        std::string Suite = Argv[++I];
+        if (!parseOracleKind(Suite, SelfTestSuites)) {
+          std::printf("error: unknown selftest suite '%s' (cache | wcet | "
+                      "leak | all)\n",
+                      Suite.c_str());
+          return 1;
+        }
+      }
     } else if (Arg == "--replay") {
       ReplayPath = Next();
     } else if (Arg == "--help" || Arg == "-h") {
@@ -413,8 +581,17 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // A verdict fault targets one specific oracle; force that oracle on, or
+  // the injection would no-op under the cache default and a deliberately
+  // broken verdict layer would be reported "sound".
+  if (O.Oracle.VFault != VerdictFault::None) {
+    bool IsWcet = O.Oracle.VFault == VerdictFault::WcetHitForMiss ||
+                  O.Oracle.VFault == VerdictFault::WcetDropLoopScale;
+    O.Oracle.Oracles |= IsWcet ? OracleWcet : OracleLeak;
+  }
+
   if (SelfTest)
-    return selftest();
+    return selftest(SelfTestSuites);
   if (!ReplayPath.empty())
     return replay(ReplayPath);
 
