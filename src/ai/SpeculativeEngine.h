@@ -79,6 +79,15 @@
 
 namespace specai {
 
+#ifdef SPECAI_DEBUG_PR
+/// Debug-build-only trace hook: called on every PR-slot join with
+/// (node, color, source, joined-from state). Never compiled into the
+/// library; a diagnostics TU defines the pointer and instantiates the
+/// engine template itself.
+inline void (*SpecaiPrTraceHook)(NodeId, uint32_t, NodeId,
+                                 const void *) = nullptr;
+#endif
+
 /// Figure 6's four strategies for merging speculative flows.
 enum class MergeStrategy {
   NoMerge,         // 6a
@@ -352,6 +361,20 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   std::vector<uint32_t> JoinCounts(N, 0);
   NodeWorklist Worklist(G, Options.Order);
 
+  // Fault injection only (SkipBackedges): true iff From->To is a back edge
+  // (To heads a loop whose body contains From); mirrors the baseline
+  // engine's check in WorklistEngine.h.
+  auto IsBackEdge = [&](NodeId From, NodeId To) {
+    if (!LI || !LI->isHeader(To))
+      return false;
+    for (const Loop &L : LI->loops())
+      if (L.Header == To)
+        for (NodeId B : L.Body)
+          if (B == From)
+            return true;
+    return false;
+  };
+
   auto JoinNormal = [&](NodeId Node, const State &From) {
     bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
                     JoinCounts[Node] >= Options.WideningDelay;
@@ -361,7 +384,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
         D.widen(R.Normal[Node], Prev);
         ++JoinCounts[Node];
         NormalDirty[Node] = 1;
-        Worklist.push(Node);
+        if (!Options.DropWidenPush)
+          Worklist.push(Node);
       }
       return;
     }
@@ -373,6 +397,10 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   };
 
   auto JoinPr = [&](NodeId Node, PrKey Key, const State &From) {
+#ifdef SPECAI_DEBUG_PR
+    if (SpecaiPrTraceHook)
+      SpecaiPrTraceHook(Node, Key.Color, Key.Source, &From);
+#endif
     auto [Slot, Inserted] = PR[Node].tryEmplace(Key, PrSlot{D.bottom(), true});
     bool UseWiden = Options.UseWidening && LI && LI->isHeader(Node) &&
                     JoinCounts[Node] >= Options.WideningDelay;
@@ -382,7 +410,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
       if (UseWiden)
         D.widen(Slot->second.St, Prev);
       ++JoinCounts[Node];
-      Worklist.push(Node);
+      if (!(UseWiden && Options.DropWidenPush))
+        Worklist.push(Node);
     } else if (Inserted) {
       Worklist.push(Node);
     }
@@ -489,7 +518,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
         NormalDirty[Node] = 0;
         State Out = ApplyTransfer(Node, R.Normal[Node], /*Speculative=*/false);
         for (NodeId Succ : G.successors(Node))
-          JoinNormal(Succ, Out);
+          if (!(Options.SkipBackedges && IsBackEdge(Node, Succ)))
+            JoinNormal(Succ, Out);
         // n -> vn_start edges (line 11).
         SeedSpeculation(Node, Out);
       }
@@ -518,7 +548,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
           if (Slot.Depth > 1) {
             NodeId Ipdom = IpdomOf(Color);
             for (NodeId Succ : G.successors(Node))
-              if (Succ != Ipdom)
+              if (Succ != Ipdom &&
+                  !(Options.SkipBackedges && IsBackEdge(Node, Succ)))
                 JoinSpec(Succ, Color, Out, Slot.Depth - 1);
           }
         }
@@ -538,6 +569,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
           State Out = ApplyTransfer(Node, Slot.St, /*Speculative=*/false);
           NodeId Ipdom = IpdomOf(Key.Color);
           for (NodeId Succ : G.successors(Node)) {
+            if (Options.SkipBackedges && IsBackEdge(Node, Succ))
+              continue;
             if (Succ == Ipdom)
               JoinNormal(Succ, Out);
             else

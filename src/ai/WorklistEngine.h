@@ -71,6 +71,17 @@ struct EngineOptions {
   uint64_t MaxIterations = 200000000;
   /// Worklist pop discipline; Rpo minimizes re-processing.
   WorklistOrder Order = WorklistOrder::Rpo;
+  /// Fault injection (drop-widen): after widening fires at a loop header,
+  /// the header is *not* re-queued, so the widened state never propagates
+  /// into the loop body. Terminates (widening is still applied) but is
+  /// deliberately unsound; only the lowering self-test sets this
+  /// (specai-fuzz --selftest lowering).
+  bool DropWidenPush = false;
+  /// Fault injection (skip-backedge): joins along loop back edges (an edge
+  /// into a loop header from inside that loop's body) are skipped entirely,
+  /// so loop-carried cache effects never reach the header. Deliberately
+  /// unsound; only the lowering self-test sets this.
+  bool SkipBackedges = false;
   /// When set, the engine reports worklist/memo counters here (prefixed
   /// "worklist." for the baseline, "spec." for the speculative engine).
   StatisticSet *Stats = nullptr;
@@ -195,6 +206,20 @@ FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
   NodeWorklist Worklist(G, Options.Order);
   Worklist.push(G.entry());
 
+  // Fault injection only (SkipBackedges): true iff From->To is a back edge,
+  // i.e. To heads a loop whose body contains From. Loops sharing a header
+  // are merged by LoopInfo, so at most one loop matches.
+  auto IsBackEdge = [&](NodeId From, NodeId To) {
+    if (!LI || !LI->isHeader(To))
+      return false;
+    for (const Loop &L : LI->loops())
+      if (L.Header == To)
+        for (NodeId B : L.Body)
+          if (B == From)
+            return true;
+    return false;
+  };
+
   while (!Worklist.empty()) {
     if (++R.Iterations > Options.MaxIterations) {
       R.Converged = false;
@@ -208,6 +233,8 @@ FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
     D.transfer(Out, Node);
 
     for (NodeId Succ : G.successors(Node)) {
+      if (Options.SkipBackedges && IsBackEdge(Node, Succ))
+        continue;
       bool UseWiden = Options.UseWidening && LI && LI->isHeader(Succ) &&
                       JoinCounts[Succ] >= Options.WideningDelay;
       if (UseWiden) {
@@ -215,7 +242,8 @@ FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
         if (D.joinInto(R.In[Succ], Out)) {
           D.widen(R.In[Succ], Prev);
           ++JoinCounts[Succ];
-          Worklist.push(Succ);
+          if (!Options.DropWidenPush)
+            Worklist.push(Succ);
         }
       } else if (D.joinInto(R.In[Succ], Out)) {
         ++JoinCounts[Succ];

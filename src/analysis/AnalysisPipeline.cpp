@@ -46,6 +46,50 @@ bool specai::parseVerdictFault(const std::string &Name, VerdictFault &Out) {
   return false;
 }
 
+const char *specai::loweringFaultName(LoweringFault F) {
+  switch (F) {
+  case LoweringFault::None:
+    return "none";
+  case LoweringFault::DropWiden:
+    return "drop-widen";
+  case LoweringFault::StaleSummary:
+    return "stale-summary";
+  case LoweringFault::SkipBackedge:
+    return "skip-backedge";
+  }
+  return "?";
+}
+
+bool specai::parseLoweringFault(const std::string &Name, LoweringFault &Out) {
+  for (LoweringFault F :
+       {LoweringFault::None, LoweringFault::DropWiden,
+        LoweringFault::StaleSummary, LoweringFault::SkipBackedge}) {
+    if (Name == loweringFaultName(F)) {
+      Out = F;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Wraps one lowered Program with its CFG analyses.
+std::unique_ptr<CompiledProgram> buildAnalyses(Program &&Prog,
+                                               LoweringMode Mode) {
+  auto CP = std::make_unique<CompiledProgram>();
+  CP->P = std::make_unique<Program>(std::move(Prog));
+  CP->G = FlatCfg::build(*CP->P);
+  CP->Dom = DominatorTree::compute(CP->G);
+  CP->Pdom = DominatorTree::computePost(CP->G);
+  CP->LI = LoopInfo::compute(CP->G, CP->Dom);
+  CP->Plan = SpecPlan::compute(CP->G, CP->Pdom);
+  CP->Mode = Mode;
+  return CP;
+}
+
+} // namespace
+
 std::unique_ptr<CompiledProgram>
 specai::compileSource(const std::string &Source, DiagnosticEngine &Diags,
                       const LoweringOptions &Options) {
@@ -64,23 +108,23 @@ specai::compileSource(const std::string &Source, DiagnosticEngine &Diags,
   if (!Analysis.run(Unit))
     return nullptr;
 
-  std::optional<Program> Lowered = lowerProgram(Unit, Options, Diags);
+  std::optional<LoweredModule> Lowered = lowerModule(Unit, Options, Diags);
   if (!Lowered)
     return nullptr;
 
-  for (const std::string &Issue : verifyProgram(*Lowered)) {
+  for (const std::string &Issue : verifyProgram(Lowered->Entry)) {
     Diags.error(SourceLoc(), "internal: IR verifier: " + Issue);
   }
+  for (const Program &FP : Lowered->Callees)
+    for (const std::string &Issue : verifyProgram(FP))
+      Diags.error(SourceLoc(), "internal: IR verifier (" + FP.EntryName +
+                                   "): " + Issue);
   if (Diags.hasErrors())
     return nullptr;
 
-  auto CP = std::make_unique<CompiledProgram>();
-  CP->P = std::make_unique<Program>(std::move(*Lowered));
-  CP->G = FlatCfg::build(*CP->P);
-  CP->Dom = DominatorTree::compute(CP->G);
-  CP->Pdom = DominatorTree::computePost(CP->G);
-  CP->LI = LoopInfo::compute(CP->G, CP->Dom);
-  CP->Plan = SpecPlan::compute(CP->G, CP->Pdom);
+  auto CP = buildAnalyses(std::move(Lowered->Entry), Options.Mode);
+  for (Program &FP : Lowered->Callees)
+    CP->Callees.push_back(buildAnalyses(std::move(FP), Options.Mode));
   return CP;
 }
 
@@ -105,6 +149,8 @@ SpecEngineOptions makeEngineOptions(const MustHitOptions &O,
     E.Order = *O.Order;
   E.Stats = O.Stats;
   E.Fault = O.Fault;
+  E.DropWidenPush = O.LFault == LoweringFault::DropWiden;
+  E.SkipBackedges = O.LFault == LoweringFault::SkipBackedge;
   return E;
 }
 
@@ -144,16 +190,14 @@ void classify(const CompiledProgram &CP, CacheDomain &D,
   }
 }
 
-} // namespace
-
-MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
-                                         const MustHitOptions &Options) {
+/// Runs the engines over one Program (the pre-Summarize runMustHitAnalysis
+/// body); \p DomOpts carries the summary table in Summarize mode.
+MustHitReport runEngines(const CompiledProgram &CP,
+                         const MustHitOptions &Options,
+                         const CacheDomainOptions &DomOpts) {
   MustHitReport Report;
   Report.MM = std::make_unique<MemoryModel>(*CP.P, Options.Cache);
   Report.BranchCount = CP.Plan.siteCount();
-
-  CacheDomainOptions DomOpts;
-  DomOpts.UseShadow = Options.UseShadow;
 
   if (!Options.Speculative) {
     // Baseline Algorithm 1: no virtual control flow at all.
@@ -164,6 +208,8 @@ MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
     E.MaxIterations = Options.MaxIterations;
     E.Order = Options.Order.value_or(WorklistOrder::Rpo);
     E.Stats = Options.Stats;
+    E.DropWidenPush = Options.LFault == LoweringFault::DropWiden;
+    E.SkipBackedges = Options.LFault == LoweringFault::SkipBackedge;
     FixpointResult<CacheDomain> F = runFixpoint(D, CP.G, E, &CP.LI);
     Report.States.Normal = std::move(F.In);
     Report.States.PostRollback.assign(CP.G.size(), CacheAbsState::bottom());
@@ -216,5 +262,125 @@ MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
     Overrides = std::move(Next);
   }
   Report.RefinementRounds = Round;
+  return Report;
+}
+
+/// Wraps a constant element index like the concrete machine and the cache
+/// domain do (modulo the element count, total semantics).
+uint64_t wrapElement(int64_t Index, uint64_t NumElements) {
+  if (NumElements == 0)
+    return 0;
+  int64_t M = Index % static_cast<int64_t>(NumElements);
+  if (M < 0)
+    M += static_cast<int64_t>(NumElements);
+  return static_cast<uint64_t>(M);
+}
+
+/// Builds the call summary of one analyzed callee (DESIGN.md §4).
+/// \p Earlier holds the summaries of the callee's own (bottom-up earlier)
+/// callees, so MayBlocks closes transitively.
+CallSummary buildSummary(const CompiledProgram &CP, const MustHitReport &R,
+                         const std::vector<CallSummary> &Earlier) {
+  CallSummary Sum;
+  const MemoryModel &MM = *R.MM;
+  const Program &P = *CP.P;
+
+  // MayBlocks: syntactic sweep over the callee's accesses. Unknown-index
+  // array accesses may touch any line of the array; Call instructions pull
+  // in the (already summarized) transitive callee's lines.
+  for (const BasicBlock &B : P.Blocks) {
+    for (const Instruction &I : B.Insts) {
+      if (I.Op == Opcode::Call) {
+        const CallSummary &CS = Earlier[I.Callee];
+        Sum.MayBlocks.insert(Sum.MayBlocks.end(), CS.MayBlocks.begin(),
+                             CS.MayBlocks.end());
+        continue;
+      }
+      if (!I.accessesMemory())
+        continue;
+      const MemVar &Var = P.Vars[I.Var];
+      if (Var.NumElements == 1 || I.Index.isImm()) {
+        uint64_t Elem =
+            I.Index.isImm() ? wrapElement(I.Index.Imm, Var.NumElements) : 0;
+        Sum.MayBlocks.push_back(MM.blockOf(I.Var, Elem));
+      } else {
+        std::vector<BlockAddr> All = MM.blocksOf(I.Var);
+        Sum.MayBlocks.insert(Sum.MayBlocks.end(), All.begin(), All.end());
+      }
+    }
+  }
+  std::sort(Sum.MayBlocks.begin(), Sum.MayBlocks.end());
+  Sum.MayBlocks.erase(std::unique(Sum.MayBlocks.begin(), Sum.MayBlocks.end()),
+                      Sum.MayBlocks.end());
+
+  Sum.SetPressure.assign(MM.config().numSets(), 0);
+  for (BlockAddr Block : Sum.MayBlocks)
+    ++Sum.SetPressure[MM.setOf(Block)];
+
+  // ExitMust: join of the architectural states at every reachable Ret.
+  // The callee was analyzed from the unknown entry state (MUST top), so
+  // these bounds hold in every call context. Symbolic instance blocks name
+  // no concrete line in the caller and are dropped.
+  CacheAbsState Exit = CacheAbsState::bottom();
+  for (NodeId Node = 0; Node != CP.G.size(); ++Node) {
+    if (CP.G.inst(Node).Op != Opcode::Ret)
+      continue;
+    CacheAbsState Obs = R.States.Normal[Node];
+    Obs.joinInto(R.States.PostRollback[Node], /*UseShadow=*/false);
+    Exit.joinInto(Obs, /*UseShadow=*/false);
+  }
+  if (!Exit.isBottom())
+    for (const AgedBlock &E : Exit.mustEntries())
+      if (!MM.isSymbolic(E.Block))
+        Sum.ExitMust.push_back(E);
+  return Sum;
+}
+
+} // namespace
+
+MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
+                                         const MustHitOptions &Options) {
+  CacheDomainOptions DomOpts;
+  DomOpts.UseShadow = Options.UseShadow;
+
+  if (CP.Callees.empty() && CP.Mode == LoweringMode::InlineUnroll)
+    return runEngines(CP, Options, DomOpts);
+
+  // Summarize mode. Loops are rolled, so the fixpoints need widening at
+  // the LoopInfo headers; delay 1 keeps convergence fast (the cache
+  // domain's per-block ladders make longer delays pure extra iterations).
+  MustHitOptions SumOpts = Options;
+  SumOpts.UseWidening = true;
+  SumOpts.WideningDelay = 1;
+
+  // Analyze callees bottom-up and summarize each. Callees run *without*
+  // the shadow refinement: MAY lower bounds seeded from the empty cache
+  // would be unsound claims about an unknown call context. The summary
+  // table grows as we go; bottom-up order guarantees any Callee index a
+  // function references is already present.
+  std::vector<CallSummary> Summaries;
+  Summaries.reserve(CP.Callees.size());
+  std::vector<std::unique_ptr<MustHitReport>> CalleeReports;
+  for (const std::unique_ptr<CompiledProgram> &CalleeCP : CP.Callees) {
+    MustHitOptions CalleeOpts = SumOpts;
+    CalleeOpts.UseShadow = false;
+    CacheDomainOptions CalleeDom;
+    CalleeDom.UseShadow = false;
+    CalleeDom.Summaries = &Summaries;
+    CalleeDom.StaleSummaryFault =
+        Options.LFault == LoweringFault::StaleSummary;
+    auto R = std::make_unique<MustHitReport>(
+        runEngines(*CalleeCP, CalleeOpts, CalleeDom));
+    Summaries.push_back(buildSummary(*CalleeCP, *R, Summaries));
+    CalleeReports.push_back(std::move(R));
+  }
+
+  CacheDomainOptions MainDom;
+  MainDom.UseShadow = Options.UseShadow;
+  MainDom.Summaries = &Summaries;
+  MainDom.StaleSummaryFault = Options.LFault == LoweringFault::StaleSummary;
+  MustHitReport Report = runEngines(CP, SumOpts, MainDom);
+  Report.Summaries = std::move(Summaries);
+  Report.CalleeReports = std::move(CalleeReports);
   return Report;
 }

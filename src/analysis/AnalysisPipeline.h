@@ -46,11 +46,19 @@ struct CompiledProgram {
   DominatorTree Pdom;
   LoopInfo LI;
   SpecPlan Plan;
+  /// Lowering mode this program came from (DESIGN.md §4).
+  LoweringMode Mode = LoweringMode::InlineUnroll;
+  /// Summarize mode: the reachable non-entry functions, each compiled like
+  /// the entry, in the bottom-up order of Program::CalleeNames (so
+  /// Instruction::Callee indexes this vector). Callee entries have empty
+  /// Callees of their own: the call graph is flattened here, and every
+  /// Program shares one variable/register layout. Empty under InlineUnroll.
+  std::vector<std::unique_ptr<CompiledProgram>> Callees;
 };
 
-/// Compiles mini-C source through sema, lowering (with inlining and
-/// unrolling) and the CFG analyses. Returns nullptr and fills \p Diags on
-/// error.
+/// Compiles mini-C source through sema, lowering (inline-and-unroll or
+/// summarize mode per \p Options.Mode) and the CFG analyses. Returns
+/// nullptr and fills \p Diags on error.
 std::unique_ptr<CompiledProgram>
 compileSource(const std::string &Source, DiagnosticEngine &Diags,
               const LoweringOptions &Options = {});
@@ -85,6 +93,30 @@ enum class VerdictFault : uint8_t {
 const char *verdictFaultName(VerdictFault F);
 /// Parses a verdict fault name; returns false on unknown names.
 bool parseVerdictFault(const std::string &Name, VerdictFault &Out);
+
+/// Deliberate, test-only faults in the *Summarize lowering* layer — the
+/// widened-loop fixpoint and the interprocedural summary application. The
+/// differential lowering oracle's self-test (`specai-fuzz --selftest
+/// lowering`) injects one of these and demands a concrete counterexample,
+/// completing the EngineFault/VerdictFault ladder: an oracle that cannot
+/// see a broken lowering proves nothing. Never set outside tests.
+enum class LoweringFault : uint8_t {
+  None,
+  /// After widening fires at a loop header, the header is not re-queued:
+  /// the widened state never reaches the loop body (EngineOptions::
+  /// DropWidenPush).
+  DropWiden,
+  /// Call transfers skip the callee's aging pressure, leaving stale MUST
+  /// bounds in place (CacheDomainOptions::StaleSummaryFault).
+  StaleSummary,
+  /// Joins along loop back edges are dropped: loop-carried cache effects
+  /// never reach the header (EngineOptions::SkipBackedges).
+  SkipBackedge,
+};
+
+const char *loweringFaultName(LoweringFault F);
+/// Parses a lowering fault name; returns false on unknown names.
+bool parseLoweringFault(const std::string &Name, LoweringFault &Out);
 
 /// Configuration of one static cache analysis run.
 struct MustHitOptions {
@@ -123,6 +155,10 @@ struct MustHitOptions {
   /// Test-only engine fault injection for the fuzzer self-test; see
   /// EngineFault. Never set outside tests.
   EngineFault Fault = EngineFault::None;
+  /// Test-only Summarize-lowering fault injection for the differential
+  /// lowering oracle's self-test; see LoweringFault. Never set outside
+  /// tests.
+  LoweringFault LFault = LoweringFault::None;
 };
 
 /// Classification outcome of the static cache analysis.
@@ -153,6 +189,16 @@ struct MustHitReport {
   uint64_t Iterations = 0;   // Worklist iterations.
   unsigned RefinementRounds = 1;
   bool Converged = true;
+
+  /// Summarize mode: per-callee analysis reports, in CompiledProgram::
+  /// Callees order (their per-node vectors index the callee's own CFG).
+  /// The WCET estimator charges Call nodes from these; the lowering
+  /// oracle compares their must-hits against the inlined copies. Empty
+  /// under InlineUnroll.
+  std::vector<std::unique_ptr<MustHitReport>> CalleeReports;
+  /// Summarize mode: the call summaries the main run was analyzed with,
+  /// indexed by Instruction::Callee. Empty under InlineUnroll.
+  std::vector<CallSummary> Summaries;
 };
 
 /// Runs the static cache analysis over \p CP.

@@ -20,16 +20,17 @@ std::string LeakSite::str(const Program &P) const {
   return Out;
 }
 
-SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
-                                      const MustHitReport &R,
-                                      const SideChannelOptions &Options) {
-  SideChannelReport Report;
-  TaintResult Taint = computeTaint(CP.G);
+namespace {
 
+/// Scans one program's secret-indexed accesses into \p Report.
+void scanProgram(const FlatCfg &G, const MustHitReport &R,
+                 const TaintResult &Taint, int32_t Callee,
+                 const SideChannelOptions &Options,
+                 SideChannelReport &Report) {
   for (NodeId Node : Taint.SecretIndexedAccesses) {
     if (!R.Reachable[Node])
       continue;
-    const Instruction &I = CP.G.inst(Node);
+    const Instruction &I = G.inst(Node);
     // Uniform behavior (guaranteed hit for every possible line, or
     // guaranteed miss for every possible line) cannot depend on the
     // secret; only Mixed accesses leak.
@@ -42,14 +43,45 @@ SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
     if (!Mixed) {
       ++Report.ProvenLeakFree;
       Report.LeakFreeSites.push_back(Node);
+      Report.LeakFreeLocs.push_back(I.Loc);
       continue;
     }
     LeakSite Site;
     Site.Node = Node;
     Site.Var = I.Var;
+    Site.Callee = Callee;
     Site.Loc = I.Loc;
     Report.Leaks.push_back(Site);
   }
+}
+
+} // namespace
+
+SideChannelReport specai::detectLeaks(const CompiledProgram &CP,
+                                      const MustHitReport &R,
+                                      const SideChannelOptions &Options) {
+  SideChannelReport Report;
+  if (CP.Callees.empty()) {
+    TaintResult Taint = computeTaint(CP.G);
+    scanProgram(CP.G, R, Taint, /*Callee=*/-1, Options, Report);
+    return Report;
+  }
+
+  // Summarize mode: joint taint over the module, then scan the entry and
+  // every callee against its own analysis report. A secret-indexed access
+  // inside a callee leaks exactly like its inlined copy would.
+  std::vector<const FlatCfg *> Gs;
+  Gs.reserve(1 + CP.Callees.size());
+  Gs.push_back(&CP.G);
+  for (const std::unique_ptr<CompiledProgram> &Callee : CP.Callees)
+    Gs.push_back(&Callee->G);
+  std::vector<TaintResult> Taints = computeModuleTaint(Gs);
+
+  scanProgram(CP.G, R, Taints[0], /*Callee=*/-1, Options, Report);
+  for (size_t I = 0;
+       I != CP.Callees.size() && I != R.CalleeReports.size(); ++I)
+    scanProgram(CP.Callees[I]->G, *R.CalleeReports[I], Taints[1 + I],
+                static_cast<int32_t>(I), Options, Report);
   return Report;
 }
 
@@ -60,7 +92,7 @@ unsigned specai::annotateSpeculationOnly(SideChannelReport &Spec,
   for (LeakSite &Site : Spec.Leaks) {
     bool LeaksWithoutSpeculation = false;
     for (const LeakSite &N : NonSpec.Leaks)
-      if (N.Node == Site.Node) {
+      if (N.Node == Site.Node && N.Callee == Site.Callee) {
         LeaksWithoutSpeculation = true;
         break;
       }

@@ -40,6 +40,9 @@ struct LeakSite {
   /// Leak visible only when speculation is modeled (set by callers that
   /// diff speculative vs non-speculative reports).
   bool SpeculationOnly = false;
+  /// Summarize mode: CompiledProgram::Callees index of the CFG holding
+  /// Node, or -1 for the entry program (always -1 under InlineUnroll).
+  int32_t Callee = -1;
   SourceLoc Loc;
   std::string str(const Program &P) const;
 };
@@ -53,7 +56,12 @@ struct SideChannelReport {
   /// The reachable secret-indexed access nodes proven leak-free. The
   /// fuzzer's concrete timing attacker checks these: their attacker-
   /// visible hit/miss behavior must be independent of the secret.
+  /// Summarize mode: node ids of callee sites are relative to their own
+  /// CFG (disambiguate via LeakFreeLocs, which is what the lowering
+  /// oracle compares).
   std::vector<NodeId> LeakFreeSites;
+  /// Source location of each LeakFreeSites entry (parallel vector).
+  std::vector<SourceLoc> LeakFreeLocs;
   bool leakDetected() const { return !Leaks.empty(); }
 };
 

@@ -9,60 +9,88 @@
 
 using namespace specai;
 
-TaintResult specai::computeTaint(const FlatCfg &G) {
-  const Program &P = G.program();
-  TaintResult R;
-  R.TaintedRegs.assign(P.NumRegs, false);
-  R.TaintedVars.assign(P.Vars.size(), false);
+namespace {
 
-  for (VarId V = 0; V != P.Vars.size(); ++V)
-    if (P.Vars[V].IsSecret)
-      R.TaintedVars[V] = true;
-  for (const RegGlobal &RG : P.RegGlobals)
-    if (RG.IsSecret && RG.Reg < R.TaintedRegs.size())
-      R.TaintedRegs[RG.Reg] = true;
-
-  // Flow-insensitive closure over loads, moves, ALU ops and stores.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (NodeId N = 0; N != G.size(); ++N) {
-      const Instruction &I = G.inst(N);
-      auto OperandTainted = [&](const Operand &Op) {
-        return Op.isReg() && R.TaintedRegs[Op.Reg];
-      };
-      switch (I.Op) {
-      case Opcode::Load:
-        if (R.TaintedVars[I.Var] && !R.TaintedRegs[I.Dst]) {
-          R.TaintedRegs[I.Dst] = true;
-          Changed = true;
-        }
-        break;
-      case Opcode::Mov:
-        if (OperandTainted(I.A) && !R.TaintedRegs[I.Dst]) {
-          R.TaintedRegs[I.Dst] = true;
-          Changed = true;
-        }
-        break;
-      case Opcode::Bin:
-        if ((OperandTainted(I.A) || OperandTainted(I.B)) &&
-            !R.TaintedRegs[I.Dst]) {
-          R.TaintedRegs[I.Dst] = true;
-          Changed = true;
-        }
-        break;
-      case Opcode::Store:
-        if (OperandTainted(I.A) && !R.TaintedVars[I.Var]) {
-          R.TaintedVars[I.Var] = true;
-          Changed = true;
-        }
-        break;
-      default:
-        break;
+/// One flow-insensitive propagation pass over \p G; true iff anything new
+/// was tainted. \p Module (when non-null) maps Instruction::Callee c to
+/// (*Module)[1 + c] for the Call rule; InlineUnroll programs contain no
+/// Call nodes, so passing null is safe there.
+bool closurePass(const FlatCfg &G, std::vector<bool> &TaintedRegs,
+                 std::vector<bool> &TaintedVars,
+                 const std::vector<const FlatCfg *> *Module) {
+  bool Changed = false;
+  for (NodeId N = 0; N != G.size(); ++N) {
+    const Instruction &I = G.inst(N);
+    auto OperandTainted = [&](const Operand &Op) {
+      return Op.isReg() && TaintedRegs[Op.Reg];
+    };
+    switch (I.Op) {
+    case Opcode::Load:
+      if (TaintedVars[I.Var] && !TaintedRegs[I.Dst]) {
+        TaintedRegs[I.Dst] = true;
+        Changed = true;
       }
+      break;
+    case Opcode::Mov:
+      if (OperandTainted(I.A) && !TaintedRegs[I.Dst]) {
+        TaintedRegs[I.Dst] = true;
+        Changed = true;
+      }
+      break;
+    case Opcode::Bin:
+      if ((OperandTainted(I.A) || OperandTainted(I.B)) &&
+          !TaintedRegs[I.Dst]) {
+        TaintedRegs[I.Dst] = true;
+        Changed = true;
+      }
+      break;
+    case Opcode::Store:
+      if (OperandTainted(I.A) && !TaintedVars[I.Var]) {
+        TaintedVars[I.Var] = true;
+        Changed = true;
+      }
+      break;
+    case Opcode::Call: {
+      // The call's result is tainted iff the callee can return tainted
+      // data. Argument-to-parameter flow needs no rule here: call sites
+      // mov/store into the shared parameter slots before the Call.
+      if (!Module || 1 + I.Callee >= Module->size())
+        break;
+      const FlatCfg &Callee = *(*Module)[1 + I.Callee];
+      bool RetTainted = false;
+      for (NodeId M = 0; M != Callee.size() && !RetTainted; ++M) {
+        const Instruction &RI = Callee.inst(M);
+        if (RI.Op == Opcode::Ret && RI.A.isReg() && TaintedRegs[RI.A.Reg])
+          RetTainted = true;
+      }
+      if (RetTainted && !TaintedRegs[I.Dst]) {
+        TaintedRegs[I.Dst] = true;
+        Changed = true;
+      }
+      break;
+    }
+    default:
+      break;
     }
   }
+  return Changed;
+}
 
+/// Seeds the shared taint sets from the layout's secret qualifiers.
+void seedSecrets(const Program &P, std::vector<bool> &TaintedRegs,
+                 std::vector<bool> &TaintedVars) {
+  for (VarId V = 0; V != P.Vars.size(); ++V)
+    if (P.Vars[V].IsSecret)
+      TaintedVars[V] = true;
+  for (const RegGlobal &RG : P.RegGlobals)
+    if (RG.IsSecret && RG.Reg < TaintedRegs.size())
+      TaintedRegs[RG.Reg] = true;
+}
+
+/// Reachable accesses of \p G whose index register is tainted.
+std::vector<NodeId> secretIndexed(const FlatCfg &G,
+                                  const std::vector<bool> &TaintedRegs) {
+  std::vector<NodeId> Out;
   std::vector<bool> Reach = G.reachable();
   for (NodeId N = 0; N != G.size(); ++N) {
     if (!Reach[N])
@@ -70,8 +98,53 @@ TaintResult specai::computeTaint(const FlatCfg &G) {
     const Instruction &I = G.inst(N);
     if (!I.accessesMemory())
       continue;
-    if (I.Index.isReg() && R.TaintedRegs[I.Index.Reg])
-      R.SecretIndexedAccesses.push_back(N);
+    if (I.Index.isReg() && TaintedRegs[I.Index.Reg])
+      Out.push_back(N);
   }
+  return Out;
+}
+
+} // namespace
+
+TaintResult specai::computeTaint(const FlatCfg &G) {
+  const Program &P = G.program();
+  TaintResult R;
+  R.TaintedRegs.assign(P.NumRegs, false);
+  R.TaintedVars.assign(P.Vars.size(), false);
+  seedSecrets(P, R.TaintedRegs, R.TaintedVars);
+
+  // Flow-insensitive closure over loads, moves, ALU ops and stores.
+  while (closurePass(G, R.TaintedRegs, R.TaintedVars, nullptr))
+    ;
+
+  R.SecretIndexedAccesses = secretIndexed(G, R.TaintedRegs);
   return R;
+}
+
+std::vector<TaintResult>
+specai::computeModuleTaint(const std::vector<const FlatCfg *> &Gs) {
+  std::vector<TaintResult> Out(Gs.size());
+  if (Gs.empty())
+    return Out;
+
+  // One shared layout across the module (ir/Lowering.cpp replicates the
+  // final tables into every Program), so one joint reg/var taint set.
+  const Program &P = Gs[0]->program();
+  std::vector<bool> TaintedRegs(P.NumRegs, false);
+  std::vector<bool> TaintedVars(P.Vars.size(), false);
+  seedSecrets(P, TaintedRegs, TaintedVars);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const FlatCfg *G : Gs)
+      Changed |= closurePass(*G, TaintedRegs, TaintedVars, &Gs);
+  }
+
+  for (size_t I = 0; I != Gs.size(); ++I) {
+    Out[I].TaintedRegs = TaintedRegs;
+    Out[I].TaintedVars = TaintedVars;
+    Out[I].SecretIndexedAccesses = secretIndexed(*Gs[I], TaintedRegs);
+  }
+  return Out;
 }

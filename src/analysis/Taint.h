@@ -44,6 +44,17 @@ struct TaintResult {
 /// Runs the taint closure over \p G's program.
 TaintResult computeTaint(const FlatCfg &G);
 
+/// Summarize mode: joint flow-insensitive closure over a module's CFGs.
+/// \p Gs[0] is the entry program, \p Gs[1 + c] the callee with
+/// Instruction::Callee index c; all share one register/variable layout, so
+/// argument passing (caller stores/movs into the callee's parameter slots)
+/// propagates through the ordinary closure, and a Call's result register
+/// is tainted iff some Ret of its callee returns a tainted operand.
+/// Returns one TaintResult per CFG, parallel to \p Gs, each with
+/// SecretIndexedAccesses relative to its own CFG and the shared
+/// TaintedRegs/TaintedVars.
+std::vector<TaintResult> computeModuleTaint(const std::vector<const FlatCfg *> &Gs);
+
 } // namespace specai
 
 #endif // SPECAI_ANALYSIS_TAINT_H

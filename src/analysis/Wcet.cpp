@@ -11,9 +11,24 @@
 
 using namespace specai;
 
-WcetReport specai::estimateWcet(const CompiledProgram &CP,
-                                const MustHitReport &R,
-                                const WcetOptions &Options) {
+namespace {
+
+/// Saturating multiply: the loop-trip products of deeply nested summarize
+/// programs must not wrap a cycle bound around to something small.
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > UINT64_MAX / B)
+    return UINT64_MAX;
+  return A * B;
+}
+
+/// The estimate over one Program. \p CalleeCycles holds the (bottom-up
+/// precomputed) worst-case cycle bounds per Instruction::Callee; empty
+/// under InlineUnroll, where no Call nodes exist.
+WcetReport estimateOne(const CompiledProgram &CP, const MustHitReport &R,
+                       const WcetOptions &Options,
+                       const std::vector<uint64_t> &CalleeCycles) {
   WcetReport Out;
   const FlatCfg &G = CP.G;
   size_t N = G.size();
@@ -24,7 +39,18 @@ WcetReport specai::estimateWcet(const CompiledProgram &CP,
     if (!R.Reachable[Node])
       continue;
     const Instruction &I = G.inst(Node);
-    if (I.accessesMemory()) {
+    if (I.Op == Opcode::Call) {
+      // Summarize mode: one call costs at most the callee's own bound
+      // (computed bottom-up, so it is already final) plus one ALU cycle
+      // for the return-value binding — inlining materializes that binding
+      // as a `mov` into the caller's Dst register, which the callee's own
+      // bound does not cover (found by the differential lowering oracle:
+      // without it the summarize bound undercuts the unrolled bound by
+      // exactly one cycle per executed call).
+      Latency[Node] = Options.Timing.AluLatency +
+                      (I.Callee < CalleeCycles.size() ? CalleeCycles[I.Callee]
+                                                      : 0);
+    } else if (I.accessesMemory()) {
       if (R.MustHit[Node]) {
         ++Out.MustHitNodes;
         Latency[Node] = Options.Timing.HitLatency;
@@ -41,19 +67,6 @@ WcetReport specai::estimateWcet(const CompiledProgram &CP,
     }
     if (R.SpecPossibleMiss[Node])
       ++Out.SpeculativeMissNodes;
-  }
-
-  // Longest path over the DAG obtained by charging each loop's body once
-  // and scaling nodes inside loops by the iteration bound. This is a crude
-  // but monotone bound: misses dominate, which is what the experiments
-  // compare.
-  std::vector<uint64_t> Weight(N, 0);
-  for (NodeId Node = 0; Node != N; ++Node) {
-    uint64_t Scale = CP.LI.inAnyLoop(Node) &&
-                             Options.Fault != VerdictFault::WcetDropLoopScale
-                         ? Options.LoopIterationBound
-                         : 1;
-    Weight[Node] = Latency[Node] * Scale;
   }
 
   // Longest path over the loop-augmented DAG: back edges (loop-body ->
@@ -80,6 +93,43 @@ WcetReport specai::estimateWcet(const CompiledProgram &CP,
       for (NodeId S : G.successors(B))
         if (!InBody[L][S])
           Exits[L].push_back(S);
+  }
+
+  // Per-loop header-execution bounds. Summarize mode keeps counted loops
+  // rolled and records their exact trip counts (Program::LoopTrips); a
+  // loop without a record is uncounted and falls back to the user-supplied
+  // iteration bound. Under InlineUnroll no records exist, reproducing the
+  // pre-summarize flat bound exactly.
+  std::vector<uint64_t> TripOf(Loops.size(), 0); // 0 = uncounted.
+  for (const LoopTripRecord &Rec : CP.P->LoopTrips) {
+    NodeId Header = G.blockStart(Rec.Header);
+    for (size_t L = 0; L != Loops.size(); ++L)
+      if (Loops[L].Header == Header)
+        TripOf[L] = Rec.HeaderExecutions;
+  }
+
+  // Scale each node by the product of its enclosing counted loops' header
+  // executions, times one flat LoopIterationBound when any enclosing loop
+  // is uncounted (the existing bound covers the *total* header executions
+  // of such a nest). This is a crude but monotone bound: misses dominate,
+  // which is what the experiments compare.
+  std::vector<uint64_t> Weight(N, 0);
+  for (NodeId Node = 0; Node != N; ++Node) {
+    uint64_t Scale = 1;
+    if (Options.Fault != VerdictFault::WcetDropLoopScale) {
+      bool InUncounted = false;
+      for (size_t L = 0; L != Loops.size(); ++L) {
+        if (!InBody[L][Node])
+          continue;
+        if (TripOf[L])
+          Scale = satMul(Scale, TripOf[L]);
+        else
+          InUncounted = true;
+      }
+      if (InUncounted)
+        Scale = satMul(Scale, Options.LoopIterationBound);
+    }
+    Weight[Node] = satMul(Latency[Node], Scale);
   }
 
   auto ForEachDagSucc = [&](NodeId Node, auto &&Fn) {
@@ -137,4 +187,23 @@ WcetReport specai::estimateWcet(const CompiledProgram &CP,
   }
   Out.WorstCaseCycles = Best;
   return Out;
+}
+
+} // namespace
+
+WcetReport specai::estimateWcet(const CompiledProgram &CP,
+                                const MustHitReport &R,
+                                const WcetOptions &Options) {
+  // Summarize mode: bound every callee bottom-up first, so a Call node's
+  // latency is its callee's (final) worst-case bound; nested calls resolve
+  // because CompiledProgram::Callees is in bottom-up order.
+  std::vector<uint64_t> CalleeCycles;
+  size_t NumCallees = std::min(CP.Callees.size(), R.CalleeReports.size());
+  CalleeCycles.reserve(NumCallees);
+  for (size_t I = 0; I != NumCallees; ++I) {
+    WcetReport CalleeOut =
+        estimateOne(*CP.Callees[I], *R.CalleeReports[I], Options, CalleeCycles);
+    CalleeCycles.push_back(CalleeOut.WorstCaseCycles);
+  }
+  return estimateOne(CP, R, Options, CalleeCycles);
 }

@@ -20,10 +20,25 @@ static uint64_t wrapElement(int64_t Index, uint64_t NumElements) {
   return static_cast<uint64_t>(M);
 }
 
+void CacheDomain::applyCall(State &S, const Instruction &I, bool Speculative) {
+  if (!Options.Summaries || I.Callee >= Options.Summaries->size())
+    return; // No summary table: Call is identity (never the case in
+            // Summarize-mode analyses; see isTransferIdentity).
+  const CallSummary &Sum = (*Options.Summaries)[I.Callee];
+  S.applyCallEffect(Sum.SetPressure, Sum.ExitMust, Sum.MayBlocks, *MM,
+                    Options.UseShadow,
+                    /*InsertExitMust=*/!Speculative,
+                    /*ApplyPressure=*/!Options.StaleSummaryFault);
+}
+
 void CacheDomain::transfer(State &S, NodeId N) {
   if (S.isBottom())
     return;
   const Instruction &I = G->inst(N);
+  if (I.Op == Opcode::Call) {
+    applyCall(S, I, /*Speculative=*/false);
+    return;
+  }
   if (!I.accessesMemory())
     return;
 

@@ -28,10 +28,38 @@
 
 namespace specai {
 
+/// Summarize mode: the speculative cache summary of one callee, computed
+/// bottom-up over the acyclic call graph (analysis/AnalysisPipeline.cpp)
+/// and applied by the Call-node transfer (CacheAbsState::applyCallEffect;
+/// DESIGN.md §4). All bounds are valid for *every* call context
+/// because the callee is analyzed from the unknown entry state.
+struct CallSummary {
+  /// Distinct concrete lines the callee (including its transitive callees)
+  /// may touch, sorted and deduplicated. Unknown-index array accesses
+  /// contribute every line of the array.
+  std::vector<BlockAddr> MayBlocks;
+  /// Per cache set: how many MayBlocks map to it (the distinct-line aging
+  /// pressure). Indexed by set id, sized to the cache's set count.
+  std::vector<uint32_t> SetPressure;
+  /// Blocks provably resident at every callee exit with their exit age
+  /// bounds, from the join of the observable states at all reachable Ret
+  /// nodes. Symbolic instance blocks are excluded (they name no concrete
+  /// line).
+  std::vector<AgedBlock> ExitMust;
+};
+
 /// Options of the cache domain.
 struct CacheDomainOptions {
   /// Appendix B shadow-variable refinement (on by default; Figure 11/13).
   bool UseShadow = true;
+  /// Summarize mode: per-callee summaries indexed by Instruction::Callee.
+  /// Null outside Summarize mode; Call nodes are then identity (the
+  /// InlineUnroll lowering never emits them).
+  const std::vector<CallSummary> *Summaries = nullptr;
+  /// Fault injection (stale-summary): the Call transfer skips the callee's
+  /// aging pressure, leaving stale MUST bounds in place. Deliberately
+  /// unsound; only the lowering self-test sets this.
+  bool StaleSummaryFault = false;
 };
 
 /// Engine-facing cache domain. Holds per-array instance counters, so it is
@@ -51,8 +79,8 @@ public:
   State entry() const { return State::empty(); }
   bool isBottom(const State &S) const { return S.isBottom(); }
 
-  /// Applies node \p N's effect to \p S. Only Load/Store nodes touch the
-  /// state.
+  /// Applies node \p N's effect to \p S. Load/Store nodes touch the state;
+  /// Call nodes apply the callee's summary (Summarize mode).
   void transfer(State &S, NodeId N);
 
   /// Transfer for nodes executed inside a speculative window (the SS
@@ -64,9 +92,18 @@ public:
   /// age while the concrete line ages or evicts (found by specai-fuzz;
   /// docs/FUZZING.md shows the two-line counterexample). Loads behave as
   /// in transfer(): a speculative load does fill the cache.
+  /// A speculative Call may roll back mid-callee: any *subset* of the
+  /// callee's accesses may have executed, so only the aging pressure and
+  /// MAY enlargement apply — never the exit-must insertion, which assumes
+  /// the callee ran to completion.
   void transferSpeculative(State &S, NodeId N) {
-    if (G->inst(N).Op == Opcode::Store)
+    const Instruction &I = G->inst(N);
+    if (I.Op == Opcode::Store)
       return;
+    if (I.Op == Opcode::Call) {
+      applyCall(S, I, /*Speculative=*/true);
+      return;
+    }
     transfer(S, N);
   }
 
@@ -81,6 +118,8 @@ public:
   /// instead of copying it for such nodes.
   bool isTransferIdentity(NodeId N, bool Speculative) const {
     const Instruction &I = G->inst(N);
+    if (I.Op == Opcode::Call)
+      return !Options.Summaries;
     if (!I.accessesMemory())
       return true;
     return Speculative && I.Op == Opcode::Store;
@@ -93,6 +132,8 @@ public:
   /// result would change the instance sequence and with it the analysis.
   bool isTransferPure(NodeId N, bool Speculative) const {
     const Instruction &I = G->inst(N);
+    if (I.Op == Opcode::Call)
+      return true; // Summary application is a pure function of the state.
     if (!I.accessesMemory())
       return true;
     if (Speculative && I.Op == Opcode::Store)
@@ -137,6 +178,9 @@ public:
   }
 
 private:
+  /// Call-node transfer: applies the callee's summary to \p S.
+  void applyCall(State &S, const Instruction &I, bool Speculative);
+
   const FlatCfg *G;
   const MemoryModel *MM;
   CacheDomainOptions Options;

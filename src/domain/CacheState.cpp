@@ -504,6 +504,78 @@ void CacheAbsState::accessUnknownPlru(VarId Var, uint64_t InstanceK,
   normalize();
 }
 
+void CacheAbsState::applyCallEffect(const std::vector<uint32_t> &SetPressure,
+                                    const std::vector<AgedBlock> &ExitMust,
+                                    const std::vector<BlockAddr> &MayBlocks,
+                                    const MemoryModel &MM, bool UseShadow,
+                                    bool InsertExitMust, bool ApplyPressure) {
+  if (Bottom)
+    return;
+  uint32_t Assoc = MM.config().Associativity;
+  bool IsLru = MM.config().Policy == ReplacementPolicy::Lru;
+
+  if (ApplyPressure) {
+    // Probe first so the no-op case (nothing tracked in any pressured set)
+    // never clones the payload.
+    bool AnyWork = false;
+    for (const CacheSetPartition &Part : partitions())
+      if (Part.Set < SetPressure.size() && SetPressure[Part.Set] > 0 &&
+          !Part.Must.empty()) {
+        AnyWork = true;
+        break;
+      }
+    if (AnyWork) {
+      Payload &PL = mut();
+      for (CacheSetPartition &Part : PL.Parts) {
+        uint32_t K =
+            Part.Set < SetPressure.size() ? SetPressure[Part.Set] : 0;
+        if (K == 0 || Part.Must.empty())
+          continue;
+        if (!IsLru) {
+          Part.Must.clear();
+          continue;
+        }
+        std::vector<AgedBlock> &Must = Part.Must;
+        for (size_t I = 0; I != Must.size();) {
+          uint32_t NewAge = Must[I].Age + K;
+          if (NewAge > Assoc) {
+            Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
+            continue;
+          }
+          Must[I].Age = static_cast<uint16_t>(NewAge);
+          ++I;
+        }
+      }
+    }
+  }
+
+  if (InsertExitMust && !ExitMust.empty()) {
+    Payload &PL = mut();
+    for (const AgedBlock &E : ExitMust) {
+      size_t Idx = ensurePart(PL.Parts, MM.setOf(E.Block));
+      std::vector<AgedBlock> &Must = PL.Parts[Idx].Must;
+      auto It = std::lower_bound(
+          Must.begin(), Must.end(), E.Block,
+          [](const AgedBlock &A, BlockAddr B) { return A.Block < B; });
+      // Both the surviving caller bound and the callee exit bound are valid
+      // age upper bounds; keep the tighter one.
+      if (It != Must.end() && It->Block == E.Block)
+        It->Age = std::min(It->Age, E.Age);
+      else
+        Must.insert(It, E);
+    }
+  }
+
+  if (UseShadow && !MayBlocks.empty()) {
+    Payload &PL = mut();
+    for (BlockAddr Block : MayBlocks) {
+      size_t Idx = ensurePart(PL.Parts, MM.setOf(Block));
+      setAge(PL.Parts[Idx].May, Block, 1);
+    }
+  }
+  normalize();
+}
+
 namespace {
 
 /// Would `Into ⊔= From` change Into? A pure read-only merge walk: MUST is

@@ -136,6 +136,31 @@ public:
   void accessUnknown(VarId Var, uint64_t InstanceK, const MemoryModel &MM,
                      bool UseShadow);
 
+  /// Summarize mode: applies one callee invocation's cache effect (the
+  /// Call-node transfer; DESIGN.md §4).
+  ///
+  ///  - Pressure (when \p ApplyPressure): \p SetPressure[s] counts the
+  ///    distinct lines the callee may touch in set s. Under LRU every MUST
+  ///    entry of a pressured set ages by that count (K distinct lines age
+  ///    an untouched line by at most K — the LRU stack property); under
+  ///    FIFO/PLRU every MUST entry of a pressured set is dropped, because
+  ///    insertion/tree ages advance once per *access* and callee loops make
+  ///    the access count unbounded.
+  ///  - \p ExitMust (when \p InsertExitMust): blocks provably resident at
+  ///    every callee exit, analyzed from the unknown entry state (the MUST
+  ///    top, whose concretization covers every call context), so their exit
+  ///    ages are valid upper bounds here; an existing entry keeps the
+  ///    smaller of the two bounds. Skipped inside speculative windows where
+  ///    the callee may have executed only partially.
+  ///  - \p MayBlocks (when \p UseShadow): every line the callee may touch
+  ///    becomes possibly-youngest (MAY bound 1), keeping the shadow NYoung
+  ///    refinement sound across the call.
+  void applyCallEffect(const std::vector<uint32_t> &SetPressure,
+                       const std::vector<AgedBlock> &ExitMust,
+                       const std::vector<BlockAddr> &MayBlocks,
+                       const MemoryModel &MM, bool UseShadow,
+                       bool InsertExitMust, bool ApplyPressure);
+
   /// this = this ⊔ \p From. Returns true iff this changed. Shared-storage
   /// and hash-equal states short-circuit to "no change" without touching
   /// any entry.

@@ -302,6 +302,17 @@ void IntervalDomain::transfer(State &S, NodeId N) {
       S.setScalar(I.Var, evalOperand(S, I.A));
     return;
   }
+  case Opcode::Call:
+    // Summarize mode: the interval domain does not track callee effects.
+    // The result, every reg global, and every memory scalar the callee
+    // could store to become unknown.
+    S.setReg(I.Dst, Interval::top());
+    for (const RegGlobal &RG : G->program().RegGlobals)
+      S.setReg(RG.Reg, Interval::top());
+    for (VarId V = 0; V != G->program().Vars.size(); ++V)
+      if (G->program().Vars[V].NumElements == 1)
+        S.setScalar(V, Interval::top());
+    return;
   case Opcode::Br:
   case Opcode::Jmp:
   case Opcode::Ret:

@@ -8,6 +8,7 @@
 #include "fuzz/FuzzCampaign.h"
 
 #include "driver/BatchRunner.h"
+#include "fuzz/LoweringOracle.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -33,11 +34,19 @@ std::optional<Violation> oracleCheck(const GeneratedProgram &G,
     V.Detail = Diags.str();
     return V;
   }
-  SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, Opts);
-  OracleResult R = Oracle.run(G.Seed);
-  Stats += R.Stats;
-  if (!R.Violations.empty())
-    return R.Violations.front();
+  // The classic differential oracles (cache / wcet / leak) share one
+  // SoundnessOracle sweep; skip constructing it entirely when only the
+  // lowering diff is selected (it compiles its own program pair).
+  if (Opts.Oracles & OracleAll) {
+    SoundnessOracle Oracle(*CP, G.InputScalars, G.Arrays, Opts);
+    OracleResult R = Oracle.run(G.Seed);
+    Stats += R.Stats;
+    if (!R.Violations.empty())
+      return R.Violations.front();
+  }
+  if (Opts.Oracles & OracleLowering)
+    return checkLoweringDiff(G.source(), G.InputScalars, G.Arrays, G.Seed,
+                             Opts, Stats);
   return std::nullopt;
 }
 
@@ -164,6 +173,9 @@ FuzzCampaignResult specai::runFuzzCampaign(const FuzzCampaignOptions &Options) {
       case OracleLeak:
         ++Result.Stats.LeakViolations;
         break;
+      case OracleLowering:
+        ++Result.Stats.LoweringViolations;
+        break;
       default: // Infrastructure kinds count toward the total only.
         break;
       }
@@ -191,10 +203,33 @@ std::string FuzzCampaignStats::summary() const {
   Out += "leak runs:           " + std::to_string(Oracle.LeakRuns) + "\n";
   Out += "leak site checks:    " + std::to_string(Oracle.LeakSiteChecks) +
          "\n";
+  // Lowering-diff lines appear only when that oracle actually ran, so
+  // classic campaign summaries (and the pinned golden artifacts diffed
+  // against them) stay byte-identical.
+  if (Oracle.LoweringDiffs > 0) {
+    Out += "lowering diffs:      " + std::to_string(Oracle.LoweringDiffs) +
+           "\n";
+    Out += "lowering loc checks: " + std::to_string(Oracle.LoweringLocChecks) +
+           "\n";
+    Out += "lowering wcet checks: " +
+           std::to_string(Oracle.LoweringWcetChecks) + "\n";
+    Out += "lowering concrete checks: " +
+           std::to_string(Oracle.LoweringConcreteChecks) + "\n";
+    Out += "lowering precision deltas: must-hit sum-only " +
+           std::to_string(Oracle.LoweringSumOnlyMustHits) +
+           " / unrolled-only " +
+           std::to_string(Oracle.LoweringUnrolledOnlyMustHits) +
+           ", wcet tighter " + std::to_string(Oracle.LoweringWcetTighter) +
+           " / looser " + std::to_string(Oracle.LoweringWcetLooser) +
+           ", leak " + std::to_string(Oracle.LoweringLeakDeltas) + "\n";
+  }
   Out += "violations:          " + std::to_string(ViolationPrograms) +
          " (cache " + std::to_string(CacheViolations) + ", wcet " +
          std::to_string(WcetViolations) + ", leak " +
-         std::to_string(LeakViolations) + ")\n";
+         std::to_string(LeakViolations);
+  if (Oracle.LoweringDiffs > 0)
+    Out += ", lowering " + std::to_string(LoweringViolations);
+  Out += ")\n";
   return Out;
 }
 
@@ -213,7 +248,9 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
   // requires, under that mask), anything else re-checks under cache.
   unsigned Oracle = oracleOfViolation(V.Kind);
   if (Oracle == 0)
-    Oracle = V.Run.SecretVariants.empty() ? OracleCache : OracleLeak;
+    Oracle = (O.Oracles & OracleAll) == 0 && (O.Oracles & OracleLowering)
+                 ? OracleLowering
+                 : V.Run.SecretVariants.empty() ? OracleCache : OracleLeak;
   Out += "\n// replay-oracle: ";
   Out += oracleKindName(Oracle);
   Out += "\n// replay-seed: ";
@@ -238,6 +275,18 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
   Out += "// replay-shadow: ";
   Out += O.UseShadow ? "on" : "off";
   Out += "\n";
+  if (Oracle & OracleLowering) {
+    // Lowering diffs re-derive their concrete inputs from replay-seed;
+    // these lines pin the summarize mode (vs. the implicit inline-unroll
+    // reference) and any injected fault so --replay rebuilds the exact
+    // diff that produced this counterexample.
+    Out += "// replay-lowering: summarize\n";
+    if (O.LFault != LoweringFault::None) {
+      Out += "// replay-lowering-fault: ";
+      Out += loweringFaultName(O.LFault);
+      Out += "\n";
+    }
+  }
   if (Oracle == OracleWcet) {
     // The WCET verdict depends on the timing model; pin it so the
     // replayed comparison is the recorded one. (No loop bound here: the

@@ -86,6 +86,7 @@ struct FuzzCampaignStats {
   uint64_t CacheViolations = 0;
   uint64_t WcetViolations = 0;
   uint64_t LeakViolations = 0;
+  uint64_t LoweringViolations = 0;
   OracleStats Oracle;
   double Seconds = 0;
 

@@ -74,6 +74,84 @@ std::string ProgramGen::randomCond() {
   return Lhs + Ops[R.nextBelow(5)] + std::to_string(R.nextRange(-20, 20));
 }
 
+std::string ProgramGen::helperExpr() {
+  // Helper bodies accumulate into a local `r`; expressions mix constant
+  // and parameter-dependent (statically unknown) array loads. The `&`
+  // masks stay in bounds for every array size (all are multiples of 64).
+  const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+  switch (R.nextBelow(3)) {
+  case 0:
+    return A.first + "[" + std::to_string(R.nextBelow(A.second)) + "]";
+  case 1:
+    return A.first + "[p & " + std::to_string(A.second - 1) + "]";
+  default:
+    return "(p & 255)";
+  }
+}
+
+void ProgramGen::emitHelpers() {
+  unsigned Num =
+      Options.MinFunctions +
+      R.nextBelow(Options.MaxFunctions - Options.MinFunctions + 1);
+  for (unsigned F = 0; F != Num; ++F) {
+    std::string Body;
+    bool UsesW = false;
+    unsigned Stmts = 1 + R.nextBelow(3);
+    for (unsigned I = 0; I != Stmts; ++I) {
+      // Only helpers after the first may call (strictly earlier helpers:
+      // sema rejects recursion and forward references, and the bottom-up
+      // summary construction relies on the acyclic call graph).
+      switch (R.nextBelow(F > 0 ? 6 : 5)) {
+      case 0:
+        Body += "  r = r + " + helperExpr() + ";\n";
+        break;
+      case 1: // Global scalar load.
+        Body += "  r = r + " +
+                P.InputScalars[R.nextBelow(P.InputScalars.size())] + ";\n";
+        break;
+      case 2: { // Counted loop: unrolled vs. rolled+widened in the callee.
+        const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+        std::string Iv = "i" + std::to_string(LoopId++);
+        Body += "  for (reg int " + Iv + " = 0; " + Iv + " < " +
+                std::to_string(A.second) + "; " + Iv + " += 64) r = r + " +
+                A.first + "[" + Iv + "];\n";
+        break;
+      }
+      case 3: { // Memory-conditioned branch: a speculation site whose
+                // window the call-site summary has to cover.
+        const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+        Body += "  if (" + A.first + "[" +
+                std::to_string(R.nextBelow(A.second)) + "] > " +
+                std::to_string(R.nextRange(-20, 20)) + ") {\n    r = r + " +
+                helperExpr() + ";\n  }\n";
+        break;
+      }
+      case 4: { // Bounded uncounted loop (p & 7 is non-negative even for
+                // negative p, so it always terminates): widening must
+                // stabilize inside the callee.
+        UsesW = true;
+        const auto &A = P.Arrays[R.nextBelow(P.Arrays.size())];
+        Body += "  w = p & 7;\n  while (w > 0) {\n    w = w - 1;\n"
+                "    r = r + " +
+                A.first + "[" + std::to_string(R.nextBelow(A.second)) +
+                "];\n  }\n";
+        break;
+      }
+      default: // Call an earlier helper: chains nest up to the helper
+               // count.
+        Body += "  r = r + f" + std::to_string(R.nextBelow(F)) + "(p + " +
+                std::to_string(R.nextRange(0, 20)) + ");\n";
+        break;
+      }
+    }
+    P.Decls += "int f" + std::to_string(F) + "(int p) {\n  reg int r;\n";
+    if (UsesW)
+      P.Decls += "  reg int w;\n";
+    P.Decls += "  r = 0;\n" + Body + "  return r;\n}\n";
+    ++NumHelpers;
+  }
+}
+
 std::string ProgramGen::stmtBlock(unsigned Count, unsigned Depth,
                                   std::string Indent) {
   std::vector<std::string> Body;
@@ -88,8 +166,18 @@ std::string ProgramGen::stmtBlock(unsigned Count, unsigned Depth,
 void ProgramGen::emitStmt(std::vector<std::string> &Out, unsigned Depth,
                           std::string Indent) {
   // Statement kinds; structured kinds are only available below MaxDepth.
+  // Deep mode appends one extra kind — a helper call — *after* the
+  // existing range, so seeds without it draw the identical stream.
   unsigned Kinds = Depth < Options.MaxDepth ? 9 : 6;
-  switch (R.nextBelow(Kinds)) {
+  bool Calls = Options.Functions && NumHelpers > 0;
+  unsigned K = R.nextBelow(Calls ? Kinds + 1 : Kinds);
+  if (Calls && K == Kinds) { // Helper call accumulated into `t`.
+    Out.push_back(Indent + "t = t + f" +
+                  std::to_string(R.nextBelow(NumHelpers)) + "(" +
+                  randomExpr(0) + ");\n");
+    return;
+  }
+  switch (K) {
   case 0: // Accumulate into the register-resident result.
     Out.push_back(Indent + "t = t + " + randomExpr(1) + ";\n");
     return;
@@ -190,13 +278,21 @@ GeneratedProgram ProgramGen::generate() {
   P = GeneratedProgram();
   P.Seed = Seed;
   LoopId = 0;
+  NumHelpers = 0;
   LoopBoundScalars.clear();
 
   unsigned NumArrays =
       Options.MinArrays +
       R.nextBelow(Options.MaxArrays - Options.MinArrays + 1);
   for (unsigned I = 0; I != NumArrays; ++I) {
-    unsigned Lines = 1 + R.nextBelow(Options.MaxArrayLines);
+    // Deep mode sizes the first array past the default oracle
+    // associativity (8 lines, fully associative): a helper's counted
+    // sweep over it concretely evicts everything the caller had resident,
+    // which is what makes a skipped call-pressure transfer (the
+    // stale-summary fault) observable to the differential oracle at all.
+    unsigned Lines = Options.Functions && I == 0
+                         ? 9 + R.nextBelow(3)
+                         : 1 + R.nextBelow(Options.MaxArrayLines);
     std::string Name = "a";
     Name += std::to_string(I);
     P.Arrays.push_back({std::move(Name), Lines * 64});
@@ -221,9 +317,17 @@ GeneratedProgram ProgramGen::generate() {
     P.Decls += "secret char key[64];\n";
     P.Arrays.push_back({"key", 64});
   }
+  if (Options.Functions)
+    emitHelpers();
 
   unsigned NumStmts =
       Options.MinStmts + R.nextBelow(Options.MaxStmts - Options.MinStmts + 1);
+  // Deep mode guarantees at least one call (of the last helper, whose
+  // chain is the deepest) even if the random kinds never pick one; the
+  // minimizer can still drop it like any other statement chunk.
+  if (Options.Functions && NumHelpers > 0)
+    P.Stmts.push_back("  t = t + f" + std::to_string(NumHelpers - 1) + "(" +
+                      P.InputScalars[0] + ");\n");
   for (unsigned I = 0; I != NumStmts; ++I)
     emitStmt(P.Stmts, 0, "  ");
   return P;

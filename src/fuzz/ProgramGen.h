@@ -64,6 +64,19 @@ struct ProgramGenOptions {
   bool WhileLoops = true;
   /// Emit counted reg-for loops (fully unrolled by the lowering).
   bool CountedLoops = true;
+  /// Deep mode: emit helper functions `int fN(int p)` before main — each
+  /// may load globals, run counted and data-bounded loops, branch on
+  /// memory, and call *earlier* helpers (so chains nest up to the helper
+  /// count) — plus call statements in main. This is the workload the
+  /// differential lowering oracle needs: calls inline under the default
+  /// lowering but become per-function summaries under
+  /// `LoweringMode::Summarize`. Off by default, and all deep-mode RNG
+  /// draws are gated so existing seeds keep producing byte-identical
+  /// programs (the golden-digest corpora depend on that).
+  bool Functions = false;
+  /// Helper-function count range (deep mode only).
+  unsigned MinFunctions = 2;
+  unsigned MaxFunctions = 4;
 };
 
 /// One generated program, decomposed for minimization and replay.
@@ -99,12 +112,17 @@ private:
   void emitStmt(std::vector<std::string> &Out, unsigned Depth,
                 std::string Indent);
   std::string stmtBlock(unsigned Count, unsigned Depth, std::string Indent);
+  std::string helperExpr();
+  void emitHelpers();
 
   uint64_t Seed;
   ProgramGenOptions Options;
   Rng R;
   GeneratedProgram P;
   unsigned LoopId = 0;
+  /// Helpers emitted so far (deep mode); main's call statements and later
+  /// helpers may target f0..f(NumHelpers-1).
+  unsigned NumHelpers = 0;
   /// Scalars currently serving as a while-loop bound; stores to them inside
   /// the loop body are forbidden so every generated loop provably
   /// terminates.

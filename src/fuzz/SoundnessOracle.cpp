@@ -24,6 +24,8 @@ const char *specai::oracleKindName(unsigned Kind) {
     return "wcet";
   case OracleLeak:
     return "leak";
+  case OracleLowering:
+    return "lowering";
   case OracleAll:
     return "all";
   }
@@ -31,7 +33,8 @@ const char *specai::oracleKindName(unsigned Kind) {
 }
 
 bool specai::parseOracleKind(const std::string &Name, unsigned &MaskOut) {
-  for (unsigned Kind : {OracleCache, OracleWcet, OracleLeak, OracleAll}) {
+  for (unsigned Kind :
+       {OracleCache, OracleWcet, OracleLeak, OracleLowering, OracleAll}) {
     if (Name == oracleKindName(Kind)) {
       MaskOut = Kind;
       return true;
@@ -48,6 +51,10 @@ unsigned specai::oracleOfViolation(ViolationKind K) {
   case ViolationKind::NonSpecLeakFreeSiteVaried:
   case ViolationKind::SpecOnlyLabelInconsistent:
     return OracleLeak;
+  case ViolationKind::LoweringMustHitConflict:
+  case ViolationKind::LoweringWcetUndercut:
+  case ViolationKind::LoweringConcreteMustHitMissed:
+    return OracleLowering;
   case ViolationKind::CompileError:
   case ViolationKind::AnalysisDiverged:
   case ViolationKind::RunStuck:
@@ -96,6 +103,12 @@ const char *specai::violationKindName(ViolationKind K) {
     return "nonspec-leak-free-site-varied";
   case ViolationKind::SpecOnlyLabelInconsistent:
     return "spec-only-label-inconsistent";
+  case ViolationKind::LoweringMustHitConflict:
+    return "lowering-must-hit-conflict";
+  case ViolationKind::LoweringWcetUndercut:
+    return "lowering-wcet-undercut";
+  case ViolationKind::LoweringConcreteMustHitMissed:
+    return "lowering-concrete-must-hit-missed";
   }
   return "?";
 }

@@ -72,6 +72,14 @@ enum OracleKind : unsigned {
   OracleCache = 1u << 0,
   OracleWcet = 1u << 1,
   OracleLeak = 1u << 2,
+  /// The differential *lowering* oracle (fuzz/LoweringOracle.h): compiles
+  /// every program under both LoweringMode::InlineUnroll and ::Summarize
+  /// and asserts the widened/summarized results never claim more than the
+  /// unrolled ones (and that concrete runs agree). Deliberately NOT part
+  /// of OracleAll: `--oracle all` campaign counters are pinned golden
+  /// artifacts; select it explicitly (`--oracle lowering`, repeatable
+  /// alongside the others).
+  OracleLowering = 1u << 3,
   OracleAll = OracleCache | OracleWcet | OracleLeak,
 };
 
@@ -129,6 +137,10 @@ struct SoundnessOracleOptions {
   /// Deliberate verdict-layer fault to inject (fuzzer self-test only);
   /// applied to both estimateWcet and detectLeaks/annotateSpeculationOnly.
   VerdictFault VFault = VerdictFault::None;
+  /// Deliberate Summarize-lowering fault to inject (lowering-oracle
+  /// self-test only); applied to the summarize side of the differential
+  /// lowering diff, never to the unrolled reference side.
+  LoweringFault LFault = LoweringFault::None;
 };
 
 /// What went wrong, from most fundamental to most derived.
@@ -163,6 +175,17 @@ enum class ViolationKind : uint8_t {
                              ///< under non-speculative runs.
   SpecOnlyLabelInconsistent, ///< SpeculationOnly diff labeling contradicts
                              ///< the speculative/non-speculative reports.
+  LoweringMustHitConflict,      ///< One lowering proves a source location
+                                ///< must-hit while the other proves the
+                                ///< same location must-miss: at most one
+                                ///< can be sound.
+  LoweringWcetUndercut,         ///< A cycle-charged concrete run committed
+                                ///< more cycles than one lowering's
+                                ///< estimateWcet bound for the observed
+                                ///< loop iteration count.
+  LoweringConcreteMustHitMissed,///< A concrete (unrolled) run missed at a
+                                ///< location the summarize analysis
+                                ///< claims must-hit.
 };
 
 /// Which oracle a violation kind belongs to (OracleCache/Wcet/Leak), or 0
@@ -223,6 +246,33 @@ struct OracleStats {
   uint64_t LeakRuns = 0;
   /// Per-family, per-report proven-leak-free site validations.
   uint64_t LeakSiteChecks = 0;
+  /// Lowering oracle: (strategy, bounding) report pairs diffed between
+  /// the two lowerings (0 unless OracleLowering is selected).
+  uint64_t LoweringDiffs = 0;
+  /// Lowering oracle: per-location containment checks (must-hit and
+  /// leak-free locations validated against the unrolled report).
+  uint64_t LoweringLocChecks = 0;
+  /// Lowering oracle: summarize-vs-unrolled WCET bound comparisons.
+  uint64_t LoweringWcetChecks = 0;
+  /// Lowering oracle: concrete accesses checked against summarize
+  /// must-hit locations.
+  uint64_t LoweringConcreteChecks = 0;
+  // Precision deltas between the two lowerings. These are *not*
+  // violations: summaries can out-prove inline flows (an inlined rolled
+  // loop re-ages the caller's MUST entries once per lap inside a
+  // speculative window, while the summary's pressure transfer is
+  // idempotent), and vice versa for fully constant-folded unrolled
+  // indices. The bench harness aggregates them into BENCH_lowering.json.
+  /// Locations must-hit under summarize only.
+  uint64_t LoweringSumOnlyMustHits = 0;
+  /// Locations must-hit under inline-unroll only.
+  uint64_t LoweringUnrolledOnlyMustHits = 0;
+  /// Report pairs where the summarize WCET bound is strictly tighter.
+  uint64_t LoweringWcetTighter = 0;
+  /// Report pairs where the summarize bound is strictly looser.
+  uint64_t LoweringWcetLooser = 0;
+  /// Secret-indexed locations whose leak-free status differs.
+  uint64_t LoweringLeakDeltas = 0;
 
   OracleStats &operator+=(const OracleStats &RHS) {
     Analyses += RHS.Analyses;
@@ -234,6 +284,15 @@ struct OracleStats {
     LeakFamilies += RHS.LeakFamilies;
     LeakRuns += RHS.LeakRuns;
     LeakSiteChecks += RHS.LeakSiteChecks;
+    LoweringDiffs += RHS.LoweringDiffs;
+    LoweringLocChecks += RHS.LoweringLocChecks;
+    LoweringWcetChecks += RHS.LoweringWcetChecks;
+    LoweringConcreteChecks += RHS.LoweringConcreteChecks;
+    LoweringSumOnlyMustHits += RHS.LoweringSumOnlyMustHits;
+    LoweringUnrolledOnlyMustHits += RHS.LoweringUnrolledOnlyMustHits;
+    LoweringWcetTighter += RHS.LoweringWcetTighter;
+    LoweringWcetLooser += RHS.LoweringWcetLooser;
+    LoweringLeakDeltas += RHS.LoweringLeakDeltas;
     return *this;
   }
 };

@@ -7,6 +7,8 @@
 
 #include "fuzz/StateDigest.h"
 
+#include <algorithm>
+
 using namespace specai;
 
 namespace {
@@ -76,5 +78,29 @@ uint64_t specai::digestMustHitReport(const CompiledProgram &CP,
   H = mix(H, R.MissCount);
   H = mix(H, R.SpMissCount);
   H = mix(H, R.BranchCount);
+  return H;
+}
+
+uint64_t specai::digestModuleReport(const CompiledProgram &CP,
+                                    const MustHitReport &R) {
+  uint64_t H = digestMustHitReport(CP, R);
+  size_t NumCallees = std::min(CP.Callees.size(), R.CalleeReports.size());
+  H = mix(H, NumCallees);
+  for (size_t I = 0; I != NumCallees; ++I)
+    H = mix(H, digestMustHitReport(*CP.Callees[I], *R.CalleeReports[I]));
+  H = mix(H, R.Summaries.size());
+  for (const CallSummary &S : R.Summaries) {
+    H = mix(H, S.MayBlocks.size());
+    for (BlockAddr B : S.MayBlocks)
+      H = mix(H, B);
+    H = mix(H, S.SetPressure.size());
+    for (uint32_t P : S.SetPressure)
+      H = mix(H, P);
+    H = mix(H, S.ExitMust.size());
+    for (const AgedBlock &E : S.ExitMust) {
+      H = mix(H, E.Block);
+      H = mix(H, E.Age);
+    }
+  }
   return H;
 }

@@ -29,6 +29,14 @@ namespace specai {
 uint64_t digestMustHitReport(const CompiledProgram &CP,
                              const MustHitReport &R);
 
+/// Module-level digest for Summarize-mode reports: the entry digest plus
+/// every callee report (CompiledProgram::Callees order) and every call
+/// summary (MayBlocks, SetPressure, ExitMust). Equals
+/// digestMustHitReport(CP, R) mixed with empty callee/summary tables
+/// under InlineUnroll, so it is safe on any report.
+uint64_t digestModuleReport(const CompiledProgram &CP,
+                            const MustHitReport &R);
+
 /// FNV-1a over raw bytes; exposed so the regression corpus can also pin
 /// generated source text.
 uint64_t fnv1a(const std::string &Bytes, uint64_t Seed = 0xcbf29ce484222325ULL);

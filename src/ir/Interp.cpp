@@ -136,6 +136,14 @@ Machine::StepResult Machine::step() {
     Halted = true;
     R.DidHalt = true;
     break;
+  case Opcode::Call:
+    // Summarize-mode programs are analyzed abstractly, never executed;
+    // concrete legs always run the InlineUnroll program. If one reaches an
+    // interpreter anyway, treat the call result as an unknown zero so the
+    // machine stays total.
+    Regs[I.Dst] = 0;
+    ++CurInst;
+    break;
   }
   return R;
 }

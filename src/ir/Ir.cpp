@@ -148,6 +148,10 @@ static std::string renderInst(const Program &P, const Instruction &I) {
     return "jmp bb" + std::to_string(I.TrueTarget);
   case Opcode::Ret:
     return I.A.isNone() ? std::string("ret") : "ret " + I.A.str();
+  case Opcode::Call:
+    return "r" + std::to_string(I.Dst) + " = call " +
+           (I.Callee < P.CalleeNames.size() ? P.CalleeNames[I.Callee]
+                                            : "<invalid>");
   }
   return "<invalid>";
 }

@@ -12,9 +12,14 @@
 /// appear exactly where the paper's example tables show them, and uses
 /// fresh virtual registers for temporaries.
 ///
-/// A Program is a single fully-inlined function: Sema guarantees an acyclic
-/// call graph and the lowering inlines every call, which keeps the abstract
-/// interpretation intraprocedural as in the paper's evaluation.
+/// Under the default InlineUnroll lowering a Program is a single fully
+/// inlined function: Sema guarantees an acyclic call graph and the lowering
+/// inlines every call, which keeps the abstract interpretation
+/// intraprocedural as in the paper's evaluation. The Summarize lowering
+/// instead keeps one Program per function and links call sites through the
+/// Call opcode: the callee is named by an index into CalleeNames, shared by
+/// every Program of the module so the interprocedural summary table can be
+/// indexed uniformly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,8 +78,12 @@ struct Operand {
 };
 
 /// Instruction opcodes. Br is a two-way conditional branch; Jmp is
-/// unconditional. Every block ends in exactly one of Br/Jmp/Ret.
-enum class Opcode : uint8_t { Mov, Bin, Load, Store, Br, Jmp, Ret };
+/// unconditional. Every block ends in exactly one of Br/Jmp/Ret. Call only
+/// appears in Summarize-mode programs: it transfers to another Program of
+/// the module and falls through to the next instruction, so it is *not* a
+/// terminator — the abstract engines apply the callee's summary as a
+/// single-node effect.
+enum class Opcode : uint8_t { Mov, Bin, Load, Store, Br, Jmp, Ret, Call };
 
 /// Binary ALU operations; comparisons produce 0/1.
 enum class IrBinOp : uint8_t {
@@ -114,6 +123,7 @@ int64_t evalIrBinOp(IrBinOp Op, int64_t L, int64_t R);
 ///   Br    : A (condition), TrueTarget, FalseTarget
 ///   Jmp   : TrueTarget
 ///   Ret   : A (optional value)
+///   Call  : Dst (return value), Callee (index into Program::CalleeNames)
 struct Instruction {
   Opcode Op = Opcode::Mov;
   IrBinOp BinOp = IrBinOp::Add;
@@ -125,6 +135,9 @@ struct Instruction {
   Operand Index;
   BlockId TrueTarget = InvalidBlock;
   BlockId FalseTarget = InvalidBlock;
+  /// Call only: which module function is invoked (Program::CalleeNames
+  /// index, shared across the module's Programs).
+  uint32_t Callee = 0;
 
   bool isTerminator() const {
     return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
@@ -174,7 +187,19 @@ struct RegGlobal {
   bool IsSecret = false;
 };
 
-/// A lowered, fully inlined program: the unit of analysis.
+/// A statically known trip count of a counted loop that the Summarize
+/// lowering kept rolled: the loop headed by block \p Header executes its
+/// header at most \p HeaderExecutions times (trip count + 1 exit test).
+/// estimateWcet scales the loop's body by this instead of the global
+/// LoopIterationBound.
+struct LoopTripRecord {
+  BlockId Header = InvalidBlock;
+  uint64_t HeaderExecutions = 0;
+};
+
+/// A lowered program: the unit of analysis. Fully inlined and unrolled
+/// under the InlineUnroll lowering; one Program per function, with rolled
+/// loops and Call links, under the Summarize lowering.
 class Program {
 public:
   std::vector<MemVar> Vars;
@@ -186,6 +211,13 @@ public:
   static constexpr BlockId EntryBlock = 0;
   /// Name of the source-level entry function.
   std::string EntryName;
+  /// Summarize mode: names of the module's non-entry functions, in
+  /// bottom-up call-graph order. Instruction::Callee indexes this table.
+  /// Shared (identical) across every Program of one module; empty under
+  /// InlineUnroll.
+  std::vector<std::string> CalleeNames;
+  /// Summarize mode: counted loops kept rolled, with their static bounds.
+  std::vector<LoopTripRecord> LoopTrips;
 
   /// Finds a memory variable by name; InvalidVar if absent.
   VarId findVar(const std::string &Name) const;

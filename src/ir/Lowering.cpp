@@ -11,6 +11,8 @@
 
 #include <cassert>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 using namespace specai;
 
@@ -33,6 +35,17 @@ struct CallContext {
   BlockId ContBlock;
 };
 
+/// A recognized counted `for` loop: the induction variable, its start and
+/// step constants, and the full per-iteration value sequence. InlineUnroll
+/// clones the body once per TripValues entry; Summarize keeps the loop
+/// rolled and records TripValues.size() as the static trip count.
+struct CountedForShape {
+  const VarDecl *Var = nullptr;
+  int64_t Start = 0;
+  int64_t Step = 0;
+  std::vector<int64_t> TripValues;
+};
+
 class Lowerer {
 public:
   Lowerer(const TranslationUnit &Unit, const LoweringOptions &Options,
@@ -40,6 +53,7 @@ public:
       : Unit(Unit), Options(Options), Diags(Diags) {}
 
   std::optional<Program> run();
+  std::optional<LoweredModule> runModule();
 
 private:
   // Program construction helpers.
@@ -79,6 +93,7 @@ private:
   void lowerDoWhile(const DoWhileStmt *DS);
   void lowerFor(const ForStmt *FS);
   bool tryUnrollFor(const ForStmt *FS);
+  std::optional<CountedForShape> matchCountedFor(const ForStmt *FS);
   void lowerReturn(const ReturnStmt *RS);
   void lowerFunctionBody(const FuncDecl *Func);
 
@@ -104,6 +119,10 @@ private:
   bool Sealed = false;
   unsigned InlineDepth = 0;
   bool TooDeep = false;
+  /// InlineUnroll for run(); Options.Mode for runModule().
+  LoweringMode Mode = LoweringMode::InlineUnroll;
+  /// Summarize mode: Program::CalleeNames index of each non-entry function.
+  std::unordered_map<const FuncDecl *, uint32_t> CalleeIndex;
 
   std::unordered_map<const VarDecl *, VarId> MemIds;
   std::unordered_map<const VarDecl *, RegId> RegVars;
@@ -566,6 +585,44 @@ Operand Lowerer::lowerTernary(const TernaryExpr *TE) {
 Operand Lowerer::lowerCall(const CallExpr *CE) {
   const FuncDecl *Callee = CE->Decl;
   assert(Callee && "Sema left an unresolved call");
+
+  if (Mode == LoweringMode::Summarize) {
+    // Pass arguments into the callee's parameter slots (the callee Program
+    // reads the same shared slots), then transfer through a Call node the
+    // engines resolve with the callee's summary. No inlining, so arbitrary
+    // call-chain depth is fine.
+    for (size_t I = 0; I != CE->Args.size() && I != Callee->Params.size();
+         ++I) {
+      Operand Arg = lowerExpr(CE->Args[I]);
+      const VarDecl *Param = Callee->Params[I];
+      if (Param->Type.IsReg) {
+        assignRegVar(Param, Arg, CE->Loc);
+        continue;
+      }
+      Instruction Store;
+      Store.Op = Opcode::Store;
+      Store.Var = getMemVar(Param);
+      Store.A = Arg;
+      Store.Loc = CE->Loc;
+      emit(std::move(Store));
+    }
+    auto It = CalleeIndex.find(Callee);
+    assert(It != CalleeIndex.end() && "call to a function outside the module");
+    Instruction I;
+    I.Op = Opcode::Call;
+    I.Dst = newReg();
+    I.Callee = It->second;
+    I.Loc = CE->Loc;
+    RegId Dst = I.Dst;
+    emit(std::move(I));
+    // The callee may write reg globals and reuses local/param slots; no
+    // constant binding survives the call.
+    clearRegConsts();
+    if (Callee->ReturnType.Kind == TypeKind::Void)
+      return Operand::none();
+    return Operand::reg(Dst);
+  }
+
   if (InlineDepth >= Options.MaxInlineDepth) {
     if (!TooDeep) {
       Diags.error(CE->Loc, "call chain exceeds the maximum inline depth");
@@ -880,15 +937,15 @@ bool Lowerer::stmtHasTopLevelBreak(const Stmt *S) {
   }
 }
 
-bool Lowerer::tryUnrollFor(const ForStmt *FS) {
-  if (!Options.EnableUnrolling || !FS->Init || !FS->Cond || !FS->Step)
-    return false;
+std::optional<CountedForShape> Lowerer::matchCountedFor(const ForStmt *FS) {
+  if (!FS->Init || !FS->Cond || !FS->Step)
+    return std::nullopt;
 
   // A conditional break makes the trip count data dependent; keep the loop
   // and let the fixed point widen over it (paper §6.3's "unresolved"
   // loops, e.g. the quantl decision-level scan).
   if (stmtHasTopLevelBreak(FS->Body))
-    return false;
+    return std::nullopt;
 
   // Recognize: init `v = C0`, cond `v <cmp> C1` (or reversed), step
   // `v = v (+|-) C2`.
@@ -898,32 +955,32 @@ bool Lowerer::tryUnrollFor(const ForStmt *FS) {
   if (FS->Init->Kind == StmtKind::Decl) {
     const auto *DS = static_cast<const DeclStmt *>(FS->Init);
     if (DS->Decls.size() != 1)
-      return false;
+      return std::nullopt;
     const VarDecl *Decl = DS->Decls.front();
     if (Decl->IsArray || Decl->Init.size() != 1)
-      return false;
+      return std::nullopt;
     auto C0 = foldExpr(Decl->Init.front());
     if (!C0)
-      return false;
+      return std::nullopt;
     Var = Decl;
     Start = *C0;
   } else if (FS->Init->Kind == StmtKind::Assign) {
     const auto *AS = static_cast<const AssignStmt *>(FS->Init);
     if (AS->Target->Kind != ExprKind::VarRef)
-      return false;
+      return std::nullopt;
     const auto *Ref = static_cast<const VarRefExpr *>(AS->Target);
     auto C0 = foldExpr(AS->Value);
     if (!C0 || !Ref->Decl)
-      return false;
+      return std::nullopt;
     Var = Ref->Decl;
     Start = *C0;
   } else {
-    return false;
+    return std::nullopt;
   }
 
   // Condition.
   if (FS->Cond->Kind != ExprKind::Binary)
-    return false;
+    return std::nullopt;
   const auto *CondBin = static_cast<const BinaryExpr *>(FS->Cond);
   BinaryOpKind Cmp = CondBin->Op;
   const Expr *CondVarSide = CondBin->LHS;
@@ -948,39 +1005,39 @@ bool Lowerer::tryUnrollFor(const ForStmt *FS) {
     Cmp = FlipCmp(Cmp);
     if (!(CondVarSide->Kind == ExprKind::VarRef &&
           static_cast<const VarRefExpr *>(CondVarSide)->Decl == Var))
-      return false;
+      return std::nullopt;
   }
   if (Cmp != BinaryOpKind::Lt && Cmp != BinaryOpKind::Le &&
       Cmp != BinaryOpKind::Gt && Cmp != BinaryOpKind::Ge &&
       Cmp != BinaryOpKind::Ne)
-    return false;
+    return std::nullopt;
   auto Bound = foldExpr(CondBoundSide);
   if (!Bound)
-    return false;
+    return std::nullopt;
 
   // Step.
   if (FS->Step->Kind != StmtKind::Assign)
-    return false;
+    return std::nullopt;
   const auto *StepAssign = static_cast<const AssignStmt *>(FS->Step);
   if (StepAssign->Target->Kind != ExprKind::VarRef ||
       static_cast<const VarRefExpr *>(StepAssign->Target)->Decl != Var)
-    return false;
+    return std::nullopt;
   if (StepAssign->Value->Kind != ExprKind::Binary)
-    return false;
+    return std::nullopt;
   const auto *StepBin = static_cast<const BinaryExpr *>(StepAssign->Value);
   if (StepBin->Op != BinaryOpKind::Add && StepBin->Op != BinaryOpKind::Sub)
-    return false;
+    return std::nullopt;
   if (StepBin->LHS->Kind != ExprKind::VarRef ||
       static_cast<const VarRefExpr *>(StepBin->LHS)->Decl != Var)
-    return false;
+    return std::nullopt;
   auto StepC = foldExpr(StepBin->RHS);
   if (!StepC || *StepC == 0)
-    return false;
+    return std::nullopt;
   int64_t Step = StepBin->Op == BinaryOpKind::Add ? *StepC : -*StepC;
 
   // The body must not redefine the induction variable.
   if (stmtAssignsVar(FS->Body, Var))
-    return false;
+    return std::nullopt;
 
   // Compute the trip sequence.
   auto Holds = [&](int64_t V) {
@@ -999,12 +1056,26 @@ bool Lowerer::tryUnrollFor(const ForStmt *FS) {
       return false;
     }
   };
-  std::vector<int64_t> TripValues;
+  CountedForShape Shape;
+  Shape.Var = Var;
+  Shape.Start = Start;
+  Shape.Step = Step;
   for (int64_t V = Start; Holds(V); V += Step) {
-    TripValues.push_back(V);
-    if (TripValues.size() > Options.MaxUnrollIterations)
-      return false;
+    Shape.TripValues.push_back(V);
+    if (Shape.TripValues.size() > Options.MaxUnrollIterations)
+      return std::nullopt;
   }
+  return Shape;
+}
+
+bool Lowerer::tryUnrollFor(const ForStmt *FS) {
+  if (!Options.EnableUnrolling)
+    return false;
+  std::optional<CountedForShape> Shape = matchCountedFor(FS);
+  if (!Shape)
+    return false;
+  const VarDecl *Var = Shape->Var;
+  const std::vector<int64_t> &TripValues = Shape->TripValues;
 
   bool IsMemoryVar = !Var->Type.IsReg;
   bool HasContinue = stmtHasTopLevelContinue(FS->Body);
@@ -1054,7 +1125,7 @@ bool Lowerer::tryUnrollFor(const ForStmt *FS) {
 
   // Final induction value after the loop.
   int64_t FinalValue =
-      TripValues.empty() ? Start : TripValues.back() + Step;
+      TripValues.empty() ? Shape->Start : TripValues.back() + Shape->Step;
   if (IsMemoryVar) {
     StoreInduction(FinalValue);
   } else {
@@ -1069,8 +1140,15 @@ bool Lowerer::tryUnrollFor(const ForStmt *FS) {
 }
 
 void Lowerer::lowerFor(const ForStmt *FS) {
-  if (tryUnrollFor(FS))
+  if (Mode == LoweringMode::InlineUnroll && tryUnrollFor(FS))
     return;
+
+  // Summarize keeps counted loops rolled but records their static trip
+  // count so WCET can scale the body by it instead of the global loop
+  // bound.
+  std::optional<CountedForShape> Rolled;
+  if (Mode == LoweringMode::Summarize)
+    Rolled = matchCountedFor(FS);
 
   if (FS->Init)
     lowerStmt(FS->Init);
@@ -1079,6 +1157,9 @@ void Lowerer::lowerFor(const ForStmt *FS) {
   BlockId Body = newBlock("for.body");
   BlockId StepBlock = newBlock("for.step");
   BlockId End = newBlock("for.end");
+  if (Rolled)
+    P.LoopTrips.push_back(
+        {Header, static_cast<uint64_t>(Rolled->TripValues.size()) + 1});
 
   emitJmp(Header, FS->Loc);
   setBlock(Header);
@@ -1240,9 +1321,169 @@ std::optional<Program> Lowerer::run() {
   return std::move(P);
 }
 
+std::optional<LoweredModule> Lowerer::runModule() {
+  Mode = Options.Mode;
+  const FuncDecl *Entry = Unit.findFunction(Options.EntryFunction);
+  if (!Entry) {
+    Diags.error(SourceLoc(), "entry function '" + Options.EntryFunction +
+                                 "' not found");
+    return std::nullopt;
+  }
+
+  // Bottom-up order: iterative post-order DFS over the acyclic call graph,
+  // so every function is lowered (and later summarized) after all of its
+  // callees. The entry pops last.
+  std::vector<const FuncDecl *> Order;
+  {
+    std::unordered_set<const FuncDecl *> Done;
+    std::vector<std::pair<const FuncDecl *, size_t>> Stack;
+    Stack.push_back({Entry, 0});
+    while (!Stack.empty()) {
+      auto &Top = Stack.back();
+      if (Top.second < Top.first->Callees.size()) {
+        const FuncDecl *Callee = Top.first->Callees[Top.second++];
+        if (!Done.count(Callee))
+          Stack.push_back({Callee, 0});
+        continue;
+      }
+      if (Done.insert(Top.first).second)
+        Order.push_back(Top.first);
+      Stack.pop_back();
+    }
+  }
+
+  // Callee table: every reachable non-entry function, bottom-up, shared by
+  // all Programs of the module.
+  for (const FuncDecl *F : Order) {
+    if (F == Entry)
+      continue;
+    CalleeIndex.emplace(F, static_cast<uint32_t>(P.CalleeNames.size()));
+    P.CalleeNames.push_back(F->Name);
+  }
+
+  // Materialize globals up front so VarIds and RegIds are stable and
+  // independent of which function touches them first.
+  for (const VarDecl *Global : Unit.Globals) {
+    if (Global->Type.IsReg)
+      getRegVar(Global);
+    else
+      getMemVar(Global);
+  }
+
+  std::vector<Program> Funcs; // Parallel to Order.
+  for (const FuncDecl *F : Order) {
+    // Fresh per-function code state; the variable/register tables persist
+    // so every Program indexes one shared layout.
+    P.Blocks.clear();
+    P.LoopTrips.clear();
+    RegConsts.clear();
+    UnrollBindings.clear();
+    LoopStack.clear();
+    assert(CallStack.empty() && "Summarize mode never inlines");
+
+    BlockId EntryBlock = newBlock("entry");
+    setBlock(EntryBlock);
+    assert(EntryBlock == Program::EntryBlock && "entry must be block 0");
+
+    if (F == Entry) {
+      // Initial values of reg globals exist only on the entry path; callee
+      // Programs are analyzed from an unknown register file.
+      for (const VarDecl *Global : Unit.Globals) {
+        if (!Global->Type.IsReg || Global->Init.empty())
+          continue;
+        auto V = evaluateConstExpr(Global->Init.front());
+        Instruction Mov;
+        Mov.Op = Opcode::Mov;
+        Mov.Dst = getRegVar(Global);
+        Mov.A = Operand::imm(V.value_or(0));
+        Mov.Loc = Global->Loc;
+        emit(std::move(Mov));
+        RegConsts[Global] = V.value_or(0);
+      }
+    }
+
+    // Parameter slots; call sites store arguments into these same slots
+    // before the Call.
+    for (const VarDecl *Param : F->Params) {
+      if (Param->Type.IsReg)
+        getRegVar(Param);
+      else
+        getMemVar(Param);
+    }
+
+    lowerFunctionBody(F);
+    if (!Sealed) {
+      Instruction Ret;
+      Ret.Op = Opcode::Ret;
+      emit(std::move(Ret));
+    }
+
+    Program FP;
+    FP.EntryName = F->Name;
+    FP.Blocks = std::move(P.Blocks);
+    FP.LoopTrips = std::move(P.LoopTrips);
+    Funcs.push_back(std::move(FP));
+  }
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  // Replicate the final shared tables into every Program so each one is
+  // self-contained and their MemoryModel layouts coincide.
+  LoweredModule M;
+  for (size_t I = 0; I != Order.size(); ++I) {
+    Program &FP = Funcs[I];
+    FP.Vars = P.Vars;
+    FP.RegGlobals = P.RegGlobals;
+    FP.NumRegs = P.NumRegs;
+    FP.CalleeNames = P.CalleeNames;
+    if (Order[I] == Entry)
+      M.Entry = std::move(FP);
+    else
+      M.Callees.push_back(std::move(FP));
+  }
+  return M;
+}
+
 std::optional<Program> specai::lowerProgram(const TranslationUnit &Unit,
                                             const LoweringOptions &Options,
                                             DiagnosticEngine &Diags) {
   Lowerer L(Unit, Options, Diags);
   return L.run();
+}
+
+std::optional<LoweredModule> specai::lowerModule(const TranslationUnit &Unit,
+                                                 const LoweringOptions &Options,
+                                                 DiagnosticEngine &Diags) {
+  if (Options.Mode == LoweringMode::InlineUnroll) {
+    auto P = lowerProgram(Unit, Options, Diags);
+    if (!P)
+      return std::nullopt;
+    LoweredModule M;
+    M.Entry = std::move(*P);
+    return M;
+  }
+  Lowerer L(Unit, Options, Diags);
+  return L.runModule();
+}
+
+const char *specai::loweringModeName(LoweringMode Mode) {
+  switch (Mode) {
+  case LoweringMode::InlineUnroll:
+    return "inline";
+  case LoweringMode::Summarize:
+    return "summarize";
+  }
+  return "<invalid>";
+}
+
+bool specai::parseLoweringMode(const std::string &Name,
+                               LoweringMode &ModeOut) {
+  for (LoweringMode M : {LoweringMode::InlineUnroll, LoweringMode::Summarize}) {
+    if (Name == loweringModeName(M)) {
+      ModeOut = M;
+      return true;
+    }
+  }
+  return false;
 }

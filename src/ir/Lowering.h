@@ -35,8 +35,26 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace specai {
+
+/// How calls and counted loops reach the analysis.
+enum class LoweringMode {
+  /// The paper's setup (default): calls fully inlined, counted loops fully
+  /// unrolled — one flat Program, maximally precise, exponentially large.
+  InlineUnroll,
+  /// Interprocedural mode: every loop stays rolled (the engines widen at
+  /// its header) and every call becomes a Call instruction resolved
+  /// through per-function summaries. One Program per function, all sharing
+  /// one memory layout and register space.
+  Summarize,
+};
+
+/// Short lowercase mode name: "inline" or "summarize".
+const char *loweringModeName(LoweringMode Mode);
+/// Parses "inline" / "summarize"; false on anything else.
+bool parseLoweringMode(const std::string &Name, LoweringMode &ModeOut);
 
 /// Tunables for lowering.
 struct LoweringOptions {
@@ -48,16 +66,36 @@ struct LoweringOptions {
   /// Hard cap on inlining depth (recursion is rejected by Sema; this guards
   /// against deep call chains).
   unsigned MaxInlineDepth = 64;
-  /// Master switch for full loop unrolling.
+  /// Master switch for full loop unrolling (InlineUnroll mode only).
   bool EnableUnrolling = true;
+  /// Call/loop strategy; see LoweringMode.
+  LoweringMode Mode = LoweringMode::InlineUnroll;
 };
 
-/// Lowers \p Unit into a Program. Returns nullopt and reports diagnostics
-/// on failure (missing entry, inline depth exceeded, ...). \p Unit must
-/// have passed Sema.
+/// A Summarize-mode module: the entry Program plus one Program per
+/// reachable non-entry function, in bottom-up call-graph order (every
+/// Callee index in any Program refers to an earlier Callees entry, so a
+/// left-to-right pass sees callees before callers). All Programs share
+/// identical Vars/RegGlobals/NumRegs/CalleeNames, which makes their
+/// MemoryModel layouts and register files interchangeable.
+struct LoweredModule {
+  Program Entry;
+  std::vector<Program> Callees;
+};
+
+/// Lowers \p Unit into a single Program (InlineUnroll semantics; the
+/// Options' Mode is ignored). Returns nullopt and reports diagnostics on
+/// failure (missing entry, inline depth exceeded, ...). \p Unit must have
+/// passed Sema.
 std::optional<Program> lowerProgram(const TranslationUnit &Unit,
                                     const LoweringOptions &Options,
                                     DiagnosticEngine &Diags);
+
+/// Lowers \p Unit per Options.Mode: InlineUnroll yields a module with no
+/// Callees; Summarize yields one Program per reachable function.
+std::optional<LoweredModule> lowerModule(const TranslationUnit &Unit,
+                                         const LoweringOptions &Options,
+                                         DiagnosticEngine &Diags);
 
 } // namespace specai
 

@@ -91,6 +91,12 @@ std::vector<std::string> specai::verifyProgram(const Program &P) {
       case Opcode::Ret:
         CheckOperand(B, I, Inst.A, "return value", /*Required=*/false);
         break;
+      case Opcode::Call:
+        if (Inst.Dst == InvalidReg || Inst.Dst >= P.NumRegs)
+          Bad(B, I, "call destination register invalid");
+        if (Inst.Callee >= P.CalleeNames.size())
+          Bad(B, I, "call references unknown callee");
+        break;
       }
     }
   }

@@ -37,6 +37,7 @@
 #include "domain/IntervalDomain.h"
 #include "driver/BatchRunner.h"
 #include "fuzz/FuzzCampaign.h"
+#include "fuzz/LoweringOracle.h"
 #include "fuzz/ProgramGen.h"
 #include "fuzz/SoundnessOracle.h"
 #include "fuzz/StateDigest.h"

@@ -11,7 +11,15 @@
 /// just-in-time/dynamic (the paper's default) and no-merge/fixed (the
 /// finest/most expensive corner). Any drift — generator, frontend,
 /// lowering, engine, domain — fails deterministically here with the seed
-/// that moved.
+/// that moved. Three more corpora ride on the same seeds: per-policy
+/// cache-state digests (FIFO/PLRU), per-policy verdict-level digests
+/// (WCET + leak reports), and a Summarize-lowering module corpus over
+/// deep-mode programs (helper functions + rolled widened loops), digested
+/// across the entry report, every callee report, and every call summary.
+///
+/// Each (corpus, policy, seed) is its own CTest case: one analysis per
+/// case keeps every case a few milliseconds, so the suite parallelizes
+/// and the `unit` label's wall clock stays flat as corpora accumulate.
 ///
 /// When a change is *intended* to move these values (e.g. an engine
 /// precision or soundness fix), regenerate the table: build the tree, then
@@ -32,6 +40,18 @@
 using namespace specai;
 
 namespace {
+
+const char *policyTag(ReplacementPolicy P) {
+  switch (P) {
+  case ReplacementPolicy::Lru:
+    return "lru";
+  case ReplacementPolicy::Fifo:
+    return "fifo";
+  case ReplacementPolicy::Plru:
+    return "plru";
+  }
+  return "?";
+}
 
 struct GoldenEntry {
   uint64_t Seed;
@@ -112,39 +132,61 @@ INSTANTIATE_TEST_SUITE_P(PinnedCorpus, FuzzRegressionTest,
 // tree-PLRU lattices (docs/DOMAINS.md), just-in-time/dynamic. Pins that
 // the policy generalization holds still — and, because the LRU table
 // above is untouched, that adding the policy dimension never moved an LRU
-// result. Regenerate with the snippet at the bottom of this file, with
-// Jit.Cache switched per policy via withPolicy().
+// result. One (policy, seed) per CTest case — one analysis each — so the
+// corpus stays parallelizable and no case dominates the unit label.
+// Regenerate with the snippet at the bottom of this file, with Jit.Cache
+// switched per policy via withPolicy().
 //===----------------------------------------------------------------------===//
 
 namespace {
 
 struct PolicyGoldenEntry {
   uint64_t Seed;
-  uint64_t FifoDigest; // fifo, just-in-time / dynamic
-  uint64_t PlruDigest; // plru, just-in-time / dynamic
+  ReplacementPolicy Policy;
+  uint64_t Digest; // just-in-time / dynamic
 };
 
 const PolicyGoldenEntry PolicyCorpus[] = {
-    {1, 0xd55a467b31de7ab7ULL, 0x93a4fc0de65d0a47ULL},
-    {2, 0xee707c3e33805f14ULL, 0xe157e68f2fff0c89ULL},
-    {3, 0xd2561a3a4aa2cd28ULL, 0x3be45bd618260aecULL},
-    {4, 0xe0817b7fd37b71dfULL, 0x73d29d8ce1512936ULL},
-    {5, 0x2044ce7c3897a30bULL, 0x66ad5df620f347dbULL},
-    {6, 0xd16400a33e782057ULL, 0x305709f5965f4743ULL},
-    {7, 0xdf1271ca67f0e841ULL, 0x533bf57fa024d3d7ULL},
-    {8, 0x3020aa66b79f5e66ULL, 0x3014620f2c3edc66ULL},
-    {9, 0x1cb22d7470d825a9ULL, 0x2769a4ec4b3aeb75ULL},
-    {10, 0x905b744f62cb4596ULL, 0x95207b29cacb61d7ULL},
-    {11, 0xff9e52b076b1d130ULL, 0xe2eda4afe2c3e91aULL},
-    {12, 0x29160cfb0ec6c301ULL, 0xd68d88ba6ec462caULL},
-    {13, 0x82b914b4306d0368ULL, 0x07c78ee0b5fa11c0ULL},
-    {14, 0x2d3e72d297a6d1feULL, 0xa65b4753b466c163ULL},
-    {15, 0x2066bcaa2121f5caULL, 0xbab55b739d0bc617ULL},
-    {16, 0x1f16851a6c607c9dULL, 0x81a735e979f0eb7eULL},
-    {17, 0xf6b52dbf57ae7a0bULL, 0xbdda2b8ffc28abb2ULL},
-    {18, 0xd54074dbc0120e0fULL, 0x9e3d5575db7459a5ULL},
-    {19, 0xe48a90f428e2456cULL, 0x2b1095516c6fb96bULL},
-    {20, 0x07535d25b22f660eULL, 0x6d5c3e494b1e8548ULL},
+    {1, ReplacementPolicy::Fifo, 0xd55a467b31de7ab7ULL},
+    {2, ReplacementPolicy::Fifo, 0xee707c3e33805f14ULL},
+    {3, ReplacementPolicy::Fifo, 0xd2561a3a4aa2cd28ULL},
+    {4, ReplacementPolicy::Fifo, 0xe0817b7fd37b71dfULL},
+    {5, ReplacementPolicy::Fifo, 0x2044ce7c3897a30bULL},
+    {6, ReplacementPolicy::Fifo, 0xd16400a33e782057ULL},
+    {7, ReplacementPolicy::Fifo, 0xdf1271ca67f0e841ULL},
+    {8, ReplacementPolicy::Fifo, 0x3020aa66b79f5e66ULL},
+    {9, ReplacementPolicy::Fifo, 0x1cb22d7470d825a9ULL},
+    {10, ReplacementPolicy::Fifo, 0x905b744f62cb4596ULL},
+    {11, ReplacementPolicy::Fifo, 0xff9e52b076b1d130ULL},
+    {12, ReplacementPolicy::Fifo, 0x29160cfb0ec6c301ULL},
+    {13, ReplacementPolicy::Fifo, 0x82b914b4306d0368ULL},
+    {14, ReplacementPolicy::Fifo, 0x2d3e72d297a6d1feULL},
+    {15, ReplacementPolicy::Fifo, 0x2066bcaa2121f5caULL},
+    {16, ReplacementPolicy::Fifo, 0x1f16851a6c607c9dULL},
+    {17, ReplacementPolicy::Fifo, 0xf6b52dbf57ae7a0bULL},
+    {18, ReplacementPolicy::Fifo, 0xd54074dbc0120e0fULL},
+    {19, ReplacementPolicy::Fifo, 0xe48a90f428e2456cULL},
+    {20, ReplacementPolicy::Fifo, 0x07535d25b22f660eULL},
+    {1, ReplacementPolicy::Plru, 0x93a4fc0de65d0a47ULL},
+    {2, ReplacementPolicy::Plru, 0xe157e68f2fff0c89ULL},
+    {3, ReplacementPolicy::Plru, 0x3be45bd618260aecULL},
+    {4, ReplacementPolicy::Plru, 0x73d29d8ce1512936ULL},
+    {5, ReplacementPolicy::Plru, 0x66ad5df620f347dbULL},
+    {6, ReplacementPolicy::Plru, 0x305709f5965f4743ULL},
+    {7, ReplacementPolicy::Plru, 0x533bf57fa024d3d7ULL},
+    {8, ReplacementPolicy::Plru, 0x3014620f2c3edc66ULL},
+    {9, ReplacementPolicy::Plru, 0x2769a4ec4b3aeb75ULL},
+    {10, ReplacementPolicy::Plru, 0x95207b29cacb61d7ULL},
+    {11, ReplacementPolicy::Plru, 0xe2eda4afe2c3e91aULL},
+    {12, ReplacementPolicy::Plru, 0xd68d88ba6ec462caULL},
+    {13, ReplacementPolicy::Plru, 0x07c78ee0b5fa11c0ULL},
+    {14, ReplacementPolicy::Plru, 0xa65b4753b466c163ULL},
+    {15, ReplacementPolicy::Plru, 0xbab55b739d0bc617ULL},
+    {16, ReplacementPolicy::Plru, 0x81a735e979f0eb7eULL},
+    {17, ReplacementPolicy::Plru, 0xbdda2b8ffc28abb2ULL},
+    {18, ReplacementPolicy::Plru, 0x9e3d5575db7459a5ULL},
+    {19, ReplacementPolicy::Plru, 0x2b1095516c6fb96bULL},
+    {20, ReplacementPolicy::Plru, 0x6d5c3e494b1e8548ULL},
 };
 
 class PolicyRegressionTest
@@ -161,33 +203,25 @@ TEST_P(PolicyRegressionTest, PinnedPolicyDigestsAreStable) {
   auto CP = compileSource(G.source(), Diags);
   ASSERT_TRUE(CP) << Diags.str();
 
-  MustHitOptions Jit;
-  Jit.Cache = CacheConfig::fullyAssociative(8);
-  Jit.DepthMiss = 24;
-  Jit.DepthHit = 6;
-  Jit.Strategy = MergeStrategy::JustInTime;
-  Jit.Bounding = BoundingMode::Dynamic;
-
-  MustHitOptions Fifo = Jit;
-  Fifo.Cache = Jit.Cache.withPolicy(ReplacementPolicy::Fifo);
-  MustHitReport RF = runMustHitAnalysis(*CP, Fifo);
-  ASSERT_TRUE(RF.Converged);
-  EXPECT_EQ(digestMustHitReport(*CP, RF), E.FifoDigest)
-      << "analysis drift (fifo, just-in-time/dynamic) at seed " << E.Seed;
-
-  MustHitOptions Plru = Jit;
-  Plru.Cache = Jit.Cache.withPolicy(ReplacementPolicy::Plru);
-  MustHitReport RP = runMustHitAnalysis(*CP, Plru);
-  ASSERT_TRUE(RP.Converged);
-  EXPECT_EQ(digestMustHitReport(*CP, RP), E.PlruDigest)
-      << "analysis drift (plru, just-in-time/dynamic) at seed " << E.Seed;
+  MustHitOptions Opts;
+  Opts.Cache = CacheConfig::fullyAssociative(8).withPolicy(E.Policy);
+  Opts.DepthMiss = 24;
+  Opts.DepthHit = 6;
+  Opts.Strategy = MergeStrategy::JustInTime;
+  Opts.Bounding = BoundingMode::Dynamic;
+  MustHitReport R = runMustHitAnalysis(*CP, Opts);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(digestMustHitReport(*CP, R), E.Digest)
+      << "analysis drift (" << policyTag(E.Policy)
+      << ", just-in-time/dynamic) at seed " << E.Seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(PinnedPolicyCorpus, PolicyRegressionTest,
                          ::testing::ValuesIn(PolicyCorpus),
                          [](const ::testing::TestParamInfo<PolicyGoldenEntry>
                                 &I) {
-                           return "seed" + std::to_string(I.param.Seed);
+                           return std::string(policyTag(I.param.Policy)) +
+                                  "_seed" + std::to_string(I.param.Seed);
                          });
 
 //===----------------------------------------------------------------------===//
@@ -198,7 +232,9 @@ INSTANTIATE_TEST_SUITE_P(PinnedPolicyCorpus, PolicyRegressionTest,
 // these pin the layer on top (estimateWcet, detectLeaks,
 // annotateSpeculationOnly), so a verdict regression that preserves cache
 // states — a longest-path change, a classification consumer bug — is
-// bit-level pinned too. Regenerate with the snippet at the bottom.
+// bit-level pinned too. One (policy, seed) per CTest case; each runs the
+// speculative + non-speculative analyses for exactly one policy.
+// Regenerate with the snippet at the bottom.
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -244,33 +280,72 @@ uint64_t verdictDigest(const CompiledProgram &CP, ReplacementPolicy Policy) {
 
 struct VerdictGoldenEntry {
   uint64_t Seed;
-  uint64_t LruDigest;
-  uint64_t FifoDigest;
-  uint64_t PlruDigest;
+  ReplacementPolicy Policy;
+  uint64_t Digest;
 };
 
 // Regenerate with the snippet at the bottom of this file.
 const VerdictGoldenEntry VerdictCorpus[] = {
-    {1, 0x14821f7107f66a19ULL, 0x66b707c83e2db037ULL, 0x63cde261de2e9390ULL},
-    {2, 0x057be1499266e129ULL, 0x057be1499266e129ULL, 0x686233a42f2f63d0ULL},
-    {3, 0xfca8217d23cbe4bfULL, 0xcda516bc8168a5a7ULL, 0x3ec1121bd919184aULL},
-    {4, 0xa8fb315666b9e534ULL, 0xf8a2a55f4d2dd4feULL, 0xc7a7a4d273745746ULL},
-    {5, 0x50ebab4fd3fcededULL, 0x514c72181af0e32bULL, 0xce5b19b7338816f9ULL},
-    {6, 0xb6e98bf24cd15f9aULL, 0xb6e98bf24cd15f9aULL, 0xb6e98bf24cd15f9aULL},
-    {7, 0xb1ec2c242c54f441ULL, 0x2b5e040dbc95e21aULL, 0x2b74b6727756baeaULL},
-    {8, 0x98749d8f0a7f5f7bULL, 0xabbd6d81e737245aULL, 0x5e66dd7f51dd4dd8ULL},
-    {9, 0x405cb04901cf7575ULL, 0x34c6e6bccb75ba88ULL, 0x323b3e5de4ca1ac9ULL},
-    {10, 0xab03465bb641ef25ULL, 0xae280df0efc71073ULL, 0x1069cea9271cb89eULL},
-    {11, 0xd4487dd8f23aa4d6ULL, 0x6340981ee3b9bb01ULL, 0x1d38ef6cf4d984dcULL},
-    {12, 0xc177444714a880cdULL, 0xc29fe94a961a395fULL, 0x3c7c3b76e1a4f8b3ULL},
-    {13, 0x843777d1cd56862dULL, 0x843777d1cd56862dULL, 0x843777d1cd56862dULL},
-    {14, 0x6f3a9b85a0b71852ULL, 0x001d8d1298a5fc84ULL, 0xc4e396ddf2793a59ULL},
-    {15, 0x290c6e9f4066f34dULL, 0x3fd43d517fa62ce1ULL, 0xbc57b1346e43de81ULL},
-    {16, 0xe22074383fefc3eaULL, 0x82929abd212689ccULL, 0x516b2f5926b3de43ULL},
-    {17, 0x4b9c21298c118a29ULL, 0x77bf00eb7707fbe8ULL, 0xaa403d65f4bc5019ULL},
-    {18, 0x6f24453b3a2af3d8ULL, 0xe263368f0befd62dULL, 0x297221a91ed78248ULL},
-    {19, 0xe3dc883271786375ULL, 0xd62cdb8401d7f7a9ULL, 0xfa1e903253fd59e1ULL},
-    {20, 0x27d89b6847358febULL, 0x4e580a04f0e022fdULL, 0x8baf6170ad9e1f9aULL},
+    {1, ReplacementPolicy::Lru, 0x14821f7107f66a19ULL},
+    {2, ReplacementPolicy::Lru, 0x057be1499266e129ULL},
+    {3, ReplacementPolicy::Lru, 0xfca8217d23cbe4bfULL},
+    {4, ReplacementPolicy::Lru, 0xa8fb315666b9e534ULL},
+    {5, ReplacementPolicy::Lru, 0x50ebab4fd3fcededULL},
+    {6, ReplacementPolicy::Lru, 0xb6e98bf24cd15f9aULL},
+    {7, ReplacementPolicy::Lru, 0xb1ec2c242c54f441ULL},
+    {8, ReplacementPolicy::Lru, 0x98749d8f0a7f5f7bULL},
+    {9, ReplacementPolicy::Lru, 0x405cb04901cf7575ULL},
+    {10, ReplacementPolicy::Lru, 0xab03465bb641ef25ULL},
+    {11, ReplacementPolicy::Lru, 0xd4487dd8f23aa4d6ULL},
+    {12, ReplacementPolicy::Lru, 0xc177444714a880cdULL},
+    {13, ReplacementPolicy::Lru, 0x843777d1cd56862dULL},
+    {14, ReplacementPolicy::Lru, 0x6f3a9b85a0b71852ULL},
+    {15, ReplacementPolicy::Lru, 0x290c6e9f4066f34dULL},
+    {16, ReplacementPolicy::Lru, 0xe22074383fefc3eaULL},
+    {17, ReplacementPolicy::Lru, 0x4b9c21298c118a29ULL},
+    {18, ReplacementPolicy::Lru, 0x6f24453b3a2af3d8ULL},
+    {19, ReplacementPolicy::Lru, 0xe3dc883271786375ULL},
+    {20, ReplacementPolicy::Lru, 0x27d89b6847358febULL},
+    {1, ReplacementPolicy::Fifo, 0x66b707c83e2db037ULL},
+    {2, ReplacementPolicy::Fifo, 0x057be1499266e129ULL},
+    {3, ReplacementPolicy::Fifo, 0xcda516bc8168a5a7ULL},
+    {4, ReplacementPolicy::Fifo, 0xf8a2a55f4d2dd4feULL},
+    {5, ReplacementPolicy::Fifo, 0x514c72181af0e32bULL},
+    {6, ReplacementPolicy::Fifo, 0xb6e98bf24cd15f9aULL},
+    {7, ReplacementPolicy::Fifo, 0x2b5e040dbc95e21aULL},
+    {8, ReplacementPolicy::Fifo, 0xabbd6d81e737245aULL},
+    {9, ReplacementPolicy::Fifo, 0x34c6e6bccb75ba88ULL},
+    {10, ReplacementPolicy::Fifo, 0xae280df0efc71073ULL},
+    {11, ReplacementPolicy::Fifo, 0x6340981ee3b9bb01ULL},
+    {12, ReplacementPolicy::Fifo, 0xc29fe94a961a395fULL},
+    {13, ReplacementPolicy::Fifo, 0x843777d1cd56862dULL},
+    {14, ReplacementPolicy::Fifo, 0x001d8d1298a5fc84ULL},
+    {15, ReplacementPolicy::Fifo, 0x3fd43d517fa62ce1ULL},
+    {16, ReplacementPolicy::Fifo, 0x82929abd212689ccULL},
+    {17, ReplacementPolicy::Fifo, 0x77bf00eb7707fbe8ULL},
+    {18, ReplacementPolicy::Fifo, 0xe263368f0befd62dULL},
+    {19, ReplacementPolicy::Fifo, 0xd62cdb8401d7f7a9ULL},
+    {20, ReplacementPolicy::Fifo, 0x4e580a04f0e022fdULL},
+    {1, ReplacementPolicy::Plru, 0x63cde261de2e9390ULL},
+    {2, ReplacementPolicy::Plru, 0x686233a42f2f63d0ULL},
+    {3, ReplacementPolicy::Plru, 0x3ec1121bd919184aULL},
+    {4, ReplacementPolicy::Plru, 0xc7a7a4d273745746ULL},
+    {5, ReplacementPolicy::Plru, 0xce5b19b7338816f9ULL},
+    {6, ReplacementPolicy::Plru, 0xb6e98bf24cd15f9aULL},
+    {7, ReplacementPolicy::Plru, 0x2b74b6727756baeaULL},
+    {8, ReplacementPolicy::Plru, 0x5e66dd7f51dd4dd8ULL},
+    {9, ReplacementPolicy::Plru, 0x323b3e5de4ca1ac9ULL},
+    {10, ReplacementPolicy::Plru, 0x1069cea9271cb89eULL},
+    {11, ReplacementPolicy::Plru, 0x1d38ef6cf4d984dcULL},
+    {12, ReplacementPolicy::Plru, 0x3c7c3b76e1a4f8b3ULL},
+    {13, ReplacementPolicy::Plru, 0x843777d1cd56862dULL},
+    {14, ReplacementPolicy::Plru, 0xc4e396ddf2793a59ULL},
+    {15, ReplacementPolicy::Plru, 0xbc57b1346e43de81ULL},
+    {16, ReplacementPolicy::Plru, 0x516b2f5926b3de43ULL},
+    {17, ReplacementPolicy::Plru, 0xaa403d65f4bc5019ULL},
+    {18, ReplacementPolicy::Plru, 0x297221a91ed78248ULL},
+    {19, ReplacementPolicy::Plru, 0xfa1e903253fd59e1ULL},
+    {20, ReplacementPolicy::Plru, 0x8baf6170ad9e1f9aULL},
 };
 
 class VerdictRegressionTest
@@ -287,18 +362,109 @@ TEST_P(VerdictRegressionTest, PinnedVerdictDigestsAreStable) {
   auto CP = compileSource(G.source(), Diags);
   ASSERT_TRUE(CP) << Diags.str();
 
-  EXPECT_EQ(verdictDigest(*CP, ReplacementPolicy::Lru), E.LruDigest)
-      << "verdict drift (lru) at seed " << E.Seed;
-  EXPECT_EQ(verdictDigest(*CP, ReplacementPolicy::Fifo), E.FifoDigest)
-      << "verdict drift (fifo) at seed " << E.Seed;
-  EXPECT_EQ(verdictDigest(*CP, ReplacementPolicy::Plru), E.PlruDigest)
-      << "verdict drift (plru) at seed " << E.Seed;
+  EXPECT_EQ(verdictDigest(*CP, E.Policy), E.Digest)
+      << "verdict drift (" << policyTag(E.Policy) << ") at seed " << E.Seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(PinnedVerdictCorpus, VerdictRegressionTest,
                          ::testing::ValuesIn(VerdictCorpus),
                          [](const ::testing::TestParamInfo<
                              VerdictGoldenEntry> &I) {
+                           return std::string(policyTag(I.param.Policy)) +
+                                  "_seed" + std::to_string(I.param.Seed);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Summarize corpus: 20 deep-mode programs (ProgramGenOptions::Functions —
+// helper functions, call statements, rolled widened loops) compiled under
+// LoweringMode::Summarize and digested at module granularity: the entry
+// report, every callee report, and every call summary (MayBlocks,
+// SetPressure, ExitMust) via digestModuleReport. Pins the whole summarize
+// pipeline — deep generator, rolled-loop widening fixpoints, bottom-up
+// summary construction, call transfers — alongside the InlineUnroll
+// corpora above, which this suite must never move (the deep-mode RNG
+// draws are gated behind the Functions flag).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SummarizeGoldenEntry {
+  uint64_t Seed;
+  uint64_t SourceDigest;
+  uint64_t JitDynamicDigest;
+  uint64_t NoMergeFixedDigest;
+};
+
+// Regenerate with the snippet at the bottom of this file.
+const SummarizeGoldenEntry SummarizeCorpus[] = {
+    {1, 0x0dcf80a8dc8ad15eULL, 0xe977f5cd5927c7d9ULL, 0x9483a7ebd45b2c7aULL},
+    {2, 0x61270ea9a311a9ecULL, 0xf81c8e0e010eb2ecULL, 0x6d41efcc8fc882f3ULL},
+    {3, 0xf5bc1deacdeb8d6dULL, 0xad87737b23c28892ULL, 0x38303964cff2c438ULL},
+    {4, 0x0d21b07f57baa7d0ULL, 0x723e079cd074bbe9ULL, 0xf3369a3d2a33a3f4ULL},
+    {5, 0x917324874ba3356fULL, 0x629f1e7cfe39d54eULL, 0x629f1e7cfe39d54eULL},
+    {6, 0x12750965066e9f91ULL, 0x263de63ba35fb728ULL, 0x01a20dc50337ce4aULL},
+    {7, 0x6107c4f232cfe251ULL, 0xc8e56a1407c13c37ULL, 0x8be72467f9c77bcaULL},
+    {8, 0xe01ffa4974ec6747ULL, 0x8026b383e3f4060cULL, 0x96294c3ac0bde945ULL},
+    {9, 0x3cfdd57ef980f1edULL, 0x033da256e5e04e8dULL, 0x59fe90637e6659e8ULL},
+    {10, 0x9031d9751e7b864aULL, 0xa81051842ce7204dULL, 0x3bc9687f0a0359a8ULL},
+    {11, 0x02ebc4c342dc0598ULL, 0xa25ebfd0f08298ebULL, 0xdf395d2239a2f418ULL},
+    {12, 0x237b33e200f4f95aULL, 0xc8f3022299b66503ULL, 0xc8f3022299b66503ULL},
+    {13, 0xad9252786e232b01ULL, 0xf6a55dd4da6c34cfULL, 0xf6a55dd4da6c34cfULL},
+    {14, 0xe0504d9039a12242ULL, 0x9b382e3bb503ee67ULL, 0xfdd2c9bdc51a75bfULL},
+    {15, 0x2da71a274fea2af0ULL, 0x4ef1affc33d41e02ULL, 0x642751d6873ac059ULL},
+    {16, 0x341bb7611006a363ULL, 0x2e6f7faadd883efaULL, 0x56101f9bf3981271ULL},
+    {17, 0xbbb77658b9fd1488ULL, 0x34e30daae187c2f3ULL, 0x8f1d9263d366e496ULL},
+    {18, 0xacfbcbd9bf5473c6ULL, 0x5eec1159d11031a4ULL, 0xab3096c8bd27b31cULL},
+    {19, 0x1f936395b9dba4a9ULL, 0x9f2f446fa6bed451ULL, 0x562e577b30033a29ULL},
+    {20, 0x756201446309677dULL, 0x3f236da4836d223fULL, 0x4240f3ff26117ff2ULL},
+};
+
+class SummarizeRegressionTest
+    : public ::testing::TestWithParam<SummarizeGoldenEntry> {};
+
+} // namespace
+
+TEST_P(SummarizeRegressionTest, PinnedSummarizeDigestsAreStable) {
+  const SummarizeGoldenEntry &E = GetParam();
+  ProgramGenOptions GO;
+  GO.Functions = true;
+  ProgramGen Gen(E.Seed, GO);
+  GeneratedProgram G = Gen.generate();
+
+  EXPECT_EQ(fnv1a(G.source()), E.SourceDigest)
+      << "deep-mode generator drift at seed " << E.Seed
+      << "; actual source:\n" << G.source();
+
+  DiagnosticEngine Diags;
+  LoweringOptions LO;
+  LO.Mode = LoweringMode::Summarize;
+  auto CP = compileSource(G.source(), Diags, LO);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  MustHitOptions Jit;
+  Jit.Cache = CacheConfig::fullyAssociative(8);
+  Jit.DepthMiss = 24;
+  Jit.DepthHit = 6;
+  Jit.Strategy = MergeStrategy::JustInTime;
+  Jit.Bounding = BoundingMode::Dynamic;
+  MustHitReport RJ = runMustHitAnalysis(*CP, Jit);
+  ASSERT_TRUE(RJ.Converged);
+  EXPECT_EQ(digestModuleReport(*CP, RJ), E.JitDynamicDigest)
+      << "summarize drift (just-in-time/dynamic) at seed " << E.Seed;
+
+  MustHitOptions Nm = Jit;
+  Nm.Strategy = MergeStrategy::NoMerge;
+  Nm.Bounding = BoundingMode::Fixed;
+  MustHitReport RN = runMustHitAnalysis(*CP, Nm);
+  ASSERT_TRUE(RN.Converged);
+  EXPECT_EQ(digestModuleReport(*CP, RN), E.NoMergeFixedDigest)
+      << "summarize drift (no-merge/fixed) at seed " << E.Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedSummarizeCorpus, SummarizeRegressionTest,
+                         ::testing::ValuesIn(SummarizeCorpus),
+                         [](const ::testing::TestParamInfo<
+                             SummarizeGoldenEntry> &I) {
                            return "seed" + std::to_string(I.param.Seed);
                          });
 
@@ -332,7 +498,9 @@ INSTANTIATE_TEST_SUITE_P(PinnedVerdictCorpus, VerdictRegressionTest,
 //     }
 //   }
 //
-// The verdict corpus regenerates the same way: copy the verdictDigest
-// helper above into the snippet and print, per seed, its value for
-// ReplacementPolicy::Lru / Fifo / Plru.
+// The policy corpus regenerates the same way with Jit.Cache switched via
+// withPolicy(); the verdict corpus by printing verdictDigest per policy;
+// the summarize corpus with ProgramGenOptions::Functions = true,
+// LoweringOptions::Mode = Summarize, and digestModuleReport instead of
+// digestMustHitReport.
 //===----------------------------------------------------------------------===//

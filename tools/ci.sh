@@ -41,6 +41,16 @@ for oracle in wcet leak; do
   cat "$BUILD/fuzz_${oracle}_smoke.json"
 done
 
+# Differential-lowering smoke (DESIGN.md §4): deep-call/uncounted-loop
+# programs compiled under both InlineUnroll and Summarize, cross-checked
+# by the lowering oracle (classification conflicts, concrete must-hit
+# refutation, concrete WCET undercut). The JSON carries the lowering_*
+# precision-delta counters next to the soundness counters.
+"$BUILD/tools/specai-fuzz" --seed 1 --programs 10 --jobs "$JOBS" \
+  --oracle lowering --gen-deep --ce-dir "$BUILD" --json \
+  > "$BUILD/fuzz_lowering_smoke.json"
+cat "$BUILD/fuzz_lowering_smoke.json"
+
 # Fixed-coverage perf smoke: the 50-program campaign behind
 # BENCH_fuzz.json, with timing JSON written next to the build
 # (informational — timings are machine-dependent and never gate; the

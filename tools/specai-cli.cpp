@@ -10,6 +10,10 @@
 ///   specai-cli FILE.mc [options]
 ///
 ///   --entry NAME        entry function (default: main)
+///   --lowering M        inline (default: inline every call, unroll counted
+///                       loops) | summarize (keep loops rolled + widen,
+///                       apply per-function speculative summaries at call
+///                       sites; DESIGN.md §4)
 ///   --no-spec           non-speculative baseline (Algorithm 1)
 ///   --lines N           cache lines (default 512)
 ///   --assoc N           associativity (default: fully associative)
@@ -53,7 +57,8 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: specai-cli FILE.mc [--entry NAME] [--no-spec] [--lines N]\n"
+      "usage: specai-cli FILE.mc [--entry NAME] [--lowering inline|summarize]\n"
+      "       [--no-spec] [--lines N]\n"
       "       [--assoc N] [--depth-miss N] [--depth-hit N] [--strategy S]\n"
       "       [--policy lru|fifo|plru] [--no-shadow] [--refine]\n"
       "       [--dump-ir] [--dump-states] [--leaks] [--wcet] [--batch]\n"
@@ -89,6 +94,13 @@ int main(int Argc, char **Argv) {
     };
     if (Arg == "--entry") {
       Lowering.EntryFunction = Next();
+    } else if (Arg == "--lowering") {
+      std::string M = Next();
+      if (!parseLoweringMode(M, Lowering.Mode)) {
+        std::printf("error: unknown lowering mode '%s' (inline | summarize)\n",
+                    M.c_str());
+        return 1;
+      }
     } else if (Arg == "--no-spec") {
       Opts.Speculative = false;
     } else if (Arg == "--lines") {
@@ -178,8 +190,11 @@ int main(int Argc, char **Argv) {
     std::printf("%s", Diags.str().c_str());
     return 1;
   }
-  if (DumpIr)
+  if (DumpIr) {
     std::printf("%s\n", CP->P->str().c_str());
+    for (const std::unique_ptr<CompiledProgram> &Callee : CP->Callees)
+      std::printf("%s\n", Callee->P->str().c_str());
+  }
 
   Opts.Cache = Assoc == 0 ? CacheConfig::fullyAssociative(Lines)
                           : CacheConfig::setAssociative(Lines, Assoc);

@@ -9,8 +9,9 @@
 ///
 ///   specai-fuzz [options]            run a campaign
 ///   specai-fuzz --selftest [SUITE]   prove the oracles catch a broken
-///                                    engine/verdict layer (also CTest
-///                                    cases; SUITE: cache|wcet|leak|all)
+///                                    engine/verdict/lowering layer (also
+///                                    CTest cases; SUITE:
+///                                    cache|wcet|leak|lowering|all)
 ///   specai-fuzz --replay FILE.mc     re-check a recorded counterexample
 ///
 ///   --seed N            base seed (default 1); program i uses seed N+i
@@ -21,7 +22,14 @@
 ///                       (default; abstract-state containment) | wcet
 ///                       (concrete cycles vs estimateWcet bound) | leak
 ///                       (concrete timing attacker vs leak-freedom
-///                       proofs) | all. Repeatable; repeats OR together.
+///                       proofs) | lowering (summarize-vs-inline-unroll
+///                       diff; src/fuzz/LoweringOracle.h) | all (= cache,
+///                       wcet, leak; lowering stays opt-in so classic
+///                       campaign counters stay pinned). Repeatable;
+///                       repeats OR together.
+///   --gen-deep          generate helper functions (deeper call chains)
+///                       plus call statements — the workload the lowering
+///                       oracle is for
 ///   --lines N           cache lines of the oracle geometry (default 8)
 ///   --assoc N           associativity (default: fully associative)
 ///   --policy P          replacement policy to validate: lru (default) |
@@ -42,7 +50,9 @@
 ///                       engine faults skip-spec-seed | skip-rollback,
 ///                       verdict faults wcet-hit-for-miss |
 ///                       wcet-drop-loop-scale | leak-skip-mixed |
-///                       leak-discount-spec | leak-drop-spec-only
+///                       leak-discount-spec | leak-drop-spec-only,
+///                       lowering faults drop-widen | stale-summary |
+///                       skip-backedge (summarize side only)
 ///                       (self-test aid)
 ///
 /// Exit code: 0 sound, 1 usage/compile error, 2 violations found (so CI
@@ -66,16 +76,18 @@ namespace {
 void usage() {
   std::printf(
       "usage: specai-fuzz [--seed N] [--programs N] [--jobs N] [--lines N]\n"
-      "       [--oracle cache|wcet|leak|all] [--assoc N]\n"
+      "       [--oracle cache|wcet|leak|lowering|all] [--assoc N]\n"
       "       [--policy lru|fifo|plru|all] [--depth-miss N]\n"
-      "       [--depth-hit N]\n"
+      "       [--depth-hit N] [--gen-deep]\n"
       "       [--exhaustive-bits N] [--input-rounds N] [--leak-secrets N]\n"
       "       [--leak-rounds N] [--no-shadow]\n"
       "       [--no-minimize] [--ce-dir DIR] [--json]\n"
       "       [--inject-fault skip-spec-seed|skip-rollback|\n"
       "         wcet-hit-for-miss|wcet-drop-loop-scale|leak-skip-mixed|\n"
-      "         leak-discount-spec|leak-drop-spec-only]\n"
-      "       [--selftest [cache|wcet|leak|all]] [--replay FILE.mc]\n");
+      "         leak-discount-spec|leak-drop-spec-only|drop-widen|\n"
+      "         stale-summary|skip-backedge]\n"
+      "       [--selftest [cache|wcet|leak|lowering|all]]\n"
+      "       [--replay FILE.mc]\n");
 }
 
 unsigned parseNum(const char *Arg, const char *Value) {
@@ -111,10 +123,28 @@ std::string campaignJson(const FuzzCampaignStats &S) {
   Field("leak_families", std::to_string(S.Oracle.LeakFamilies), false);
   Field("leak_runs", std::to_string(S.Oracle.LeakRuns), false);
   Field("leak_site_checks", std::to_string(S.Oracle.LeakSiteChecks), false);
+  Field("lowering_diffs", std::to_string(S.Oracle.LoweringDiffs), false);
+  Field("lowering_loc_checks", std::to_string(S.Oracle.LoweringLocChecks),
+        false);
+  Field("lowering_wcet_checks", std::to_string(S.Oracle.LoweringWcetChecks),
+        false);
+  Field("lowering_concrete_checks",
+        std::to_string(S.Oracle.LoweringConcreteChecks), false);
+  Field("lowering_sum_only_must_hits",
+        std::to_string(S.Oracle.LoweringSumOnlyMustHits), false);
+  Field("lowering_unrolled_only_must_hits",
+        std::to_string(S.Oracle.LoweringUnrolledOnlyMustHits), false);
+  Field("lowering_wcet_tighter",
+        std::to_string(S.Oracle.LoweringWcetTighter), false);
+  Field("lowering_wcet_looser",
+        std::to_string(S.Oracle.LoweringWcetLooser), false);
+  Field("lowering_leak_deltas",
+        std::to_string(S.Oracle.LoweringLeakDeltas), false);
   Field("violation_programs", std::to_string(S.ViolationPrograms), false);
   Field("cache_violations", std::to_string(S.CacheViolations), false);
   Field("wcet_violations", std::to_string(S.WcetViolations), false);
   Field("leak_violations", std::to_string(S.LeakViolations), false);
+  Field("lowering_violations", std::to_string(S.LoweringViolations), false);
   Field("seconds", formatDouble(S.Seconds, 3), false);
   Field("programs_per_sec", formatDouble(PerSec, 1), true);
   Out += "}";
@@ -145,16 +175,22 @@ void reportCounterexamples(const FuzzCampaignResult &R,
   }
 }
 
-/// One self-test campaign into \p ResultOut.
-void selftestCampaign(EngineFault EF, VerdictFault VF, unsigned Oracles,
-                      unsigned Programs, FuzzCampaignResult &ResultOut) {
+/// One self-test campaign into \p ResultOut. Lowering suites generate deep
+/// programs (helper functions + calls): the stale-summary fault can only
+/// fire at a call site, and the other lowering faults want rolled loops in
+/// callees too.
+void selftestCampaign(EngineFault EF, VerdictFault VF, LoweringFault LF,
+                      unsigned Oracles, unsigned Programs,
+                      FuzzCampaignResult &ResultOut) {
   FuzzCampaignOptions O;
   O.Seed = 1;
   O.Programs = Programs;
   O.Jobs = 0;
   O.Oracle.Fault = EF;
   O.Oracle.VFault = VF;
+  O.Oracle.LFault = LF;
   O.Oracle.Oracles = Oracles;
+  O.Gen.Functions = (Oracles & OracleLowering) != 0;
   // Trim per-program effort: the self-test proves detection, not coverage.
   O.Oracle.ExhaustiveBits = 4;
   O.Oracle.SampledScripts = 4;
@@ -170,8 +206,8 @@ int selftest(unsigned Suites) {
   int Failures = 0;
 
   FuzzCampaignResult Healthy;
-  selftestCampaign(EngineFault::None, VerdictFault::None, Suites, 8,
-                   Healthy);
+  selftestCampaign(EngineFault::None, VerdictFault::None,
+                   LoweringFault::None, Suites, 8, Healthy);
   if (Healthy.ok()) {
     std::printf("selftest: healthy engine+verdicts (--oracle %s), 8 "
                 "programs ... ok\n",
@@ -191,6 +227,7 @@ int selftest(unsigned Suites) {
     const char *Name;
     EngineFault EF;
     VerdictFault VF;
+    LoweringFault LF;
     unsigned Oracle; ///< The single oracle expected to catch it.
     unsigned Programs;
     /// Demand a strictly shrinking minimization (only meaningful for
@@ -199,26 +236,35 @@ int selftest(unsigned Suites) {
   };
   const FaultCase Matrix[] = {
       {"skip-spec-seed", EngineFault::SkipSpecSeed, VerdictFault::None,
-       OracleCache, 8, true},
+       LoweringFault::None, OracleCache, 8, true},
       {"skip-rollback", EngineFault::SkipRollback, VerdictFault::None,
-       OracleCache, 24, false},
+       LoweringFault::None, OracleCache, 24, false},
       {"wcet-hit-for-miss", EngineFault::None, VerdictFault::WcetHitForMiss,
-       OracleWcet, 16, false},
+       LoweringFault::None, OracleWcet, 16, false},
       {"wcet-drop-loop-scale", EngineFault::None,
-       VerdictFault::WcetDropLoopScale, OracleWcet, 32, false},
+       VerdictFault::WcetDropLoopScale, LoweringFault::None, OracleWcet, 32,
+       false},
       {"leak-skip-mixed", EngineFault::None, VerdictFault::LeakSkipMixed,
-       OracleLeak, 16, false},
+       LoweringFault::None, OracleLeak, 16, false},
       {"leak-discount-spec", EngineFault::None,
-       VerdictFault::LeakDiscountSpeculation, OracleLeak, 32, false},
+       VerdictFault::LeakDiscountSpeculation, LoweringFault::None,
+       OracleLeak, 32, false},
       {"leak-drop-spec-only", EngineFault::None,
-       VerdictFault::LeakDropSpecOnly, OracleLeak, 32, false},
+       VerdictFault::LeakDropSpecOnly, LoweringFault::None, OracleLeak, 32,
+       false},
+      {"drop-widen", EngineFault::None, VerdictFault::None,
+       LoweringFault::DropWiden, OracleLowering, 24, false},
+      {"stale-summary", EngineFault::None, VerdictFault::None,
+       LoweringFault::StaleSummary, OracleLowering, 24, false},
+      {"skip-backedge", EngineFault::None, VerdictFault::None,
+       LoweringFault::SkipBackedge, OracleLowering, 24, false},
   };
 
   for (const FaultCase &C : Matrix) {
     if (!(Suites & C.Oracle))
       continue;
     FuzzCampaignResult Broken;
-    selftestCampaign(C.EF, C.VF, C.Oracle, C.Programs, Broken);
+    selftestCampaign(C.EF, C.VF, C.LF, C.Oracle, C.Programs, Broken);
     if (Broken.ok()) {
       std::printf("selftest: %s fault NOT caught in %u programs ... "
                   "FAILED\n",
@@ -237,10 +283,23 @@ int selftest(unsigned Suites) {
     RO.Oracles = C.Oracle;
     RO.Fault = C.EF;
     RO.VFault = C.VF;
+    RO.LFault = C.LF;
     std::string File = CE.replayFile(RO);
     bool Tagged = File.find("// replay-oracle: ") != std::string::npos;
     bool Reproduced = false;
-    {
+    if (C.Oracle == OracleLowering) {
+      // Lowering counterexamples replay through the diff itself: same
+      // injected fault, just the recorded (strategy, bounding) pair, and
+      // concrete inputs re-derived from the recorded seed.
+      SoundnessOracleOptions Single = RO;
+      Single.Strategies = {CE.V.Strategy};
+      Single.Boundings = {CE.V.Bounding};
+      OracleStats ReplayStats;
+      Reproduced = checkLoweringDiff(CE.Source, CE.InputScalars,
+                                     CE.InputArrays, CE.ProgramSeed, Single,
+                                     ReplayStats)
+                       .has_value();
+    } else {
       DiagnosticEngine Diags;
       if (auto CP = compileSource(CE.Source, Diags)) {
         SoundnessOracleOptions Single = RO;
@@ -308,6 +367,7 @@ int replay(const std::string &Path) {
   MergeStrategy Strategy = MergeStrategy::JustInTime;
   BoundingMode Bounding = BoundingMode::Fixed;
   unsigned OracleMask = OracleCache; // Pre-verdict files carry no header.
+  uint64_t Seed = 0; // Lowering diffs re-derive inputs from this.
 
   std::istringstream Lines(Text);
   std::string Line, Key, Value;
@@ -334,6 +394,23 @@ int replay(const std::string &Path) {
       Opts.Wcet.Timing.MissLatency = Miss;
       Opts.Wcet.Timing.AluLatency = Alu;
       Opts.Wcet.Timing.BranchResolveLatency = Branch;
+    } else if (Key == "seed") {
+      Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Key == "lowering") {
+      // The only recorded mode is the summarize diff (the inline-unroll
+      // side is the implicit reference); anything else is a corrupt file.
+      if (Value != "summarize") {
+        std::printf("error: unknown replay-lowering '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else if (Key == "lowering-fault") {
+      // A lowering self-test counterexample; replay against the same
+      // deliberately broken summarize lowering.
+      if (!parseLoweringFault(Value, Opts.LFault)) {
+        std::printf("error: unknown replay-lowering-fault '%s'\n",
+                    Value.c_str());
+        return 1;
+      }
     } else if (Key == "verdict-fault") {
       // A self-test counterexample; replay against the same deliberately
       // broken verdict layer.
@@ -461,6 +538,22 @@ int replay(const std::string &Path) {
     return 1;
   }
 
+  if (OracleMask & OracleLowering) {
+    // Lowering counterexamples re-run the whole diff (both compiles, the
+    // recorded strategy/bounding pair, seed-derived concrete inputs)
+    // rather than one recorded scenario.
+    OracleStats Stats;
+    if (std::optional<Violation> V =
+            checkLoweringDiff(Text, Scalars, Arrays, Seed, Opts, Stats)) {
+      std::printf("reproduced: %s\n", V->str(*CP).c_str());
+      return 2;
+    }
+    std::printf(
+        "did not reproduce: the recorded lowering diff is clean under %s\n",
+        mergeStrategyName(Strategy));
+    return 0;
+  }
+
   SoundnessOracle Oracle(*CP, Scalars, Arrays, Opts);
   if (std::optional<Violation> V = Oracle.checkRun(Spec)) {
     std::printf("reproduced: %s\n", V->str(*CP).c_str());
@@ -517,7 +610,7 @@ int main(int Argc, char **Argv) {
       unsigned Mask = 0;
       if (!parseOracleKind(Kind, Mask)) {
         std::printf("error: unknown oracle '%s' (cache | wcet | leak | "
-                    "all)\n",
+                    "lowering | all)\n",
                     Kind.c_str());
         return 1;
       }
@@ -538,6 +631,8 @@ int main(int Argc, char **Argv) {
       O.Oracle.InputRounds = parseNum("--input-rounds", Next());
     } else if (Arg == "--no-shadow") {
       O.Oracle.UseShadow = false;
+    } else if (Arg == "--gen-deep") {
+      O.Gen.Functions = true;
     } else if (Arg == "--no-minimize") {
       O.Minimize = false;
     } else if (Arg == "--ce-dir") {
@@ -547,12 +642,15 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--inject-fault") {
       std::string Kind = Next();
       VerdictFault VF = VerdictFault::None;
+      LoweringFault LF = LoweringFault::None;
       if (Kind == "skip-spec-seed")
         O.Oracle.Fault = EngineFault::SkipSpecSeed;
       else if (Kind == "skip-rollback")
         O.Oracle.Fault = EngineFault::SkipRollback;
       else if (parseVerdictFault(Kind, VF) && VF != VerdictFault::None)
         O.Oracle.VFault = VF;
+      else if (parseLoweringFault(Kind, LF) && LF != LoweringFault::None)
+        O.Oracle.LFault = LF;
       else {
         std::printf("error: unknown fault '%s'\n", Kind.c_str());
         return 1;
@@ -564,7 +662,7 @@ int main(int Argc, char **Argv) {
         std::string Suite = Argv[++I];
         if (!parseOracleKind(Suite, SelfTestSuites)) {
           std::printf("error: unknown selftest suite '%s' (cache | wcet | "
-                      "leak | all)\n",
+                      "leak | lowering | all)\n",
                       Suite.c_str());
           return 1;
         }
@@ -589,6 +687,10 @@ int main(int Argc, char **Argv) {
                   O.Oracle.VFault == VerdictFault::WcetDropLoopScale;
     O.Oracle.Oracles |= IsWcet ? OracleWcet : OracleLeak;
   }
+  // Likewise a lowering fault only breaks the summarize side of the
+  // lowering diff; nothing else would notice it.
+  if (O.Oracle.LFault != LoweringFault::None)
+    O.Oracle.Oracles |= OracleLowering;
 
   if (SelfTest)
     return selftest(SelfTestSuites);
