@@ -23,11 +23,18 @@
 #include "specai/SpecAI.h"
 
 #include <cstdio>
+#include <exception>
 
 using namespace specai;
 
-int main(int Argc, char **Argv) {
-  unsigned Jobs = parseJobsFlag(Argc, Argv); // 0 = all hardware threads.
+int runBench(int Argc, char **Argv) {
+  std::string JobsError;
+  std::optional<unsigned> JobsOpt = parseJobsFlag(Argc, Argv, JobsError);
+  if (!JobsOpt) { // Benches keep the historical fail-fast exit contract.
+    std::fprintf(stderr, "%s\n", JobsError.c_str());
+    return 1;
+  }
+  unsigned Jobs = *JobsOpt; // 0 = all hardware threads.
 
   std::printf("== Ablation: speculation depth bounding (§6.2) ==\n");
   const std::vector<Workload> &Kernels = wcetWorkloads();
@@ -97,4 +104,15 @@ int main(int Argc, char **Argv) {
   }
   std::printf("%s\n", T.str().c_str());
   return 0;
+}
+
+int main(int Argc, char **Argv) {
+  // requireRow throws (library code must not exit a host process; see
+  // driver/BatchRunner.h); benches keep the historical fail-fast exit.
+  try {
+    return runBench(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
 }

@@ -80,8 +80,14 @@ int main(int Argc, char **Argv) {
     }
     Rest.push_back(Argv[I]);
   }
-  unsigned Jobs = parseJobsFlag(static_cast<int>(Rest.size()),
-                                Rest.data()); // 0 = all hardware threads.
+  std::string JobsError;
+  std::optional<unsigned> JobsOpt = parseJobsFlag(
+      static_cast<int>(Rest.size()), Rest.data(), JobsError);
+  if (!JobsOpt) { // Benches keep the historical fail-fast exit contract.
+    std::fprintf(stderr, "%s\n", JobsError.c_str());
+    return 1;
+  }
+  unsigned Jobs = *JobsOpt; // 0 = all hardware threads.
 
   std::printf("== Differential soundness fuzzing campaign ==\n");
 
@@ -95,7 +101,7 @@ int main(int Argc, char **Argv) {
       R.Stats.Seconds > 0 ? R.Stats.Programs / R.Stats.Seconds : 0;
 
   if (JsonPath && !writeJson(JsonPath, O, R.Stats, PerSec, Jobs)) {
-    std::printf("error: cannot write %s\n", JsonPath);
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
     return 1;
   }
   TableWriter T({"Programs", "Runs", "SpecWindows", "CommChecks",

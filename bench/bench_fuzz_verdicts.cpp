@@ -100,7 +100,14 @@ int main(int Argc, char **Argv) {
     }
     Rest.push_back(Argv[I]);
   }
-  unsigned Jobs = parseJobsFlag(static_cast<int>(Rest.size()), Rest.data());
+  std::string JobsError;
+  std::optional<unsigned> JobsOpt = parseJobsFlag(
+      static_cast<int>(Rest.size()), Rest.data(), JobsError);
+  if (!JobsOpt) { // Benches keep the historical fail-fast exit contract.
+    std::fprintf(stderr, "%s\n", JobsError.c_str());
+    return 1;
+  }
+  unsigned Jobs = *JobsOpt;
 
   std::printf("== Verdict-oracle fuzzing campaigns (--oracle all, per "
               "replacement policy) ==\n");
@@ -140,7 +147,7 @@ int main(int Argc, char **Argv) {
   std::printf("%s", T.str().c_str());
 
   if (JsonPath && !writeJson(JsonPath, O, Rows, Jobs)) {
-    std::printf("error: cannot write %s\n", JsonPath);
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
     return 1;
   }
   if (Violated)

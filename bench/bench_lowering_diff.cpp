@@ -235,7 +235,7 @@ int main(int Argc, char **Argv) {
   std::printf("%s", T.str().c_str());
 
   if (JsonPath && !writeJson(JsonPath, Rows)) {
-    std::printf("error: cannot write %s\n", JsonPath);
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
     return 1;
   }
 

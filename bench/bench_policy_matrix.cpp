@@ -32,6 +32,7 @@
 #include "specai/SpecAI.h"
 
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -80,7 +81,7 @@ bool writeJson(const char *Path, const std::vector<PolicyTotals> &Rows,
 
 } // namespace
 
-int main(int Argc, char **Argv) {
+int runBench(int Argc, char **Argv) {
   const char *JsonPath = nullptr;
   std::vector<char *> Rest{Argv[0]};
   for (int I = 1; I < Argc; ++I) {
@@ -90,8 +91,14 @@ int main(int Argc, char **Argv) {
     }
     Rest.push_back(Argv[I]);
   }
-  unsigned Jobs =
-      parseJobsFlag(static_cast<int>(Rest.size()), Rest.data());
+  std::string JobsError;
+  std::optional<unsigned> JobsOpt = 
+      parseJobsFlag(static_cast<int>(Rest.size()), Rest.data(), JobsError);
+  if (!JobsOpt) { // Benches keep the historical fail-fast exit contract.
+    std::fprintf(stderr, "%s\n", JobsError.c_str());
+    return 1;
+  }
+  unsigned Jobs = *JobsOpt;
 
   std::printf("== Replacement-policy matrix: WCET kernels x {lru, fifo, "
               "plru} (64-line fully associative cache) ==\n");
@@ -164,8 +171,19 @@ int main(int Argc, char **Argv) {
               "must-hits(policy) <= must-hits(lru) on every kernel: OK\n");
 
   if (JsonPath && !writeJson(JsonPath, Totals, Kernels)) {
-    std::printf("error: cannot write %s\n", JsonPath);
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
     return 1;
   }
   return 0;
+}
+
+int main(int Argc, char **Argv) {
+  // requireRow throws (library code must not exit a host process; see
+  // driver/BatchRunner.h); benches keep the historical fail-fast exit.
+  try {
+    return runBench(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
 }

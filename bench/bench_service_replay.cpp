@@ -1,0 +1,296 @@
+//===- bench_service_replay.cpp - Verdict-cache replay throughput ----------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The headline measurement behind specaid (docs/SERVICE.md): an analysis
+/// trace with realistic duplication replayed through the service engine
+/// against the cost of answering every request with a fresh single-shot
+/// analysis.
+///
+/// The trace models a CI fleet re-analyzing mostly unchanged code: a small
+/// *head* of expensive deep-call programs (paper-default 512-line
+/// geometry) receives nearly all requests — every push re-checks the same
+/// hot kernels — while a long *tail* of small one-off programs appears
+/// once each. 10000 requests over 1000 unique programs (90% duplicates):
+/// 32 head programs soak up all 9000 repeats, 968 tail programs run once.
+///
+/// Phase 1 measures the cold single-shot cost of every unique program
+/// (this is also the oracle: each replayed verdict must be bit-identical
+/// to its single-shot digest). The no-daemon trace cost is then the exact
+/// sum over the trace of its request's cold cost — what `specai-cli` once
+/// per request would pay. Phase 2 replays the full trace through a
+/// ServiceEngine and checks verdicts, the hit count, and the throughput
+/// ratio. Phase 3 replays again with a different worker count and demands
+/// bit-identical digests and identical cache counters — the daemon's
+/// answers must not depend on its parallelism.
+///
+/// Exit code: 0 when every assertion holds (including replay throughput
+/// >= 100x single-shot), 1 otherwise. `--json FILE` writes the checked-in
+/// BENCH_service.json record.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace specai;
+
+namespace {
+
+// Trace shape. 90% duplicates: Trace - Head - Tail = 9000 repeat requests,
+// all landing on the Head programs.
+constexpr uint64_t TraceLen = 10000;
+constexpr uint64_t HeadCount = 32;
+constexpr uint64_t TailCount = 968;
+constexpr uint64_t UniqueCount = HeadCount + TailCount;
+constexpr uint64_t SeedBase = 4200;
+
+/// One unique program of the trace plus its single-shot reference.
+struct UniqueProgram {
+  ServiceRequest Request;
+  uint64_t ColdVerdict = 0;
+  double ColdSeconds = 0;
+};
+
+/// Head programs: deep-call generated programs (helper functions, loops)
+/// under the paper's 512-line geometry — the expensive kind a fleet
+/// re-analyzes on every push.
+ServiceRequest headRequest(uint64_t Index) {
+  ProgramGenOptions Gen;
+  Gen.Functions = true;
+  Gen.MinFunctions = 3;
+  Gen.MaxFunctions = 4;
+  Gen.MinStmts = 8;
+  Gen.MaxStmts = 12;
+  ServiceRequest Req;
+  Req.Source = ProgramGen(SeedBase + Index, Gen).generate().source();
+  Req.Cache = CacheConfig::paperDefault();
+  return Req;
+}
+
+/// Tail programs: small one-off sources on a tiny geometry — cheap
+/// individually, numerous collectively.
+ServiceRequest tailRequest(uint64_t Index) {
+  ServiceRequest Req;
+  Req.Source =
+      ProgramGen(SeedBase + HeadCount + Index).generate().source();
+  Req.Cache = CacheConfig::fullyAssociative(8);
+  return Req;
+}
+
+struct ReplayResult {
+  bool Ok = false;
+  uint64_t Hits = 0;
+  uint64_t AnalysesRun = 0;
+  double Seconds = 0;
+  std::vector<uint64_t> Digests;
+};
+
+ReplayResult replay(const std::vector<UniqueProgram> &Uniques,
+                    const std::vector<uint64_t> &Trace, unsigned Jobs) {
+  ServiceEngineOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheEntries = 4096;
+  Opts.QueueCapacity = 64;
+  ServiceEngine Engine(Opts);
+
+  ReplayResult Out;
+  Out.Digests.reserve(Trace.size());
+  Timer T;
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    ServiceRequest Req = Uniques[Trace[I]].Request;
+    Req.Id = I;
+    ServiceResponse Resp = Engine.handle(Req);
+    if (Resp.Status != ServiceStatus::Ok) {
+      std::fprintf(stderr, "error: request %zu (%s): %s\n", I,
+                   serviceStatusName(Resp.Status), Resp.Error.c_str());
+      return Out;
+    }
+    if (Resp.Cached)
+      ++Out.Hits;
+    Out.Digests.push_back(Resp.VerdictDigest);
+  }
+  Out.Seconds = T.seconds();
+  Out.AnalysesRun = Engine.stats().AnalysesRun;
+  Out.Ok = true;
+  return Out;
+}
+
+bool writeJson(const char *Path, double SingleShotSeconds,
+               const ReplayResult &A, const ReplayResult &B, unsigned JobsA,
+               unsigned JobsB, double Speedup) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(
+      F,
+      "{\n"
+      "  \"suite\": \"service-replay\",\n"
+      "  \"workload\": \"CI-fleet trace: hot deep-call head, one-off "
+      "tail\",\n"
+      "  \"trace_requests\": %llu,\n"
+      "  \"unique_programs\": %llu,\n"
+      "  \"head_programs\": %llu,\n"
+      "  \"tail_programs\": %llu,\n"
+      "  \"duplicate_share\": %.2f,\n"
+      "  \"seed_base\": %llu,\n"
+      "  \"single_shot_seconds\": %.3f,\n"
+      "  \"single_shot_rps\": %.1f,\n"
+      "  \"replay_seconds\": %.3f,\n"
+      "  \"replay_rps\": %.1f,\n"
+      "  \"speedup\": %.1f,\n"
+      "  \"cache_hits\": %llu,\n"
+      "  \"analyses_run\": %llu,\n"
+      "  \"verdicts_bit_identical_to_single_shot\": true,\n"
+      "  \"jobs_compared\": [%u, %u],\n"
+      "  \"replay_seconds_alt_jobs\": %.3f,\n"
+      "  \"jobs_invariant\": true\n"
+      "}\n",
+      static_cast<unsigned long long>(TraceLen),
+      static_cast<unsigned long long>(UniqueCount),
+      static_cast<unsigned long long>(HeadCount),
+      static_cast<unsigned long long>(TailCount),
+      static_cast<double>(TraceLen - UniqueCount) /
+          static_cast<double>(TraceLen),
+      static_cast<unsigned long long>(SeedBase), SingleShotSeconds,
+      static_cast<double>(TraceLen) / SingleShotSeconds, A.Seconds,
+      static_cast<double>(TraceLen) / A.Seconds, Speedup,
+      static_cast<unsigned long long>(A.Hits),
+      static_cast<unsigned long long>(A.AnalysesRun), JobsA, JobsB,
+      B.Seconds);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--json FILE]\n", Argv[0]);
+    return 1;
+  }
+
+  // Phase 1: cold single-shot reference for every unique program. These
+  // digests are the correctness oracle; the per-program seconds feed the
+  // no-daemon cost model.
+  std::printf("phase 1: %llu unique programs, cold single-shot runs\n",
+              static_cast<unsigned long long>(UniqueCount));
+  std::vector<UniqueProgram> Uniques(UniqueCount);
+  double HeadSeconds = 0, TailSeconds = 0;
+  for (uint64_t I = 0; I != UniqueCount; ++I) {
+    UniqueProgram &U = Uniques[I];
+    U.Request = I < HeadCount ? headRequest(I) : tailRequest(I - HeadCount);
+    Timer T;
+    RunOutcome Out = runRequest(U.Request.toRunRequest());
+    U.ColdSeconds = T.seconds();
+    if (!Out.Ok) {
+      std::fprintf(stderr, "error: unique %llu failed to analyze: %s\n",
+                   static_cast<unsigned long long>(I), Out.Error.c_str());
+      return 1;
+    }
+    U.ColdVerdict = verdictDigest(Out.Row);
+    (I < HeadCount ? HeadSeconds : TailSeconds) += U.ColdSeconds;
+  }
+  std::printf("  head: %llu programs, %.3fs total (%.1f ms mean)\n",
+              static_cast<unsigned long long>(HeadCount), HeadSeconds,
+              1000 * HeadSeconds / HeadCount);
+  std::printf("  tail: %llu programs, %.3fs total (%.2f ms mean)\n",
+              static_cast<unsigned long long>(TailCount), TailSeconds,
+              1000 * TailSeconds / TailCount);
+
+  // The trace: every unique once (misses), then 9000 repeats drawn from
+  // the head. Deterministic from the seed.
+  std::vector<uint64_t> Trace;
+  Trace.reserve(TraceLen);
+  for (uint64_t I = 0; I != UniqueCount; ++I)
+    Trace.push_back(I);
+  Rng Pick(SeedBase);
+  while (Trace.size() != TraceLen)
+    Trace.push_back(Pick.nextBelow(HeadCount));
+
+  // What the trace costs with no daemon: its requests at their measured
+  // cold price.
+  double SingleShotSeconds = 0;
+  for (uint64_t U : Trace)
+    SingleShotSeconds += Uniques[U].ColdSeconds;
+  std::printf("single-shot trace cost: %.1fs extrapolated (%.1f req/s)\n",
+              SingleShotSeconds,
+              static_cast<double>(TraceLen) / SingleShotSeconds);
+
+  // Phase 2: the same trace through the service engine.
+  std::printf("phase 2: replaying %llu requests through the engine\n",
+              static_cast<unsigned long long>(TraceLen));
+  const unsigned JobsA = 1;
+  ReplayResult A = replay(Uniques, Trace, JobsA);
+  if (!A.Ok)
+    return 1;
+
+  bool Pass = true;
+  for (size_t I = 0; I != Trace.size(); ++I)
+    if (A.Digests[I] != Uniques[Trace[I]].ColdVerdict) {
+      std::fprintf(stderr,
+                   "FAIL: request %zu verdict 0x%016llx != single-shot "
+                   "0x%016llx\n",
+                   I, static_cast<unsigned long long>(A.Digests[I]),
+                   static_cast<unsigned long long>(
+                       Uniques[Trace[I]].ColdVerdict));
+      Pass = false;
+      break;
+    }
+  const uint64_t WantHits = TraceLen - UniqueCount;
+  if (A.Hits != WantHits || A.AnalysesRun != UniqueCount) {
+    std::fprintf(stderr,
+                 "FAIL: expected %llu hits / %llu analyses, got %llu / "
+                 "%llu\n",
+                 static_cast<unsigned long long>(WantHits),
+                 static_cast<unsigned long long>(UniqueCount),
+                 static_cast<unsigned long long>(A.Hits),
+                 static_cast<unsigned long long>(A.AnalysesRun));
+    Pass = false;
+  }
+  double Speedup = SingleShotSeconds / A.Seconds;
+  std::printf("replay: %.3fs (%.0f req/s), %llu hits, speedup %.0fx\n",
+              A.Seconds, static_cast<double>(TraceLen) / A.Seconds,
+              static_cast<unsigned long long>(A.Hits), Speedup);
+  if (Speedup < 100) {
+    std::fprintf(stderr, "FAIL: replay speedup %.1fx < 100x\n", Speedup);
+    Pass = false;
+  }
+
+  // Phase 3: a different worker count must not change a single verdict
+  // or counter — only the wall clock.
+  const unsigned JobsB = 4;
+  std::printf("phase 3: jobs invariance (%u vs %u workers)\n", JobsA, JobsB);
+  ReplayResult B = replay(Uniques, Trace, JobsB);
+  if (!B.Ok)
+    return 1;
+  if (B.Digests != A.Digests || B.Hits != A.Hits ||
+      B.AnalysesRun != A.AnalysesRun) {
+    std::fprintf(stderr, "FAIL: %u-job replay diverged from %u-job replay\n",
+                 JobsB, JobsA);
+    Pass = false;
+  } else {
+    std::printf("  identical digests and counters (%.3fs)\n", B.Seconds);
+  }
+
+  if (JsonPath && Pass &&
+      !writeJson(JsonPath, SingleShotSeconds, A, B, JobsA, JobsB, Speedup)) {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+    return 1;
+  }
+  std::printf("%s\n", Pass ? "PASS" : "FAIL");
+  return Pass ? 0 : 1;
+}

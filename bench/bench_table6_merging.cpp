@@ -25,6 +25,7 @@
 #include "specai/SpecAI.h"
 
 #include <cstdio>
+#include <exception>
 
 using namespace specai;
 
@@ -100,8 +101,14 @@ std::vector<BatchVariant> strategyVariants() {
 
 } // namespace
 
-int main(int Argc, char **Argv) {
-  unsigned Jobs = parseJobsFlag(Argc, Argv); // 0 = all hardware threads.
+int runBench(int Argc, char **Argv) {
+  std::string JobsError;
+  std::optional<unsigned> JobsOpt = parseJobsFlag(Argc, Argv, JobsError);
+  if (!JobsOpt) { // Benches keep the historical fail-fast exit contract.
+    std::fprintf(stderr, "%s\n", JobsError.c_str());
+    return 1;
+  }
+  unsigned Jobs = *JobsOpt; // 0 = all hardware threads.
 
   std::printf("== Table 6: merging strategies for speculative states ==\n");
   TableWriter T({"Name", "Rollback-Time", "RB-#Miss", "RB-#SpMiss", "RB-#Ite",
@@ -144,4 +151,15 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(JitNotWorseThanRollback),
               static_cast<unsigned long long>(Total));
   return reportBaselineWorklist() ? 0 : 1;
+}
+
+int main(int Argc, char **Argv) {
+  // requireRow throws (library code must not exit a host process; see
+  // driver/BatchRunner.h); benches keep the historical fail-fast exit.
+  try {
+    return runBench(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
 }

@@ -7,14 +7,16 @@
 
 #include "driver/BatchRunner.h"
 
+#include "fuzz/StateDigest.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <atomic>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 
 using namespace specai;
@@ -75,48 +77,94 @@ void specai::parallelFor(unsigned Jobs, size_t Count,
   }
   unsigned Workers = static_cast<unsigned>(std::min<size_t>(Jobs, Count));
 
+  // An exception escaping a std::thread calls std::terminate, which would
+  // take down not just this sweep but the whole process hosting it — fatal
+  // for the specaid daemon, where one bad request must not kill the
+  // server. Capture the first exception, let every worker quiesce, and
+  // rethrow on the caller once all threads are joined.
   std::atomic<size_t> NextIndex{0};
+  std::atomic<bool> Abort{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorLock;
   auto Work = [&]() {
-    while (true) {
+    while (!Abort.load(std::memory_order_relaxed)) {
       size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
       if (I >= Count)
         return;
-      Fn(I);
+      try {
+        Fn(I);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> Guard(ErrorLock);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
+        Abort.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
 
   if (Workers <= 1) {
     Work();
-    return;
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
   }
-  std::vector<std::thread> Pool;
-  Pool.reserve(Workers);
-  for (unsigned W = 0; W != Workers; ++W)
-    Pool.emplace_back(Work);
-  for (std::thread &T : Pool)
-    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
 }
 
-unsigned specai::parseJobsFlag(int Argc, char **Argv) {
+std::optional<unsigned> specai::parseJobsFlag(int Argc, char **Argv,
+                                              std::string &Error) {
   unsigned Jobs = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--jobs") != 0) {
-      std::printf("error: unknown argument '%s' (only --jobs N)\n", Argv[I]);
-      std::exit(1);
+      Error = std::string("error: unknown argument '") + Argv[I] +
+              "' (only --jobs N)";
+      return std::nullopt;
     }
     if (I + 1 >= Argc) {
-      std::printf("error: --jobs needs a value\n");
-      std::exit(1);
+      Error = "error: --jobs needs a value";
+      return std::nullopt;
     }
     std::optional<unsigned> Value = parseUnsigned(Argv[++I]);
     if (!Value) {
-      std::printf("error: --jobs needs a non-negative number, got '%s'\n",
-                  Argv[I]);
-      std::exit(1);
+      Error = std::string("error: --jobs needs a non-negative number, "
+                          "got '") +
+              Argv[I] + "'";
+      return std::nullopt;
     }
     Jobs = *Value;
   }
   return Jobs;
+}
+
+RunOutcome specai::runRequest(const RunRequest &Req) {
+  RunOutcome Out;
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Req.Source, Diags, Req.Lowering);
+  if (!CP) {
+    Out.Error = Diags.str();
+    return Out;
+  }
+  // Content digest of the lowered module: entry IR first, then every
+  // callee in CompiledProgram::Callees order (deterministic — bottom-up
+  // call-graph order fixed by the lowering).
+  Out.ProgramDigest = fnv1a(CP->P->str());
+  for (const std::unique_ptr<CompiledProgram> &Callee : CP->Callees)
+    Out.ProgramDigest = fnv1a(Callee->P->str(), Out.ProgramDigest);
+
+  BatchVariant V;
+  V.Options = Req.Options;
+  V.DetectLeaks = Req.DetectLeaks;
+  Out.Row = runVariant(*CP, V);
+  Out.Ok = true;
+  return Out;
 }
 
 std::string BatchVariant::describe(const MustHitOptions &Options) {
@@ -167,8 +215,10 @@ const BatchRow *BatchReport::findRow(const std::string &Label) const {
 const BatchRow &BatchReport::requireRow(const std::string &Label) const {
   if (const BatchRow *Row = findRow(Label))
     return *Row;
-  std::printf("error: no '%s' row in sweep\n", Label.c_str());
-  std::exit(1);
+  // Throwing (instead of the historical printf + exit(1)) keeps a daemon
+  // hosting this library alive on a malformed sweep; fail-fast consumers
+  // like the benches catch at the call site and exit themselves.
+  throw std::out_of_range("no '" + Label + "' row in sweep");
 }
 
 bool BatchReport::sameResults(const BatchReport &RHS) const {

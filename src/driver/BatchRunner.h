@@ -32,6 +32,7 @@
 #include "support/Table.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ namespace specai {
 /// jobs-invariant results by writing into index-addressed slots, the same
 /// discipline BatchRunner::run uses for its rows — the fuzz campaign fans
 /// whole programs out through this as well.
+///
+/// Exception safety: an exception thrown by \p Fn does not escape a worker
+/// thread (which would std::terminate the whole process — fatal for the
+/// long-lived specaid daemon, docs/SERVICE.md). The first exception is
+/// captured, the remaining workers stop claiming new indices and are
+/// joined, and the exception is rethrown on the calling thread. Indices
+/// already claimed by other workers may still run to completion.
 void parallelFor(unsigned Jobs, size_t Count,
                  const std::function<void(size_t)> &Fn);
 
@@ -116,8 +124,11 @@ struct BatchReport {
   /// reordered sweep fails loudly instead of mislabeling columns.
   const BatchRow *findRow(const std::string &Label) const;
 
-  /// Like findRow, but prints an error and exits(1) when the row is
-  /// missing — for benches whose table columns hard-code variant labels.
+  /// Like findRow, but throws std::out_of_range when the row is missing —
+  /// for consumers whose table columns hard-code variant labels. Benches
+  /// keep their fail-fast behavior by catching at the call site (or not at
+  /// all); library code hosting a daemon must never exit() on a malformed
+  /// sweep, so this reports instead of killing the process.
   const BatchRow &requireRow(const std::string &Label) const;
 
   /// True when both reports hold the same rows (timings ignored).
@@ -181,12 +192,48 @@ private:
   unsigned Jobs;
 };
 
+/// One self-contained analysis request: source text plus every knob that
+/// can change the verdict. This is the unit the specaid service caches by
+/// content digest (docs/SERVICE.md); single-shot consumers can use it too.
+struct RunRequest {
+  std::string Source;
+  LoweringOptions Lowering;
+  MustHitOptions Options;
+  /// Also run the side-channel detector (like BatchVariant::DetectLeaks).
+  bool DetectLeaks = true;
+};
+
+/// Outcome of runRequest. Unlike the CLI front ends this never exits and
+/// never prints: compile failures come back as Ok = false with the
+/// rendered diagnostics, so a daemon can turn them into error responses.
+struct RunOutcome {
+  bool Ok = false;
+  /// Rendered DiagnosticEngine output when !Ok.
+  std::string Error;
+  /// FNV-1a over the lowered IR of the entry and (Summarize mode) every
+  /// callee — the content-addressed "program" half of a verdict-cache key.
+  /// Two sources that lower to identical IR share a digest; any change to
+  /// lowering mode, entry, or unroll limits that alters the IR splits it.
+  uint64_t ProgramDigest = 0;
+  /// The condensed verdict, identical to what a BatchRunner sweep of this
+  /// one variant would produce (bit-identical counters, leak sites).
+  BatchRow Row;
+};
+
+/// Compiles and analyzes one request. Pure library code: reports errors
+/// through the outcome instead of printf/exit, safe to call from daemon
+/// worker threads. The verdict is bit-identical to `specai-cli` on the
+/// same source and options.
+RunOutcome runRequest(const RunRequest &Req);
+
 /// Parses a bench-style command line that accepts only `--jobs N`.
-/// Returns 0 (all cores) when the flag is absent; prints an error and
-/// exits(1) on a valueless --jobs, a non-numeric N, or any unknown
+/// Returns 0 (all cores) when the flag is absent; returns nullopt and
+/// fills \p Error on a valueless --jobs, a non-numeric N, or any unknown
 /// argument — a silently dropped flag would report contended timings the
-/// user believes are serial.
-unsigned parseJobsFlag(int Argc, char **Argv);
+/// user believes are serial. Benches fail fast at the call site (print to
+/// stderr, exit nonzero); library code must not, so this never exits.
+std::optional<unsigned> parseJobsFlag(int Argc, char **Argv,
+                                      std::string &Error);
 
 } // namespace specai
 

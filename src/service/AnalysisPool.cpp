@@ -1,0 +1,84 @@
+//===- AnalysisPool.cpp - Bounded priority worker pool --------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisPool.h"
+
+using namespace specai;
+
+AnalysisPool::AnalysisPool(unsigned Jobs, size_t QueueCapacity)
+    : QueueCapacity(QueueCapacity == 0 ? 1 : QueueCapacity) {
+  if (Jobs == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Jobs = HW == 0 ? 1 : HW;
+  }
+  Workers.reserve(Jobs);
+  for (unsigned I = 0; I != Jobs; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+AnalysisPool::~AnalysisPool() { shutdown(); }
+
+bool AnalysisPool::tryEnqueue(int64_t Priority, std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    if (Stopping || Queue.size() >= QueueCapacity) {
+      ++Rejected;
+      return false;
+    }
+    Queue.push(Item{Priority, NextSeq++, std::move(Job)});
+  }
+  WorkReady.notify_one();
+  return true;
+}
+
+void AnalysisPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    if (Stopping && Workers.empty())
+      return;
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+}
+
+uint64_t AnalysisPool::rejectedCount() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Rejected;
+}
+
+uint64_t AnalysisPool::faultedCount() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Faulted;
+}
+
+void AnalysisPool::workerLoop() {
+  while (true) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      WorkReady.wait(Guard, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      // priority_queue::top is const (heap invariants); the move out of
+      // the callable is safe because pop() follows immediately.
+      Job = std::move(const_cast<Item &>(Queue.top()).Job);
+      Queue.pop();
+    }
+    try {
+      Job();
+    } catch (...) {
+      // A job that throws must not take the daemon down with
+      // std::terminate. The job's own promise machinery reports errors;
+      // this counter only surfaces that the safety net was hit.
+      std::lock_guard<std::mutex> Guard(Lock);
+      ++Faulted;
+    }
+  }
+}

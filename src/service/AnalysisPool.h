@@ -1,0 +1,97 @@
+//===- AnalysisPool.h - Bounded priority worker pool ------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specaid daemon's analysis scheduler (docs/SERVICE.md). Unlike
+/// `parallelFor` — which fans a *known* index range out and joins — this
+/// pool is long-lived: connection threads enqueue analysis jobs as
+/// requests arrive, persistent workers drain them, and the queue is
+/// explicitly bounded. `tryEnqueue` never blocks and never grows the
+/// queue past its capacity; a full queue is reported to the caller, who
+/// turns it into an `overloaded` response. That makes overload a protocol
+/// event the client can see and retry, instead of unbounded memory growth
+/// and silent latency inside the daemon.
+///
+/// Jobs carry a priority: higher runs first, FIFO within a priority (a
+/// monotonic sequence number breaks ties, so equal-priority jobs cannot
+/// starve each other). Worker threads wrap each job in a catch-all so a
+/// throwing job can never std::terminate the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SERVICE_ANALYSISPOOL_H
+#define SPECAI_SERVICE_ANALYSISPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace specai {
+
+/// Fixed-size pool of persistent workers draining a bounded priority
+/// queue.
+class AnalysisPool {
+public:
+  /// \p Jobs workers (0 = hardware concurrency); \p QueueCapacity bounds
+  /// the number of *queued* (not yet running) jobs.
+  explicit AnalysisPool(unsigned Jobs, size_t QueueCapacity);
+  ~AnalysisPool();
+
+  AnalysisPool(const AnalysisPool &) = delete;
+  AnalysisPool &operator=(const AnalysisPool &) = delete;
+
+  /// Enqueues \p Job at \p Priority (higher runs first). Returns false —
+  /// without blocking or queuing — when the queue is at capacity or the
+  /// pool is shutting down.
+  bool tryEnqueue(int64_t Priority, std::function<void()> Job);
+
+  /// Stops accepting work, drains the queue, and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  unsigned jobCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Jobs rejected by tryEnqueue since construction.
+  uint64_t rejectedCount() const;
+  /// Jobs whose callable threw (the exception was swallowed by the
+  /// worker's catch-all; the job itself is responsible for reporting).
+  uint64_t faultedCount() const;
+
+private:
+  struct Item {
+    int64_t Priority = 0;
+    uint64_t Seq = 0;
+    std::function<void()> Job;
+  };
+  struct ItemOrder {
+    bool operator()(const Item &A, const Item &B) const {
+      if (A.Priority != B.Priority)
+        return A.Priority < B.Priority; // Larger priority on top.
+      return A.Seq > B.Seq;             // Then earlier arrival on top.
+    }
+  };
+
+  void workerLoop();
+
+  mutable std::mutex Lock;
+  std::condition_variable WorkReady;
+  std::priority_queue<Item, std::vector<Item>, ItemOrder> Queue;
+  size_t QueueCapacity;
+  uint64_t NextSeq = 0;
+  uint64_t Rejected = 0;
+  uint64_t Faulted = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SERVICE_ANALYSISPOOL_H

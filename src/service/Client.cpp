@@ -1,0 +1,119 @@
+//===- Client.cpp - Thin client for the specaid daemon --------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace specai;
+
+struct ServiceClient::Impl {
+  int Fd = -1;
+  std::string Buffer;
+  std::string LastLine;
+
+  ~Impl() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool writeAll(const std::string &Line, std::string &Error) {
+    size_t Off = 0;
+    while (Off < Line.size()) {
+      ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+      if (N <= 0) {
+        Error = std::string("write: ") + std::strerror(errno);
+        return false;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  bool readLine(std::string &Line, std::string &Error) {
+    char Chunk[4096];
+    while (true) {
+      size_t Nl = Buffer.find('\n');
+      if (Nl != std::string::npos) {
+        Line = Buffer.substr(0, Nl);
+        Buffer.erase(0, Nl + 1);
+        return true;
+      }
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0) {
+        Error = std::string("read: ") + std::strerror(errno);
+        return false;
+      }
+      if (N == 0) {
+        Error = "connection closed by the daemon";
+        return false;
+      }
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+};
+
+ServiceClient::ServiceClient() : I(std::make_unique<Impl>()) {}
+ServiceClient::~ServiceClient() = default;
+
+bool ServiceClient::connect(const std::string &SocketPath,
+                            std::string &Error) {
+  close();
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = std::string("connect ") + SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  I->Fd = Fd;
+  return true;
+}
+
+bool ServiceClient::call(const ServiceRequest &Req, ServiceResponse &Resp,
+                         std::string &Error) {
+  if (I->Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!I->writeAll(Req.toJson() + "\n", Error))
+    return false;
+  std::string Line;
+  if (!I->readLine(Line, Error))
+    return false;
+  if (!ServiceResponse::fromJson(Line, Resp, Error))
+    return false;
+  I->LastLine = std::move(Line);
+  return true;
+}
+
+const std::string &ServiceClient::lastLine() const { return I->LastLine; }
+
+bool ServiceClient::connected() const { return I->Fd >= 0; }
+
+void ServiceClient::close() {
+  if (I->Fd >= 0) {
+    ::close(I->Fd);
+    I->Fd = -1;
+  }
+  I->Buffer.clear();
+}

@@ -1,0 +1,60 @@
+//===- Client.h - Thin client for the specaid daemon ------------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client side of the specaid protocol (docs/SERVICE.md): connect
+/// to the daemon's Unix socket, send one request line, read one response
+/// line. One connection may carry any number of sequential calls. Socket
+/// details live behind a pimpl, like the server's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SERVICE_CLIENT_H
+#define SPECAI_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <memory>
+#include <string>
+
+namespace specai {
+
+/// Blocking connection to a running specaid daemon.
+class ServiceClient {
+public:
+  ServiceClient();
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. False + \p Error on
+  /// failure.
+  bool connect(const std::string &SocketPath, std::string &Error);
+
+  /// Sends \p Req and blocks for the response. False + \p Error on
+  /// transport or parse failure (a response with status `error` is still
+  /// a *successful* call — inspect \p Resp.Status).
+  bool call(const ServiceRequest &Req, ServiceResponse &Resp,
+            std::string &Error);
+
+  /// The raw response line of the last successful call — for ops like
+  /// `stats` whose responses carry fields beyond the ServiceResponse
+  /// schema.
+  const std::string &lastLine() const;
+
+  bool connected() const;
+  void close();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SERVICE_CLIENT_H

@@ -1,0 +1,535 @@
+//===- Protocol.cpp - specaid request/response wire protocol --------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "fuzz/StateDigest.h"
+#include "service/Json.h"
+
+#include <cstdio>
+
+using namespace specai;
+
+const char *specai::serviceOpName(ServiceOp Op) {
+  switch (Op) {
+  case ServiceOp::Analyze:
+    return "analyze";
+  case ServiceOp::Ping:
+    return "ping";
+  case ServiceOp::Stats:
+    return "stats";
+  case ServiceOp::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+bool specai::parseServiceOp(const std::string &Name, ServiceOp &Out) {
+  for (ServiceOp Op : {ServiceOp::Analyze, ServiceOp::Ping, ServiceOp::Stats,
+                       ServiceOp::Shutdown})
+    if (Name == serviceOpName(Op)) {
+      Out = Op;
+      return true;
+    }
+  return false;
+}
+
+const char *specai::serviceStatusName(ServiceStatus S) {
+  switch (S) {
+  case ServiceStatus::Ok:
+    return "ok";
+  case ServiceStatus::Error:
+    return "error";
+  case ServiceStatus::Overloaded:
+    return "overloaded";
+  }
+  return "?";
+}
+
+bool specai::parseServiceStatus(const std::string &Name, ServiceStatus &Out) {
+  for (ServiceStatus S :
+       {ServiceStatus::Ok, ServiceStatus::Error, ServiceStatus::Overloaded})
+    if (Name == serviceStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+const char *boundingName(BoundingMode Mode) {
+  return Mode == BoundingMode::Fixed ? "fixed" : "dynamic";
+}
+
+bool parseBounding(const std::string &Name, BoundingMode &Out) {
+  if (Name == "fixed")
+    Out = BoundingMode::Fixed;
+  else if (Name == "dynamic")
+    Out = BoundingMode::Dynamic;
+  else
+    return false;
+  return true;
+}
+
+bool parseStrategy(const std::string &Name, MergeStrategy &Out) {
+  for (MergeStrategy S :
+       {MergeStrategy::NoMerge, MergeStrategy::MergeAtExit,
+        MergeStrategy::JustInTime, MergeStrategy::MergeAtRollback})
+    if (Name == mergeStrategyName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
+/// Fetches an integer field, rejecting values outside [0, Max].
+bool takeUInt(const JsonObject &O, const char *Key, uint64_t Max,
+              uint64_t &Out, std::string &Error) {
+  auto It = O.find(Key);
+  if (It == O.end())
+    return true; // Absent: keep the default.
+  if (It->second.K != JsonValue::Kind::Int || It->second.I < 0 ||
+      static_cast<uint64_t>(It->second.I) > Max) {
+    Error = std::string("request: bad '") + Key + "'";
+    return false;
+  }
+  Out = static_cast<uint64_t>(It->second.I);
+  return true;
+}
+
+bool takeBool(const JsonObject &O, const char *Key, bool &Out,
+              std::string &Error) {
+  auto It = O.find(Key);
+  if (It == O.end())
+    return true;
+  if (It->second.K != JsonValue::Kind::Bool) {
+    Error = std::string("request: bad '") + Key + "'";
+    return false;
+  }
+  Out = It->second.B;
+  return true;
+}
+
+const std::string *takeString(const JsonObject &O, const char *Key) {
+  auto It = O.find(Key);
+  if (It == O.end() || It->second.K != JsonValue::Kind::String)
+    return nullptr;
+  return &It->second.S;
+}
+
+} // namespace
+
+MustHitOptions ServiceRequest::toMustHitOptions() const {
+  MustHitOptions O;
+  O.Cache = Cache;
+  O.Speculative = Speculative;
+  O.UseShadow = UseShadow;
+  O.Strategy = Strategy;
+  O.DepthMiss = DepthMiss;
+  O.DepthHit = DepthHit;
+  O.Bounding = Bounding;
+  O.IterativeDepthRefinement = Refine;
+  return O;
+}
+
+LoweringOptions ServiceRequest::toLoweringOptions() const {
+  LoweringOptions O;
+  O.EntryFunction = Entry;
+  O.Mode = Mode;
+  return O;
+}
+
+RunRequest ServiceRequest::toRunRequest() const {
+  RunRequest R;
+  R.Source = Source;
+  R.Lowering = toLoweringOptions();
+  R.Options = toMustHitOptions();
+  R.DetectLeaks = DetectLeaks;
+  return R;
+}
+
+std::string ServiceRequest::loweringKey() const {
+  // Entry and mode are the only lowering knobs the protocol exposes; both
+  // change the compiled IR, so both key the source -> digest memo.
+  std::string K = "entry=";
+  K += Entry;
+  K += ";lowering=";
+  K += loweringModeName(Mode);
+  return K;
+}
+
+std::string ServiceRequest::optionKey() const {
+  // Every verdict-visible option in a fixed order. The lowering knobs are
+  // included even though they also shift the program digest: the key
+  // string doubles as the collision guard, and a guard that under-reports
+  // the request cannot distinguish colliding digests.
+  std::string K = loweringKey();
+  K += ";lines=";
+  K += std::to_string(Cache.NumLines);
+  K += ";line_size=";
+  K += std::to_string(Cache.LineSize);
+  K += ";assoc=";
+  K += std::to_string(Cache.Associativity);
+  K += ";policy=";
+  K += replacementPolicyName(Cache.Policy);
+  K += ";spec=";
+  K += Speculative ? '1' : '0';
+  K += ";shadow=";
+  K += UseShadow ? '1' : '0';
+  K += ";strategy=";
+  K += mergeStrategyName(Strategy);
+  K += ";depth_miss=";
+  K += std::to_string(DepthMiss);
+  K += ";depth_hit=";
+  K += std::to_string(DepthHit);
+  K += ";bounding=";
+  K += boundingName(Bounding);
+  K += ";refine=";
+  K += Refine ? '1' : '0';
+  K += ";leaks=";
+  K += DetectLeaks ? '1' : '0';
+  return K;
+}
+
+std::string ServiceRequest::toJson() const {
+  JsonWriter W;
+  W.field("op", serviceOpName(Op));
+  W.field("id", Id);
+  if (Priority != 0)
+    W.field("priority", Priority);
+  if (Op != ServiceOp::Analyze)
+    return W.finish();
+  W.field("source", Source);
+  W.field("entry", Entry);
+  W.field("lowering", loweringModeName(Mode));
+  W.field("lines", static_cast<uint64_t>(Cache.NumLines));
+  W.field("line_size", static_cast<uint64_t>(Cache.LineSize));
+  W.field("assoc", static_cast<uint64_t>(Cache.Associativity));
+  W.field("policy", replacementPolicyName(Cache.Policy));
+  W.field("strategy", mergeStrategyName(Strategy));
+  W.field("bounding", boundingName(Bounding));
+  W.field("spec", Speculative);
+  W.field("shadow", UseShadow);
+  W.field("depth_miss", static_cast<uint64_t>(DepthMiss));
+  W.field("depth_hit", static_cast<uint64_t>(DepthHit));
+  W.field("refine", Refine);
+  W.field("leaks", DetectLeaks);
+  return W.finish();
+}
+
+bool ServiceRequest::fromJson(const std::string &Line, ServiceRequest &Out,
+                              std::string &Error) {
+  JsonObject O;
+  if (!parseJsonObject(Line, O, Error))
+    return false;
+  Out = ServiceRequest();
+
+  static const char *const Known[] = {
+      "op",       "id",      "priority",  "source",    "entry",
+      "lowering", "lines",   "line_size", "assoc",     "policy",
+      "strategy", "bounding", "spec",     "shadow",    "depth_miss",
+      "depth_hit", "refine", "leaks"};
+  for (const auto &[Key, Value] : O) {
+    bool Ok = false;
+    for (const char *K : Known)
+      Ok |= Key == K;
+    if (!Ok) {
+      Error = "request: unknown key '" + Key + "'";
+      return false;
+    }
+  }
+
+  if (const std::string *S = takeString(O, "op")) {
+    if (!parseServiceOp(*S, Out.Op)) {
+      Error = "request: unknown op '" + *S + "'";
+      return false;
+    }
+  } else if (O.count("op")) {
+    Error = "request: bad 'op'";
+    return false;
+  }
+
+  uint64_t U = 0;
+  if (!takeUInt(O, "id", UINT64_MAX >> 1, U, Error))
+    return false;
+  Out.Id = O.count("id") ? U : 0;
+  if (auto It = O.find("priority"); It != O.end()) {
+    if (It->second.K != JsonValue::Kind::Int) {
+      Error = "request: bad 'priority'";
+      return false;
+    }
+    Out.Priority = It->second.I;
+  }
+
+  if (Out.Op != ServiceOp::Analyze) {
+    // Control requests must not smuggle analysis fields; a stats probe
+    // carrying a 'source' is a client bug worth surfacing.
+    for (const char *K : {"source", "entry", "lowering", "lines", "line_size",
+                          "assoc", "policy", "strategy", "bounding", "spec",
+                          "shadow", "depth_miss", "depth_hit", "refine",
+                          "leaks"})
+      if (O.count(K)) {
+        Error = std::string("request: '") + K + "' is not valid for op '" +
+                serviceOpName(Out.Op) + "'";
+        return false;
+      }
+    return true;
+  }
+
+  const std::string *Src = takeString(O, "source");
+  if (!Src) {
+    Error = "request: analyze needs a string 'source'";
+    return false;
+  }
+  Out.Source = *Src;
+  if (const std::string *S = takeString(O, "entry")) {
+    if (S->empty()) {
+      Error = "request: empty 'entry'";
+      return false;
+    }
+    Out.Entry = *S;
+  }
+  if (const std::string *S = takeString(O, "lowering")) {
+    if (!parseLoweringMode(*S, Out.Mode)) {
+      Error = "request: unknown lowering '" + *S + "'";
+      return false;
+    }
+  }
+  if (const std::string *S = takeString(O, "policy")) {
+    if (!parseReplacementPolicy(*S, Out.Cache.Policy)) {
+      Error = "request: unknown policy '" + *S + "'";
+      return false;
+    }
+  }
+  if (const std::string *S = takeString(O, "strategy")) {
+    if (!parseStrategy(*S, Out.Strategy)) {
+      Error = "request: unknown strategy '" + *S + "'";
+      return false;
+    }
+  }
+  if (const std::string *S = takeString(O, "bounding")) {
+    if (!parseBounding(*S, Out.Bounding)) {
+      Error = "request: unknown bounding '" + *S + "'";
+      return false;
+    }
+  }
+
+  if (!takeUInt(O, "lines", 1u << 24, U, Error))
+    return false;
+  if (O.count("lines"))
+    Out.Cache.NumLines = static_cast<uint32_t>(U);
+  if (!takeUInt(O, "line_size", 1u << 16, U, Error))
+    return false;
+  if (O.count("line_size"))
+    Out.Cache.LineSize = static_cast<uint32_t>(U);
+  if (!takeUInt(O, "assoc", 1u << 24, U, Error))
+    return false;
+  if (O.count("assoc"))
+    Out.Cache.Associativity = static_cast<uint32_t>(U);
+  if (!takeUInt(O, "depth_miss", 1u << 20, U, Error))
+    return false;
+  if (O.count("depth_miss"))
+    Out.DepthMiss = static_cast<uint32_t>(U);
+  if (!takeUInt(O, "depth_hit", 1u << 20, U, Error))
+    return false;
+  if (O.count("depth_hit"))
+    Out.DepthHit = static_cast<uint32_t>(U);
+
+  if (!takeBool(O, "spec", Out.Speculative, Error) ||
+      !takeBool(O, "shadow", Out.UseShadow, Error) ||
+      !takeBool(O, "refine", Out.Refine, Error) ||
+      !takeBool(O, "leaks", Out.DetectLeaks, Error))
+    return false;
+
+  if (!Out.Cache.isValid()) {
+    Error = "request: invalid cache geometry";
+    return false;
+  }
+  return true;
+}
+
+ServiceResponse ServiceResponse::fromRow(const BatchRow &Row) {
+  ServiceResponse R;
+  R.Status = ServiceStatus::Ok;
+  R.AccessNodes = Row.AccessNodes;
+  R.MissCount = Row.MissCount;
+  R.SpMissCount = Row.SpMissCount;
+  R.BranchCount = Row.BranchCount;
+  R.Iterations = Row.Iterations;
+  R.RefinementRounds = Row.RefinementRounds;
+  R.Converged = Row.Converged;
+  R.LeaksChecked = Row.LeaksChecked;
+  R.LeakCount = Row.LeakCount;
+  R.ProvenLeakFree = Row.ProvenLeakFree;
+  R.LeakSites = Row.LeakSites;
+  R.Seconds = Row.Seconds;
+  R.VerdictDigest = verdictDigest(Row);
+  return R;
+}
+
+bool ServiceResponse::sameVerdict(const ServiceResponse &RHS) const {
+  return Status == RHS.Status && VerdictDigest == RHS.VerdictDigest &&
+         AccessNodes == RHS.AccessNodes && MissCount == RHS.MissCount &&
+         SpMissCount == RHS.SpMissCount && BranchCount == RHS.BranchCount &&
+         Iterations == RHS.Iterations &&
+         RefinementRounds == RHS.RefinementRounds &&
+         Converged == RHS.Converged && LeaksChecked == RHS.LeaksChecked &&
+         LeakCount == RHS.LeakCount && ProvenLeakFree == RHS.ProvenLeakFree &&
+         LeakSites == RHS.LeakSites;
+}
+
+std::string ServiceResponse::toJson() const {
+  JsonWriter W;
+  W.field("status", serviceStatusName(Status));
+  W.field("id", Id);
+  if (Status == ServiceStatus::Error || Status == ServiceStatus::Overloaded) {
+    if (!Error.empty())
+      W.field("error", Error);
+    if (RequestDigest)
+      W.hexField("request_digest", RequestDigest);
+    return W.finish();
+  }
+  W.field("cached", Cached);
+  W.hexField("request_digest", RequestDigest);
+  W.hexField("verdict_digest", VerdictDigest);
+  W.field("access_nodes", AccessNodes);
+  W.field("miss_count", MissCount);
+  W.field("sp_miss_count", SpMissCount);
+  W.field("branch_count", BranchCount);
+  W.field("iterations", Iterations);
+  W.field("refinement_rounds", static_cast<uint64_t>(RefinementRounds));
+  W.field("converged", Converged);
+  W.field("leaks_checked", LeaksChecked);
+  W.field("leak_count", LeakCount);
+  W.field("proven_leak_free", ProvenLeakFree);
+  if (!LeakSites.empty()) {
+    std::string Joined;
+    for (const std::string &S : LeakSites) {
+      if (!Joined.empty())
+        Joined += '\n';
+      Joined += S;
+    }
+    W.field("leak_sites", Joined);
+  }
+  W.field("seconds", Seconds);
+  return W.finish();
+}
+
+bool ServiceResponse::fromJson(const std::string &Line, ServiceResponse &Out,
+                               std::string &Error) {
+  JsonObject O;
+  if (!parseJsonObject(Line, O, Error))
+    return false;
+  Out = ServiceResponse();
+
+  const std::string *S = takeString(O, "status");
+  if (!S || !parseServiceStatus(*S, Out.Status)) {
+    Error = "response: missing or unknown 'status'";
+    return false;
+  }
+  uint64_t U = 0;
+  if (!takeUInt(O, "id", UINT64_MAX >> 1, U, Error))
+    return false;
+  Out.Id = O.count("id") ? U : 0;
+  if (const std::string *E = takeString(O, "error"))
+    Out.Error = *E;
+  if (const std::string *H = takeString(O, "request_digest"))
+    if (!parseHexU64(*H, Out.RequestDigest)) {
+      Error = "response: bad 'request_digest'";
+      return false;
+    }
+  if (Out.Status != ServiceStatus::Ok)
+    return true;
+
+  if (const std::string *H = takeString(O, "verdict_digest")) {
+    if (!parseHexU64(*H, Out.VerdictDigest)) {
+      Error = "response: bad 'verdict_digest'";
+      return false;
+    }
+  }
+  if (!takeBool(O, "cached", Out.Cached, Error))
+    return false;
+  if (!takeUInt(O, "access_nodes", UINT64_MAX >> 1, Out.AccessNodes, Error) ||
+      !takeUInt(O, "miss_count", UINT64_MAX >> 1, Out.MissCount, Error) ||
+      !takeUInt(O, "sp_miss_count", UINT64_MAX >> 1, Out.SpMissCount, Error) ||
+      !takeUInt(O, "branch_count", UINT64_MAX >> 1, Out.BranchCount, Error) ||
+      !takeUInt(O, "iterations", UINT64_MAX >> 1, Out.Iterations, Error) ||
+      !takeUInt(O, "leak_count", UINT64_MAX >> 1, Out.LeakCount, Error) ||
+      !takeUInt(O, "proven_leak_free", UINT64_MAX >> 1, Out.ProvenLeakFree,
+                Error))
+    return false;
+  U = 1;
+  if (!takeUInt(O, "refinement_rounds", 1u << 20, U, Error))
+    return false;
+  Out.RefinementRounds = O.count("refinement_rounds")
+                             ? static_cast<unsigned>(U)
+                             : Out.RefinementRounds;
+  if (!takeBool(O, "converged", Out.Converged, Error) ||
+      !takeBool(O, "leaks_checked", Out.LeaksChecked, Error))
+    return false;
+  if (const std::string *Sites = takeString(O, "leak_sites")) {
+    size_t Start = 0;
+    while (Start <= Sites->size()) {
+      size_t End = Sites->find('\n', Start);
+      if (End == std::string::npos) {
+        Out.LeakSites.push_back(Sites->substr(Start));
+        break;
+      }
+      Out.LeakSites.push_back(Sites->substr(Start, End - Start));
+      Start = End + 1;
+    }
+  }
+  if (auto It = O.find("seconds"); It != O.end())
+    Out.Seconds = It->second.asDouble(0);
+  return true;
+}
+
+uint64_t specai::verdictDigest(const BatchRow &Row) {
+  // Canonical rendering of everything sameResults() compares except the
+  // label (a service response has none) and the configuration echo (the
+  // request digest already covers the configuration). Field order and
+  // separators are part of the digest contract pinned by service_test.
+  std::string S = "access_nodes=";
+  S += std::to_string(Row.AccessNodes);
+  S += ";miss_count=";
+  S += std::to_string(Row.MissCount);
+  S += ";sp_miss_count=";
+  S += std::to_string(Row.SpMissCount);
+  S += ";branch_count=";
+  S += std::to_string(Row.BranchCount);
+  S += ";iterations=";
+  S += std::to_string(Row.Iterations);
+  S += ";refinement_rounds=";
+  S += std::to_string(Row.RefinementRounds);
+  S += ";converged=";
+  S += Row.Converged ? '1' : '0';
+  S += ";leaks_checked=";
+  S += Row.LeaksChecked ? '1' : '0';
+  S += ";leak_count=";
+  S += std::to_string(Row.LeakCount);
+  S += ";proven_leak_free=";
+  S += std::to_string(Row.ProvenLeakFree);
+  for (const std::string &Site : Row.LeakSites) {
+    S += ";site=";
+    S += Site;
+  }
+  return fnv1a(S);
+}
+
+uint64_t specai::requestDigest(uint64_t ProgramDigest,
+                               const ServiceRequest &Req) {
+  return fnv1a(Req.optionKey(), ProgramDigest);
+}
+
+std::string specai::requestKeyString(uint64_t ProgramDigest,
+                                     const ServiceRequest &Req) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "program=0x%016llx;",
+                static_cast<unsigned long long>(ProgramDigest));
+  return Buf + Req.optionKey();
+}

@@ -1,0 +1,166 @@
+//===- Protocol.h - specaid request/response wire protocol ------*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specaid wire protocol (docs/SERVICE.md): newline-delimited flat
+/// JSON objects over a local stream socket. One request line yields
+/// exactly one response line. The request carries the program source plus
+/// *every* option that can change a verdict; the response carries either a
+/// condensed verdict (the same counters a BatchRow holds), an error, or an
+/// explicit `overloaded` rejection — the daemon never degrades into
+/// unbounded queueing latency.
+///
+/// Cache keying lives here too, so every consumer (engine, tests, bench,
+/// CLI) derives keys the same way:
+///
+///   program digest  = FNV-1a over the lowered IR (driver runRequest)
+///   option key      = canonical string of all verdict-visible options
+///   request digest  = FNV-1a(option key, seeded with program digest)
+///   verdict digest  = FNV-1a over the canonical verdict rendering
+///
+/// The request digest addresses the verdict cache; the verdict digest lets
+/// clients assert bit-identical results against single-shot `specai-cli
+/// --digest` runs without shipping every counter through shell plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SERVICE_PROTOCOL_H
+#define SPECAI_SERVICE_PROTOCOL_H
+
+#include "driver/BatchRunner.h"
+
+#include <cstdint>
+#include <string>
+
+namespace specai {
+
+/// Request kinds. Analyze is the workload; the rest are daemon control.
+enum class ServiceOp : uint8_t {
+  Analyze,  ///< Compile + analyze (or serve from the verdict cache).
+  Ping,     ///< Liveness probe; responds ok immediately.
+  Stats,    ///< Cache/pool counters as a JSON response.
+  Shutdown, ///< Acknowledge, then stop the server loop.
+};
+
+const char *serviceOpName(ServiceOp Op);
+bool parseServiceOp(const std::string &Name, ServiceOp &Out);
+
+/// One analysis request. Field-for-field this is RunRequest flattened
+/// into wire-friendly scalars, plus queueing metadata (Id, Priority).
+struct ServiceRequest {
+  ServiceOp Op = ServiceOp::Analyze;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t Id = 0;
+  /// Higher runs first when misses queue on the analysis pool.
+  int64_t Priority = 0;
+
+  std::string Source;
+  std::string Entry = "main";
+  LoweringMode Mode = LoweringMode::InlineUnroll;
+
+  CacheConfig Cache = CacheConfig::paperDefault();
+  bool Speculative = true;
+  bool UseShadow = true;
+  MergeStrategy Strategy = MergeStrategy::JustInTime;
+  uint32_t DepthMiss = 200;
+  uint32_t DepthHit = 20;
+  BoundingMode Bounding = BoundingMode::Dynamic;
+  bool Refine = false;
+  bool DetectLeaks = true;
+
+  /// The analysis options this request denotes (everything the fixpoint
+  /// sees); bit-identical to what `specai-cli` builds from equivalent
+  /// flags.
+  MustHitOptions toMustHitOptions() const;
+  LoweringOptions toLoweringOptions() const;
+  /// The full driver-level request (source + options).
+  RunRequest toRunRequest() const;
+
+  /// Canonical rendering of every option that can change the verdict —
+  /// the non-program half of the cache key. Excludes Id and Priority
+  /// (queueing metadata must not split cache entries).
+  std::string optionKey() const;
+  /// Canonical rendering of the options that change *compilation* only;
+  /// keys the source -> program-digest memo.
+  std::string loweringKey() const;
+
+  std::string toJson() const;
+  /// Parses one request line. Unknown keys are rejected (a typo'd option
+  /// silently falling back to a default would poison the cache key
+  /// discipline). Returns false and fills \p Error on malformed input.
+  static bool fromJson(const std::string &Line, ServiceRequest &Out,
+                       std::string &Error);
+};
+
+/// Response status. Overloaded is backpressure: the bounded analysis
+/// queue was full, nothing was scheduled, and the client should retry.
+enum class ServiceStatus : uint8_t { Ok, Error, Overloaded };
+
+const char *serviceStatusName(ServiceStatus S);
+bool parseServiceStatus(const std::string &Name, ServiceStatus &Out);
+
+/// One response line.
+struct ServiceResponse {
+  ServiceStatus Status = ServiceStatus::Error;
+  uint64_t Id = 0;
+  /// True when the verdict came from the cache (or coalesced onto an
+  /// identical in-flight analysis) rather than a fresh fixpoint.
+  bool Cached = false;
+  /// Content-addressed cache key of the request (0 on errors).
+  uint64_t RequestDigest = 0;
+  /// Digest over the canonical verdict rendering; equal digests mean
+  /// bit-identical counters and leak sites.
+  uint64_t VerdictDigest = 0;
+  std::string Error;
+
+  // The condensed verdict (BatchRow counters).
+  uint64_t AccessNodes = 0;
+  uint64_t MissCount = 0;
+  uint64_t SpMissCount = 0;
+  uint64_t BranchCount = 0;
+  uint64_t Iterations = 0;
+  unsigned RefinementRounds = 1;
+  bool Converged = true;
+  bool LeaksChecked = false;
+  uint64_t LeakCount = 0;
+  uint64_t ProvenLeakFree = 0;
+  /// Rendered per-site diagnostics, newline-joined on the wire.
+  std::vector<std::string> LeakSites;
+  /// Server-side analysis seconds (0 for cache hits); informational,
+  /// excluded from the verdict digest.
+  double Seconds = 0;
+
+  /// Builds an Ok response from a finished row (digests left 0 for the
+  /// caller to fill).
+  static ServiceResponse fromRow(const BatchRow &Row);
+
+  /// True when both responses assert the same verdict (status, counters,
+  /// leak sites — not timing, caching, or id metadata).
+  bool sameVerdict(const ServiceResponse &RHS) const;
+
+  std::string toJson() const;
+  static bool fromJson(const std::string &Line, ServiceResponse &Out,
+                       std::string &Error);
+};
+
+/// Digest over the canonical rendering of a finished row's verdict —
+/// label-independent, so a service response and a single-shot CLI run of
+/// the same request compare equal. Pinned by service_test.
+uint64_t verdictDigest(const BatchRow &Row);
+
+/// The content-addressed cache key: \p ProgramDigest (runRequest's FNV-1a
+/// over the lowered IR) mixed with the request's option key.
+uint64_t requestDigest(uint64_t ProgramDigest, const ServiceRequest &Req);
+
+/// The collision-guard string stored next to each cache entry: requests
+/// whose digests collide but whose keys differ are treated as misses.
+std::string requestKeyString(uint64_t ProgramDigest,
+                             const ServiceRequest &Req);
+
+} // namespace specai
+
+#endif // SPECAI_SERVICE_PROTOCOL_H

@@ -1,0 +1,215 @@
+//===- Server.cpp - Local-socket front end of the specaid daemon ----------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace specai;
+
+namespace {
+
+/// Writes all of \p Line (which must end in '\n') to \p Fd. False on any
+/// write error — the connection is beyond saving then.
+bool writeAll(int Fd, const std::string &Line) {
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+struct ServiceServer::Impl {
+  ServiceEngine &Engine;
+  int ListenFd = -1;
+  std::string SocketPath;
+  std::thread AcceptThread;
+  std::atomic<bool> Stopping{false};
+  std::atomic<uint64_t> Connections{0};
+
+  std::mutex ConnLock;
+  std::condition_variable ConnDone;
+  std::vector<std::thread> ConnThreads;
+  size_t LiveConnections = 0;
+
+  std::mutex DoneLock;
+  std::condition_variable Done;
+  bool Finished = false;
+
+  explicit Impl(ServiceEngine &Engine) : Engine(Engine) {}
+
+  void acceptLoop() {
+    while (!Stopping.load()) {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0) {
+        if (Stopping.load())
+          break;
+        if (errno == EINTR)
+          continue;
+        break; // Listener is gone; nothing left to accept.
+      }
+      ++Connections;
+      std::lock_guard<std::mutex> Guard(ConnLock);
+      ++LiveConnections;
+      ConnThreads.emplace_back([this, Fd] {
+        serveConnection(Fd);
+        std::lock_guard<std::mutex> G(ConnLock);
+        --LiveConnections;
+        ConnDone.notify_all();
+      });
+    }
+    // Wait for in-flight connections before signaling wait().
+    {
+      std::unique_lock<std::mutex> Guard(ConnLock);
+      ConnDone.wait(Guard, [this] { return LiveConnections == 0; });
+    }
+    std::lock_guard<std::mutex> Guard(DoneLock);
+    Finished = true;
+    Done.notify_all();
+  }
+
+  void serveConnection(int Fd) {
+    std::string Buffer;
+    char Chunk[4096];
+    while (true) {
+      // Drain complete lines already buffered before reading more.
+      size_t Nl;
+      while ((Nl = Buffer.find('\n')) != std::string::npos) {
+        std::string Line = Buffer.substr(0, Nl);
+        Buffer.erase(0, Nl + 1);
+        if (Line.empty())
+          continue;
+        if (!handleLine(Fd, Line))
+          goto done;
+      }
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        break;
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+  done:
+    ::close(Fd);
+  }
+
+  /// Handles one request line; false ends the connection (write failure
+  /// or a shutdown request, whose ack is the last thing we send).
+  bool handleLine(int Fd, const std::string &Line) {
+    ServiceRequest Req;
+    std::string Error;
+    if (!ServiceRequest::fromJson(Line, Req, Error)) {
+      ServiceResponse R;
+      R.Status = ServiceStatus::Error;
+      R.Error = Error;
+      return writeAll(Fd, R.toJson() + "\n");
+    }
+    switch (Req.Op) {
+    case ServiceOp::Analyze:
+    case ServiceOp::Ping:
+      return writeAll(Fd, Engine.handle(Req).toJson() + "\n");
+    case ServiceOp::Stats:
+      return writeAll(Fd, Engine.statsJson(Req.Id) + "\n");
+    case ServiceOp::Shutdown: {
+      ServiceResponse R;
+      R.Status = ServiceStatus::Ok;
+      R.Id = Req.Id;
+      writeAll(Fd, R.toJson() + "\n");
+      stopListening();
+      return false;
+    }
+    }
+    return false;
+  }
+
+  void stopListening() {
+    if (Stopping.exchange(true))
+      return;
+    // shutdown() wakes the blocked accept(); close follows in teardown.
+    if (ListenFd >= 0)
+      ::shutdown(ListenFd, SHUT_RDWR);
+  }
+};
+
+ServiceServer::ServiceServer(ServiceEngine &Engine)
+    : I(std::make_unique<Impl>(Engine)) {}
+
+ServiceServer::~ServiceServer() {
+  stop();
+  wait();
+  if (I->ListenFd >= 0)
+    ::close(I->ListenFd);
+  if (!I->SocketPath.empty())
+    ::unlink(I->SocketPath.c_str());
+}
+
+bool ServiceServer::start(const std::string &SocketPath, std::string &Error) {
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(SocketPath.c_str()); // Stale socket from a dead daemon.
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = std::string("bind ") + SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(SocketPath.c_str());
+    return false;
+  }
+  I->ListenFd = Fd;
+  I->SocketPath = SocketPath;
+  I->AcceptThread = std::thread([this] { I->acceptLoop(); });
+  return true;
+}
+
+void ServiceServer::wait() {
+  if (!I->AcceptThread.joinable())
+    return;
+  {
+    std::unique_lock<std::mutex> Guard(I->DoneLock);
+    I->Done.wait(Guard, [this] { return I->Finished; });
+  }
+  I->AcceptThread.join();
+  // The per-connection threads have all signaled completion; join them so
+  // their std::thread objects can be destroyed.
+  std::lock_guard<std::mutex> Guard(I->ConnLock);
+  for (std::thread &T : I->ConnThreads)
+    if (T.joinable())
+      T.join();
+  I->ConnThreads.clear();
+}
+
+void ServiceServer::stop() { I->stopListening(); }
+
+uint64_t ServiceServer::connectionCount() const {
+  return I->Connections.load();
+}

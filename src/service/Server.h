@@ -1,0 +1,65 @@
+//===- Server.h - Local-socket front end of the specaid daemon --*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's transport (docs/SERVICE.md): a Unix-domain stream socket
+/// speaking the newline-delimited JSON protocol. Each accepted connection
+/// gets its own thread reading request lines, dispatching to the
+/// ServiceEngine (analyze, ping) or handling control ops locally (stats,
+/// shutdown), and writing one response line per request. A connection may
+/// pipeline any number of requests; responses come back in request order
+/// on that connection.
+///
+/// Socket specifics live behind a pimpl so this header stays free of
+/// POSIX includes (the public umbrella header pulls it in).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SERVICE_SERVER_H
+#define SPECAI_SERVICE_SERVER_H
+
+#include "service/ServiceEngine.h"
+
+#include <memory>
+#include <string>
+
+namespace specai {
+
+/// Unix-domain-socket server wrapping a ServiceEngine.
+class ServiceServer {
+public:
+  /// \p Engine must outlive the server.
+  explicit ServiceServer(ServiceEngine &Engine);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer &) = delete;
+  ServiceServer &operator=(const ServiceServer &) = delete;
+
+  /// Binds and listens on \p SocketPath (unlinking any stale socket file
+  /// first) and starts the accept thread. Returns false and fills
+  /// \p Error on any socket failure.
+  bool start(const std::string &SocketPath, std::string &Error);
+
+  /// Runs until a `shutdown` request arrives or stop() is called, then
+  /// drains the open connections and returns.
+  void wait();
+
+  /// Initiates shutdown from another thread (or a signal-adjacent path).
+  /// Safe to call more than once.
+  void stop();
+
+  /// Connections accepted since start().
+  uint64_t connectionCount() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SERVICE_SERVER_H

@@ -1,0 +1,210 @@
+//===- ServiceEngine.cpp - Request handling behind the daemon -------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceEngine.h"
+
+#include "fuzz/StateDigest.h"
+#include "service/Json.h"
+
+#include <memory>
+
+using namespace specai;
+
+ServiceEngine::ServiceEngine(const ServiceEngineOptions &Opts)
+    : Cache(Opts.CacheEntries, Opts.CacheShards, Opts.SpillDir),
+      Pool(Opts.Jobs, Opts.QueueCapacity) {}
+
+ServiceEngine::~ServiceEngine() {
+  // Quiesce the workers before any member they touch is destroyed.
+  Pool.shutdown();
+}
+
+ServiceResponse ServiceEngine::handle(const ServiceRequest &Req) {
+  if (Req.Op == ServiceOp::Ping) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ++Requests;
+    ServiceResponse R;
+    R.Status = ServiceStatus::Ok;
+    R.Id = Req.Id;
+    return R;
+  }
+  if (Req.Op != ServiceOp::Analyze) {
+    ServiceResponse R;
+    R.Status = ServiceStatus::Error;
+    R.Id = Req.Id;
+    R.Error = std::string("engine: op '") + serviceOpName(Req.Op) +
+              "' is handled by the server";
+    return R;
+  }
+  return handleAnalyze(Req);
+}
+
+ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
+  const uint64_t SrcKey = fnv1a(Req.loweringKey() + '\0' + Req.Source);
+
+  // Tier 1: the source memo.
+  uint64_t ProgramDigest = 0;
+  bool HaveDigest = false;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ++Requests;
+    auto It = SourceMemo.find(SrcKey);
+    if (It != SourceMemo.end()) {
+      if (!It->second.Ok) {
+        // Memoized compile error: answer without recompiling.
+        ++CacheHits;
+        ServiceResponse R;
+        R.Status = ServiceStatus::Error;
+        R.Id = Req.Id;
+        R.Cached = true;
+        R.Error = It->second.Error;
+        return R;
+      }
+      ProgramDigest = It->second.ProgramDigest;
+      HaveDigest = true;
+    }
+  }
+
+  // Tier 2: the verdict cache (only reachable once the source compiled at
+  // least once — the digest is over the lowered IR, not the text).
+  if (HaveDigest) {
+    const uint64_t Digest = requestDigest(ProgramDigest, Req);
+    ServiceResponse R;
+    if (Cache.lookup(Digest, requestKeyString(ProgramDigest, Req), R)) {
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        ++CacheHits;
+      }
+      R.Id = Req.Id;
+      R.Cached = true;
+      R.RequestDigest = Digest;
+      R.Seconds = 0; // No analysis ran for this request.
+      return R;
+    }
+  }
+
+  // Tier 3: schedule the analysis, coalescing exact duplicates that are
+  // already in flight. The key is the full request identity (options +
+  // source), not a digest — collisions must not fuse distinct requests.
+  std::string FlightKey = Req.optionKey();
+  FlightKey += '\0';
+  FlightKey += Req.Source;
+
+  std::shared_future<ServiceResponse> Fut;
+  std::shared_ptr<std::promise<ServiceResponse>> Prom;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    auto It = InFlight.find(FlightKey);
+    if (It != InFlight.end()) {
+      Fut = It->second;
+      ++Coalesced;
+    } else {
+      Prom = std::make_shared<std::promise<ServiceResponse>>();
+      Fut = Prom->get_future().share();
+      InFlight.emplace(FlightKey, Fut);
+    }
+  }
+
+  if (Prom) {
+    bool Queued = Pool.tryEnqueue(Req.Priority, [this, Req, SrcKey, FlightKey,
+                                                 Prom] {
+      ServiceResponse Out = runAnalysis(Req, SrcKey);
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        InFlight.erase(FlightKey);
+      }
+      Prom->set_value(std::move(Out));
+    });
+    if (!Queued) {
+      // Backpressure: reject now, and resolve the in-flight entry so any
+      // request that coalesced onto it in the window above is also told
+      // to retry rather than parked forever.
+      ServiceResponse R;
+      R.Status = ServiceStatus::Overloaded;
+      R.Error = "analysis queue is full; retry later";
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        ++OverloadedCount;
+        InFlight.erase(FlightKey);
+      }
+      Prom->set_value(R);
+      R.Id = Req.Id;
+      return R;
+    }
+  }
+
+  ServiceResponse R = Fut.get();
+  R.Id = Req.Id;
+  if (!Prom && R.Status == ServiceStatus::Ok) {
+    // A coalesced duplicate: the verdict exists because some *other*
+    // request paid for it.
+    R.Cached = true;
+    R.Seconds = 0;
+  }
+  return R;
+}
+
+ServiceResponse ServiceEngine::runAnalysis(const ServiceRequest &Req,
+                                           uint64_t SrcKey) {
+  RunOutcome Out = runRequest(Req.toRunRequest());
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ++AnalysesRun;
+    CompileMemo &M = SourceMemo[SrcKey];
+    M.Ok = Out.Ok;
+    M.ProgramDigest = Out.ProgramDigest;
+    M.Error = Out.Error;
+    if (!Out.Ok)
+      ++CompileErrors;
+  }
+  if (!Out.Ok) {
+    ServiceResponse R;
+    R.Status = ServiceStatus::Error;
+    R.Error = Out.Error;
+    return R;
+  }
+  ServiceResponse R = ServiceResponse::fromRow(Out.Row);
+  R.RequestDigest = requestDigest(Out.ProgramDigest, Req);
+  Cache.insert(R.RequestDigest, requestKeyString(Out.ProgramDigest, Req), R);
+  return R;
+}
+
+ServiceEngineStats ServiceEngine::stats() const {
+  ServiceEngineStats S;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    S.Requests = Requests;
+    S.CacheHits = CacheHits;
+    S.AnalysesRun = AnalysesRun;
+    S.CompileErrors = CompileErrors;
+    S.Overloaded = OverloadedCount;
+    S.Coalesced = Coalesced;
+  }
+  S.Cache = Cache.stats();
+  return S;
+}
+
+std::string ServiceEngine::statsJson(uint64_t Id) const {
+  ServiceEngineStats S = stats();
+  JsonWriter W;
+  W.field("status", serviceStatusName(ServiceStatus::Ok));
+  W.field("id", Id);
+  W.field("requests", S.Requests);
+  W.field("cache_hits", S.CacheHits);
+  W.field("analyses_run", S.AnalysesRun);
+  W.field("compile_errors", S.CompileErrors);
+  W.field("overloaded", S.Overloaded);
+  W.field("coalesced", S.Coalesced);
+  W.field("cache_entries", S.Cache.Entries);
+  W.field("cache_evictions", S.Cache.Evictions);
+  W.field("cache_spill_writes", S.Cache.SpillWrites);
+  W.field("cache_spill_hits", S.Cache.SpillHits);
+  W.field("pool_rejected", Pool.rejectedCount());
+  W.field("pool_faulted", Pool.faultedCount());
+  W.field("jobs", static_cast<uint64_t>(Pool.jobCount()));
+  return W.finish();
+}

@@ -1,0 +1,134 @@
+//===- ServiceEngine.h - Request handling behind the daemon -----*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent core of the specaid daemon (docs/SERVICE.md):
+/// everything between a parsed ServiceRequest and a ServiceResponse, with
+/// no sockets involved — the server hands requests in, tests and the
+/// replay bench drive it directly.
+///
+/// An analyze request flows through three tiers:
+///
+///   1. Source memo: `fnv1a(loweringKey \0 source)` -> the compiled
+///      program's digest (or its memoized compile error). A repeat of a
+///      known source skips compilation entirely; compile *errors* are
+///      memoized too, so a client retrying a broken program in a loop
+///      costs one compile, not N.
+///   2. Verdict cache: the content-addressed request digest (program
+///      digest x option key) looked up in the sharded LRU VerdictCache.
+///   3. Analysis pool: misses are scheduled on the bounded AnalysisPool at
+///      the request's priority. A full queue yields an `overloaded`
+///      response without blocking. Identical in-flight requests coalesce
+///      onto one analysis via a shared future, so a thundering herd of
+///      duplicates costs one fixpoint.
+///
+/// handle() blocks its calling (connection) thread until the verdict is
+/// ready; concurrency comes from the daemon's per-connection threads, not
+/// from this API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SERVICE_SERVICEENGINE_H
+#define SPECAI_SERVICE_SERVICEENGINE_H
+
+#include "service/AnalysisPool.h"
+#include "service/Protocol.h"
+#include "service/VerdictCache.h"
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace specai {
+
+struct ServiceEngineOptions {
+  /// Analysis worker threads (0 = hardware concurrency).
+  unsigned Jobs = 0;
+  /// Total verdict-cache entries across all shards.
+  uint64_t CacheEntries = 4096;
+  unsigned CacheShards = 8;
+  /// Optional existing directory for the cache's disk spill tier.
+  std::string SpillDir;
+  /// Bound on queued (not yet running) analyses before `overloaded`.
+  size_t QueueCapacity = 64;
+};
+
+/// Aggregated engine counters for the stats endpoint.
+struct ServiceEngineStats {
+  uint64_t Requests = 0;
+  uint64_t CacheHits = 0;
+  uint64_t AnalysesRun = 0;
+  uint64_t CompileErrors = 0;
+  uint64_t Overloaded = 0;
+  /// Requests that coalesced onto an identical in-flight analysis.
+  uint64_t Coalesced = 0;
+  VerdictCacheStats Cache;
+};
+
+/// Transport-independent specaid request handler. Thread-safe: any number
+/// of connection threads may call handle() concurrently.
+class ServiceEngine {
+public:
+  explicit ServiceEngine(const ServiceEngineOptions &Opts);
+  ~ServiceEngine();
+
+  /// Handles one Analyze or Ping request, blocking until the response is
+  /// ready (instant for cache hits, pings, and overload rejections).
+  /// Control ops other than Ping get an error response — routing them is
+  /// the server's job.
+  ServiceResponse handle(const ServiceRequest &Req);
+
+  ServiceEngineStats stats() const;
+
+  /// Renders stats() as one response line (status ok, id echoed) for the
+  /// `stats` op. Extra keys beyond the ServiceResponse schema are
+  /// intentional; ServiceResponse::fromJson ignores them.
+  std::string statsJson(uint64_t Id) const;
+
+  unsigned jobCount() const { return Pool.jobCount(); }
+
+private:
+  /// What the source memo remembers per (loweringKey, source) pair.
+  struct CompileMemo {
+    bool Ok = false;
+    uint64_t ProgramDigest = 0;
+    std::string Error;
+  };
+
+  ServiceResponse handleAnalyze(const ServiceRequest &Req);
+
+  /// Runs the analysis synchronously (called on a pool worker), fills the
+  /// memo, publishes to the verdict cache, and returns the response.
+  ServiceResponse runAnalysis(const ServiceRequest &Req, uint64_t SrcKey);
+
+  VerdictCache Cache;
+  AnalysisPool Pool;
+
+  mutable std::mutex Lock;
+  /// srcKey -> compile outcome. Guarded by Lock. Unbounded by entry count
+  /// but entries are ~32 bytes; a daemon seeing pathological source churn
+  /// should bound its lifetime instead (docs/SERVICE.md).
+  std::unordered_map<uint64_t, CompileMemo> SourceMemo;
+  /// Exact request identity -> in-flight result, for duplicate
+  /// coalescing. Keyed by the full option key + source (not a digest), so
+  /// a hash collision can never fuse two different requests.
+  std::map<std::string, std::shared_future<ServiceResponse>> InFlight;
+
+  uint64_t Requests = 0;
+  uint64_t CacheHits = 0;
+  uint64_t AnalysesRun = 0;
+  uint64_t CompileErrors = 0;
+  uint64_t OverloadedCount = 0;
+  uint64_t Coalesced = 0;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SERVICE_SERVICEENGINE_H

@@ -1,0 +1,137 @@
+//===- VerdictCache.cpp - Sharded LRU cache of analysis verdicts ----------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/VerdictCache.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace specai;
+
+VerdictCache::VerdictCache(uint64_t MaxEntries, unsigned Shards,
+                           std::string SpillDir)
+    : SpillDir(std::move(SpillDir)) {
+  if (Shards == 0)
+    Shards = 1;
+  if (Shards > MaxEntries && MaxEntries > 0)
+    Shards = static_cast<unsigned>(MaxEntries);
+  this->Shards.reserve(Shards);
+  for (unsigned I = 0; I != Shards; ++I)
+    this->Shards.push_back(std::make_unique<Shard>());
+  PerShardCapacity = MaxEntries / Shards;
+  if (PerShardCapacity == 0)
+    PerShardCapacity = 1;
+}
+
+bool VerdictCache::lookup(uint64_t Digest, const std::string &Key,
+                          ServiceResponse &Out) {
+  Shard &S = shardFor(Digest);
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  auto It = S.Index.find(Digest);
+  if (It != S.Index.end()) {
+    if (It->second->Key != Key) {
+      // Digest collision: treat as a miss. The entry stays; the colliding
+      // request just never caches.
+      ++S.Misses;
+      return false;
+    }
+    ++S.Hits;
+    S.Order.splice(S.Order.begin(), S.Order, It->second);
+    Out = It->second->Payload;
+    return true;
+  }
+  if (!SpillDir.empty() && spillRead(S, Digest, Key, Out)) {
+    ++S.Hits;
+    ++S.SpillHits;
+    insertLocked(S, Digest, Key, Out);
+    return true;
+  }
+  ++S.Misses;
+  return false;
+}
+
+void VerdictCache::insert(uint64_t Digest, const std::string &Key,
+                          const ServiceResponse &Payload) {
+  Shard &S = shardFor(Digest);
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  insertLocked(S, Digest, Key, Payload);
+}
+
+void VerdictCache::insertLocked(Shard &S, uint64_t Digest,
+                                const std::string &Key,
+                                const ServiceResponse &Payload) {
+  auto It = S.Index.find(Digest);
+  if (It != S.Index.end()) {
+    if (It->second->Key != Key)
+      return; // Collision with a live entry: first writer wins.
+    S.Order.splice(S.Order.begin(), S.Order, It->second);
+    return;
+  }
+  while (S.Order.size() >= PerShardCapacity) {
+    Entry &Victim = S.Order.back();
+    if (!SpillDir.empty())
+      spillWrite(S, Victim);
+    S.Index.erase(Victim.Digest);
+    S.Order.pop_back();
+    ++S.Evictions;
+  }
+  S.Order.push_front(Entry{Digest, Key, Payload});
+  S.Index[Digest] = S.Order.begin();
+}
+
+VerdictCacheStats VerdictCache::stats() const {
+  VerdictCacheStats Out;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->Lock);
+    Out.Hits += S->Hits;
+    Out.Misses += S->Misses;
+    Out.Evictions += S->Evictions;
+    Out.SpillWrites += S->SpillWrites;
+    Out.SpillHits += S->SpillHits;
+    Out.Entries += S->Order.size();
+  }
+  return Out;
+}
+
+std::string VerdictCache::spillPath(uint64_t Digest) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "/%016llx.verdict",
+                static_cast<unsigned long long>(Digest));
+  return SpillDir + Name;
+}
+
+void VerdictCache::spillWrite(Shard &S, const Entry &E) {
+  // Cached verdicts echo the id of whichever request populated them; the
+  // engine overwrites the id on every hit, so persisting it is harmless.
+  // A write failure (disk full, bad directory) silently downgrades the
+  // entry to evicted — the spill tier is best-effort by design.
+  std::ofstream F(spillPath(E.Digest), std::ios::trunc);
+  if (!F)
+    return;
+  F << E.Key << '\n' << E.Payload.toJson() << '\n';
+  if (F.good())
+    ++S.SpillWrites;
+}
+
+bool VerdictCache::spillRead(Shard &S, uint64_t Digest, const std::string &Key,
+                             ServiceResponse &Out) {
+  (void)S;
+  std::ifstream F(spillPath(Digest));
+  if (!F)
+    return false;
+  std::string StoredKey, Line;
+  if (!std::getline(F, StoredKey) || !std::getline(F, Line))
+    return false;
+  if (StoredKey != Key)
+    return false; // Collision guard holds on disk too.
+  std::string Error;
+  ServiceResponse R;
+  if (!ServiceResponse::fromJson(Line, R, Error))
+    return false; // Corrupt spill file: ignore it.
+  Out = R;
+  return true;
+}

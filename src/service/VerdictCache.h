@@ -1,0 +1,118 @@
+//===- VerdictCache.h - Sharded LRU cache of analysis verdicts --*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specaid daemon's verdict store (docs/SERVICE.md): a sharded
+/// in-memory LRU map from content-addressed request digests to finished
+/// ServiceResponse payloads, with an optional on-disk spill tier.
+///
+/// Entries are keyed by the 64-bit request digest but carry the full
+/// canonical key string as a collision guard: a lookup whose key string
+/// differs from the stored one is a miss, and the insert path refuses to
+/// overwrite a live entry with a different key — a hash collision degrades
+/// to a cache miss, never to a wrong verdict.
+///
+/// Sharding splits both the map and its mutex by digest bits, so worker
+/// threads publishing verdicts do not serialize behind one lock. Capacity
+/// is enforced per shard (an adversarial digest distribution can therefore
+/// skew effective capacity, but bounds still hold). When a spill directory
+/// is configured, evicted entries are written as two-line files
+/// (key, then response JSON) and lookups fall through to disk, promoting
+/// hits back into memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SERVICE_VERDICTCACHE_H
+#define SPECAI_SERVICE_VERDICTCACHE_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specai {
+
+/// Counter snapshot for the stats endpoint and tests.
+struct VerdictCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t SpillWrites = 0;
+  uint64_t SpillHits = 0;
+  uint64_t Entries = 0;
+};
+
+/// Thread-safe sharded LRU cache of ServiceResponse payloads.
+class VerdictCache {
+public:
+  /// \p MaxEntries total across \p Shards shards (each shard holds at
+  /// least one entry, so tiny capacities still cache). Empty \p SpillDir
+  /// disables the disk tier; otherwise the directory must already exist.
+  VerdictCache(uint64_t MaxEntries, unsigned Shards = 8,
+               std::string SpillDir = "");
+
+  /// Looks up \p Digest, verifying \p Key against the stored collision
+  /// guard. A hit promotes the entry to most-recently-used (re-inserting
+  /// from disk if it had spilled) and copies the payload into \p Out.
+  bool lookup(uint64_t Digest, const std::string &Key, ServiceResponse &Out);
+
+  /// Publishes a finished verdict. Re-inserting an existing digest with
+  /// the same key refreshes recency; with a different key (collision) the
+  /// insert is dropped — first writer wins, and the loser stays correct
+  /// by recomputing on every request.
+  void insert(uint64_t Digest, const std::string &Key,
+              const ServiceResponse &Payload);
+
+  VerdictCacheStats stats() const;
+
+private:
+  struct Entry {
+    uint64_t Digest = 0;
+    std::string Key;
+    ServiceResponse Payload;
+  };
+
+  struct Shard {
+    mutable std::mutex Lock;
+    /// Front = most recently used.
+    std::list<Entry> Order;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t SpillWrites = 0;
+    uint64_t SpillHits = 0;
+  };
+
+  Shard &shardFor(uint64_t Digest) {
+    // The low bits address cache sets in the digest's own producers, so
+    // mix the high half in for shard selection.
+    return *Shards[(Digest ^ (Digest >> 32)) % Shards.size()];
+  }
+
+  /// Must be called with the shard lock held.
+  void insertLocked(Shard &S, uint64_t Digest, const std::string &Key,
+                    const ServiceResponse &Payload);
+
+  std::string spillPath(uint64_t Digest) const;
+  void spillWrite(Shard &S, const Entry &E);
+  bool spillRead(Shard &S, uint64_t Digest, const std::string &Key,
+                 ServiceResponse &Out);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  uint64_t PerShardCapacity;
+  std::string SpillDir;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SERVICE_VERDICTCACHE_H

@@ -51,6 +51,13 @@
 #include "memory/MemoryModel.h"
 #include "pipeline/BranchPredictor.h"
 #include "pipeline/SpeculativeCpu.h"
+#include "service/AnalysisPool.h"
+#include "service/Client.h"
+#include "service/Json.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+#include "service/ServiceEngine.h"
+#include "service/VerdictCache.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
 #include "support/StateInterner.h"

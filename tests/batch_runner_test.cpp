@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 using namespace specai;
 
 namespace {
@@ -184,6 +187,137 @@ TEST(BatchRunnerTest, SpeculativeSweepFindsTheFigure2Leak) {
   EXPECT_EQ(R.Rows[0].LeakCount, 0u);
   for (size_t I = 1; I != R.Rows.size(); ++I)
     EXPECT_GT(R.Rows[I].LeakCount, 0u) << R.Rows[I].Label;
+}
+
+TEST(BatchRunnerTest, RequireRowThrowsOnMissingLabelInsteadOfExiting) {
+  // Regression: requireRow used to printf + std::exit(1) from library
+  // code, which would kill the whole specaid daemon over one malformed
+  // sweep. It must throw so hosts can report and keep serving.
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  BatchReport R = BatchRunner(2).run(
+      *CP, BatchRunner::mergeStrategySweep(baseOptions()));
+  EXPECT_NO_THROW(R.requireRow(R.Rows.front().Label));
+  EXPECT_THROW(R.requireRow("no-such-variant"), std::out_of_range);
+}
+
+TEST(ParallelForTest, WorkerExceptionIsRethrownOnTheCaller) {
+  // Regression: an exception escaping Fn used to unwind a std::thread and
+  // std::terminate the process. Now the first exception is captured, the
+  // pool quiesces, and the caller sees it.
+  EXPECT_THROW(
+      parallelFor(4, 64,
+                  [](size_t I) {
+                    if (I == 7)
+                      throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+
+  // Inline path (Jobs <= 1) has the same contract.
+  EXPECT_THROW(parallelFor(1, 4,
+                           [](size_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+
+  // Remaining workers stop claiming new indices after the failure: on a
+  // big range, far fewer than Count indices run (the claimed-before-abort
+  // tail is bounded by the worker count, not the range).
+  std::atomic<size_t> Ran{0};
+  try {
+    parallelFor(2, 1 << 20, [&](size_t) {
+      Ran.fetch_add(1);
+      throw std::runtime_error("first");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error &) {
+  }
+  EXPECT_LT(Ran.load(), size_t(1) << 20);
+}
+
+TEST(ParallelForTest, PoolStillProducesEveryIndexWithoutExceptions) {
+  std::vector<std::atomic<int>> Seen(257);
+  parallelFor(3, Seen.size(), [&](size_t I) { Seen[I].fetch_add(1); });
+  for (size_t I = 0; I != Seen.size(); ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << I;
+}
+
+TEST(ParseJobsFlagTest, ReportsErrorsInsteadOfExiting) {
+  // Regression: parseJobsFlag used to printf (to stdout, even) and
+  // std::exit(1). It must hand the error back to the caller.
+  std::string Error;
+
+  const char *Good[] = {"bench", "--jobs", "3"};
+  std::optional<unsigned> Jobs =
+      parseJobsFlag(3, const_cast<char **>(Good), Error);
+  ASSERT_TRUE(Jobs.has_value()) << Error;
+  EXPECT_EQ(*Jobs, 3u);
+
+  const char *Absent[] = {"bench"};
+  Jobs = parseJobsFlag(1, const_cast<char **>(Absent), Error);
+  ASSERT_TRUE(Jobs.has_value());
+  EXPECT_EQ(*Jobs, 0u) << "absent flag means all cores";
+
+  const char *Valueless[] = {"bench", "--jobs"};
+  EXPECT_FALSE(parseJobsFlag(2, const_cast<char **>(Valueless), Error));
+  EXPECT_FALSE(Error.empty());
+
+  const char *NonNumeric[] = {"bench", "--jobs", "many"};
+  EXPECT_FALSE(parseJobsFlag(3, const_cast<char **>(NonNumeric), Error));
+  EXPECT_NE(Error.find("many"), std::string::npos);
+
+  const char *Unknown[] = {"bench", "--frobnicate"};
+  EXPECT_FALSE(parseJobsFlag(2, const_cast<char **>(Unknown), Error));
+  EXPECT_NE(Error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(RunRequestTest, MatchesABatchSweepOfTheSameVariant) {
+  // The daemon's entry point must be bit-identical to the established
+  // sweep machinery on the same options.
+  RunRequest Req;
+  Req.Source = testProgram();
+  Req.Options = baseOptions();
+  RunOutcome Out = runRequest(Req);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_NE(Out.ProgramDigest, 0u);
+
+  auto CP = compileTestProgram();
+  ASSERT_NE(CP, nullptr);
+  BatchVariant V;
+  V.Options = Req.Options;
+  V.Label = Out.Row.Label;
+  BatchReport R = BatchRunner(1).run(*CP, {V});
+  ASSERT_EQ(R.Rows.size(), 1u);
+  EXPECT_TRUE(Out.Row.sameResults(R.Rows[0]));
+}
+
+TEST(RunRequestTest, CompileErrorsComeBackAsOutcomesNotDiagnostics) {
+  RunRequest Req;
+  Req.Source = "int main() { return undeclared; }";
+  RunOutcome Out = runRequest(Req);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_NE(Out.Error.find("undeclared"), std::string::npos) << Out.Error;
+  EXPECT_EQ(Out.ProgramDigest, 0u);
+}
+
+TEST(RunRequestTest, ProgramDigestTracksTheLoweredIrNotTheText) {
+  RunRequest A;
+  A.Source = testProgram();
+  A.Options = baseOptions();
+  RunOutcome OutA = runRequest(A);
+  ASSERT_TRUE(OutA.Ok);
+
+  // Comment-only changes lower to identical IR: same digest.
+  RunRequest B = A;
+  B.Source = std::string("// cosmetic\n") + testProgram();
+  RunOutcome OutB = runRequest(B);
+  ASSERT_TRUE(OutB.Ok);
+  EXPECT_EQ(OutA.ProgramDigest, OutB.ProgramDigest);
+
+  // A different lowering mode changes the IR: different digest.
+  RunRequest C = A;
+  C.Lowering.Mode = LoweringMode::Summarize;
+  RunOutcome OutC = runRequest(C);
+  ASSERT_TRUE(OutC.Ok);
+  EXPECT_NE(OutA.ProgramDigest, OutC.ProgramDigest);
 }
 
 } // namespace

@@ -1,0 +1,632 @@
+//===- service_test.cpp - Unit tests for the specaid service layer --------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The service layer's soundness contract (docs/SERVICE.md): the request
+/// digest must split every verdict-visible option (a cache that conflates
+/// two configurations would serve *wrong verdicts*, the one failure mode a
+/// verdict cache must never have), identical requests must hit, the LRU
+/// bounds hold, backpressure is an explicit response, and the engine's
+/// answers are bit-identical to single-shot runRequest calls.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceEngine.h"
+
+#include "fuzz/ProgramGen.h"
+#include "service/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace specai;
+
+namespace {
+
+const char *testProgram() {
+  return R"MC(
+char table[256];
+char left[64];
+int mode;
+secret reg char key;
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 256; i += 64)
+    t = table[i];
+  if (mode == 0) {
+    t = t + left[0];
+  }
+  t = t + table[key & 255];
+  return t;
+}
+)MC";
+}
+
+ServiceRequest baseRequest() {
+  ServiceRequest Req;
+  Req.Source = testProgram();
+  Req.Cache = CacheConfig::fullyAssociative(6);
+  return Req;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON layer
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceJsonTest, FlatObjectsRoundTrip) {
+  JsonWriter W;
+  W.field("s", "line1\nline2\t\"quoted\" \\ done");
+  W.field("b", true);
+  W.field("i", int64_t(-42));
+  W.field("u", uint64_t(9000000000000000000ULL));
+  W.field("d", 1.5);
+  W.hexField("h", 0xdeadbeefcafe1234ULL);
+  std::string Text = W.finish();
+
+  JsonObject O;
+  std::string Error;
+  ASSERT_TRUE(parseJsonObject(Text, O, Error)) << Error;
+  EXPECT_EQ(O["s"].asString(""), "line1\nline2\t\"quoted\" \\ done");
+  EXPECT_EQ(O["b"].asBool(false), true);
+  EXPECT_EQ(O["i"].asInt(0), -42);
+  EXPECT_EQ(O["u"].asInt(0), int64_t(9000000000000000000ULL));
+  EXPECT_EQ(O["d"].asDouble(0), 1.5);
+  uint64_t H = 0;
+  ASSERT_TRUE(parseHexU64(O["h"].asString(""), H));
+  EXPECT_EQ(H, 0xdeadbeefcafe1234ULL);
+}
+
+TEST(ServiceJsonTest, RejectsNestingDuplicatesAndGarbage) {
+  JsonObject O;
+  std::string Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": {\"b\": 1}}", O, Error));
+  EXPECT_FALSE(parseJsonObject("{\"a\": [1, 2]}", O, Error));
+  EXPECT_FALSE(parseJsonObject("{\"a\": 1, \"a\": 2}", O, Error));
+  EXPECT_FALSE(parseJsonObject("{\"a\": 1} trailing", O, Error));
+  EXPECT_FALSE(parseJsonObject("{\"a\": }", O, Error));
+  EXPECT_FALSE(parseJsonObject("not json", O, Error));
+  EXPECT_TRUE(parseJsonObject("{}", O, Error)) << Error;
+  EXPECT_TRUE(O.empty());
+}
+
+TEST(ServiceProtocolTest, RequestsRoundTripThroughJson) {
+  ServiceRequest Req = baseRequest();
+  Req.Id = 17;
+  Req.Priority = -3;
+  Req.Mode = LoweringMode::Summarize;
+  Req.Strategy = MergeStrategy::MergeAtExit;
+  Req.Bounding = BoundingMode::Fixed;
+  Req.Cache = CacheConfig::setAssociative(16, 2);
+  Req.Cache.Policy = ReplacementPolicy::Fifo;
+  Req.Speculative = false;
+  Req.UseShadow = false;
+  Req.DepthMiss = 123;
+  Req.DepthHit = 7;
+  Req.Refine = true;
+  Req.DetectLeaks = false;
+
+  ServiceRequest Back;
+  std::string Error;
+  ASSERT_TRUE(ServiceRequest::fromJson(Req.toJson(), Back, Error)) << Error;
+  EXPECT_EQ(Back.Id, Req.Id);
+  EXPECT_EQ(Back.Priority, Req.Priority);
+  EXPECT_EQ(Back.Source, Req.Source);
+  EXPECT_EQ(Back.optionKey(), Req.optionKey());
+}
+
+TEST(ServiceProtocolTest, MalformedRequestsAreRejectedWithReasons) {
+  ServiceRequest Out;
+  std::string Error;
+  // Unknown keys must be rejected: a typo'd option silently defaulting
+  // would make two *different* requests share a cache key.
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      "{\"op\": \"analyze\", \"source\": \"int main(){return 0;}\", "
+      "\"strtegy\": \"no-merge\"}",
+      Out, Error));
+  EXPECT_NE(Error.find("strtegy"), std::string::npos) << Error;
+
+  EXPECT_FALSE(ServiceRequest::fromJson("{\"op\": \"analyze\"}", Out, Error))
+      << "analyze without source must fail";
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      "{\"op\": \"frob\", \"source\": \"x\"}", Out, Error));
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      "{\"op\": \"ping\", \"source\": \"int main(){return 0;}\"}", Out,
+      Error))
+      << "control ops must not smuggle analysis fields";
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      "{\"op\": \"analyze\", \"source\": \"x\", \"lines\": 0}", Out, Error))
+      << "invalid cache geometry must be rejected at parse time";
+
+  EXPECT_TRUE(ServiceRequest::fromJson("{\"op\": \"ping\", \"id\": 3}", Out,
+                                       Error))
+      << Error;
+  EXPECT_EQ(Out.Op, ServiceOp::Ping);
+  EXPECT_EQ(Out.Id, 3u);
+}
+
+TEST(ServiceProtocolTest, ResponsesRoundTripThroughJson) {
+  BatchRow Row;
+  Row.AccessNodes = 10;
+  Row.MissCount = 7;
+  Row.SpMissCount = 6;
+  Row.BranchCount = 2;
+  Row.Iterations = 29;
+  Row.RefinementRounds = 2;
+  Row.Converged = true;
+  Row.LeaksChecked = true;
+  Row.LeakCount = 2;
+  Row.ProvenLeakFree = 1;
+  Row.LeakSites = {"site one", "site two"};
+  Row.Seconds = 0.25;
+
+  ServiceResponse R = ServiceResponse::fromRow(Row);
+  R.Id = 5;
+  R.RequestDigest = 0x1234;
+  ServiceResponse Back;
+  std::string Error;
+  ASSERT_TRUE(ServiceResponse::fromJson(R.toJson(), Back, Error)) << Error;
+  EXPECT_TRUE(Back.sameVerdict(R));
+  EXPECT_EQ(Back.Id, R.Id);
+  EXPECT_EQ(Back.RequestDigest, R.RequestDigest);
+  EXPECT_EQ(Back.LeakSites, R.LeakSites);
+
+  ServiceResponse Err;
+  Err.Status = ServiceStatus::Overloaded;
+  Err.Id = 9;
+  Err.Error = "queue full";
+  ASSERT_TRUE(ServiceResponse::fromJson(Err.toJson(), Back, Error)) << Error;
+  EXPECT_EQ(Back.Status, ServiceStatus::Overloaded);
+  EXPECT_EQ(Back.Error, "queue full");
+}
+
+//===----------------------------------------------------------------------===//
+// Digest soundness: every verdict-visible option must split the key
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDigestTest, EveryVerdictVisibleOptionSplitsTheRequestDigest) {
+  const uint64_t PD = 0xabcdef0123456789ULL;
+  ServiceRequest Base = baseRequest();
+
+  std::vector<ServiceRequest> Variants;
+  auto Vary = [&](auto Mutate) {
+    ServiceRequest R = Base;
+    Mutate(R);
+    Variants.push_back(std::move(R));
+  };
+  Vary([](ServiceRequest &R) { R.Entry = "helper"; });
+  Vary([](ServiceRequest &R) { R.Mode = LoweringMode::Summarize; });
+  Vary([](ServiceRequest &R) { R.Cache = CacheConfig::fullyAssociative(12); });
+  Vary([](ServiceRequest &R) { R.Cache = CacheConfig::setAssociative(6, 2); });
+  Vary([](ServiceRequest &R) { R.Cache.Policy = ReplacementPolicy::Fifo; });
+  Vary([](ServiceRequest &R) { R.Cache.Policy = ReplacementPolicy::Plru; });
+  Vary([](ServiceRequest &R) { R.Speculative = false; });
+  Vary([](ServiceRequest &R) { R.UseShadow = false; });
+  Vary([](ServiceRequest &R) { R.Strategy = MergeStrategy::NoMerge; });
+  Vary([](ServiceRequest &R) { R.Strategy = MergeStrategy::MergeAtExit; });
+  Vary([](ServiceRequest &R) { R.Strategy = MergeStrategy::MergeAtRollback; });
+  Vary([](ServiceRequest &R) { R.DepthMiss = 100; });
+  Vary([](ServiceRequest &R) { R.DepthHit = 10; });
+  Vary([](ServiceRequest &R) { R.Bounding = BoundingMode::Fixed; });
+  Vary([](ServiceRequest &R) { R.Refine = true; });
+  Vary([](ServiceRequest &R) { R.DetectLeaks = false; });
+
+  std::set<uint64_t> Digests{requestDigest(PD, Base)};
+  for (const ServiceRequest &V : Variants) {
+    uint64_t D = requestDigest(PD, V);
+    EXPECT_TRUE(Digests.insert(D).second)
+        << "option change did not split the digest: " << V.optionKey();
+  }
+  // And the same request twice is the same digest.
+  EXPECT_EQ(requestDigest(PD, Base), requestDigest(PD, baseRequest()));
+  // A different program splits everything.
+  EXPECT_NE(requestDigest(PD, Base), requestDigest(PD + 1, Base));
+}
+
+TEST(ServiceDigestTest, QueueingMetadataDoesNotSplitTheDigest) {
+  const uint64_t PD = 42;
+  ServiceRequest A = baseRequest();
+  ServiceRequest B = baseRequest();
+  B.Id = 999;
+  B.Priority = 7;
+  EXPECT_EQ(requestDigest(PD, A), requestDigest(PD, B));
+  EXPECT_EQ(requestKeyString(PD, A), requestKeyString(PD, B));
+}
+
+TEST(ServiceDigestTest, VerdictDigestIsLabelAndTimingIndependent) {
+  BatchRow A;
+  A.Label = "service";
+  A.MissCount = 3;
+  A.Seconds = 0.5;
+  BatchRow B = A;
+  B.Label = "cli";
+  B.Seconds = 99;
+  EXPECT_EQ(verdictDigest(A), verdictDigest(B));
+
+  B.MissCount = 4;
+  EXPECT_NE(verdictDigest(A), verdictDigest(B));
+  B = A;
+  B.LeakSites = {"leak"};
+  EXPECT_NE(verdictDigest(A), verdictDigest(B));
+}
+
+//===----------------------------------------------------------------------===//
+// VerdictCache
+//===----------------------------------------------------------------------===//
+
+ServiceResponse payload(uint64_t Tag) {
+  ServiceResponse R;
+  R.Status = ServiceStatus::Ok;
+  R.MissCount = Tag;
+  R.VerdictDigest = Tag;
+  return R;
+}
+
+TEST(VerdictCacheTest, HitsMissesAndCapacityBound) {
+  VerdictCache Cache(/*MaxEntries=*/4, /*Shards=*/1);
+  ServiceResponse Out;
+
+  EXPECT_FALSE(Cache.lookup(1, "k1", Out));
+  Cache.insert(1, "k1", payload(1));
+  ASSERT_TRUE(Cache.lookup(1, "k1", Out));
+  EXPECT_EQ(Out.MissCount, 1u);
+
+  for (uint64_t D = 2; D <= 5; ++D)
+    Cache.insert(D, "k" + std::to_string(D), payload(D));
+  VerdictCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 4u) << "capacity must bound the entry count";
+  EXPECT_EQ(S.Evictions, 1u);
+
+  // Digest 1 predates the D=2..5 inserts, so it was the LRU victim; the
+  // four newest entries remain.
+  EXPECT_FALSE(Cache.lookup(1, "k1", Out));
+  for (uint64_t D = 2; D <= 5; ++D)
+    EXPECT_TRUE(Cache.lookup(D, "k" + std::to_string(D), Out)) << D;
+}
+
+TEST(VerdictCacheTest, LruEvictsTheLeastRecentlyUsedEntry) {
+  VerdictCache Cache(3, 1);
+  ServiceResponse Out;
+  Cache.insert(1, "k1", payload(1));
+  Cache.insert(2, "k2", payload(2));
+  Cache.insert(3, "k3", payload(3));
+  // Touch 1 and 3; 2 becomes the LRU victim.
+  EXPECT_TRUE(Cache.lookup(1, "k1", Out));
+  EXPECT_TRUE(Cache.lookup(3, "k3", Out));
+  Cache.insert(4, "k4", payload(4));
+  EXPECT_FALSE(Cache.lookup(2, "k2", Out));
+  EXPECT_TRUE(Cache.lookup(1, "k1", Out));
+  EXPECT_TRUE(Cache.lookup(3, "k3", Out));
+  EXPECT_TRUE(Cache.lookup(4, "k4", Out));
+}
+
+TEST(VerdictCacheTest, DigestCollisionsDegradeToMissesNeverWrongVerdicts) {
+  VerdictCache Cache(8, 1);
+  ServiceResponse Out;
+  Cache.insert(7, "request A", payload(1));
+  // Same digest, different canonical key: must miss, and must not
+  // overwrite A's verdict.
+  EXPECT_FALSE(Cache.lookup(7, "request B", Out));
+  Cache.insert(7, "request B", payload(2));
+  ASSERT_TRUE(Cache.lookup(7, "request A", Out));
+  EXPECT_EQ(Out.MissCount, 1u) << "collision must not clobber the entry";
+  EXPECT_FALSE(Cache.lookup(7, "request B", Out));
+}
+
+TEST(VerdictCacheTest, SpilledEntriesComeBackFromDisk) {
+  std::string Dir = ::testing::TempDir() + "specai_spill_test";
+  std::remove(Dir.c_str());
+  ASSERT_EQ(std::system(("mkdir -p '" + Dir + "'").c_str()), 0);
+
+  VerdictCache Cache(/*MaxEntries=*/1, /*Shards=*/1, Dir);
+  ServiceResponse Out;
+  Cache.insert(1, "k1", payload(11));
+  Cache.insert(2, "k2", payload(22)); // Evicts and spills digest 1.
+  VerdictCacheStats S = Cache.stats();
+  EXPECT_EQ(S.SpillWrites, 1u);
+
+  ASSERT_TRUE(Cache.lookup(1, "k1", Out)) << "must fall through to disk";
+  EXPECT_EQ(Out.MissCount, 11u);
+  EXPECT_EQ(Cache.stats().SpillHits, 1u);
+
+  // The wrong key must not read the spilled entry either.
+  EXPECT_FALSE(Cache.lookup(2, "not-k2", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisPool
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisPoolTest, BoundedQueueRejectsInsteadOfGrowing) {
+  AnalysisPool Pool(/*Jobs=*/1, /*QueueCapacity=*/2);
+
+  // Block the single worker so enqueued jobs pile up deterministically.
+  // No assertion may fire while the gate is closed: a fatal failure
+  // would run the pool destructor against a worker stuck in Cv.wait and
+  // hang the join forever. Observations are collected first, the gate
+  // opens, and only then do the checks run.
+  std::mutex Gate;
+  std::condition_variable Cv;
+  bool Release = false;
+  std::atomic<bool> Claimed{false};
+  std::atomic<int> Ran{0};
+  bool GateQueued = Pool.tryEnqueue(0, [&] {
+    Claimed = true;
+    std::unique_lock<std::mutex> G(Gate);
+    Cv.wait(G, [&] { return Release; });
+    ++Ran;
+  });
+  // Wait until the worker has actually claimed the blocking job — only
+  // then are both queue slots known to be free.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!Claimed && std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  bool SawClaim = Claimed.load();
+  bool First = Pool.tryEnqueue(0, [&] { ++Ran; });
+  bool Second = Pool.tryEnqueue(0, [&] { ++Ran; });
+  bool Third = Pool.tryEnqueue(0, [&] { ++Ran; });
+  uint64_t RejectedAtCapacity = Pool.rejectedCount();
+
+  {
+    std::lock_guard<std::mutex> G(Gate);
+    Release = true;
+  }
+  Cv.notify_all();
+  Pool.shutdown(); // Drains the queue before joining.
+
+  ASSERT_TRUE(GateQueued);
+  ASSERT_TRUE(SawClaim) << "worker never claimed the blocking job";
+  EXPECT_TRUE(First);
+  EXPECT_TRUE(Second);
+  EXPECT_FALSE(Third) << "third queued job must be rejected at capacity 2";
+  EXPECT_EQ(RejectedAtCapacity, 1u);
+  EXPECT_EQ(Ran.load(), 3);
+}
+
+TEST(AnalysisPoolTest, HigherPriorityRunsFirstFifoWithin) {
+  AnalysisPool Pool(1, 16);
+  // Same discipline as above: collect results while the gate is closed,
+  // open it, shut down, then assert — a fatal failure with the gate
+  // closed would deadlock the worker join.
+  std::mutex Gate;
+  std::condition_variable Cv;
+  bool Release = false;
+  std::atomic<bool> Claimed{false};
+  std::vector<int> Order;
+  std::mutex OrderLock;
+
+  bool GateQueued = Pool.tryEnqueue(0, [&] {
+    Claimed = true;
+    std::unique_lock<std::mutex> G(Gate);
+    Cv.wait(G, [&] { return Release; });
+  });
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!Claimed && std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  bool SawClaim = Claimed.load();
+  auto Record = [&](int Tag) {
+    return [&, Tag] {
+      std::lock_guard<std::mutex> G(OrderLock);
+      Order.push_back(Tag);
+    };
+  };
+  // Queued while the worker is blocked: low, high, high, low.
+  bool Queued = Pool.tryEnqueue(0, Record(1));
+  Queued = Pool.tryEnqueue(5, Record(2)) && Queued;
+  Queued = Pool.tryEnqueue(5, Record(3)) && Queued;
+  Queued = Pool.tryEnqueue(0, Record(4)) && Queued;
+  {
+    std::lock_guard<std::mutex> G(Gate);
+    Release = true;
+  }
+  Cv.notify_all();
+  Pool.shutdown();
+
+  ASSERT_TRUE(GateQueued);
+  ASSERT_TRUE(SawClaim) << "worker never claimed the blocking job";
+  ASSERT_TRUE(Queued);
+  EXPECT_EQ(Order, (std::vector<int>{2, 3, 1, 4}));
+}
+
+TEST(AnalysisPoolTest, ThrowingJobsAreContained) {
+  AnalysisPool Pool(2, 8);
+  std::atomic<int> After{0};
+  ASSERT_TRUE(Pool.tryEnqueue(0, [] { throw std::runtime_error("job"); }));
+  ASSERT_TRUE(Pool.tryEnqueue(0, [&] { ++After; }));
+  Pool.shutdown();
+  EXPECT_EQ(After.load(), 1) << "pool must survive a throwing job";
+  EXPECT_EQ(Pool.faultedCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceEngine end to end
+//===----------------------------------------------------------------------===//
+
+ServiceEngineOptions smallEngine() {
+  ServiceEngineOptions Opts;
+  Opts.Jobs = 2;
+  Opts.CacheEntries = 64;
+  Opts.CacheShards = 2;
+  Opts.QueueCapacity = 8;
+  return Opts;
+}
+
+TEST(ServiceEngineTest, IdenticalRequestsHitAndMatchSingleShotRuns) {
+  ServiceEngine Engine(smallEngine());
+  ServiceRequest Req = baseRequest();
+  Req.Id = 1;
+
+  ServiceResponse First = Engine.handle(Req);
+  ASSERT_EQ(First.Status, ServiceStatus::Ok) << First.Error;
+  EXPECT_FALSE(First.Cached);
+
+  Req.Id = 2;
+  ServiceResponse Second = Engine.handle(Req);
+  ASSERT_EQ(Second.Status, ServiceStatus::Ok);
+  EXPECT_TRUE(Second.Cached) << "identical request must hit";
+  EXPECT_EQ(Second.Id, 2u) << "id echoes the request, not the cache entry";
+  EXPECT_TRUE(Second.sameVerdict(First));
+
+  // Bit-identical to the library single-shot path.
+  RunOutcome Out = runRequest(Req.toRunRequest());
+  ASSERT_TRUE(Out.Ok);
+  EXPECT_EQ(First.VerdictDigest, verdictDigest(Out.Row));
+  EXPECT_EQ(First.RequestDigest, requestDigest(Out.ProgramDigest, Req));
+
+  ServiceEngineStats S = Engine.stats();
+  EXPECT_EQ(S.Requests, 2u);
+  EXPECT_EQ(S.CacheHits, 1u);
+  EXPECT_EQ(S.AnalysesRun, 1u);
+}
+
+TEST(ServiceEngineTest, DifferentOptionsNeverShareAVerdict) {
+  ServiceEngine Engine(smallEngine());
+  ServiceRequest Spec = baseRequest();
+  ServiceRequest NoSpec = baseRequest();
+  NoSpec.Speculative = false;
+
+  ServiceResponse A = Engine.handle(Spec);
+  ServiceResponse B = Engine.handle(NoSpec);
+  ASSERT_EQ(A.Status, ServiceStatus::Ok);
+  ASSERT_EQ(B.Status, ServiceStatus::Ok);
+  EXPECT_FALSE(B.Cached) << "different options must not hit";
+  EXPECT_NE(A.RequestDigest, B.RequestDigest);
+  // This program's speculative-only misses differ, so the verdicts do too.
+  EXPECT_NE(A.VerdictDigest, B.VerdictDigest);
+}
+
+TEST(ServiceEngineTest, CompileErrorsAreMemoizedResponsesNotCrashes) {
+  ServiceEngine Engine(smallEngine());
+  ServiceRequest Req = baseRequest();
+  Req.Source = "int main() { return undeclared; }";
+
+  ServiceResponse First = Engine.handle(Req);
+  EXPECT_EQ(First.Status, ServiceStatus::Error);
+  EXPECT_NE(First.Error.find("undeclared"), std::string::npos) << First.Error;
+
+  ServiceResponse Second = Engine.handle(Req);
+  EXPECT_EQ(Second.Status, ServiceStatus::Error);
+  EXPECT_TRUE(Second.Cached) << "compile errors memoize too";
+  ServiceEngineStats S = Engine.stats();
+  EXPECT_EQ(S.AnalysesRun, 1u) << "the broken source must compile only once";
+  EXPECT_EQ(S.CompileErrors, 1u);
+
+  // And the engine still serves good requests afterwards.
+  ServiceResponse Good = Engine.handle(baseRequest());
+  EXPECT_EQ(Good.Status, ServiceStatus::Ok) << Good.Error;
+}
+
+TEST(ServiceEngineTest, PingAndGarbageSurvival) {
+  ServiceEngine Engine(smallEngine());
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  Ping.Id = 77;
+  ServiceResponse R = Engine.handle(Ping);
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+  EXPECT_EQ(R.Id, 77u);
+
+  // Lexically hostile sources become error responses, not crashes.
+  for (const char *Bad : {"", "\x01\x02\x03", "int int int", "}{"}) {
+    ServiceRequest Req = baseRequest();
+    Req.Source = Bad;
+    EXPECT_EQ(Engine.handle(Req).Status, ServiceStatus::Error);
+  }
+}
+
+TEST(ServiceEngineTest, OverloadIsAnExplicitResponse) {
+  // One worker and a one-deep queue, fed from many threads at once: at
+  // least one request must be told `overloaded`, and every response must
+  // still be either a correct verdict or that rejection.
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Jobs = 1;
+  Opts.QueueCapacity = 1;
+  ServiceEngine Engine(Opts);
+
+  // Distinct programs so requests cannot coalesce or hit.
+  std::vector<ServiceRequest> Requests;
+  for (uint64_t I = 0; I != 8; ++I) {
+    ServiceRequest Req = baseRequest();
+    Req.Source = ProgramGen(1000 + I).generate().source();
+    Req.Id = I;
+    Requests.push_back(std::move(Req));
+  }
+
+  std::atomic<int> Ok{0}, Overloaded{0}, Other{0};
+  std::vector<std::thread> Threads;
+  for (const ServiceRequest &Req : Requests)
+    Threads.emplace_back([&Engine, &Req, &Ok, &Overloaded, &Other] {
+      ServiceResponse R = Engine.handle(Req);
+      if (R.Status == ServiceStatus::Ok)
+        ++Ok;
+      else if (R.Status == ServiceStatus::Overloaded)
+        ++Overloaded;
+      else
+        ++Other;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Other.load(), 0);
+  EXPECT_EQ(Ok.load() + Overloaded.load(), 8);
+  EXPECT_GT(Overloaded.load(), 0)
+      << "8 concurrent analyses against a 1-deep queue must overload";
+  EXPECT_EQ(Engine.stats().Overloaded,
+            static_cast<uint64_t>(Overloaded.load()));
+
+  // Overload is transient: the same requests succeed once the herd is
+  // gone.
+  for (const ServiceRequest &Req : Requests)
+    EXPECT_EQ(Engine.handle(Req).Status, ServiceStatus::Ok);
+}
+
+TEST(ServiceEngineTest, ConcurrentDuplicatesCoalesceOntoOneAnalysis) {
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Jobs = 1;
+  Opts.QueueCapacity = 16;
+  ServiceEngine Engine(Opts);
+
+  ServiceRequest Req = baseRequest();
+  std::vector<std::thread> Threads;
+  std::atomic<int> Ok{0};
+  for (int I = 0; I != 6; ++I)
+    Threads.emplace_back([&] {
+      if (Engine.handle(Req).Status == ServiceStatus::Ok)
+        ++Ok;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Ok.load(), 6);
+  ServiceEngineStats S = Engine.stats();
+  EXPECT_EQ(S.AnalysesRun, 1u)
+      << "identical concurrent requests must share one fixpoint";
+  EXPECT_EQ(S.CacheHits + S.Coalesced, 5u);
+}
+
+TEST(ServiceEngineTest, StatsJsonParsesAsAnOkResponse) {
+  ServiceEngine Engine(smallEngine());
+  Engine.handle(baseRequest());
+  std::string Line = Engine.statsJson(123);
+  ServiceResponse R;
+  std::string Error;
+  ASSERT_TRUE(ServiceResponse::fromJson(Line, R, Error)) << Error << "\n"
+                                                         << Line;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+  EXPECT_EQ(R.Id, 123u);
+  JsonObject O;
+  ASSERT_TRUE(parseJsonObject(Line, O, Error));
+  EXPECT_EQ(O["requests"].asInt(0), 1);
+  EXPECT_EQ(O["analyses_run"].asInt(0), 1);
+}
+
+} // namespace

@@ -11,6 +11,26 @@ JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 # document citation in source comments must resolve (tools/check_docs.sh).
 "$REPO/tools/check_docs.sh"
 
+# Daemon-safety greps (docs/SERVICE.md, "Daemon-safety ground rules").
+# Library code must never kill the process: a std::exit in src/ would be
+# fatal inside the long-lived specaid daemon. And error/warning
+# diagnostics must go to stderr everywhere — stdout is the protocol,
+# report, and JSON channel, so a stray error line corrupts whatever a
+# script is parsing. These regressed silently before (requireRow and
+# parseJobsFlag both exited; four benches printed errors to stdout).
+if grep -rn 'std::exit\|[^_[:alnum:]]exit *(' \
+    "$REPO/src" --include='*.cpp' --include='*.h' |
+    grep -v '^\([^:]*\):[0-9]*: *\(//\|\*\)'; then
+  echo "ci: FAIL - library code under src/ must not call exit()" >&2
+  exit 1
+fi
+if grep -rn 'printf("error\|printf("warning' \
+    "$REPO/src" "$REPO/tools" "$REPO/bench" \
+    --include='*.cpp' --include='*.h' | grep -v 'fprintf'; then
+  echo "ci: FAIL - diagnostics must go to stderr, not stdout" >&2
+  exit 1
+fi
+
 cmake -B "$BUILD" -S "$REPO" -DSPECAI_WERROR=ON
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
@@ -59,3 +79,37 @@ cat "$BUILD/fuzz_lowering_smoke.json"
 "$BUILD/bench/bench_fuzz_campaign" --jobs "$JOBS" \
   --json "$BUILD/bench_fuzz_campaign.json"
 echo "perf smoke timing JSON: $BUILD/bench_fuzz_campaign.json"
+
+# Service smoke (docs/SERVICE.md): boot a real specaid daemon on a
+# private socket, drive a 100-request/10-unique trace through it, and
+# demand (a) cache hits actually happened and (b) every daemon verdict
+# is bit-identical to a fresh in-process run (--check recomputes all
+# digests locally). Then the single-file path: the daemon's
+# verdict-digest line must match specai-cli --digest on the same input.
+SOCK="$BUILD/specaid-ci.sock"
+rm -f "$SOCK"
+"$BUILD/tools/specaid" --socket "$SOCK" --jobs "$JOBS" --cache 256 \
+  > "$BUILD/specaid-ci.log" 2>&1 &
+SPECAID_PID=$!
+trap 'kill "$SPECAID_PID" 2>/dev/null || true' EXIT
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  [ -S "$SOCK" ] && break
+  sleep 1
+done
+"$BUILD/tools/specaid-cli" --socket "$SOCK" \
+  --trace 100 --unique 10 --seed 1 --check
+DAEMON_DIGEST=$("$BUILD/tools/specaid-cli" --socket "$SOCK" \
+  "$REPO/examples/quickstart.mc" --lines 6 || [ $? -eq 2 ])
+DAEMON_DIGEST=$(printf '%s\n' "$DAEMON_DIGEST" | grep '^verdict-digest:')
+LOCAL_DIGEST=$("$BUILD/tools/specai-cli" "$REPO/examples/quickstart.mc" \
+  --lines 6 --digest --leaks || [ $? -eq 2 ])
+LOCAL_DIGEST=$(printf '%s\n' "$LOCAL_DIGEST" | grep '^verdict-digest:')
+if [ -z "$DAEMON_DIGEST" ] || [ "$DAEMON_DIGEST" != "$LOCAL_DIGEST" ]; then
+  echo "ci: FAIL - daemon verdict digest ($DAEMON_DIGEST) !=" \
+    "single-shot digest ($LOCAL_DIGEST)" >&2
+  exit 1
+fi
+"$BUILD/tools/specaid-cli" --socket "$SOCK" --shutdown
+wait "$SPECAID_PID"
+trap - EXIT
+echo "service smoke: trace checked, daemon digest matches $LOCAL_DIGEST"

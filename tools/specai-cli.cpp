@@ -32,6 +32,11 @@
 ///   --batch             run the Figure 6 sweep (all four merge strategies)
 ///                       in parallel and print one aggregated table
 ///   --jobs N            worker threads for --batch (default: all cores)
+///   --digest            print the program and verdict digests instead of
+///                       the full report — the same content-addressed
+///                       digests the specaid service computes
+///                       (docs/SERVICE.md), so scripts can check a daemon
+///                       verdict is bit-identical to a single-shot run
 ///
 /// Exit code: 0 on success, 1 on compile/analysis error, 2 when --leaks
 /// found a leak (so scripts can gate on it) — in batch mode, when any
@@ -55,21 +60,21 @@ using namespace specai;
 
 namespace {
 
-void usage() {
-  std::printf(
+void usage(std::FILE *To) {
+  std::fprintf(To,
       "usage: specai-cli FILE.mc [--entry NAME] [--lowering inline|summarize]\n"
       "       [--no-spec] [--lines N]\n"
       "       [--assoc N] [--depth-miss N] [--depth-hit N] [--strategy S]\n"
       "       [--policy lru|fifo|plru] [--no-shadow] [--refine]\n"
       "       [--dump-ir] [--dump-states] [--leaks] [--wcet] [--batch]\n"
-      "       [--jobs N]\n");
+      "       [--jobs N] [--digest]\n");
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
-    usage();
+    usage(stderr);
     return 1;
   }
 
@@ -79,7 +84,7 @@ int main(int Argc, char **Argv) {
   uint32_t Lines = 512;
   uint32_t Assoc = 0; // 0 = fully associative.
   bool DumpIr = false, DumpStates = false, Leaks = false, Wcet = false;
-  bool Batch = false, StrategySet = false, JobsSet = false;
+  bool Batch = false, StrategySet = false, JobsSet = false, Digest = false;
   ReplacementPolicy Policy = ReplacementPolicy::Lru;
   unsigned Jobs = 0; // 0 = all hardware threads.
 
@@ -87,7 +92,7 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       if (I + 1 >= Argc) {
-        std::printf("error: %s needs a value\n", Arg.c_str());
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
         std::exit(1);
       }
       return Argv[++I];
@@ -97,7 +102,7 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--lowering") {
       std::string M = Next();
       if (!parseLoweringMode(M, Lowering.Mode)) {
-        std::printf("error: unknown lowering mode '%s' (inline | summarize)\n",
+        std::fprintf(stderr, "error: unknown lowering mode '%s' (inline | summarize)\n",
                     M.c_str());
         return 1;
       }
@@ -123,13 +128,13 @@ int main(int Argc, char **Argv) {
       else if (S == "merge-at-rollback")
         Opts.Strategy = MergeStrategy::MergeAtRollback;
       else {
-        std::printf("error: unknown strategy '%s'\n", S.c_str());
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", S.c_str());
         return 1;
       }
     } else if (Arg == "--policy") {
       std::string P = Next();
       if (!parseReplacementPolicy(P, Policy)) {
-        std::printf("error: unknown policy '%s' (lru | fifo | plru)\n",
+        std::fprintf(stderr, "error: unknown policy '%s' (lru | fifo | plru)\n",
                     P.c_str());
         return 1;
       }
@@ -147,21 +152,23 @@ int main(int Argc, char **Argv) {
       Wcet = true;
     } else if (Arg == "--batch") {
       Batch = true;
+    } else if (Arg == "--digest") {
+      Digest = true;
     } else if (Arg == "--jobs") {
       const char *Value = Next();
       std::optional<unsigned> Parsed = parseUnsigned(Value);
       if (!Parsed) {
-        std::printf("error: --jobs needs a non-negative number, got '%s'\n",
+        std::fprintf(stderr, "error: --jobs needs a non-negative number, got '%s'\n",
                     Value);
         return 1;
       }
       Jobs = *Parsed;
       JobsSet = true;
     } else if (Arg == "--help" || Arg == "-h") {
-      usage();
+      usage(stdout);
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::printf("error: unknown option '%s'\n", Arg.c_str());
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return 1;
     } else {
       File = Arg;
@@ -169,16 +176,16 @@ int main(int Argc, char **Argv) {
   }
 
   if (File.empty()) {
-    usage();
+    usage(stderr);
     return 1;
   }
   if (JobsSet && !Batch) {
-    std::printf("error: --jobs only applies to --batch\n");
+    std::fprintf(stderr, "error: --jobs only applies to --batch\n");
     return 1;
   }
   std::ifstream In(File);
   if (!In) {
-    std::printf("error: cannot open '%s'\n", File.c_str());
+    std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
     return 1;
   }
   std::stringstream Buffer;
@@ -187,7 +194,7 @@ int main(int Argc, char **Argv) {
   DiagnosticEngine Diags;
   auto CP = compileSource(Buffer.str(), Diags, Lowering);
   if (!CP) {
-    std::printf("%s", Diags.str().c_str());
+    std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
   if (DumpIr) {
@@ -204,13 +211,45 @@ int main(int Argc, char **Argv) {
     // complete binary tree); every other failure is plain geometry.
     if (Policy == ReplacementPolicy::Plru &&
         Opts.Cache.withPolicy(ReplacementPolicy::Lru).isValid())
-      std::printf("error: --policy plru needs power-of-two associativity "
+      std::fprintf(stderr, "error: --policy plru needs power-of-two associativity "
                   "(got %u ways)\n",
                   Opts.Cache.Associativity);
     else
-      std::printf("error: invalid cache geometry (%u lines, %u ways)\n",
+      std::fprintf(stderr, "error: invalid cache geometry (%u lines, %u ways)\n",
                   Lines, Assoc);
     return 1;
+  }
+
+  if (Digest) {
+    // Digest mode answers "what would the specaid daemon say" — it runs
+    // through the same runRequest entry point the service uses, so the
+    // verdict digest it prints must match a service response for the same
+    // source and options bit for bit.
+    if (Batch || Wcet || DumpStates) {
+      std::fprintf(stderr, "error: --digest applies to plain single runs; drop "
+                   "--batch/--wcet/--dump-states\n");
+      return 1;
+    }
+    RunRequest Req;
+    Req.Source = Buffer.str();
+    Req.Lowering = Lowering;
+    Req.Options = Opts;
+    Req.DetectLeaks = Leaks;
+    RunOutcome Out = runRequest(Req);
+    if (!Out.Ok) {
+      std::fprintf(stderr, "%s", Out.Error.c_str());
+      return 1;
+    }
+    std::printf("program-digest: 0x%016llx\n",
+                static_cast<unsigned long long>(Out.ProgramDigest));
+    std::printf("verdict-digest: 0x%016llx\n",
+                static_cast<unsigned long long>(verdictDigest(Out.Row)));
+    if (Leaks && Out.Row.LeakCount != 0) {
+      for (const std::string &Site : Out.Row.LeakSites)
+        std::printf("%s\n", Site.c_str());
+      return 2;
+    }
+    return 0;
   }
 
   if (Batch) {
@@ -220,17 +259,17 @@ int main(int Argc, char **Argv) {
     // refuse contradictions and single-run-only flags rather than
     // silently overriding them.
     if (!Opts.Speculative) {
-      std::printf("error: --batch sweeps merge strategies, which only "
+      std::fprintf(stderr, "error: --batch sweeps merge strategies, which only "
                   "exist speculatively; drop --no-spec\n");
       return 1;
     }
     if (StrategySet) {
-      std::printf("error: --batch sweeps all merge strategies; drop "
+      std::fprintf(stderr, "error: --batch sweeps all merge strategies; drop "
                   "--strategy\n");
       return 1;
     }
     if (Wcet || DumpStates) {
-      std::printf("error: %s applies to single runs only; drop it or "
+      std::fprintf(stderr, "error: %s applies to single runs only; drop it or "
                   "--batch\n",
                   Wcet ? "--wcet" : "--dump-states");
       return 1;

@@ -73,8 +73,8 @@ using namespace specai;
 
 namespace {
 
-void usage() {
-  std::printf(
+void usage(std::FILE *To) {
+  std::fprintf(To,
       "usage: specai-fuzz [--seed N] [--programs N] [--jobs N] [--lines N]\n"
       "       [--oracle cache|wcet|leak|lowering|all] [--assoc N]\n"
       "       [--policy lru|fifo|plru|all] [--depth-miss N]\n"
@@ -93,7 +93,7 @@ void usage() {
 unsigned parseNum(const char *Arg, const char *Value) {
   std::optional<unsigned> N = parseUnsigned(Value);
   if (!N) {
-    std::printf("error: %s needs a non-negative number, got '%s'\n", Arg,
+    std::fprintf(stderr, "error: %s needs a non-negative number, got '%s'\n", Arg,
                 Value);
     std::exit(1);
   }
@@ -168,9 +168,10 @@ void reportCounterexamples(const FuzzCampaignResult &R,
       std::printf("  written to %s\n", Path.c_str());
     } else {
       // Losing the replayable artifact silently would defeat the whole
-      // minimization pipeline; dump it to stdout instead.
-      std::printf("  error: cannot write %s; counterexample follows:\n%s\n",
-                  Path.c_str(), CE.replayFile(Oracle).c_str());
+      // minimization pipeline; dump it to stderr with the error instead.
+      std::fprintf(stderr,
+                   "  error: cannot write %s; counterexample follows:\n%s\n",
+                   Path.c_str(), CE.replayFile(Oracle).c_str());
     }
   }
 }
@@ -353,7 +354,7 @@ bool parseReplayLine(const std::string &Line, std::string &Key,
 int replay(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
-    std::printf("error: cannot read '%s'\n", Path.c_str());
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
     return 1;
   }
   std::stringstream Buffer;
@@ -377,7 +378,7 @@ int replay(const std::string &Path) {
     std::istringstream V(Value);
     if (Key == "oracle") {
       if (!parseOracleKind(Value, OracleMask)) {
-        std::printf("error: unknown replay-oracle '%s'\n", Value.c_str());
+        std::fprintf(stderr, "error: unknown replay-oracle '%s'\n", Value.c_str());
         return 1;
       }
     } else if (Key == "wcet") {
@@ -386,7 +387,7 @@ int replay(const std::string &Path) {
       // timing model and report "did not reproduce"; fail loudly instead.
       if (std::sscanf(Value.c_str(), "hit=%u,miss=%u,alu=%u,branch=%u",
                       &Hit, &Miss, &Alu, &Branch) != 4) {
-        std::printf("error: malformed replay-wcet header '%s'\n",
+        std::fprintf(stderr, "error: malformed replay-wcet header '%s'\n",
                     Value.c_str());
         return 1;
       }
@@ -400,14 +401,14 @@ int replay(const std::string &Path) {
       // The only recorded mode is the summarize diff (the inline-unroll
       // side is the implicit reference); anything else is a corrupt file.
       if (Value != "summarize") {
-        std::printf("error: unknown replay-lowering '%s'\n", Value.c_str());
+        std::fprintf(stderr, "error: unknown replay-lowering '%s'\n", Value.c_str());
         return 1;
       }
     } else if (Key == "lowering-fault") {
       // A lowering self-test counterexample; replay against the same
       // deliberately broken summarize lowering.
       if (!parseLoweringFault(Value, Opts.LFault)) {
-        std::printf("error: unknown replay-lowering-fault '%s'\n",
+        std::fprintf(stderr, "error: unknown replay-lowering-fault '%s'\n",
                     Value.c_str());
         return 1;
       }
@@ -415,7 +416,7 @@ int replay(const std::string &Path) {
       // A self-test counterexample; replay against the same deliberately
       // broken verdict layer.
       if (!parseVerdictFault(Value, Opts.VFault)) {
-        std::printf("error: unknown replay-verdict-fault '%s'\n",
+        std::fprintf(stderr, "error: unknown replay-verdict-fault '%s'\n",
                     Value.c_str());
         return 1;
       }
@@ -432,7 +433,7 @@ int replay(const std::string &Path) {
               ? std::strtoull(Tag.c_str() + 1, &TagEnd, 10)
               : 0;
       if (Tag.size() < 2 || Tag[0] != 'v' || !TagEnd || *TagEnd != '\0') {
-        std::printf("error: malformed replay-secret variant tag '%s'\n",
+        std::fprintf(stderr, "error: malformed replay-secret variant tag '%s'\n",
                     Tag.c_str());
         return 1;
       }
@@ -467,7 +468,7 @@ int replay(const std::string &Path) {
       Opts.DepthHit = Hit;
     } else if (Key == "policy") {
       if (!parseReplacementPolicy(Value, Opts.Cache.Policy)) {
-        std::printf("error: unknown replay-policy '%s'\n", Value.c_str());
+        std::fprintf(stderr, "error: unknown replay-policy '%s'\n", Value.c_str());
         return 1;
       }
     } else if (Key == "shadow") {
@@ -524,7 +525,7 @@ int replay(const std::string &Path) {
     for (auto &P : makeStandardPredictors())
       Known |= P->name() == Spec.PredictorName;
     if (!Known) {
-      std::printf("error: unknown replay-predictor '%s'\n",
+      std::fprintf(stderr, "error: unknown replay-predictor '%s'\n",
                   Spec.PredictorName.c_str());
       return 1;
     }
@@ -533,7 +534,7 @@ int replay(const std::string &Path) {
   DiagnosticEngine Diags;
   auto CP = compileSource(Text, Diags);
   if (!CP) {
-    std::printf("error: counterexample does not compile:\n%s\n",
+    std::fprintf(stderr, "error: counterexample does not compile:\n%s\n",
                 Diags.str().c_str());
     return 1;
   }
@@ -581,7 +582,7 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       if (I + 1 >= Argc) {
-        std::printf("error: %s needs a value\n", Arg.c_str());
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
         std::exit(1);
       }
       return Argv[++I];
@@ -601,7 +602,7 @@ int main(int Argc, char **Argv) {
       if (P == "all")
         AllPolicies = true;
       else if (!parseReplacementPolicy(P, Policy)) {
-        std::printf("error: unknown policy '%s' (lru | fifo | plru | all)\n",
+        std::fprintf(stderr, "error: unknown policy '%s' (lru | fifo | plru | all)\n",
                     P.c_str());
         return 1;
       }
@@ -609,7 +610,7 @@ int main(int Argc, char **Argv) {
       std::string Kind = Next();
       unsigned Mask = 0;
       if (!parseOracleKind(Kind, Mask)) {
-        std::printf("error: unknown oracle '%s' (cache | wcet | leak | "
+        std::fprintf(stderr, "error: unknown oracle '%s' (cache | wcet | leak | "
                     "lowering | all)\n",
                     Kind.c_str());
         return 1;
@@ -652,7 +653,7 @@ int main(int Argc, char **Argv) {
       else if (parseLoweringFault(Kind, LF) && LF != LoweringFault::None)
         O.Oracle.LFault = LF;
       else {
-        std::printf("error: unknown fault '%s'\n", Kind.c_str());
+        std::fprintf(stderr, "error: unknown fault '%s'\n", Kind.c_str());
         return 1;
       }
     } else if (Arg == "--selftest") {
@@ -661,7 +662,7 @@ int main(int Argc, char **Argv) {
       if (I + 1 < Argc && Argv[I + 1][0] != '-') {
         std::string Suite = Argv[++I];
         if (!parseOracleKind(Suite, SelfTestSuites)) {
-          std::printf("error: unknown selftest suite '%s' (cache | wcet | "
+          std::fprintf(stderr, "error: unknown selftest suite '%s' (cache | wcet | "
                       "leak | lowering | all)\n",
                       Suite.c_str());
           return 1;
@@ -670,11 +671,11 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--replay") {
       ReplayPath = Next();
     } else if (Arg == "--help" || Arg == "-h") {
-      usage();
+      usage(stdout);
       return 0;
     } else {
-      std::printf("error: unknown argument '%s'\n", Arg.c_str());
-      usage();
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      usage(stderr);
       return 1;
     }
   }
@@ -702,12 +703,12 @@ int main(int Argc, char **Argv) {
   // constraint, so a PLRU request over a valid-but-odd geometry gets the
   // tailored message instead of a generic one.
   if (!O.Oracle.Cache.isValid()) {
-    std::printf("error: invalid cache geometry (%u lines, %u-way)\n", Lines,
+    std::fprintf(stderr, "error: invalid cache geometry (%u lines, %u-way)\n", Lines,
                 Assoc);
     return 1;
   }
   if (!AllPolicies && !O.Oracle.Cache.withPolicy(Policy).isValid()) {
-    std::printf("error: --policy %s needs power-of-two associativity "
+    std::fprintf(stderr, "error: --policy %s needs power-of-two associativity "
                 "(got %u-way)\n",
                 replacementPolicyName(Policy),
                 O.Oracle.Cache.Associativity);

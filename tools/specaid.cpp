@@ -1,0 +1,123 @@
+//===- specaid.cpp - The persistent analysis daemon ------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The specaid daemon (docs/SERVICE.md): listens on a Unix-domain socket
+/// for newline-delimited JSON analysis requests, serves repeats from a
+/// content-addressed verdict cache, and schedules misses on a bounded
+/// worker pool. Runs in the foreground until a `shutdown` request
+/// arrives; the socket file is removed on exit.
+///
+///   specaid --socket PATH [options]
+///
+///   --socket PATH   Unix socket to listen on (required)
+///   --jobs N        analysis worker threads (default: all cores)
+///   --cache N       verdict-cache capacity in entries (default 4096)
+///   --shards N      verdict-cache shards (default 8)
+///   --queue N       queued-analysis bound before `overloaded` (default 64)
+///   --spill DIR     existing directory for the cache's disk spill tier
+///
+/// Exit code: 0 after a clean shutdown, 1 on startup failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "specai/SpecAI.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace specai;
+
+namespace {
+
+void usage(std::FILE *To) {
+  std::fprintf(To, "usage: specaid --socket PATH [--jobs N] [--cache N] "
+                   "[--shards N] [--queue N] [--spill DIR]\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath;
+  ServiceEngineOptions Opts;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(1);
+      }
+      return Argv[++I];
+    };
+    auto NextUnsigned = [&]() -> unsigned {
+      const char *Value = Next();
+      std::optional<unsigned> Parsed = parseUnsigned(Value);
+      if (!Parsed) {
+        std::fprintf(stderr, "error: %s needs a non-negative number, got '%s'\n",
+                     Arg.c_str(), Value);
+        std::exit(1);
+      }
+      return *Parsed;
+    };
+    if (Arg == "--socket") {
+      SocketPath = Next();
+    } else if (Arg == "--jobs") {
+      Opts.Jobs = NextUnsigned();
+    } else if (Arg == "--cache") {
+      Opts.CacheEntries = NextUnsigned();
+    } else if (Arg == "--shards") {
+      Opts.CacheShards = NextUnsigned();
+    } else if (Arg == "--queue") {
+      Opts.QueueCapacity = NextUnsigned();
+    } else if (Arg == "--spill") {
+      Opts.SpillDir = Next();
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "error: --socket PATH is required\n");
+    usage(stderr);
+    return 1;
+  }
+  if (Opts.CacheEntries == 0) {
+    std::fprintf(stderr, "error: --cache must be at least 1\n");
+    return 1;
+  }
+
+  ServiceEngine Engine(Opts);
+  ServiceServer Server(Engine);
+  std::string Error;
+  if (!Server.start(SocketPath, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("specaid: listening on %s (%u jobs, %llu cache entries, "
+              "queue %zu)\n",
+              SocketPath.c_str(), Engine.jobCount(),
+              static_cast<unsigned long long>(Opts.CacheEntries),
+              Opts.QueueCapacity);
+  std::fflush(stdout); // Launch scripts wait for this line.
+
+  Server.wait();
+
+  ServiceEngineStats S = Engine.stats();
+  std::printf("specaid: served %llu requests (%llu cache hits, %llu "
+              "analyses, %llu overloaded) over %llu connections\n",
+              static_cast<unsigned long long>(S.Requests),
+              static_cast<unsigned long long>(S.CacheHits),
+              static_cast<unsigned long long>(S.AnalysesRun),
+              static_cast<unsigned long long>(S.Overloaded),
+              static_cast<unsigned long long>(Server.connectionCount()));
+  return 0;
+}
