@@ -29,7 +29,10 @@ struct ServiceClient::Impl {
   bool writeAll(const std::string &Line, std::string &Error) {
     size_t Off = 0;
     while (Off < Line.size()) {
-      ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+      // MSG_NOSIGNAL: a daemon that died mid-request surfaces as an EPIPE
+      // error return, not a SIGPIPE that kills the client.
+      ssize_t N = ::send(Fd, Line.data() + Off, Line.size() - Off,
+                         MSG_NOSIGNAL);
       if (N <= 0) {
         Error = std::string("write: ") + std::strerror(errno);
         return false;

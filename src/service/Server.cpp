@@ -7,6 +7,7 @@
 
 #include "service/Server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -24,11 +25,13 @@ using namespace specai;
 namespace {
 
 /// Writes all of \p Line (which must end in '\n') to \p Fd. False on any
-/// write error — the connection is beyond saving then.
+/// write error — the connection is beyond saving then. MSG_NOSIGNAL turns
+/// a client that vanished before its response was written into an EPIPE
+/// return instead of a SIGPIPE that would kill the whole daemon.
 bool writeAll(int Fd, const std::string &Line) {
   size_t Off = 0;
   while (Off < Line.size()) {
-    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    ssize_t N = ::send(Fd, Line.data() + Off, Line.size() - Off, MSG_NOSIGNAL);
     if (N <= 0)
       return false;
     Off += static_cast<size_t>(N);
@@ -50,6 +53,11 @@ struct ServiceServer::Impl {
   std::condition_variable ConnDone;
   std::vector<std::thread> ConnThreads;
   size_t LiveConnections = 0;
+  /// Open connection fds, so stopListening() can shut them down and wake
+  /// serveConnection threads blocked in read() on idle clients. An fd is
+  /// removed (and closed) under ConnLock before its thread exits, so a
+  /// shutdown never touches a recycled descriptor.
+  std::vector<int> LiveFds;
 
   std::mutex DoneLock;
   std::condition_variable Done;
@@ -70,9 +78,13 @@ struct ServiceServer::Impl {
       ++Connections;
       std::lock_guard<std::mutex> Guard(ConnLock);
       ++LiveConnections;
+      LiveFds.push_back(Fd);
       ConnThreads.emplace_back([this, Fd] {
         serveConnection(Fd);
         std::lock_guard<std::mutex> G(ConnLock);
+        LiveFds.erase(std::remove(LiveFds.begin(), LiveFds.end(), Fd),
+                      LiveFds.end());
+        ::close(Fd);
         --LiveConnections;
         ConnDone.notify_all();
       });
@@ -106,8 +118,7 @@ struct ServiceServer::Impl {
         break;
       Buffer.append(Chunk, static_cast<size_t>(N));
     }
-  done:
-    ::close(Fd);
+  done:; // The spawning lambda closes Fd, under ConnLock with LiveFds.
   }
 
   /// Handles one request line; false ends the connection (write failure
@@ -145,6 +156,13 @@ struct ServiceServer::Impl {
     // shutdown() wakes the blocked accept(); close follows in teardown.
     if (ListenFd >= 0)
       ::shutdown(ListenFd, SHUT_RDWR);
+    // Also wake every connection thread parked in read() on an idle
+    // client (the persistent editor connections docs/SERVICE.md
+    // advertises): their reads return 0 and the threads exit, so a
+    // shutdown request cannot hang the daemon until all clients leave.
+    std::lock_guard<std::mutex> Guard(ConnLock);
+    for (int Fd : LiveFds)
+      ::shutdown(Fd, SHUT_RDWR);
   }
 };
 

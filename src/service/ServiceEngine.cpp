@@ -44,16 +44,21 @@ ServiceResponse ServiceEngine::handle(const ServiceRequest &Req) {
 }
 
 ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
-  const uint64_t SrcKey = fnv1a(Req.loweringKey() + '\0' + Req.Source);
+  std::string SrcKeyStr = Req.loweringKey();
+  SrcKeyStr += '\0';
+  SrcKeyStr += Req.Source;
+  const uint64_t SrcKey = fnv1a(SrcKeyStr);
 
-  // Tier 1: the source memo.
+  // Tier 1: the source memo. The stored full key must match too — a bare
+  // SrcKey collision between distinct sources degrades to a miss, never to
+  // another program's digest.
   uint64_t ProgramDigest = 0;
   bool HaveDigest = false;
   {
     std::lock_guard<std::mutex> Guard(Lock);
     ++Requests;
     auto It = SourceMemo.find(SrcKey);
-    if (It != SourceMemo.end()) {
+    if (It != SourceMemo.end() && It->second.Key == SrcKeyStr) {
       if (!It->second.Ok) {
         // Memoized compile error: answer without recompiling.
         ++CacheHits;
@@ -112,7 +117,23 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
   if (Prom) {
     bool Queued = Pool.tryEnqueue(Req.Priority, [this, Req, SrcKey, FlightKey,
                                                  Prom] {
-      ServiceResponse Out = runAnalysis(Req, SrcKey);
+      // An analysis that throws (requireRow, a rethrown parallelFor worker
+      // fault, bad_alloc, ...) must still resolve the promise: the waiter
+      // below — and every duplicate coalesced onto this flight — blocks in
+      // Fut.get() while holding the promise alive, so a swallowed exception
+      // would park them all forever.
+      ServiceResponse Out;
+      try {
+        Out = runAnalysis(Req, SrcKey);
+      } catch (const std::exception &E) {
+        Out = ServiceResponse();
+        Out.Status = ServiceStatus::Error;
+        Out.Error = std::string("analysis failed: ") + E.what();
+      } catch (...) {
+        Out = ServiceResponse();
+        Out.Status = ServiceStatus::Error;
+        Out.Error = "analysis failed: unknown exception";
+      }
       {
         std::lock_guard<std::mutex> Guard(Lock);
         InFlight.erase(FlightKey);
@@ -151,6 +172,9 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
 ServiceResponse ServiceEngine::runAnalysis(const ServiceRequest &Req,
                                            uint64_t SrcKey) {
   RunOutcome Out = runRequest(Req.toRunRequest());
+  std::string SrcKeyStr = Req.loweringKey();
+  SrcKeyStr += '\0';
+  SrcKeyStr += Req.Source;
   {
     std::lock_guard<std::mutex> Guard(Lock);
     ++AnalysesRun;
@@ -158,6 +182,7 @@ ServiceResponse ServiceEngine::runAnalysis(const ServiceRequest &Req,
     M.Ok = Out.Ok;
     M.ProgramDigest = Out.ProgramDigest;
     M.Error = Out.Error;
+    M.Key = std::move(SrcKeyStr);
     if (!Out.Ok)
       ++CompileErrors;
   }

@@ -77,7 +77,7 @@ struct ServiceEngineStats {
 class ServiceEngine {
 public:
   explicit ServiceEngine(const ServiceEngineOptions &Opts);
-  ~ServiceEngine();
+  virtual ~ServiceEngine();
 
   /// Handles one Analyze or Ping request, blocking until the response is
   /// ready (instant for cache hits, pings, and overload rejections).
@@ -94,19 +94,29 @@ public:
 
   unsigned jobCount() const { return Pool.jobCount(); }
 
+protected:
+  /// Runs the analysis synchronously (called on a pool worker), fills the
+  /// memo, publishes to the verdict cache, and returns the response.
+  /// Virtual as a test seam: service_test overrides it to throw, pinning
+  /// that a faulting analysis releases its waiters with an error response
+  /// instead of stranding them on a never-fulfilled promise.
+  virtual ServiceResponse runAnalysis(const ServiceRequest &Req,
+                                      uint64_t SrcKey);
+
 private:
   /// What the source memo remembers per (loweringKey, source) pair.
   struct CompileMemo {
     bool Ok = false;
     uint64_t ProgramDigest = 0;
     std::string Error;
+    /// The full loweringKey + source the entry was stored under. SrcKey is
+    /// only a 64-bit hash; mirroring VerdictCache's collision guard, a
+    /// lookup whose full key differs is treated as a miss so a hash
+    /// collision can never return another program's digest.
+    std::string Key;
   };
 
   ServiceResponse handleAnalyze(const ServiceRequest &Req);
-
-  /// Runs the analysis synchronously (called on a pool worker), fills the
-  /// memo, publishes to the verdict cache, and returns the response.
-  ServiceResponse runAnalysis(const ServiceRequest &Req, uint64_t SrcKey);
 
   VerdictCache Cache;
   AnalysisPool Pool;

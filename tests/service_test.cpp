@@ -17,7 +17,9 @@
 #include "service/ServiceEngine.h"
 
 #include "fuzz/ProgramGen.h"
+#include "service/Client.h"
 #include "service/Json.h"
+#include "service/Server.h"
 
 #include <gtest/gtest.h>
 
@@ -25,10 +27,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <set>
 #include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace specai;
 
@@ -613,6 +620,52 @@ TEST(ServiceEngineTest, ConcurrentDuplicatesCoalesceOntoOneAnalysis) {
   EXPECT_EQ(S.CacheHits + S.Coalesced, 5u);
 }
 
+/// Overrides the runAnalysis seam to throw, standing in for the real
+/// library throws a daemon must survive (requireRow, a rethrown
+/// parallelFor worker fault, bad_alloc).
+class ThrowingEngine : public ServiceEngine {
+public:
+  using ServiceEngine::ServiceEngine;
+  std::atomic<int> FaultsLeft{0};
+
+protected:
+  ServiceResponse runAnalysis(const ServiceRequest &Req,
+                              uint64_t SrcKey) override {
+    if (FaultsLeft.fetch_sub(1) > 0)
+      throw std::runtime_error("injected analysis fault");
+    return ServiceEngine::runAnalysis(Req, SrcKey);
+  }
+};
+
+TEST(ServiceEngineTest, ThrowingAnalysisReleasesEveryWaiterWithAnError) {
+  // Regression: a pool job that threw used to skip both the InFlight
+  // erasure and set_value, so the submitting thread — and every duplicate
+  // coalesced onto the same flight — hung in Fut.get() forever.
+  ThrowingEngine Engine(smallEngine());
+  Engine.FaultsLeft = 1000; // Every analysis in the herd faults.
+  ServiceRequest Req = baseRequest();
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> Errors{0};
+  for (int I = 0; I != 4; ++I)
+    Threads.emplace_back([&] {
+      ServiceResponse R = Engine.handle(Req);
+      if (R.Status == ServiceStatus::Error &&
+          R.Error.find("injected analysis fault") != std::string::npos)
+        ++Errors;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Errors.load(), 4)
+      << "every waiter on a faulting analysis must get an error response";
+
+  // The flight was cleaned up: once the fault clears, the very same
+  // request runs fresh instead of coalescing onto a dead future.
+  Engine.FaultsLeft = 0;
+  ServiceResponse R = Engine.handle(Req);
+  EXPECT_EQ(R.Status, ServiceStatus::Ok) << R.Error;
+}
+
 TEST(ServiceEngineTest, StatsJsonParsesAsAnOkResponse) {
   ServiceEngine Engine(smallEngine());
   Engine.handle(baseRequest());
@@ -627,6 +680,101 @@ TEST(ServiceEngineTest, StatsJsonParsesAsAnOkResponse) {
   ASSERT_TRUE(parseJsonObject(Line, O, Error));
   EXPECT_EQ(O["requests"].asInt(0), 1);
   EXPECT_EQ(O["analyses_run"].asInt(0), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceServer over a real socket
+//===----------------------------------------------------------------------===//
+
+std::string testSocketPath(const char *Tag) {
+  return "/tmp/specaid_test_" + std::string(Tag) + "_" +
+         std::to_string(static_cast<unsigned long>(::getpid())) + ".sock";
+}
+
+TEST(ServiceServerTest, ShutdownDoesNotWaitForIdleConnections) {
+  ServiceEngine Engine(smallEngine());
+  ServiceServer Server(Engine);
+  std::string Error;
+  const std::string Path = testSocketPath("idle");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  // A persistent connection that goes quiet, like an idle editor
+  // integration. The ping guarantees the server has accepted it before
+  // the shutdown request arrives.
+  ServiceClient Idle;
+  ASSERT_TRUE(Idle.connect(Path, Error)) << Error;
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  ServiceResponse R;
+  ASSERT_TRUE(Idle.call(Ping, R, Error)) << Error;
+
+  ServiceClient Ctl;
+  ASSERT_TRUE(Ctl.connect(Path, Error)) << Error;
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ASSERT_TRUE(Ctl.call(Down, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+
+  // Regression: wait() used to block until every client voluntarily
+  // disconnected, because connection threads sat in read() on idle peers.
+  std::atomic<bool> Returned{false};
+  std::thread Waiter([&] {
+    Server.wait();
+    Returned = true;
+  });
+  for (int I = 0; I != 500 && !Returned.load(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(Returned.load())
+      << "shutdown must not wait for idle connections to hang up";
+  Idle.close(); // Unblocks the server so the test terminates even on fail.
+  Waiter.join();
+}
+
+TEST(ServiceServerTest, ClientsThatVanishBeforeTheResponseDoNotKillIt) {
+  // Regression: the response write to a client that already closed used to
+  // raise SIGPIPE, whose default disposition would terminate this whole
+  // process — one misbehaving client killing the shared daemon.
+  ServiceEngine Engine(smallEngine());
+  ServiceServer Server(Engine);
+  std::string Error;
+  const std::string Path = testSocketPath("vanish");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  const std::string Line = Ping.toJson() + "\n";
+  for (int I = 0; I != 8; ++I) {
+    // Fire the request and slam the connection without reading the reply:
+    // the queued bytes still reach the server, whose write then hits a
+    // fully closed peer.
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    ASSERT_LT(Path.size(), sizeof(Addr.sun_path));
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0);
+    ASSERT_EQ(::write(Fd, Line.data(), Line.size()),
+              static_cast<ssize_t>(Line.size()));
+    ::close(Fd);
+  }
+
+  // The daemon is still alive and serving.
+  ServiceClient C;
+  ASSERT_TRUE(C.connect(Path, Error)) << Error;
+  ServiceRequest Req;
+  Req.Op = ServiceOp::Ping;
+  Req.Id = 5;
+  ServiceResponse R;
+  ASSERT_TRUE(C.call(Req, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ASSERT_TRUE(C.call(Down, R, Error)) << Error;
+  Server.wait();
 }
 
 } // namespace

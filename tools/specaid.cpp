@@ -26,6 +26,7 @@
 
 #include "specai/SpecAI.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,12 @@ void usage(std::FILE *To) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Writes race with client disconnects by design (a timed-out client may
+  // close before its response lands); they must surface as EPIPE errors on
+  // the one connection, never as a process-killing SIGPIPE. The socket
+  // writes also pass MSG_NOSIGNAL, but this covers every other fd too.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string SocketPath;
   ServiceEngineOptions Opts;
 
