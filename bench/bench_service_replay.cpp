@@ -27,6 +27,12 @@
 /// bit-identical digests and identical cache counters — the daemon's
 /// answers must not depend on its parallelism.
 ///
+/// Phase 4 is the faulted replay: the same engine with the worker-stall
+/// fault armed and per-request deadlines. The availability claim from
+/// docs/SERVICE.md is measured directly — every request gets a definitive
+/// answer (a verdict or `status: timeout`) within twice its deadline,
+/// stalls included — along with the p99 answer latency under fault.
+///
 /// Exit code: 0 when every assertion holds (including replay throughput
 /// >= 100x single-shot), 1 otherwise. `--json FILE` writes the checked-in
 /// BENCH_service.json record.
@@ -35,6 +41,7 @@
 
 #include "specai/SpecAI.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -123,9 +130,91 @@ ReplayResult replay(const std::vector<UniqueProgram> &Uniques,
   return Out;
 }
 
+// Faulted-replay shape: a handful of healthy programs whose generous
+// deadline rides out the injected stall, a handful of doomed ones whose
+// strict deadline cannot, and a run of duplicate traffic over the healthy
+// set once its verdicts are cached.
+constexpr uint64_t FaultHealthy = 8;
+constexpr uint64_t FaultDoomed = 8;
+constexpr uint64_t FaultDuplicates = 48;
+constexpr uint64_t FaultTraceLen = FaultHealthy + FaultDoomed + FaultDuplicates;
+constexpr uint64_t GenerousDeadlineMs = 400; // Outlives the ~100ms stall.
+constexpr uint64_t StrictDeadlineMs = 50;    // Cannot survive the stall.
+
+struct FaultedResult {
+  bool Ok = false;
+  uint64_t OkCount = 0;
+  uint64_t TimeoutCount = 0;
+  /// Requests answered (verdict or explicit timeout) within twice their
+  /// deadline — the availability the service promises under fault.
+  uint64_t OnTime = 0;
+  double P99Ms = 0;
+};
+
+FaultedResult faultedReplay() {
+  ServiceEngineOptions Opts;
+  Opts.Jobs = 2;
+  Opts.CacheEntries = 4096;
+  Opts.QueueCapacity = 64;
+  Opts.Fault = ServiceFault::WorkerStall;
+  ServiceEngine Engine(Opts);
+
+  // Healthy and doomed programs are disjoint fresh seeds: every doomed
+  // request is a cache miss that must ride the stalled worker into its
+  // deadline, every healthy one pays the stall once and hits thereafter.
+  std::vector<ServiceRequest> Healthy, Doomed;
+  for (uint64_t I = 0; I != FaultHealthy; ++I) {
+    ServiceRequest Req;
+    Req.Source = ProgramGen(SeedBase + 10000 + I).generate().source();
+    Req.Cache = CacheConfig::fullyAssociative(8);
+    Req.TimeoutMs = GenerousDeadlineMs;
+    Healthy.push_back(std::move(Req));
+  }
+  for (uint64_t I = 0; I != FaultDoomed; ++I) {
+    ServiceRequest Req;
+    Req.Source = ProgramGen(SeedBase + 20000 + I).generate().source();
+    Req.Cache = CacheConfig::fullyAssociative(8);
+    Req.TimeoutMs = StrictDeadlineMs;
+    Doomed.push_back(std::move(Req));
+  }
+
+  FaultedResult Out;
+  std::vector<double> LatenciesMs;
+  LatenciesMs.reserve(FaultTraceLen);
+  Rng Pick(SeedBase + 99);
+  for (uint64_t I = 0; I != FaultTraceLen; ++I) {
+    // Interleave: healthy misses, doomed misses, then duplicate traffic.
+    ServiceRequest Req =
+        I < FaultHealthy ? Healthy[I]
+        : I < FaultHealthy + FaultDoomed
+            ? Doomed[I - FaultHealthy]
+            : Healthy[Pick.nextBelow(FaultHealthy)];
+    Req.Id = I;
+    Timer T;
+    ServiceResponse Resp = Engine.handle(Req);
+    double Ms = T.seconds() * 1000;
+    LatenciesMs.push_back(Ms);
+    if (Resp.Status == ServiceStatus::Ok)
+      ++Out.OkCount;
+    else if (Resp.Status == ServiceStatus::Timeout)
+      ++Out.TimeoutCount;
+    else {
+      std::fprintf(stderr, "error: faulted request %llu: %s\n",
+                   static_cast<unsigned long long>(I), Resp.Error.c_str());
+      return Out;
+    }
+    if (Ms <= 2 * static_cast<double>(Req.TimeoutMs))
+      ++Out.OnTime;
+  }
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  Out.P99Ms = LatenciesMs[(LatenciesMs.size() * 99) / 100];
+  Out.Ok = true;
+  return Out;
+}
+
 bool writeJson(const char *Path, double SingleShotSeconds,
                const ReplayResult &A, const ReplayResult &B, unsigned JobsA,
-               unsigned JobsB, double Speedup) {
+               unsigned JobsB, double Speedup, const FaultedResult &Faulted) {
   std::FILE *F = std::fopen(Path, "w");
   if (!F)
     return false;
@@ -151,7 +240,14 @@ bool writeJson(const char *Path, double SingleShotSeconds,
       "  \"verdicts_bit_identical_to_single_shot\": true,\n"
       "  \"jobs_compared\": [%u, %u],\n"
       "  \"replay_seconds_alt_jobs\": %.3f,\n"
-      "  \"jobs_invariant\": true\n"
+      "  \"jobs_invariant\": true,\n"
+      "  \"faulted_fault\": \"worker-stall\",\n"
+      "  \"faulted_requests\": %llu,\n"
+      "  \"faulted_deadlines_ms\": [%llu, %llu],\n"
+      "  \"faulted_ok\": %llu,\n"
+      "  \"faulted_timeouts\": %llu,\n"
+      "  \"faulted_availability\": %.4f,\n"
+      "  \"faulted_p99_ms\": %.1f\n"
       "}\n",
       static_cast<unsigned long long>(TraceLen),
       static_cast<unsigned long long>(UniqueCount),
@@ -164,7 +260,14 @@ bool writeJson(const char *Path, double SingleShotSeconds,
       static_cast<double>(TraceLen) / A.Seconds, Speedup,
       static_cast<unsigned long long>(A.Hits),
       static_cast<unsigned long long>(A.AnalysesRun), JobsA, JobsB,
-      B.Seconds);
+      B.Seconds, static_cast<unsigned long long>(FaultTraceLen),
+      static_cast<unsigned long long>(StrictDeadlineMs),
+      static_cast<unsigned long long>(GenerousDeadlineMs),
+      static_cast<unsigned long long>(Faulted.OkCount),
+      static_cast<unsigned long long>(Faulted.TimeoutCount),
+      static_cast<double>(Faulted.OnTime) /
+          static_cast<double>(FaultTraceLen),
+      Faulted.P99Ms);
   std::fclose(F);
   return true;
 }
@@ -286,8 +389,42 @@ int main(int Argc, char **Argv) {
     std::printf("  identical digests and counters (%.3fs)\n", B.Seconds);
   }
 
+  // Phase 4: the same engine under an injected worker stall, every
+  // request budgeted. Availability is the claim: a definitive answer
+  // within twice each request's deadline, verdict or timeout.
+  std::printf("phase 4: faulted replay (worker-stall, %llu requests)\n",
+              static_cast<unsigned long long>(FaultTraceLen));
+  FaultedResult F = faultedReplay();
+  if (!F.Ok)
+    return 1;
+  std::printf("  %llu ok, %llu timeouts, availability %.1f%%, p99 %.0fms\n",
+              static_cast<unsigned long long>(F.OkCount),
+              static_cast<unsigned long long>(F.TimeoutCount),
+              100.0 * static_cast<double>(F.OnTime) /
+                  static_cast<double>(FaultTraceLen),
+              F.P99Ms);
+  if (F.OnTime != FaultTraceLen) {
+    std::fprintf(stderr,
+                 "FAIL: %llu of %llu faulted requests missed their 2x "
+                 "deadline bound\n",
+                 static_cast<unsigned long long>(FaultTraceLen - F.OnTime),
+                 static_cast<unsigned long long>(FaultTraceLen));
+    Pass = false;
+  }
+  if (F.TimeoutCount < FaultDoomed ||
+      F.OkCount + F.TimeoutCount != FaultTraceLen) {
+    std::fprintf(stderr,
+                 "FAIL: faulted replay expected >= %llu timeouts and only "
+                 "ok/timeout statuses (got %llu ok, %llu timeouts)\n",
+                 static_cast<unsigned long long>(FaultDoomed),
+                 static_cast<unsigned long long>(F.OkCount),
+                 static_cast<unsigned long long>(F.TimeoutCount));
+    Pass = false;
+  }
+
   if (JsonPath && Pass &&
-      !writeJson(JsonPath, SingleShotSeconds, A, B, JobsA, JobsB, Speedup)) {
+      !writeJson(JsonPath, SingleShotSeconds, A, B, JobsA, JobsB, Speedup,
+                 F)) {
     std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
     return 1;
   }

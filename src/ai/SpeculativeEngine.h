@@ -164,6 +164,9 @@ template <typename DomainT> struct SpecResult {
   std::vector<State> Speculative;
   uint64_t Iterations = 0;
   bool Converged = true;
+  /// True iff an ExecBudget cut the run short (see EngineOptions::Budget);
+  /// distinct from a MaxIterations trip, which only clears Converged.
+  bool BudgetExceeded = false;
 
   /// The observable (architectural) input state at \p N: Normal joined
   /// with PostRollback. Classification of real cache behavior must use
@@ -473,6 +476,10 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
       return; // Injected fault: pretend speculation never starts.
     if (SeedColors[Node].empty())
       return;
+    // Window boundary: opening a new speculation window on an exhausted
+    // budget only generates work the drain loop will abandon anyway.
+    if (Options.Budget && Options.Budget->exhausted())
+      return;
     State CanonOut = Canon(Out);
     for (ColorId C : SeedColors[Node]) {
       uint32_t Site = Plan.colors()[C].Site;
@@ -508,6 +515,11 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
     while (!Worklist.empty()) {
       if (++R.Iterations > Options.MaxIterations) {
         R.Converged = false;
+        return;
+      }
+      if (Options.Budget && Options.Budget->chargeStep()) {
+        R.Converged = false;
+        R.BudgetExceeded = true;
         return;
       }
       NodeId Node = Worklist.pop();
@@ -594,6 +606,8 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
   // differential fuzzer (specai-fuzz).
   auto ReseedStaleSites = [&]() {
     bool Reseeded = false;
+    if (Options.Budget && Options.Budget->exhausted())
+      return false; // Window boundary: no new rounds on a dead budget.
     for (uint32_t Site = 0; Site != Plan.siteCount(); ++Site) {
       uint32_t Want = SiteDepth(Site);
       if (Want <= MaxSeeded[Site])

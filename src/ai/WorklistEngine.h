@@ -40,6 +40,7 @@
 
 #include "cfg/FlatCfg.h"
 #include "cfg/LoopInfo.h"
+#include "support/ExecBudget.h"
 #include "support/Statistics.h"
 
 #include <deque>
@@ -85,6 +86,13 @@ struct EngineOptions {
   /// When set, the engine reports worklist/memo counters here (prefixed
   /// "worklist." for the baseline, "spec." for the speculative engine).
   StatisticSet *Stats = nullptr;
+  /// Cooperative cancellation: when set, every worklist pop charges one
+  /// step and an exhausted budget aborts the fixpoint with Converged=false
+  /// and BudgetExceeded=true. Unlike MaxIterations (a per-fixpoint safety
+  /// valve whose trip still yields an Ok verdict), a tripped budget means
+  /// the *request* is over — the service answers `status: timeout` and
+  /// never caches the partial result. Not part of any cache key.
+  ExecBudget *Budget = nullptr;
 };
 
 /// Work queue over CFG nodes with an on-worklist bitmap: a node is never
@@ -184,6 +192,10 @@ template <typename DomainT> struct FixpointResult {
   /// Worklist pops until convergence.
   uint64_t Iterations = 0;
   bool Converged = true;
+  /// True iff the run was cut short by an exhausted ExecBudget (deadline,
+  /// step cap, or external cancel) rather than by convergence or the
+  /// MaxIterations safety valve.
+  bool BudgetExceeded = false;
 };
 
 /// Runs Algorithm 1: initializes the entry to Domain::entry() and every
@@ -223,6 +235,11 @@ FixpointResult<DomainT> runFixpoint(DomainT &D, const FlatCfg &G,
   while (!Worklist.empty()) {
     if (++R.Iterations > Options.MaxIterations) {
       R.Converged = false;
+      break;
+    }
+    if (Options.Budget && Options.Budget->chargeStep()) {
+      R.Converged = false;
+      R.BudgetExceeded = true;
       break;
     }
     NodeId Node = Worklist.pop();

@@ -148,6 +148,7 @@ SpecEngineOptions makeEngineOptions(const MustHitOptions &O,
   if (O.Order)
     E.Order = *O.Order;
   E.Stats = O.Stats;
+  E.Budget = O.Budget;
   E.Fault = O.Fault;
   E.DropWidenPush = O.LFault == LoweringFault::DropWiden;
   E.SkipBackedges = O.LFault == LoweringFault::SkipBackedge;
@@ -208,6 +209,7 @@ MustHitReport runEngines(const CompiledProgram &CP,
     E.MaxIterations = Options.MaxIterations;
     E.Order = Options.Order.value_or(WorklistOrder::Rpo);
     E.Stats = Options.Stats;
+    E.Budget = Options.Budget;
     E.DropWidenPush = Options.LFault == LoweringFault::DropWiden;
     E.SkipBackedges = Options.LFault == LoweringFault::SkipBackedge;
     FixpointResult<CacheDomain> F = runFixpoint(D, CP.G, E, &CP.LI);
@@ -216,6 +218,9 @@ MustHitReport runEngines(const CompiledProgram &CP,
     Report.States.Speculative.assign(CP.G.size(), CacheAbsState::bottom());
     Report.Iterations = F.Iterations;
     Report.Converged = F.Converged;
+    Report.BudgetExceeded = F.BudgetExceeded;
+    if (Report.BudgetExceeded)
+      return Report; // Partial states: the report is void, skip classify.
     classify(CP, D, Report);
     return Report;
   }
@@ -235,6 +240,9 @@ MustHitReport runEngines(const CompiledProgram &CP,
         runSpeculativeFixpoint(D, CP.G, CP.Plan, E, &CP.LI);
     Report.Iterations += Report.States.Iterations;
     Report.Converged = Report.States.Converged;
+    Report.BudgetExceeded = Report.States.BudgetExceeded;
+    if (Report.BudgetExceeded)
+      break; // Dead budget: no classification, no further rounds.
     classify(CP, D, Report);
 
     if (!Options.IterativeDepthRefinement ||
@@ -371,6 +379,15 @@ MustHitReport specai::runMustHitAnalysis(const CompiledProgram &CP,
         Options.LFault == LoweringFault::StaleSummary;
     auto R = std::make_unique<MustHitReport>(
         runEngines(*CalleeCP, CalleeOpts, CalleeDom));
+    if (R->BudgetExceeded) {
+      // A budget that dies in a callee voids the whole module run: its
+      // summary would be built from partial states.
+      MustHitReport Aborted;
+      Aborted.MM = std::make_unique<MemoryModel>(*CP.P, Options.Cache);
+      Aborted.BudgetExceeded = true;
+      Aborted.Converged = false;
+      return Aborted;
+    }
     Summaries.push_back(buildSummary(*CalleeCP, *R, Summaries));
     CalleeReports.push_back(std::move(R));
   }

@@ -159,6 +159,12 @@ struct MustHitOptions {
   /// lowering oracle's self-test; see LoweringFault. Never set outside
   /// tests.
   LoweringFault LFault = LoweringFault::None;
+  /// Cooperative cancellation budget (docs/SERVICE.md, "Deadlines and
+  /// budgets"), threaded into every engine invocation this run makes —
+  /// refinement rounds and Summarize callee fixpoints included. A tripped
+  /// budget aborts the run with MustHitReport::BudgetExceeded; the report's
+  /// classification vectors may then be empty and must not be consumed.
+  ExecBudget *Budget = nullptr;
 };
 
 /// Classification outcome of the static cache analysis.
@@ -189,6 +195,11 @@ struct MustHitReport {
   uint64_t Iterations = 0;   // Worklist iterations.
   unsigned RefinementRounds = 1;
   bool Converged = true;
+  /// The run's ExecBudget tripped (deadline, step cap, or cancel). The
+  /// per-node vectors may be partial or empty; callers must treat the
+  /// whole report as void — the service answers `status: timeout` and
+  /// never caches it.
+  bool BudgetExceeded = false;
 
   /// Summarize mode: per-callee analysis reports, in CompiledProgram::
   /// Callees order (their per-node vectors index the callee's own CFG).

@@ -54,6 +54,9 @@ BatchRow runVariant(const CompiledProgram &CP, const BatchVariant &V) {
   Row.Iterations = R.Iterations;
   Row.RefinementRounds = R.RefinementRounds;
   Row.Converged = R.Converged;
+  Row.BudgetExceeded = R.BudgetExceeded;
+  if (Row.BudgetExceeded)
+    return Row; // Void report: classification vectors may be empty.
   if (V.DetectLeaks) {
     SideChannelReport SC = detectLeaks(CP, R);
     Row.LeaksChecked = true;

@@ -86,6 +86,10 @@ struct BatchRow {
   uint64_t Iterations = 0;
   unsigned RefinementRounds = 1;
   bool Converged = true;
+  /// The run's ExecBudget tripped; every other field of this row is void
+  /// (the leak scan is skipped too). Excluded from sameResults like
+  /// Seconds — a timed-out row asserts nothing about the program.
+  bool BudgetExceeded = false;
 
   // SideChannelReport counters (Table 7 columns); only meaningful when
   // LeaksChecked (the variant ran with DetectLeaks = true). LeakSites

@@ -46,17 +46,54 @@ const char *specai::serviceStatusName(ServiceStatus S) {
     return "error";
   case ServiceStatus::Overloaded:
     return "overloaded";
+  case ServiceStatus::Timeout:
+    return "timeout";
   }
   return "?";
 }
 
 bool specai::parseServiceStatus(const std::string &Name, ServiceStatus &Out) {
   for (ServiceStatus S :
-       {ServiceStatus::Ok, ServiceStatus::Error, ServiceStatus::Overloaded})
+       {ServiceStatus::Ok, ServiceStatus::Error, ServiceStatus::Overloaded,
+        ServiceStatus::Timeout})
     if (Name == serviceStatusName(S)) {
       Out = S;
       return true;
     }
+  return false;
+}
+
+const char *specai::serviceFaultName(ServiceFault F) {
+  switch (F) {
+  case ServiceFault::None:
+    return "none";
+  case ServiceFault::SpillTruncate:
+    return "spill-truncate";
+  case ServiceFault::SpillGarbage:
+    return "spill-garbage";
+  case ServiceFault::WorkerStall:
+    return "worker-stall";
+  case ServiceFault::AnalysisThrow:
+    return "analysis-throw";
+  case ServiceFault::OversizedRequest:
+    return "oversized-request";
+  case ServiceFault::SlowClient:
+    return "slow-client";
+  }
+  return "?";
+}
+
+bool specai::parseServiceFault(const std::string &Name, ServiceFault &Out) {
+  for (ServiceFault F :
+       {ServiceFault::None, ServiceFault::SpillTruncate,
+        ServiceFault::SpillGarbage, ServiceFault::WorkerStall,
+        ServiceFault::AnalysisThrow, ServiceFault::OversizedRequest,
+        ServiceFault::SlowClient}) {
+    if (Name == serviceFaultName(F)) {
+      Out = F;
+      return true;
+    }
+  }
   return false;
 }
 
@@ -204,6 +241,10 @@ std::string ServiceRequest::toJson() const {
     W.field("priority", Priority);
   if (Op != ServiceOp::Analyze)
     return W.finish();
+  if (TimeoutMs != 0)
+    W.field("timeout_ms", TimeoutMs);
+  if (MaxSteps != 0)
+    W.field("max_iterations", MaxSteps);
   W.field("source", Source);
   W.field("entry", Entry);
   W.field("lowering", loweringModeName(Mode));
@@ -233,7 +274,7 @@ bool ServiceRequest::fromJson(const std::string &Line, ServiceRequest &Out,
       "op",       "id",      "priority",  "source",    "entry",
       "lowering", "lines",   "line_size", "assoc",     "policy",
       "strategy", "bounding", "spec",     "shadow",    "depth_miss",
-      "depth_hit", "refine", "leaks"};
+      "depth_hit", "refine", "leaks",     "timeout_ms", "max_iterations"};
   for (const auto &[Key, Value] : O) {
     bool Ok = false;
     for (const char *K : Known)
@@ -272,7 +313,7 @@ bool ServiceRequest::fromJson(const std::string &Line, ServiceRequest &Out,
     for (const char *K : {"source", "entry", "lowering", "lines", "line_size",
                           "assoc", "policy", "strategy", "bounding", "spec",
                           "shadow", "depth_miss", "depth_hit", "refine",
-                          "leaks"})
+                          "leaks", "timeout_ms", "max_iterations"})
       if (O.count(K)) {
         Error = std::string("request: '") + K + "' is not valid for op '" +
                 serviceOpName(Out.Op) + "'";
@@ -340,6 +381,11 @@ bool ServiceRequest::fromJson(const std::string &Line, ServiceRequest &Out,
   if (O.count("depth_hit"))
     Out.DepthHit = static_cast<uint32_t>(U);
 
+  if (!takeUInt(O, "timeout_ms", UINT64_MAX >> 1, Out.TimeoutMs, Error))
+    return false;
+  if (!takeUInt(O, "max_iterations", UINT64_MAX >> 1, Out.MaxSteps, Error))
+    return false;
+
   if (!takeBool(O, "spec", Out.Speculative, Error) ||
       !takeBool(O, "shadow", Out.UseShadow, Error) ||
       !takeBool(O, "refine", Out.Refine, Error) ||
@@ -387,7 +433,7 @@ std::string ServiceResponse::toJson() const {
   JsonWriter W;
   W.field("status", serviceStatusName(Status));
   W.field("id", Id);
-  if (Status == ServiceStatus::Error || Status == ServiceStatus::Overloaded) {
+  if (Status != ServiceStatus::Ok) {
     if (!Error.empty())
       W.field("error", Error);
     if (RequestDigest)

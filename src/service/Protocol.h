@@ -57,6 +57,15 @@ struct ServiceRequest {
   uint64_t Id = 0;
   /// Higher runs first when misses queue on the analysis pool.
   int64_t Priority = 0;
+  /// Wall-clock budget in milliseconds (0 = unlimited). Measured from the
+  /// moment the engine accepts the request; covers queueing and analysis.
+  /// An exceeded budget answers `status: timeout`, which is never cached.
+  /// Queueing metadata like Id/Priority: excluded from optionKey().
+  uint64_t TimeoutMs = 0;
+  /// Fixpoint step cap across every engine invocation of the request
+  /// (worklist pops; 0 = unlimited). Also queueing metadata — it bounds
+  /// *whether* the analysis finishes, never what a finished verdict says.
+  uint64_t MaxSteps = 0;
 
   std::string Source;
   std::string Entry = "main";
@@ -98,10 +107,48 @@ struct ServiceRequest {
 
 /// Response status. Overloaded is backpressure: the bounded analysis
 /// queue was full, nothing was scheduled, and the client should retry.
-enum class ServiceStatus : uint8_t { Ok, Error, Overloaded };
+/// Timeout is a spent budget: the request's `timeout_ms`/`max_iterations`
+/// allowance ran out (or the daemon began shutting down) before the
+/// fixpoint converged; the partial result is discarded, never cached.
+enum class ServiceStatus : uint8_t { Ok, Error, Overloaded, Timeout };
 
 const char *serviceStatusName(ServiceStatus S);
 bool parseServiceStatus(const std::string &Name, ServiceStatus &Out);
+
+/// Deliberate, test-only faults in the *service* layer — the daemon's
+/// transport, scheduling, and persistence tiers. Completes the repo's
+/// fault-injection ladder (EngineFault / VerdictFault / LoweringFault one
+/// level down): `specaid --inject-fault <name>` boots a daemon with one
+/// rung armed, and the service_test fault matrix plus the CI chaos leg
+/// prove every rung is contained — wrong-but-plausible behavior must
+/// degrade to counted misses, explicit error statuses, or timeouts, never
+/// to a wrong verdict or a wedged daemon. Never set outside tests.
+enum class ServiceFault : uint8_t {
+  None,
+  /// Spill writes truncate mid-payload before the atomic rename — the
+  /// on-disk image a kill -9 during a write would leave behind.
+  SpillTruncate,
+  /// Spill writes replace the payload with garbage bytes (bit rot, torn
+  /// sector): the checksum trailer must reject it on read.
+  SpillGarbage,
+  /// Analysis workers stall past any request deadline before running the
+  /// fixpoint: every budgeted request must still answer `timeout` within
+  /// 2x its deadline while unbudgeted concurrent requests complete.
+  WorkerStall,
+  /// Analysis jobs throw after scheduling: waiters and coalesced
+  /// duplicates must each get an error response, never hang.
+  AnalysisThrow,
+  /// The server's line-framing limit shrinks to 128 bytes, so ordinary
+  /// requests exercise the oversized-request rejection path.
+  OversizedRequest,
+  /// Response writes dribble out a few bytes at a time with pauses: a
+  /// slow consumer must not wedge other connections or shutdown.
+  SlowClient,
+};
+
+const char *serviceFaultName(ServiceFault F);
+/// Parses a service fault name; returns false on unknown names.
+bool parseServiceFault(const std::string &Name, ServiceFault &Out);
 
 /// One response line.
 struct ServiceResponse {

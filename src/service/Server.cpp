@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -43,6 +44,7 @@ bool writeAll(int Fd, const std::string &Line) {
 
 struct ServiceServer::Impl {
   ServiceEngine &Engine;
+  ServerOptions Opts;
   int ListenFd = -1;
   std::string SocketPath;
   std::thread AcceptThread;
@@ -63,7 +65,30 @@ struct ServiceServer::Impl {
   std::condition_variable Done;
   bool Finished = false;
 
-  explicit Impl(ServiceEngine &Engine) : Engine(Engine) {}
+  explicit Impl(ServiceEngine &Engine, const ServerOptions &Opts)
+      : Engine(Engine), Opts(Opts) {
+    // Injected fault: shrink the framing limit so ordinary requests trip
+    // the oversized-request rejection path a 1 MiB default never would in
+    // tests.
+    if (Opts.Fault == ServiceFault::OversizedRequest)
+      this->Opts.MaxRequestBytes = 128;
+  }
+
+  /// Response writer honoring the SlowClient rung: dribble the line out a
+  /// few bytes at a time with pauses, modeling a peer whose socket buffer
+  /// drains slowly. Containment: only this connection's thread is slowed;
+  /// other connections and shutdown proceed (stopListening() shuts this fd
+  /// down, which makes the next send fail and the thread exit).
+  bool writeLine(int Fd, const std::string &Line) {
+    if (Opts.Fault != ServiceFault::SlowClient)
+      return writeAll(Fd, Line);
+    for (size_t Off = 0; Off < Line.size(); Off += 7) {
+      if (!writeAll(Fd, Line.substr(Off, 7)))
+        return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
 
   void acceptLoop() {
     while (!Stopping.load()) {
@@ -110,8 +135,21 @@ struct ServiceServer::Impl {
         Buffer.erase(0, Nl + 1);
         if (Line.empty())
           continue;
+        if (Line.size() > Opts.MaxRequestBytes) {
+          rejectOversized(Fd);
+          goto done;
+        }
         if (!handleLine(Fd, Line))
           goto done;
+      }
+      // Framing bound, streaming side: everything buffered is one
+      // unterminated line at this point. A peer streaming an endless line
+      // (malicious or just broken) is cut off here instead of growing the
+      // daemon's heap without bound — without waiting for a newline that
+      // may never come.
+      if (Buffer.size() > Opts.MaxRequestBytes) {
+        rejectOversized(Fd);
+        break;
       }
       ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
       if (N <= 0)
@@ -119,6 +157,16 @@ struct ServiceServer::Impl {
       Buffer.append(Chunk, static_cast<size_t>(N));
     }
   done:; // The spawning lambda closes Fd, under ConnLock with LiveFds.
+  }
+
+  /// Tells a peer its request line blew the framing bound, before the
+  /// connection closes. Best-effort: the peer may already be gone.
+  void rejectOversized(int Fd) {
+    ServiceResponse R;
+    R.Status = ServiceStatus::Error;
+    R.Error = "request line exceeds " +
+              std::to_string(Opts.MaxRequestBytes) + " bytes";
+    writeLine(Fd, R.toJson() + "\n");
   }
 
   /// Handles one request line; false ends the connection (write failure
@@ -130,19 +178,23 @@ struct ServiceServer::Impl {
       ServiceResponse R;
       R.Status = ServiceStatus::Error;
       R.Error = Error;
-      return writeAll(Fd, R.toJson() + "\n");
+      return writeLine(Fd, R.toJson() + "\n");
     }
     switch (Req.Op) {
     case ServiceOp::Analyze:
     case ServiceOp::Ping:
-      return writeAll(Fd, Engine.handle(Req).toJson() + "\n");
+      return writeLine(Fd, Engine.handle(Req).toJson() + "\n");
     case ServiceOp::Stats:
-      return writeAll(Fd, Engine.statsJson(Req.Id) + "\n");
+      return writeLine(Fd, Engine.statsJson(Req.Id) + "\n");
     case ServiceOp::Shutdown: {
       ServiceResponse R;
       R.Status = ServiceStatus::Ok;
       R.Id = Req.Id;
-      writeAll(Fd, R.toJson() + "\n");
+      writeLine(Fd, R.toJson() + "\n");
+      // Cancel in-flight analyses before tearing down the transport:
+      // their budgets poll the engine's cancel flag, so the drain in
+      // acceptLoop finishes in polls, not fixpoints.
+      Engine.beginShutdown();
       stopListening();
       return false;
     }
@@ -160,14 +212,17 @@ struct ServiceServer::Impl {
     // client (the persistent editor connections docs/SERVICE.md
     // advertises): their reads return 0 and the threads exit, so a
     // shutdown request cannot hang the daemon until all clients leave.
+    // Read side only: a thread mid-handle() still owes its client a
+    // response (e.g. the `timeout` for an analysis the shutdown just
+    // cancelled), and the write side must stay open to deliver it.
     std::lock_guard<std::mutex> Guard(ConnLock);
     for (int Fd : LiveFds)
-      ::shutdown(Fd, SHUT_RDWR);
+      ::shutdown(Fd, SHUT_RD);
   }
 };
 
-ServiceServer::ServiceServer(ServiceEngine &Engine)
-    : I(std::make_unique<Impl>(Engine)) {}
+ServiceServer::ServiceServer(ServiceEngine &Engine, const ServerOptions &Opts)
+    : I(std::make_unique<Impl>(Engine, Opts)) {}
 
 ServiceServer::~ServiceServer() {
   stop();

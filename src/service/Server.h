@@ -29,11 +29,24 @@
 
 namespace specai {
 
+/// Transport knobs of the daemon's socket front end.
+struct ServerOptions {
+  /// Bound on a single buffered request line. A peer streaming an endless
+  /// line (malicious or just broken) gets a `status: error` response and
+  /// its connection closed once the buffer passes this, instead of growing
+  /// the daemon's heap without bound.
+  size_t MaxRequestBytes = 1 << 20;
+  /// Test-only fault injection (docs/SERVICE.md fault matrix): only the
+  /// transport rungs (OversizedRequest, SlowClient) act here.
+  ServiceFault Fault = ServiceFault::None;
+};
+
 /// Unix-domain-socket server wrapping a ServiceEngine.
 class ServiceServer {
 public:
   /// \p Engine must outlive the server.
-  explicit ServiceServer(ServiceEngine &Engine);
+  explicit ServiceServer(ServiceEngine &Engine,
+                         const ServerOptions &Opts = {});
   ~ServiceServer();
 
   ServiceServer(const ServiceServer &) = delete;

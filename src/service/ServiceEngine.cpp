@@ -10,17 +10,28 @@
 #include "fuzz/StateDigest.h"
 #include "service/Json.h"
 
+#include <chrono>
 #include <memory>
+#include <stdexcept>
+#include <thread>
 
 using namespace specai;
 
 ServiceEngine::ServiceEngine(const ServiceEngineOptions &Opts)
-    : Cache(Opts.CacheEntries, Opts.CacheShards, Opts.SpillDir),
-      Pool(Opts.Jobs, Opts.QueueCapacity) {}
+    : Cache(Opts.CacheEntries, Opts.CacheShards, Opts.SpillDir, Opts.Fault),
+      Pool(Opts.Jobs, Opts.QueueCapacity),
+      MemoCapacity(Opts.MemoEntries ? Opts.MemoEntries : 1),
+      Fault(Opts.Fault) {}
 
 ServiceEngine::~ServiceEngine() {
-  // Quiesce the workers before any member they touch is destroyed.
+  // Cancel in-flight and queued analyses (their budgets poll the flag),
+  // then quiesce the workers before any member they touch is destroyed.
+  beginShutdown();
   Pool.shutdown();
+}
+
+void ServiceEngine::beginShutdown() {
+  ShuttingDown.store(true, std::memory_order_relaxed);
 }
 
 ServiceResponse ServiceEngine::handle(const ServiceRequest &Req) {
@@ -44,6 +55,12 @@ ServiceResponse ServiceEngine::handle(const ServiceRequest &Req) {
 }
 
 ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
+  // The deadline anchors at acceptance: queueing, stalls, and analysis all
+  // spend the same allowance, so "answers within 2x its deadline" holds
+  // whatever the pool is doing.
+  const auto Deadline = ExecBudget::Clock::now() +
+                        std::chrono::milliseconds(Req.TimeoutMs);
+
   std::string SrcKeyStr = Req.loweringKey();
   SrcKeyStr += '\0';
   SrcKeyStr += Req.Source;
@@ -57,19 +74,18 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
   {
     std::lock_guard<std::mutex> Guard(Lock);
     ++Requests;
-    auto It = SourceMemo.find(SrcKey);
-    if (It != SourceMemo.end() && It->second.Key == SrcKeyStr) {
-      if (!It->second.Ok) {
+    if (CompileMemo *M = memoLookup(SrcKey, SrcKeyStr)) {
+      if (!M->Ok) {
         // Memoized compile error: answer without recompiling.
         ++CacheHits;
         ServiceResponse R;
         R.Status = ServiceStatus::Error;
         R.Id = Req.Id;
         R.Cached = true;
-        R.Error = It->second.Error;
+        R.Error = M->Error;
         return R;
       }
-      ProgramDigest = It->second.ProgramDigest;
+      ProgramDigest = M->ProgramDigest;
       HaveDigest = true;
     }
   }
@@ -115,8 +131,14 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
   }
 
   if (Prom) {
+    // The flight's budget: this request's deadline and step cap, plus the
+    // engine-wide shutdown flag. Unbudgeted requests still carry one so
+    // shutdown can cancel them while queued or mid-fixpoint. Owned by the
+    // job (shared_ptr) — the enqueuing thread may return before it runs.
+    auto Budget = std::make_shared<ExecBudget>(Req.TimeoutMs, Req.MaxSteps,
+                                               &ShuttingDown);
     bool Queued = Pool.tryEnqueue(Req.Priority, [this, Req, SrcKey, FlightKey,
-                                                 Prom] {
+                                                 Prom, Budget] {
       // An analysis that throws (requireRow, a rethrown parallelFor worker
       // fault, bad_alloc, ...) must still resolve the promise: the waiter
       // below — and every duplicate coalesced onto this flight — blocks in
@@ -124,7 +146,7 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
       // would park them all forever.
       ServiceResponse Out;
       try {
-        Out = runAnalysis(Req, SrcKey);
+        Out = runAnalysis(Req, SrcKey, *Budget);
       } catch (const std::exception &E) {
         Out = ServiceResponse();
         Out.Status = ServiceStatus::Error;
@@ -158,8 +180,28 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
     }
   }
 
+  // Budgeted waiters detach at their own deadline: a coalesced duplicate
+  // with a short deadline must not inherit a longer flight's latency, and
+  // a worker stalled past every deadline must not strand anyone. The
+  // flight itself keeps running and resolves for patient waiters; its
+  // verdict (if Ok) is cached for the detached client's retry.
+  if (Req.TimeoutMs != 0 &&
+      Fut.wait_until(Deadline) == std::future_status::timeout) {
+    ServiceResponse R;
+    R.Status = ServiceStatus::Timeout;
+    R.Id = Req.Id;
+    R.Error = "deadline exceeded before the analysis finished";
+    std::lock_guard<std::mutex> Guard(Lock);
+    ++Timeouts;
+    return R;
+  }
+
   ServiceResponse R = Fut.get();
   R.Id = Req.Id;
+  if (R.Status == ServiceStatus::Timeout) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ++Timeouts;
+  }
   if (!Prom && R.Status == ServiceStatus::Ok) {
     // A coalesced duplicate: the verdict exists because some *other*
     // request paid for it.
@@ -170,21 +212,53 @@ ServiceResponse ServiceEngine::handleAnalyze(const ServiceRequest &Req) {
 }
 
 ServiceResponse ServiceEngine::runAnalysis(const ServiceRequest &Req,
-                                           uint64_t SrcKey) {
-  RunOutcome Out = runRequest(Req.toRunRequest());
+                                           uint64_t SrcKey,
+                                           ExecBudget &Budget) {
+  // Injected fault: every analysis throws after scheduling. Containment
+  // is the enqueue lambda's catch — waiters and coalesced duplicates all
+  // get an error response, the pool worker survives.
+  if (Fault == ServiceFault::AnalysisThrow)
+    throw std::runtime_error("injected fault: analysis-throw");
+
+  // Injected fault: the worker stalls before touching the fixpoint, well
+  // past any realistic deadline — the containment claim is that budgeted
+  // waiters still answer `timeout` on time and the daemon stays healthy.
+  if (Fault == ServiceFault::WorkerStall) {
+    for (int I = 0; I != 20 && !Budget.exhausted(); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // A budget spent while queued (or a daemon mid-shutdown) short-circuits:
+  // running the analysis would only delay the timeout answer.
+  auto TimeoutResponse = [&] {
+    ServiceResponse R;
+    R.Status = ServiceStatus::Timeout;
+    R.Error = std::string("analysis budget exhausted (") +
+              budgetTripName(Budget.trip()) + ")";
+    return R;
+  };
+  if (Budget.exhausted())
+    return TimeoutResponse();
+
+  RunRequest RR = Req.toRunRequest();
+  RR.Options.Budget = &Budget;
+  RunOutcome Out = runRequest(RR);
   std::string SrcKeyStr = Req.loweringKey();
   SrcKeyStr += '\0';
   SrcKeyStr += Req.Source;
   {
     std::lock_guard<std::mutex> Guard(Lock);
     ++AnalysesRun;
-    CompileMemo &M = SourceMemo[SrcKey];
+    CompileMemo M;
     M.Ok = Out.Ok;
     M.ProgramDigest = Out.ProgramDigest;
     M.Error = Out.Error;
     M.Key = std::move(SrcKeyStr);
     if (!Out.Ok)
       ++CompileErrors;
+    // The compile outcome is budget-independent, so memoizing it is safe
+    // even when the fixpoint below timed out.
+    memoStore(SrcKey, std::move(M));
   }
   if (!Out.Ok) {
     ServiceResponse R;
@@ -192,10 +266,40 @@ ServiceResponse ServiceEngine::runAnalysis(const ServiceRequest &Req,
     R.Error = Out.Error;
     return R;
   }
+  if (Out.Row.BudgetExceeded)
+    return TimeoutResponse(); // Partial fixpoint: never cached.
   ServiceResponse R = ServiceResponse::fromRow(Out.Row);
   R.RequestDigest = requestDigest(Out.ProgramDigest, Req);
   Cache.insert(R.RequestDigest, requestKeyString(Out.ProgramDigest, Req), R);
   return R;
+}
+
+ServiceEngine::CompileMemo *
+ServiceEngine::memoLookup(uint64_t SrcKey, const std::string &SrcKeyStr) {
+  auto It = MemoIndex.find(SrcKey);
+  if (It == MemoIndex.end() || It->second->second.Key != SrcKeyStr)
+    return nullptr;
+  MemoOrder.splice(MemoOrder.begin(), MemoOrder, It->second);
+  return &It->second->second;
+}
+
+void ServiceEngine::memoStore(uint64_t SrcKey, CompileMemo M) {
+  auto It = MemoIndex.find(SrcKey);
+  if (It != MemoIndex.end()) {
+    // Same digest slot (collision or refresh): last writer wins, recency
+    // refreshed. A collision victim recompiles on every request — slower,
+    // never wrong, matching VerdictCache's guard discipline.
+    It->second->second = std::move(M);
+    MemoOrder.splice(MemoOrder.begin(), MemoOrder, It->second);
+    return;
+  }
+  MemoOrder.emplace_front(SrcKey, std::move(M));
+  MemoIndex[SrcKey] = MemoOrder.begin();
+  while (MemoOrder.size() > MemoCapacity) {
+    MemoIndex.erase(MemoOrder.back().first);
+    MemoOrder.pop_back();
+    ++MemoEvictions;
+  }
 }
 
 ServiceEngineStats ServiceEngine::stats() const {
@@ -208,6 +312,9 @@ ServiceEngineStats ServiceEngine::stats() const {
     S.CompileErrors = CompileErrors;
     S.Overloaded = OverloadedCount;
     S.Coalesced = Coalesced;
+    S.Timeouts = Timeouts;
+    S.MemoEntries = MemoOrder.size();
+    S.MemoEvictions = MemoEvictions;
   }
   S.Cache = Cache.stats();
   return S;
@@ -224,10 +331,14 @@ std::string ServiceEngine::statsJson(uint64_t Id) const {
   W.field("compile_errors", S.CompileErrors);
   W.field("overloaded", S.Overloaded);
   W.field("coalesced", S.Coalesced);
+  W.field("timeouts", S.Timeouts);
+  W.field("memo_entries", S.MemoEntries);
+  W.field("memo_evictions", S.MemoEvictions);
   W.field("cache_entries", S.Cache.Entries);
   W.field("cache_evictions", S.Cache.Evictions);
   W.field("cache_spill_writes", S.Cache.SpillWrites);
   W.field("cache_spill_hits", S.Cache.SpillHits);
+  W.field("cache_spill_corrupt", S.Cache.SpillCorrupt);
   W.field("pool_rejected", Pool.rejectedCount());
   W.field("pool_faulted", Pool.faultedCount());
   W.field("jobs", static_cast<uint64_t>(Pool.jobCount()));

@@ -38,9 +38,12 @@
 #include "service/AnalysisPool.h"
 #include "service/Protocol.h"
 #include "service/VerdictCache.h"
+#include "support/ExecBudget.h"
 
+#include <atomic>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -58,6 +61,13 @@ struct ServiceEngineOptions {
   std::string SpillDir;
   /// Bound on queued (not yet running) analyses before `overloaded`.
   size_t QueueCapacity = 64;
+  /// Bound on source-memo entries before LRU eviction; a daemon seeing
+  /// pathological source churn stays bounded instead of growing forever.
+  uint64_t MemoEntries = 4096;
+  /// Test-only fault injection (docs/SERVICE.md fault matrix): the spill
+  /// rungs arm the VerdictCache, WorkerStall/AnalysisThrow arm the
+  /// analysis path; the transport rungs are the Server's business.
+  ServiceFault Fault = ServiceFault::None;
 };
 
 /// Aggregated engine counters for the stats endpoint.
@@ -69,6 +79,12 @@ struct ServiceEngineStats {
   uint64_t Overloaded = 0;
   /// Requests that coalesced onto an identical in-flight analysis.
   uint64_t Coalesced = 0;
+  /// `status: timeout` responses delivered (spent deadlines, step caps,
+  /// shutdown cancellations).
+  uint64_t Timeouts = 0;
+  /// Live source-memo entries and LRU evictions from it.
+  uint64_t MemoEntries = 0;
+  uint64_t MemoEvictions = 0;
   VerdictCacheStats Cache;
 };
 
@@ -80,10 +96,20 @@ public:
   virtual ~ServiceEngine();
 
   /// Handles one Analyze or Ping request, blocking until the response is
-  /// ready (instant for cache hits, pings, and overload rejections).
+  /// ready (instant for cache hits, pings, and overload rejections). A
+  /// request carrying `timeout_ms` blocks at most that long: the waiter
+  /// detaches with `status: timeout` even if the analysis is still
+  /// stalling, so every budgeted request answers within ~its deadline.
   /// Control ops other than Ping get an error response — routing them is
   /// the server's job.
   ServiceResponse handle(const ServiceRequest &Req);
+
+  /// Flips the engine-wide cancel flag every request budget polls: queued
+  /// analyses short-circuit to `timeout` instead of running, and in-flight
+  /// fixpoints abandon work at their next budget check. Called by the
+  /// server's Shutdown op (and the destructor) so shutdown cancels
+  /// promptly instead of draining the queue at full cost.
+  void beginShutdown();
 
   ServiceEngineStats stats() const;
 
@@ -96,12 +122,13 @@ public:
 
 protected:
   /// Runs the analysis synchronously (called on a pool worker), fills the
-  /// memo, publishes to the verdict cache, and returns the response.
+  /// memo, publishes to the verdict cache, and returns the response. A
+  /// tripped \p Budget yields `status: timeout` and nothing is cached.
   /// Virtual as a test seam: service_test overrides it to throw, pinning
   /// that a faulting analysis releases its waiters with an error response
   /// instead of stranding them on a never-fulfilled promise.
   virtual ServiceResponse runAnalysis(const ServiceRequest &Req,
-                                      uint64_t SrcKey);
+                                      uint64_t SrcKey, ExecBudget &Budget);
 
 private:
   /// What the source memo remembers per (loweringKey, source) pair.
@@ -118,18 +145,32 @@ private:
 
   ServiceResponse handleAnalyze(const ServiceRequest &Req);
 
+  /// Memo LRU plumbing; all require Lock held.
+  CompileMemo *memoLookup(uint64_t SrcKey, const std::string &SrcKeyStr);
+  void memoStore(uint64_t SrcKey, CompileMemo M);
+
   VerdictCache Cache;
   AnalysisPool Pool;
 
+  /// The engine-wide cancel flag every request budget carries; set once by
+  /// beginShutdown() and never cleared.
+  std::atomic<bool> ShuttingDown{false};
+
   mutable std::mutex Lock;
-  /// srcKey -> compile outcome. Guarded by Lock. Unbounded by entry count
-  /// but entries are ~32 bytes; a daemon seeing pathological source churn
-  /// should bound its lifetime instead (docs/SERVICE.md).
-  std::unordered_map<uint64_t, CompileMemo> SourceMemo;
+  /// srcKey -> compile outcome, LRU-bounded at MemoCapacity entries
+  /// (front of MemoOrder = most recently used). Guarded by Lock.
+  std::list<std::pair<uint64_t, CompileMemo>> MemoOrder;
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, CompileMemo>>::iterator>
+      MemoIndex;
+  uint64_t MemoCapacity;
+  uint64_t MemoEvictions = 0;
   /// Exact request identity -> in-flight result, for duplicate
   /// coalescing. Keyed by the full option key + source (not a digest), so
   /// a hash collision can never fuse two different requests.
   std::map<std::string, std::shared_future<ServiceResponse>> InFlight;
+
+  ServiceFault Fault;
 
   uint64_t Requests = 0;
   uint64_t CacheHits = 0;
@@ -137,6 +178,7 @@ private:
   uint64_t CompileErrors = 0;
   uint64_t OverloadedCount = 0;
   uint64_t Coalesced = 0;
+  uint64_t Timeouts = 0;
 };
 
 } // namespace specai

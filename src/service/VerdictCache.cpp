@@ -7,14 +7,33 @@
 
 #include "service/VerdictCache.h"
 
+#include "fuzz/StateDigest.h"
+
 #include <cstdio>
+#include <dirent.h>
 #include <fstream>
+#include <unistd.h>
 
 using namespace specai;
 
+namespace {
+
+/// Renders the integrity trailer over the first two lines of a spill file
+/// (key + payload, newlines included): "#sum <byte-count> <fnv1a-hex>".
+/// Both fields must match on read; the length catches truncation the hash
+/// of a short prefix would not, and the hash catches in-place bit rot.
+std::string spillTrailer(const std::string &Body) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "#sum %zu %016llx", Body.size(),
+                static_cast<unsigned long long>(fnv1a(Body)));
+  return Buf;
+}
+
+} // namespace
+
 VerdictCache::VerdictCache(uint64_t MaxEntries, unsigned Shards,
-                           std::string SpillDir)
-    : SpillDir(std::move(SpillDir)) {
+                           std::string SpillDir, ServiceFault Fault)
+    : SpillDir(std::move(SpillDir)), Fault(Fault) {
   if (Shards == 0)
     Shards = 1;
   if (Shards > MaxEntries && MaxEntries > 0)
@@ -25,6 +44,20 @@ VerdictCache::VerdictCache(uint64_t MaxEntries, unsigned Shards,
   PerShardCapacity = MaxEntries / Shards;
   if (PerShardCapacity == 0)
     PerShardCapacity = 1;
+
+  // Sweep temp files a crashed writer abandoned: they hold unrenamed,
+  // possibly half-written payloads nothing will ever read. Finished
+  // `.verdict` files survive restarts by design.
+  if (!this->SpillDir.empty()) {
+    if (DIR *D = opendir(this->SpillDir.c_str())) {
+      while (struct dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".tmp") == 0)
+          ::unlink((this->SpillDir + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+  }
 }
 
 bool VerdictCache::lookup(uint64_t Digest, const std::string &Key,
@@ -92,6 +125,7 @@ VerdictCacheStats VerdictCache::stats() const {
     Out.Evictions += S->Evictions;
     Out.SpillWrites += S->SpillWrites;
     Out.SpillHits += S->SpillHits;
+    Out.SpillCorrupt += S->SpillCorrupt;
     Out.Entries += S->Order.size();
   }
   return Out;
@@ -109,29 +143,77 @@ void VerdictCache::spillWrite(Shard &S, const Entry &E) {
   // engine overwrites the id on every hit, so persisting it is harmless.
   // A write failure (disk full, bad directory) silently downgrades the
   // entry to evicted — the spill tier is best-effort by design.
-  std::ofstream F(spillPath(E.Digest), std::ios::trunc);
-  if (!F)
-    return;
-  F << E.Key << '\n' << E.Payload.toJson() << '\n';
-  if (F.good())
+  //
+  // Crash tolerance: the body lands in a temp file first and moves into
+  // place with rename(), which POSIX makes atomic — a reader (or a
+  // restarted daemon) sees either the complete old file or the complete
+  // new one, never a torn write. Orphaned temps are swept at startup.
+  std::string Body = E.Key;
+  Body += '\n';
+  Body += E.Payload.toJson();
+  Body += '\n';
+
+  // Injected faults model the failure modes the trailer exists to catch:
+  // a torn write (half the body) and bit rot (same length, garbage). Both
+  // keep the *stale* trailer so reads must reject them.
+  std::string Trailer = spillTrailer(Body);
+  if (Fault == ServiceFault::SpillTruncate)
+    Body.resize(Body.size() / 2);
+  else if (Fault == ServiceFault::SpillGarbage)
+    for (char &C : Body)
+      C = '~';
+
+  std::string Final = spillPath(E.Digest);
+  std::string Tmp = Final + ".tmp";
+  {
+    std::ofstream F(Tmp, std::ios::trunc);
+    if (!F)
+      return;
+    F << Body << Trailer << '\n';
+    if (!F.good())
+      return;
+  }
+  if (std::rename(Tmp.c_str(), Final.c_str()) == 0)
     ++S.SpillWrites;
+  else
+    ::unlink(Tmp.c_str());
 }
 
 bool VerdictCache::spillRead(Shard &S, uint64_t Digest, const std::string &Key,
                              ServiceResponse &Out) {
-  (void)S;
-  std::ifstream F(spillPath(Digest));
+  std::string Path = spillPath(Digest);
+  std::ifstream F(Path);
   if (!F)
     return false;
-  std::string StoredKey, Line;
-  if (!std::getline(F, StoredKey) || !std::getline(F, Line))
+
+  // Reject-and-quarantine: any integrity failure renames the file to
+  // `.corrupt` (keeping the evidence for postmortems, and keeping the
+  // lookup path from re-parsing the same broken bytes forever) and counts
+  // SpillCorrupt. The caller then counts an ordinary miss and recomputes
+  // — a corrupt spill entry can never surface as a verdict.
+  auto Reject = [&] {
+    F.close();
+    std::rename(Path.c_str(), (Path + ".corrupt").c_str());
+    ++S.SpillCorrupt;
     return false;
+  };
+
+  std::string StoredKey, Line, Trailer;
+  if (!std::getline(F, StoredKey) || !std::getline(F, Line) ||
+      !std::getline(F, Trailer))
+    return Reject(); // Truncated: a pre-hardening torn write.
+  std::string Body = StoredKey;
+  Body += '\n';
+  Body += Line;
+  Body += '\n';
+  if (Trailer != spillTrailer(Body))
+    return Reject(); // Length or checksum mismatch: garbage bytes.
   if (StoredKey != Key)
-    return false; // Collision guard holds on disk too.
+    return Reject(); // Wrong key at this digest's path: stale/foreign file.
   std::string Error;
   ServiceResponse R;
   if (!ServiceResponse::fromJson(Line, R, Error))
-    return false; // Corrupt spill file: ignore it.
+    return Reject(); // Checksummed but unparseable: writer bug, still safe.
   Out = R;
   return true;
 }

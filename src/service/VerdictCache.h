@@ -20,9 +20,18 @@
 /// threads publishing verdicts do not serialize behind one lock. Capacity
 /// is enforced per shard (an adversarial digest distribution can therefore
 /// skew effective capacity, but bounds still hold). When a spill directory
-/// is configured, evicted entries are written as two-line files
-/// (key, then response JSON) and lookups fall through to disk, promoting
+/// is configured, evicted entries are written as three-line files — key,
+/// response JSON, and a length+FNV-1a checksum trailer — via a temp file
+/// and an atomic rename(), and lookups fall through to disk, promoting
 /// hits back into memory.
+///
+/// Crash tolerance (docs/SERVICE.md, "Crash tolerance"): a kill -9 cannot
+/// leave a half-written `.verdict` in place (writes land under a `.tmp`
+/// name until the rename; construction sweeps orphaned temps), and any
+/// file that fails the trailer check — truncation, garbage, a stale key —
+/// degrades to a counted miss (`SpillCorrupt`) and is quarantined under a
+/// `.corrupt` suffix rather than re-read forever. A corrupt spill entry
+/// can cost a recomputation, never a wrong verdict.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +57,10 @@ struct VerdictCacheStats {
   uint64_t Evictions = 0;
   uint64_t SpillWrites = 0;
   uint64_t SpillHits = 0;
+  /// Spill files rejected by the integrity check (truncated, garbage,
+  /// checksum mismatch, wrong key) and quarantined; each also counts as a
+  /// plain miss for the lookup that found it.
+  uint64_t SpillCorrupt = 0;
   uint64_t Entries = 0;
 };
 
@@ -56,9 +69,13 @@ class VerdictCache {
 public:
   /// \p MaxEntries total across \p Shards shards (each shard holds at
   /// least one entry, so tiny capacities still cache). Empty \p SpillDir
-  /// disables the disk tier; otherwise the directory must already exist.
+  /// disables the disk tier; otherwise the directory must already exist —
+  /// construction sweeps `.tmp` orphans a crashed writer left there.
+  /// \p Fault arms a test-only spill fault rung (docs/SERVICE.md fault
+  /// matrix); anything but SpillTruncate/SpillGarbage is ignored here.
   VerdictCache(uint64_t MaxEntries, unsigned Shards = 8,
-               std::string SpillDir = "");
+               std::string SpillDir = "",
+               ServiceFault Fault = ServiceFault::None);
 
   /// Looks up \p Digest, verifying \p Key against the stored collision
   /// guard. A hit promotes the entry to most-recently-used (re-inserting
@@ -91,6 +108,7 @@ private:
     uint64_t Evictions = 0;
     uint64_t SpillWrites = 0;
     uint64_t SpillHits = 0;
+    uint64_t SpillCorrupt = 0;
   };
 
   Shard &shardFor(uint64_t Digest) {
@@ -111,6 +129,7 @@ private:
   std::vector<std::unique_ptr<Shard>> Shards;
   uint64_t PerShardCapacity;
   std::string SpillDir;
+  ServiceFault Fault = ServiceFault::None;
 };
 
 } // namespace specai

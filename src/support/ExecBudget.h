@@ -1,0 +1,124 @@
+//===- ExecBudget.h - Cooperative cancellation/budget token -----*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative execution budget threaded from a service request down into
+/// the fixed-point engines (docs/SERVICE.md, "Deadlines and budgets"). The
+/// budget combines three independent cut-offs:
+///
+///   - a wall-clock deadline (steady_clock, so NTP steps cannot extend or
+///     shrink a request's allowance),
+///   - a step cap counted in worklist pops across every fixpoint the
+///     request runs (baseline, speculative rounds, callee summaries), and
+///   - an external cancel flag (the daemon's shutdown bit), so queued and
+///     in-flight analyses abandon work promptly instead of draining.
+///
+/// The engines call chargeStep() once per worklist pop and exhausted() at
+/// speculative-window boundaries. Exhaustion is *sticky*: once any cut-off
+/// trips, every later check answers true, so a budget that expires deep in
+/// a callee summary unwinds the whole request. Deadline and cancel-flag
+/// polls are amortized to every 64th step; a step is ~a node transfer, so
+/// the detection lag is microseconds against millisecond deadlines.
+///
+/// One worker thread owns a budget; only the cancel flag may be written
+/// from another thread (it is an atomic owned by the caller and must
+/// outlive the budget).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_EXECBUDGET_H
+#define SPECAI_SUPPORT_EXECBUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace specai {
+
+/// Why a budget tripped, for diagnostics and the service's error strings.
+enum class BudgetTrip {
+  None,
+  Deadline,
+  StepCap,
+  Cancelled,
+};
+
+inline const char *budgetTripName(BudgetTrip T) {
+  switch (T) {
+  case BudgetTrip::None:
+    return "none";
+  case BudgetTrip::Deadline:
+    return "deadline";
+  case BudgetTrip::StepCap:
+    return "step-cap";
+  case BudgetTrip::Cancelled:
+    return "cancelled";
+  }
+  return "none";
+}
+
+/// Cooperative cancellation token: deadline + step cap + external cancel.
+class ExecBudget {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecBudget() = default;
+
+  /// \p TimeoutMs 0 = no deadline; \p MaxSteps 0 = no step cap;
+  /// \p Cancel may be null (no external cancellation).
+  ExecBudget(uint64_t TimeoutMs, uint64_t MaxSteps,
+             const std::atomic<bool> *Cancel = nullptr)
+      : Deadline(Clock::now() + std::chrono::milliseconds(TimeoutMs)),
+        HasDeadline(TimeoutMs != 0), MaxSteps(MaxSteps), Cancel(Cancel) {}
+
+  /// Counts one unit of work (a worklist pop). Returns true once the
+  /// budget is exhausted. Deadline/cancel polls amortize to every 64th
+  /// step; the step cap is exact.
+  bool chargeStep() {
+    if (Trip != BudgetTrip::None)
+      return true;
+    ++Steps;
+    if (MaxSteps != 0 && Steps > MaxSteps) {
+      Trip = BudgetTrip::StepCap;
+      return true;
+    }
+    if ((Steps & 63) == 0)
+      return exhausted();
+    return false;
+  }
+
+  /// Polls deadline and cancel flag without charging a step (window
+  /// boundaries, pre-enqueue checks). Sticky.
+  bool exhausted() {
+    if (Trip != BudgetTrip::None)
+      return true;
+    if (Cancel && Cancel->load(std::memory_order_relaxed)) {
+      Trip = BudgetTrip::Cancelled;
+      return true;
+    }
+    if (HasDeadline && Clock::now() >= Deadline) {
+      Trip = BudgetTrip::Deadline;
+      return true;
+    }
+    return false;
+  }
+
+  BudgetTrip trip() const { return Trip; }
+  uint64_t steps() const { return Steps; }
+
+private:
+  Clock::time_point Deadline{};
+  bool HasDeadline = false;
+  uint64_t MaxSteps = 0;
+  const std::atomic<bool> *Cancel = nullptr;
+  uint64_t Steps = 0;
+  BudgetTrip Trip = BudgetTrip::None;
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_EXECBUDGET_H

@@ -27,10 +27,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include <sys/socket.h>
@@ -124,6 +126,9 @@ TEST(ServiceProtocolTest, RequestsRoundTripThroughJson) {
   Req.Refine = true;
   Req.DetectLeaks = false;
 
+  Req.TimeoutMs = 1500;
+  Req.MaxSteps = 2000000;
+
   ServiceRequest Back;
   std::string Error;
   ASSERT_TRUE(ServiceRequest::fromJson(Req.toJson(), Back, Error)) << Error;
@@ -131,6 +136,18 @@ TEST(ServiceProtocolTest, RequestsRoundTripThroughJson) {
   EXPECT_EQ(Back.Priority, Req.Priority);
   EXPECT_EQ(Back.Source, Req.Source);
   EXPECT_EQ(Back.optionKey(), Req.optionKey());
+  EXPECT_EQ(Back.TimeoutMs, Req.TimeoutMs);
+  EXPECT_EQ(Back.MaxSteps, Req.MaxSteps);
+
+  ServiceResponse Timeout;
+  Timeout.Status = ServiceStatus::Timeout;
+  Timeout.Id = 3;
+  Timeout.Error = "deadline exceeded";
+  ServiceResponse BackR;
+  ASSERT_TRUE(ServiceResponse::fromJson(Timeout.toJson(), BackR, Error))
+      << Error;
+  EXPECT_EQ(BackR.Status, ServiceStatus::Timeout);
+  EXPECT_EQ(BackR.Error, "deadline exceeded");
 }
 
 TEST(ServiceProtocolTest, MalformedRequestsAreRejectedWithReasons) {
@@ -247,6 +264,11 @@ TEST(ServiceDigestTest, QueueingMetadataDoesNotSplitTheDigest) {
   ServiceRequest B = baseRequest();
   B.Id = 999;
   B.Priority = 7;
+  // Budgets are queueing metadata too: they bound *whether* an answer
+  // arrives, never *what* it is (a budget-tripped run is never cached),
+  // so a budgeted and an unbudgeted request must share a cache entry.
+  B.TimeoutMs = 5000;
+  B.MaxSteps = 1000000;
   EXPECT_EQ(requestDigest(PD, A), requestDigest(PD, B));
   EXPECT_EQ(requestKeyString(PD, A), requestKeyString(PD, B));
 }
@@ -266,6 +288,51 @@ TEST(ServiceDigestTest, VerdictDigestIsLabelAndTimingIndependent) {
   B = A;
   B.LeakSites = {"leak"};
   EXPECT_NE(verdictDigest(A), verdictDigest(B));
+}
+
+//===----------------------------------------------------------------------===//
+// ExecBudget: the cooperative cancellation token the engines poll
+//===----------------------------------------------------------------------===//
+
+TEST(ExecBudgetTest, StepCapIsExactAndSticky) {
+  ExecBudget B(/*TimeoutMs=*/0, /*MaxSteps=*/10);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_FALSE(B.chargeStep()) << "step " << I << " is within the cap";
+  EXPECT_TRUE(B.chargeStep()) << "step 11 must trip the cap";
+  EXPECT_EQ(B.trip(), BudgetTrip::StepCap);
+  EXPECT_TRUE(B.chargeStep()) << "exhaustion is sticky";
+  EXPECT_TRUE(B.exhausted());
+}
+
+TEST(ExecBudgetTest, ZeroMeansUnbounded) {
+  ExecBudget B(0, 0);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_FALSE(B.chargeStep());
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.trip(), BudgetTrip::None);
+}
+
+TEST(ExecBudgetTest, DeadlineTripsOnTheAmortizedPoll) {
+  ExecBudget B(/*TimeoutMs=*/1, /*MaxSteps=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // chargeStep only polls the clock every 64th step; within 64 steps at
+  // least one poll happens.
+  bool Tripped = false;
+  for (int I = 0; I != 64 && !Tripped; ++I)
+    Tripped = B.chargeStep();
+  EXPECT_TRUE(Tripped);
+  EXPECT_EQ(B.trip(), BudgetTrip::Deadline);
+}
+
+TEST(ExecBudgetTest, ExternalCancelFlagWinsImmediately) {
+  std::atomic<bool> Cancel{false};
+  ExecBudget B(/*TimeoutMs=*/0, /*MaxSteps=*/0, &Cancel);
+  EXPECT_FALSE(B.exhausted());
+  Cancel = true;
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.trip(), BudgetTrip::Cancelled);
+  Cancel = false; // Stickiness: clearing the flag cannot un-trip.
+  EXPECT_TRUE(B.exhausted());
 }
 
 //===----------------------------------------------------------------------===//
@@ -349,6 +416,153 @@ TEST(VerdictCacheTest, SpilledEntriesComeBackFromDisk) {
 
   // The wrong key must not read the spilled entry either.
   EXPECT_FALSE(Cache.lookup(2, "not-k2", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Spill crash matrix: every way a spill file can rot must degrade to a
+// counted miss + quarantine, never to a verdict.
+//===----------------------------------------------------------------------===//
+
+std::string freshSpillDir(const char *Tag) {
+  std::string Dir = ::testing::TempDir() + "specai_spill_" + Tag;
+  EXPECT_EQ(std::system(("rm -rf '" + Dir + "' && mkdir -p '" + Dir + "'")
+                            .c_str()),
+            0);
+  return Dir;
+}
+
+std::string spillFile(const std::string &Dir, uint64_t Digest) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "/%016llx.verdict",
+                static_cast<unsigned long long>(Digest));
+  return Dir + Name;
+}
+
+/// Evicts digest 1 (key "k1", payload 11) out of a 1-entry cache so it
+/// lands on disk, then destroys the cache — the file is all that remains,
+/// exactly the state a daemon restart (or kill -9) leaves behind.
+void spillOne(const std::string &Dir, ServiceFault Fault = ServiceFault::None) {
+  VerdictCache Cache(/*MaxEntries=*/1, /*Shards=*/1, Dir, Fault);
+  Cache.insert(1, "k1", payload(11));
+  Cache.insert(2, "k2", payload(22));
+  ASSERT_EQ(Cache.stats().SpillWrites, 1u);
+}
+
+/// The shared postcondition of every corruption flavor: the lookup misses,
+/// the corruption is counted, and the broken file is quarantined as
+/// `.corrupt` so the next lookup is a clean (uncounted) miss.
+void expectQuarantined(const std::string &Dir) {
+  VerdictCache Cache(1, 1, Dir);
+  ServiceResponse Out;
+  EXPECT_FALSE(Cache.lookup(1, "k1", Out))
+      << "a rotten spill entry must never surface as a verdict";
+  EXPECT_EQ(Cache.stats().SpillCorrupt, 1u);
+  std::ifstream Orig(spillFile(Dir, 1));
+  EXPECT_FALSE(Orig.good()) << "the broken file must be moved aside";
+  std::ifstream Quarantined(spillFile(Dir, 1) + ".corrupt");
+  EXPECT_TRUE(Quarantined.good()) << "the evidence must be kept";
+}
+
+TEST(SpillCrashMatrixTest, TruncatedFilesAreQuarantinedMisses) {
+  std::string Dir = freshSpillDir("truncate");
+  spillOne(Dir);
+  // A pre-rename torn write (or a filesystem that lost the tail): keep
+  // only the first half of the bytes.
+  std::ifstream In(spillFile(Dir, 1));
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  In.close();
+  std::string Bytes = Buf.str();
+  std::ofstream(spillFile(Dir, 1), std::ios::trunc)
+      << Bytes.substr(0, Bytes.size() / 2);
+  expectQuarantined(Dir);
+}
+
+TEST(SpillCrashMatrixTest, GarbageFilesAreQuarantinedMisses) {
+  std::string Dir = freshSpillDir("garbage");
+  spillOne(Dir);
+  std::ofstream(spillFile(Dir, 1), std::ios::trunc)
+      << "complete garbage, not even close to the format\n";
+  expectQuarantined(Dir);
+}
+
+TEST(SpillCrashMatrixTest, BitRotFailsTheChecksumAndQuarantines) {
+  std::string Dir = freshSpillDir("bitrot");
+  spillOne(Dir);
+  // Flip one payload byte while keeping the three-line structure intact:
+  // only the checksum can catch this one.
+  std::ifstream In(spillFile(Dir, 1));
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  In.close();
+  std::string Bytes = Buf.str();
+  size_t Mid = Bytes.find('\n') + 5; // Somewhere inside the payload line.
+  ASSERT_LT(Mid, Bytes.size());
+  Bytes[Mid] = Bytes[Mid] == 'x' ? 'y' : 'x';
+  std::ofstream(spillFile(Dir, 1), std::ios::trunc) << Bytes;
+  expectQuarantined(Dir);
+}
+
+TEST(SpillCrashMatrixTest, WrongKeyedFilesAreQuarantinedMisses) {
+  std::string Dir = freshSpillDir("wrongkey");
+  spillOne(Dir);
+  // A checksum-valid file whose stored key is not the requested one: a
+  // stale file from another run sitting at this digest's path. Safe to
+  // quarantine — the cost is one recompute, never a wrong verdict.
+  VerdictCache Cache(1, 1, Dir);
+  ServiceResponse Out;
+  EXPECT_FALSE(Cache.lookup(1, "some-other-request", Out));
+  EXPECT_EQ(Cache.stats().SpillCorrupt, 1u);
+}
+
+TEST(SpillCrashMatrixTest, VanishedFilesArePlainMisses) {
+  std::string Dir = freshSpillDir("vanish");
+  spillOne(Dir);
+  ASSERT_EQ(::unlink(spillFile(Dir, 1).c_str()), 0);
+  VerdictCache Cache(1, 1, Dir);
+  ServiceResponse Out;
+  EXPECT_FALSE(Cache.lookup(1, "k1", Out));
+  EXPECT_EQ(Cache.stats().SpillCorrupt, 0u)
+      << "an absent file is an ordinary miss, not corruption";
+}
+
+TEST(SpillCrashMatrixTest, RestartOverTheSameSpillDirServesOldVerdicts) {
+  std::string Dir = freshSpillDir("restart");
+  spillOne(Dir);
+  // Simulated restart: a brand-new cache over the surviving directory.
+  VerdictCache Cache(8, 1, Dir);
+  ServiceResponse Out;
+  ASSERT_TRUE(Cache.lookup(1, "k1", Out));
+  EXPECT_EQ(Out.MissCount, 11u) << "the spilled verdict must be intact";
+  EXPECT_EQ(Cache.stats().SpillCorrupt, 0u);
+}
+
+TEST(SpillCrashMatrixTest, StartupSweepsOrphanedTempFiles) {
+  std::string Dir = freshSpillDir("orphans");
+  std::ofstream(Dir + "/0000000000000001.verdict.tmp") << "half a write";
+  std::ofstream(Dir + "/keep.verdict") << "not a temp file";
+  VerdictCache Cache(8, 1, Dir);
+  EXPECT_FALSE(std::ifstream(Dir + "/0000000000000001.verdict.tmp").good())
+      << "orphaned temp files must be swept at startup";
+  EXPECT_TRUE(std::ifstream(Dir + "/keep.verdict").good());
+}
+
+TEST(SpillCrashMatrixTest, InjectedTornAndRottenWritesNeverComeBack) {
+  // The SpillTruncate/SpillGarbage fault rungs corrupt every write while
+  // keeping the pre-corruption trailer: the read path must reject all of
+  // it. This is the end-to-end version of the hand-corrupted cases above.
+  for (ServiceFault F :
+       {ServiceFault::SpillTruncate, ServiceFault::SpillGarbage}) {
+    std::string Dir = freshSpillDir(F == ServiceFault::SpillTruncate
+                                        ? "fault_truncate"
+                                        : "fault_garbage");
+    spillOne(Dir, F);
+    VerdictCache Cache(1, 1, Dir);
+    ServiceResponse Out;
+    EXPECT_FALSE(Cache.lookup(1, "k1", Out))
+        << "faulted spill writes must never read back as verdicts";
+    EXPECT_EQ(Cache.stats().SpillCorrupt, 1u);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -629,11 +843,11 @@ public:
   std::atomic<int> FaultsLeft{0};
 
 protected:
-  ServiceResponse runAnalysis(const ServiceRequest &Req,
-                              uint64_t SrcKey) override {
+  ServiceResponse runAnalysis(const ServiceRequest &Req, uint64_t SrcKey,
+                              ExecBudget &Budget) override {
     if (FaultsLeft.fetch_sub(1) > 0)
       throw std::runtime_error("injected analysis fault");
-    return ServiceEngine::runAnalysis(Req, SrcKey);
+    return ServiceEngine::runAnalysis(Req, SrcKey, Budget);
   }
 };
 
@@ -666,6 +880,161 @@ TEST(ServiceEngineTest, ThrowingAnalysisReleasesEveryWaiterWithAnError) {
   EXPECT_EQ(R.Status, ServiceStatus::Ok) << R.Error;
 }
 
+//===----------------------------------------------------------------------===//
+// Deadlines, budgets, and the fault matrix
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceEngineTest, StepCapAnswersTimeoutAndNeverCaches) {
+  ServiceEngine Engine(smallEngine());
+  ServiceRequest Req = baseRequest();
+  Req.MaxSteps = 1; // No real fixpoint finishes in one worklist pop.
+
+  ServiceResponse R = Engine.handle(Req);
+  ASSERT_EQ(R.Status, ServiceStatus::Timeout) << R.Error;
+  EXPECT_NE(R.Error.find("step-cap"), std::string::npos) << R.Error;
+  EXPECT_EQ(Engine.stats().Timeouts, 1u);
+
+  // The partial run must not have been cached: the same request without
+  // a budget runs the full fixpoint and reports a miss.
+  Req.MaxSteps = 0;
+  ServiceResponse Full = Engine.handle(Req);
+  ASSERT_EQ(Full.Status, ServiceStatus::Ok) << Full.Error;
+  EXPECT_FALSE(Full.Cached) << "a budget-tripped run must never be cached";
+
+  // And the full run is still bit-identical to a single-shot run — the
+  // aborted attempt left no trace in the verdict path.
+  RunOutcome Out = runRequest(Req.toRunRequest());
+  ASSERT_TRUE(Out.Ok);
+  EXPECT_EQ(Full.VerdictDigest, verdictDigest(Out.Row));
+}
+
+TEST(ServiceEngineTest, StalledWorkerAnswersTimeoutWithinTwiceTheDeadline) {
+  // WorkerStall parks every analysis well past the deadline. The
+  // containment claim from docs/SERVICE.md: the budgeted waiter detaches
+  // at its own deadline, so the answer arrives within 2x even though the
+  // worker is still stalling.
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Fault = ServiceFault::WorkerStall;
+  ServiceEngine Engine(Opts);
+
+  ServiceRequest Req = baseRequest();
+  Req.TimeoutMs = 60;
+  auto Start = std::chrono::steady_clock::now();
+  ServiceResponse R = Engine.handle(Req);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_EQ(R.Status, ServiceStatus::Timeout) << R.Error;
+  EXPECT_LE(ElapsedMs, 2 * 60)
+      << "a timed-out request must answer within twice its deadline";
+  EXPECT_GE(Engine.stats().Timeouts, 1u);
+}
+
+TEST(ServiceEngineTest, TimeoutsDoNotPoisonConcurrentHealthyRequests) {
+  // One request times out against the stalled worker while an unbudgeted
+  // one rides out the stall: the timeout must not take the healthy
+  // request (or the daemon) down with it.
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Fault = ServiceFault::WorkerStall;
+  Opts.Jobs = 2;
+  ServiceEngine Engine(Opts);
+
+  ServiceRequest Budgeted = baseRequest();
+  Budgeted.TimeoutMs = 60;
+  ServiceRequest Patient = baseRequest();
+  Patient.Source = ProgramGen(7).generate().source(); // Distinct flight.
+
+  ServiceResponse BudgetedR, PatientR;
+  std::thread A([&] { BudgetedR = Engine.handle(Budgeted); });
+  std::thread B([&] { PatientR = Engine.handle(Patient); });
+  A.join();
+  B.join();
+  EXPECT_EQ(BudgetedR.Status, ServiceStatus::Timeout) << BudgetedR.Error;
+  EXPECT_EQ(PatientR.Status, ServiceStatus::Ok) << PatientR.Error;
+}
+
+TEST(ServiceEngineTest, CoalescedWaitersEachHonorTheirOwnDeadline) {
+  // Two identical requests coalesce onto one stalled flight; the one with
+  // the short deadline detaches on time, the patient one gets the verdict
+  // once the stall ends.
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Fault = ServiceFault::WorkerStall;
+  Opts.Jobs = 1;
+  ServiceEngine Engine(Opts);
+
+  ServiceRequest Short = baseRequest();
+  Short.TimeoutMs = 30;
+  ServiceRequest Patient = baseRequest(); // Same flight, no deadline.
+
+  ServiceResponse ShortR, PatientR;
+  std::thread A([&] { PatientR = Engine.handle(Patient); });
+  // Give the patient request time to become the flight owner, so the
+  // budgeted one coalesces instead of owning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread B([&] { ShortR = Engine.handle(Short); });
+  B.join();
+  A.join();
+  EXPECT_EQ(ShortR.Status, ServiceStatus::Timeout) << ShortR.Error;
+  // The flight itself is unbudgeted: once the stall ends it completes,
+  // and the patient waiter gets a real verdict.
+  EXPECT_EQ(PatientR.Status, ServiceStatus::Ok) << PatientR.Error;
+}
+
+TEST(ServiceEngineTest, BeginShutdownCancelsAnalysesPromptly) {
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Fault = ServiceFault::WorkerStall; // Would stall 100ms if not cut.
+  ServiceEngine Engine(Opts);
+  Engine.beginShutdown();
+
+  ServiceRequest Req = baseRequest();
+  auto Start = std::chrono::steady_clock::now();
+  ServiceResponse R = Engine.handle(Req);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_EQ(R.Status, ServiceStatus::Timeout) << R.Error;
+  EXPECT_NE(R.Error.find("cancelled"), std::string::npos) << R.Error;
+  EXPECT_LT(ElapsedMs, 5000)
+      << "shutdown must cancel, not drain at full cost";
+}
+
+TEST(ServiceEngineTest, InjectedAnalysisThrowIsContained) {
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Fault = ServiceFault::AnalysisThrow;
+  ServiceEngine Engine(Opts);
+
+  ServiceResponse R = Engine.handle(baseRequest());
+  EXPECT_EQ(R.Status, ServiceStatus::Error);
+  EXPECT_NE(R.Error.find("analysis-throw"), std::string::npos) << R.Error;
+
+  // The worker survived its own exception: the engine still answers.
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  EXPECT_EQ(Engine.handle(Ping).Status, ServiceStatus::Ok);
+  EXPECT_EQ(Engine.handle(baseRequest()).Status, ServiceStatus::Error)
+      << "the fault is sticky, but every request still gets an answer";
+}
+
+TEST(ServiceEngineTest, SourceMemoIsBoundedWithLruEviction) {
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.MemoEntries = 2;
+  ServiceEngine Engine(Opts);
+
+  for (uint64_t Seed = 0; Seed != 3; ++Seed) {
+    ServiceRequest Req = baseRequest();
+    Req.Source = ProgramGen(100 + Seed).generate().source();
+    ASSERT_EQ(Engine.handle(Req).Status, ServiceStatus::Ok);
+  }
+  ServiceEngineStats S = Engine.stats();
+  EXPECT_EQ(S.MemoEntries, 2u) << "the memo must stay at its bound";
+  EXPECT_EQ(S.MemoEvictions, 1u);
+
+  // The evicted source still answers correctly — it just recompiles.
+  ServiceRequest Req = baseRequest();
+  Req.Source = ProgramGen(100).generate().source();
+  EXPECT_EQ(Engine.handle(Req).Status, ServiceStatus::Ok);
+}
+
 TEST(ServiceEngineTest, StatsJsonParsesAsAnOkResponse) {
   ServiceEngine Engine(smallEngine());
   Engine.handle(baseRequest());
@@ -680,6 +1049,10 @@ TEST(ServiceEngineTest, StatsJsonParsesAsAnOkResponse) {
   ASSERT_TRUE(parseJsonObject(Line, O, Error));
   EXPECT_EQ(O["requests"].asInt(0), 1);
   EXPECT_EQ(O["analyses_run"].asInt(0), 1);
+  EXPECT_EQ(O["timeouts"].asInt(-1), 0);
+  EXPECT_EQ(O["memo_entries"].asInt(-1), 1);
+  EXPECT_EQ(O["memo_evictions"].asInt(-1), 0);
+  EXPECT_EQ(O["cache_spill_corrupt"].asInt(-1), 0);
 }
 
 //===----------------------------------------------------------------------===//
@@ -775,6 +1148,157 @@ TEST(ServiceServerTest, ClientsThatVanishBeforeTheResponseDoNotKillIt) {
   Down.Op = ServiceOp::Shutdown;
   ASSERT_TRUE(C.call(Down, R, Error)) << Error;
   Server.wait();
+}
+
+TEST(ServiceServerTest, EndlessLinesAreCutOffNotBuffered) {
+  // A peer streaming bytes with no newline must be answered and dropped
+  // once the framing bound passes, instead of growing the heap forever.
+  ServiceEngine Engine(smallEngine());
+  ServerOptions SrvOpts;
+  SrvOpts.MaxRequestBytes = 256;
+  ServiceServer Server(Engine, SrvOpts);
+  std::string Error;
+  const std::string Path = testSocketPath("endless");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  ASSERT_LT(Path.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  std::string Endless(4096, 'x'); // 16x the bound, and no newline ever.
+  ASSERT_EQ(::write(Fd, Endless.data(), Endless.size()),
+            static_cast<ssize_t>(Endless.size()));
+
+  // The server's answer: one error line, then EOF.
+  std::string Answer;
+  char Chunk[512];
+  for (ssize_t N; (N = ::read(Fd, Chunk, sizeof(Chunk))) > 0;)
+    Answer.append(Chunk, static_cast<size_t>(N));
+  ::close(Fd);
+  ServiceResponse R;
+  ASSERT_FALSE(Answer.empty()) << "the peer deserves a reason";
+  ASSERT_TRUE(ServiceResponse::fromJson(
+      Answer.substr(0, Answer.find('\n')), R, Error))
+      << Error << "\n" << Answer;
+  EXPECT_EQ(R.Status, ServiceStatus::Error);
+  EXPECT_NE(R.Error.find("exceeds"), std::string::npos) << R.Error;
+
+  // The daemon is unharmed and still serves well-framed clients.
+  ServiceClient C;
+  ASSERT_TRUE(C.connect(Path, Error)) << Error;
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  ASSERT_TRUE(C.call(Ping, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ASSERT_TRUE(C.call(Down, R, Error)) << Error;
+  Server.wait();
+}
+
+TEST(ServiceServerTest, OversizedRequestFaultRejectsCompleteLinesToo) {
+  // The oversized-request rung shrinks the bound to 128 bytes, so an
+  // ordinary analyze request — delivered whole, newline and all — trips
+  // the same rejection path as the streaming case above.
+  ServiceEngine Engine(smallEngine());
+  ServerOptions SrvOpts;
+  SrvOpts.Fault = ServiceFault::OversizedRequest;
+  ServiceServer Server(Engine, SrvOpts);
+  std::string Error;
+  const std::string Path = testSocketPath("oversized");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  ServiceClient C;
+  ASSERT_TRUE(C.connect(Path, Error)) << Error;
+  ServiceResponse R;
+  ASSERT_TRUE(C.call(baseRequest(), R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Error);
+  EXPECT_NE(R.Error.find("exceeds"), std::string::npos) << R.Error;
+
+  // A request under the shrunken bound still works on a new connection
+  // (the oversized one was closed).
+  ServiceClient Small;
+  ASSERT_TRUE(Small.connect(Path, Error)) << Error;
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  ASSERT_TRUE(Small.call(Ping, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ASSERT_TRUE(Small.call(Down, R, Error)) << Error;
+  Server.wait();
+}
+
+TEST(ServiceServerTest, SlowClientFaultDribblesButStaysCorrect) {
+  // The slow-client rung drips responses out a few bytes at a time. The
+  // claim is containment: responses still arrive intact and shutdown
+  // still completes — only that connection's latency suffers.
+  ServiceEngine Engine(smallEngine());
+  ServerOptions SrvOpts;
+  SrvOpts.Fault = ServiceFault::SlowClient;
+  ServiceServer Server(Engine, SrvOpts);
+  std::string Error;
+  const std::string Path = testSocketPath("slow");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  ServiceClient C;
+  ASSERT_TRUE(C.connect(Path, Error)) << Error;
+  ServiceRequest Ping;
+  Ping.Op = ServiceOp::Ping;
+  Ping.Id = 42;
+  ServiceResponse R;
+  ASSERT_TRUE(C.call(Ping, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+  EXPECT_EQ(R.Id, 42u) << "a dribbled response must still parse whole";
+
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ASSERT_TRUE(C.call(Down, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Ok);
+  Server.wait();
+}
+
+TEST(ServiceServerTest, ShutdownRequestCancelsInFlightAnalyses) {
+  // A stalled analysis is in flight when the shutdown request lands: the
+  // server must cancel it through the engine's shutdown flag and still
+  // drain promptly, answering the stranded waiter with `timeout`.
+  ServiceEngineOptions Opts = smallEngine();
+  Opts.Fault = ServiceFault::WorkerStall;
+  ServiceEngine Engine(Opts);
+  ServiceServer Server(Engine);
+  std::string Error;
+  const std::string Path = testSocketPath("cancel");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  ServiceResponse Stalled;
+  std::atomic<bool> CallOk{false};
+  std::thread Waiter([&] {
+    ServiceClient C;
+    std::string E;
+    if (C.connect(Path, E))
+      CallOk = C.call(baseRequest(), Stalled, E);
+  });
+  // Let the analysis reach the stall, then shut down around it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ServiceClient Ctl;
+  ASSERT_TRUE(Ctl.connect(Path, Error)) << Error;
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ServiceResponse R;
+  ASSERT_TRUE(Ctl.call(Down, R, Error)) << Error;
+  Server.wait();
+  Waiter.join();
+  // The in-flight request was cancelled (if it had not already finished
+  // its stall): either way its waiter got a definitive answer over the
+  // half-shut connection, not a hang or a dropped response.
+  ASSERT_TRUE(CallOk.load()) << "the stranded waiter never got an answer";
+  EXPECT_TRUE(Stalled.Status == ServiceStatus::Timeout ||
+              Stalled.Status == ServiceStatus::Ok)
+      << Stalled.Error;
 }
 
 } // namespace

@@ -113,3 +113,53 @@ fi
 wait "$SPECAID_PID"
 trap - EXIT
 echo "service smoke: trace checked, daemon digest matches $LOCAL_DIGEST"
+
+# Chaos smoke (docs/SERVICE.md, "Crash tolerance"): boot a spill-backed
+# daemon with a cache small enough that the trace evicts onto disk, load
+# it, then kill -9 mid-flight — the worst crash the spill tier must
+# survive (torn .tmp files, in-flight analyses, connected clients). A
+# fresh daemon restarted over the same spill directory must answer a
+# --check replay with zero digest mismatches: every verdict either
+# survives the crash intact (checksummed spill file) or is quarantined
+# and transparently re-analyzed. The client driving the doomed daemon is
+# expected to fail; only the post-restart check gates.
+SPILL="$BUILD/specaid-chaos-spill"
+rm -rf "$SPILL"
+mkdir -p "$SPILL"
+rm -f "$SOCK"
+"$BUILD/tools/specaid" --socket "$SOCK" --jobs 2 --cache 4 \
+  --spill "$SPILL" > "$BUILD/specaid-chaos.log" 2>&1 &
+SPECAID_PID=$!
+trap 'kill -9 "$SPECAID_PID" 2>/dev/null || true' EXIT
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  [ -S "$SOCK" ] && break
+  sleep 1
+done
+# Warm load: 12 uniques through a 4-entry cache forces spill writes.
+"$BUILD/tools/specaid-cli" --socket "$SOCK" \
+  --trace 24 --unique 12 --seed 3
+# Crash mid-flight: a second trace runs while the daemon is killed -9.
+"$BUILD/tools/specaid-cli" --socket "$SOCK" \
+  --trace 50 --unique 25 --seed 4 > /dev/null 2>&1 &
+CHAOS_CLIENT=$!
+kill -9 "$SPECAID_PID"
+wait "$CHAOS_CLIENT" 2>/dev/null || true
+wait "$SPECAID_PID" 2>/dev/null || true
+trap - EXIT
+# Restart over the same spill directory; --check recomputes every
+# verdict locally and exits nonzero on any digest mismatch.
+rm -f "$SOCK"
+"$BUILD/tools/specaid" --socket "$SOCK" --jobs 2 --cache 4 \
+  --spill "$SPILL" > "$BUILD/specaid-chaos2.log" 2>&1 &
+SPECAID_PID=$!
+trap 'kill "$SPECAID_PID" 2>/dev/null || true' EXIT
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  [ -S "$SOCK" ] && break
+  sleep 1
+done
+"$BUILD/tools/specaid-cli" --socket "$SOCK" \
+  --trace 24 --unique 12 --seed 3 --check
+"$BUILD/tools/specaid-cli" --socket "$SOCK" --shutdown
+wait "$SPECAID_PID"
+trap - EXIT
+echo "chaos smoke: kill -9 + restart over $SPILL, replay bit-identical"

@@ -19,6 +19,15 @@
 /// --depth-hit N, --no-spec, --no-shadow, --refine, --no-leaks, plus
 /// --priority N for the daemon's queue ordering.
 ///
+/// Budget options: --timeout-ms N bounds each request's wall clock (the
+/// daemon answers `status: timeout` past it), --max-iterations N caps its
+/// fixpoint steps.
+///
+/// Retry options: `overloaded` responses and broken-pipe transport errors
+/// retry with capped exponential backoff and deterministic jitter —
+/// --retries N attempts (default 4) starting at --backoff-ms N (default
+/// 50), never retrying past a request's own --timeout-ms deadline.
+///
 /// Trace mode generates U unique seeded programs, replays an N-request
 /// trace drawing uniformly from them over one connection, and reports the
 /// daemon's hit count. With --check every response's verdict digest is
@@ -33,11 +42,13 @@
 
 #include "specai/SpecAI.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 using namespace specai;
@@ -52,7 +63,9 @@ void usage(std::FILE *To) {
       "       [--entry NAME] [--lowering inline|summarize] [--lines N]\n"
       "       [--assoc N] [--policy lru|fifo|plru] [--strategy S]\n"
       "       [--depth-miss N] [--depth-hit N] [--no-spec] [--no-shadow]\n"
-      "       [--refine] [--no-leaks] [--priority N]\n");
+      "       [--refine] [--no-leaks] [--priority N]\n"
+      "       [--timeout-ms N] [--max-iterations N]\n"
+      "       [--retries N] [--backoff-ms N]\n");
 }
 
 bool parseStrategyName(const std::string &Name, MergeStrategy &Out) {
@@ -78,8 +91,69 @@ bool mustCall(ServiceClient &Client, const ServiceRequest &Req,
   return true;
 }
 
-int runTrace(ServiceClient &Client, const ServiceRequest &Base,
-             uint64_t Trace, uint64_t Unique, uint64_t Seed, bool Check) {
+/// How analyze calls recover from a daemon that pushes back or drops the
+/// connection. Jitter is deterministic (a fixed-seed Rng) so a given
+/// invocation always sleeps the same schedule — runs stay reproducible.
+struct RetryPolicy {
+  std::string SocketPath;
+  uint64_t Retries = 4;
+  uint64_t BackoffMs = 50;
+  Rng Jitter{0x7261657472792121ULL};
+  /// Attempts that had to back off (overloaded or transport), for the
+  /// trace-mode report.
+  uint64_t Backoffs = 0;
+};
+
+/// Sends \p Req, retrying `overloaded` responses and transport failures
+/// (a daemon mid-restart, EPIPE from a connection it shed) with capped
+/// exponential backoff: wait BackoffMs << attempt, plus jitter of up to
+/// half that so a herd of retrying clients spreads out, capped at 2s per
+/// wait. A request carrying --timeout-ms never retries past its own
+/// deadline — the caller asked for a bounded wait, and a late retry would
+/// outlive it. Transport retries reconnect before resending. Returns
+/// false (with the error already printed) only when transport attempts
+/// are exhausted; an `overloaded` verdict that outlasts every retry is
+/// handed back in \p Resp for the caller to report.
+bool callBackoff(ServiceClient &Client, RetryPolicy &Policy,
+                 const ServiceRequest &Req, ServiceResponse &Resp) {
+  Timer T;
+  for (uint64_t Attempt = 0;; ++Attempt) {
+    std::string Error = "not connected";
+    bool Sent = Client.connected() && Client.call(Req, Resp, Error);
+    if (Sent && Resp.Status != ServiceStatus::Overloaded)
+      return true;
+
+    uint64_t Shift = Attempt < 6 ? Attempt : 6;
+    uint64_t Delay = Policy.BackoffMs << Shift;
+    if (Delay > 2000)
+      Delay = 2000;
+    Delay += Policy.Jitter.nextBelow(Delay / 2 + 1);
+    uint64_t ElapsedMs = static_cast<uint64_t>(T.seconds() * 1000.0);
+    bool PastDeadline =
+        Req.TimeoutMs != 0 && ElapsedMs + Delay > Req.TimeoutMs;
+    if (Attempt == Policy.Retries || PastDeadline) {
+      if (!Sent) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return false;
+      }
+      return true; // Still overloaded: the caller sees the status.
+    }
+
+    ++Policy.Backoffs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+    if (!Sent) {
+      Client.close();
+      std::string ConnError;
+      // A failed reconnect leaves the client closed; the next attempt
+      // fails fast and backs off again.
+      Client.connect(Policy.SocketPath, ConnError);
+    }
+  }
+}
+
+int runTrace(ServiceClient &Client, RetryPolicy &Policy,
+             const ServiceRequest &Base, uint64_t Trace, uint64_t Unique,
+             uint64_t Seed, bool Check) {
   if (Unique == 0 || Trace == 0) {
     std::fprintf(stderr, "error: --trace and --unique must be positive\n");
     return 1;
@@ -108,7 +182,7 @@ int runTrace(ServiceClient &Client, const ServiceRequest &Base,
   }
 
   Rng Pick(Seed ^ 0x9e3779b97f4a7c15ULL);
-  uint64_t Hits = 0, Overloaded = 0;
+  uint64_t Hits = 0;
   Timer T;
   for (uint64_t I = 0; I != Trace; ++I) {
     // Walk the uniques in order first so every program enters the cache,
@@ -118,15 +192,10 @@ int runTrace(ServiceClient &Client, const ServiceRequest &Base,
     Req.Id = I;
     Req.Source = Sources[U];
     ServiceResponse Resp;
-    if (!mustCall(Client, Req, Resp))
+    // Backoff absorbs transient pushback; a persistent overload (or a
+    // daemon that stays gone) falls through and fails the run.
+    if (!callBackoff(Client, Policy, Req, Resp))
       return 1;
-    if (Resp.Status == ServiceStatus::Overloaded) {
-      // The bounded queue pushed back; retry once after the daemon
-      // drains. A persistent overload fails the run.
-      ++Overloaded;
-      if (!mustCall(Client, Req, Resp))
-        return 1;
-    }
     if (Resp.Status != ServiceStatus::Ok) {
       std::fprintf(stderr, "error: request %llu: %s\n",
                    static_cast<unsigned long long>(I), Resp.Error.c_str());
@@ -147,11 +216,11 @@ int runTrace(ServiceClient &Client, const ServiceRequest &Base,
   }
   double Seconds = T.seconds();
   std::printf("trace: %llu requests, %llu unique, %llu hits, %llu "
-              "overloaded, %.3fs (%.0f req/s)\n",
+              "backoffs, %.3fs (%.0f req/s)\n",
               static_cast<unsigned long long>(Trace),
               static_cast<unsigned long long>(Unique),
               static_cast<unsigned long long>(Hits),
-              static_cast<unsigned long long>(Overloaded), Seconds,
+              static_cast<unsigned long long>(Policy.Backoffs), Seconds,
               Seconds > 0 ? static_cast<double>(Trace) / Seconds : 0.0);
   if (Check)
     std::printf("check: all %llu verdicts bit-identical to local runs\n",
@@ -169,6 +238,7 @@ int runTrace(ServiceClient &Client, const ServiceRequest &Base,
 int main(int Argc, char **Argv) {
   std::string SocketPath, File;
   ServiceRequest Req; // Doubles as the trace-mode base request.
+  RetryPolicy Policy;
   bool Ping = false, Stats = false, Shutdown = false, Check = false;
   uint64_t Trace = 0, Unique = 0, Seed = 1;
   uint32_t Lines = 0, Assoc = 0;
@@ -249,6 +319,14 @@ int main(int Argc, char **Argv) {
       Req.DetectLeaks = false;
     } else if (Arg == "--priority") {
       Req.Priority = static_cast<int64_t>(NextUnsigned());
+    } else if (Arg == "--timeout-ms") {
+      Req.TimeoutMs = NextUnsigned();
+    } else if (Arg == "--max-iterations") {
+      Req.MaxSteps = NextUnsigned();
+    } else if (Arg == "--retries") {
+      Policy.Retries = NextUnsigned();
+    } else if (Arg == "--backoff-ms") {
+      Policy.BackoffMs = NextUnsigned();
     } else if (Arg == "--help" || Arg == "-h") {
       usage(stdout);
       return 0;
@@ -288,6 +366,7 @@ int main(int Argc, char **Argv) {
   }
 
   ServiceClient Client;
+  Policy.SocketPath = SocketPath;
   std::string Error;
   if (!Client.connect(SocketPath, Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -295,7 +374,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Trace != 0)
-    return runTrace(Client, Req, Trace, Unique, Seed, Check);
+    return runTrace(Client, Policy, Req, Trace, Unique, Seed, Check);
 
   if (Ping || Stats || Shutdown) {
     Req.Op = Ping ? ServiceOp::Ping
@@ -324,10 +403,16 @@ int main(int Argc, char **Argv) {
   Req.Source = Buffer.str();
 
   ServiceResponse Resp;
-  if (!mustCall(Client, Req, Resp))
+  if (!callBackoff(Client, Policy, Req, Resp))
     return 1;
   if (Resp.Status == ServiceStatus::Overloaded) {
-    std::fprintf(stderr, "error: daemon overloaded: %s\n", Resp.Error.c_str());
+    std::fprintf(stderr, "error: daemon overloaded after %llu retries: %s\n",
+                 static_cast<unsigned long long>(Policy.Retries),
+                 Resp.Error.c_str());
+    return 1;
+  }
+  if (Resp.Status == ServiceStatus::Timeout) {
+    std::fprintf(stderr, "status: timeout (%s)\n", Resp.Error.c_str());
     return 1;
   }
   if (Resp.Status != ServiceStatus::Ok) {

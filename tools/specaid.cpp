@@ -19,6 +19,14 @@
 ///   --shards N      verdict-cache shards (default 8)
 ///   --queue N       queued-analysis bound before `overloaded` (default 64)
 ///   --spill DIR     existing directory for the cache's disk spill tier
+///   --memo N        source-memo capacity before LRU eviction (default 4096)
+///   --max-request-bytes N
+///                   bound on one buffered request line (default 1 MiB)
+///   --inject-fault NAME
+///                   arm one rung of the fault matrix (docs/SERVICE.md):
+///                   spill-truncate, spill-garbage, worker-stall,
+///                   analysis-throw, oversized-request, slow-client.
+///                   Testing only — a production daemon never passes this.
 ///
 /// Exit code: 0 after a clean shutdown, 1 on startup failure.
 ///
@@ -37,7 +45,9 @@ namespace {
 
 void usage(std::FILE *To) {
   std::fprintf(To, "usage: specaid --socket PATH [--jobs N] [--cache N] "
-                   "[--shards N] [--queue N] [--spill DIR]\n");
+                   "[--shards N] [--queue N] [--spill DIR] [--memo N]\n"
+                   "               [--max-request-bytes N] "
+                   "[--inject-fault NAME]\n");
 }
 
 } // namespace
@@ -51,6 +61,7 @@ int main(int Argc, char **Argv) {
 
   std::string SocketPath;
   ServiceEngineOptions Opts;
+  ServerOptions SrvOpts;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -83,6 +94,22 @@ int main(int Argc, char **Argv) {
       Opts.QueueCapacity = NextUnsigned();
     } else if (Arg == "--spill") {
       Opts.SpillDir = Next();
+    } else if (Arg == "--memo") {
+      Opts.MemoEntries = NextUnsigned();
+    } else if (Arg == "--max-request-bytes") {
+      SrvOpts.MaxRequestBytes = NextUnsigned();
+    } else if (Arg == "--inject-fault") {
+      std::string Name = Next();
+      ServiceFault F;
+      if (!parseServiceFault(Name, F)) {
+        std::fprintf(stderr, "error: unknown fault '%s'\n", Name.c_str());
+        return 1;
+      }
+      // One flag arms both layers; each rung acts in exactly one of them
+      // (the spill/analysis rungs in the engine, the transport rungs in
+      // the server), so double-arming is harmless.
+      Opts.Fault = F;
+      SrvOpts.Fault = F;
     } else if (Arg == "--help" || Arg == "-h") {
       usage(stdout);
       return 0;
@@ -102,8 +129,17 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  if (SrvOpts.MaxRequestBytes == 0) {
+    std::fprintf(stderr, "error: --max-request-bytes must be at least 1\n");
+    return 1;
+  }
+  if (Opts.Fault != ServiceFault::None)
+    std::fprintf(stderr, "specaid: warning: fault '%s' armed — this daemon "
+                         "is intentionally broken for testing\n",
+                 serviceFaultName(Opts.Fault));
+
   ServiceEngine Engine(Opts);
-  ServiceServer Server(Engine);
+  ServiceServer Server(Engine, SrvOpts);
   std::string Error;
   if (!Server.start(SocketPath, Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
