@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzz_verdicts.dir/bench_fuzz_verdicts.cpp.o"
+  "CMakeFiles/bench_fuzz_verdicts.dir/bench_fuzz_verdicts.cpp.o.d"
+  "bench_fuzz_verdicts"
+  "bench_fuzz_verdicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzz_verdicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

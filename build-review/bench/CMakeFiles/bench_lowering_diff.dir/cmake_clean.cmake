@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowering_diff.dir/bench_lowering_diff.cpp.o"
+  "CMakeFiles/bench_lowering_diff.dir/bench_lowering_diff.cpp.o.d"
+  "bench_lowering_diff"
+  "bench_lowering_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowering_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_replay.dir/bench_service_replay.cpp.o"
+  "CMakeFiles/bench_service_replay.dir/bench_service_replay.cpp.o.d"
+  "bench_service_replay"
+  "bench_service_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,15 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test([=[bench_fig3_motivating_smoke]=] "/root/repo/build-review/bench/bench_fig3_motivating")
+set_tests_properties([=[bench_fig3_motivating_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_fig7_merge_example_smoke]=] "/root/repo/build-review/bench/bench_fig7_merge_example")
+set_tests_properties([=[bench_fig7_merge_example_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_fig11_shadow_smoke]=] "/root/repo/build-review/bench/bench_fig11_shadow")
+set_tests_properties([=[bench_fig11_shadow_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table6_merging_smoke]=] "/root/repo/build-review/bench/bench_table6_merging")
+set_tests_properties([=[bench_table6_merging_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_policy_matrix_smoke]=] "/root/repo/build-review/bench/bench_policy_matrix")
+set_tests_properties([=[bench_policy_matrix_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_lowering_diff_smoke]=] "/root/repo/build-review/bench/bench_lowering_diff")
+set_tests_properties([=[bench_lowering_diff_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/domain/IntervalDomain.cpp" "src/CMakeFiles/specai.dir/domain/IntervalDomain.cpp.o" "gcc" "src/CMakeFiles/specai.dir/domain/IntervalDomain.cpp.o.d"
   "/root/repo/src/driver/BatchRunner.cpp" "src/CMakeFiles/specai.dir/driver/BatchRunner.cpp.o" "gcc" "src/CMakeFiles/specai.dir/driver/BatchRunner.cpp.o.d"
   "/root/repo/src/fuzz/FuzzCampaign.cpp" "src/CMakeFiles/specai.dir/fuzz/FuzzCampaign.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/FuzzCampaign.cpp.o.d"
+  "/root/repo/src/fuzz/LoweringOracle.cpp" "src/CMakeFiles/specai.dir/fuzz/LoweringOracle.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/LoweringOracle.cpp.o.d"
   "/root/repo/src/fuzz/ProgramGen.cpp" "src/CMakeFiles/specai.dir/fuzz/ProgramGen.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/ProgramGen.cpp.o.d"
   "/root/repo/src/fuzz/SoundnessOracle.cpp" "src/CMakeFiles/specai.dir/fuzz/SoundnessOracle.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/SoundnessOracle.cpp.o.d"
   "/root/repo/src/fuzz/StateDigest.cpp" "src/CMakeFiles/specai.dir/fuzz/StateDigest.cpp.o" "gcc" "src/CMakeFiles/specai.dir/fuzz/StateDigest.cpp.o.d"
@@ -37,6 +38,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/memory/MemoryModel.cpp" "src/CMakeFiles/specai.dir/memory/MemoryModel.cpp.o" "gcc" "src/CMakeFiles/specai.dir/memory/MemoryModel.cpp.o.d"
   "/root/repo/src/pipeline/BranchPredictor.cpp" "src/CMakeFiles/specai.dir/pipeline/BranchPredictor.cpp.o" "gcc" "src/CMakeFiles/specai.dir/pipeline/BranchPredictor.cpp.o.d"
   "/root/repo/src/pipeline/SpeculativeCpu.cpp" "src/CMakeFiles/specai.dir/pipeline/SpeculativeCpu.cpp.o" "gcc" "src/CMakeFiles/specai.dir/pipeline/SpeculativeCpu.cpp.o.d"
+  "/root/repo/src/service/AnalysisPool.cpp" "src/CMakeFiles/specai.dir/service/AnalysisPool.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/AnalysisPool.cpp.o.d"
+  "/root/repo/src/service/Client.cpp" "src/CMakeFiles/specai.dir/service/Client.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/Client.cpp.o.d"
+  "/root/repo/src/service/Json.cpp" "src/CMakeFiles/specai.dir/service/Json.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/Json.cpp.o.d"
+  "/root/repo/src/service/Protocol.cpp" "src/CMakeFiles/specai.dir/service/Protocol.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/Protocol.cpp.o.d"
+  "/root/repo/src/service/Server.cpp" "src/CMakeFiles/specai.dir/service/Server.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/Server.cpp.o.d"
+  "/root/repo/src/service/ServiceEngine.cpp" "src/CMakeFiles/specai.dir/service/ServiceEngine.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/ServiceEngine.cpp.o.d"
+  "/root/repo/src/service/VerdictCache.cpp" "src/CMakeFiles/specai.dir/service/VerdictCache.cpp.o" "gcc" "src/CMakeFiles/specai.dir/service/VerdictCache.cpp.o.d"
   "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/specai.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Diagnostics.cpp.o.d"
   "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/specai.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Rng.cpp.o.d"
   "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/specai.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/specai.dir/support/Statistics.cpp.o.d"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widening_test.dir/widening_test.cpp.o"
+  "CMakeFiles/widening_test.dir/widening_test.cpp.o.d"
+  "widening_test"
+  "widening_test.pdb"
+  "widening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -20,7 +20,9 @@ include("/root/repo/build-review/tests/parser_test[1]_include.cmake")
 include("/root/repo/build-review/tests/pipeline_test[1]_include.cmake")
 include("/root/repo/build-review/tests/policy_domain_test[1]_include.cmake")
 include("/root/repo/build-review/tests/sema_test[1]_include.cmake")
+include("/root/repo/build-review/tests/service_test[1]_include.cmake")
 include("/root/repo/build-review/tests/soundness_property_test[1]_include.cmake")
 include("/root/repo/build-review/tests/state_repr_test[1]_include.cmake")
 include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/widening_test[1]_include.cmake")
 include("/root/repo/build-review/tests/workloads_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specaid-cli.dir/specaid-cli.cpp.o"
+  "CMakeFiles/specaid-cli.dir/specaid-cli.cpp.o.d"
+  "specaid-cli"
+  "specaid-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specaid-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

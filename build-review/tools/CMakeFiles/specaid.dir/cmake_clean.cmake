@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specaid.dir/specaid.cpp.o"
+  "CMakeFiles/specaid.dir/specaid.cpp.o.d"
+  "specaid"
+  "specaid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specaid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

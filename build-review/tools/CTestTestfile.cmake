@@ -4,5 +4,11 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
-add_test([=[specai_fuzz_selftest]=] "/root/repo/build-review/tools/specai-fuzz" "--selftest")
-set_tests_properties([=[specai_fuzz_selftest]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[specai_fuzz_selftest_cache]=] "/root/repo/build-review/tools/specai-fuzz" "--selftest" "cache")
+set_tests_properties([=[specai_fuzz_selftest_cache]=] PROPERTIES  LABELS "fuzz" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[specai_fuzz_selftest_wcet]=] "/root/repo/build-review/tools/specai-fuzz" "--selftest" "wcet")
+set_tests_properties([=[specai_fuzz_selftest_wcet]=] PROPERTIES  LABELS "fuzz" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[specai_fuzz_selftest_leak]=] "/root/repo/build-review/tools/specai-fuzz" "--selftest" "leak")
+set_tests_properties([=[specai_fuzz_selftest_leak]=] PROPERTIES  LABELS "fuzz" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[specai_fuzz_selftest_lowering]=] "/root/repo/build-review/tools/specai-fuzz" "--selftest" "lowering")
+set_tests_properties([=[specai_fuzz_selftest_lowering]=] PROPERTIES  LABELS "fuzz" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
