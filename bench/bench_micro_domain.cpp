@@ -121,6 +121,9 @@ BENCHMARK(BM_Widen)->Arg(16)->Arg(128)->Arg(512);
 
 void BM_TransferKnownGeom(benchmark::State &State) {
   GeomFixture F(geomOf(State.range(0), State.range(1)));
+  // Production analyses always run under a payload arena
+  // (AnalysisPipeline installs one); measure that profile.
+  CacheStateArenaScope Arena;
   CacheAbsState S = F.fullState(true);
   uint64_t V = 0;
   for (auto _ : State) {
@@ -137,6 +140,7 @@ BENCHMARK(BM_TransferKnownGeom)
 
 void BM_JoinGeom(benchmark::State &State) {
   GeomFixture F(geomOf(State.range(0), State.range(1)));
+  CacheStateArenaScope Arena;
   CacheAbsState A = F.fullState(true);
   CacheAbsState B = F.fullState(true);
   B.accessBlock(F.MM->blockOf(0, 0), *F.MM, true);

@@ -4,8 +4,17 @@
 // under Speculative Execution" (Wu & Wang, PLDI 2019).
 //
 //===----------------------------------------------------------------------===//
+//
+// Packed-representation implementation. Transfer semantics are documented
+// in CacheState.h and preserved entry-for-entry from the reference
+// implementation (RefCacheState.cpp); the differential harness
+// (tests/packed_state_test.cpp) holds the two in lock-step.
+//
+//===----------------------------------------------------------------------===//
 
 #include "domain/CacheState.h"
+
+#include "support/Parallel.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,38 +23,421 @@
 
 using namespace specai;
 
+//===----------------------------------------------------------------------===//
+// SWAR lane algebra
+//===----------------------------------------------------------------------===//
+
 namespace {
 
-/// Binary search for a block in a sorted AgedBlock vector; returns the
-/// iterator (end if absent is signaled by block mismatch).
-std::vector<AgedBlock>::const_iterator find(const std::vector<AgedBlock> &Vec,
-                                            BlockAddr Block) {
-  auto It = std::lower_bound(
-      Vec.begin(), Vec.end(), Block,
-      [](const AgedBlock &E, BlockAddr B) { return E.Block < B; });
-  if (It != Vec.end() && It->Block == Block)
-    return It;
-  return Vec.end();
+/// \p V replicated into every L-bit lane.
+constexpr uint64_t repeatLane(unsigned L, uint64_t V) {
+  uint64_t W = 0;
+  for (unsigned S = 0; S < 64; S += L)
+    W |= V << S;
+  return W;
 }
 
-/// Inserts or overwrites (Block -> Age), keeping the vector sorted.
-void setAge(std::vector<AgedBlock> &Vec, BlockAddr Block, uint16_t Age) {
-  auto It = std::lower_bound(
-      Vec.begin(), Vec.end(), Block,
-      [](const AgedBlock &E, BlockAddr B) { return E.Block < B; });
-  if (It != Vec.end() && It->Block == Block) {
-    It->Age = Age;
+/// Per-width lane masks. `Ones` has each lane's LSB set, `High` each
+/// lane's MSB, `Low` everything else. 64 % L == 0 for all three widths, so
+/// the masks cover the word exactly.
+struct LaneOps {
+  uint64_t Ones, High, Low;
+};
+
+constexpr LaneOps LaneTab[3] = {
+    {repeatLane(4, 1), repeatLane(4, 8), ~repeatLane(4, 8)},
+    {repeatLane(8, 1), repeatLane(8, 128), ~repeatLane(8, 128)},
+    {repeatLane(16, 1), repeatLane(16, 32768), ~repeatLane(16, 32768)},
+};
+
+const LaneOps &opsFor(unsigned LaneBits) {
+  assert(LaneBits == 4 || LaneBits == 8 || LaneBits == 16);
+  return LaneTab[LaneBits == 4 ? 0 : LaneBits == 8 ? 1 : 2];
+}
+
+/// High-bit mask of lanes with a nonzero value. Adding Low to each lane's
+/// low bits carries into the MSB exactly when the low bits are nonzero;
+/// OR-ing the word itself catches set MSBs. No cross-lane carries: each
+/// lane sum is < 2^L.
+uint64_t laneNonzero(uint64_t W, const LaneOps &O) {
+  return (((W & O.Low) + O.Low) | W) & O.High;
+}
+
+/// High-bit mask of lanes where A >= B (unsigned). Classic SWAR compare:
+/// the borrow-free subtraction (A|High) - (B&Low) decides lanes whose MSBs
+/// match; MSB-differing lanes are decided by A's MSB alone.
+uint64_t laneGE(uint64_t A, uint64_t B, const LaneOps &O) {
+  uint64_t T = (A | O.High) - (B & O.Low);
+  return ((A & ~B) | (~(A ^ B) & T)) & O.High;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PackedAges
+//===----------------------------------------------------------------------===//
+
+size_t PackedAges::find(BlockAddr Block) const {
+  auto It = std::lower_bound(Blks.begin(), Blks.end(), Block);
+  if (It != Blks.end() && *It == Block)
+    return static_cast<size_t>(It - Blks.begin());
+  return npos;
+}
+
+void PackedAges::installLaneBits(unsigned LaneBits) {
+  assert(LaneBits == 4 || LaneBits == 8 || LaneBits == 16);
+  LaneLog = LaneBits == 4 ? 2 : LaneBits == 8 ? 3 : 4;
+}
+
+void PackedAges::retruncate() {
+  if (Blks.empty()) {
+    Words.clear();
+    LaneLog = 0;
     return;
   }
-  Vec.insert(It, AgedBlock{Block, Age});
+  Words.resize(wordsFor(Blks.size()));
+  // Zero the tail lanes of the last word so bulk ops stay unmasked.
+  size_t Rem = Blks.size() & ((size_t(1) << lanesPerWordLog()) - 1);
+  if (Rem) {
+    unsigned UsedBits = static_cast<unsigned>(Rem << LaneLog);
+    Words.back() &= (uint64_t(1) << UsedBits) - 1;
+  }
 }
 
-/// Age of \p Block in a sorted entry vector; \p Assoc + 1 when absent.
-uint32_t ageIn(const std::vector<AgedBlock> &Vec, BlockAddr Block,
-               uint32_t Assoc) {
-  auto It = find(Vec, Block);
-  return It == Vec.end() ? Assoc + 1 : It->Age;
+void PackedAges::set(BlockAddr Block, uint16_t Age, unsigned LaneBits) {
+  size_t Pos = static_cast<size_t>(
+      std::lower_bound(Blks.begin(), Blks.end(), Block) - Blks.begin());
+  if (Pos != Blks.size() && Blks[Pos] == Block) {
+    setAgeAt(Pos, Age);
+    return;
+  }
+  if (Blks.empty())
+    installLaneBits(LaneBits);
+  assert(laneBits() == LaneBits && "mixed lane widths in one entry list");
+  Blks.insert(Blks.begin() + static_cast<ptrdiff_t>(Pos), Block);
+  if (Words.size() < wordsFor(Blks.size()))
+    Words.push_back(0);
+  for (size_t I = Blks.size() - 1; I > Pos; --I)
+    setAgeAt(I, ageAt(I - 1));
+  setAgeAt(Pos, Age);
 }
+
+void PackedAges::append(BlockAddr Block, uint16_t Age, unsigned LaneBits) {
+  if (Blks.empty())
+    installLaneBits(LaneBits);
+  assert(laneBits() == LaneBits && "mixed lane widths in one entry list");
+  assert((Blks.empty() || Blks.back() < Block) && "append must keep order");
+  size_t I = Blks.size();
+  Blks.push_back(Block);
+  if (Words.size() < wordsFor(Blks.size()))
+    Words.push_back(0);
+  setAgeAt(I, Age);
+}
+
+void PackedAges::eraseAt(size_t I) {
+  size_t N = Blks.size();
+  for (size_t K = I; K + 1 < N; ++K)
+    setAgeAt(K, ageAt(K + 1));
+  Blks.erase(Blks.begin() + static_cast<ptrdiff_t>(I));
+  retruncate();
+}
+
+void PackedAges::clear() {
+  Blks.clear();
+  Words.clear();
+  LaneLog = 0;
+}
+
+void PackedAges::compactAgesAbove(uint32_t Cap) {
+  size_t OutN = 0, N = Blks.size();
+  for (size_t I = 0; I != N; ++I) {
+    uint16_t Age = ageAt(I);
+    if (Age > Cap)
+      continue;
+    if (OutN != I) {
+      Blks[OutN] = Blks[I];
+      setAgeAt(OutN, Age);
+    }
+    ++OutN;
+  }
+  if (OutN != N) {
+    Blks.resize(OutN);
+    retruncate();
+  }
+}
+
+void PackedAges::removeFlagged(const std::vector<char> &Remove) {
+  assert(Remove.size() == Blks.size());
+  size_t OutN = 0, N = Blks.size();
+  for (size_t I = 0; I != N; ++I) {
+    if (Remove[I])
+      continue;
+    if (OutN != I) {
+      Blks[OutN] = Blks[I];
+      setAgeAt(OutN, ageAt(I));
+    }
+    ++OutN;
+  }
+  if (OutN != N) {
+    Blks.resize(OutN);
+    retruncate();
+  }
+}
+
+void PackedAges::agePredLE(uint32_t MaxOldAge, size_t Skip, uint32_t Cap) {
+  if (Blks.empty() || MaxOldAge == 0)
+    return;
+  const LaneOps &O = opsFor(laneBits());
+  assert(uint64_t(Cap) + 1 <= laneMask() && "cap+1 must fit a lane");
+  uint64_t BV = O.Ones * std::min<uint64_t>(MaxOldAge, laneMask());
+  uint64_t BCap1 = O.Ones * (uint64_t(Cap) + 1);
+  unsigned MsbShift = laneBits() - 1;
+  size_t SkipWord = Skip == npos ? npos : wordOf(Skip);
+  uint64_t SkipBit =
+      Skip == npos ? 0 : uint64_t(1) << (shiftOf(Skip) + MsbShift);
+  bool AnyEvict = false;
+  for (size_t W = 0; W != Words.size(); ++W) {
+    uint64_t A = Words[W];
+    // Lanes holding a real entry (age >= 1) at age <= MaxOldAge.
+    uint64_t M = laneNonzero(A, O) & laneGE(BV, A, O);
+    if (W == SkipWord)
+      M &= ~SkipBit;
+    if (!M)
+      continue;
+    A += M >> MsbShift; // Masked +1; ages stay <= cap+1, no lane overflow.
+    if (O.High & ~laneNonzero(A ^ BCap1, O))
+      AnyEvict = true; // Some lane just aged to cap+1.
+    Words[W] = A;
+  }
+  if (AnyEvict)
+    compactAgesAbove(Cap);
+}
+
+bool PackedAges::anyAgeLT(uint32_t V) const {
+  if (Blks.empty() || V <= 1)
+    return false;
+  const LaneOps &O = opsFor(laneBits());
+  uint64_t BV = O.Ones * std::min<uint64_t>(V, laneMask());
+  for (uint64_t A : Words)
+    if (laneNonzero(A, O) & ~laneGE(A, BV, O))
+      return true;
+  return false;
+}
+
+void PackedAges::addPressure(uint32_t K, uint32_t Cap) {
+  if (Blks.empty() || K == 0)
+    return;
+  if (K > Cap) {
+    clear();
+    return;
+  }
+  // Age + K > Cap evicts, i.e. everything above Cap - K goes; survivors
+  // take the un-masked add (their lanes stay <= Cap).
+  compactAgesAbove(Cap - K);
+  if (Blks.empty())
+    return;
+  const LaneOps &O = opsFor(laneBits());
+  unsigned MsbShift = laneBits() - 1;
+  for (uint64_t &W : Words)
+    W += (laneNonzero(W, O) >> MsbShift) * K;
+}
+
+bool PackedAges::allLanesGE(const PackedAges &RHS) const {
+  assert(sameBlocks(RHS) && "allLanesGE requires identical block lists");
+  if (empty())
+    return true;
+  assert(LaneLog == RHS.LaneLog);
+  const LaneOps &O = opsFor(laneBits());
+  for (size_t W = 0; W != Words.size(); ++W)
+    if (laneGE(Words[W], RHS.Words[W], O) != O.High)
+      return false; // Tail lanes are 0 on both sides and compare GE.
+  return true;
+}
+
+void PackedAges::assignMustMerge(const PackedAges &A, const PackedAges &B) {
+  assert(this != &A && this != &B);
+  if (A.empty() || B.empty()) {
+    clear();
+    return;
+  }
+  assert(A.LaneLog == B.LaneLog);
+  if (A.sameBlocks(B)) {
+    Blks = A.Blks;
+    LaneLog = A.LaneLog;
+    Words.resize(A.Words.size());
+    const LaneOps &O = opsFor(A.laneBits());
+    unsigned MsbShift = A.laneBits() - 1;
+    uint64_t LM = A.laneMask();
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t X = A.Words[W], Y = B.Words[W];
+      uint64_t Exp = (laneGE(X, Y, O) >> MsbShift) * LM;
+      Words[W] = Y ^ ((X ^ Y) & Exp); // Lanewise max.
+    }
+    return;
+  }
+  clear();
+  unsigned LB = A.laneBits();
+  size_t I = 0, J = 0;
+  while (I != A.size() && J != B.size()) {
+    BlockAddr BA = A.blockAt(I), BB = B.blockAt(J);
+    if (BA < BB)
+      ++I;
+    else if (BA > BB)
+      ++J;
+    else {
+      append(BA, std::max(A.ageAt(I), B.ageAt(J)), LB);
+      ++I;
+      ++J;
+    }
+  }
+}
+
+void PackedAges::assignMayMerge(const PackedAges &A, const PackedAges &B) {
+  assert(this != &A && this != &B);
+  if (B.empty()) {
+    *this = A;
+    return;
+  }
+  if (A.empty()) {
+    *this = B;
+    return;
+  }
+  assert(A.LaneLog == B.LaneLog);
+  if (A.sameBlocks(B)) {
+    Blks = A.Blks;
+    LaneLog = A.LaneLog;
+    Words.resize(A.Words.size());
+    const LaneOps &O = opsFor(A.laneBits());
+    unsigned MsbShift = A.laneBits() - 1;
+    uint64_t LM = A.laneMask();
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t X = A.Words[W], Y = B.Words[W];
+      uint64_t Exp = (laneGE(X, Y, O) >> MsbShift) * LM;
+      Words[W] = X ^ ((X ^ Y) & Exp); // Lanewise min.
+    }
+    return;
+  }
+  clear();
+  unsigned LB = A.laneBits();
+  size_t I = 0, J = 0;
+  while (I != A.size() || J != B.size()) {
+    if (J == B.size() || (I != A.size() && A.blockAt(I) < B.blockAt(J))) {
+      append(A.blockAt(I), A.ageAt(I), LB);
+      ++I;
+    } else if (I == A.size() || A.blockAt(I) > B.blockAt(J)) {
+      append(B.blockAt(J), B.ageAt(J), LB);
+      ++J;
+    } else {
+      append(A.blockAt(I), std::min(A.ageAt(I), B.ageAt(J)), LB);
+      ++I;
+      ++J;
+    }
+  }
+}
+
+void PackedAges::mustMergeInPlace(const PackedAges &From,
+                                  PackedAges &Scratch) {
+  if (empty())
+    return;
+  if (From.empty()) {
+    clear();
+    return;
+  }
+  assert(LaneLog == From.LaneLog);
+  if (sameBlocks(From)) {
+    const LaneOps &O = opsFor(laneBits());
+    unsigned MsbShift = laneBits() - 1;
+    uint64_t LM = laneMask();
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t X = Words[W], Y = From.Words[W];
+      uint64_t Exp = (laneGE(X, Y, O) >> MsbShift) * LM;
+      Words[W] = Y ^ ((X ^ Y) & Exp); // Lanewise max.
+    }
+    return;
+  }
+  Scratch.assignMustMerge(*this, From);
+  std::swap(Blks, Scratch.Blks);
+  std::swap(Words, Scratch.Words);
+  std::swap(LaneLog, Scratch.LaneLog);
+}
+
+void PackedAges::mayMergeInPlace(const PackedAges &From,
+                                 PackedAges &Scratch) {
+  if (From.empty())
+    return;
+  if (empty()) {
+    *this = From;
+    return;
+  }
+  assert(LaneLog == From.LaneLog);
+  if (sameBlocks(From)) {
+    const LaneOps &O = opsFor(laneBits());
+    unsigned MsbShift = laneBits() - 1;
+    uint64_t LM = laneMask();
+    for (size_t W = 0; W != Words.size(); ++W) {
+      uint64_t X = Words[W], Y = From.Words[W];
+      uint64_t Exp = (laneGE(X, Y, O) >> MsbShift) * LM;
+      Words[W] = X ^ ((X ^ Y) & Exp); // Lanewise min.
+    }
+    return;
+  }
+  Scratch.assignMayMerge(*this, From);
+  std::swap(Blks, Scratch.Blks);
+  std::swap(Words, Scratch.Words);
+  std::swap(LaneLog, Scratch.LaneLog);
+}
+
+bool PackedAges::mustJoinWouldChange(const PackedAges &From) const {
+  if (empty())
+    return false; // Intersection stays empty.
+  if (From.empty())
+    return true; // Every entry leaves the intersection.
+  if (sameBlocks(From))
+    return !allLanesGE(From); // Change iff some From age exceeds ours.
+  size_t I = 0, J = 0;
+  while (I != size()) {
+    if (J == From.size() || blockAt(I) < From.blockAt(J))
+      return true; // Dropped from the intersection.
+    if (blockAt(I) > From.blockAt(J)) {
+      ++J;
+      continue;
+    }
+    if (From.ageAt(J) > ageAt(I))
+      return true; // Age grows to the max.
+    ++I;
+    ++J;
+  }
+  return false;
+}
+
+bool PackedAges::mayJoinWouldChange(const PackedAges &From) const {
+  if (From.empty())
+    return false;
+  if (empty())
+    return true; // New shadow entries enter the union.
+  if (sameBlocks(From))
+    return !From.allLanesGE(*this); // Change iff some From age undercuts.
+  size_t I = 0, J = 0;
+  while (J != From.size()) {
+    if (I == size() || blockAt(I) > From.blockAt(J))
+      return true; // New shadow entry.
+    if (blockAt(I) < From.blockAt(J)) {
+      ++I;
+      continue;
+    }
+    if (From.ageAt(J) < ageAt(I))
+      return true; // Age shrinks to the min.
+    ++I;
+    ++J;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// CacheAbsState: payload plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
 
 /// Partition lookup in a set-sorted partition vector.
 std::vector<CacheSetPartition>::const_iterator
@@ -76,6 +468,17 @@ uint64_t splitmix64(uint64_t X) {
   return X ^ (X >> 31);
 }
 
+/// MUST lane width for \p MM's policy (from the policy age cap).
+unsigned mustLanesOf(const MemoryModel &MM) {
+  return CacheAbsState::packedLaneBits(MM.config().mustAgeCap());
+}
+
+/// MAY lane width: shadow ages are bounded by the associativity under
+/// every policy.
+unsigned mayLanesOf(const MemoryModel &MM) {
+  return CacheAbsState::packedLaneBits(MM.config().Associativity);
+}
+
 } // namespace
 
 const std::vector<CacheSetPartition> &CacheAbsState::emptyParts() {
@@ -83,12 +486,27 @@ const std::vector<CacheSetPartition> &CacheAbsState::emptyParts() {
   return Empty;
 }
 
+CacheAbsState::Payload *CacheAbsState::allocPayload() {
+  Payload *PL = RecyclingArena<Payload>::allocateFromActive();
+  PL->RefCount.store(1, std::memory_order_relaxed);
+  PL->HashKnown.store(false, std::memory_order_relaxed);
+  return PL;
+}
+
 CacheAbsState::Payload &CacheAbsState::mut() {
-  if (!P)
-    P = std::make_shared<Payload>();
-  else if (P.use_count() > 1)
-    P = std::make_shared<Payload>(*P);
-  P->HashKnown = false;
+  if (!P) {
+    P = allocPayload();
+    P->Parts.clear();
+  } else if (P->RefCount.load(std::memory_order_acquire) > 1) {
+    Payload *N = allocPayload();
+    // Element-wise vector copy-assignment reuses the recycled partition
+    // buffers — the fixpoint's clone-transfer-join steady state allocates
+    // nothing once the arena is warm.
+    N->Parts = P->Parts;
+    release(P);
+    P = N;
+  }
+  P->HashKnown.store(false, std::memory_order_relaxed);
   return *P;
 }
 
@@ -103,8 +521,10 @@ void CacheAbsState::normalize() {
                                return Part.Must.empty() && Part.May.empty();
                              }),
               Parts.end());
-  if (Parts.empty())
-    P.reset();
+  if (Parts.empty()) {
+    release(P);
+    P = nullptr;
+  }
 }
 
 const CacheSetPartition *CacheAbsState::findPart(uint32_t Set) const {
@@ -119,28 +539,32 @@ uint32_t CacheAbsState::mustAge(BlockAddr Block, uint32_t Assoc) const {
   // exactly one partition, so probe each. Partition counts are tiny (one
   // for fully associative geometries).
   for (const CacheSetPartition &Part : partitions()) {
-    auto It = find(Part.Must, Block);
-    if (It != Part.Must.end())
-      return It->Age;
+    size_t I = Part.Must.find(Block);
+    if (I != PackedAges::npos)
+      return Part.Must.ageAt(I);
   }
   return Assoc + 1;
 }
 
 uint32_t CacheAbsState::mayAge(BlockAddr Block, uint32_t Assoc) const {
   for (const CacheSetPartition &Part : partitions()) {
-    auto It = find(Part.May, Block);
-    if (It != Part.May.end())
-      return It->Age;
+    size_t I = Part.May.find(Block);
+    if (I != PackedAges::npos)
+      return Part.May.ageAt(I);
   }
   return Assoc + 1;
 }
 
 bool CacheAbsState::isMustCached(BlockAddr Block) const {
   for (const CacheSetPartition &Part : partitions())
-    if (find(Part.Must, Block) != Part.Must.end())
+    if (Part.Must.find(Block) != PackedAges::npos)
       return true;
   return false;
 }
+
+//===----------------------------------------------------------------------===//
+// Access transfers
+//===----------------------------------------------------------------------===//
 
 void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
                                 bool UseShadow) {
@@ -155,16 +579,102 @@ void CacheAbsState::accessBlock(BlockAddr Block, const MemoryModel &MM,
   }
 }
 
+namespace {
+
+/// The refined MUST aging of Appendix B under LRU: u ages only when at
+/// least Age(u) shadow blocks other than u are at least as young as u.
+/// NYoung(u) comes from a histogram of the (already updated) MAY ages —
+/// LeqCnt[a] counts shadow entries with age <= a — plus a sorted merge
+/// walk to subtract u's own shadow entry, making the whole pass
+/// O(n + assoc) instead of the reference's O(n^2).
+void ageMustShadowLru(PackedAges &Must, const PackedAges &May,
+                      BlockAddr Touched, uint32_t VMustOld, uint32_t Assoc) {
+  if (Must.empty())
+    return;
+  size_t MustN = Must.size(), MayN = May.size();
+  bool AnyEvict = false;
+
+  if (MustN * MayN <= 256) {
+    // Tiny states (the fuzz corpus's common case): the direct O(n*m)
+    // count beats building a histogram sized by the associativity.
+    for (size_t I = 0; I != MustN; ++I) {
+      BlockAddr B = Must.blockAt(I);
+      uint16_t Age = Must.ageAt(I);
+      if (B == Touched || Age >= VMustOld)
+        continue;
+      uint32_t NYoung = 0;
+      for (size_t J = 0; J != MayN; ++J)
+        if (May.blockAt(J) != B && May.ageAt(J) <= Age)
+          ++NYoung;
+      if (NYoung >= Age) {
+        Must.setAgeAt(I, static_cast<uint16_t>(Age + 1));
+        if (Age + 1u > Assoc)
+          AnyEvict = true;
+      }
+    }
+    if (AnyEvict)
+      Must.compactAgesAbove(Assoc);
+    return;
+  }
+
+  // Dense states: LeqCnt[a] = #shadow entries with age <= a, built once in
+  // O(m + assoc); a sorted merge walk subtracts u's own shadow entry.
+  constexpr uint32_t StackCap = 2048;
+  uint32_t StackBuf[StackCap + 2];
+  std::vector<uint32_t> HeapBuf;
+  uint32_t *LeqCnt;
+  if (Assoc <= StackCap) {
+    LeqCnt = StackBuf;
+  } else {
+    HeapBuf.resize(size_t(Assoc) + 2);
+    LeqCnt = HeapBuf.data();
+  }
+  std::fill(LeqCnt, LeqCnt + Assoc + 2, 0u);
+  for (size_t I = 0; I != MayN; ++I)
+    ++LeqCnt[May.ageAt(I)]; // MAY ages are in [1, Assoc].
+  for (uint32_t A = 1; A <= Assoc + 1; ++A)
+    LeqCnt[A] += LeqCnt[A - 1];
+
+  size_t J = 0;
+  for (size_t I = 0; I != MustN; ++I) {
+    BlockAddr B = Must.blockAt(I);
+    uint16_t Age = Must.ageAt(I);
+    while (J != MayN && May.blockAt(J) < B)
+      ++J;
+    if (B == Touched || Age >= VMustOld)
+      continue;
+    uint32_t NYoung = LeqCnt[Age];
+    if (J != MayN && May.blockAt(J) == B && May.ageAt(J) <= Age)
+      --NYoung; // u's own shadow entry does not count.
+    if (NYoung >= Age) {
+      Must.setAgeAt(I, static_cast<uint16_t>(Age + 1));
+      if (Age + 1u > Assoc)
+        AnyEvict = true;
+    }
+  }
+  if (AnyEvict)
+    Must.compactAgesAbove(Assoc);
+}
+
+} // namespace
+
 void CacheAbsState::accessBlockLru(BlockAddr Block, const MemoryModel &MM,
                                    bool UseShadow) {
   uint32_t Assoc = MM.config().Associativity;
+  unsigned Lanes = mustLanesOf(MM); // == mayLanesOf: LRU cap is the assoc.
   uint32_t Set = MM.setOf(Block);
 
   // Previous ages, read before any update. Only the accessed set's
-  // partition can hold the block.
+  // partition can hold the block. The found positions stay valid across
+  // mut(): cloning copies entry lists verbatim and ensurePart only ever
+  // inserts whole partitions.
   const CacheSetPartition *Old = findPart(Set);
-  uint32_t VMustOld = Old ? ageIn(Old->Must, Block, Assoc) : Assoc + 1;
-  uint32_t VMayOld = Old ? ageIn(Old->May, Block, Assoc) : Assoc + 1;
+  size_t MustPos = Old ? Old->Must.find(Block) : PackedAges::npos;
+  size_t MayPos = Old ? Old->May.find(Block) : PackedAges::npos;
+  uint32_t VMustOld =
+      MustPos == PackedAges::npos ? Assoc + 1 : Old->Must.ageAt(MustPos);
+  uint32_t VMayOld =
+      MayPos == PackedAges::npos ? Assoc + 1 : Old->May.ageAt(MayPos);
 
   Payload &PL = mut();
   CacheSetPartition &Part = PL.Parts[ensurePart(PL.Parts, Set)];
@@ -173,56 +683,26 @@ void CacheAbsState::accessBlockLru(BlockAddr Block, const MemoryModel &MM,
     // MAY (shadow) update first, Appendix B: ∃u with Age(∃u) <= Age(∃v)
     // ages by one; older shadows keep their age. The partition holds only
     // this set's entries, so no per-entry set check is needed.
-    std::vector<AgedBlock> &May = Part.May;
-    for (size_t I = 0; I != May.size();) {
-      AgedBlock &U = May[I];
-      if (U.Block != Block && U.Age <= VMayOld) {
-        if (++U.Age > Assoc) {
-          May.erase(May.begin() + static_cast<ptrdiff_t>(I));
-          continue; // Do not advance; erased current element.
-        }
-      }
-      ++I;
-    }
-    setAge(May, Block, 1);
+    Part.May.agePredLE(VMayOld, MayPos, Assoc);
+    Part.May.set(Block, 1, Lanes);
   }
 
-  // MUST update. With shadows, the refined rule (Appendix B): u ages only
-  // when at least Age(u) shadow blocks (other than u) are at least as young
-  // as u — otherwise younger lines cannot fill u's set far enough to push
-  // it out one position.
-  std::vector<AgedBlock> &Must = Part.Must;
-  for (size_t I = 0; I != Must.size();) {
-    AgedBlock &U = Must[I];
-    if (U.Block != Block && U.Age < VMustOld) {
-      bool ShouldAge = true;
-      if (UseShadow) {
-        uint32_t NYoung = 0;
-        for (const AgedBlock &W : Part.May) {
-          if (W.Block == U.Block)
-            continue;
-          if (W.Age <= U.Age)
-            ++NYoung;
-        }
-        ShouldAge = NYoung >= U.Age;
-      }
-      if (ShouldAge && ++U.Age > Assoc) {
-        Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-        continue;
-      }
-    }
-    ++I;
-  }
-  setAge(Must, Block, 1);
+  // MUST update; the refined NYoung rule reads the updated MAY side.
+  if (UseShadow)
+    ageMustShadowLru(Part.Must, Part.May, Block, VMustOld, Assoc);
+  else
+    Part.Must.agePredLE(VMustOld - 1, MustPos, Assoc);
+  Part.Must.set(Block, 1, Lanes);
 }
 
 void CacheAbsState::accessBlockFifo(BlockAddr Block, const MemoryModel &MM,
                                     bool UseShadow) {
   uint32_t Assoc = MM.config().Associativity;
+  unsigned Lanes = mustLanesOf(MM); // FIFO cap is the assoc; MAY matches.
   uint32_t Set = MM.setOf(Block);
 
   const CacheSetPartition *Old = findPart(Set);
-  uint32_t VMustOld = Old ? ageIn(Old->Must, Block, Assoc) : Assoc + 1;
+  uint32_t VMustOld = Old ? Old->Must.ageOf(Block, Assoc + 1) : Assoc + 1;
   // A provably resident block hits on every path, and a FIFO hit leaves
   // the whole set untouched (no rejuvenation): the transfer is exactly the
   // identity. This is also what makes repeated accesses must-hits.
@@ -235,47 +715,30 @@ void CacheAbsState::accessBlockFifo(BlockAddr Block, const MemoryModel &MM,
   // Without that proof the touched block still ends resident either way
   // (hit: it already was; miss: it is inserted), but only at the weakest
   // bound — position <= associativity.
-  uint32_t VMayOld = Old ? ageIn(Old->May, Block, Assoc) : Assoc + 1;
+  uint32_t VMayOld = Old ? Old->May.ageOf(Block, Assoc + 1) : Assoc + 1;
   bool DefiniteMiss = UseShadow && VMayOld > Assoc;
 
   Payload &PL = mut();
   CacheSetPartition &Part = PL.Parts[ensurePart(PL.Parts, Set)];
 
   if (UseShadow) {
-    if (DefiniteMiss) {
+    if (DefiniteMiss)
       // Every path misses, so every other line's insertion position (and
       // with it its MAY lower bound) advances by one.
-      std::vector<AgedBlock> &May = Part.May;
-      for (size_t I = 0; I != May.size();) {
-        AgedBlock &U = May[I];
-        if (U.Block != Block && ++U.Age > Assoc) {
-          May.erase(May.begin() + static_cast<ptrdiff_t>(I));
-          continue;
-        }
-        ++I;
-      }
-    }
-    setAge(Part.May, Block, 1);
+      Part.May.agePredLE(Assoc, Part.May.find(Block), Assoc);
+    Part.May.set(Block, 1, Lanes);
   }
 
   // MUST: the access may miss, displacing every tracked line of the set
   // one insertion position.
-  std::vector<AgedBlock> &Must = Part.Must;
-  for (size_t I = 0; I != Must.size();) {
-    AgedBlock &U = Must[I];
-    if (U.Block != Block && ++U.Age > Assoc) {
-      Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-      continue;
-    }
-    ++I;
-  }
+  Part.Must.agePredLE(Assoc, Part.Must.find(Block), Assoc);
   if (DefiniteMiss)
-    setAge(Must, Block, 1);
+    Part.Must.set(Block, 1, Lanes);
   else if (Assoc <= UINT16_MAX)
     // Resident either way, but only at the weakest bound. Geometries
     // whose associativity does not fit the age field simply leave the
     // block untracked (sound: untracked = not provably resident).
-    setAge(Must, Block, static_cast<uint16_t>(Assoc));
+    Part.Must.set(Block, static_cast<uint16_t>(Assoc), Lanes);
   normalize();
 }
 
@@ -295,21 +758,13 @@ void CacheAbsState::accessBlockPlru(BlockAddr Block, const MemoryModel &MM,
   Payload &PL = mut();
   CacheSetPartition &Part = PL.Parts[ensurePart(PL.Parts, Set)];
 
-  std::vector<AgedBlock> &Must = Part.Must;
-  for (size_t I = 0; I != Must.size();) {
-    AgedBlock &U = Must[I];
-    if (U.Block != Block && ++U.Age > Cap) {
-      Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-      continue;
-    }
-    ++I;
-  }
-  setAge(Must, Block, 1);
+  Part.Must.agePredLE(Cap, Part.Must.find(Block), Cap);
+  Part.Must.set(Block, 1, mustLanesOf(MM));
   // MAY: the touched block may be the youngest; other lower bounds stay
   // valid because no access is guaranteed to flip a bit toward a
   // particular block (tree ages are not monotone across paths).
   if (UseShadow)
-    setAge(Part.May, Block, 1);
+    Part.May.set(Block, 1, mayLanesOf(MM));
   normalize();
 }
 
@@ -353,26 +808,17 @@ void CacheAbsState::accessUnknownLru(VarId Var, uint64_t InstanceK,
     // Pure aging with no eviction and no insertion: skip the payload clone
     // when nothing moves and the MAY side will not be touched either.
     bool AnyAging = false;
-    for (const CacheSetPartition &Part : partitions()) {
-      if (!IsCandidateSet(Part.Set))
-        continue;
-      for (const AgedBlock &U : Part.Must)
-        if (U.Age < MaxAge) {
-          AnyAging = true;
-          break;
-        }
-      if (AnyAging)
+    for (const CacheSetPartition &Part : partitions())
+      if (IsCandidateSet(Part.Set) && Part.Must.anyAgeLT(MaxAge)) {
+        AnyAging = true;
         break;
-    }
+      }
     if (AnyAging) {
       Payload &PL = mut();
-      for (CacheSetPartition &Part : PL.Parts) {
-        if (!IsCandidateSet(Part.Set))
-          continue;
-        for (AgedBlock &U : Part.Must)
-          if (U.Age < MaxAge)
-            ++U.Age; // Stays <= MaxAge <= Assoc: a hit evicts nothing.
-      }
+      for (CacheSetPartition &Part : PL.Parts)
+        if (IsCandidateSet(Part.Set))
+          // Aged lanes stay <= MaxAge <= Assoc: a hit evicts nothing.
+          Part.Must.agePredLE(MaxAge - 1, PackedAges::npos, Assoc);
     } else if (!UseShadow) {
       return;
     }
@@ -380,35 +826,27 @@ void CacheAbsState::accessUnknownLru(VarId Var, uint64_t InstanceK,
     // Conservative MUST aging: the unknown line may be a miss in any
     // candidate set, displacing one position everywhere.
     Payload &PL = mut();
-    for (CacheSetPartition &Part : PL.Parts) {
-      if (!IsCandidateSet(Part.Set))
-        continue;
-      std::vector<AgedBlock> &Must = Part.Must;
-      for (size_t I = 0; I != Must.size();) {
-        if (++Must[I].Age > Assoc) {
-          Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-          continue;
-        }
-        ++I;
-      }
-    }
+    for (CacheSetPartition &Part : PL.Parts)
+      if (IsCandidateSet(Part.Set))
+        Part.Must.agePredLE(Assoc, PackedAges::npos, Assoc);
     // The nondeterministically picked fresh line (decis_levl[k*]).
     BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
     size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
-    setAge(PL.Parts[Idx].Must, Instance, 1);
+    PL.Parts[Idx].Must.set(Instance, 1, mustLanesOf(MM));
   }
 
   if (UseShadow) {
     // Any line of the array may now be the youngest in its set.
     Payload &PL = mut();
+    unsigned MayL = mayLanesOf(MM);
     for (BlockAddr Block : ArrayBlocks) {
       size_t Idx = ensurePart(PL.Parts, MM.setOf(Block));
-      setAge(PL.Parts[Idx].May, Block, 1);
+      PL.Parts[Idx].May.set(Block, 1, MayL);
     }
     if (!AllCached) {
       BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
       size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
-      setAge(PL.Parts[Idx].May, Instance, 1);
+      PL.Parts[Idx].May.set(Instance, 1, MayL);
     }
   }
   normalize();
@@ -440,23 +878,15 @@ void CacheAbsState::accessUnknownFifo(VarId Var, const MemoryModel &MM,
   // instance at the weakest bound would be evicted by the next possible
   // miss anyway).
   Payload &PL = mut();
-  for (CacheSetPartition &Part : PL.Parts) {
-    if (!IsCandidateSet(Part.Set))
-      continue;
-    std::vector<AgedBlock> &Must = Part.Must;
-    for (size_t I = 0; I != Must.size();) {
-      if (++Must[I].Age > Assoc) {
-        Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-        continue;
-      }
-      ++I;
-    }
-  }
+  for (CacheSetPartition &Part : PL.Parts)
+    if (IsCandidateSet(Part.Set))
+      Part.Must.agePredLE(Assoc, PackedAges::npos, Assoc);
   if (UseShadow) {
     // Any line of the array may now sit at insertion position 1.
+    unsigned MayL = mayLanesOf(MM);
     for (BlockAddr Block : ArrayBlocks) {
       size_t Idx = ensurePart(PL.Parts, MM.setOf(Block));
-      setAge(PL.Parts[Idx].May, Block, 1);
+      PL.Parts[Idx].May.set(Block, 1, MayL);
     }
   }
   normalize();
@@ -476,30 +906,22 @@ void CacheAbsState::accessUnknownPlru(VarId Var, uint64_t InstanceK,
   // the fresh symbolic instance at age 1 (its concrete age is 1 whether
   // the access hit or filled).
   Payload &PL = mut();
-  for (CacheSetPartition &Part : PL.Parts) {
-    if (!IsCandidateSet(Part.Set))
-      continue;
-    std::vector<AgedBlock> &Must = Part.Must;
-    for (size_t I = 0; I != Must.size();) {
-      if (++Must[I].Age > Cap) {
-        Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-        continue;
-      }
-      ++I;
-    }
-  }
+  for (CacheSetPartition &Part : PL.Parts)
+    if (IsCandidateSet(Part.Set))
+      Part.Must.agePredLE(Cap, PackedAges::npos, Cap);
   BlockAddr Instance = MM.symbolicBlock(Var, InstanceK);
   size_t Idx = ensurePart(PL.Parts, MM.setOf(Instance));
-  setAge(PL.Parts[Idx].Must, Instance, 1);
+  PL.Parts[Idx].Must.set(Instance, 1, mustLanesOf(MM));
 
   if (UseShadow) {
+    unsigned MayL = mayLanesOf(MM);
     std::vector<BlockAddr> ArrayBlocks = MM.blocksOf(Var);
     for (BlockAddr Block : ArrayBlocks) {
       size_t I = ensurePart(PL.Parts, MM.setOf(Block));
-      setAge(PL.Parts[I].May, Block, 1);
+      PL.Parts[I].May.set(Block, 1, MayL);
     }
     size_t I = ensurePart(PL.Parts, MM.setOf(Instance));
-    setAge(PL.Parts[I].May, Instance, 1);
+    PL.Parts[I].May.set(Instance, 1, MayL);
   }
   normalize();
 }
@@ -535,52 +957,48 @@ void CacheAbsState::applyCallEffect(const std::vector<uint32_t> &SetPressure,
           Part.Must.clear();
           continue;
         }
-        std::vector<AgedBlock> &Must = Part.Must;
-        for (size_t I = 0; I != Must.size();) {
-          uint32_t NewAge = Must[I].Age + K;
-          if (NewAge > Assoc) {
-            Must.erase(Must.begin() + static_cast<ptrdiff_t>(I));
-            continue;
-          }
-          Must[I].Age = static_cast<uint16_t>(NewAge);
-          ++I;
-        }
+        Part.Must.addPressure(K, Assoc);
       }
     }
   }
 
   if (InsertExitMust && !ExitMust.empty()) {
     Payload &PL = mut();
+    unsigned MustL = mustLanesOf(MM);
     for (const AgedBlock &E : ExitMust) {
       size_t Idx = ensurePart(PL.Parts, MM.setOf(E.Block));
-      std::vector<AgedBlock> &Must = PL.Parts[Idx].Must;
-      auto It = std::lower_bound(
-          Must.begin(), Must.end(), E.Block,
-          [](const AgedBlock &A, BlockAddr B) { return A.Block < B; });
+      PackedAges &Must = PL.Parts[Idx].Must;
       // Both the surviving caller bound and the callee exit bound are valid
       // age upper bounds; keep the tighter one.
-      if (It != Must.end() && It->Block == E.Block)
-        It->Age = std::min(It->Age, E.Age);
+      size_t Pos = Must.find(E.Block);
+      if (Pos != PackedAges::npos)
+        Must.setAgeAt(Pos, std::min(Must.ageAt(Pos), E.Age));
       else
-        Must.insert(It, E);
+        Must.set(E.Block, E.Age, MustL);
     }
   }
 
   if (UseShadow && !MayBlocks.empty()) {
     Payload &PL = mut();
+    unsigned MayL = mayLanesOf(MM);
     for (BlockAddr Block : MayBlocks) {
       size_t Idx = ensurePart(PL.Parts, MM.setOf(Block));
-      setAge(PL.Parts[Idx].May, Block, 1);
+      PL.Parts[Idx].May.set(Block, 1, MayL);
     }
   }
   normalize();
 }
 
+//===----------------------------------------------------------------------===//
+// Join / order / widening
+//===----------------------------------------------------------------------===//
+
 namespace {
 
 /// Would `Into ⊔= From` change Into? A pure read-only merge walk: MUST is
 /// intersection/max (change = a dropped entry or a grown age), MAY is
-/// union/min (change = a new entry or a shrunk age).
+/// union/min (change = a new entry or a shrunk age). Peer partitions with
+/// identical block lists compare a word at a time.
 bool joinWouldChange(const std::vector<CacheSetPartition> &Into,
                      const std::vector<CacheSetPartition> &From,
                      bool UseShadow) {
@@ -599,82 +1017,53 @@ bool joinWouldChange(const std::vector<CacheSetPartition> &Into,
       ++J;
       continue;
     }
-    const CacheSetPartition &A = Into[I], &B = From[J];
-    {
-      size_t X = 0, Y = 0;
-      while (X != A.Must.size()) {
-        if (Y == B.Must.size() || A.Must[X].Block < B.Must[Y].Block)
-          return true; // Dropped from the intersection.
-        if (A.Must[X].Block > B.Must[Y].Block) {
-          ++Y;
-          continue;
-        }
-        if (B.Must[Y].Age > A.Must[X].Age)
-          return true; // Age grows to the max.
-        ++X;
-        ++Y;
-      }
-    }
-    if (UseShadow) {
-      size_t X = 0, Y = 0;
-      while (Y != B.May.size()) {
-        if (X == A.May.size() || A.May[X].Block > B.May[Y].Block)
-          return true; // New shadow entry.
-        if (A.May[X].Block < B.May[Y].Block) {
-          ++X;
-          continue;
-        }
-        if (B.May[Y].Age < A.May[X].Age)
-          return true; // Age shrinks to the min.
-        ++X;
-        ++Y;
-      }
-    }
+    if (Into[I].Must.mustJoinWouldChange(From[J].Must))
+      return true;
+    if (UseShadow && Into[I].May.mayJoinWouldChange(From[J].May))
+      return true;
     ++I;
     ++J;
   }
   return false;
 }
 
-/// MUST intersection with max ages.
-std::vector<AgedBlock> mergeMust(const std::vector<AgedBlock> &A,
-                                 const std::vector<AgedBlock> &B) {
-  std::vector<AgedBlock> Out;
-  Out.reserve(std::min(A.size(), B.size()));
-  size_t I = 0, J = 0;
-  while (I != A.size() && J != B.size()) {
-    if (A[I].Block < B[J].Block)
-      ++I;
-    else if (A[I].Block > B[J].Block)
-      ++J;
-    else {
-      Out.push_back(AgedBlock{A[I].Block, std::max(A[I].Age, B[J].Age)});
-      ++I;
-      ++J;
-    }
+/// One output partition of a join: indices into Into/Src (npos = absent).
+struct JoinPlanItem {
+  uint32_t Set;
+  size_t I, J;
+};
+
+/// Fills \p Part with the join of Into[Item.I] and Src[Item.J]; partitions
+/// are independent, so this is the unit of intra-join parallelism.
+void fillJoinedPartition(CacheSetPartition &Part, const JoinPlanItem &Item,
+                         const std::vector<CacheSetPartition> &Into,
+                         const std::vector<CacheSetPartition> &Src,
+                         bool UseShadow) {
+  Part.Set = Item.Set;
+  if (Item.J == PackedAges::npos) {
+    // Our set only: MUST intersection is empty, MAY keeps our entries
+    // (untouched when shadows are off, matching the flat representation).
+    Part.Must.clear();
+    Part.May = Into[Item.I].May;
+  } else if (Item.I == PackedAges::npos) {
+    // Their set only: nothing joins MUST; MAY union adopts theirs.
+    Part.Must.clear();
+    if (UseShadow)
+      Part.May = Src[Item.J].May;
+    else
+      Part.May.clear();
+  } else {
+    Part.Must.assignMustMerge(Into[Item.I].Must, Src[Item.J].Must);
+    if (UseShadow)
+      Part.May.assignMayMerge(Into[Item.I].May, Src[Item.J].May);
+    else
+      Part.May = Into[Item.I].May;
   }
-  return Out;
 }
 
-/// MAY union with min ages.
-std::vector<AgedBlock> mergeMay(const std::vector<AgedBlock> &A,
-                                const std::vector<AgedBlock> &B) {
-  std::vector<AgedBlock> Out;
-  Out.reserve(A.size() + B.size());
-  size_t I = 0, J = 0;
-  while (I != A.size() || J != B.size()) {
-    if (J == B.size() || (I != A.size() && A[I].Block < B[J].Block))
-      Out.push_back(A[I++]);
-    else if (I == A.size() || A[I].Block > B[J].Block)
-      Out.push_back(B[J++]);
-    else {
-      Out.push_back(AgedBlock{A[I].Block, std::min(A[I].Age, B[J].Age)});
-      ++I;
-      ++J;
-    }
-  }
-  return Out;
-}
+/// Below this many output partitions a parallel join costs more than it
+/// saves; measured on the 512-set fuzz geometries (docs/PERFORMANCE.md).
+constexpr size_t ParallelJoinThreshold = 64;
 
 } // namespace
 
@@ -683,7 +1072,10 @@ bool CacheAbsState::joinInto(const CacheAbsState &From, bool UseShadow) {
     return false;
   if (Bottom) {
     Bottom = false;
+    assert(!P && "bottom states own no payload");
     P = From.P; // Copy-on-write: a refcount bump, not an entry copy.
+    if (P)
+      P->RefCount.fetch_add(1, std::memory_order_relaxed);
     if (!UseShadow && P) {
       bool AnyMay = false;
       for (const CacheSetPartition &Part : P->Parts)
@@ -703,8 +1095,11 @@ bool CacheAbsState::joinInto(const CacheAbsState &From, bool UseShadow) {
   if (P == From.P)
     return false; // Shared storage: identical states, join is a no-op.
   // Hash-equality early exit: equal structures join to themselves.
-  if (P && From.P && P->HashKnown && From.P->HashKnown &&
-      P->Hash == From.P->Hash && P->Parts == From.P->Parts)
+  if (P && From.P && P->HashKnown.load(std::memory_order_acquire) &&
+      From.P->HashKnown.load(std::memory_order_acquire) &&
+      P->Hash.load(std::memory_order_relaxed) ==
+          From.P->Hash.load(std::memory_order_relaxed) &&
+      P->Parts == From.P->Parts)
     return false;
 
   const std::vector<CacheSetPartition> &Into = partitions();
@@ -712,40 +1107,130 @@ bool CacheAbsState::joinInto(const CacheAbsState &From, bool UseShadow) {
   if (!joinWouldChange(Into, Src, UseShadow))
     return false;
 
-  // Build the merged payload fresh; the no-change path above keeps this
-  // allocation off the fixed-point steady state.
-  auto NewP = std::make_shared<Payload>();
-  std::vector<CacheSetPartition> &Out = NewP->Parts;
-  Out.reserve(std::max(Into.size(), Src.size()));
-  size_t I = 0, J = 0;
-  while (I != Into.size() || J != Src.size()) {
-    CacheSetPartition Part;
-    if (J == Src.size() || (I != Into.size() && Into[I].Set < Src[J].Set)) {
-      // Our set only: MUST intersection is empty, MAY keeps our entries
-      // (untouched when shadows are off, matching the flat representation).
-      Part.Set = Into[I].Set;
-      Part.May = Into[I].May;
-      ++I;
-    } else if (I == Into.size() || Into[I].Set > Src[J].Set) {
-      // Their set only: nothing joins MUST; MAY union adopts theirs.
-      Part.Set = Src[J].Set;
-      if (UseShadow)
-        Part.May = Src[J].May;
-      ++J;
-    } else {
-      Part.Set = Into[I].Set;
-      Part.Must = mergeMust(Into[I].Must, Src[J].Must);
-      Part.May = UseShadow ? mergeMay(Into[I].May, Src[J].May) : Into[I].May;
-      ++I;
-      ++J;
+  // Uniquely-owned destination (the engines' slot accumulators after
+  // their first rebuild): merge in place — sameBlocks partitions update
+  // word-at-a-time with zero allocation, others swap through a reused
+  // scratch — instead of cloning every partition into a fresh payload.
+  if (P && P->RefCount.load(std::memory_order_relaxed) == 1) {
+    std::vector<CacheSetPartition> &Dst = P->Parts;
+    PackedAges ScratchMust, ScratchMay;
+    size_t I = 0, J = 0;
+    while (I != Dst.size() || J != Src.size()) {
+      if (J == Src.size() || (I != Dst.size() && Dst[I].Set < Src[J].Set)) {
+        Dst[I].Must.clear(); // Whole partition leaves the intersection.
+        ++I;
+      } else if (I == Dst.size() || Dst[I].Set > Src[J].Set) {
+        if (UseShadow && !Src[J].May.empty()) {
+          Dst.insert(Dst.begin() + static_cast<ptrdiff_t>(I),
+                     CacheSetPartition{Src[J].Set, {}, Src[J].May});
+          ++I;
+        }
+        ++J;
+      } else {
+        Dst[I].Must.mustMergeInPlace(Src[J].Must, ScratchMust);
+        if (UseShadow)
+          Dst[I].May.mayMergeInPlace(Src[J].May, ScratchMay);
+        ++I;
+        ++J;
+      }
     }
-    if (!Part.Must.empty() || !Part.May.empty())
-      Out.push_back(std::move(Part));
+    size_t Kept = 0;
+    for (size_t K = 0; K != Dst.size(); ++K) {
+      if (Dst[K].Must.empty() && Dst[K].May.empty())
+        continue;
+      if (Kept != K)
+        Dst[Kept] = std::move(Dst[K]);
+      ++Kept;
+    }
+    Dst.resize(Kept);
+    P->HashKnown.store(false, std::memory_order_relaxed);
+    if (Dst.empty()) {
+      release(P);
+      P = nullptr;
+    }
+    return true;
   }
-  if (Out.empty())
-    P.reset();
-  else
-    P = std::move(NewP);
+
+  // Build the merged payload fresh; the no-change path above keeps this
+  // allocation off the fixed-point steady state, and the arena recycles
+  // the partition buffers of the payload this replaces.
+  Payload *NewP = allocPayload();
+  std::vector<CacheSetPartition> &Out = NewP->Parts;
+  size_t OutN = 0;
+
+  IntraPool *Pool = IntraPool::activePool();
+  if (Pool && Into.size() + Src.size() >= ParallelJoinThreshold) {
+    // Plan the merged set walk, fan the independent per-set merges across
+    // the pool, then compact empties serially. Identical output order at
+    // any job count.
+    std::vector<JoinPlanItem> Plan;
+    Plan.reserve(Into.size() + Src.size());
+    size_t I = 0, J = 0;
+    while (I != Into.size() || J != Src.size()) {
+      if (J == Src.size() ||
+          (I != Into.size() && Into[I].Set < Src[J].Set)) {
+        Plan.push_back({Into[I].Set, I, PackedAges::npos});
+        ++I;
+      } else if (I == Into.size() || Into[I].Set > Src[J].Set) {
+        Plan.push_back({Src[J].Set, PackedAges::npos, J});
+        ++J;
+      } else {
+        Plan.push_back({Into[I].Set, I, J});
+        ++I;
+        ++J;
+      }
+    }
+    Out.resize(Plan.size());
+    Pool->run(Plan.size(), [&](size_t K) {
+      fillJoinedPartition(Out[K], Plan[K], Into, Src, UseShadow);
+    });
+    for (size_t K = 0; K != Out.size(); ++K) {
+      if (Out[K].Must.empty() && Out[K].May.empty())
+        continue;
+      if (OutN != K)
+        Out[OutN] = std::move(Out[K]);
+      ++OutN;
+    }
+  } else {
+    if (Out.capacity() < std::max(Into.size(), Src.size()))
+      Out.reserve(std::max(Into.size(), Src.size()));
+    size_t I = 0, J = 0;
+    while (I != Into.size() || J != Src.size()) {
+      JoinPlanItem Item;
+      if (J == Src.size() ||
+          (I != Into.size() && Into[I].Set < Src[J].Set)) {
+        Item = {Into[I].Set, I, PackedAges::npos};
+        ++I;
+      } else if (I == Into.size() || Into[I].Set > Src[J].Set) {
+        Item = {Src[J].Set, PackedAges::npos, J};
+        ++J;
+      } else {
+        Item = {Into[I].Set, I, J};
+        ++I;
+        ++J;
+      }
+      // Recycled payloads carry leftover partitions; reuse them as output
+      // slots so a warm join allocates nothing.
+      if (OutN == Out.size())
+        Out.emplace_back();
+      CacheSetPartition &Part = Out[OutN];
+      fillJoinedPartition(Part, Item, Into, Src, UseShadow);
+      if (!Part.Must.empty() || !Part.May.empty())
+        ++OutN;
+    }
+  }
+  Out.resize(OutN);
+
+  if (OutN == 0) {
+    release(NewP);
+    if (P)
+      release(P);
+    P = nullptr;
+  } else {
+    if (P)
+      release(P);
+    P = NewP;
+  }
   return true;
 }
 
@@ -760,9 +1245,21 @@ bool CacheAbsState::leq(const CacheAbsState &RHS, uint32_t Assoc) const {
   // everything, so only RHS's tracked blocks need checking.
   for (const CacheSetPartition &RPart : RHS.partitions()) {
     const CacheSetPartition *LPart = findPart(RPart.Set);
-    for (const AgedBlock &E : RPart.Must) {
-      uint32_t Mine = LPart ? ageIn(LPart->Must, E.Block, Assoc) : Assoc + 1;
-      if (Mine > E.Age)
+    if (!LPart) {
+      if (!RPart.Must.empty())
+        return false;
+      continue;
+    }
+    if (LPart->Must.sameBlocks(RPart.Must)) {
+      // Identical tracked blocks: one subtract-and-test per word.
+      if (!RPart.Must.allLanesGE(LPart->Must))
+        return false;
+      continue;
+    }
+    for (size_t K = 0, N = RPart.Must.size(); K != N; ++K) {
+      uint32_t Mine =
+          LPart->Must.ageOf(RPart.Must.blockAt(K), Assoc + 1);
+      if (Mine > RPart.Must.ageAt(K))
         return false;
     }
   }
@@ -771,9 +1268,19 @@ bool CacheAbsState::leq(const CacheAbsState &RHS, uint32_t Assoc) const {
   // Assoc+1 and dominate.
   for (const CacheSetPartition &LPart : partitions()) {
     const CacheSetPartition *RPart = RHS.findPart(LPart.Set);
-    for (const AgedBlock &E : LPart.May) {
-      uint32_t Theirs = RPart ? ageIn(RPart->May, E.Block, Assoc) : Assoc + 1;
-      if (E.Age < Theirs)
+    if (!RPart) {
+      if (!LPart.May.empty())
+        return false;
+      continue;
+    }
+    if (LPart.May.sameBlocks(RPart->May)) {
+      if (!LPart.May.allLanesGE(RPart->May))
+        return false;
+      continue;
+    }
+    for (size_t K = 0, N = LPart.May.size(); K != N; ++K) {
+      uint32_t Theirs = RPart->May.ageOf(LPart.May.blockAt(K), Assoc + 1);
+      if (LPart.May.ageAt(K) < Theirs)
         return false;
     }
   }
@@ -785,30 +1292,35 @@ void CacheAbsState::widenFrom(const CacheAbsState &Prev, uint32_t Assoc) {
     return;
   // Evict MUST entries whose age grew since the previous iterate. Probe
   // first so the stable case never clones the payload.
-  auto Grew = [&](const CacheSetPartition &Part, const AgedBlock &E) {
-    const CacheSetPartition *PPart = Prev.findPart(Part.Set);
-    uint32_t PrevAge = PPart ? ageIn(PPart->Must, E.Block, Assoc) : Assoc + 1;
-    return PrevAge <= Assoc && E.Age > PrevAge;
+  auto Grew = [&](uint32_t Set, BlockAddr Block, uint16_t Age) {
+    const CacheSetPartition *PPart = Prev.findPart(Set);
+    uint32_t PrevAge =
+        PPart ? PPart->Must.ageOf(Block, Assoc + 1) : Assoc + 1;
+    return PrevAge <= Assoc && Age > PrevAge;
   };
   bool AnyGrew = false;
   for (const CacheSetPartition &Part : partitions()) {
-    for (const AgedBlock &E : Part.Must)
-      if (Grew(Part, E)) {
-        AnyGrew = true;
-        break;
-      }
+    for (size_t I = 0, N = Part.Must.size(); I != N && !AnyGrew; ++I)
+      AnyGrew = Grew(Part.Set, Part.Must.blockAt(I), Part.Must.ageAt(I));
     if (AnyGrew)
       break;
   }
   if (!AnyGrew)
     return;
   Payload &PL = mut();
-  for (CacheSetPartition &Part : PL.Parts)
-    Part.Must.erase(std::remove_if(Part.Must.begin(), Part.Must.end(),
-                                   [&](const AgedBlock &E) {
-                                     return Grew(Part, E);
-                                   }),
-                    Part.Must.end());
+  std::vector<char> Remove;
+  for (CacheSetPartition &Part : PL.Parts) {
+    size_t N = Part.Must.size();
+    Remove.assign(N, 0);
+    bool Any = false;
+    for (size_t I = 0; I != N; ++I)
+      if (Grew(Part.Set, Part.Must.blockAt(I), Part.Must.ageAt(I))) {
+        Remove[I] = 1;
+        Any = true;
+      }
+    if (Any)
+      Part.Must.removeFlagged(Remove);
+  }
   normalize();
   // MAY ages descend toward 1 on a finite ladder; no acceleration needed.
 }
@@ -822,15 +1334,23 @@ bool CacheAbsState::operator==(const CacheAbsState &RHS) const {
     return true; // Shared storage (or both empty).
   // Canonical form: a live payload always has at least one partition, so
   // an empty state never equals a non-empty one here.
-  if (P && RHS.P && P->HashKnown && RHS.P->HashKnown && P->Hash != RHS.P->Hash)
+  if (P && RHS.P && P->HashKnown.load(std::memory_order_acquire) &&
+      RHS.P->HashKnown.load(std::memory_order_acquire) &&
+      P->Hash.load(std::memory_order_relaxed) !=
+          RHS.P->Hash.load(std::memory_order_relaxed))
     return false;
   return partitions() == RHS.partitions();
 }
 
+//===----------------------------------------------------------------------===//
+// Canonical views, hashing, rendering
+//===----------------------------------------------------------------------===//
+
 std::vector<AgedBlock> CacheAbsState::mustEntries() const {
   std::vector<AgedBlock> Out;
   for (const CacheSetPartition &Part : partitions())
-    Out.insert(Out.end(), Part.Must.begin(), Part.Must.end());
+    for (const AgedBlock E : Part.Must)
+      Out.push_back(E);
   std::sort(Out.begin(), Out.end(),
             [](const AgedBlock &A, const AgedBlock &B) {
               return A.Block < B.Block;
@@ -841,7 +1361,8 @@ std::vector<AgedBlock> CacheAbsState::mustEntries() const {
 std::vector<AgedBlock> CacheAbsState::mayEntries() const {
   std::vector<AgedBlock> Out;
   for (const CacheSetPartition &Part : partitions())
-    Out.insert(Out.end(), Part.May.begin(), Part.May.end());
+    for (const AgedBlock E : Part.May)
+      Out.push_back(E);
   std::sort(Out.begin(), Out.end(),
             [](const AgedBlock &A, const AgedBlock &B) {
               return A.Block < B.Block;
@@ -854,8 +1375,8 @@ uint64_t CacheAbsState::structuralHash() const {
     return 0xB0770B0770ULL;
   if (!P)
     return 0x9E3779B97F4A7C15ULL; // The empty (entry) state.
-  if (P->HashKnown)
-    return P->Hash;
+  if (P->HashKnown.load(std::memory_order_acquire))
+    return P->Hash.load(std::memory_order_relaxed);
   uint64_t H = 0xcbf29ce484222325ULL;
   auto Mix = [&H](uint64_t V) {
     H = (H ^ splitmix64(V)) * 0x100000001b3ULL;
@@ -864,18 +1385,20 @@ uint64_t CacheAbsState::structuralHash() const {
   for (const CacheSetPartition &Part : P->Parts) {
     Mix(Part.Set);
     Mix(Part.Must.size());
-    for (const AgedBlock &E : Part.Must) {
+    for (const AgedBlock E : Part.Must) {
       Mix(E.Block);
       Mix(E.Age);
     }
     Mix(Part.May.size());
-    for (const AgedBlock &E : Part.May) {
+    for (const AgedBlock E : Part.May) {
       Mix(E.Block);
       Mix(E.Age);
     }
   }
-  P->Hash = H;
-  P->HashKnown = true;
+  // Racing readers of a shared payload compute the same value; the
+  // release/acquire pair orders the value before the flag.
+  P->Hash.store(H, std::memory_order_relaxed);
+  P->HashKnown.store(true, std::memory_order_release);
   return H;
 }
 
@@ -885,9 +1408,9 @@ std::string CacheAbsState::str(const MemoryModel &MM) const {
   // Group by age, youngest first, like the paper's tables.
   std::map<uint32_t, std::vector<std::string>> ByAge;
   for (const CacheSetPartition &Part : partitions()) {
-    for (const AgedBlock &E : Part.Must)
+    for (const AgedBlock E : Part.Must)
       ByAge[E.Age].push_back(MM.blockName(E.Block));
-    for (const AgedBlock &E : Part.May)
+    for (const AgedBlock E : Part.May)
       ByAge[E.Age].push_back("∃" + MM.blockName(E.Block));
   }
   std::string Out = "{";

@@ -47,26 +47,47 @@
 /// paper's `decis_lev[k*]`) is inserted, and on the MAY side every line of
 /// the array may now be youngest.
 ///
-/// Representation (the fixed-point hot path; see docs/PERFORMANCE.md):
+/// Representation (the fixed-point hot path; see docs/PERFORMANCE.md,
+/// "Packed age lanes"):
 ///
 ///  - Entries are *partitioned by cache set*: each CacheSetPartition holds
-///    the MUST/MAY entries of one set, sorted by block, so a transfer only
-///    walks the accessed set's partition and age lookups are a partition
-///    probe plus a binary search. Partitions are kept sorted by set id and
-///    never empty (canonical form), so structural equality is memberwise.
-///  - The partition vector lives behind a *copy-on-write payload*
-///    (shared_ptr + unshare-on-mutate): copying a state is a refcount
-///    bump, and the engines' ubiquitous `Out = In; transfer(Out)` pattern
-///    only clones when the transfer actually mutates. Two handles may
-///    share storage (`sharesStorageWith`), which joinInto exploits as an
-///    O(1) no-change fast path.
+///    the MUST/MAY entries of one set, sorted by block. Partitions are
+///    kept sorted by set id and never empty (canonical form), so
+///    structural equality is memberwise.
+///  - Within a partition, ages are *bit-packed*: PackedAges stores the
+///    sorted block list alongside a u64 word array holding one fixed-width
+///    age lane per entry (nibble / byte / 16-bit, chosen from the policy's
+///    `mustAgeCap()`). Aging a set is a masked SWAR add over whole words,
+///    joins are per-lane max/min, and containment is a subtract-and-test —
+///    16/8/4 entries per instruction instead of one. The Appendix B NYoung
+///    rule runs off a MAY-age histogram (O(n + cap) per transfer, not
+///    O(n^2)). Zero lanes mark absent tail slots (real ages are >= 1).
+///  - The partition vector lives behind a *copy-on-write payload* with an
+///    intrusive atomic refcount: copying a state is a refcount bump, and
+///    the engines' ubiquitous `Out = In; transfer(Out)` pattern only
+///    clones when the transfer actually mutates. Two handles may share
+///    storage (`sharesStorageWith`), which joinInto exploits as an O(1)
+///    no-change fast path.
+///  - Payloads are recycled through a per-analysis arena
+///    (CacheAbsState::ArenaScope over support/RecyclingArena.h): retiring
+///    a payload hands its partition buffers to the next clone instead of
+///    the allocator, so a converging fixpoint stops allocating. States may
+///    outlive the arena — every payload is individually heap-deletable.
 ///  - Each payload caches a lazily computed 64-bit structural hash
 ///    (`structuralHash`), giving equality a fast negative path and backing
 ///    the engines' transfer memoization and the StateInterner pool.
 ///
-/// Handles are cheap to copy across threads, but payloads must not be
-/// mutated or lazily hashed concurrently; each analysis run owns its
-/// states (the batch/fuzz drivers parallelize over independent runs).
+/// Handles are cheap to copy across threads; refcounts and the lazy hash
+/// are atomic, so concurrent *reads* (including lazy hashing) of a shared
+/// payload are safe. Mutation still requires exclusive ownership of the
+/// handle, which copy-on-write guarantees.
+///
+/// `mustEntries()/mayEntries()` materialize the canonical block-sorted
+/// entry order of the pre-packing representations, so every golden digest
+/// pinned by the fuzz corpus is bit-identical across representations; the
+/// retained reference implementation (RefCacheState.h) and the
+/// representation-differential harness (tests/packed_state_test.cpp) keep
+/// the two in lock-step.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -74,15 +95,20 @@
 #define SPECAI_DOMAIN_CACHESTATE_H
 
 #include "memory/MemoryModel.h"
+#include "support/RecyclingArena.h"
 
+#include <atomic>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <iterator>
 #include <string>
 #include <vector>
 
 namespace specai {
 
-/// One tracked (block, age) pair; kept sorted by block within a partition.
+/// One tracked (block, age) pair — the element type PackedAges decodes to;
+/// canonical entry lists (mustEntries) and call summaries store these.
 struct AgedBlock {
   BlockAddr Block;
   uint16_t Age;
@@ -90,18 +116,221 @@ struct AgedBlock {
   bool operator==(const AgedBlock &RHS) const = default;
 };
 
+/// A sorted block list with bit-packed age lanes: entry i's age lives in a
+/// fixed-width lane (4/8/16 bits) of the u64 word array. Lane width is
+/// chosen once per analysis from the policy's age cap
+/// (CacheAbsState::packedLaneBits) and is 0 canonically when empty. Tail
+/// lanes past size() are zero — real ages are >= 1 — so bulk SWAR ops can
+/// run over whole words unmasked.
+///
+/// Reads decode on the fly (operator[], iteration yields AgedBlock by
+/// value); bulk mutators (aging, pressure, merges) work a word at a time.
+class PackedAges {
+public:
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  PackedAges() = default;
+
+  size_t size() const { return Blks.size(); }
+  bool empty() const { return Blks.empty(); }
+  /// Lane width in bits (4, 8 or 16); 0 canonically when empty.
+  unsigned laneBits() const { return LaneLog ? 1u << LaneLog : 0; }
+
+  BlockAddr blockAt(size_t I) const { return Blks[I]; }
+  uint16_t ageAt(size_t I) const {
+    return static_cast<uint16_t>((Words[wordOf(I)] >> shiftOf(I)) &
+                                 laneMask());
+  }
+  AgedBlock operator[](size_t I) const { return {Blks[I], ageAt(I)}; }
+
+  /// The sorted block list (parallel to the age lanes).
+  const std::vector<BlockAddr> &blocks() const { return Blks; }
+  /// The raw lane words (tail lanes zero); for the word-at-a-time merge
+  /// fast paths and the differential harness's layout checks.
+  const std::vector<uint64_t> &words() const { return Words; }
+
+  /// Index of \p Block, or npos.
+  size_t find(BlockAddr Block) const;
+  /// Age of \p Block, or \p Fallback when absent.
+  uint32_t ageOf(BlockAddr Block, uint32_t Fallback) const {
+    size_t I = find(Block);
+    return I == npos ? Fallback : ageAt(I);
+  }
+
+  /// Proxy iteration yielding AgedBlock by value, so range-for over a
+  /// partition reads exactly like the pre-packing representation.
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = AgedBlock;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = AgedBlock;
+
+    const_iterator() = default;
+    const_iterator(const PackedAges *PA, size_t I) : PA(PA), I(I) {}
+    AgedBlock operator*() const { return (*PA)[I]; }
+    const_iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator T = *this;
+      ++I;
+      return T;
+    }
+    bool operator==(const const_iterator &RHS) const { return I == RHS.I; }
+
+  private:
+    const PackedAges *PA = nullptr;
+    size_t I = 0;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, Blks.size()}; }
+
+  // -- Mutators (all maintain sorted-by-block, zero-tail, canonical-empty
+  // -- invariants). LaneBits parameters install the width on the first
+  // -- entry and must match afterwards.
+
+  /// Inserts or overwrites (Block -> Age).
+  void set(BlockAddr Block, uint16_t Age, unsigned LaneBits);
+  /// Overwrites the age lane of entry \p I.
+  void setAgeAt(size_t I, uint16_t Age) {
+    uint64_t &W = Words[wordOf(I)];
+    unsigned Sh = shiftOf(I);
+    W = (W & ~(laneMask() << Sh)) | (static_cast<uint64_t>(Age) << Sh);
+  }
+  /// Appends (Block, Age); Block must sort after every present block.
+  void append(BlockAddr Block, uint16_t Age, unsigned LaneBits);
+  void eraseAt(size_t I);
+  /// Removes every entry; buffer capacity is retained.
+  void clear();
+
+  // -- Bulk SWAR transfer kernels (CacheState.cpp).
+
+  /// Ages by one every entry with Age <= \p MaxOldAge, except index \p
+  /// Skip (npos for none); entries aged past \p Cap are removed. The
+  /// masked-saturating-add at the heart of every access transfer.
+  void agePredLE(uint32_t MaxOldAge, size_t Skip, uint32_t Cap);
+  /// True iff any entry has Age < \p V.
+  bool anyAgeLT(uint32_t V) const;
+  /// The LRU call-pressure transfer: Age += K, entries past \p Cap
+  /// removed.
+  void addPressure(uint32_t K, uint32_t Cap);
+  /// Removes every entry with Age > \p Cap (eviction compaction).
+  void compactAgesAbove(uint32_t Cap);
+  /// Removes every entry whose flag in \p Remove is nonzero.
+  void removeFlagged(const std::vector<char> &Remove);
+
+  // -- Merge/compare kernels; `sameBlocks` peers run a word at a time.
+
+  bool sameBlocks(const PackedAges &RHS) const { return Blks == RHS.Blks; }
+  /// this = MUST join of A and B: key intersection, lane max.
+  void assignMustMerge(const PackedAges &A, const PackedAges &B);
+  /// this = MAY join of A and B: key union, lane min.
+  void assignMayMerge(const PackedAges &A, const PackedAges &B);
+  /// this ⊔must= From, mutating in place (uniquely-owned join
+  /// destinations). Peers with identical block lists merge word-at-a-time
+  /// with no allocation; otherwise \p Scratch (caller-reused storage)
+  /// takes the rebuilt result and is swapped in.
+  void mustMergeInPlace(const PackedAges &From, PackedAges &Scratch);
+  /// this ⊔may= From, mutating in place; see mustMergeInPlace.
+  void mayMergeInPlace(const PackedAges &From, PackedAges &Scratch);
+  /// Would a MUST join of this and From change this?
+  bool mustJoinWouldChange(const PackedAges &From) const;
+  /// Would a MAY join of this and From change this?
+  bool mayJoinWouldChange(const PackedAges &From) const;
+  /// Precondition sameBlocks(RHS): true iff every lane here >= RHS's.
+  bool allLanesGE(const PackedAges &RHS) const;
+
+  bool operator==(const PackedAges &RHS) const = default;
+
+private:
+  unsigned lanesPerWordLog() const { return 6u - LaneLog; }
+  size_t wordOf(size_t I) const { return I >> lanesPerWordLog(); }
+  unsigned shiftOf(size_t I) const {
+    return static_cast<unsigned>((I & ((size_t(1) << lanesPerWordLog()) - 1))
+                                 << LaneLog);
+  }
+  uint64_t laneMask() const { return (uint64_t(1) << (1u << LaneLog)) - 1; }
+  size_t wordsFor(size_t N) const {
+    unsigned Lpw = lanesPerWordLog();
+    return (N + (size_t(1) << Lpw) - 1) >> Lpw;
+  }
+  void installLaneBits(unsigned LaneBits);
+  /// Resizes Words to match Blks.size() and zeroes tail lanes; resets the
+  /// lane width when empty (canonical form).
+  void retruncate();
+
+  /// Sorted blocks; ages at matching lane indices.
+  std::vector<BlockAddr> Blks;
+  std::vector<uint64_t> Words;
+  /// log2(lane bits): 2/3/4 for nibble/byte/u16 lanes; 0 when empty.
+  uint8_t LaneLog = 0;
+};
+
 /// The MUST/MAY entries of one cache set, each sorted by block.
 struct CacheSetPartition {
   uint32_t Set = 0;
-  std::vector<AgedBlock> Must;
-  std::vector<AgedBlock> May;
+  PackedAges Must;
+  PackedAges May;
 
   bool operator==(const CacheSetPartition &RHS) const = default;
 };
 
 /// Abstract cache state: MUST ages plus optional MAY (shadow) ages.
 class CacheAbsState {
+  /// Copy-on-write payload. RefCount and the lazy hash are atomic so
+  /// shared payloads tolerate concurrent readers (docs/PERFORMANCE.md,
+  /// "Intra-analysis parallelism").
+  struct Payload {
+    std::atomic<uint32_t> RefCount{1};
+    std::vector<CacheSetPartition> Parts;
+    /// Lazily computed by structuralHash(); invalidated on mutation.
+    mutable std::atomic<uint64_t> Hash{0};
+    mutable std::atomic<bool> HashKnown{false};
+  };
+
 public:
+  /// RAII per-analysis payload arena: while a scope is active on a thread,
+  /// payloads released there are recycled into the next allocation with
+  /// their partition buffers intact (zero-malloc steady state). States may
+  /// outlive the scope — payloads fall back to plain heap delete.
+  class ArenaScope {
+  private:
+    RecyclingArena<Payload>::Scope S;
+  };
+
+  CacheAbsState() = default;
+  CacheAbsState(const CacheAbsState &RHS) : Bottom(RHS.Bottom), P(RHS.P) {
+    if (P)
+      P->RefCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  CacheAbsState(CacheAbsState &&RHS) noexcept
+      : Bottom(RHS.Bottom), P(RHS.P) {
+    RHS.P = nullptr;
+    RHS.Bottom = false;
+  }
+  CacheAbsState &operator=(const CacheAbsState &RHS) {
+    if (RHS.P)
+      RHS.P->RefCount.fetch_add(1, std::memory_order_relaxed);
+    Payload *Old = P;
+    P = RHS.P;
+    Bottom = RHS.Bottom;
+    if (Old)
+      release(Old);
+    return *this;
+  }
+  CacheAbsState &operator=(CacheAbsState &&RHS) noexcept {
+    std::swap(P, RHS.P);
+    std::swap(Bottom, RHS.Bottom);
+    return *this;
+  }
+  ~CacheAbsState() {
+    if (P)
+      release(P);
+  }
+
   /// The unreachable state (join identity).
   static CacheAbsState bottom() {
     CacheAbsState S;
@@ -113,6 +342,16 @@ public:
   static CacheAbsState empty() { return CacheAbsState(); }
 
   bool isBottom() const { return Bottom; }
+
+  /// Age-lane width (bits) the packed representation uses for ages bounded
+  /// by \p AgeCap: nibbles up to cap 14, bytes up to 254, u16 above (cap
+  /// <= 65534). MUST lanes size from `mustAgeCap()`, MAY lanes from the
+  /// associativity; assoc = 16 under LRU/FIFO is the first nibble-to-byte
+  /// cutover (cap 16 > 14).
+  static unsigned packedLaneBits(uint32_t AgeCap) {
+    assert(AgeCap <= 65534 && "age cap exceeds packed lane range");
+    return AgeCap <= 14 ? 4u : AgeCap <= 254 ? 8u : 16u;
+  }
 
   /// MUST age upper bound of \p Block; \p Assoc + 1 when not provably
   /// resident.
@@ -163,7 +402,10 @@ public:
 
   /// this = this ⊔ \p From. Returns true iff this changed. Shared-storage
   /// and hash-equal states short-circuit to "no change" without touching
-  /// any entry.
+  /// any entry. When an IntraPool is active on this thread
+  /// (support/Parallel.h) and the merge spans enough partitions, the
+  /// per-set merges fan out across the pool — set partitions are
+  /// independent, so the result is bit-identical at any job count.
   bool joinInto(const CacheAbsState &From, bool UseShadow);
 
   /// Partial-order check: true iff this ⊑ RHS (RHS is at least as
@@ -194,7 +436,8 @@ public:
   std::vector<AgedBlock> mayEntries() const;
 
   /// 64-bit hash of the canonical structure, cached in the payload until
-  /// the next mutation. Equal states always hash equal.
+  /// the next mutation. Equal states always hash equal, whatever their
+  /// lane widths.
   uint64_t structuralHash() const;
 
   /// True iff both handles alias the same payload (copy-on-write aliasing;
@@ -209,16 +452,17 @@ public:
   std::string str(const MemoryModel &MM) const;
 
 private:
-  struct Payload {
-    std::vector<CacheSetPartition> Parts;
-    /// Lazily computed by structuralHash(); invalidated on mutation.
-    mutable uint64_t Hash = 0;
-    mutable bool HashKnown = false;
-  };
-
   static const std::vector<CacheSetPartition> &emptyParts();
 
-  /// Unshares the payload (clone if aliased, allocate if absent) and
+  static void release(Payload *PL) {
+    if (PL->RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      RecyclingArena<Payload>::releaseToActive(PL);
+  }
+  /// A fresh unique payload (possibly recycled; Parts contents
+  /// unspecified until the caller overwrites them).
+  static Payload *allocPayload();
+
+  /// Unshares the payload (clone if aliased, allocate-empty if absent) and
   /// invalidates the cached hash. Every mutator goes through here.
   Payload &mut();
   /// Drops empty partitions; releases the payload when nothing is left so
@@ -242,8 +486,13 @@ private:
 
   bool Bottom = false;
   /// Null means "no tracked entries" (the empty/entry state).
-  std::shared_ptr<Payload> P;
+  Payload *P = nullptr;
 };
+
+/// Namespace-scope alias for the per-analysis payload arena
+/// (AnalysisPipeline.cpp and the worker threads of support/Parallel.h
+/// activate one).
+using CacheStateArenaScope = CacheAbsState::ArenaScope;
 
 } // namespace specai
 

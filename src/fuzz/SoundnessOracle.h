@@ -141,6 +141,10 @@ struct SoundnessOracleOptions {
   /// self-test only); applied to the summarize side of the differential
   /// lowering diff, never to the unrolled reference side.
   LoweringFault LFault = LoweringFault::None;
+  /// Intra-analysis worker threads (`--intra-jobs`), forwarded to every
+  /// analysis this oracle runs. Campaign summaries and digests are
+  /// bit-identical at any value (jobs-invariance tests).
+  unsigned IntraJobs = 1;
 };
 
 /// What went wrong, from most fundamental to most derived.

@@ -1,0 +1,123 @@
+//===- Parallel.cpp -------------------------------------------------------===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+
+using namespace specai;
+
+namespace {
+thread_local IntraPool *ActivePoolTL = nullptr;
+thread_local bool InPoolWorkerTL = false;
+} // namespace
+
+IntraPool *IntraPool::activePool() { return ActivePoolTL; }
+
+unsigned IntraPool::resolveJobs(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+IntraPool::Scope::Scope(IntraPool *Pool) : Prev(ActivePoolTL) {
+  ActivePoolTL = Pool;
+}
+
+IntraPool::Scope::~Scope() { ActivePoolTL = Prev; }
+
+IntraPool::IntraPool(unsigned Jobs,
+                     std::function<std::shared_ptr<void>()> Init)
+    : JobCount(std::max(1u, Jobs)), WorkerInit(std::move(Init)) {
+  Workers.reserve(JobCount - 1);
+  for (unsigned I = 1; I < JobCount; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+IntraPool::~IntraPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void IntraPool::workerMain() {
+  InPoolWorkerTL = true;
+  // Kept alive for the thread's lifetime (e.g. a CacheStateArenaScope so
+  // payload recycling works on worker threads too).
+  std::shared_ptr<void> Holder = WorkerInit ? WorkerInit() : nullptr;
+  std::unique_lock<std::mutex> L(M);
+  uint64_t Seen = 0;
+  while (true) {
+    WorkCv.wait(L, [&] { return Stopping || (Fn && Seq != Seen); });
+    if (Stopping)
+      return;
+    Seen = Seq;
+    ++ActiveWorkers;
+    L.unlock();
+    runItems();
+    L.lock();
+    if (--ActiveWorkers == 0 &&
+        Next.load(std::memory_order_relaxed) >= Count)
+      DoneCv.notify_all();
+  }
+}
+
+void IntraPool::runItems() {
+  for (;;) {
+    size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= Count)
+      return;
+    try {
+      (*Fn)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> L(M);
+      if (!FirstErr)
+        FirstErr = std::current_exception();
+      // Abandon unclaimed items; claimed ones finish on their threads.
+      Next.store(Count, std::memory_order_relaxed);
+    }
+  }
+}
+
+void IntraPool::run(size_t N, const std::function<void(size_t)> &F) {
+  if (N == 0)
+    return;
+  if (N == 1 || JobCount <= 1 || InPoolWorkerTL || Busy) {
+    for (size_t I = 0; I != N; ++I)
+      F(I);
+    return;
+  }
+  Busy = true;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Fn = &F;
+    Count = N;
+    Next.store(0, std::memory_order_relaxed);
+    ++Seq;
+  }
+  WorkCv.notify_all();
+  runItems();
+  std::exception_ptr E;
+  {
+    std::unique_lock<std::mutex> L(M);
+    DoneCv.wait(L, [&] {
+      return ActiveWorkers == 0 &&
+             Next.load(std::memory_order_relaxed) >= Count;
+    });
+    Fn = nullptr;
+    E = FirstErr;
+    FirstErr = nullptr;
+  }
+  Busy = false;
+  if (E)
+    std::rethrow_exception(E);
+}

@@ -1,0 +1,121 @@
+//===- Parallel.h - Deterministic intra-analysis worker pool ----*- C++ -*-===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IntraPool: a persistent worker pool for parallelism *inside* one
+/// analysis (`--intra-jobs`), as opposed to the spawn-per-call
+/// program-level fan-out of driver/BatchRunner.h.
+///
+/// Design rules (docs/PERFORMANCE.md, "Intra-analysis parallelism"):
+///
+///  1. Determinism is the caller's contract, concurrency is the pool's.
+///     run(N, Fn) executes Fn(0..N-1) in unspecified order on unspecified
+///     threads; callers only hand it *independent* items (per-set
+///     partition merges, distinct memo-missing transfers, per-node result
+///     folds) and keep every order-sensitive effect on the calling
+///     thread. Analysis results are therefore bit-identical at any job
+///     count — pinned by the jobs-invariance tests.
+///  2. The pool is installed thread-locally (Scope / activePool), so deep
+///     callees (CacheAbsState::joinInto) can opportunistically fan out
+///     without threading a handle through every signature. No active pool
+///     means serial execution everywhere.
+///  3. Reentrancy degrades to inline. A worker that reaches a nested
+///     run() (a partition-parallel join inside a batched transfer) just
+///     loops inline; same for a second run() on the orchestrating thread.
+///     One orchestrating thread per pool.
+///  4. Workers are spawned once and parked on a condition variable between
+///     runs; the engine's drain loop calls run() thousands of times, so
+///     per-call thread spawning (the BatchRunner approach) would swamp the
+///     win. WorkerInit lets the owner install per-thread state — the
+///     analysis pipeline passes a CacheStateArenaScope factory so worker
+///     threads recycle payloads too — without a support->domain
+///     dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECAI_SUPPORT_PARALLEL_H
+#define SPECAI_SUPPORT_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specai {
+
+class IntraPool {
+public:
+  /// The calling thread's active pool (null = run everything serially).
+  static IntraPool *activePool();
+
+  /// Resolves a --intra-jobs value: 0 means hardware concurrency.
+  static unsigned resolveJobs(unsigned Requested);
+
+  /// \p Jobs counts total parallelism including the orchestrating thread,
+  /// so Jobs <= 1 spawns no workers. \p WorkerInit runs once per worker
+  /// thread at startup; the returned handle stays alive for the thread's
+  /// lifetime.
+  explicit IntraPool(unsigned Jobs,
+                     std::function<std::shared_ptr<void>()> WorkerInit = {});
+  ~IntraPool();
+  IntraPool(const IntraPool &) = delete;
+  IntraPool &operator=(const IntraPool &) = delete;
+
+  unsigned jobs() const { return JobCount; }
+
+  /// Runs Fn(0..Count-1) across the workers and the calling thread;
+  /// returns once every index completed. Reentrant calls run inline. The
+  /// first exception thrown by an item is rethrown here after the
+  /// remaining unclaimed items are abandoned.
+  void run(size_t Count, const std::function<void(size_t)> &Fn);
+
+  /// RAII: installs \p Pool (may be null) as the thread's active pool and
+  /// restores the previous one on destruction.
+  class Scope {
+  public:
+    explicit Scope(IntraPool *Pool);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    IntraPool *Prev;
+  };
+
+private:
+  void workerMain();
+  /// Claims and executes items until none remain; shared by workers and
+  /// the orchestrating thread.
+  void runItems();
+
+  unsigned JobCount;
+  std::function<std::shared_ptr<void>()> WorkerInit;
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WorkCv, DoneCv;
+  /// Non-null exactly while a run is in flight; guarded by M for the
+  /// wake-up predicate, stable for the run's duration thereafter.
+  const std::function<void(size_t)> *Fn = nullptr;
+  size_t Count = 0;
+  std::atomic<size_t> Next{0};
+  size_t ActiveWorkers = 0; // Guarded by M.
+  uint64_t Seq = 0;         // Guarded by M; run generation for wake-ups.
+  bool Stopping = false;    // Guarded by M.
+  bool Busy = false; // Orchestrating thread only: reentrancy guard.
+  std::exception_ptr FirstErr; // Guarded by M.
+};
+
+} // namespace specai
+
+#endif // SPECAI_SUPPORT_PARALLEL_H

@@ -31,6 +31,16 @@ if grep -rn 'printf("error\|printf("warning' \
   exit 1
 fi
 
+# Build-tree hygiene: build directories are disposable (.gitignore covers
+# build*/) and must never be committed — a tracked CMakeCache.txt once
+# pinned another machine's absolute paths for several PRs. Fails if any
+# tracked path lives under a build*/ directory.
+if git -C "$REPO" ls-files -- 'build*' | grep -q .; then
+  git -C "$REPO" ls-files -- 'build*' | head >&2
+  echo "ci: FAIL - tracked files under build*/ (git rm -r --cached them)" >&2
+  exit 1
+fi
+
 cmake -B "$BUILD" -S "$REPO" -DSPECAI_WERROR=ON
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
@@ -163,3 +173,20 @@ done
 wait "$SPECAID_PID"
 trap - EXIT
 echo "chaos smoke: kill -9 + restart over $SPILL, replay bit-identical"
+
+# Thread-sanitizer leg (docs/PERFORMANCE.md, "Intra-analysis
+# parallelism"): the intra-analysis pool shares packed cache states
+# across per-set join partitions and batched pure-transfer drains, so the
+# unit suite and a fuzz smoke run once more under TSan with the pool
+# forced wide (--intra-jobs 8). Determinism is pinned separately by the
+# jobs-invariance golden tests; this leg pins data-race freedom.
+TSAN_BUILD="$REPO/build-tsan"
+cmake -B "$TSAN_BUILD" -S "$REPO" -DSPECAI_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$TSAN_BUILD" -j "$JOBS"
+ctest --test-dir "$TSAN_BUILD" -L unit --output-on-failure -j "$JOBS"
+"$TSAN_BUILD/tools/specai-fuzz" --seed 1 --programs 10 --jobs 1 \
+  --intra-jobs 8 --ce-dir "$TSAN_BUILD"
+echo "tsan leg: unit suite + intra-jobs 8 fuzz smoke race-free"
