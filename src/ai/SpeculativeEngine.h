@@ -147,6 +147,11 @@ struct SpecEngineOptions : EngineOptions {
   /// Per-site depth overrides (from the driver's iterative refinement);
   /// empty means none. Indexed by site.
   std::vector<uint32_t> SiteDepthOverride;
+  /// Per-site depth *clamps* (docs/MITIGATION.md repair mitigations),
+  /// applied as an upper bound after overrides and dynamic bounding —
+  /// unlike SiteDepthOverride they can only shrink a window, never grow
+  /// it. Empty means none; UINT32_MAX entries leave their site unclamped.
+  std::vector<uint32_t> SiteDepthClamp;
   /// Test-only fault injection; see EngineFault.
   EngineFault Fault = EngineFault::None;
 };
@@ -453,9 +458,10 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
 
   // Depth of a site's window given current classification knowledge.
   auto SiteDepth = [&](uint32_t Site) -> uint32_t {
-    if (Site < Options.SiteDepthOverride.size())
-      return Options.SiteDepthOverride[Site];
-    if (Options.Bounding == BoundingMode::Dynamic) {
+    uint32_t Depth = Options.DepthMiss;
+    if (Site < Options.SiteDepthOverride.size()) {
+      Depth = Options.SiteDepthOverride[Site];
+    } else if (Options.Bounding == BoundingMode::Dynamic) {
       const SpecSite &SS_ = Plan.sites()[Site];
       bool AllHit = !SS_.CondLoads.empty();
       for (NodeId Load : SS_.CondLoads) {
@@ -467,9 +473,14 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
         }
       }
       if (AllHit)
-        return Options.DepthHit;
+        Depth = Options.DepthHit;
     }
-    return Options.DepthMiss;
+    // A repair clamp caps whatever the engine derived, refinement
+    // overrides included: the mitigated hardware stops fetching at the
+    // clamped depth no matter how slowly the condition resolves.
+    if (Site < Options.SiteDepthClamp.size())
+      Depth = std::min(Depth, Options.SiteDepthClamp[Site]);
+    return Depth;
   };
 
   // Deepest window each site was ever seeded with; the envelope keeps the
@@ -628,6 +639,13 @@ SpecResult<DomainT> runSpeculativeFixpoint(DomainT &D, const FlatCfg &G,
                                                           : nullptr);
           // The rollback may happen right after this instruction: vn_stop.
           Rollback(Color, Node, Out);
+          // A fence drains the speculative flow: the front end cannot
+          // fetch past it while a branch is unresolved, so the window ends
+          // here (the transfer above was identity — identity-plus-drain)
+          // and only the rollback edge leaves the node. Mirrors
+          // SpeculativeCpu::speculate() stopping at a fence.
+          if (G.inst(Node).Op == Opcode::Fence)
+            continue;
           // Continue speculating while the window allows. The flow is
           // confined to the mispredicted side: it stops at the branch's
           // post-dominator (the paper's Figure 6 draws rollback edges from

@@ -91,6 +91,10 @@ std::unique_ptr<CompiledProgram> buildAnalyses(Program &&Prog,
 
 } // namespace
 
+std::unique_ptr<CompiledProgram> specai::compileProgram(Program Prog) {
+  return buildAnalyses(std::move(Prog), LoweringMode::InlineUnroll);
+}
+
 std::unique_ptr<CompiledProgram>
 specai::compileSource(const std::string &Source, DiagnosticEngine &Diags,
                       const LoweringOptions &Options) {
@@ -141,6 +145,7 @@ SpecEngineOptions makeEngineOptions(const MustHitOptions &O,
   E.DepthHit = O.DepthHit;
   E.Bounding = O.Bounding;
   E.SiteDepthOverride = std::move(SiteOverrides);
+  E.SiteDepthClamp = O.SiteDepthClamp;
   E.UseWidening = O.UseWidening;
   E.WideningDelay = O.WideningDelay;
   E.MaxIterations = O.MaxIterations;

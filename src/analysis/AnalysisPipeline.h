@@ -63,6 +63,14 @@ std::unique_ptr<CompiledProgram>
 compileSource(const std::string &Source, DiagnosticEngine &Diags,
               const LoweringOptions &Options = {});
 
+/// Wraps an already-lowered single-function Program with its CFG analyses
+/// (FlatCfg, dominators, loops, speculation plan) — the entry point for
+/// consumers that rewrite IR rather than source, like the mitigation
+/// synthesizer (docs/MITIGATION.md) re-analyzing a patched program. The
+/// caller is responsible for handing in verifier-clean IR; InlineUnroll
+/// programs only (no Callees are built).
+std::unique_ptr<CompiledProgram> compileProgram(Program Prog);
+
 /// Deliberate, test-only faults in the *verdict* layer — the modules that
 /// turn a MustHitReport into the user-facing deliverables (execution-time
 /// bounds, leak-freedom proofs). The differential fuzzer's verdict oracles
@@ -130,6 +138,13 @@ struct MustHitOptions {
   uint32_t DepthMiss = 200;
   uint32_t DepthHit = 20;
   BoundingMode Bounding = BoundingMode::Dynamic;
+  /// Per-site speculation depth clamps (docs/MITIGATION.md): entry i caps
+  /// the window of SpecPlan site i, on top of bounding and refinement
+  /// (element-wise min, so a clamp can only shrink a window). Empty means
+  /// none; UINT32_MAX entries leave their site unclamped. The repair
+  /// synthesizer emits these; the concrete counterpart is a
+  /// SpeculativeCpu window override of the same depth at the site branch.
+  std::vector<uint32_t> SiteDepthClamp;
   /// Outer refinement (§6.2): re-run with per-site bounds derived from the
   /// previous sound fixpoint until stable.
   bool IterativeDepthRefinement = false;

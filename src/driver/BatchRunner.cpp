@@ -170,6 +170,25 @@ RunOutcome specai::runRequest(const RunRequest &Req) {
   return Out;
 }
 
+RepairRunOutcome specai::runRepairRequest(const RunRequest &Req) {
+  RepairRunOutcome Out;
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Req.Source, Diags, Req.Lowering);
+  if (!CP) {
+    Out.Error = Diags.str();
+    return Out;
+  }
+  Out.ProgramDigest = fnv1a(CP->P->str());
+  for (const std::unique_ptr<CompiledProgram> &Callee : CP->Callees)
+    Out.ProgramDigest = fnv1a(Callee->P->str(), Out.ProgramDigest);
+
+  RepairOptions RO;
+  RO.Analysis = Req.Options;
+  Out.Result = synthesizeRepairs(*CP, RO);
+  Out.Ok = true;
+  return Out;
+}
+
 std::string BatchVariant::describe(const MustHitOptions &Options) {
   std::string S = Options.Speculative ? mergeStrategyName(Options.Strategy)
                                       : "non-speculative";

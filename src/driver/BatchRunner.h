@@ -29,6 +29,7 @@
 
 #include "analysis/AnalysisPipeline.h"
 #include "analysis/SideChannel.h"
+#include "repair/MitigationSynth.h"
 #include "support/Table.h"
 
 #include <functional>
@@ -229,6 +230,26 @@ struct RunOutcome {
 /// worker threads. The verdict is bit-identical to `specai-cli` on the
 /// same source and options.
 RunOutcome runRequest(const RunRequest &Req);
+
+/// Outcome of runRepairRequest: the repair-verb analogue of RunOutcome.
+/// Ok means the source compiled; whether a repair was found is
+/// Result.Repaired (LeaksBefore == 0 means there was nothing to fix).
+struct RepairRunOutcome {
+  bool Ok = false;
+  /// Rendered DiagnosticEngine output when !Ok.
+  std::string Error;
+  /// Same content-addressed program digest runRequest computes, so repair
+  /// verdicts share the service's source memo and cache-key discipline.
+  uint64_t ProgramDigest = 0;
+  RepairResult Result;
+};
+
+/// Compiles \p Req.Source and synthesizes a minimum-cost repair under
+/// \p Req.Options (repair/MitigationSynth.h). Pure library code like
+/// runRequest — the substrate of the specaid `repair` verb and
+/// `specai-cli --repair`. \p Req.DetectLeaks is ignored: repair always
+/// runs the leak detector (there is nothing to repair without it).
+RepairRunOutcome runRepairRequest(const RunRequest &Req);
 
 /// Parses a bench-style command line that accepts only `--jobs N`.
 /// Returns 0 (all cores) when the flag is absent; returns nullopt and

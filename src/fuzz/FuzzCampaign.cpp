@@ -9,6 +9,7 @@
 
 #include "driver/BatchRunner.h"
 #include "fuzz/LoweringOracle.h"
+#include "fuzz/RepairOracle.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -45,8 +46,12 @@ std::optional<Violation> oracleCheck(const GeneratedProgram &G,
       return R.Violations.front();
   }
   if (Opts.Oracles & OracleLowering)
-    return checkLoweringDiff(G.source(), G.InputScalars, G.Arrays, G.Seed,
-                             Opts, Stats);
+    if (std::optional<Violation> V = checkLoweringDiff(
+            G.source(), G.InputScalars, G.Arrays, G.Seed, Opts, Stats))
+      return V;
+  if (Opts.Oracles & OracleRepair)
+    return checkRepair(G.source(), G.InputScalars, G.Arrays, G.Seed, Opts,
+                       Stats);
   return std::nullopt;
 }
 
@@ -176,6 +181,9 @@ FuzzCampaignResult specai::runFuzzCampaign(const FuzzCampaignOptions &Options) {
       case OracleLowering:
         ++Result.Stats.LoweringViolations;
         break;
+      case OracleRepair:
+        ++Result.Stats.RepairViolations;
+        break;
       default: // Infrastructure kinds count toward the total only.
         break;
       }
@@ -223,12 +231,32 @@ std::string FuzzCampaignStats::summary() const {
            " / looser " + std::to_string(Oracle.LoweringWcetLooser) +
            ", leak " + std::to_string(Oracle.LoweringLeakDeltas) + "\n";
   }
+  // Repair-oracle lines are gated the same way: classic campaign
+  // summaries stay byte-identical unless `--oracle repair` actually ran.
+  if (Oracle.RepairChecks > 0) {
+    Out += "repair checks:       " + std::to_string(Oracle.RepairChecks) +
+           "\n";
+    Out += "repair leaky/repaired: " +
+           std::to_string(Oracle.RepairLeakyPrograms) + "/" +
+           std::to_string(Oracle.RepairRepaired) + "\n";
+    Out += "repair mitigations:  " +
+           std::to_string(Oracle.RepairMitigations) + " (total cost " +
+           std::to_string(Oracle.RepairCostTotal) + ")\n";
+    Out += "repair reanalyses:   " +
+           std::to_string(Oracle.RepairReanalyses) + "\n";
+    Out += "repair replay runs:  " +
+           std::to_string(Oracle.RepairReplayRuns) + "\n";
+    Out += "repair cost checks:  " +
+           std::to_string(Oracle.RepairCostChecks) + "\n";
+  }
   Out += "violations:          " + std::to_string(ViolationPrograms) +
          " (cache " + std::to_string(CacheViolations) + ", wcet " +
          std::to_string(WcetViolations) + ", leak " +
          std::to_string(LeakViolations);
   if (Oracle.LoweringDiffs > 0)
     Out += ", lowering " + std::to_string(LoweringViolations);
+  if (Oracle.RepairChecks > 0)
+    Out += ", repair " + std::to_string(RepairViolations);
   Out += ")\n";
   return Out;
 }
@@ -247,10 +275,14 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
   // only builds its non-speculative baseline, which runLeakFamily
   // requires, under that mask), anything else re-checks under cache.
   unsigned Oracle = oracleOfViolation(V.Kind);
-  if (Oracle == 0)
-    Oracle = (O.Oracles & OracleAll) == 0 && (O.Oracles & OracleLowering)
-                 ? OracleLowering
-                 : V.Run.SecretVariants.empty() ? OracleCache : OracleLeak;
+  if (Oracle == 0) {
+    if ((O.Oracles & OracleAll) == 0 && (O.Oracles & OracleLowering))
+      Oracle = OracleLowering;
+    else if ((O.Oracles & OracleAll) == 0 && (O.Oracles & OracleRepair))
+      Oracle = OracleRepair;
+    else
+      Oracle = V.Run.SecretVariants.empty() ? OracleCache : OracleLeak;
+  }
   Out += "\n// replay-oracle: ";
   Out += oracleKindName(Oracle);
   Out += "\n// replay-seed: ";
@@ -284,6 +316,17 @@ Counterexample::replayFile(const SoundnessOracleOptions &O) const {
     if (O.LFault != LoweringFault::None) {
       Out += "// replay-lowering-fault: ";
       Out += loweringFaultName(O.LFault);
+      Out += "\n";
+    }
+  }
+  if (Oracle & OracleRepair) {
+    // The repair oracle likewise re-derives everything from replay-seed;
+    // these lines pin the synthesize-and-revalidate mode and any injected
+    // synthesizer fault.
+    Out += "// replay-repair: synthesize\n";
+    if (O.RFault != RepairFault::None) {
+      Out += "// replay-repair-fault: ";
+      Out += repairFaultName(O.RFault);
       Out += "\n";
     }
   }

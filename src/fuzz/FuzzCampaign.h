@@ -87,6 +87,7 @@ struct FuzzCampaignStats {
   uint64_t WcetViolations = 0;
   uint64_t LeakViolations = 0;
   uint64_t LoweringViolations = 0;
+  uint64_t RepairViolations = 0;
   OracleStats Oracle;
   double Seconds = 0;
 

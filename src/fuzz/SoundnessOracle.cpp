@@ -26,6 +26,8 @@ const char *specai::oracleKindName(unsigned Kind) {
     return "leak";
   case OracleLowering:
     return "lowering";
+  case OracleRepair:
+    return "repair";
   case OracleAll:
     return "all";
   }
@@ -33,8 +35,8 @@ const char *specai::oracleKindName(unsigned Kind) {
 }
 
 bool specai::parseOracleKind(const std::string &Name, unsigned &MaskOut) {
-  for (unsigned Kind :
-       {OracleCache, OracleWcet, OracleLeak, OracleLowering, OracleAll}) {
+  for (unsigned Kind : {OracleCache, OracleWcet, OracleLeak, OracleLowering,
+                        OracleRepair, OracleAll}) {
     if (Name == oracleKindName(Kind)) {
       MaskOut = Kind;
       return true;
@@ -55,6 +57,13 @@ unsigned specai::oracleOfViolation(ViolationKind K) {
   case ViolationKind::LoweringWcetUndercut:
   case ViolationKind::LoweringConcreteMustHitMissed:
     return OracleLowering;
+  case ViolationKind::RepairIncomplete:
+  case ViolationKind::RepairLeakRemains:
+  case ViolationKind::RepairSemanticsChanged:
+  case ViolationKind::RepairReplayLeak:
+  case ViolationKind::RepairCostClaim:
+  case ViolationKind::RepairCostExceeded:
+    return OracleRepair;
   case ViolationKind::CompileError:
   case ViolationKind::AnalysisDiverged:
   case ViolationKind::RunStuck:
@@ -109,6 +118,18 @@ const char *specai::violationKindName(ViolationKind K) {
     return "lowering-wcet-undercut";
   case ViolationKind::LoweringConcreteMustHitMissed:
     return "lowering-concrete-must-hit-missed";
+  case ViolationKind::RepairIncomplete:
+    return "repair-incomplete";
+  case ViolationKind::RepairLeakRemains:
+    return "repair-leak-remains";
+  case ViolationKind::RepairSemanticsChanged:
+    return "repair-semantics-changed";
+  case ViolationKind::RepairReplayLeak:
+    return "repair-replay-leak";
+  case ViolationKind::RepairCostClaim:
+    return "repair-cost-claim";
+  case ViolationKind::RepairCostExceeded:
+    return "repair-cost-exceeded";
   }
   return "?";
 }
@@ -167,22 +188,25 @@ std::vector<uint32_t>
 SoundnessOracle::siteDepths(const CompiledProgram &CP, const MustHitReport &R,
                             const MustHitOptions &O) {
   std::vector<uint32_t> Depths(CP.Plan.siteCount(), O.DepthMiss);
-  if (O.Bounding != BoundingMode::Dynamic)
-    return Depths;
   // Mirrors the engine's SiteDepth: the final fixpoint's classification
   // decides the bound; the envelope joined the maximum over iterations, so
   // this is always <= what the analysis actually covered.
-  for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
-    const SpecSite &S = CP.Plan.sites()[Site];
-    bool AllHit = !S.CondLoads.empty();
-    for (NodeId Load : S.CondLoads)
-      if (!R.MustHit[Load]) {
-        AllHit = false;
-        break;
-      }
-    if (AllHit)
-      Depths[Site] = O.DepthHit;
+  if (O.Bounding == BoundingMode::Dynamic) {
+    for (size_t Site = 0; Site != CP.Plan.siteCount(); ++Site) {
+      const SpecSite &S = CP.Plan.sites()[Site];
+      bool AllHit = !S.CondLoads.empty();
+      for (NodeId Load : S.CondLoads)
+        if (!R.MustHit[Load]) {
+          AllHit = false;
+          break;
+        }
+      if (AllHit)
+        Depths[Site] = O.DepthHit;
+    }
   }
+  for (size_t Site = 0;
+       Site != Depths.size() && Site != O.SiteDepthClamp.size(); ++Site)
+    Depths[Site] = std::min(Depths[Site], O.SiteDepthClamp[Site]);
   return Depths;
 }
 

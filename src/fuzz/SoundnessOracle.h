@@ -55,6 +55,7 @@
 #include "analysis/AnalysisPipeline.h"
 #include "analysis/SideChannel.h"
 #include "analysis/Wcet.h"
+#include "repair/MitigationSynth.h"
 
 #include <optional>
 #include <string>
@@ -80,10 +81,21 @@ enum OracleKind : unsigned {
   /// artifacts; select it explicitly (`--oracle lowering`, repeatable
   /// alongside the others).
   OracleLowering = 1u << 3,
+  /// The differential *repair* oracle (fuzz/RepairOracle.h): synthesizes a
+  /// minimum-cost mitigation set for every leaky program
+  /// (repair/MitigationSynth.h), independently re-analyzes the emitted
+  /// patched artifacts, and revalidates them on the concrete pipeline —
+  /// secret-variant attacker replay, architectural equivalence, and
+  /// cycle-for-cycle WCET-claim cross-checks. Like OracleLowering it is
+  /// deliberately NOT part of OracleAll: `--oracle all` campaign counters
+  /// are pinned golden artifacts; select it explicitly (`--oracle
+  /// repair`).
+  OracleRepair = 1u << 4,
   OracleAll = OracleCache | OracleWcet | OracleLeak,
 };
 
-/// Printable name of a single oracle bit ("cache" / "wcet" / "leak").
+/// Printable name of a single oracle bit ("cache" / "wcet" / "leak" /
+/// "lowering" / "repair").
 const char *oracleKindName(unsigned Kind);
 /// Parses one oracle selector (including "all"); false on unknown names.
 bool parseOracleKind(const std::string &Name, unsigned &MaskOut);
@@ -141,6 +153,10 @@ struct SoundnessOracleOptions {
   /// self-test only); applied to the summarize side of the differential
   /// lowering diff, never to the unrolled reference side.
   LoweringFault LFault = LoweringFault::None;
+  /// Deliberate repair-synthesizer fault to inject (repair-oracle
+  /// self-test only); applied to the synthesis the oracle validates,
+  /// never to its independent re-analysis or concrete replays.
+  RepairFault RFault = RepairFault::None;
   /// Intra-analysis worker threads (`--intra-jobs`), forwarded to every
   /// analysis this oracle runs. Campaign summaries and digests are
   /// bit-identical at any value (jobs-invariance tests).
@@ -190,6 +206,24 @@ enum class ViolationKind : uint8_t {
   LoweringConcreteMustHitMissed,///< A concrete (unrolled) run missed at a
                                 ///< location the summarize analysis
                                 ///< claims must-hit.
+  RepairIncomplete,     ///< The synthesizer reported success but left a
+                        ///< reported leak site unmitigated, or failed on
+                        ///< a program the menu demonstrably covers.
+  RepairLeakRemains,    ///< An independent re-analysis of the *emitted*
+                        ///< patched program (under the emitted clamps)
+                        ///< still reports a leak.
+  RepairSemanticsChanged,///< The patched program diverges architecturally
+                        ///< from the original (return value or final
+                        ///< memory/hoisted-register state).
+  RepairReplayLeak,     ///< A secret-variant attacker family observed
+                        ///< non-uniform hit/miss outcomes on the patched
+                        ///< program under the emitted clamps.
+  RepairCostClaim,      ///< The reported WcetAfter undercuts an
+                        ///< independent estimateWcet of the emitted
+                        ///< artifacts.
+  RepairCostExceeded,   ///< A concrete run of the patched program
+                        ///< committed more cycles than the reported
+                        ///< WcetAfter bound for its observed loop count.
 };
 
 /// Which oracle a violation kind belongs to (OracleCache/Wcet/Leak), or 0
@@ -277,6 +311,25 @@ struct OracleStats {
   uint64_t LoweringWcetLooser = 0;
   /// Secret-indexed locations whose leak-free status differs.
   uint64_t LoweringLeakDeltas = 0;
+  /// Repair oracle: programs pushed through synthesize-and-revalidate
+  /// (0 unless OracleRepair is selected).
+  uint64_t RepairChecks = 0;
+  /// Repair oracle: programs whose initial report had >= 1 leak site.
+  uint64_t RepairLeakyPrograms = 0;
+  /// Repair oracle: leaky programs the synthesizer proved repaired.
+  uint64_t RepairRepaired = 0;
+  /// Repair oracle: mitigations applied across all repairs.
+  uint64_t RepairMitigations = 0;
+  /// Repair oracle: sum of reported repair costs (WcetAfter - WcetBefore,
+  /// floored at 0) across repaired programs.
+  uint64_t RepairCostTotal = 0;
+  /// Repair oracle: full re-analyses the searches performed.
+  uint64_t RepairReanalyses = 0;
+  /// Repair oracle: concrete runs of patched programs (attacker variants
+  /// and equivalence/WCET replays).
+  uint64_t RepairReplayRuns = 0;
+  /// Repair oracle: per-run WcetAfter cycle cross-checks.
+  uint64_t RepairCostChecks = 0;
 
   OracleStats &operator+=(const OracleStats &RHS) {
     Analyses += RHS.Analyses;
@@ -297,6 +350,14 @@ struct OracleStats {
     LoweringWcetTighter += RHS.LoweringWcetTighter;
     LoweringWcetLooser += RHS.LoweringWcetLooser;
     LoweringLeakDeltas += RHS.LoweringLeakDeltas;
+    RepairChecks += RHS.RepairChecks;
+    RepairLeakyPrograms += RHS.RepairLeakyPrograms;
+    RepairRepaired += RHS.RepairRepaired;
+    RepairMitigations += RHS.RepairMitigations;
+    RepairCostTotal += RHS.RepairCostTotal;
+    RepairReanalyses += RHS.RepairReanalyses;
+    RepairReplayRuns += RHS.RepairReplayRuns;
+    RepairCostChecks += RHS.RepairCostChecks;
     return *this;
   }
 };

@@ -144,6 +144,11 @@ Machine::StepResult Machine::step() {
     Regs[I.Dst] = 0;
     ++CurInst;
     break;
+  case Opcode::Fence:
+    // Architecturally a no-op; its speculation-barrier effect lives in the
+    // pipeline (SpeculativeCpu ends the window) and the abstract engines.
+    ++CurInst;
+    break;
   }
   return R;
 }

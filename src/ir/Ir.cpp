@@ -152,6 +152,8 @@ static std::string renderInst(const Program &P, const Instruction &I) {
     return "r" + std::to_string(I.Dst) + " = call " +
            (I.Callee < P.CalleeNames.size() ? P.CalleeNames[I.Callee]
                                             : "<invalid>");
+  case Opcode::Fence:
+    return "fence";
   }
   return "<invalid>";
 }

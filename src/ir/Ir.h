@@ -82,8 +82,13 @@ struct Operand {
 /// appears in Summarize-mode programs: it transfers to another Program of
 /// the module and falls through to the next instruction, so it is *not* a
 /// terminator — the abstract engines apply the callee's summary as a
-/// single-node effect.
-enum class Opcode : uint8_t { Mov, Bin, Load, Store, Br, Jmp, Ret, Call };
+/// single-node effect. Fence is a speculation barrier (the mitigation
+/// primitive of docs/MITIGATION.md): architecturally a one-cycle no-op, but
+/// a speculative window that reaches one ends there, both in the concrete
+/// pipeline (SpeculativeCpu) and in the abstract engines
+/// (identity transfer, speculative flows drain at the node). The lowering
+/// never emits it; only the repair synthesizer inserts fences.
+enum class Opcode : uint8_t { Mov, Bin, Load, Store, Br, Jmp, Ret, Call, Fence };
 
 /// Binary ALU operations; comparisons produce 0/1.
 enum class IrBinOp : uint8_t {

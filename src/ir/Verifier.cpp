@@ -97,6 +97,9 @@ std::vector<std::string> specai::verifyProgram(const Program &P) {
         if (Inst.Callee >= P.CalleeNames.size())
           Bad(B, I, "call references unknown callee");
         break;
+      case Opcode::Fence:
+        // No operands; a fence is never a terminator (checked above).
+        break;
       }
     }
   }

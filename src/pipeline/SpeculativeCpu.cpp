@@ -41,6 +41,11 @@ void SpeculativeCpu::speculate(BlockId PredictedTarget, uint32_t Window,
     if (M.currentBlock() == StopBlock)
       break; // Confined mode: the wrong path reached the reconvergence.
     const Instruction &I = M.currentInstruction();
+    // A fence is a speculation barrier: the front end may not fetch past
+    // it until every older branch resolves, so the wrong-path walk ends
+    // here whatever window budget remains.
+    if (I.Op == Opcode::Fence)
+      break;
     // A further unresolved branch inside the window: follow the
     // predictor's guess (single level of outstanding speculation; the
     // guess steers the wrong-path walk).

@@ -18,6 +18,8 @@ const char *specai::serviceOpName(ServiceOp Op) {
   switch (Op) {
   case ServiceOp::Analyze:
     return "analyze";
+  case ServiceOp::Repair:
+    return "repair";
   case ServiceOp::Ping:
     return "ping";
   case ServiceOp::Stats:
@@ -29,8 +31,8 @@ const char *specai::serviceOpName(ServiceOp Op) {
 }
 
 bool specai::parseServiceOp(const std::string &Name, ServiceOp &Out) {
-  for (ServiceOp Op : {ServiceOp::Analyze, ServiceOp::Ping, ServiceOp::Stats,
-                       ServiceOp::Shutdown})
+  for (ServiceOp Op : {ServiceOp::Analyze, ServiceOp::Repair, ServiceOp::Ping,
+                       ServiceOp::Stats, ServiceOp::Shutdown})
     if (Name == serviceOpName(Op)) {
       Out = Op;
       return true;
@@ -230,6 +232,10 @@ std::string ServiceRequest::optionKey() const {
   K += Refine ? '1' : '0';
   K += ";leaks=";
   K += DetectLeaks ? '1' : '0';
+  // Appended only for the repair verb, so every analyze key (and with it
+  // every cached analyze verdict) predating the verb is unchanged.
+  if (Op == ServiceOp::Repair)
+    K += ";op=repair";
   return K;
 }
 
@@ -239,7 +245,7 @@ std::string ServiceRequest::toJson() const {
   W.field("id", Id);
   if (Priority != 0)
     W.field("priority", Priority);
-  if (Op != ServiceOp::Analyze)
+  if (Op != ServiceOp::Analyze && Op != ServiceOp::Repair)
     return W.finish();
   if (TimeoutMs != 0)
     W.field("timeout_ms", TimeoutMs);
@@ -307,7 +313,7 @@ bool ServiceRequest::fromJson(const std::string &Line, ServiceRequest &Out,
     Out.Priority = It->second.I;
   }
 
-  if (Out.Op != ServiceOp::Analyze) {
+  if (Out.Op != ServiceOp::Analyze && Out.Op != ServiceOp::Repair) {
     // Control requests must not smuggle analysis fields; a stats probe
     // carrying a 'source' is a client bug worth surfacing.
     for (const char *K : {"source", "entry", "lowering", "lines", "line_size",
@@ -426,7 +432,11 @@ bool ServiceResponse::sameVerdict(const ServiceResponse &RHS) const {
          RefinementRounds == RHS.RefinementRounds &&
          Converged == RHS.Converged && LeaksChecked == RHS.LeaksChecked &&
          LeakCount == RHS.LeakCount && ProvenLeakFree == RHS.ProvenLeakFree &&
-         LeakSites == RHS.LeakSites;
+         LeakSites == RHS.LeakSites && RepairChecked == RHS.RepairChecked &&
+         Repaired == RHS.Repaired && LeaksBefore == RHS.LeaksBefore &&
+         LeaksAfter == RHS.LeaksAfter && WcetBefore == RHS.WcetBefore &&
+         WcetAfter == RHS.WcetAfter && Mitigations == RHS.Mitigations &&
+         PatchedIr == RHS.PatchedIr;
 }
 
 std::string ServiceResponse::toJson() const {
@@ -461,6 +471,25 @@ std::string ServiceResponse::toJson() const {
       Joined += S;
     }
     W.field("leak_sites", Joined);
+  }
+  if (RepairChecked) {
+    W.field("repair_checked", true);
+    W.field("repaired", Repaired);
+    W.field("leaks_before", LeaksBefore);
+    W.field("leaks_after", LeaksAfter);
+    W.field("wcet_before", WcetBefore);
+    W.field("wcet_after", WcetAfter);
+    if (!Mitigations.empty()) {
+      std::string Joined;
+      for (const std::string &M : Mitigations) {
+        if (!Joined.empty())
+          Joined += '\n';
+        Joined += M;
+      }
+      W.field("mitigations", Joined);
+    }
+    if (!PatchedIr.empty())
+      W.field("patched_ir", PatchedIr);
   }
   W.field("seconds", Seconds);
   return W.finish();
@@ -530,6 +559,31 @@ bool ServiceResponse::fromJson(const std::string &Line, ServiceResponse &Out,
       Start = End + 1;
     }
   }
+  if (!takeBool(O, "repair_checked", Out.RepairChecked, Error))
+    return false;
+  if (Out.RepairChecked) {
+    if (!takeBool(O, "repaired", Out.Repaired, Error) ||
+        !takeUInt(O, "leaks_before", UINT64_MAX >> 1, Out.LeaksBefore,
+                  Error) ||
+        !takeUInt(O, "leaks_after", UINT64_MAX >> 1, Out.LeaksAfter, Error) ||
+        !takeUInt(O, "wcet_before", UINT64_MAX >> 1, Out.WcetBefore, Error) ||
+        !takeUInt(O, "wcet_after", UINT64_MAX >> 1, Out.WcetAfter, Error))
+      return false;
+    if (const std::string *Ms = takeString(O, "mitigations")) {
+      size_t Start = 0;
+      while (Start <= Ms->size()) {
+        size_t End = Ms->find('\n', Start);
+        if (End == std::string::npos) {
+          Out.Mitigations.push_back(Ms->substr(Start));
+          break;
+        }
+        Out.Mitigations.push_back(Ms->substr(Start, End - Start));
+        Start = End + 1;
+      }
+    }
+    if (const std::string *P = takeString(O, "patched_ir"))
+      Out.PatchedIr = *P;
+  }
   if (auto It = O.find("seconds"); It != O.end())
     Out.Seconds = It->second.asDouble(0);
   return true;
@@ -564,6 +618,30 @@ uint64_t specai::verdictDigest(const BatchRow &Row) {
     S += ";site=";
     S += Site;
   }
+  return fnv1a(S);
+}
+
+uint64_t specai::repairVerdictDigest(const ServiceResponse &R) {
+  // Canonical rendering of the repair verdict: what the synthesizer chose
+  // and what it claims, plus the patched artifact itself. Equal digests
+  // mean the same mitigations, the same WCET claim, and a bit-identical
+  // patched program.
+  std::string S = "repaired=";
+  S += R.Repaired ? '1' : '0';
+  S += ";leaks_before=";
+  S += std::to_string(R.LeaksBefore);
+  S += ";leaks_after=";
+  S += std::to_string(R.LeaksAfter);
+  S += ";wcet_before=";
+  S += std::to_string(R.WcetBefore);
+  S += ";wcet_after=";
+  S += std::to_string(R.WcetAfter);
+  for (const std::string &M : R.Mitigations) {
+    S += ";mitigation=";
+    S += M;
+  }
+  S += ";patched=";
+  S += R.PatchedIr;
   return fnv1a(S);
 }
 

@@ -38,9 +38,13 @@
 
 namespace specai {
 
-/// Request kinds. Analyze is the workload; the rest are daemon control.
+/// Request kinds. Analyze and Repair are the workloads; the rest are
+/// daemon control.
 enum class ServiceOp : uint8_t {
   Analyze,  ///< Compile + analyze (or serve from the verdict cache).
+  Repair,   ///< Compile + synthesize a minimum-cost leak repair
+            ///< (repair/MitigationSynth.h); cached like Analyze under an
+            ///< option key extended with `op=repair`.
   Ping,     ///< Liveness probe; responds ok immediately.
   Stats,    ///< Cache/pool counters as a JSON response.
   Shutdown, ///< Acknowledge, then stop the server loop.
@@ -181,6 +185,25 @@ struct ServiceResponse {
   /// excluded from the verdict digest.
   double Seconds = 0;
 
+  // The repair verdict (`op: repair` responses only; every field below is
+  // omitted from the wire and from sameVerdict comparisons when
+  // RepairChecked is false, so analyze responses are byte-identical to
+  // the pre-repair protocol).
+  bool RepairChecked = false;
+  /// Every reported leak site of the original program is proven leak-free
+  /// by re-analysis of the patched program (vacuous when LeaksBefore==0).
+  bool Repaired = false;
+  uint64_t LeaksBefore = 0;
+  uint64_t LeaksAfter = 0;
+  uint64_t WcetBefore = 0;
+  uint64_t WcetAfter = 0;
+  /// Rendered applied mitigations (Mitigation::str), newline-joined on
+  /// the wire like LeakSites.
+  std::vector<std::string> Mitigations;
+  /// The emitted patched program's IR rendering; equals the original
+  /// program's rendering when nothing was applied.
+  std::string PatchedIr;
+
   /// Builds an Ok response from a finished row (digests left 0 for the
   /// caller to fill).
   static ServiceResponse fromRow(const BatchRow &Row);
@@ -198,6 +221,11 @@ struct ServiceResponse {
 /// label-independent, so a service response and a single-shot CLI run of
 /// the same request compare equal. Pinned by service_test.
 uint64_t verdictDigest(const BatchRow &Row);
+
+/// Digest over the canonical rendering of a repair verdict (the
+/// RepairChecked fields, mitigations, and the patched IR). A repair
+/// response's VerdictDigest carries this instead of verdictDigest().
+uint64_t repairVerdictDigest(const ServiceResponse &R);
 
 /// The content-addressed cache key: \p ProgramDigest (runRequest's FNV-1a
 /// over the lowered IR) mixed with the request's option key.

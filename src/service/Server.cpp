@@ -182,6 +182,7 @@ struct ServiceServer::Impl {
     }
     switch (Req.Op) {
     case ServiceOp::Analyze:
+    case ServiceOp::Repair:
     case ServiceOp::Ping:
       return writeLine(Fd, Engine.handle(Req).toJson() + "\n");
     case ServiceOp::Stats:

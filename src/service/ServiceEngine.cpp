@@ -43,7 +43,7 @@ ServiceResponse ServiceEngine::handle(const ServiceRequest &Req) {
     R.Id = Req.Id;
     return R;
   }
-  if (Req.Op != ServiceOp::Analyze) {
+  if (Req.Op != ServiceOp::Analyze && Req.Op != ServiceOp::Repair) {
     ServiceResponse R;
     R.Status = ServiceStatus::Error;
     R.Id = Req.Id;
@@ -51,6 +51,8 @@ ServiceResponse ServiceEngine::handle(const ServiceRequest &Req) {
               "' is handled by the server";
     return R;
   }
+  // Repair rides the same three tiers as Analyze: its option key carries
+  // an `op=repair` suffix, so the two verbs never share a cache entry.
   return handleAnalyze(Req);
 }
 
@@ -242,6 +244,56 @@ ServiceResponse ServiceEngine::runAnalysis(const ServiceRequest &Req,
 
   RunRequest RR = Req.toRunRequest();
   RR.Options.Budget = &Budget;
+
+  if (Req.Op == ServiceOp::Repair) {
+    RepairRunOutcome Out = runRepairRequest(RR);
+    std::string SrcKeyStr = Req.loweringKey();
+    SrcKeyStr += '\0';
+    SrcKeyStr += Req.Source;
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      ++AnalysesRun;
+      CompileMemo M;
+      M.Ok = Out.Ok;
+      M.ProgramDigest = Out.ProgramDigest;
+      M.Error = Out.Error;
+      M.Key = std::move(SrcKeyStr);
+      if (!Out.Ok)
+        ++CompileErrors;
+      memoStore(SrcKey, std::move(M));
+    }
+    if (!Out.Ok) {
+      ServiceResponse R;
+      R.Status = ServiceStatus::Error;
+      R.Error = Out.Error;
+      return R;
+    }
+    if (Out.Result.BudgetExceeded)
+      return TimeoutResponse(); // Partial search: never cached.
+    ServiceResponse R;
+    if (!Out.Result.Error.empty()) {
+      // Outside the synthesizer's domain (e.g. a Summarize-mode module):
+      // a definitive answer, but an error, not a verdict — never cached.
+      R.Status = ServiceStatus::Error;
+      R.Error = Out.Result.Error;
+      return R;
+    }
+    R.Status = ServiceStatus::Ok;
+    R.RepairChecked = true;
+    R.Repaired = Out.Result.Repaired;
+    R.LeaksBefore = Out.Result.LeaksBefore;
+    R.LeaksAfter = Out.Result.LeaksAfter;
+    R.WcetBefore = Out.Result.WcetBefore;
+    R.WcetAfter = Out.Result.WcetAfter;
+    for (const Mitigation &M : Out.Result.Applied)
+      R.Mitigations.push_back(M.str(Out.Result.Patched));
+    R.PatchedIr = Out.Result.Patched.str();
+    R.VerdictDigest = repairVerdictDigest(R);
+    R.RequestDigest = requestDigest(Out.ProgramDigest, Req);
+    Cache.insert(R.RequestDigest, requestKeyString(Out.ProgramDigest, Req), R);
+    return R;
+  }
+
   RunOutcome Out = runRequest(RR);
   std::string SrcKeyStr = Req.loweringKey();
   SrcKeyStr += '\0';

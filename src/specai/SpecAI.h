@@ -39,6 +39,7 @@
 #include "fuzz/FuzzCampaign.h"
 #include "fuzz/LoweringOracle.h"
 #include "fuzz/ProgramGen.h"
+#include "fuzz/RepairOracle.h"
 #include "fuzz/SoundnessOracle.h"
 #include "fuzz/StateDigest.h"
 #include "ir/Interp.h"
@@ -51,6 +52,7 @@
 #include "memory/MemoryModel.h"
 #include "pipeline/BranchPredictor.h"
 #include "pipeline/SpeculativeCpu.h"
+#include "repair/MitigationSynth.h"
 #include "service/AnalysisPool.h"
 #include "service/Client.h"
 #include "service/Json.h"

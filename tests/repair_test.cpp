@@ -1,0 +1,242 @@
+//===- repair_test.cpp - Mitigation synthesis on known-minimal fixtures ---===//
+//
+// Part of the SpecAI project: a reproduction of "Abstract Interpretation
+// under Speculative Execution" (Wu & Wang, PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Hand-built programs whose minimum-cost repair is known by construction
+/// (docs/MITIGATION.md), pinning the synthesizer's search: a
+/// speculation-only leak whose polluting load sits first in the window
+/// (only a fence can kill it), one whose pollution sits deeper (a cost-0
+/// depth clamp dominates the fence), and an architectural leak with no
+/// speculation sites at all (hoisting the conflicting scalar is the whole
+/// menu). Plus the two meta-properties the repair verb's consumers rely
+/// on: idempotence — repairing a repaired program is a no-op — and
+/// bit-identical results whatever the analysis parallelism.
+///
+//===----------------------------------------------------------------------===//
+
+#include "repair/MitigationSynth.h"
+
+#include <gtest/gtest.h>
+
+using namespace specai;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto CP = compileSource(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  return CP;
+}
+
+RepairOptions optionsWithLines(uint32_t Lines) {
+  RepairOptions RO;
+  RO.Analysis.Cache = CacheConfig::fullyAssociative(Lines);
+  return RO;
+}
+
+/// Speculation-only leak, pollution at window depth 1. With 5 lines the
+/// warm loop plus `mode` fill the cache and both architectural paths are
+/// uniform (mode == 0 returns before the secret access; mode != 0 finds
+/// the table resident). The mispredicted then-path's *first* instruction
+/// is `load left[0]`, which evicts a table line — so no depth clamp
+/// (floor 1: hardware always fetches something) can stop it. Only the
+/// fence, which kills the window outright, repairs this program.
+const char *FenceOnly = R"MC(
+char table[256];
+char left[64];
+int mode;
+secret reg char key;
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 256; i += 64)
+    t = table[i];
+  if (mode == 0) {
+    return left[0];
+  }
+  t = table[key & 255];
+  return t;
+}
+)MC";
+
+/// Same shape, but the wrong path burns two register instructions before
+/// its polluting load — a depth-1 clamp stops the load without costing a
+/// committed cycle, dominating the fence.
+const char *ClampBeatsFence = R"MC(
+char table[256];
+char left[64];
+int mode;
+reg int pub;
+secret reg char key;
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 256; i += 64)
+    t = table[i];
+  if (mode == 0) {
+    reg int y;
+    y = pub + 1;
+    y = y * 2;
+    return left[y & 63];
+  }
+  t = table[key & 255];
+  return t;
+}
+)MC";
+
+/// No branches, so no speculation sites, so no clamp or fence candidates:
+/// the architectural `load mode` evicts a warm table line out of the
+/// 4-line cache and the secret-indexed access leaks. Hoisting `mode` to a
+/// register global removes the eviction (and a load, so the repair's WCET
+/// *drops*).
+const char *HoistOnly = R"MC(
+char table[256];
+int mode;
+secret reg char key;
+
+int main() {
+  reg int t;
+  for (reg int i = 0; i < 256; i += 64)
+    t = table[i];
+  t = t + mode;
+  return t + table[key & 255];
+}
+)MC";
+
+} // namespace
+
+TEST(RepairTest, SingleFenceIsTheMinimalFix) {
+  auto CP = compile(FenceOnly);
+  RepairResult Res = synthesizeRepairs(*CP, optionsWithLines(5));
+  ASSERT_TRUE(Res.Error.empty()) << Res.Error;
+  EXPECT_TRUE(Res.Repaired);
+  EXPECT_EQ(Res.LeaksBefore, 1u);
+  EXPECT_EQ(Res.LeaksAfter, 0u);
+  EXPECT_EQ(Res.SpecOnlyLeaksBefore, 1u);
+  ASSERT_EQ(Res.Applied.size(), 1u);
+  EXPECT_EQ(Res.Applied[0].Kind, MitigationKind::Fence);
+  EXPECT_EQ(Res.totalCost(), 0u);
+  EXPECT_TRUE(Res.UsedExactSearch);
+  // The fence is really in the emitted program.
+  EXPECT_NE(Res.Patched.str().find("fence"), std::string::npos)
+      << Res.Patched.str();
+  // And no clamp rode along: the fix is purely textual.
+  for (uint32_t Clamp : Res.SiteClamps)
+    EXPECT_EQ(Clamp, UINT32_MAX);
+}
+
+TEST(RepairTest, ClampBeatsFenceWhenPollutionSitsDeeperInTheWindow) {
+  auto CP = compile(ClampBeatsFence);
+  RepairResult Res = synthesizeRepairs(*CP, optionsWithLines(5));
+  ASSERT_TRUE(Res.Error.empty()) << Res.Error;
+  EXPECT_TRUE(Res.Repaired);
+  EXPECT_EQ(Res.LeaksBefore, 1u);
+  EXPECT_EQ(Res.LeaksAfter, 0u);
+  ASSERT_EQ(Res.Applied.size(), 1u);
+  EXPECT_EQ(Res.Applied[0].Kind, MitigationKind::Clamp);
+  EXPECT_EQ(Res.Applied[0].Depth, 1u);
+  EXPECT_EQ(Res.totalCost(), 0u);
+  // A clamp is pure metadata: the program text must be untouched, and the
+  // clamp must be visible in the emitted per-site table instead.
+  EXPECT_EQ(Res.Patched.str(), CP->P->str());
+  ASSERT_GT(Res.SiteClamps.size(), Res.Applied[0].Site);
+  EXPECT_EQ(Res.SiteClamps[Res.Applied[0].Site], 1u);
+}
+
+TEST(RepairTest, HoistIsTheWholeMenuWithoutSpeculationSites) {
+  auto CP = compile(HoistOnly);
+  RepairResult Res = synthesizeRepairs(*CP, optionsWithLines(4));
+  ASSERT_TRUE(Res.Error.empty()) << Res.Error;
+  EXPECT_TRUE(Res.Repaired);
+  EXPECT_EQ(Res.LeaksBefore, 1u);
+  EXPECT_EQ(Res.SpecOnlyLeaksBefore, 0u) << "this leak is architectural";
+  ASSERT_EQ(Res.Applied.size(), 1u);
+  EXPECT_EQ(Res.Applied[0].Kind, MitigationKind::Hoist);
+  EXPECT_EQ(CP->P->Vars[Res.Applied[0].Var].Name, "mode");
+  // Hoisting removes a memory access outright, so the repaired program's
+  // WCET improves — the one menu entry whose "cost" is a saving.
+  EXPECT_LT(Res.WcetAfter, Res.WcetBefore);
+  // The hoisted scalar now lives in a register global, secrecy preserved
+  // (mode is public, so no new secret seed).
+  bool Found = false;
+  for (const RegGlobal &RG : Res.Patched.RegGlobals)
+    if (RG.Name == "mode") {
+      Found = true;
+      EXPECT_FALSE(RG.IsSecret);
+    }
+  EXPECT_TRUE(Found) << Res.Patched.str();
+}
+
+TEST(RepairTest, CleanProgramsAreVacuouslyRepairedUnchanged) {
+  auto CP = compile(HoistOnly);
+  // At 6 lines everything fits: no leak, nothing to do.
+  RepairResult Res = synthesizeRepairs(*CP, optionsWithLines(6));
+  ASSERT_TRUE(Res.Error.empty()) << Res.Error;
+  EXPECT_TRUE(Res.Repaired);
+  EXPECT_EQ(Res.LeaksBefore, 0u);
+  EXPECT_TRUE(Res.Applied.empty());
+  EXPECT_EQ(Res.Patched.str(), CP->P->str());
+}
+
+TEST(RepairTest, RepairingARepairedProgramIsANoOp) {
+  // Textual repairs (fence, hoist) leave a program the synthesizer must
+  // find nothing wrong with on a second pass — same analysis options,
+  // zero leaks, zero mitigations, bit-identical emitted text.
+  struct Fixture {
+    const char *Source;
+    uint32_t Lines;
+  } Fixtures[] = {{FenceOnly, 5}, {HoistOnly, 4}};
+  for (const Fixture &F : Fixtures) {
+    auto CP = compile(F.Source);
+    RepairOptions RO = optionsWithLines(F.Lines);
+    RepairResult First = synthesizeRepairs(*CP, RO);
+    ASSERT_TRUE(First.Repaired) << F.Source;
+    ASSERT_FALSE(First.Applied.empty());
+
+    auto Patched = compileProgram(First.Patched);
+    ASSERT_TRUE(Patched);
+    RepairResult Second = synthesizeRepairs(*Patched, RO);
+    ASSERT_TRUE(Second.Error.empty()) << Second.Error;
+    EXPECT_TRUE(Second.Repaired);
+    EXPECT_EQ(Second.LeaksBefore, 0u)
+        << "the first repair's proof must survive a fresh analysis";
+    EXPECT_TRUE(Second.Applied.empty());
+    EXPECT_EQ(Second.Patched.str(), First.Patched.str());
+    EXPECT_EQ(Second.WcetBefore, First.WcetAfter)
+        << "the second pass re-derives the first pass's bound";
+  }
+}
+
+TEST(RepairTest, ResultsAreIdenticalAcrossAnalysisParallelism) {
+  // The service caches repair verdicts by request digest, so a daemon
+  // running --intra-jobs 8 must synthesize the byte-identical repair a
+  // single-threaded run would (the same determinism contract the analyze
+  // verb keeps).
+  for (const char *Source : {FenceOnly, ClampBeatsFence, HoistOnly}) {
+    auto CP = compile(Source);
+    RepairOptions Base = optionsWithLines(5);
+    RepairResult Want = synthesizeRepairs(*CP, Base);
+    for (unsigned Jobs : {2u, 8u}) {
+      RepairOptions RO = Base;
+      RO.Analysis.IntraJobs = Jobs;
+      RepairResult Got = synthesizeRepairs(*CP, RO);
+      EXPECT_EQ(Got.Repaired, Want.Repaired) << Jobs;
+      EXPECT_EQ(Got.LeaksBefore, Want.LeaksBefore) << Jobs;
+      EXPECT_EQ(Got.LeaksAfter, Want.LeaksAfter) << Jobs;
+      EXPECT_EQ(Got.WcetBefore, Want.WcetBefore) << Jobs;
+      EXPECT_EQ(Got.WcetAfter, Want.WcetAfter) << Jobs;
+      EXPECT_EQ(Got.Reanalyses, Want.Reanalyses) << Jobs;
+      EXPECT_EQ(Got.SiteClamps, Want.SiteClamps) << Jobs;
+      EXPECT_EQ(Got.Patched.str(), Want.Patched.str()) << Jobs;
+      ASSERT_EQ(Got.Applied.size(), Want.Applied.size()) << Jobs;
+      for (size_t I = 0; I != Got.Applied.size(); ++I)
+        EXPECT_EQ(Got.Applied[I].str(Got.Patched),
+                  Want.Applied[I].str(Want.Patched))
+            << Jobs;
+    }
+  }
+}

@@ -110,6 +110,60 @@ TEST(ServiceJsonTest, RejectsNestingDuplicatesAndGarbage) {
   EXPECT_TRUE(O.empty());
 }
 
+TEST(ServiceJsonTest, TruncatedEscapesAreRejectedWithOffsets) {
+  // A request line cut mid-escape (a client killed mid-write, a torn
+  // buffer) must parse to an error, never to a silently mangled string.
+  JsonObject O;
+  std::string Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": \"x\\", O, Error));
+  EXPECT_NE(Error.find("unterminated"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": \"x\\u00", O, Error));
+  EXPECT_NE(Error.find("\\u"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": \"x\\u00g0\"}", O, Error));
+  EXPECT_NE(Error.find("malformed"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": \"x\\q\"}", O, Error));
+  EXPECT_NE(Error.find("unknown escape"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": \"never closed}", O, Error));
+  EXPECT_NE(Error.find("unterminated"), std::string::npos) << Error;
+}
+
+TEST(ServiceJsonTest, BracesAndNewlinesInsideStringsAreData) {
+  // Program sources carry braces and (escaped) newlines; the flat-object
+  // nesting rejection must not fire on brace *characters* inside strings.
+  JsonObject O;
+  std::string Error;
+  ASSERT_TRUE(parseJsonObject(
+      "{\"src\": \"int main() { return 0; }\", \"t\": \"a\\nb\\n\"}", O,
+      Error))
+      << Error;
+  EXPECT_EQ(O["src"].asString(""), "int main() { return 0; }");
+  EXPECT_EQ(O["t"].asString(""), "a\nb\n");
+
+  // The writer escapes every byte the parser needs escaped, so any source
+  // text round-trips — including one that is itself a JSON object.
+  JsonWriter W;
+  W.field("src", "{\"op\": \"analyze\"}\nline2");
+  ASSERT_TRUE(parseJsonObject(W.finish(), O, Error)) << Error;
+  EXPECT_EQ(O["src"].asString(""), "{\"op\": \"analyze\"}\nline2");
+}
+
+TEST(ServiceJsonTest, DuplicateKeysAreRejectedWhateverTheValueKinds) {
+  // Duplicate keys are a first-writer/last-writer ambiguity a cache-key
+  // discipline cannot afford; the parser rejects them outright.
+  JsonObject O;
+  std::string Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": \"x\", \"a\": \"x\"}", O, Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJsonObject("{\"a\": 1, \"b\": 2, \"a\": \"s\"}", O,
+                               Error));
+  EXPECT_FALSE(parseJsonObject("{\"a\": true, \"a\": false}", O, Error));
+  // And through the request layer: a duplicated option must not pick
+  // either value.
+  ServiceRequest Req;
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      "{\"op\": \"ping\", \"id\": 1, \"id\": 2}", Req, Error));
+}
+
 TEST(ServiceProtocolTest, RequestsRoundTripThroughJson) {
   ServiceRequest Req = baseRequest();
   Req.Id = 17;
@@ -218,6 +272,55 @@ TEST(ServiceProtocolTest, ResponsesRoundTripThroughJson) {
 //===----------------------------------------------------------------------===//
 // Digest soundness: every verdict-visible option must split the key
 //===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocolTest, RepairRequestsAndResponsesRoundTrip) {
+  ServiceRequest Req = baseRequest();
+  Req.Op = ServiceOp::Repair;
+  Req.Id = 9;
+  ServiceRequest Back;
+  std::string Error;
+  ASSERT_TRUE(ServiceRequest::fromJson(Req.toJson(), Back, Error)) << Error;
+  EXPECT_EQ(Back.Op, ServiceOp::Repair);
+  EXPECT_EQ(Back.Source, Req.Source);
+  // The repair verb gets its own cache-key space; everything else about
+  // the key is shared with analyze.
+  ServiceRequest Analyze = baseRequest();
+  EXPECT_NE(Req.optionKey(), Analyze.optionKey());
+  EXPECT_NE(Req.optionKey().find(";op=repair"), std::string::npos);
+  EXPECT_EQ(Analyze.optionKey().find(";op=repair"), std::string::npos);
+
+  ServiceResponse R;
+  R.Status = ServiceStatus::Ok;
+  R.Id = 9;
+  R.RepairChecked = true;
+  R.Repaired = true;
+  R.LeaksBefore = 2;
+  R.LeaksAfter = 0;
+  R.WcetBefore = 700;
+  R.WcetAfter = 650;
+  R.Mitigations = {"hoist 'mode' (cost 0)", "fence at bb2 (cost 12)"};
+  R.PatchedIr = "program main {\n}\n";
+  R.VerdictDigest = repairVerdictDigest(R);
+  ServiceResponse BackR;
+  ASSERT_TRUE(ServiceResponse::fromJson(R.toJson(), BackR, Error)) << Error;
+  EXPECT_TRUE(BackR.RepairChecked);
+  EXPECT_TRUE(BackR.Repaired);
+  EXPECT_EQ(BackR.LeaksBefore, 2u);
+  EXPECT_EQ(BackR.LeaksAfter, 0u);
+  EXPECT_EQ(BackR.WcetBefore, 700u);
+  EXPECT_EQ(BackR.WcetAfter, 650u);
+  EXPECT_EQ(BackR.Mitigations, R.Mitigations);
+  EXPECT_EQ(BackR.PatchedIr, R.PatchedIr);
+  EXPECT_TRUE(BackR.sameVerdict(R));
+
+  // A non-repair response must not gain a single new wire key: analyze
+  // responses are byte-compatible with the pre-repair protocol.
+  ServiceResponse Plain;
+  Plain.Status = ServiceStatus::Ok;
+  EXPECT_EQ(Plain.toJson().find("repair"), std::string::npos);
+  EXPECT_EQ(Plain.toJson().find("mitigation"), std::string::npos);
+  EXPECT_EQ(Plain.toJson().find("patched"), std::string::npos);
+}
 
 TEST(ServiceDigestTest, EveryVerdictVisibleOptionSplitsTheRequestDigest) {
   const uint64_t PD = 0xabcdef0123456789ULL;
@@ -1055,6 +1158,78 @@ TEST(ServiceEngineTest, StatsJsonParsesAsAnOkResponse) {
   EXPECT_EQ(O["cache_spill_corrupt"].asInt(-1), 0);
 }
 
+/// baseRequest() shrunk to a 4-line cache, where the test program's
+/// secret-indexed `table[key & 255]` can no longer be proven timing-uniform
+/// (at 6 lines every table line fits and the detector proves it clean).
+ServiceRequest repairRequest() {
+  ServiceRequest Req = baseRequest();
+  Req.Op = ServiceOp::Repair;
+  Req.Cache = CacheConfig::fullyAssociative(4);
+  return Req;
+}
+
+TEST(ServiceEngineTest, RepairVerbSynthesizesCachesAndDigests) {
+  ServiceEngine Engine(smallEngine());
+  ServiceRequest Req = repairRequest();
+  Req.Id = 1;
+
+  ServiceResponse First = Engine.handle(Req);
+  ASSERT_EQ(First.Status, ServiceStatus::Ok) << First.Error;
+  EXPECT_FALSE(First.Cached);
+  EXPECT_TRUE(First.RepairChecked);
+  EXPECT_TRUE(First.Repaired);
+  EXPECT_GT(First.LeaksBefore, 0u) << "the test program must start leaky";
+  EXPECT_EQ(First.LeaksAfter, 0u);
+  EXPECT_FALSE(First.Mitigations.empty());
+  EXPECT_FALSE(First.PatchedIr.empty());
+  EXPECT_EQ(First.VerdictDigest, repairVerdictDigest(First));
+
+  Req.Id = 2;
+  ServiceResponse Second = Engine.handle(Req);
+  ASSERT_EQ(Second.Status, ServiceStatus::Ok);
+  EXPECT_TRUE(Second.Cached) << "identical repair requests must hit";
+  EXPECT_TRUE(Second.sameVerdict(First));
+
+  // Bit-identical to the library single-shot path, like analyze.
+  RepairRunOutcome Out = runRepairRequest(Req.toRunRequest());
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_EQ(First.LeaksBefore, Out.Result.LeaksBefore);
+  EXPECT_EQ(First.WcetBefore, Out.Result.WcetBefore);
+  EXPECT_EQ(First.WcetAfter, Out.Result.WcetAfter);
+  EXPECT_EQ(First.PatchedIr, Out.Result.Patched.str());
+  EXPECT_EQ(First.Mitigations.size(), Out.Result.Applied.size());
+  EXPECT_EQ(First.RequestDigest, requestDigest(Out.ProgramDigest, Req));
+
+  // An analyze request with the identical source and options occupies its
+  // own cache line and its response carries none of the repair verdict.
+  ServiceRequest AnalyzeReq = repairRequest();
+  AnalyzeReq.Op = ServiceOp::Analyze;
+  ServiceResponse Plain = Engine.handle(AnalyzeReq);
+  ASSERT_EQ(Plain.Status, ServiceStatus::Ok) << Plain.Error;
+  EXPECT_FALSE(Plain.Cached) << "repair must not poison the analyze key";
+  EXPECT_FALSE(Plain.RepairChecked);
+  EXPECT_NE(Plain.RequestDigest, First.RequestDigest);
+
+  ServiceEngineStats S = Engine.stats();
+  EXPECT_EQ(S.Requests, 3u);
+  EXPECT_EQ(S.CacheHits, 1u);
+  EXPECT_EQ(S.AnalysesRun, 2u) << "one repair synthesis, one analyze";
+}
+
+TEST(ServiceEngineTest, RepairResponsesSurviveTheWireFormat) {
+  // The repair verdict a client sees after JSON framing is the verdict the
+  // engine computed — mitigations, patched IR, digest and all.
+  ServiceEngine Engine(smallEngine());
+  ServiceResponse R = Engine.handle(repairRequest());
+  ASSERT_EQ(R.Status, ServiceStatus::Ok) << R.Error;
+  ServiceResponse Back;
+  std::string Error;
+  ASSERT_TRUE(ServiceResponse::fromJson(R.toJson(), Back, Error)) << Error;
+  EXPECT_TRUE(Back.sameVerdict(R));
+  EXPECT_EQ(Back.PatchedIr, R.PatchedIr);
+  EXPECT_EQ(Back.VerdictDigest, repairVerdictDigest(Back));
+}
+
 //===----------------------------------------------------------------------===//
 // ServiceServer over a real socket
 //===----------------------------------------------------------------------===//
@@ -1230,6 +1405,46 @@ TEST(ServiceServerTest, OversizedRequestFaultRejectsCompleteLinesToo) {
   ServiceRequest Down;
   Down.Op = ServiceOp::Shutdown;
   ASSERT_TRUE(Small.call(Down, R, Error)) << Error;
+  Server.wait();
+}
+
+TEST(ServiceServerTest, OversizedRepairRequestsAnswerCleanlyAndMoveOn) {
+  // A repair request ships the whole source and gets back mitigations plus
+  // a patched program, so it is the verb most likely to brush the framing
+  // bound. Over the bound it must be a clean error — not a wedged worker —
+  // and the daemon must keep repairing for everyone else.
+  ServiceEngine Engine(smallEngine());
+  ServerOptions SrvOpts;
+  SrvOpts.MaxRequestBytes = 2048;
+  ServiceServer Server(Engine, SrvOpts);
+  std::string Error;
+  const std::string Path = testSocketPath("bigrepair");
+  ASSERT_TRUE(Server.start(Path, Error)) << Error;
+
+  ServiceRequest Big = repairRequest();
+  Big.Source = std::string("// ") + std::string(8192, 'x') + "\n" +
+               testProgram();
+  ServiceClient C;
+  ASSERT_TRUE(C.connect(Path, Error)) << Error;
+  ServiceResponse R;
+  ASSERT_TRUE(C.call(Big, R, Error)) << Error;
+  EXPECT_EQ(R.Status, ServiceStatus::Error);
+  EXPECT_NE(R.Error.find("exceeds"), std::string::npos) << R.Error;
+
+  // A right-sized repair request on a fresh connection still gets the full
+  // verdict through the same daemon.
+  ServiceClient Fresh;
+  ASSERT_TRUE(Fresh.connect(Path, Error)) << Error;
+  ASSERT_TRUE(Fresh.call(repairRequest(), R, Error)) << Error;
+  ASSERT_EQ(R.Status, ServiceStatus::Ok) << R.Error;
+  EXPECT_TRUE(R.RepairChecked);
+  EXPECT_TRUE(R.Repaired);
+  EXPECT_GT(R.LeaksBefore, 0u);
+  EXPECT_FALSE(R.PatchedIr.empty());
+
+  ServiceRequest Down;
+  Down.Op = ServiceOp::Shutdown;
+  ASSERT_TRUE(Fresh.call(Down, R, Error)) << Error;
   Server.wait();
 }
 

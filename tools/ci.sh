@@ -71,6 +71,17 @@ for oracle in wcet leak; do
   cat "$BUILD/fuzz_${oracle}_smoke.json"
 done
 
+# Repair smoke (docs/MITIGATION.md): a 10-program synthesize-and-
+# revalidate campaign — every leaky program gets a mitigation set whose
+# re-analysis proves it leak-free, the patched program replays
+# architecturally unchanged under secret-variant attacker families, and
+# committed cycles never exceed the claimed WCET bound. The JSON carries
+# the repair_* counters (leaky/repaired split, re-analyses, replay runs).
+"$BUILD/tools/specai-fuzz" --seed 1 --programs 10 --jobs "$JOBS" \
+  --oracle repair --ce-dir "$BUILD" --json \
+  > "$BUILD/fuzz_repair_smoke.json"
+cat "$BUILD/fuzz_repair_smoke.json"
+
 # Differential-lowering smoke (DESIGN.md §4): deep-call/uncounted-loop
 # programs compiled under both InlineUnroll and Summarize, cross-checked
 # by the lowering oracle (classification conflicts, concrete must-hit
@@ -189,4 +200,9 @@ cmake --build "$TSAN_BUILD" -j "$JOBS"
 ctest --test-dir "$TSAN_BUILD" -L unit --output-on-failure -j "$JOBS"
 "$TSAN_BUILD/tools/specai-fuzz" --seed 1 --programs 10 --jobs 1 \
   --intra-jobs 8 --ce-dir "$TSAN_BUILD"
-echo "tsan leg: unit suite + intra-jobs 8 fuzz smoke race-free"
+# The repair synthesizer fans every re-analysis through the same pool, so
+# its search + revalidation loop gets its own TSan pass under the wide
+# pool (fewer programs: each one runs dozens of analyses).
+"$TSAN_BUILD/tools/specai-fuzz" --seed 1 --programs 5 --jobs 1 \
+  --intra-jobs 8 --oracle repair --ce-dir "$TSAN_BUILD"
+echo "tsan leg: unit suite + intra-jobs 8 fuzz and repair smokes race-free"

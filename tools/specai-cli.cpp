@@ -40,10 +40,16 @@
 ///                       digests the specaid service computes
 ///                       (docs/SERVICE.md), so scripts can check a daemon
 ///                       verdict is bit-identical to a single-shot run
+///   --repair            synthesize a minimum-cost mitigation set for every
+///                       reported leak (docs/MITIGATION.md) and print the
+///                       chosen mitigations, the WCET cost, and the patched
+///                       program
 ///
 /// Exit code: 0 on success, 1 on compile/analysis error, 2 when --leaks
 /// found a leak (so scripts can gate on it) — in batch mode, when any
 /// variant found one (each leaking variant's sites are printed first).
+/// --repair exits 0 when every leak was repaired (or there was nothing to
+/// repair) and 2 when leaks remain beyond the mitigation menu.
 /// --batch results are identical whatever --jobs is; only the timing
 /// columns vary. The sweep is inherently speculative and covers every
 /// strategy, so --no-spec, --strategy, --wcet, and --dump-states are
@@ -70,7 +76,7 @@ void usage(std::FILE *To) {
       "       [--assoc N] [--depth-miss N] [--depth-hit N] [--strategy S]\n"
       "       [--policy lru|fifo|plru] [--no-shadow] [--refine]\n"
       "       [--dump-ir] [--dump-states] [--leaks] [--wcet] [--batch]\n"
-      "       [--jobs N] [--intra-jobs N] [--digest]\n");
+      "       [--jobs N] [--intra-jobs N] [--digest] [--repair]\n");
 }
 
 } // namespace
@@ -88,6 +94,7 @@ int main(int Argc, char **Argv) {
   uint32_t Assoc = 0; // 0 = fully associative.
   bool DumpIr = false, DumpStates = false, Leaks = false, Wcet = false;
   bool Batch = false, StrategySet = false, JobsSet = false, Digest = false;
+  bool Repair = false;
   ReplacementPolicy Policy = ReplacementPolicy::Lru;
   unsigned Jobs = 0; // 0 = all hardware threads.
 
@@ -167,6 +174,8 @@ int main(int Argc, char **Argv) {
       Batch = true;
     } else if (Arg == "--digest") {
       Digest = true;
+    } else if (Arg == "--repair") {
+      Repair = true;
     } else if (Arg == "--jobs") {
       const char *Value = Next();
       std::optional<unsigned> Parsed = parseUnsigned(Value);
@@ -231,6 +240,49 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: invalid cache geometry (%u lines, %u ways)\n",
                   Lines, Assoc);
     return 1;
+  }
+
+  if (Repair) {
+    // Repair mode (docs/MITIGATION.md): synthesize the minimum-cost
+    // mitigation set whose re-analysis proves every reported leak site
+    // leak-free, then print what was chosen and the patched program. The
+    // detector runs implicitly; sweep/digest modes answer a different
+    // question, so combining them is rejected rather than guessed at.
+    if (Batch || Digest || Wcet || DumpStates) {
+      std::fprintf(stderr, "error: --repair applies to plain single runs; "
+                   "drop --batch/--digest/--wcet/--dump-states\n");
+      return 1;
+    }
+    RepairOptions RO;
+    RO.Analysis = Opts;
+    RepairResult Res = synthesizeRepairs(*CP, RO);
+    if (!Res.Error.empty()) {
+      std::fprintf(stderr, "error: %s\n", Res.Error.c_str());
+      return 1;
+    }
+    if (Res.LeaksBefore == 0) {
+      std::printf("repair: no leaks reported; program unchanged\n");
+      return 0;
+    }
+    std::printf("repair: %llu leaks, %zu mitigations, wcet %llu -> %llu "
+                "(%u candidates, %u reanalyses, %s search)\n",
+                static_cast<unsigned long long>(Res.LeaksBefore),
+                Res.Applied.size(),
+                static_cast<unsigned long long>(Res.WcetBefore),
+                static_cast<unsigned long long>(Res.WcetAfter),
+                Res.Candidates, Res.Reanalyses,
+                Res.UsedExactSearch ? "exact" : "greedy");
+    for (const Mitigation &M : Res.Applied)
+      std::printf("  %s\n", M.str(Res.Patched).c_str());
+    if (!Res.Repaired) {
+      std::printf("repair: %llu of %llu leaks remain beyond the mitigation "
+                  "menu\n",
+                  static_cast<unsigned long long>(Res.LeaksAfter),
+                  static_cast<unsigned long long>(Res.LeaksBefore));
+      return 2;
+    }
+    std::printf("patched program:\n%s\n", Res.Patched.str().c_str());
+    return 0;
   }
 
   if (Digest) {

@@ -9,9 +9,9 @@
 ///
 ///   specai-fuzz [options]            run a campaign
 ///   specai-fuzz --selftest [SUITE]   prove the oracles catch a broken
-///                                    engine/verdict/lowering layer (also
-///                                    CTest cases; SUITE:
-///                                    cache|wcet|leak|lowering|all)
+///                                    engine/verdict/lowering/repair layer
+///                                    (also CTest cases; SUITE:
+///                                    cache|wcet|leak|lowering|repair|all)
 ///   specai-fuzz --replay FILE.mc     re-check a recorded counterexample
 ///
 ///   --seed N            base seed (default 1); program i uses seed N+i
@@ -26,8 +26,10 @@
 ///                       (concrete cycles vs estimateWcet bound) | leak
 ///                       (concrete timing attacker vs leak-freedom
 ///                       proofs) | lowering (summarize-vs-inline-unroll
-///                       diff; src/fuzz/LoweringOracle.h) | all (= cache,
-///                       wcet, leak; lowering stays opt-in so classic
+///                       diff; src/fuzz/LoweringOracle.h) | repair
+///                       (synthesize-and-revalidate mitigation sets;
+///                       src/fuzz/RepairOracle.h) | all (= cache, wcet,
+///                       leak; lowering and repair stay opt-in so classic
 ///                       campaign counters stay pinned). Repeatable;
 ///                       repeats OR together.
 ///   --gen-deep          generate helper functions (deeper call chains)
@@ -55,7 +57,10 @@
 ///                       wcet-drop-loop-scale | leak-skip-mixed |
 ///                       leak-discount-spec | leak-drop-spec-only,
 ///                       lowering faults drop-widen | stale-summary |
-///                       skip-backedge (summarize side only)
+///                       skip-backedge (summarize side only),
+///                       repair faults fence-dropped | cost-underreported
+///                       | clamp-ignored | unsound-hoist (synthesizer
+///                       emission only)
 ///                       (self-test aid)
 ///
 /// Exit code: 0 sound, 1 usage/compile error, 2 violations found (so CI
@@ -80,7 +85,7 @@ void usage(std::FILE *To) {
   std::fprintf(To,
       "usage: specai-fuzz [--seed N] [--programs N] [--jobs N] [--lines N]\n"
       "       [--intra-jobs N]\n"
-      "       [--oracle cache|wcet|leak|lowering|all] [--assoc N]\n"
+      "       [--oracle cache|wcet|leak|lowering|repair|all] [--assoc N]\n"
       "       [--policy lru|fifo|plru|all] [--depth-miss N]\n"
       "       [--depth-hit N] [--gen-deep]\n"
       "       [--exhaustive-bits N] [--input-rounds N] [--leak-secrets N]\n"
@@ -89,8 +94,9 @@ void usage(std::FILE *To) {
       "       [--inject-fault skip-spec-seed|skip-rollback|\n"
       "         wcet-hit-for-miss|wcet-drop-loop-scale|leak-skip-mixed|\n"
       "         leak-discount-spec|leak-drop-spec-only|drop-widen|\n"
-      "         stale-summary|skip-backedge]\n"
-      "       [--selftest [cache|wcet|leak|lowering|all]]\n"
+      "         stale-summary|skip-backedge|fence-dropped|\n"
+      "         cost-underreported|clamp-ignored|unsound-hoist]\n"
+      "       [--selftest [cache|wcet|leak|lowering|repair|all]]\n"
       "       [--replay FILE.mc]\n");
 }
 
@@ -144,6 +150,25 @@ std::string campaignJson(const FuzzCampaignStats &S) {
         std::to_string(S.Oracle.LoweringWcetLooser), false);
   Field("lowering_leak_deltas",
         std::to_string(S.Oracle.LoweringLeakDeltas), false);
+  // Repair counters only when that oracle ran, so default (non-repair)
+  // campaign JSON stays byte-identical to the pre-repair fuzzer's.
+  if (S.Oracle.RepairChecks > 0) {
+    Field("repair_checks", std::to_string(S.Oracle.RepairChecks), false);
+    Field("repair_leaky_programs",
+          std::to_string(S.Oracle.RepairLeakyPrograms), false);
+    Field("repair_repaired", std::to_string(S.Oracle.RepairRepaired), false);
+    Field("repair_mitigations", std::to_string(S.Oracle.RepairMitigations),
+          false);
+    Field("repair_cost_total", std::to_string(S.Oracle.RepairCostTotal),
+          false);
+    Field("repair_reanalyses", std::to_string(S.Oracle.RepairReanalyses),
+          false);
+    Field("repair_replay_runs", std::to_string(S.Oracle.RepairReplayRuns),
+          false);
+    Field("repair_cost_checks", std::to_string(S.Oracle.RepairCostChecks),
+          false);
+    Field("repair_violations", std::to_string(S.RepairViolations), false);
+  }
   Field("violation_programs", std::to_string(S.ViolationPrograms), false);
   Field("cache_violations", std::to_string(S.CacheViolations), false);
   Field("wcet_violations", std::to_string(S.WcetViolations), false);
@@ -185,7 +210,7 @@ void reportCounterexamples(const FuzzCampaignResult &R,
 /// fire at a call site, and the other lowering faults want rolled loops in
 /// callees too.
 void selftestCampaign(EngineFault EF, VerdictFault VF, LoweringFault LF,
-                      unsigned Oracles, unsigned Programs,
+                      RepairFault RF, unsigned Oracles, unsigned Programs,
                       FuzzCampaignResult &ResultOut) {
   FuzzCampaignOptions O;
   O.Seed = 1;
@@ -194,6 +219,7 @@ void selftestCampaign(EngineFault EF, VerdictFault VF, LoweringFault LF,
   O.Oracle.Fault = EF;
   O.Oracle.VFault = VF;
   O.Oracle.LFault = LF;
+  O.Oracle.RFault = RF;
   O.Oracle.Oracles = Oracles;
   O.Gen.Functions = (Oracles & OracleLowering) != 0;
   // Trim per-program effort: the self-test proves detection, not coverage.
@@ -212,7 +238,8 @@ int selftest(unsigned Suites) {
 
   FuzzCampaignResult Healthy;
   selftestCampaign(EngineFault::None, VerdictFault::None,
-                   LoweringFault::None, Suites, 8, Healthy);
+                   LoweringFault::None, RepairFault::None, Suites, 8,
+                   Healthy);
   if (Healthy.ok()) {
     std::printf("selftest: healthy engine+verdicts (--oracle %s), 8 "
                 "programs ... ok\n",
@@ -233,6 +260,7 @@ int selftest(unsigned Suites) {
     EngineFault EF;
     VerdictFault VF;
     LoweringFault LF;
+    RepairFault RF;
     unsigned Oracle; ///< The single oracle expected to catch it.
     unsigned Programs;
     /// Demand a strictly shrinking minimization (only meaningful for
@@ -241,35 +269,53 @@ int selftest(unsigned Suites) {
   };
   const FaultCase Matrix[] = {
       {"skip-spec-seed", EngineFault::SkipSpecSeed, VerdictFault::None,
-       LoweringFault::None, OracleCache, 8, true},
+       LoweringFault::None, RepairFault::None, OracleCache, 8, true},
       {"skip-rollback", EngineFault::SkipRollback, VerdictFault::None,
-       LoweringFault::None, OracleCache, 24, false},
+       LoweringFault::None, RepairFault::None, OracleCache, 24, false},
       {"wcet-hit-for-miss", EngineFault::None, VerdictFault::WcetHitForMiss,
-       LoweringFault::None, OracleWcet, 16, false},
+       LoweringFault::None, RepairFault::None, OracleWcet, 16, false},
       {"wcet-drop-loop-scale", EngineFault::None,
-       VerdictFault::WcetDropLoopScale, LoweringFault::None, OracleWcet, 32,
-       false},
+       VerdictFault::WcetDropLoopScale, LoweringFault::None,
+       RepairFault::None, OracleWcet, 32, false},
       {"leak-skip-mixed", EngineFault::None, VerdictFault::LeakSkipMixed,
-       LoweringFault::None, OracleLeak, 16, false},
+       LoweringFault::None, RepairFault::None, OracleLeak, 16, false},
       {"leak-discount-spec", EngineFault::None,
        VerdictFault::LeakDiscountSpeculation, LoweringFault::None,
-       OracleLeak, 32, false},
+       RepairFault::None, OracleLeak, 32, false},
       {"leak-drop-spec-only", EngineFault::None,
-       VerdictFault::LeakDropSpecOnly, LoweringFault::None, OracleLeak, 32,
-       false},
+       VerdictFault::LeakDropSpecOnly, LoweringFault::None,
+       RepairFault::None, OracleLeak, 32, false},
       {"drop-widen", EngineFault::None, VerdictFault::None,
-       LoweringFault::DropWiden, OracleLowering, 24, false},
+       LoweringFault::DropWiden, RepairFault::None, OracleLowering, 24,
+       false},
       {"stale-summary", EngineFault::None, VerdictFault::None,
-       LoweringFault::StaleSummary, OracleLowering, 24, false},
+       LoweringFault::StaleSummary, RepairFault::None, OracleLowering, 24,
+       false},
       {"skip-backedge", EngineFault::None, VerdictFault::None,
-       LoweringFault::SkipBackedge, OracleLowering, 24, false},
+       LoweringFault::SkipBackedge, RepairFault::None, OracleLowering, 24,
+       false},
+      // The repair ladder: each rung corrupts one emitted artifact of the
+      // synthesizer, and an independent judge of checkRepair must convict
+      // it (re-analysis, cost estimator, or concrete equivalence replay).
+      {"fence-dropped", EngineFault::None, VerdictFault::None,
+       LoweringFault::None, RepairFault::FenceDropped, OracleRepair, 12,
+       false},
+      {"cost-underreported", EngineFault::None, VerdictFault::None,
+       LoweringFault::None, RepairFault::CostUnderreported, OracleRepair,
+       12, false},
+      {"clamp-ignored", EngineFault::None, VerdictFault::None,
+       LoweringFault::None, RepairFault::ClampIgnored, OracleRepair, 12,
+       false},
+      {"unsound-hoist", EngineFault::None, VerdictFault::None,
+       LoweringFault::None, RepairFault::UnsoundHoist, OracleRepair, 12,
+       false},
   };
 
   for (const FaultCase &C : Matrix) {
     if (!(Suites & C.Oracle))
       continue;
     FuzzCampaignResult Broken;
-    selftestCampaign(C.EF, C.VF, C.LF, C.Oracle, C.Programs, Broken);
+    selftestCampaign(C.EF, C.VF, C.LF, C.RF, C.Oracle, C.Programs, Broken);
     if (Broken.ok()) {
       std::printf("selftest: %s fault NOT caught in %u programs ... "
                   "FAILED\n",
@@ -289,10 +335,21 @@ int selftest(unsigned Suites) {
     RO.Fault = C.EF;
     RO.VFault = C.VF;
     RO.LFault = C.LF;
+    RO.RFault = C.RF;
     std::string File = CE.replayFile(RO);
     bool Tagged = File.find("// replay-oracle: ") != std::string::npos;
     bool Reproduced = false;
-    if (C.Oracle == OracleLowering) {
+    if (C.Oracle == OracleRepair) {
+      // Repair counterexamples replay through the whole
+      // synthesize-and-revalidate pipeline (checkRepair forces Fixed
+      // bounding itself), with concrete inputs re-derived from the seed.
+      SoundnessOracleOptions Single = RO;
+      Single.Strategies = {CE.V.Strategy};
+      OracleStats ReplayStats;
+      Reproduced = checkRepair(CE.Source, CE.InputScalars, CE.InputArrays,
+                               CE.ProgramSeed, Single, ReplayStats)
+                       .has_value();
+    } else if (C.Oracle == OracleLowering) {
       // Lowering counterexamples replay through the diff itself: same
       // injected fault, just the recorded (strategy, bounding) pair, and
       // concrete inputs re-derived from the recorded seed.
@@ -413,6 +470,22 @@ int replay(const std::string &Path) {
       // deliberately broken summarize lowering.
       if (!parseLoweringFault(Value, Opts.LFault)) {
         std::fprintf(stderr, "error: unknown replay-lowering-fault '%s'\n",
+                    Value.c_str());
+        return 1;
+      }
+    } else if (Key == "repair") {
+      // The only recorded mode is full synthesis (the revalidation judges
+      // are implicit); anything else is a corrupt file.
+      if (Value != "synthesize") {
+        std::fprintf(stderr, "error: unknown replay-repair '%s'\n",
+                    Value.c_str());
+        return 1;
+      }
+    } else if (Key == "repair-fault") {
+      // A repair self-test counterexample; replay against the same
+      // deliberately corrupted synthesizer emission.
+      if (!parseRepairFault(Value, Opts.RFault)) {
+        std::fprintf(stderr, "error: unknown replay-repair-fault '%s'\n",
                     Value.c_str());
         return 1;
       }
@@ -543,6 +616,23 @@ int replay(const std::string &Path) {
     return 1;
   }
 
+  if (OracleMask & OracleRepair) {
+    // Repair counterexamples re-run the whole synthesize-and-revalidate
+    // pipeline (synthesis, re-analysis of the emitted artifacts, concrete
+    // equivalence and secret-variant replays) with inputs re-derived from
+    // the recorded seed.
+    OracleStats Stats;
+    if (std::optional<Violation> V =
+            checkRepair(Text, Scalars, Arrays, Seed, Opts, Stats)) {
+      std::printf("reproduced: %s\n", V->str(*CP).c_str());
+      return 2;
+    }
+    std::printf(
+        "did not reproduce: the recorded repair pipeline is clean under %s\n",
+        mergeStrategyName(Strategy));
+    return 0;
+  }
+
   if (OracleMask & OracleLowering) {
     // Lowering counterexamples re-run the whole diff (both compiles, the
     // recorded strategy/bounding pair, seed-derived concrete inputs)
@@ -617,7 +707,7 @@ int main(int Argc, char **Argv) {
       unsigned Mask = 0;
       if (!parseOracleKind(Kind, Mask)) {
         std::fprintf(stderr, "error: unknown oracle '%s' (cache | wcet | leak | "
-                    "lowering | all)\n",
+                    "lowering | repair | all)\n",
                     Kind.c_str());
         return 1;
       }
@@ -650,6 +740,7 @@ int main(int Argc, char **Argv) {
       std::string Kind = Next();
       VerdictFault VF = VerdictFault::None;
       LoweringFault LF = LoweringFault::None;
+      RepairFault RF = RepairFault::None;
       if (Kind == "skip-spec-seed")
         O.Oracle.Fault = EngineFault::SkipSpecSeed;
       else if (Kind == "skip-rollback")
@@ -658,18 +749,21 @@ int main(int Argc, char **Argv) {
         O.Oracle.VFault = VF;
       else if (parseLoweringFault(Kind, LF) && LF != LoweringFault::None)
         O.Oracle.LFault = LF;
+      else if (parseRepairFault(Kind, RF) && RF != RepairFault::None)
+        O.Oracle.RFault = RF;
       else {
         std::fprintf(stderr, "error: unknown fault '%s'\n", Kind.c_str());
         return 1;
       }
     } else if (Arg == "--selftest") {
       SelfTest = true;
-      // Optional suite selector (cache | wcet | leak | all).
+      // Optional suite selector (cache | wcet | leak | lowering | repair |
+      // all).
       if (I + 1 < Argc && Argv[I + 1][0] != '-') {
         std::string Suite = Argv[++I];
         if (!parseOracleKind(Suite, SelfTestSuites)) {
           std::fprintf(stderr, "error: unknown selftest suite '%s' (cache | wcet | "
-                      "leak | lowering | all)\n",
+                      "leak | lowering | repair | all)\n",
                       Suite.c_str());
           return 1;
         }
@@ -698,6 +792,10 @@ int main(int Argc, char **Argv) {
   // lowering diff; nothing else would notice it.
   if (O.Oracle.LFault != LoweringFault::None)
     O.Oracle.Oracles |= OracleLowering;
+  // And a repair fault only corrupts the synthesizer's emission, which
+  // only the repair oracle's revalidation judges inspect.
+  if (O.Oracle.RFault != RepairFault::None)
+    O.Oracle.Oracles |= OracleRepair;
 
   if (SelfTest)
     return selftest(SelfTestSuites);

@@ -8,6 +8,7 @@
 /// Thin client for a running specaid daemon (docs/SERVICE.md).
 ///
 ///   specaid-cli --socket PATH FILE.mc [options]   analyze one file
+///   specaid-cli --socket PATH FILE.mc --repair    synthesize mitigations
 ///   specaid-cli --socket PATH --ping              liveness probe
 ///   specaid-cli --socket PATH --stats             print daemon counters
 ///   specaid-cli --socket PATH --shutdown          stop the daemon
@@ -35,8 +36,14 @@
 /// bit-identical-verdicts assertion the CI smoke leg relies on — and, when
 /// N > U, at least one cache hit is required.
 ///
+/// With --repair the file is sent under the daemon's `repair` verb
+/// (docs/MITIGATION.md): the response carries the mitigation set, the
+/// before/after leak and WCET counts, and the patched program, and is
+/// cached under its own verdict-cache key like any analyze verdict.
+///
 /// Exit code: 0 on success, 1 on any transport/daemon/check failure, 2
-/// when a file-mode analysis found leaks (matching specai-cli).
+/// when a file-mode analysis found leaks (matching specai-cli) or a
+/// --repair run left leaks beyond the mitigation menu.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,7 +70,7 @@ void usage(std::FILE *To) {
       "       [--entry NAME] [--lowering inline|summarize] [--lines N]\n"
       "       [--assoc N] [--policy lru|fifo|plru] [--strategy S]\n"
       "       [--depth-miss N] [--depth-hit N] [--no-spec] [--no-shadow]\n"
-      "       [--refine] [--no-leaks] [--priority N]\n"
+      "       [--refine] [--no-leaks] [--repair] [--priority N]\n"
       "       [--timeout-ms N] [--max-iterations N]\n"
       "       [--retries N] [--backoff-ms N]\n");
 }
@@ -240,6 +247,7 @@ int main(int Argc, char **Argv) {
   ServiceRequest Req; // Doubles as the trace-mode base request.
   RetryPolicy Policy;
   bool Ping = false, Stats = false, Shutdown = false, Check = false;
+  bool Repair = false;
   uint64_t Trace = 0, Unique = 0, Seed = 1;
   uint32_t Lines = 0, Assoc = 0;
   bool GeometrySet = false;
@@ -317,6 +325,8 @@ int main(int Argc, char **Argv) {
       Req.Refine = true;
     } else if (Arg == "--no-leaks") {
       Req.DetectLeaks = false;
+    } else if (Arg == "--repair") {
+      Repair = true;
     } else if (Arg == "--priority") {
       Req.Priority = static_cast<int64_t>(NextUnsigned());
     } else if (Arg == "--timeout-ms") {
@@ -364,6 +374,10 @@ int main(int Argc, char **Argv) {
                          "--stats, --shutdown, or --trace\n");
     return 1;
   }
+  if (Repair && File.empty()) {
+    std::fprintf(stderr, "error: --repair needs a FILE.mc to repair\n");
+    return 1;
+  }
 
   ServiceClient Client;
   Policy.SocketPath = SocketPath;
@@ -401,6 +415,8 @@ int main(int Argc, char **Argv) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
   Req.Source = Buffer.str();
+  if (Repair)
+    Req.Op = ServiceOp::Repair;
 
   ServiceResponse Resp;
   if (!callBackoff(Client, Policy, Req, Resp))
@@ -424,6 +440,33 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Resp.RequestDigest));
   std::printf("verdict-digest: 0x%016llx\n",
               static_cast<unsigned long long>(Resp.VerdictDigest));
+  if (Repair) {
+    if (!Resp.RepairChecked) {
+      std::fprintf(stderr, "error: daemon answered without a repair "
+                           "verdict (pre-repair daemon?)\n");
+      return 1;
+    }
+    if (Resp.LeaksBefore == 0) {
+      std::printf("repair: no leaks reported; program unchanged\n");
+      return 0;
+    }
+    std::printf("repair: %llu leak%s, %zu mitigation%s, wcet %llu -> %llu\n",
+                static_cast<unsigned long long>(Resp.LeaksBefore),
+                Resp.LeaksBefore == 1 ? "" : "s", Resp.Mitigations.size(),
+                Resp.Mitigations.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(Resp.WcetBefore),
+                static_cast<unsigned long long>(Resp.WcetAfter));
+    for (const std::string &M : Resp.Mitigations)
+      std::printf("  %s\n", M.c_str());
+    if (!Resp.Repaired) {
+      std::printf("repair: %llu leak%s remain beyond the mitigation menu\n",
+                  static_cast<unsigned long long>(Resp.LeaksAfter),
+                  Resp.LeaksAfter == 1 ? "" : "s");
+      return 2;
+    }
+    std::printf("patched program:\n%s", Resp.PatchedIr.c_str());
+    return 0;
+  }
   std::printf("accesses: %llu  possible misses: %llu  speculative-only "
               "misses: %llu  iterations: %llu\n",
               static_cast<unsigned long long>(Resp.AccessNodes),
